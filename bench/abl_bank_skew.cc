@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Bank-storage ablation (Section 3.2's remark that conflict-free
+ * dynamic storage schemes buy "about 18% better performance" than
+ * plain low-order interleaving).
+ *
+ * Streams strided sweeps through three bank placements:
+ *
+ *   low-order  -- the paper's baseline (bank = w mod M);
+ *   skewed     -- row rotation: fixes power-of-two strides but
+ *                 serialises strides near M;
+ *   xor-hash   -- digit-XOR placement, the pseudo-random flavour of
+ *                 the schemes in [17]/[19]: good across the board.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/defaults.hh"
+#include "memory/interleaved.hh"
+#include "sim/runner.hh"
+#include "trace/vcm.hh"
+#include "util/stats.hh"
+#include "trace/access.hh"
+#include "util/strides.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace vcache;
+
+    MachineParams machine = paperMachineM64();
+    machine.memoryTime = 32;
+    banner("Bank-skew ablation (Section 3.2)",
+           "stall cycles per element by bank placement; M = 64, "
+           "t_m = 32",
+           machine);
+
+    const std::uint64_t n = 8192;
+    auto stalls = [&](BankMapping mapping, std::uint64_t stride) {
+        InterleavedMemory mem(machine.bankBits, machine.memoryTime,
+                              mapping);
+        const auto addrs = expand(
+            VectorRef{0, static_cast<std::int64_t>(stride), n});
+        return static_cast<double>(
+                   mem.streamAccess(addrs).stallCycles) /
+               static_cast<double>(n);
+    };
+
+    Table table({"stride", "low-order", "skewed", "xor-hash",
+                 "prime(61)"});
+    for (const std::uint64_t stride :
+         {1ull, 2ull, 8ull, 16ull, 32ull, 61ull, 63ull, 64ull, 65ull,
+          128ull, 192ull, 1024ull}) {
+        table.addRow(stride, stalls(BankMapping::LowOrder, stride),
+                     stalls(BankMapping::Skewed, stride),
+                     stalls(BankMapping::XorHash, stride),
+                     stalls(BankMapping::PrimeModulo, stride));
+    }
+    table.print(std::cout);
+
+    // Average over the paper's stride distribution.
+    const StrideDistribution dist(0.25, machine.banks());
+    constexpr int n_maps = 4;
+    double avg[n_maps] = {};
+    const BankMapping mappings[n_maps] = {BankMapping::LowOrder,
+                                          BankMapping::Skewed,
+                                          BankMapping::XorHash,
+                                          BankMapping::PrimeModulo};
+    for (std::uint64_t s = 1; s <= machine.banks(); ++s)
+        for (int i = 0; i < n_maps; ++i)
+            avg[i] += dist.probability(s) * stalls(mappings[i], s);
+
+    std::cout << "\nexpected stalls/element over the stride "
+                 "distribution (P1 = 0.25):\n";
+    Table summary({"placement", "stalls/elem", "vs low-order"});
+    const char *names[n_maps] = {"low-order", "skewed", "xor-hash",
+                                 "prime(61)"};
+    for (int i = 0; i < n_maps; ++i) {
+        const double delta =
+            avg[0] > 0.0 ? 100.0 * (1.0 - avg[i] / avg[0]) : 0.0;
+        summary.addRow(names[i], avg[i],
+                       Table::format(delta) + "% fewer");
+    }
+    summary.print(std::cout);
+    std::cout << "\nRow rotation and XOR hashing each trade one "
+                 "pathology for another; the\nprime bank count (the "
+                 "Budnik-Kuck / BSP organisation the paper builds "
+                 "on)\nis conflict-free for every stride that is not "
+                 "a multiple of 61 -- the same\nnumber theory the "
+                 "prime-mapped cache applies on-chip.\n";
+
+    // End-to-end: the full MM machine on the paper's random-stride
+    // workload under each placement.
+    std::cout << "\ntimed MM machine on the VCM random-stride "
+                 "workload (cycles/result, 5 seeds):\n";
+    Table timed({"placement", "cycles/result"});
+    for (int i = 0; i < n_maps; ++i) {
+        MachineParams m = machine;
+        m.bankMapping = mappings[i];
+        RunningStats cpr;
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            VcmParams p;
+            p.blockingFactor = 1024;
+            p.reuseFactor = 8;
+            p.pDoubleStream = 0.2;
+            p.maxStride = machine.banks();
+            p.blocks = 4;
+            cpr.add(simulateMm(m, generateVcmTrace(p, seed))
+                        .cyclesPerResult());
+        }
+        timed.addRow(names[i], cpr.mean());
+    }
+    timed.print(std::cout);
+    std::cout << "\nThe timed machine adds double streams (P_ds = "
+                 "0.2): two issues per cycle\nneed >= 2 t_m = 64 "
+                 "busy banks, so dropping to 61 banks costs raw\n"
+                 "bandwidth -- the BSP trade-off.  Row rotation "
+                 "keeps all 64 banks and wins\nhere; the prime count "
+                 "wins where conflicts, not bandwidth, dominate\n"
+                 "(the per-stride table above).  The prime-mapped "
+                 "*cache* dodges this\ntrade entirely: its 2^c - 1 "
+                 "lines sacrifice one line, not three banks,\nand "
+                 "hits bypass the banks altogether.\n";
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Index-mapping ablation: direct (modulo 2^c), XOR hash, and the
+ * prime modulus, at equal lookup cost.
+ *
+ * The XOR hash is the standard division-free alternative; being
+ * linear over GF(2) it permutes power-of-two strides instead of
+ * spreading them, so sweeps that exceed their coverage still thrash.
+ * The Mersenne modulus is division-free too (end-around-carry adds)
+ * but spreads every stride that is not a multiple of 2^c - 1.
+ */
+
+#include <iostream>
+
+#include "cache/factory.hh"
+#include "common.hh"
+#include "core/defaults.hh"
+#include "sim/runner.hh"
+#include "trace/banded.hh"
+#include "trace/fft.hh"
+#include "trace/matrix_access.hh"
+#include "trace/multistride.hh"
+#include "trace/transpose.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace vcache;
+
+    banner("Mapping-function ablation",
+           "equal-cost index functions: modulo 2^c vs XOR hash vs "
+           "modulo 2^c - 1",
+           paperMachineM32());
+
+    const auto multistride = generateMultistrideTrace(
+        MultistrideParams{2048, 48, 0.25, 8192, 0, 4}, 31);
+    const auto fft = generateFft2dTrace(Fft2dParams{1024, 512, 0});
+    RowColumnMixParams rc;
+    rc.shape = MatrixShape{1024, 1024, 0};
+    rc.rowFraction = 0.75;
+    rc.operations = 2048;
+    rc.length = 256;
+    const auto rowcol = generateRowColumnMix(rc, 7);
+
+    // Banded matvec with 64KB-aligned arrays: three diagonals, x and
+    // y each placed a multiple of 600 * 8192 words apart (so the
+    // direct cache aliases all five onto the same frames while both
+    // residues stay distinct mod 8191; see DESIGN.md note 10).
+    BandedParams banded;
+    banded.n = 512;
+    banded.offsets = {-1, 0, 1};
+    const Addr big = 600 * 8192;
+    banded.diagBase = 0;
+    banded.diagSpacing = big;
+    banded.xBase = 3 * big;
+    banded.yBase = 4 * big;
+    banded.repetitions = 8;
+    const auto banded_trace = generateBandedMatvecTrace(banded);
+
+    struct Workload
+    {
+        std::string name;
+        const Trace &trace;
+    };
+    // (A pure transpose is omitted: with one-word lines it has no
+    // temporal reuse, so every mapping misses 100% -- its spatial
+    // story lives in the line-size ablation instead.)
+    const Workload workloads[] = {
+        {"multistride", multistride},
+        {"blocked 2-D FFT", fft},
+        {"row/column mix (75% rows)", rowcol},
+        {"banded matvec, aligned arrays", banded_trace},
+    };
+
+    const Organization orgs[] = {Organization::DirectMapped,
+                                 Organization::XorMapped,
+                                 Organization::PrimeMapped};
+
+    Table table({"workload", "direct miss%", "xor miss%",
+                 "prime miss%"});
+    for (const auto &wl : workloads) {
+        std::vector<std::string> row{wl.name};
+        for (const auto org : orgs) {
+            CacheConfig config;
+            config.organization = org;
+            config.indexBits = 13;
+            const auto cache = makeCache(config);
+            const auto stats = runTraceThroughCache(*cache, wl.trace);
+            row.push_back(Table::format(100.0 * stats.missRatio()));
+        }
+        table.addRowStrings(row);
+    }
+    table.print(std::cout);
+
+    // Per-stride anatomy: re-sweep hit behaviour for the classic
+    // power-of-two strides.
+    std::cout << "\nre-sweep miss ratio by stride (4096-element "
+                 "vector, second sweep):\n";
+    Table anatomy({"stride", "direct miss%", "xor miss%",
+                   "prime miss%"});
+    for (const std::int64_t stride :
+         {1ll, 2ll, 64ll, 512ll, 1024ll, 4096ll, 8192ll, 12345ll}) {
+        std::vector<std::string> row{std::to_string(stride)};
+        for (const auto org : orgs) {
+            CacheConfig config;
+            config.organization = org;
+            config.indexBits = 13;
+            const auto cache = makeCache(config);
+            Trace trace;
+            VectorOp op;
+            op.first = VectorRef{0, stride, 4096};
+            trace.push_back(op);
+            trace.push_back(op);
+            const auto stats = runTraceThroughCache(*cache, trace);
+            const double resweep =
+                (static_cast<double>(stats.misses) -
+                 std::min<double>(static_cast<double>(stats.misses),
+                                  4096.0)) /
+                4096.0;
+            row.push_back(Table::format(100.0 * resweep));
+        }
+        anatomy.addRowStrings(row);
+    }
+    anatomy.print(std::cout);
+    return 0;
+}

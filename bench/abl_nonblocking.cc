@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Assumption ablation: how much of the prime cache's win rests on
+ * "cache misses may not be easily pipelined" (Section 3.3)?
+ *
+ * The CC simulator charges a full t_m stall per interference miss --
+ * the paper's assumption, realistic for a simple blocking cache.
+ * This bench re-times the same traces with misses allowed to stream
+ * through the banks like the initial loads (a lockup-free cache with
+ * unlimited MSHRs -- the most charitable case for the direct-mapped
+ * design, since its extra misses then cost bank slots instead of
+ * stalls).
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/defaults.hh"
+#include "sim/cc_sim.hh"
+#include "trace/fft.hh"
+#include "trace/multistride.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace vcache;
+
+    MachineParams machine = paperMachineM32();
+    machine.memoryTime = 32;
+    banner("Blocking-miss assumption ablation (Section 3.3)",
+           "cycles/result with blocking vs lockup-free misses; "
+           "t_m = 32",
+           machine);
+
+    const auto multistride = generateMultistrideTrace(
+        MultistrideParams{2048, 48, 0.25, 8192, 0, 4}, 99);
+    const auto fft = generateFft2dTrace(Fft2dParams{1024, 512, 0});
+
+    struct Workload
+    {
+        std::string name;
+        const Trace &trace;
+    };
+    const Workload workloads[] = {{"multistride", multistride},
+                                  {"blocked 2-D FFT", fft}};
+
+    Table table({"workload", "direct blocking", "direct lockup-free",
+                 "prime blocking", "prime lockup-free",
+                 "prime/direct (blocking)",
+                 "prime/direct (lockup-free)"});
+
+    for (const auto &wl : workloads) {
+        double cpr[2][2];
+        for (int scheme = 0; scheme < 2; ++scheme) {
+            for (int nb = 0; nb < 2; ++nb) {
+                CcSimulator sim(machine,
+                                scheme ? CacheScheme::Prime
+                                       : CacheScheme::Direct);
+                sim.setNonBlockingMisses(nb == 1);
+                cpr[scheme][nb] = sim.run(wl.trace).cyclesPerResult();
+            }
+        }
+        table.addRow(wl.name, cpr[0][0], cpr[0][1], cpr[1][0],
+                     cpr[1][1], cpr[0][0] / cpr[1][0],
+                     cpr[0][1] / cpr[1][1]);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nEven crediting the conventional cache with "
+                 "perfect miss pipelining, the\nprime mapping keeps "
+                 "an advantage: its misses are not merely cheaper,\n"
+                 "there are fewer of them, and the extra direct-"
+                 "mapped misses still burn\nbank bandwidth (they "
+                 "revisit few banks, by the same gcd arithmetic).\n";
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction benches: a banner that
+ * states which paper result the binary regenerates, plus the
+ * parameter conventions of Section 3.4.
+ */
+
+#ifndef VCACHE_BENCH_COMMON_HH
+#define VCACHE_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+
+#include "analytic/machine.hh"
+
+namespace vcache
+{
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &figure, const std::string &claim,
+       const MachineParams &machine)
+{
+    std::cout << "== " << figure << " ==\n"
+              << claim << "\n"
+              << "machine: " << describe(machine) << "\n\n";
+}
+
+} // namespace vcache
+
+#endif // VCACHE_BENCH_COMMON_HH

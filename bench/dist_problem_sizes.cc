@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Problem-size sensitivity study (the Section 2.1 standard-deviation
+ * discussion, after Lam et al.).
+ *
+ * A blocked algorithm walks a matrix row (stride = leading dimension
+ * P, here re-swept to model reuse).  Sweeping P across 900..1148
+ * shows how the conventional mappings' re-sweep miss ratio jumps
+ * whenever P shares factors with the modulus, while the prime
+ * modulus is immune for every P ("an algorithm with one problem size
+ * can run at twice the speed of the same algorithm with a different
+ * size").
+ */
+
+#include <iostream>
+
+#include "cache/factory.hh"
+#include "common.hh"
+#include "core/defaults.hh"
+#include "sim/runner.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace vcache;
+
+    banner("Problem-size sensitivity (Section 2.1)",
+           "re-sweep miss ratio of a 2048-element row access (stride "
+           "= P) across leading dimensions 900..1148",
+           paperMachineM32());
+
+    const std::uint64_t length = 2048;
+    const auto block = static_cast<double>(length);
+
+    const Organization orgs[] = {Organization::DirectMapped,
+                                 Organization::SetAssociative,
+                                 Organization::XorMapped,
+                                 Organization::PrimeMapped};
+    const char *names[] = {"direct", "4-way LRU", "xor", "prime"};
+
+    RunningStats spread[4];
+    std::uint64_t bad_direct = 0, bad_prime = 0;
+    for (std::uint64_t lead = 900; lead <= 1148; ++lead) {
+        Trace trace;
+        VectorOp op;
+        op.first = VectorRef{0, static_cast<std::int64_t>(lead),
+                             length};
+        trace.push_back(op);
+        trace.push_back(op);
+
+        for (int i = 0; i < 4; ++i) {
+            CacheConfig config;
+            config.organization = orgs[i];
+            config.indexBits = 13;
+            config.associativity = 4;
+            const auto cache = makeCache(config);
+            const auto stats = runTraceThroughCache(*cache, trace);
+            const double resweep =
+                (static_cast<double>(stats.misses) - block) / block;
+            spread[i].add(100.0 * resweep);
+            if (resweep > 0.05) {
+                if (i == 0)
+                    ++bad_direct;
+                if (i == 3)
+                    ++bad_prime;
+            }
+        }
+    }
+
+    Table table({"cache", "mean re-sweep miss%", "stddev", "min",
+                 "max"});
+    for (int i = 0; i < 4; ++i)
+        table.addRow(names[i], spread[i].mean(), spread[i].stddev(),
+                     spread[i].min(), spread[i].max());
+    table.print(std::cout);
+
+    std::cout << "\nleading dimensions with > 5% re-sweep misses: "
+              << bad_direct << "/249 direct-mapped, " << bad_prime
+              << "/249 prime-mapped.\nA user of the conventional "
+                 "cache must pad the leading dimension to an odd\n"
+                 "value; the prime cache removes the sensitivity "
+                 "outright.\n";
+    return 0;
+}

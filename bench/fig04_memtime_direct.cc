@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 4: average clock cycles per result vs memory access time for
+ * the MM-model and the direct-mapped CC-model (M = 32 banks, 8K-word
+ * cache, B = 2K and 4K, R = B).
+ *
+ * Paper shape: with a small t_m the cacheless machine wins; the
+ * direct-mapped cache overtakes it past ~7 cycles at B = 2K and ~20
+ * cycles at B = 4K.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/comparison.hh"
+#include "core/defaults.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace vcache;
+
+    MachineParams machine = paperMachineM32();
+    banner("Figure 4",
+           "cycles/result vs t_m; MM vs direct-mapped CC; B = 2K, 4K",
+           machine);
+
+    Table table({"t_m", "MM", "CC-direct B=2K", "CC-direct B=4K",
+                 "crossover(2K)", "crossover(4K)"});
+
+    for (std::uint64_t tm = 1; tm <= 64; tm += (tm < 8 ? 1 : 4)) {
+        machine.memoryTime = tm;
+
+        WorkloadParams w = paperWorkload();
+        w.blockingFactor = 2048;
+        w.reuseFactor = 2048;
+        const auto p2k = compareMachines(machine, w);
+
+        w.blockingFactor = 4096;
+        w.reuseFactor = 4096;
+        const auto p4k = compareMachines(machine, w);
+
+        table.addRow(tm, p2k.mm, p2k.direct, p4k.direct,
+                     p2k.direct < p2k.mm ? "CC" : "MM",
+                     p4k.direct < p4k.mm ? "CC" : "MM");
+    }
+    table.print(std::cout);
+    return 0;
+}

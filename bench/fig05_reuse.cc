@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 5: cycles per result vs reuse factor R (B = 1K; t_m = 8 and
+ * 16; M = 32).
+ *
+ * Paper shape: the two machines tie at R = 1 (the initial load is all
+ * there is); for any R > 1 the cache wins, with diminishing returns
+ * once R exceeds ~16.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/comparison.hh"
+#include "core/defaults.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace vcache;
+
+    MachineParams machine = paperMachineM32();
+    banner("Figure 5",
+           "cycles/result vs reuse factor R; B = 1K; t_m = 8, 16",
+           machine);
+
+    Table table({"R", "MM tm=8", "CC-direct tm=8", "MM tm=16",
+                 "CC-direct tm=16"});
+
+    for (std::uint64_t r = 1; r <= 64; r *= 2) {
+        WorkloadParams w = paperWorkload();
+        w.blockingFactor = 1024;
+        w.reuseFactor = static_cast<double>(r);
+
+        machine.memoryTime = 8;
+        const auto p8 = compareMachines(machine, w);
+        machine.memoryTime = 16;
+        const auto p16 = compareMachines(machine, w);
+
+        table.addRow(r, p8.mm, p8.direct, p16.mm, p16.direct);
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 7: cycles per result vs memory access time, all three
+ * machines (M = 64 banks, B = R = 4K).
+ *
+ * Paper shape: MM grows steeply, direct-mapped CC grows with a lower
+ * slope and overtakes MM past ~24 cycles, and the prime-mapped cache
+ * stays nearly flat.  At t_m = M = 64 the prime cache is ~3x faster
+ * than direct and ~5x faster than MM.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/comparison.hh"
+#include "core/defaults.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace vcache;
+
+    MachineParams machine = paperMachineM64();
+    banner("Figure 7",
+           "cycles/result vs t_m; MM vs CC-direct vs CC-prime; "
+           "B = R = 4K",
+           machine);
+
+    Table table({"t_m", "MM", "CC-direct", "CC-prime",
+                 "prime/direct speedup", "prime/MM speedup"});
+
+    WorkloadParams w = paperWorkload();
+    w.blockingFactor = 4096;
+    w.reuseFactor = 4096;
+
+    for (std::uint64_t tm = 1; tm <= 64; tm += (tm < 8 ? 1 : 4)) {
+        machine.memoryTime = tm;
+        const auto p = compareMachines(machine, w);
+        table.addRow(tm, p.mm, p.direct, p.prime, p.primeOverDirect(),
+                     p.primeOverMm());
+    }
+    table.print(std::cout);
+    return 0;
+}

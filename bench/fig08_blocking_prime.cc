@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 8: cycles per result vs blocking factor for the three
+ * machines with t_m = M/2 = 32 (M = 64 banks).
+ *
+ * Paper shape: direct-mapped CC crosses over the MM-model around
+ * B = 3-5K while the prime-mapped curve "remains flat".
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/comparison.hh"
+#include "core/defaults.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace vcache;
+
+    MachineParams machine = paperMachineM64();
+    machine.memoryTime = machine.banks() / 2;
+    banner("Figure 8",
+           "cycles/result vs blocking factor; t_m = M/2 = 32",
+           machine);
+
+    Table table({"B", "MM", "CC-direct", "CC-prime", "direct>MM?"});
+
+    for (std::uint64_t b = 256; b <= 8192; b += 512) {
+        WorkloadParams w = paperWorkload();
+        w.blockingFactor = static_cast<double>(b);
+        w.reuseFactor = static_cast<double>(b);
+        const auto p = compareMachines(machine, w);
+        table.addRow(b, p.mm, p.direct, p.prime,
+                     p.direct > p.mm ? "yes" : "no");
+    }
+    table.print(std::cout);
+    return 0;
+}

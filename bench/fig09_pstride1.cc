@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 9: cycles per result vs the probability of unit stride,
+ * P_stride1 (M = 64; B = R = 4K).
+ *
+ * Paper shape: the prime/direct gap closes as P_stride1 -> 1 and the
+ * two schemes coincide at 1; the prime cache wins for every non-unit
+ * probability.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/comparison.hh"
+#include "core/defaults.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace vcache;
+
+    MachineParams machine = paperMachineM64();
+    machine.memoryTime = 32;
+    banner("Figure 9",
+           "cycles/result vs P_stride1; B = R = 4K; t_m = 32",
+           machine);
+
+    Table table({"P_stride1", "MM", "CC-direct", "CC-prime",
+                 "direct-prime gap"});
+
+    for (int i = 0; i <= 10; ++i) {
+        WorkloadParams w = paperWorkload();
+        w.blockingFactor = 4096;
+        w.reuseFactor = 4096;
+        w.pStride1First = 0.1 * i;
+        w.pStride1Second = 0.1 * i;
+        const auto p = compareMachines(machine, w);
+        table.addRow(0.1 * i, p.mm, p.direct, p.prime,
+                     p.direct - p.prime);
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Section 2.3 micro-benchmark: "the new design does not increase the
+ * critical path length ... nor the cache access time."
+ *
+ * Measures, with google-benchmark, the per-element cost of cache
+ * index generation for the conventional mask (direct-mapped) and the
+ * Mersenne end-around-carry path (prime-mapped), both incremental
+ * (the Figure-1 stride register walk) and from-scratch (the startup
+ * fold), plus the bit-serial adder model for reference.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "address/eac_adder.hh"
+#include "address/index_gen.hh"
+#include "numtheory/mersenne.hh"
+
+namespace
+{
+
+using namespace vcache;
+
+const AddressLayout kLayout(0, 13, 32);
+
+void
+BM_DirectIndexStep(benchmark::State &state)
+{
+    DirectIndexGenerator gen(kLayout);
+    gen.setStride(3);
+    gen.start(12345);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.step());
+}
+BENCHMARK(BM_DirectIndexStep);
+
+void
+BM_MersenneIndexStep(benchmark::State &state)
+{
+    MersenneIndexGenerator gen(kLayout);
+    gen.setStride(3);
+    gen.start(12345);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.step());
+}
+BENCHMARK(BM_MersenneIndexStep);
+
+void
+BM_DirectIndexOf(benchmark::State &state)
+{
+    DirectIndexGenerator gen(kLayout);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.indexOf(a));
+        a += 12345;
+    }
+}
+BENCHMARK(BM_DirectIndexOf);
+
+void
+BM_MersenneIndexOf(benchmark::State &state)
+{
+    MersenneIndexGenerator gen(kLayout);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.indexOf(a));
+        a += 12345;
+    }
+}
+BENCHMARK(BM_MersenneIndexOf);
+
+void
+BM_MersenneStartupFold(benchmark::State &state)
+{
+    MersenneIndexGenerator gen(kLayout);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.start(a));
+        a += 987654321;
+    }
+}
+BENCHMARK(BM_MersenneStartupFold);
+
+void
+BM_EacAdderWordLevel(benchmark::State &state)
+{
+    EacAdder adder(13);
+    std::uint64_t x = 1;
+    for (auto _ : state) {
+        x = adder.add(x, 4097);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_EacAdderWordLevel);
+
+void
+BM_EacAdderBitSerial(benchmark::State &state)
+{
+    EacAdder adder(13);
+    std::uint64_t x = 1;
+    for (auto _ : state) {
+        x = adder.addBitSerial(x, 4097);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_EacAdderBitSerial);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Simulator-performance micro-benchmark: how fast the library itself
+ * runs (accesses or elements simulated per second), for users sizing
+ * sweeps.  Not a paper result -- a tooling property.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/direct.hh"
+#include "cache/prime.hh"
+#include "core/defaults.hh"
+#include "sim/cc_sim.hh"
+#include "sim/mm_sim.hh"
+#include "sim/runner.hh"
+#include "trace/multistride.hh"
+
+namespace
+{
+
+using namespace vcache;
+
+const Trace &
+benchTrace()
+{
+    static const Trace trace = generateMultistrideTrace(
+        MultistrideParams{1024, 16, 0.25, 8192, 0, 2}, 11);
+    return trace;
+}
+
+void
+BM_FunctionalDirectCache(benchmark::State &state)
+{
+    const auto &trace = benchTrace();
+    const auto n = totalElements(trace);
+    DirectMappedCache cache(AddressLayout(0, 13, 32));
+    for (auto _ : state) {
+        cache.reset();
+        benchmark::DoNotOptimize(runTraceThroughCache(cache, trace));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_FunctionalDirectCache);
+
+void
+BM_FunctionalPrimeCache(benchmark::State &state)
+{
+    const auto &trace = benchTrace();
+    const auto n = totalElements(trace);
+    PrimeMappedCache cache(AddressLayout(0, 13, 32));
+    for (auto _ : state) {
+        cache.reset();
+        benchmark::DoNotOptimize(runTraceThroughCache(cache, trace));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_FunctionalPrimeCache);
+
+void
+BM_TimedMmSimulator(benchmark::State &state)
+{
+    const auto &trace = benchTrace();
+    const auto n = totalElements(trace);
+    MmSimulator sim(paperMachineM32());
+    for (auto _ : state) {
+        sim.reset();
+        benchmark::DoNotOptimize(sim.run(trace));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_TimedMmSimulator);
+
+void
+BM_TimedCcSimulator(benchmark::State &state)
+{
+    const auto &trace = benchTrace();
+    const auto n = totalElements(trace);
+    CcSimulator sim(paperMachineM32(), CacheScheme::Prime);
+    for (auto _ : state) {
+        sim.reset();
+        benchmark::DoNotOptimize(sim.run(trace));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_TimedCcSimulator);
+
+} // namespace
+
+BENCHMARK_MAIN();

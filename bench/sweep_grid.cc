@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Full model grid as CSV: every (t_m, B) point for the three
+ * machines, ready for external plotting of Figures 4-8 (gnuplot,
+ * matplotlib, a spreadsheet).  The other fig* binaries print the
+ * paper's specific slices; this one dumps the whole surface.
+ */
+
+#include <iostream>
+
+#include "core/comparison.hh"
+#include "core/defaults.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace vcache;
+
+    Table csv({"banks", "t_m", "B", "R", "p_ds", "mm", "cc_direct",
+               "cc_prime"});
+
+    for (const unsigned bank_bits : {5u, 6u}) {
+        for (std::uint64_t tm = 4; tm <= 64; tm += 4) {
+            for (std::uint64_t b = 256; b <= 8192; b *= 2) {
+                MachineParams machine = paperMachineM64();
+                machine.bankBits = bank_bits;
+                machine.memoryTime = tm;
+
+                WorkloadParams w = paperWorkload();
+                w.blockingFactor = static_cast<double>(b);
+                w.reuseFactor = static_cast<double>(b);
+
+                const auto p = compareMachines(machine, w);
+                csv.addRow(std::uint64_t{1} << bank_bits, tm, b,
+                           b, w.pDoubleStream, p.mm, p.direct,
+                           p.prime);
+            }
+        }
+    }
+    csv.printCsv(std::cout);
+    return 0;
+}

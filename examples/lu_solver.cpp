@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Case study: a complete dense solver (LU factor + forward/back
+ * substitution) running as vector programs.
+ *
+ * Solves A x = b for a diagonally dominant dense system, verifies x
+ * against the known solution, then times the factorisation's access
+ * trace on the three machines.  LU is the paper's second named
+ * workload (Section 3.1 cites blocked LU with reuse 3b/2): the
+ * factorisation re-reads the trailing matrix across eliminations, so
+ * the cache's conflict behaviour shows directly -- especially when
+ * the leading dimension is a power of two, which makes every column
+ * of the trailing matrix alias in the direct-mapped cache.
+ *
+ *   ./lu_solver [--n=192] [--lda=0 (0 = n)] [--tm=32]
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "core/vcache.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vcache;
+
+    ArgParser args("Dense LU solve as vector programs");
+    args.addFlag("n", "72",
+                 "unknowns (72*72 = 5184 words fits the 8K cache; "
+                 "try 192 to see the capacity-bound regime where "
+                 "only *blocking* -- the paper's premise -- can "
+                 "help)");
+    args.addFlag("lda", "0",
+                 "leading dimension; 0 = n, 256/512/1024 show the "
+                 "power-of-two alignment pathology");
+    args.addFlag("tm", "32", "memory access time in cycles");
+    args.parse(argc, argv);
+
+    const std::uint64_t n = args.getUint("n");
+    const std::uint64_t lda_flag = args.getUint("lda");
+    const std::uint64_t lda = lda_flag ? lda_flag : n;
+    if (lda < n)
+        vc_fatal("--lda must be 0 or >= n");
+    MachineParams machine = paperMachineM64();
+    machine.memoryTime = args.getUint("tm");
+
+    VectorMachine vm(machine.mvl, lda * n + n + 64);
+    const Addr rhs = lda * n + 8;
+
+    // Diagonally dominant A and b = A * x_star.
+    Rng rng(2026);
+    std::vector<double> x_star(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        x_star[i] = rng.uniformReal() * 2.0 - 1.0;
+    for (std::uint64_t row = 0; row < n; ++row) {
+        double b = 0.0;
+        for (std::uint64_t col = 0; col < n; ++col) {
+            double v = rng.uniformReal() - 0.5;
+            if (row == col)
+                v += static_cast<double>(n);
+            vm.writeMem(row + col * lda, v);
+            b += v * x_star[col];
+        }
+        vm.writeMem(rhs + row, b);
+    }
+
+    VectorProgram solve;
+    emitLuFactor(solve, machine.mvl, 0, n, lda);
+    emitForwardSolveUnitLower(solve, machine.mvl, 0, n, lda, rhs);
+    emitBackSolveUpper(solve, machine.mvl, 0, n, lda, rhs);
+    vm.run(solve);
+
+    double worst = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i)
+        worst = std::max(worst,
+                         std::abs(vm.readMem(rhs + i) - x_star[i]));
+    std::cout << "LU solve of " << n << "x" << n << " (lda = " << lda
+              << "): " << solve.size() << " instructions, max |x - "
+              << "x*| = " << worst << "\n"
+              << (worst < 1e-8 ? "solution verified"
+                               : "SOLUTION WRONG")
+              << "; trace: " << vm.trace().size()
+              << " vector operations, " << vm.scalarLoads()
+              << " scalar-unit accesses\n\n";
+
+    const auto chimes = analyzeChimes(solve, machine.mvl);
+    std::cout << "chime analysis: " << chimes.convoys
+              << " convoys, " << chimes.chimeCycles
+              << " compute-bound cycles (" << chimes.memoryOps
+              << " memory / " << chimes.arithmeticOps
+              << " arithmetic vector instructions)\n\n";
+
+    Table timing({"machine", "cycles", "cycles/result", "miss%"});
+    const auto mm = simulateMm(machine, vm.trace());
+    timing.addRow("MM (no cache)", mm.totalCycles,
+                  mm.cyclesPerResult(), 0.0);
+    for (const auto scheme :
+         {CacheScheme::Direct, CacheScheme::Prime}) {
+        const auto r = simulateCc(machine, scheme, vm.trace());
+        timing.addRow(scheme == CacheScheme::Prime ? "CC prime"
+                                                   : "CC direct",
+                      r.totalCycles, r.cyclesPerResult(),
+                      100.0 * r.missRatio());
+    }
+    timing.print(std::cout);
+
+    const double footprint = static_cast<double>(n * n);
+    std::cout << "\nworking set " << n << "^2 = " << footprint
+              << " words vs 8191-line cache: "
+              << (footprint <= 8191.0
+                      ? "fits -- both caches run near one cycle per "
+                        "element and far ahead of the\ncacheless "
+                        "machine."
+                      : "does NOT fit -- capacity misses dominate "
+                        "and no mapping can help;\nthe paper's "
+                        "answer is blocking (see "
+                        "examples/subblock_planner and\n"
+                        "bench/tab_subblock for choosing "
+                        "conflict-free blocks).")
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Quickstart: build a prime-mapped cache next to a direct-mapped one,
+ * push a power-of-two-strided vector sweep through both, and watch
+ * the conflict misses disappear.
+ *
+ *   ./quickstart [--stride=N] [--length=N] [--sweeps=N]
+ */
+
+#include <iostream>
+
+#include "core/vcache.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vcache;
+
+    ArgParser args(
+        "Prime-mapped vs direct-mapped cache on one strided sweep");
+    args.addFlag("stride", "512", "vector access stride in words");
+    args.addFlag("length", "4096", "elements per sweep");
+    args.addFlag("sweeps", "4", "how many times the vector is reused");
+    args.parse(argc, argv);
+
+    const auto stride = static_cast<std::int64_t>(args.getInt("stride"));
+    const auto length = args.getUint("length");
+    const auto sweeps = args.getUint("sweeps");
+
+    // The paper's configuration: 8K-word cache, one word per line.
+    // The direct-mapped cache has 2^13 = 8192 lines; the prime-mapped
+    // cache gives one line up to make the count prime: 8191 = 2^13-1.
+    const AddressLayout layout(/*offset_bits=*/0, /*index_bits=*/13);
+    DirectMappedCache direct(layout);
+    PrimeMappedCache prime(layout);
+
+    // One strided vector, swept `sweeps` times (reuse is where caches
+    // earn their keep in vector code).
+    Trace trace;
+    for (std::uint64_t s = 0; s < sweeps; ++s) {
+        VectorOp op;
+        op.first = VectorRef{0, stride, length};
+        trace.push_back(op);
+    }
+
+    const auto direct_stats = runTraceThroughCache(direct, trace);
+    const auto prime_stats = runTraceThroughCache(prime, trace);
+
+    Table table({"cache", "accesses", "hits", "misses", "miss%"});
+    table.addRow(direct.name(), direct_stats.accesses,
+                 direct_stats.hits, direct_stats.misses,
+                 100.0 * direct_stats.missRatio());
+    table.addRow(prime.name(), prime_stats.accesses, prime_stats.hits,
+                 prime_stats.misses, 100.0 * prime_stats.missRatio());
+    table.print(std::cout);
+
+    const auto coverage = sweepCoverage(
+        8192, static_cast<std::uint64_t>(stride < 0 ? -stride
+                                                    : stride));
+    std::cout << "\nA stride-" << stride
+              << " sweep touches only C/gcd(C, s) = " << coverage
+              << " of the 8192 direct-mapped lines;\nmodulo the prime "
+                 "8191 it touches "
+              << sweepCoverage(8191, static_cast<std::uint64_t>(
+                                         stride < 0 ? -stride : stride))
+              << " lines -- every non-multiple of 8191 is "
+                 "conflict-free.\n";
+
+    // The index generation hardware (Figure 1): one c-bit end-around
+    // carry addition per element, in parallel with the normal address
+    // calculation.
+    MersenneIndexGenerator gen(layout);
+    gen.setStride(stride);
+    gen.start(0);
+    for (std::uint64_t i = 1; i < 100; ++i)
+        gen.step();
+    const auto cost = MersenneIndexGenerator::hardwareCost();
+    std::cout << "\nFigure-1 address generator activity for 100 "
+                 "elements: "
+              << gen.stats().stepAdds << " step adds, "
+              << gen.stats().startupAdds << " startup folds\n"
+              << "extra hardware: " << cost.fullAdders
+              << " full adder, " << cost.multiplexors
+              << " multiplexors, " << cost.registers << " registers\n";
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tool: plan a conflict-free sub-block blocking for your matrix.
+ *
+ * Give it the leading dimension P of a column-major matrix and a
+ * cache exponent c; it prints the paper's maximal conflict-free
+ * (b1, b2), verifies it by enumeration, and shows what the same
+ * blocking does to a direct-mapped cache.
+ *
+ *   ./subblock_planner --p=5000 [--c=13] [--b1=N --b2=N]
+ */
+
+#include <iostream>
+
+#include "core/vcache.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vcache;
+
+    ArgParser args("Conflict-free sub-block planner (Section 4)");
+    args.addFlag("p", "5000",
+                 "leading dimension of the column-major matrix");
+    args.addFlag("c", "13",
+                 "cache index bits (prime cache holds 2^c - 1 lines)");
+    args.addFlag("b1", "0", "optional: check this b1 instead");
+    args.addFlag("b2", "0", "optional: check this b2 instead");
+    args.parse(argc, argv);
+
+    const std::uint64_t p = args.getUint("p");
+    const auto c = static_cast<unsigned>(args.getUint("c"));
+    if (!isMersenneExponent(c))
+        vc_fatal("2^", c, " - 1 is not a Mersenne prime; pick c from "
+                 "{2,3,5,7,13,17,19,31}");
+    const std::uint64_t lines = mersenne(c);
+
+    MachineParams machine = paperMachineM32();
+    machine.cacheIndexBits = c;
+
+    std::uint64_t b1 = args.getUint("b1");
+    std::uint64_t b2 = args.getUint("b2");
+    if (b1 == 0 || b2 == 0) {
+        const auto choice = chooseConflictFreeBlocking(p, lines);
+        if (choice.b1 == 0)
+            vc_fatal("P = ", p, " is a multiple of the cache size ",
+                     lines, ": no conflict-free column blocking "
+                     "exists; pad the leading dimension");
+        b1 = choice.b1;
+        b2 = choice.b2;
+    }
+
+    const SubblockChoice choice{b1, b2};
+    const bool rule_ok = satisfiesConflictFreeRule(p, b1, b2, lines);
+    const auto prime_conf =
+        countSubblockConflicts(p, b1, b2, machine, CacheScheme::Prime);
+    const auto direct_conf = countSubblockConflicts(
+        p, b1, b2, machine, CacheScheme::Direct);
+
+    std::cout << "matrix leading dimension P = " << p
+              << ", prime cache of " << lines << " lines (c = " << c
+              << ")\n\n";
+    Table table({"quantity", "value"});
+    table.addRow("sub-block b1 x b2",
+                 std::to_string(b1) + " x " + std::to_string(b2));
+    table.addRow("block elements", b1 * b2);
+    table.addRow("cache utilisation %",
+                 100.0 * choice.utilization(lines));
+    table.addRow("paper rule satisfied", rule_ok ? "yes" : "no");
+    table.addRow("prime-mapped self-conflicts (enumerated)",
+                 prime_conf);
+    table.addRow("direct-mapped self-conflicts (same blocking)",
+                 direct_conf);
+    table.print(std::cout);
+
+    if (prime_conf == 0)
+        std::cout << "\nThis block streams through the prime-mapped "
+                     "cache with zero interference\nmisses -- every "
+                     "reuse after the initial load is a hit.\n";
+    else
+        std::cout << "\nWARNING: this blocking is NOT conflict-free "
+                     "(see DESIGN.md: the paper's\nrule is only "
+                     "sufficient at the maximal b1).  Reduce b2 below "
+                     "floor(C / (P mod C))\nor use the planner's "
+                     "default choice.\n";
+    return 0;
+}

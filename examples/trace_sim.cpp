@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tool: trace-driven simulator for external workloads.
+ *
+ * Reads a text trace (see src/trace/loader.hh for the format), runs
+ * it through a chosen cache organisation and the cycle-level CC
+ * machine, and prints miss statistics and cycles per result.
+ *
+ *   ./trace_sim --trace=workload.txt [--org=prime] [--tm=32] ...
+ *   ./trace_sim --demo=workload.txt      # write a sample trace
+ */
+
+#include <iostream>
+
+#include "core/vcache.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vcache;
+
+    ArgParser args("Trace-driven vector-cache simulator");
+    args.addFlag("trace", "", "trace file to replay");
+    args.addFlag("demo", "",
+                 "write a demo trace to this path and exit");
+    args.addFlag("org", "prime",
+                 "cache organisation: direct, prime, xor, assoc, "
+                 "full, prime-assoc");
+    args.addFlag("c", "13", "cache index bits");
+    args.addFlag("ways", "4", "associativity for --org=assoc");
+    args.addFlag("tm", "32", "memory access time in cycles");
+    args.addFlag("banks", "64", "number of interleaved banks");
+    args.addFlag("config", "",
+                 "INI experiment file ([machine]/[cache] sections, "
+                 "see core/configio.hh); flags override it");
+    args.parse(argc, argv);
+
+    if (const auto demo = args.getString("demo"); !demo.empty()) {
+        // A small blocked-matmul trace as a format example.
+        const auto trace =
+            generateMatmulTrace(MatmulParams{32, 8, 0});
+        saveTraceFile(demo, trace);
+        std::cout << "wrote " << trace.size() << " records to " << demo
+                  << "\n";
+        return 0;
+    }
+
+    const auto path = args.getString("trace");
+    if (path.empty())
+        vc_fatal("--trace is required (or --demo to generate one)");
+    const Trace trace = loadTraceFile(path);
+    std::cout << "loaded " << trace.size() << " vector operations ("
+              << totalElements(trace) << " element accesses)\n\n";
+
+    // Config file first (if any); explicitly-passed flags override.
+    CacheConfig config;
+    config.organization = Organization::PrimeMapped;
+    MachineParams machine = paperMachineM64();
+    machine.memoryTime = 32;
+    if (const auto cfg_path = args.getString("config");
+        !cfg_path.empty()) {
+        const auto kv = KeyValueConfig::parseFile(cfg_path);
+        machine = machineFromConfig(kv);
+        config = cacheFromConfig(kv);
+        if (const auto unused = kv.unusedKeys(); !unused.empty())
+            warn("config key '", unused.front(),
+                 "' (and possibly others) was not recognised");
+    }
+    if (args.wasSet("org") || args.getString("config").empty())
+        config.organization =
+            parseOrganization(args.getString("org"));
+    if (args.wasSet("c"))
+        config.indexBits = static_cast<unsigned>(args.getUint("c"));
+    if (args.wasSet("ways"))
+        config.associativity =
+            static_cast<unsigned>(args.getUint("ways"));
+
+    // Functional pass: miss ratio and 3C breakdown, reported in the
+    // uniform stats grammar.
+    const auto cache = makeCache(config);
+    const auto breakdown = classifyTrace(*cache, trace);
+    std::cout << "cache: " << describe(config) << "\n";
+    StatDump stats;
+    {
+        StatDump::Group g(stats, "cache");
+        appendStats(stats, *cache);
+        StatDump::Group g3c(stats, "misses");
+        appendStats(stats, breakdown);
+    }
+    stats.print(std::cout);
+
+    // Timed pass through the CC machine (direct/prime only).
+    if (args.wasSet("tm") || args.getString("config").empty())
+        machine.memoryTime = args.getUint("tm");
+    if (args.wasSet("banks"))
+        machine.bankBits = floorLog2(args.getUint("banks"));
+    machine.cacheIndexBits = config.indexBits;
+
+    std::cout << "\ncycle-level machine (t_m = " << machine.memoryTime
+              << ", M = " << machine.banks() << "):\n";
+    Table timing({"machine", "cycles", "cycles/result", "miss%"});
+    const auto mm = simulateMm(machine, trace);
+    timing.addRow("MM (no cache)", mm.totalCycles,
+                  mm.cyclesPerResult(), 0.0);
+    for (const auto scheme :
+         {CacheScheme::Direct, CacheScheme::Prime}) {
+        const auto r = simulateCc(machine, scheme, trace);
+        timing.addRow(scheme == CacheScheme::Prime ? "CC prime"
+                                                   : "CC direct",
+                      r.totalCycles, r.cyclesPerResult(),
+                      100.0 * r.missRatio());
+    }
+    timing.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Reproduce the whole paper: build, test, and regenerate every figure.
+#
+#   scripts/reproduce.sh [build-dir]
+#
+# Outputs land in test_output.txt and bench_output.txt at the repo
+# root, the same files EXPERIMENTS.md quotes.
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -G Ninja "$repo"
+cmake --build "$build"
+
+ctest --test-dir "$build" 2>&1 | tee "$repo/test_output.txt"
+
+: > "$repo/bench_output.txt"
+for b in "$build"/bench/*; do
+    echo "===== $(basename "$b") =====" | tee -a "$repo/bench_output.txt"
+    "$b" 2>&1 | tee -a "$repo/bench_output.txt"
+done
+
+echo "done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,62 @@
+#include "address/eac_adder.hh"
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+EacAdder::EacAdder(unsigned width) : c(width)
+{
+    vc_assert(c >= 1 && c <= 63, "EAC adder width out of range: ", c);
+    mask = (std::uint64_t{1} << c) - 1;
+}
+
+std::uint64_t
+EacAdder::add(std::uint64_t a, std::uint64_t b)
+{
+    vc_assert(a <= mask && b <= mask,
+              "EAC adder operand wider than ", c, " bits");
+    ++ops;
+    std::uint64_t s = a + b;
+    s = (s & mask) + (s >> c); // fold the carry-out back in
+    s = (s & mask) + (s >> c); // the fold itself can carry once more
+    return s == mask ? 0 : s;
+}
+
+std::uint64_t
+EacAdder::addBitSerial(std::uint64_t a, std::uint64_t b)
+{
+    vc_assert(a <= mask && b <= mask,
+              "EAC adder operand wider than ", c, " bits");
+    ++ops;
+
+    // First ripple pass with carry-in 0.
+    std::uint64_t sum = 0;
+    unsigned carry = 0;
+    for (unsigned i = 0; i < c; ++i) {
+        const unsigned ai = (a >> i) & 1;
+        const unsigned bi = (b >> i) & 1;
+        const unsigned s = ai ^ bi ^ carry;
+        carry = (ai & bi) | (ai & carry) | (bi & carry);
+        sum |= std::uint64_t{s} << i;
+    }
+
+    // End-around carry: feed the carry-out into bit 0 and ripple again.
+    if (carry) {
+        unsigned cin = 1;
+        std::uint64_t folded = 0;
+        for (unsigned i = 0; i < c; ++i) {
+            const unsigned si = (sum >> i) & 1;
+            const unsigned s = si ^ cin;
+            cin = si & cin;
+            folded |= std::uint64_t{s} << i;
+        }
+        // A second end-around carry cannot occur: a + b <= 2m, and
+        // after one fold the value is at most m.
+        vc_assert(cin == 0, "unexpected double end-around carry");
+        sum = folded;
+    }
+    return sum == mask ? 0 : sum;
+}
+
+} // namespace vcache

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Bit-level model of the c-bit end-around-carry adder of Figure 1.
+ *
+ * "addition modulo a Mersenne number is performed very simply by using
+ * a conventional full binary adder of c bits and by folding the most
+ * significant carry bit output back into the least significant carry
+ * bit input."
+ *
+ * The adder is modelled gate-by-gate (a ripple of full adders whose
+ * carry-out feeds carry-in) so tests can verify that the *hardware*
+ * computes exactly x + y (mod 2^c - 1), and so the microbenchmark can
+ * count the logic depth against a plain binary adder.
+ */
+
+#ifndef VCACHE_ADDRESS_EAC_ADDER_HH
+#define VCACHE_ADDRESS_EAC_ADDER_HH
+
+#include <cstdint>
+
+namespace vcache
+{
+
+/** One c-bit one's-complement (end-around-carry) adder. */
+class EacAdder
+{
+  public:
+    /** @param width adder width c in bits (1..63) */
+    explicit EacAdder(unsigned width);
+
+    /**
+     * Add two c-bit operands with end-around carry.
+     *
+     * The all-ones result (one's-complement negative zero) is
+     * normalised to 0, as the cache index decoder treats both
+     * patterns as line 0.
+     *
+     * @pre a, b < 2^c
+     */
+    std::uint64_t add(std::uint64_t a, std::uint64_t b);
+
+    /**
+     * The same addition performed bit-serially through full adders,
+     * including the second carry ripple when the end-around carry is
+     * 1.  Used by tests to show the gate-level circuit matches the
+     * arithmetic definition.
+     */
+    std::uint64_t addBitSerial(std::uint64_t a, std::uint64_t b);
+
+    /** Adder width c. */
+    unsigned width() const { return c; }
+
+    /** Modulus 2^c - 1. */
+    std::uint64_t modulus() const { return mask; }
+
+    /** Number of add operations performed (hardware activity). */
+    std::uint64_t operations() const { return ops; }
+
+    /** Reset the activity counter. */
+    void resetStats() { ops = 0; }
+
+  private:
+    unsigned c;
+    std::uint64_t mask;
+    std::uint64_t ops = 0;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_ADDRESS_EAC_ADDER_HH

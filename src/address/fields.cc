@@ -1,0 +1,49 @@
+#include "address/fields.hh"
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+AddressLayout::AddressLayout(unsigned offset_bits, unsigned index_bits,
+                             unsigned addr_bits)
+    : wBits(offset_bits), cBits(index_bits), aBits(addr_bits)
+{
+    vc_assert(addr_bits <= 64, "addresses wider than 64 bits");
+    vc_assert(offset_bits + index_bits <= addr_bits,
+              "offset (", offset_bits, ") + index (", index_bits,
+              ") exceed the ", addr_bits, "-bit address");
+    tBits = aBits - wBits - cBits;
+}
+
+std::uint64_t
+AddressLayout::offset(Addr word_addr) const
+{
+    return word_addr & (lineWords() - 1);
+}
+
+std::uint64_t
+AddressLayout::index(Addr word_addr) const
+{
+    return (word_addr >> wBits) & ((std::uint64_t{1} << cBits) - 1);
+}
+
+std::uint64_t
+AddressLayout::tag(Addr word_addr) const
+{
+    return word_addr >> (wBits + cBits);
+}
+
+Addr
+AddressLayout::compose(std::uint64_t tag_value, std::uint64_t index_value,
+                       std::uint64_t offset_value) const
+{
+    vc_assert(index_value < (std::uint64_t{1} << cBits),
+              "index value overflows the index field");
+    vc_assert(offset_value < lineWords(),
+              "offset value overflows the offset field");
+    return (tag_value << (wBits + cBits)) | (index_value << wBits) |
+           offset_value;
+}
+
+} // namespace vcache

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Address-field decomposition (tag / index / offset).
+ *
+ * Section 2.3: "Each memory address ... is partitioned into three
+ * fields: W = log2(line size) bits of word address in a line (offset);
+ * c = log2(number of lines + 1) bits of index; and the remaining tag
+ * bits."  The same layout serves the direct-mapped cache (whose index
+ * is the raw field) and the prime-mapped cache (whose index is the
+ * Mersenne residue of the full line address).
+ */
+
+#ifndef VCACHE_ADDRESS_FIELDS_HH
+#define VCACHE_ADDRESS_FIELDS_HH
+
+#include "util/types.hh"
+
+namespace vcache
+{
+
+/** Splits word addresses into tag / index / offset fields. */
+class AddressLayout
+{
+  public:
+    /**
+     * @param offset_bits W: log2(words per line)
+     * @param index_bits c: log2(lines + 1) for prime caches,
+     *                   log2(lines) for power-of-two caches
+     * @param addr_bits total address width (the paper uses 32)
+     */
+    AddressLayout(unsigned offset_bits, unsigned index_bits,
+                  unsigned addr_bits = 32);
+
+    /** Line address: the word address with the offset stripped. */
+    Addr lineAddress(Addr word_addr) const { return word_addr >> wBits; }
+
+    /** Word-in-line offset field. */
+    std::uint64_t offset(Addr word_addr) const;
+
+    /** Raw index field (used directly by power-of-two caches). */
+    std::uint64_t index(Addr word_addr) const;
+
+    /** Tag field: everything above the index. */
+    std::uint64_t tag(Addr word_addr) const;
+
+    /** Reassemble a word address from its fields. */
+    Addr compose(std::uint64_t tag_value, std::uint64_t index_value,
+                 std::uint64_t offset_value) const;
+
+    unsigned offsetBits() const { return wBits; }
+    unsigned indexBits() const { return cBits; }
+    unsigned tagBits() const { return tBits; }
+    unsigned addressBits() const { return aBits; }
+
+    /** Words per cache line (2^W). */
+    std::uint64_t lineWords() const { return std::uint64_t{1} << wBits; }
+
+  private:
+    unsigned wBits;
+    unsigned cBits;
+    unsigned tBits;
+    unsigned aBits;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_ADDRESS_FIELDS_HH

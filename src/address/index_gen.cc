@@ -1,0 +1,158 @@
+#include "address/index_gen.hh"
+
+#include "numtheory/mersenne.hh"
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+DirectIndexGenerator::DirectIndexGenerator(const AddressLayout &l)
+    : layout(l)
+{
+}
+
+void
+DirectIndexGenerator::setStride(std::int64_t stride_words)
+{
+    stride = stride_words;
+}
+
+std::uint64_t
+DirectIndexGenerator::start(Addr word_addr)
+{
+    current = word_addr;
+    return layout.index(word_addr);
+}
+
+std::uint64_t
+DirectIndexGenerator::step()
+{
+    current = static_cast<Addr>(static_cast<std::int64_t>(current) +
+                                stride);
+    return layout.index(current);
+}
+
+std::uint64_t
+DirectIndexGenerator::indexOf(Addr word_addr) const
+{
+    return layout.index(word_addr);
+}
+
+std::uint64_t
+DirectIndexGenerator::lines() const
+{
+    return std::uint64_t{1} << layout.indexBits();
+}
+
+MersenneIndexGenerator::MersenneIndexGenerator(const AddressLayout &l,
+                                               bool require_prime)
+    : layout(l), adder(l.indexBits())
+{
+    if (require_prime) {
+        vc_assert(isMersenneExponent(layout.indexBits()),
+                  "2^", layout.indexBits(),
+                  " - 1 is not a Mersenne prime; pick c from "
+                  "{2,3,5,7,13,17,19,31}");
+    }
+}
+
+std::uint64_t
+MersenneIndexGenerator::fold(std::uint64_t value, std::uint64_t &counter)
+{
+    // Split `value` into c-bit digits and sum them through the EAC
+    // adder; each digit costs one c-bit addition, exactly as the
+    // Figure-1 multiplexor feeds successive tag subwords to the adder.
+    const unsigned c = adder.width();
+    std::uint64_t acc = value & adder.modulus();
+    // The low digit may be the all-ones alias of zero.
+    if (acc == adder.modulus())
+        acc = 0;
+    value >>= c;
+    while (value != 0) {
+        acc = adder.add(acc, value & adder.modulus());
+        ++counter;
+        value >>= c;
+    }
+    return acc;
+}
+
+void
+MersenneIndexGenerator::setStride(std::int64_t stride_words)
+{
+    // The incremental path steps the residue of the *line* address, so
+    // the word stride must advance a whole number of lines per step.
+    // The paper's configuration (one word per line, W = 0) always
+    // satisfies this; wider lines require line-aligned strides and the
+    // functional indexOf() path otherwise.
+    std::uint64_t magnitude;
+    bool negative = false;
+    if (stride_words < 0) {
+        negative = true;
+        magnitude = static_cast<std::uint64_t>(-stride_words);
+    } else {
+        magnitude = static_cast<std::uint64_t>(stride_words);
+    }
+    vc_assert(layout.offsetBits() == 0 ||
+              magnitude % layout.lineWords() == 0,
+              "incremental Mersenne stepping needs one-word lines or "
+              "line-aligned strides; use indexOf() instead");
+    magnitude >>= layout.offsetBits();
+    std::uint64_t r = fold(magnitude, counters.strideConversionAdds);
+    if (negative && r != 0)
+        r = adder.modulus() - r; // one's-complement negation
+    strideResidue = r;
+}
+
+std::uint64_t
+MersenneIndexGenerator::start(Addr word_addr)
+{
+    // index_A + tag_A1 + tag_A2 + ... : fold the line address.
+    currentIndex = fold(layout.lineAddress(word_addr),
+                        counters.startupAdds);
+    return currentIndex;
+}
+
+std::uint64_t
+MersenneIndexGenerator::step()
+{
+    currentIndex = adder.add(currentIndex, strideResidue);
+    ++counters.stepAdds;
+    return currentIndex;
+}
+
+std::uint64_t
+MersenneIndexGenerator::indexOf(Addr word_addr) const
+{
+    return modMersenne(layout.lineAddress(word_addr),
+                       layout.indexBits());
+}
+
+std::uint64_t
+MersenneIndexGenerator::lines() const
+{
+    return mersenne(layout.indexBits());
+}
+
+HardwareCost
+MersenneIndexGenerator::hardwareCost()
+{
+    // "The additional hardware cost as result of this new mapping
+    // scheme includes 2 multiplexors, a full adder and a few
+    // registers" -- we count the stride register, the current-index
+    // register and one saved starting-index register.
+    return HardwareCost{1, 2, 3};
+}
+
+std::unique_ptr<IndexGenerator>
+makeIndexGenerator(Mapping mapping, const AddressLayout &l)
+{
+    switch (mapping) {
+      case Mapping::Direct:
+        return std::make_unique<DirectIndexGenerator>(l);
+      case Mapping::Prime:
+        return std::make_unique<MersenneIndexGenerator>(l);
+    }
+    vc_panic("unknown mapping scheme");
+}
+
+} // namespace vcache

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Cache-index generators: the address-computation logic of Figure 1.
+ *
+ * A vector access issues one element address per cycle.  The direct-
+ * mapped cache takes its index straight from the address bits; the
+ * prime-mapped cache maintains the running Mersenne residue of the
+ * line address instead:
+ *
+ *   - the vector stride is converted once, when loaded into the stride
+ *     register (a couple of c-bit folds);
+ *   - the starting element's index is the fold of its index field with
+ *     the c-bit digits of its tag field;
+ *   - every subsequent element's index is one end-around-carry
+ *     addition of the converted stride -- the same latency as the
+ *     normal memory-address increment, performed in parallel with it.
+ *
+ * Both generators expose the same interface so the cache simulator and
+ * the microbenchmark can swap them freely.
+ */
+
+#ifndef VCACHE_ADDRESS_INDEX_GEN_HH
+#define VCACHE_ADDRESS_INDEX_GEN_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "address/eac_adder.hh"
+#include "address/fields.hh"
+#include "util/types.hh"
+
+namespace vcache
+{
+
+/** Per-vector hardware activity of an index generator. */
+struct IndexGenStats
+{
+    /** c-bit additions spent converting strides. */
+    std::uint64_t strideConversionAdds = 0;
+    /** c-bit additions spent folding starting addresses. */
+    std::uint64_t startupAdds = 0;
+    /** c-bit additions spent stepping along the vector. */
+    std::uint64_t stepAdds = 0;
+};
+
+/** Incremental hardware cost of the prime mapping (paper Section 2.3). */
+struct HardwareCost
+{
+    unsigned fullAdders;
+    unsigned multiplexors;
+    unsigned registers;
+};
+
+/**
+ * Interface: produce the cache index of each element of a strided
+ * vector access, one element per step.
+ */
+class IndexGenerator
+{
+  public:
+    virtual ~IndexGenerator() = default;
+
+    /** Load the vector stride (in words; may be negative). */
+    virtual void setStride(std::int64_t stride_words) = 0;
+
+    /**
+     * Begin a vector at the given word address.
+     * @return the cache index of the first element's line
+     */
+    virtual std::uint64_t start(Addr word_addr) = 0;
+
+    /** Advance to the next element; returns its line index. */
+    virtual std::uint64_t step() = 0;
+
+    /** Index of an arbitrary address (non-incremental lookup path). */
+    virtual std::uint64_t indexOf(Addr word_addr) const = 0;
+
+    /** Number of cache lines addressed by this generator. */
+    virtual std::uint64_t lines() const = 0;
+
+    /** Activity counters. */
+    virtual IndexGenStats stats() const = 0;
+};
+
+/** Conventional direct-mapped indexing: index = line address mod 2^c. */
+class DirectIndexGenerator : public IndexGenerator
+{
+  public:
+    explicit DirectIndexGenerator(const AddressLayout &layout);
+
+    void setStride(std::int64_t stride_words) override;
+    std::uint64_t start(Addr word_addr) override;
+    std::uint64_t step() override;
+    std::uint64_t indexOf(Addr word_addr) const override;
+    std::uint64_t lines() const override;
+    IndexGenStats stats() const override { return {}; }
+
+  private:
+    AddressLayout layout;
+    std::int64_t stride = 1;
+    Addr current = 0;
+};
+
+/**
+ * Prime-mapped indexing: index = line address mod (2^c - 1), computed
+ * incrementally through the end-around-carry adder.
+ */
+class MersenneIndexGenerator : public IndexGenerator
+{
+  public:
+    /**
+     * @param layout address layout; layout.indexBits() is the Mersenne
+     *               exponent c and must denote a Mersenne prime
+     * @param require_prime fail unless 2^c - 1 is prime (default);
+     *               disable only for experiments on composite moduli
+     */
+    explicit MersenneIndexGenerator(const AddressLayout &layout,
+                                    bool require_prime = true);
+
+    void setStride(std::int64_t stride_words) override;
+    std::uint64_t start(Addr word_addr) override;
+    std::uint64_t step() override;
+    std::uint64_t indexOf(Addr word_addr) const override;
+    std::uint64_t lines() const override;
+    IndexGenStats stats() const override { return counters; }
+
+    /** The converted stride residue currently in the stride register. */
+    std::uint64_t strideRegister() const { return strideResidue; }
+
+    /** Fixed extra hardware of the scheme, as tallied in the paper. */
+    static HardwareCost hardwareCost();
+
+  private:
+    /** Fold an arbitrary value to a c-bit residue, counting adds. */
+    std::uint64_t fold(std::uint64_t value, std::uint64_t &counter);
+
+    AddressLayout layout;
+    EacAdder adder;
+    std::uint64_t strideResidue = 1;
+    std::uint64_t currentIndex = 0;
+    IndexGenStats counters;
+};
+
+/** Factory helper: build the generator matching a mapping scheme. */
+enum class Mapping
+{
+    Direct,
+    Prime,
+};
+
+std::unique_ptr<IndexGenerator> makeIndexGenerator(Mapping mapping,
+                                                   const AddressLayout &l);
+
+} // namespace vcache
+
+#endif // VCACHE_ADDRESS_INDEX_GEN_HH

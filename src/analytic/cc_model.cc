@@ -1,0 +1,196 @@
+#include "analytic/cc_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytic/mm_model.hh"
+#include "numtheory/divisors.hh"
+#include "numtheory/gcd.hh"
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+double
+selfInterferenceDirectSum(const MachineParams &machine,
+                          double blocking_factor, double p_stride1)
+{
+    const unsigned c = machine.cacheIndexBits;
+    const auto cap = static_cast<double>(machine.cacheLines(
+        CacheScheme::Direct));
+    const auto tm = static_cast<double>(machine.memoryTime);
+    const double b = blocking_factor;
+
+    double bracket = 0.0;
+    // Stride classes with gcd(C, s) = 2^(c-i) sweep 2^i lines; when
+    // the vector is longer than its sweep coverage, the overflow
+    // conflicts.  (Equivalent to the paper's summation limit
+    // i <= c - ceil(log2(C/B)).)
+    for (unsigned i = 1; i <= c; ++i) {
+        const double coverage =
+            static_cast<double>(std::uint64_t{1} << i); // C / 2^(c-i)
+        const double excess = b - coverage;
+        if (excess <= 0.0)
+            continue;
+        const auto count =
+            static_cast<double>(std::uint64_t{1} << (i - 1));
+        bracket += excess * count;
+    }
+    // gcd(C, s) = C: the single stride s = C lands every element on
+    // one line.
+    if (b >= 1.0)
+        bracket += b - 1.0;
+
+    return (1.0 - p_stride1) / (cap - 1.0) * bracket * tm;
+}
+
+double
+selfInterferenceDirectClosed(const MachineParams &machine,
+                             double blocking_factor, double p_stride1)
+{
+    const auto cap = static_cast<double>(machine.cacheLines(
+        CacheScheme::Direct));
+    const auto tm = static_cast<double>(machine.memoryTime);
+    const double b = blocking_factor;
+    if (b < 1.0)
+        return 0.0;
+
+    const auto lg = floorLog2(static_cast<std::uint64_t>(b));
+    const auto pow_lg = static_cast<double>(std::uint64_t{1} << lg);
+    return (1.0 - p_stride1) / (cap - 1.0) / 3.0 *
+           (3.0 * b * pow_lg - 2.0 * pow_lg * pow_lg - 1.0) * tm;
+}
+
+double
+selfInterferencePrime(const MachineParams &machine,
+                      double blocking_factor, double p_stride1)
+{
+    const auto cap = static_cast<double>(machine.cacheLines(
+        CacheScheme::Prime));
+    const auto tm = static_cast<double>(machine.memoryTime);
+    if (blocking_factor < 1.0)
+        return 0.0;
+    return (1.0 - p_stride1) * (blocking_factor - 1.0) / (cap - 1.0) *
+           tm;
+}
+
+double
+selfInterferenceCc(const MachineParams &machine, CacheScheme scheme,
+                   double blocking_factor, double p_stride1)
+{
+    return scheme == CacheScheme::Prime
+               ? selfInterferencePrime(machine, blocking_factor,
+                                       p_stride1)
+               : selfInterferenceDirectSum(machine, blocking_factor,
+                                           p_stride1);
+}
+
+double
+footprintCc(const MachineParams &machine, CacheScheme scheme,
+            double blocking_factor, double p_stride1)
+{
+    const std::uint64_t cap = machine.cacheLines(scheme);
+    const auto capd = static_cast<double>(cap);
+    const double b = blocking_factor;
+    const double full = std::min(b, capd);
+
+    if (scheme == CacheScheme::Prime) {
+        // Every stride except the single multiple of C (s = C) covers
+        // the whole vector in distinct lines.
+        const double p_bad = (1.0 - p_stride1) / (capd - 1.0);
+        return p_stride1 * full +
+               (1.0 - p_stride1 - p_bad) * full + p_bad * 1.0;
+    }
+
+    // Direct-mapped: average min(B, C / gcd(C, s)) over the stride
+    // classes of the power-of-two modulus.
+    const unsigned c = machine.cacheIndexBits;
+    double sum = 0.0;
+    double strides = 0.0;
+    for (unsigned i = 0; i <= c; ++i) {
+        // gcd = 2^i; sweep coverage C / 2^i; stride count phi-based,
+        // minus the stride-1 member of the odd class (weighted
+        // separately).
+        auto count = static_cast<double>(stridesWithGcdPow2(c, i));
+        if (i == 0)
+            count -= 1.0; // exclude stride 1 from the random classes
+        if (count <= 0.0)
+            continue;
+        const double coverage =
+            static_cast<double>(cap >> i);
+        sum += count * std::min(b, coverage);
+        strides += count;
+    }
+    const double random_avg = strides > 0.0 ? sum / strides : full;
+    return p_stride1 * full + (1.0 - p_stride1) * random_avg;
+}
+
+double
+crossInterferenceCc(const MachineParams &machine, CacheScheme scheme,
+                    const WorkloadParams &workload)
+{
+    const auto capd =
+        static_cast<double>(machine.cacheLines(scheme));
+    const double fp = footprintCc(machine, scheme,
+                                  workload.blockingFactor,
+                                  workload.pStride1First);
+    const double second_len =
+        workload.blockingFactor * workload.pDoubleStream;
+    return fp / capd * second_len *
+           static_cast<double>(machine.memoryTime);
+}
+
+double
+elementTimeCc(const MachineParams &machine, CacheScheme scheme,
+              const WorkloadParams &workload)
+{
+    const double b = workload.blockingFactor;
+    const double is_first = selfInterferenceCc(
+        machine, scheme, b, workload.pStride1First);
+    const double second_len = b * workload.pDoubleStream;
+    const double is_second = selfInterferenceCc(
+        machine, scheme, second_len, workload.pStride1Second);
+    const double ic = crossInterferenceCc(machine, scheme, workload);
+
+    // Equation (7), with the second vector's own self-interference as
+    // the middle double-stream term (DESIGN.md note 2).
+    return 1.0 + workload.pSingleStream() * is_first / b +
+           workload.pDoubleStream * (is_first + is_second + ic) / b;
+}
+
+double
+totalTimeCc(const MachineParams &machine, CacheScheme scheme,
+            const WorkloadParams &workload)
+{
+    const double b = workload.blockingFactor;
+    const auto tm = static_cast<double>(machine.memoryTime);
+
+    // Initial load of the block: the MM-model pipelined time, Eq (1).
+    const double t_elem_mm = elementTimeMm(machine, workload);
+    const double t_b = blockTime(machine, b, t_elem_mm);
+
+    // Cached passes: start-up loses the t_m memory latency component.
+    const double strips =
+        std::ceil(b / static_cast<double>(machine.mvl));
+    const double t_elem_cc = elementTimeCc(machine, scheme, workload);
+    const double cached_pass =
+        machine.blockOverhead +
+        strips * (machine.stripOverhead + machine.startupTime() - tm) +
+        b * t_elem_cc;
+
+    const double num_blocks = std::ceil(workload.totalData / b);
+    return (t_b + cached_pass * (workload.reuseFactor - 1.0)) *
+           num_blocks;
+}
+
+double
+cyclesPerResultCc(const MachineParams &machine, CacheScheme scheme,
+                  const WorkloadParams &workload)
+{
+    vc_assert(workload.totalData > 0 && workload.reuseFactor > 0,
+              "cycles per result needs N > 0 and R > 0");
+    return totalTimeCc(machine, scheme, workload) /
+           (workload.totalData * workload.reuseFactor);
+}
+
+} // namespace vcache

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Execution-time model of the cache-based CC-model machine
+ * (Sections 3.3 and 4; Equations 4-8).
+ */
+
+#ifndef VCACHE_ANALYTIC_CC_MODEL_HH
+#define VCACHE_ANALYTIC_CC_MODEL_HH
+
+#include "analytic/machine.hh"
+
+namespace vcache
+{
+
+/**
+ * Direct-mapped self-interference stalls I_s^C(B) for a B-element
+ * vector with a random stride, as the defining sum of Equation (5):
+ *
+ *   I_s^C(B) = (1 - P1)/(C - 1)
+ *              [ sum_{i=1}^{c - ceil(log2(C/B))}
+ *                    (B - C / 2^(c-i)) 2^(i-1)
+ *                + B - 1 ] * t_m
+ *
+ * Each stride class with sweep coverage C/gcd below B conflicts; the
+ * trailing B - 1 term is the stride-C (single-line) case.
+ */
+double selfInterferenceDirectSum(const MachineParams &machine,
+                                 double blocking_factor,
+                                 double p_stride1);
+
+/**
+ * The paper's closed form, Equation (6):
+ *
+ *   I_s^C(B) = (1 - P1)/(C - 1) * (1/3)
+ *              (3 B 2^floor(log2 B) - 2 * 2^(2 floor(log2 B)) - 1) t_m
+ *
+ * Exact for B <= C (tested against the sum).
+ */
+double selfInterferenceDirectClosed(const MachineParams &machine,
+                                    double blocking_factor,
+                                    double p_stride1);
+
+/**
+ * Prime-mapped self-interference stalls, Equation (8): only a stride
+ * that is a multiple of the (prime) cache size conflicts, so
+ *
+ *   I_s^C(B) = (1 - P1)(B - 1)/(C - 1) * t_m.
+ */
+double selfInterferencePrime(const MachineParams &machine,
+                             double blocking_factor, double p_stride1);
+
+/** Scheme dispatcher for the two functions above. */
+double selfInterferenceCc(const MachineParams &machine,
+                          CacheScheme scheme, double blocking_factor,
+                          double p_stride1);
+
+/**
+ * Expected cache footprint (distinct lines touched) of a B-element
+ * vector under the stride distribution: E_s[min(B, C / gcd(C, s))].
+ *
+ * The prime cache's footprint is larger (min(B, C) for every stride
+ * except multiples of C), which is why its cross-interference term in
+ * Figure 10 is "severer" -- see DESIGN.md note 5.
+ */
+double footprintCc(const MachineParams &machine, CacheScheme scheme,
+                   double blocking_factor, double p_stride1);
+
+/**
+ * Cross-interference stalls I_c^C: each of the B*P_ds second-stream
+ * elements lands in the first vector's footprint with probability
+ * footprint/C and costs t_m (the paper's footprint model).
+ */
+double crossInterferenceCc(const MachineParams &machine,
+                           CacheScheme scheme,
+                           const WorkloadParams &workload);
+
+/** Cycles per element T_elem^C, Equation (7). */
+double elementTimeCc(const MachineParams &machine, CacheScheme scheme,
+                     const WorkloadParams &workload);
+
+/**
+ * Total execution time T_N^C, Equation (4):
+ *
+ *   { T_B + [10 + ceil(B/MVL)(15 + T_start - t_m) + B T_elem^C]
+ *         * (R - 1) } * ceil(N / B)
+ *
+ * where T_B is the MM-model Equation (1) (the initial, pipelined
+ * load of each block from memory).
+ */
+double totalTimeCc(const MachineParams &machine, CacheScheme scheme,
+                   const WorkloadParams &workload);
+
+/** Average clock cycles per result: T_N^C / (N * R). */
+double cyclesPerResultCc(const MachineParams &machine,
+                         CacheScheme scheme,
+                         const WorkloadParams &workload);
+
+} // namespace vcache
+
+#endif // VCACHE_ANALYTIC_CC_MODEL_HH

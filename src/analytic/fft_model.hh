@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Analytic model of the blocked two-dimensional FFT (Section 4,
+ * "FFT Accesses").
+ *
+ * An N = B1 x B2 point transform stored column-major runs in two
+ * phases:
+ *
+ *   phase 1: B2 row FFTs of length B1 (row stride B2, reuse log2 B1)
+ *   phase 2: B1 column FFTs of length B2 (stride 1, reuse log2 B2)
+ *
+ * Equation (4) is applied once per phase.  In phase 1 a direct-mapped
+ * cache suffers B1 - C/gcd(B2, C) self-interference misses per pass
+ * whenever B1 exceeds the row's line coverage; the prime-mapped cache
+ * suffers none for any power-of-two B2.  Phase 2 is conflict-free for
+ * both (stride 1, B2 < C).
+ */
+
+#ifndef VCACHE_ANALYTIC_FFT_MODEL_HH
+#define VCACHE_ANALYTIC_FFT_MODEL_HH
+
+#include <cstdint>
+
+#include "analytic/machine.hh"
+
+namespace vcache
+{
+
+/** Problem shape of the blocked FFT. */
+struct FftShape
+{
+    /** Columns B1 (row-FFT length); power of two. */
+    std::uint64_t b1 = 64;
+    /** Rows B2 (column-FFT length and row stride); power of two. */
+    std::uint64_t b2 = 64;
+
+    std::uint64_t points() const { return b1 * b2; }
+};
+
+/**
+ * Self-interference misses of one B1-point row FFT pass in a cache of
+ * `lines` lines when rows are B2 words apart:
+ * max(0, B1 - lines / gcd(B2, lines)).
+ */
+double fftRowConflicts(std::uint64_t b1, std::uint64_t b2,
+                       std::uint64_t lines);
+
+/** Total cycles of the blocked FFT on the cache machine (Eq. 4 x2). */
+double fftTotalTimeCc(const MachineParams &machine, CacheScheme scheme,
+                      const FftShape &shape);
+
+/** Total cycles of the blocked FFT on the cacheless MM machine. */
+double fftTotalTimeMm(const MachineParams &machine,
+                      const FftShape &shape);
+
+/** Average clock cycles per point: total time / N. */
+double fftCyclesPerPointCc(const MachineParams &machine,
+                           CacheScheme scheme, const FftShape &shape);
+
+/** Average clock cycles per point for the MM machine. */
+double fftCyclesPerPointMm(const MachineParams &machine,
+                           const FftShape &shape);
+
+} // namespace vcache
+
+#endif // VCACHE_ANALYTIC_FFT_MODEL_HH

@@ -1,0 +1,27 @@
+#include "analytic/machine.hh"
+
+#include <sstream>
+
+#include "numtheory/mersenne.hh"
+
+namespace vcache
+{
+
+std::uint64_t
+MachineParams::cacheLines(CacheScheme scheme) const
+{
+    const std::uint64_t pow2 = std::uint64_t{1} << cacheIndexBits;
+    return scheme == CacheScheme::Prime ? pow2 - 1 : pow2;
+}
+
+std::string
+describe(const MachineParams &machine)
+{
+    std::ostringstream os;
+    os << "MVL=" << machine.mvl << " M=" << machine.banks()
+       << " t_m=" << machine.memoryTime << " C=2^"
+       << machine.cacheIndexBits << " T_start=" << machine.startupTime();
+    return os.str();
+}
+
+} // namespace vcache

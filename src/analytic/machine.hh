@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Machine and workload parameters of the analytical model
+ * (Section 3.1).
+ *
+ * Defaults follow the paper's evaluation: MVL = 64, T_start = 30 +
+ * t_m, strip-mining overheads 10 and 15 cycles (from Hennessy &
+ * Patterson's DLX vector model), P_stride1 = 0.25 (the average of Fu
+ * & Patel's measurements), an 8K-word cache (c = 13) and 32 or 64
+ * memory banks.
+ */
+
+#ifndef VCACHE_ANALYTIC_MACHINE_HH
+#define VCACHE_ANALYTIC_MACHINE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "memory/interleaved.hh"
+
+namespace vcache
+{
+
+/** Cache mapping scheme evaluated by the CC-model. */
+enum class CacheScheme
+{
+    Direct,
+    Prime,
+};
+
+/** Machine-side parameters shared by the MM- and CC-models. */
+struct MachineParams
+{
+    /** Maximum vector register length. */
+    std::uint64_t mvl = 64;
+    /** log2 of the number of interleaved banks (M = 2^m). */
+    unsigned bankBits = 5;
+    /** Bank busy / memory access time t_m, in cycles. */
+    std::uint64_t memoryTime = 16;
+    /** Cache index width c: 2^c lines direct, 2^c - 1 prime. */
+    unsigned cacheIndexBits = 13;
+    /** Fixed component of the vector start-up time. */
+    double startupBase = 30.0;
+    /** Per-block overhead of Equation (1). */
+    double blockOverhead = 10.0;
+    /** Per-strip overhead of Equation (1). */
+    double stripOverhead = 15.0;
+    /**
+     * Word-to-bank placement used by the *simulators* (the analytic
+     * equations model the low-order baseline).  PrimeModulo is the
+     * BSP organisation; see memory/interleaved.hh.
+     */
+    BankMapping bankMapping = BankMapping::LowOrder;
+
+    /** Number of memory banks M (the budget; PrimeModulo uses the
+     * largest prime below it). */
+    std::uint64_t banks() const { return std::uint64_t{1} << bankBits; }
+
+    /** T_start = 30 + t_m (the paper's fixed choice). */
+    double
+    startupTime() const
+    {
+        return startupBase + static_cast<double>(memoryTime);
+    }
+
+    /** Cache lines for a given scheme (2^c or the Mersenne 2^c - 1). */
+    std::uint64_t cacheLines(CacheScheme scheme) const;
+};
+
+/** Workload-side parameters: the VCM tuple in analytic form. */
+struct WorkloadParams
+{
+    /** Blocking factor B. */
+    double blockingFactor = 1024.0;
+    /** Reuse factor R. */
+    double reuseFactor = 32.0;
+    /** Probability of a double-stream operation, P_ds. */
+    double pDoubleStream = 0.3;
+    /** P_stride1 for the first stream. */
+    double pStride1First = 0.25;
+    /** P_stride1 for the second stream. */
+    double pStride1Second = 0.25;
+    /** Total data size N. */
+    double totalData = 65536.0;
+
+    /** P_ss = 1 - P_ds. */
+    double pSingleStream() const { return 1.0 - pDoubleStream; }
+};
+
+/** Short description used in bench headers. */
+std::string describe(const MachineParams &machine);
+
+} // namespace vcache
+
+#endif // VCACHE_ANALYTIC_MACHINE_HH

@@ -1,0 +1,127 @@
+#include "analytic/mm_model.hh"
+
+#include <cmath>
+
+#include "numtheory/congruence.hh"
+#include "numtheory/divisors.hh"
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+double
+selfInterferenceMmSum(const MachineParams &machine, double p_stride1)
+{
+    const unsigned m = machine.bankBits;
+    const auto big_m = static_cast<double>(machine.banks());
+    const auto tm = machine.memoryTime;
+    const auto mvl = static_cast<double>(machine.mvl);
+
+    if (machine.banks() <= 1) {
+        // Degenerate single-bank memory: every element stalls.
+        return mvl * static_cast<double>(tm - 1);
+    }
+
+    double bracket = 0.0;
+
+    // Strides with gcd(M, s) = 2^i visit M / 2^i banks; they stall
+    // once t_m exceeds that.  The lower summation limit implements
+    // t_m >= M / 2^i.
+    const unsigned i_lo =
+        tm >= machine.banks() ? 0 : ceilLog2(machine.banks() / tm);
+    for (unsigned i = i_lo; i + 1 <= m && i <= m - 1; ++i) {
+        const double visited =
+            static_cast<double>(machine.banks() >> i); // M / 2^i
+        const double delay = static_cast<double>(tm) - visited;
+        if (delay <= 0.0)
+            continue;
+        const auto count =
+            static_cast<double>(stridesWithGcdPow2(m, i));
+        const double sweeps = mvl / visited;
+        bracket += delay * count * sweeps;
+    }
+
+    // gcd(M, s) = M: the single stride s = M hits one bank for every
+    // element.
+    bracket += mvl * static_cast<double>(tm - 1);
+
+    return (1.0 - p_stride1) / (big_m - 1.0) * bracket;
+}
+
+double
+selfInterferenceMmClosed(const MachineParams &machine, double p_stride1)
+{
+    const auto big_m = static_cast<double>(machine.banks());
+    const auto tm = static_cast<double>(machine.memoryTime);
+    const auto mvl = static_cast<double>(machine.mvl);
+
+    if (machine.banks() <= 1)
+        return mvl * (tm - 1.0);
+
+    const auto lg = static_cast<double>(floorLog2(machine.memoryTime));
+    const auto pow_lg =
+        static_cast<double>(std::uint64_t{1}
+                            << floorLog2(machine.memoryTime));
+    return mvl * (1.0 - p_stride1) / (big_m - 1.0) *
+           (tm + tm / 2.0 * lg - pow_lg);
+}
+
+double
+crossInterferenceMm(const MachineParams &machine)
+{
+    return crossConflictStallsUniformD(machine.banks(), machine.mvl,
+                                       machine.memoryTime);
+}
+
+double
+elementTimeMm(const MachineParams &machine,
+              const WorkloadParams &workload)
+{
+    const double is = selfInterferenceMmSum(
+        machine, workload.pStride1First);
+    const double is2 = selfInterferenceMmSum(
+        machine, workload.pStride1Second);
+    const double ic = crossInterferenceMm(machine);
+    const auto mvl = static_cast<double>(machine.mvl);
+
+    // Equation (2).  The double-stream term pays both streams' self
+    // interference plus their cross interference; the paper writes
+    // 2 I_s^M assuming identical stride distributions, which we keep
+    // general with I_s(s1) + I_s(s2).
+    return 1.0 + workload.pSingleStream() * is / mvl +
+           workload.pDoubleStream * (is + is2 + ic) / mvl;
+}
+
+double
+blockTime(const MachineParams &machine, double blocking_factor,
+          double element_time)
+{
+    const double strips =
+        std::ceil(blocking_factor / static_cast<double>(machine.mvl));
+    return machine.blockOverhead +
+           strips * (machine.stripOverhead + machine.startupTime()) +
+           blocking_factor * element_time;
+}
+
+double
+totalTimeMm(const MachineParams &machine, const WorkloadParams &workload)
+{
+    const double t_elem = elementTimeMm(machine, workload);
+    const double t_b =
+        blockTime(machine, workload.blockingFactor, t_elem);
+    const double num_blocks =
+        std::ceil(workload.totalData / workload.blockingFactor);
+    return t_b * workload.reuseFactor * num_blocks;
+}
+
+double
+cyclesPerResultMm(const MachineParams &machine,
+                  const WorkloadParams &workload)
+{
+    vc_assert(workload.totalData > 0 && workload.reuseFactor > 0,
+              "cycles per result needs N > 0 and R > 0");
+    return totalTimeMm(machine, workload) /
+           (workload.totalData * workload.reuseFactor);
+}
+
+} // namespace vcache

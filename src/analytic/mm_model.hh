@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Execution-time model of the cacheless MM-model machine
+ * (Section 3.2, Equations 1-3).
+ */
+
+#ifndef VCACHE_ANALYTIC_MM_MODEL_HH
+#define VCACHE_ANALYTIC_MM_MODEL_HH
+
+#include "analytic/machine.hh"
+
+namespace vcache
+{
+
+/**
+ * Self-interference bank stalls I_s^M for one MVL-element access with
+ * a random stride, as the defining sum over gcd classes:
+ *
+ *   I_s^M = (1 - P1)/(M - 1) *
+ *           [ sum_{i=ceil(log2(M/t_m))}^{m-1} (t_m - M/2^i) 2^(m-i-1)
+ *                 * MVL/(M/2^i)
+ *             + MVL (t_m - 1) ]
+ *
+ * The sum term covers strides whose sweep visits fewer than t_m
+ * banks; the final term is the stride M (single-bank) case.
+ */
+double selfInterferenceMmSum(const MachineParams &machine,
+                             double p_stride1);
+
+/**
+ * The paper's closed form of the same quantity:
+ *
+ *   I_s^M = MVL (1 - P1)/(M - 1)
+ *           [ t_m + (t_m / 2) floor(log2 t_m) - 2^floor(log2 t_m) ]
+ *
+ * Exact when t_m is a power of two (tested against the sum).
+ */
+double selfInterferenceMmClosed(const MachineParams &machine,
+                                double p_stride1);
+
+/**
+ * Cross-interference bank stalls I_c^M between two MVL-element
+ * streams, averaged over a uniform starting-bank distance D
+ * (Section 3.2; see DESIGN.md note 4 for why this average is
+ * stride-independent).
+ */
+double crossInterferenceMm(const MachineParams &machine);
+
+/** Cycles per element T_elem^M, Equation (2). */
+double elementTimeMm(const MachineParams &machine,
+                     const WorkloadParams &workload);
+
+/**
+ * Block execution time T_B, Equation (1):
+ * 10 + ceil(B / MVL) (15 + T_start) + B * T_elem.
+ */
+double blockTime(const MachineParams &machine, double blocking_factor,
+                 double element_time);
+
+/**
+ * Total execution time T_N^M, Equation (3) with the block count read
+ * as ceil(N / B) (see DESIGN.md note 1).
+ */
+double totalTimeMm(const MachineParams &machine,
+                   const WorkloadParams &workload);
+
+/** Average clock cycles per result: T_N^M / (N * R). */
+double cyclesPerResultMm(const MachineParams &machine,
+                         const WorkloadParams &workload);
+
+} // namespace vcache
+
+#endif // VCACHE_ANALYTIC_MM_MODEL_HH

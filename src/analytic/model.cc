@@ -1,0 +1,60 @@
+#include "analytic/model.hh"
+
+#include "analytic/cc_model.hh"
+#include "analytic/mm_model.hh"
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+AnalyticResult
+evaluate(MachineKind kind, const MachineParams &machine,
+         const WorkloadParams &workload)
+{
+    AnalyticResult r{};
+    r.kind = kind;
+
+    switch (kind) {
+      case MachineKind::MemoryOnly:
+        r.elementTime = elementTimeMm(machine, workload);
+        r.selfInterference =
+            selfInterferenceMmSum(machine, workload.pStride1First);
+        r.crossInterference = crossInterferenceMm(machine);
+        r.totalCycles = totalTimeMm(machine, workload);
+        r.cyclesPerResult = cyclesPerResultMm(machine, workload);
+        return r;
+      case MachineKind::DirectCache:
+      case MachineKind::PrimeCache: {
+        const CacheScheme scheme = kind == MachineKind::PrimeCache
+                                       ? CacheScheme::Prime
+                                       : CacheScheme::Direct;
+        r.elementTime = elementTimeCc(machine, scheme, workload);
+        r.selfInterference =
+            selfInterferenceCc(machine, scheme,
+                               workload.blockingFactor,
+                               workload.pStride1First);
+        r.crossInterference =
+            crossInterferenceCc(machine, scheme, workload);
+        r.totalCycles = totalTimeCc(machine, scheme, workload);
+        r.cyclesPerResult = cyclesPerResultCc(machine, scheme, workload);
+        return r;
+      }
+    }
+    vc_panic("unknown machine kind");
+}
+
+std::string
+machineName(MachineKind kind)
+{
+    switch (kind) {
+      case MachineKind::MemoryOnly:
+        return "MM";
+      case MachineKind::DirectCache:
+        return "CC-direct";
+      case MachineKind::PrimeCache:
+        return "CC-prime";
+    }
+    vc_panic("unknown machine kind");
+}
+
+} // namespace vcache

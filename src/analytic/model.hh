@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Facade over the analytical model: evaluate one (machine, workload)
+ * point for each of the three machines the paper compares.
+ */
+
+#ifndef VCACHE_ANALYTIC_MODEL_HH
+#define VCACHE_ANALYTIC_MODEL_HH
+
+#include <string>
+
+#include "analytic/machine.hh"
+
+namespace vcache
+{
+
+/** Which of the paper's three machines to evaluate. */
+enum class MachineKind
+{
+    /** Memory-register vector machine, no cache (Figure 2). */
+    MemoryOnly,
+    /** Cache-based machine, direct-mapped vector cache (Figure 3). */
+    DirectCache,
+    /** Cache-based machine, prime-mapped vector cache. */
+    PrimeCache,
+};
+
+/** One evaluated model point. */
+struct AnalyticResult
+{
+    MachineKind kind;
+    /** Average clock cycles per result (the paper's y-axis). */
+    double cyclesPerResult;
+    /** Total execution time T_N in cycles. */
+    double totalCycles;
+    /** Per-element processing time T_elem. */
+    double elementTime;
+    /** Self-interference stalls per vector (bank or cache). */
+    double selfInterference;
+    /** Cross-interference stalls per vector pair. */
+    double crossInterference;
+};
+
+/** Evaluate one machine at one workload point. */
+AnalyticResult evaluate(MachineKind kind, const MachineParams &machine,
+                        const WorkloadParams &workload);
+
+/** Display name: "MM", "CC-direct", "CC-prime". */
+std::string machineName(MachineKind kind);
+
+} // namespace vcache
+
+#endif // VCACHE_ANALYTIC_MODEL_HH

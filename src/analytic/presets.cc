@@ -1,0 +1,70 @@
+#include "analytic/presets.hh"
+
+#include "numtheory/divisors.hh"
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+WorkloadParams
+matmulWorkload(std::uint64_t b, std::uint64_t n, double p_stride1)
+{
+    vc_assert(b >= 1 && n >= b, "need 1 <= b <= n");
+    WorkloadParams w;
+    w.blockingFactor = static_cast<double>(b * b);
+    w.reuseFactor = static_cast<double>(b);
+    w.pDoubleStream = 1.0 / static_cast<double>(b);
+    // Block loads are column sweeps (stride 1); the row operand of
+    // the inner product carries the non-unit strides.
+    w.pStride1First = p_stride1;
+    w.pStride1Second = 1.0; // the streamed column is stride 1
+    w.totalData = static_cast<double>(n * n);
+    return w;
+}
+
+WorkloadParams
+luWorkload(std::uint64_t b, std::uint64_t n, double p_stride1)
+{
+    vc_assert(b >= 1 && n >= b, "need 1 <= b <= n");
+    WorkloadParams w;
+    w.blockingFactor = static_cast<double>(b * b);
+    w.reuseFactor = 1.5 * static_cast<double>(b); // 3b/2
+    w.pDoubleStream = 1.0 / static_cast<double>(b);
+    w.pStride1First = p_stride1;
+    w.pStride1Second = 1.0;
+    w.totalData = static_cast<double>(n * n);
+    return w;
+}
+
+WorkloadParams
+fftWorkload(std::uint64_t b, std::uint64_t n)
+{
+    vc_assert(isPowerOfTwo(b) && b >= 2,
+              "FFT blocking factor must be a power of two >= 2");
+    WorkloadParams w;
+    w.blockingFactor = static_cast<double>(b);
+    w.reuseFactor = static_cast<double>(floorLog2(b));
+    w.pDoubleStream = 0.0; // twiddle factors are in registers
+    // All strides in the classic FFT are powers of two: never unit
+    // until the final stage; approximate with a low P1.
+    w.pStride1First = 1.0 / w.reuseFactor;
+    w.pStride1Second = 0.0;
+    w.totalData = static_cast<double>(n);
+    return w;
+}
+
+WorkloadParams
+rowColumnWorkload(std::uint64_t b, std::uint64_t reuse,
+                  std::uint64_t total)
+{
+    WorkloadParams w;
+    w.blockingFactor = static_cast<double>(b);
+    w.reuseFactor = static_cast<double>(reuse);
+    w.pDoubleStream = 1.0; // column and row accessed together
+    w.pStride1First = 1.0; // the column
+    w.pStride1Second = 0.0; // the row: random (1/C per value)
+    w.totalData = static_cast<double>(total);
+    return w;
+}
+
+} // namespace vcache

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Section 3.1's mappings of real algorithms onto the VCM tuple.
+ *
+ * "For example, the blocked matrix multiply algorithm in [4] has the
+ * blocking factor of b^2 ... the reuse factor of each block is b and
+ * each sequence of b-1 single stream vector accesses is followed by a
+ * double stream access."  Similarly blocked LU has reuse 3b/2 and the
+ * blocked FFT reuse log2(b).  These helpers build the corresponding
+ * WorkloadParams so benches and examples can evaluate the model on
+ * named algorithms instead of raw tuples.
+ */
+
+#ifndef VCACHE_ANALYTIC_PRESETS_HH
+#define VCACHE_ANALYTIC_PRESETS_HH
+
+#include <cstdint>
+
+#include "analytic/machine.hh"
+
+namespace vcache
+{
+
+/**
+ * Blocked matrix multiply with b x b blocks of an n x n problem:
+ * VCM = [b^2, b, 1/b, ...].
+ */
+WorkloadParams matmulWorkload(std::uint64_t b, std::uint64_t n,
+                              double p_stride1 = 0.25);
+
+/**
+ * Blocked LU decomposition with b x b blocks of an n x n problem:
+ * blocking factor b^2, average reuse 3b/2.
+ */
+WorkloadParams luWorkload(std::uint64_t b, std::uint64_t n,
+                          double p_stride1 = 0.25);
+
+/**
+ * Blocked FFT with blocking factor b over n points: reuse log2(b),
+ * single-stream (twiddles live in registers).
+ */
+WorkloadParams fftWorkload(std::uint64_t b, std::uint64_t n);
+
+/**
+ * Row-and-column access to a P x Q matrix (the Figure-11 pattern):
+ * double-stream column (stride 1) and row (random stride) pairs,
+ * reused r times.
+ */
+WorkloadParams rowColumnWorkload(std::uint64_t b, std::uint64_t reuse,
+                                 std::uint64_t total);
+
+} // namespace vcache
+
+#endif // VCACHE_ANALYTIC_PRESETS_HH

@@ -1,0 +1,59 @@
+#include "analytic/subblock_model.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "numtheory/mersenne.hh"
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+SubblockChoice
+chooseConflictFreeBlocking(std::uint64_t p, std::uint64_t cache_lines)
+{
+    vc_assert(cache_lines >= 2, "cache must have at least two lines");
+    const std::uint64_t r = p % cache_lines;
+    if (r == 0)
+        return {0, 0};
+    const std::uint64_t b1 = std::min(r, cache_lines - r);
+    return {b1, cache_lines / b1};
+}
+
+bool
+satisfiesConflictFreeRule(std::uint64_t p, std::uint64_t b1,
+                          std::uint64_t b2, std::uint64_t cache_lines)
+{
+    const std::uint64_t r = p % cache_lines;
+    if (r == 0 || b1 == 0 || b2 == 0)
+        return false;
+    return b1 <= std::min(r, cache_lines - r) &&
+           b2 <= cache_lines / b1;
+}
+
+std::uint64_t
+countSubblockConflicts(std::uint64_t p, std::uint64_t b1,
+                       std::uint64_t b2, const MachineParams &machine,
+                       CacheScheme scheme)
+{
+    const std::uint64_t lines = machine.cacheLines(scheme);
+    std::unordered_set<std::uint64_t> occupied;
+    occupied.reserve(b1 * b2);
+
+    std::uint64_t conflicts = 0;
+    for (std::uint64_t col = 0; col < b2; ++col) {
+        const std::uint64_t col_base = col * p;
+        for (std::uint64_t row = 0; row < b1; ++row) {
+            const std::uint64_t addr = col_base + row;
+            const std::uint64_t idx =
+                scheme == CacheScheme::Prime
+                    ? modMersenne(addr, machine.cacheIndexBits)
+                    : addr & (lines - 1);
+            if (!occupied.insert(idx).second)
+                ++conflicts;
+        }
+    }
+    return conflicts;
+}
+
+} // namespace vcache

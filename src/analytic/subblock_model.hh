@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Conflict-free sub-block blocking rule (Section 4, "Sub-block
+ * Accesses").
+ *
+ * For a P x Q column-major matrix and a prime-mapped cache of C
+ * lines, a b1 x b2 sub-block maps without self-interference whenever
+ *
+ *   b1 <= min(P mod C, C - P mod C)   and   b2 <= floor(C / b1).
+ *
+ * Choosing b1 = min(P mod C, C - P mod C) and b2 = floor(C / b1)
+ * drives the cache utilisation b1*b2/C towards 1 -- something no
+ * power-of-two modulus can do for arbitrary P.
+ */
+
+#ifndef VCACHE_ANALYTIC_SUBBLOCK_MODEL_HH
+#define VCACHE_ANALYTIC_SUBBLOCK_MODEL_HH
+
+#include <cstdint>
+
+#include "analytic/machine.hh"
+
+namespace vcache
+{
+
+/** A chosen blocking for sub-block accesses. */
+struct SubblockChoice
+{
+    std::uint64_t b1 = 0;
+    std::uint64_t b2 = 0;
+
+    std::uint64_t elements() const { return b1 * b2; }
+
+    /** Fraction of the cache the block occupies. */
+    double
+    utilization(std::uint64_t cache_lines) const
+    {
+        return static_cast<double>(elements()) /
+               static_cast<double>(cache_lines);
+    }
+};
+
+/**
+ * The paper's maximal conflict-free blocking for leading dimension P
+ * and cache size C.  If P is a multiple of C no non-trivial
+ * conflict-free column blocking exists and {0, 0} is returned (never
+ * happens for a prime C and P < C * 2^32 not divisible by it).
+ */
+SubblockChoice chooseConflictFreeBlocking(std::uint64_t p,
+                                          std::uint64_t cache_lines);
+
+/** Check the rule's two conditions for a candidate (b1, b2). */
+bool satisfiesConflictFreeRule(std::uint64_t p, std::uint64_t b1,
+                               std::uint64_t b2,
+                               std::uint64_t cache_lines);
+
+/**
+ * Exact self-conflict count of a b1 x b2 sub-block: the number of
+ * elements whose cache line is already taken by an earlier element of
+ * the same block.  Computed by direct enumeration under either
+ * mapping; used to validate the rule and to show the direct-mapped
+ * cache failing it.
+ */
+std::uint64_t countSubblockConflicts(std::uint64_t p, std::uint64_t b1,
+                                     std::uint64_t b2,
+                                     const MachineParams &machine,
+                                     CacheScheme scheme);
+
+} // namespace vcache
+
+#endif // VCACHE_ANALYTIC_SUBBLOCK_MODEL_HH

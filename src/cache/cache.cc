@@ -1,0 +1,71 @@
+#include "cache/cache.hh"
+
+namespace vcache
+{
+
+Cache::Cache(const AddressLayout &layout, std::string name)
+    : layout_(layout), name_(std::move(name))
+{
+}
+
+AccessOutcome
+Cache::access(Addr word_addr, AccessType type)
+{
+    const Addr line = layout_.lineAddress(word_addr);
+    const AccessOutcome outcome = lookupAndFill(line);
+
+    ++stats_.accesses;
+    if (type == AccessType::Read)
+        ++stats_.reads;
+    else
+        ++stats_.writes;
+    if (outcome.hit) {
+        ++stats_.hits;
+    } else {
+        ++stats_.misses;
+        if (outcome.evicted) {
+            ++stats_.evictions;
+            if (dirtyLines.erase(outcome.evictedLine))
+                ++stats_.writebacks;
+        }
+    }
+    if (type == AccessType::Write)
+        dirtyLines.insert(line);
+    return outcome;
+}
+
+bool
+Cache::insert(Addr word_addr)
+{
+    const AccessOutcome outcome =
+        lookupAndFill(layout_.lineAddress(word_addr));
+    if (!outcome.hit && outcome.evicted &&
+        dirtyLines.erase(outcome.evictedLine)) {
+        ++stats_.writebacks;
+    }
+    return !outcome.hit;
+}
+
+void
+Cache::reset()
+{
+    stats_.reset();
+    dirtyLines.clear();
+}
+
+double
+Cache::utilization() const
+{
+    const auto lines = numLines();
+    return lines ? static_cast<double>(validLines()) /
+                       static_cast<double>(lines)
+                 : 0.0;
+}
+
+std::uint64_t
+Cache::capacityWords() const
+{
+    return numLines() * layout_.lineWords();
+}
+
+} // namespace vcache

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Abstract cache interface shared by every mapping scheme.
+ *
+ * All caches in this library are functional (contents are not stored,
+ * only tags) and allocate on both read and write misses, matching the
+ * vector-data cache of the paper's CC-model.  Timing is layered on top
+ * by src/sim.
+ */
+
+#ifndef VCACHE_CACHE_CACHE_HH
+#define VCACHE_CACHE_CACHE_HH
+
+#include <string>
+#include <unordered_set>
+
+#include "address/fields.hh"
+#include "cache/stats.hh"
+#include "util/types.hh"
+
+namespace vcache
+{
+
+/** Read or write; both allocate on miss. */
+enum class AccessType
+{
+    Read,
+    Write,
+};
+
+/** Result of one cache access. */
+struct AccessOutcome
+{
+    bool hit;
+    /** A valid line was displaced by this fill. */
+    bool evicted;
+    /** Line address of the displaced line (valid if evicted). */
+    Addr evictedLine;
+};
+
+/** Common base class: stats plumbing plus the tag-array interface. */
+class Cache
+{
+  public:
+    /**
+     * @param layout address layout (offset width defines line size)
+     * @param name human-readable identifier for reports
+     */
+    Cache(const AddressLayout &layout, std::string name);
+    virtual ~Cache() = default;
+
+    Cache(const Cache &) = delete;
+    Cache &operator=(const Cache &) = delete;
+
+    /** Perform one access at a word address. */
+    AccessOutcome access(Addr word_addr, AccessType type = AccessType::Read);
+
+    /**
+     * Fill the word's line without recording a demand access --
+     * the entry point for prefetchers.  Eviction behaviour is the
+     * same as a demand fill; only the hit/miss counters are left
+     * untouched (prefetch traffic is accounted by the prefetcher).
+     *
+     * @return true if the line was newly brought in (it missed)
+     */
+    bool insert(Addr word_addr);
+
+    /** True if the word's line is currently resident (no side effect). */
+    virtual bool contains(Addr word_addr) const = 0;
+
+    /** Invalidate all lines and clear statistics. */
+    virtual void reset();
+
+    /** Total number of cache lines. */
+    virtual std::uint64_t numLines() const = 0;
+
+    /** Number of currently valid lines. */
+    virtual std::uint64_t validLines() const = 0;
+
+    /** Fraction of lines valid, the paper's "fraction of cache used". */
+    double utilization() const;
+
+    /** Cache capacity in words. */
+    std::uint64_t capacityWords() const;
+
+    const CacheStats &stats() const { return stats_; }
+    const AddressLayout &addressLayout() const { return layout_; }
+    const std::string &name() const { return name_; }
+
+  protected:
+    /**
+     * Look up a line address; fill it (possibly evicting) on a miss.
+     *
+     * @param line_addr full line address (word address >> W)
+     * @return outcome with hit/eviction details
+     */
+    virtual AccessOutcome lookupAndFill(Addr line_addr) = 0;
+
+    AddressLayout layout_;
+    CacheStats stats_;
+
+  private:
+    /**
+     * Write-back bookkeeping (the paper's write-buffer assumption
+     * makes stores free in *time*; the dirty set makes the resulting
+     * memory *traffic* visible).  Kept in the base class so every
+     * organisation accounts identically.
+     */
+    std::unordered_set<Addr> dirtyLines;
+
+    std::string name_;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_CACHE_CACHE_HH

@@ -1,0 +1,71 @@
+#include "cache/classify.hh"
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+MissClassifier::MissClassifier(Cache &cache)
+    : target(cache), shadow(cache.numLines())
+{
+}
+
+MissClassifier::ShadowLru::ShadowLru(std::uint64_t capacity_lines)
+    : capacity(capacity_lines)
+{
+    vc_assert(capacity >= 1, "shadow LRU needs capacity");
+}
+
+bool
+MissClassifier::ShadowLru::access(Addr line_addr)
+{
+    auto it = where.find(line_addr);
+    if (it != where.end()) {
+        order.splice(order.begin(), order, it->second);
+        return true;
+    }
+    if (order.size() >= capacity) {
+        where.erase(order.back());
+        order.pop_back();
+    }
+    order.push_front(line_addr);
+    where[line_addr] = order.begin();
+    return false;
+}
+
+void
+MissClassifier::ShadowLru::clear()
+{
+    order.clear();
+    where.clear();
+}
+
+AccessOutcome
+MissClassifier::access(Addr word_addr, AccessType type)
+{
+    const Addr line = target.addressLayout().lineAddress(word_addr);
+    const AccessOutcome outcome = target.access(word_addr, type);
+    const bool first_touch = seen.insert(line).second;
+    const bool in_shadow = shadow.access(line);
+
+    if (!outcome.hit) {
+        if (first_touch)
+            ++byClass.compulsory;
+        else if (in_shadow)
+            ++byClass.conflict;
+        else
+            ++byClass.capacity;
+    }
+    return outcome;
+}
+
+void
+MissClassifier::reset()
+{
+    target.reset();
+    shadow.clear();
+    seen.clear();
+    byClass = MissBreakdown{};
+}
+
+} // namespace vcache

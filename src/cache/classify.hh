@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Three-C miss classification (compulsory / capacity / conflict).
+ *
+ * The introduction of the paper leans on Hennessy & Patterson's 3C
+ * model: compulsory misses pipeline away, capacity misses vanish once
+ * programs are blocked, and *conflict* misses are what the prime
+ * mapping eliminates.  This wrapper runs a cache side by side with
+ *
+ *   - a seen-set (first touch => compulsory), and
+ *   - a shadow fully-associative LRU cache of identical capacity
+ *     (miss there too => capacity; hit there => conflict),
+ *
+ * so benches can report exactly which class the prime mapping removes.
+ */
+
+#ifndef VCACHE_CACHE_CLASSIFY_HH
+#define VCACHE_CACHE_CLASSIFY_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/cache.hh"
+
+namespace vcache
+{
+
+/** Counts of misses by 3C class. */
+struct MissBreakdown
+{
+    std::uint64_t compulsory = 0;
+    std::uint64_t capacity = 0;
+    std::uint64_t conflict = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return compulsory + capacity + conflict;
+    }
+};
+
+/** Classifying front end over any Cache. */
+class MissClassifier
+{
+  public:
+    /** @param cache the cache under observation (not owned) */
+    explicit MissClassifier(Cache &cache);
+
+    /** Access through the wrapper; classification happens on misses. */
+    AccessOutcome access(Addr word_addr,
+                         AccessType type = AccessType::Read);
+
+    const MissBreakdown &breakdown() const { return byClass; }
+    Cache &cache() { return target; }
+
+    /** Clear the wrapper state and the underlying cache. */
+    void reset();
+
+  private:
+    /** Shadow fully-associative LRU over line addresses. */
+    class ShadowLru
+    {
+      public:
+        explicit ShadowLru(std::uint64_t capacity_lines);
+
+        /** Touch a line; returns true if it was resident. */
+        bool access(Addr line_addr);
+        void clear();
+
+      private:
+        std::uint64_t capacity;
+        std::list<Addr> order; // most recent at front
+        std::unordered_map<Addr, std::list<Addr>::iterator> where;
+    };
+
+    Cache &target;
+    ShadowLru shadow;
+    std::unordered_set<Addr> seen;
+    MissBreakdown byClass;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_CACHE_CLASSIFY_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Conventional direct-mapped cache: index = line address mod 2^c.
+ */
+
+#ifndef VCACHE_CACHE_DIRECT_HH
+#define VCACHE_CACHE_DIRECT_HH
+
+#include <vector>
+
+#include "cache/cache.hh"
+
+namespace vcache
+{
+
+/** Direct-mapped cache with 2^c lines. */
+class DirectMappedCache : public Cache
+{
+  public:
+    /** @param layout index field width c gives 2^c lines */
+    explicit DirectMappedCache(const AddressLayout &layout);
+
+    bool contains(Addr word_addr) const override;
+    void reset() override;
+    std::uint64_t numLines() const override { return frames.size(); }
+    std::uint64_t validLines() const override;
+
+  protected:
+    AccessOutcome lookupAndFill(Addr line_addr) override;
+
+  private:
+    struct Frame
+    {
+        bool valid = false;
+        Addr line = 0;
+    };
+
+    std::uint64_t frameOf(Addr line_addr) const;
+
+    std::vector<Frame> frames;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_CACHE_DIRECT_HH

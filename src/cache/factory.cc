@@ -1,0 +1,87 @@
+#include "cache/factory.hh"
+
+#include <sstream>
+
+#include "cache/direct.hh"
+#include "cache/prime.hh"
+#include "cache/prime_assoc.hh"
+#include "cache/set_assoc.hh"
+#include "cache/xor_mapped.hh"
+#include "numtheory/mersenne.hh"
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+std::unique_ptr<Cache>
+makeCache(const CacheConfig &config)
+{
+    const AddressLayout layout(config.offsetBits, config.indexBits,
+                               config.addressBits);
+    switch (config.organization) {
+      case Organization::DirectMapped:
+        return std::make_unique<DirectMappedCache>(layout);
+      case Organization::PrimeMapped:
+        return std::make_unique<PrimeMappedCache>(layout);
+      case Organization::SetAssociative:
+        return std::make_unique<SetAssociativeCache>(
+            layout, config.associativity,
+            makeReplacementPolicy(config.replacement, config.rngSeed));
+      case Organization::FullyAssociative:
+        return makeFullyAssociative(
+            layout,
+            makeReplacementPolicy(config.replacement, config.rngSeed));
+      case Organization::XorMapped:
+        return std::make_unique<XorMappedCache>(layout);
+      case Organization::PrimeSetAssociative:
+        return std::make_unique<PrimeSetAssociativeCache>(
+            layout, config.associativity,
+            makeReplacementPolicy(config.replacement, config.rngSeed));
+    }
+    vc_panic("unknown cache organization");
+}
+
+std::string
+organizationName(Organization organization)
+{
+    switch (organization) {
+      case Organization::DirectMapped:
+        return "direct-mapped";
+      case Organization::SetAssociative:
+        return "set-associative";
+      case Organization::FullyAssociative:
+        return "fully-associative";
+      case Organization::PrimeMapped:
+        return "prime-mapped";
+      case Organization::XorMapped:
+        return "xor-mapped";
+      case Organization::PrimeSetAssociative:
+        return "prime-set-associative";
+    }
+    vc_panic("unknown cache organization");
+}
+
+std::string
+describe(const CacheConfig &config)
+{
+    std::uint64_t lines = std::uint64_t{1} << config.indexBits;
+    if (config.organization == Organization::PrimeMapped)
+        lines = mersenne(config.indexBits);
+    if (config.organization == Organization::PrimeSetAssociative)
+        lines = mersenne(config.indexBits) * config.associativity;
+    std::ostringstream os;
+    os << organizationName(config.organization) << "(" << lines
+       << " lines x " << (std::uint64_t{1} << config.offsetBits)
+       << " words";
+    if (config.organization == Organization::SetAssociative ||
+        config.organization == Organization::PrimeSetAssociative) {
+        os << ", " << config.associativity << "-way "
+           << replacementName(config.replacement);
+    }
+    if (config.organization == Organization::FullyAssociative)
+        os << ", " << replacementName(config.replacement);
+    os << ")";
+    return os.str();
+}
+
+} // namespace vcache

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Declarative cache construction shared by simulators, benches and
+ * examples.
+ */
+
+#ifndef VCACHE_CACHE_FACTORY_HH
+#define VCACHE_CACHE_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "cache/cache.hh"
+#include "cache/replacement.hh"
+
+namespace vcache
+{
+
+/** Cache organisations supported by makeCache(). */
+enum class Organization
+{
+    DirectMapped,
+    SetAssociative,
+    FullyAssociative,
+    PrimeMapped,
+    /** XOR-hash indexed (the era's alternative conflict-avoider). */
+    XorMapped,
+    /**
+     * Extension: N-way associative over a Mersenne-prime set count
+     * (indexBits gives 2^c - 1 sets; capacity = ways * sets).
+     */
+    PrimeSetAssociative,
+};
+
+/** Full description of one cache instance. */
+struct CacheConfig
+{
+    Organization organization = Organization::DirectMapped;
+    /** Index width c: 2^c lines (prime-mapped: 2^c - 1 lines). */
+    unsigned indexBits = 13;
+    /** Offset width W: 2^W words per line (paper fixes W = 0). */
+    unsigned offsetBits = 0;
+    /** Ways, for SetAssociative only. */
+    unsigned associativity = 2;
+    /** Replacement, for (set|fully) associative organisations. */
+    ReplacementKind replacement = ReplacementKind::Lru;
+    /** Total address width in bits. */
+    unsigned addressBits = 32;
+    /** Seed for the Random replacement policy. */
+    std::uint64_t rngSeed = 12345;
+};
+
+/** Build a cache; fatals on inconsistent configuration. */
+std::unique_ptr<Cache> makeCache(const CacheConfig &config);
+
+/** "direct-mapped(8192 lines x 1 words)"-style description. */
+std::string describe(const CacheConfig &config);
+
+/** Organisation name for reports. */
+std::string organizationName(Organization organization);
+
+} // namespace vcache
+
+#endif // VCACHE_CACHE_FACTORY_HH

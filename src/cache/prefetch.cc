@@ -1,0 +1,110 @@
+#include "cache/prefetch.hh"
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+PrefetchingCache::PrefetchingCache(Cache &cache, PrefetchPolicy policy_,
+                                   unsigned degree_)
+    : target(cache), policy(policy_), degree(degree_)
+{
+    vc_assert(degree >= 1 || policy == PrefetchPolicy::None,
+              "prefetch degree must be at least 1");
+}
+
+void
+PrefetchingCache::beginStream(std::int64_t stride_words)
+{
+    streamStride = stride_words == 0 ? 1 : stride_words;
+}
+
+void
+PrefetchingCache::prefetch(Addr word_addr)
+{
+    const auto &layout = target.addressLayout();
+    const auto line_words =
+        static_cast<std::int64_t>(layout.lineWords());
+
+    // Distance between prefetched lines: the next line for the
+    // sequential scheme, the announced stride for the stride scheme
+    // (rounded up to at least one line).
+    std::int64_t step = line_words;
+    if (policy == PrefetchPolicy::Stride)
+        step = streamStride;
+
+    Addr next = word_addr;
+    for (unsigned d = 0; d < degree; ++d) {
+        next = static_cast<Addr>(static_cast<std::int64_t>(next) +
+                                 step);
+        const Addr line = layout.lineAddress(next);
+        if (target.contains(next))
+            continue;
+        // A prefetch that displaces a pending prefetched line wastes
+        // the earlier one.
+        const bool was_new = target.insert(next);
+        if (!was_new)
+            continue;
+        ++stats_.issued;
+        pending.insert(line);
+    }
+}
+
+AccessOutcome
+PrefetchingCache::access(Addr word_addr, AccessType type)
+{
+    const Addr line = target.addressLayout().lineAddress(word_addr);
+    const AccessOutcome outcome = target.access(word_addr, type);
+
+    bool first_use_of_prefetch = false;
+    if (auto it = pending.find(line); it != pending.end()) {
+        if (outcome.hit) {
+            ++stats_.useful;
+            first_use_of_prefetch = true;
+        }
+        // Either way the line is now demand-touched.
+        pending.erase(it);
+    }
+    if (!outcome.hit && outcome.evicted) {
+        const auto it =
+            pending.find(outcome.evictedLine);
+        if (it != pending.end()) {
+            ++stats_.wasted;
+            pending.erase(it);
+        }
+    }
+
+    // Tagged prefetching: trigger on demand misses and on the first
+    // use of a prefetched line, so a well-predicted stream keeps one
+    // prefetch ahead of the demand accesses.
+    if (policy != PrefetchPolicy::None &&
+        (!outcome.hit || first_use_of_prefetch)) {
+        prefetch(word_addr);
+    }
+    return outcome;
+}
+
+void
+PrefetchingCache::reset()
+{
+    target.reset();
+    pending.clear();
+    stats_ = PrefetchStats{};
+    streamStride = 1;
+}
+
+const char *
+prefetchPolicyName(PrefetchPolicy policy)
+{
+    switch (policy) {
+      case PrefetchPolicy::None:
+        return "none";
+      case PrefetchPolicy::Sequential:
+        return "sequential";
+      case PrefetchPolicy::Stride:
+        return "stride";
+    }
+    return "?";
+}
+
+} // namespace vcache

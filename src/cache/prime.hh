@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The paper's contribution: the prime-mapped cache.
+ *
+ * The cache holds 2^c - 1 lines (a Mersenne prime) and places line L
+ * in frame L mod (2^c - 1).  Because the modulus is prime, a strided
+ * vector sweep conflicts with itself only when the stride is a
+ * multiple of the cache size -- in particular, never for the
+ * power-of-two strides that cripple a conventional cache.
+ *
+ * The lookup path is identical to the direct-mapped cache; the index
+ * is produced by the Figure-1 end-around-carry address generator
+ * modelled in src/address (the functional indexOf() form here, with
+ * the incremental hardware model exercised by tests and the
+ * microbenchmark).
+ */
+
+#ifndef VCACHE_CACHE_PRIME_HH
+#define VCACHE_CACHE_PRIME_HH
+
+#include <vector>
+
+#include "cache/cache.hh"
+
+namespace vcache
+{
+
+/** Prime-mapped cache with 2^c - 1 lines. */
+class PrimeMappedCache : public Cache
+{
+  public:
+    /**
+     * @param layout index field width gives the Mersenne exponent c
+     * @param require_prime insist that 2^c - 1 is prime (default);
+     *        relax only for composite-modulus experiments
+     */
+    explicit PrimeMappedCache(const AddressLayout &layout,
+                              bool require_prime = true);
+
+    bool contains(Addr word_addr) const override;
+    void reset() override;
+    std::uint64_t numLines() const override { return frames.size(); }
+    std::uint64_t validLines() const override;
+
+  protected:
+    AccessOutcome lookupAndFill(Addr line_addr) override;
+
+  private:
+    struct Frame
+    {
+        bool valid = false;
+        Addr line = 0;
+    };
+
+    std::uint64_t frameOf(Addr line_addr) const;
+
+    std::vector<Frame> frames;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_CACHE_PRIME_HH

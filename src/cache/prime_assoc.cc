@@ -1,0 +1,97 @@
+#include "cache/prime_assoc.hh"
+
+#include "numtheory/mersenne.hh"
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+PrimeSetAssociativeCache::PrimeSetAssociativeCache(
+    const AddressLayout &layout, unsigned ways_,
+    std::unique_ptr<ReplacementPolicy> policy_, bool require_prime)
+    : Cache(layout, std::to_string(ways_) + "-way prime set-assoc"),
+      ways(ways_), policy(std::move(policy_))
+{
+    vc_assert(ways >= 1, "associativity must be at least 1");
+    if (require_prime) {
+        vc_assert(isMersenneExponent(layout.indexBits()),
+                  "2^", layout.indexBits(),
+                  " - 1 is not a Mersenne prime; pick c from "
+                  "{2,3,5,7,13,17,19,31}");
+    }
+    sets = mersenne(layout.indexBits());
+    frames.assign(sets * ways, Way{});
+    policy->configure(sets, ways);
+}
+
+std::uint64_t
+PrimeSetAssociativeCache::setOf(Addr line_addr) const
+{
+    return modMersenne(line_addr, layout_.indexBits());
+}
+
+std::uint64_t
+PrimeSetAssociativeCache::numLines() const
+{
+    return frames.size();
+}
+
+AccessOutcome
+PrimeSetAssociativeCache::lookupAndFill(Addr line_addr)
+{
+    const std::uint64_t set = setOf(line_addr);
+    Way *base = &frames[set * ways];
+
+    for (unsigned w = 0; w < ways; ++w) {
+        if (base[w].valid && base[w].line == line_addr) {
+            policy->touch(set, w);
+            return {true, false, 0};
+        }
+    }
+    for (unsigned w = 0; w < ways; ++w) {
+        if (!base[w].valid) {
+            base[w].valid = true;
+            base[w].line = line_addr;
+            policy->fill(set, w);
+            return {false, false, 0};
+        }
+    }
+    const unsigned w = policy->victim(set);
+    vc_assert(w < ways, "replacement policy chose way ", w, " of ",
+              ways);
+    AccessOutcome outcome{false, true, base[w].line};
+    base[w].line = line_addr;
+    policy->fill(set, w);
+    return outcome;
+}
+
+bool
+PrimeSetAssociativeCache::contains(Addr word_addr) const
+{
+    const Addr line = layout_.lineAddress(word_addr);
+    const Way *base = &frames[setOf(line) * ways];
+    for (unsigned w = 0; w < ways; ++w)
+        if (base[w].valid && base[w].line == line)
+            return true;
+    return false;
+}
+
+void
+PrimeSetAssociativeCache::reset()
+{
+    Cache::reset();
+    for (auto &f : frames)
+        f = Way{};
+    policy->reset();
+}
+
+std::uint64_t
+PrimeSetAssociativeCache::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &f : frames)
+        n += f.valid;
+    return n;
+}
+
+} // namespace vcache

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Prime set-associative cache: the paper's two ideas composed.
+ *
+ * Section 2.1 observes that associativity alone cannot remove vector
+ * interference (too few sets), and Section 2.3 fixes the set count
+ * instead of the way count.  This extension does both: a Mersenne
+ * prime number of *sets*, each with a small number of ways and an
+ * LRU/FIFO/Random policy -- the natural "future work" point for the
+ * paper's "whether there exists a better replacement algorithm needs
+ * further study".
+ *
+ * The index path is the same end-around-carry residue as the
+ * prime-mapped cache; the associativity mops up the rare collisions
+ * (modulus wraparound, cross-stream hits) that a direct prime cache
+ * cannot absorb.
+ */
+
+#ifndef VCACHE_CACHE_PRIME_ASSOC_HH
+#define VCACHE_CACHE_PRIME_ASSOC_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/replacement.hh"
+
+namespace vcache
+{
+
+/** N-way set-associative cache with a Mersenne-prime set count. */
+class PrimeSetAssociativeCache : public Cache
+{
+  public:
+    /**
+     * @param layout index width c gives 2^c - 1 *sets* (so the total
+     *               line count is ways * (2^c - 1))
+     * @param ways associativity per set
+     * @param policy replacement policy instance (owned)
+     * @param require_prime insist 2^c - 1 is a Mersenne prime
+     */
+    PrimeSetAssociativeCache(const AddressLayout &layout, unsigned ways,
+                             std::unique_ptr<ReplacementPolicy> policy,
+                             bool require_prime = true);
+
+    bool contains(Addr word_addr) const override;
+    void reset() override;
+    std::uint64_t numLines() const override;
+    std::uint64_t validLines() const override;
+
+    unsigned associativity() const { return ways; }
+    std::uint64_t numSets() const { return sets; }
+
+  protected:
+    AccessOutcome lookupAndFill(Addr line_addr) override;
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        Addr line = 0;
+    };
+
+    std::uint64_t setOf(Addr line_addr) const;
+
+    unsigned ways;
+    std::uint64_t sets;
+    std::vector<Way> frames; // [set * ways + way]
+    std::unique_ptr<ReplacementPolicy> policy;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_CACHE_PRIME_ASSOC_HH

@@ -1,0 +1,143 @@
+#include "cache/replacement.hh"
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+void
+LruPolicy::configure(std::uint64_t sets, unsigned w)
+{
+    ways = w;
+    lastUse.assign(sets * ways, 0);
+    clock = 0;
+}
+
+void
+LruPolicy::touch(std::uint64_t set, unsigned way)
+{
+    lastUse[set * ways + way] = ++clock;
+}
+
+void
+LruPolicy::fill(std::uint64_t set, unsigned way)
+{
+    touch(set, way);
+}
+
+unsigned
+LruPolicy::victim(std::uint64_t set)
+{
+    unsigned best = 0;
+    std::uint64_t oldest = lastUse[set * ways];
+    for (unsigned w = 1; w < ways; ++w) {
+        if (lastUse[set * ways + w] < oldest) {
+            oldest = lastUse[set * ways + w];
+            best = w;
+        }
+    }
+    return best;
+}
+
+void
+LruPolicy::reset()
+{
+    std::fill(lastUse.begin(), lastUse.end(), 0);
+    clock = 0;
+}
+
+void
+FifoPolicy::configure(std::uint64_t sets, unsigned w)
+{
+    ways = w;
+    fillTime.assign(sets * ways, 0);
+    clock = 0;
+}
+
+void
+FifoPolicy::touch(std::uint64_t, unsigned)
+{
+    // FIFO ignores hits.
+}
+
+void
+FifoPolicy::fill(std::uint64_t set, unsigned way)
+{
+    fillTime[set * ways + way] = ++clock;
+}
+
+unsigned
+FifoPolicy::victim(std::uint64_t set)
+{
+    unsigned best = 0;
+    std::uint64_t oldest = fillTime[set * ways];
+    for (unsigned w = 1; w < ways; ++w) {
+        if (fillTime[set * ways + w] < oldest) {
+            oldest = fillTime[set * ways + w];
+            best = w;
+        }
+    }
+    return best;
+}
+
+void
+FifoPolicy::reset()
+{
+    std::fill(fillTime.begin(), fillTime.end(), 0);
+    clock = 0;
+}
+
+RandomPolicy::RandomPolicy(std::uint64_t seed_value)
+    : seed(seed_value), rng(seed_value)
+{
+}
+
+void
+RandomPolicy::configure(std::uint64_t, unsigned w)
+{
+    ways = w;
+}
+
+void
+RandomPolicy::touch(std::uint64_t, unsigned)
+{
+}
+
+void
+RandomPolicy::fill(std::uint64_t, unsigned)
+{
+}
+
+unsigned
+RandomPolicy::victim(std::uint64_t)
+{
+    return static_cast<unsigned>(rng.uniformInt(0, ways - 1));
+}
+
+void
+RandomPolicy::reset()
+{
+    rng.seed(seed);
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplacementKind kind, std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplacementKind::Lru:
+        return std::make_unique<LruPolicy>();
+      case ReplacementKind::Fifo:
+        return std::make_unique<FifoPolicy>();
+      case ReplacementKind::Random:
+        return std::make_unique<RandomPolicy>(seed);
+    }
+    vc_panic("unknown replacement policy");
+}
+
+std::string
+replacementName(ReplacementKind kind)
+{
+    return makeReplacementPolicy(kind)->name();
+}
+
+} // namespace vcache

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Replacement policies for the set-associative cache.
+ *
+ * Section 2.1 observes that serial vector sweeps defeat LRU; the
+ * associativity ablation bench therefore compares LRU, FIFO and Random
+ * against the prime-mapped cache.
+ */
+
+#ifndef VCACHE_CACHE_REPLACEMENT_HH
+#define VCACHE_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace vcache
+{
+
+/** Selects which way of a set to evict. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /**
+     * Size the policy state.
+     * @param sets number of sets
+     * @param ways associativity
+     */
+    virtual void configure(std::uint64_t sets, unsigned ways) = 0;
+
+    /** Record a hit or fill of (set, way). */
+    virtual void touch(std::uint64_t set, unsigned way) = 0;
+
+    /** Record that (set, way) was filled with a new line. */
+    virtual void fill(std::uint64_t set, unsigned way) = 0;
+
+    /** Choose a victim way in a full set. */
+    virtual unsigned victim(std::uint64_t set) = 0;
+
+    /** Forget everything. */
+    virtual void reset() = 0;
+
+    /** Policy name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** Least recently used. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    void configure(std::uint64_t sets, unsigned ways) override;
+    void touch(std::uint64_t set, unsigned way) override;
+    void fill(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set) override;
+    void reset() override;
+    std::string name() const override { return "LRU"; }
+
+  private:
+    unsigned ways = 0;
+    std::uint64_t clock = 0;
+    std::vector<std::uint64_t> lastUse; // [set * ways + way]
+};
+
+/** First in, first out (ignores hits). */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    void configure(std::uint64_t sets, unsigned ways) override;
+    void touch(std::uint64_t set, unsigned way) override;
+    void fill(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set) override;
+    void reset() override;
+    std::string name() const override { return "FIFO"; }
+
+  private:
+    unsigned ways = 0;
+    std::uint64_t clock = 0;
+    std::vector<std::uint64_t> fillTime; // [set * ways + way]
+};
+
+/** Uniform random victim, deterministic via explicit seed. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed = 12345);
+
+    void configure(std::uint64_t sets, unsigned ways) override;
+    void touch(std::uint64_t set, unsigned way) override;
+    void fill(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set) override;
+    void reset() override;
+    std::string name() const override { return "Random"; }
+
+  private:
+    unsigned ways = 0;
+    std::uint64_t seed;
+    Rng rng;
+};
+
+/** Replacement policy selector. */
+enum class ReplacementKind
+{
+    Lru,
+    Fifo,
+    Random,
+};
+
+/** Build a policy instance. */
+std::unique_ptr<ReplacementPolicy> makeReplacementPolicy(
+    ReplacementKind kind, std::uint64_t seed = 12345);
+
+/** Human-readable policy name. */
+std::string replacementName(ReplacementKind kind);
+
+} // namespace vcache
+
+#endif // VCACHE_CACHE_REPLACEMENT_HH

@@ -1,0 +1,104 @@
+#include "cache/set_assoc.hh"
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+SetAssociativeCache::SetAssociativeCache(
+    const AddressLayout &layout, unsigned ways_,
+    std::unique_ptr<ReplacementPolicy> policy_)
+    : Cache(layout, std::to_string(ways_) + "-way set-assoc"),
+      ways(ways_), policy(std::move(policy_))
+{
+    const std::uint64_t lines = std::uint64_t{1} << layout.indexBits();
+    vc_assert(ways >= 1, "associativity must be at least 1");
+    vc_assert(lines % ways == 0,
+              "associativity ", ways, " does not divide ", lines,
+              " lines");
+    sets = lines / ways;
+    frames.assign(lines, Way{});
+    policy->configure(sets, ways);
+}
+
+std::uint64_t
+SetAssociativeCache::numLines() const
+{
+    return frames.size();
+}
+
+AccessOutcome
+SetAssociativeCache::lookupAndFill(Addr line_addr)
+{
+    const std::uint64_t set = setOf(line_addr);
+    Way *base = &frames[set * ways];
+
+    // Hit?
+    for (unsigned w = 0; w < ways; ++w) {
+        if (base[w].valid && base[w].line == line_addr) {
+            policy->touch(set, w);
+            return {true, false, 0};
+        }
+    }
+
+    // Fill an invalid way if one exists.
+    for (unsigned w = 0; w < ways; ++w) {
+        if (!base[w].valid) {
+            base[w].valid = true;
+            base[w].line = line_addr;
+            policy->fill(set, w);
+            return {false, false, 0};
+        }
+    }
+
+    // Evict.
+    const unsigned w = policy->victim(set);
+    vc_assert(w < ways, "replacement policy chose way ", w,
+              " of ", ways);
+    AccessOutcome outcome{false, true, base[w].line};
+    base[w].line = line_addr;
+    policy->fill(set, w);
+    return outcome;
+}
+
+bool
+SetAssociativeCache::contains(Addr word_addr) const
+{
+    const Addr line = layout_.lineAddress(word_addr);
+    const std::uint64_t set = setOf(line);
+    const Way *base = &frames[set * ways];
+    for (unsigned w = 0; w < ways; ++w)
+        if (base[w].valid && base[w].line == line)
+            return true;
+    return false;
+}
+
+void
+SetAssociativeCache::reset()
+{
+    Cache::reset();
+    for (auto &f : frames)
+        f = Way{};
+    policy->reset();
+}
+
+std::uint64_t
+SetAssociativeCache::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &f : frames)
+        n += f.valid;
+    return n;
+}
+
+std::unique_ptr<SetAssociativeCache>
+makeFullyAssociative(const AddressLayout &layout,
+                     std::unique_ptr<ReplacementPolicy> policy)
+{
+    const auto lines =
+        static_cast<unsigned>(std::uint64_t{1} << layout.indexBits());
+    return std::make_unique<SetAssociativeCache>(layout, lines,
+                                                 std::move(policy));
+}
+
+} // namespace vcache

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Set-associative cache (fully associative as the one-set special
+ * case), used for the Section-2.1 "can associativity help?" study.
+ */
+
+#ifndef VCACHE_CACHE_SET_ASSOC_HH
+#define VCACHE_CACHE_SET_ASSOC_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/replacement.hh"
+
+namespace vcache
+{
+
+/** N-way set-associative cache with 2^c lines total. */
+class SetAssociativeCache : public Cache
+{
+  public:
+    /**
+     * @param layout index field width c gives 2^c lines total
+     * @param ways associativity; must divide the line count
+     * @param policy replacement policy instance (owned)
+     */
+    SetAssociativeCache(const AddressLayout &layout, unsigned ways,
+                        std::unique_ptr<ReplacementPolicy> policy);
+
+    bool contains(Addr word_addr) const override;
+    void reset() override;
+    std::uint64_t numLines() const override;
+    std::uint64_t validLines() const override;
+
+    unsigned associativity() const { return ways; }
+    std::uint64_t numSets() const { return sets; }
+    const ReplacementPolicy &replacement() const { return *policy; }
+
+  protected:
+    AccessOutcome lookupAndFill(Addr line_addr) override;
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        Addr line = 0;
+    };
+
+    std::uint64_t setOf(Addr line_addr) const { return line_addr & (sets - 1); }
+
+    unsigned ways;
+    std::uint64_t sets;
+    std::vector<Way> frames; // [set * ways + way]
+    std::unique_ptr<ReplacementPolicy> policy;
+};
+
+/** Convenience factory for a fully associative cache of 2^c lines. */
+std::unique_ptr<SetAssociativeCache> makeFullyAssociative(
+    const AddressLayout &layout,
+    std::unique_ptr<ReplacementPolicy> policy);
+
+} // namespace vcache
+
+#endif // VCACHE_CACHE_SET_ASSOC_HH

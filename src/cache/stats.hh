@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-cache access counters.
+ */
+
+#ifndef VCACHE_CACHE_STATS_HH
+#define VCACHE_CACHE_STATS_HH
+
+#include <cstdint>
+
+namespace vcache
+{
+
+/** Hit/miss counters accumulated by every cache. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    /** Misses that displaced a valid line. */
+    std::uint64_t evictions = 0;
+    /** Evictions of dirty lines: write-back memory traffic. */
+    std::uint64_t writebacks = 0;
+
+    /** Miss ratio in [0, 1]; 0 when no accesses were made. */
+    double
+    missRatio() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+
+    /** Hit ratio in [0, 1]; 0 when no accesses were made. */
+    double
+    hitRatio() const
+    {
+        return accesses ? static_cast<double>(hits) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+
+    void
+    reset()
+    {
+        *this = CacheStats{};
+    }
+};
+
+} // namespace vcache
+
+#endif // VCACHE_CACHE_STATS_HH

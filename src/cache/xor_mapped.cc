@@ -1,0 +1,63 @@
+#include "cache/xor_mapped.hh"
+
+namespace vcache
+{
+
+XorMappedCache::XorMappedCache(const AddressLayout &layout)
+    : Cache(layout, "xor-mapped"),
+      frames(std::uint64_t{1} << layout.indexBits())
+{
+}
+
+std::uint64_t
+XorMappedCache::hashIndex(Addr line_addr) const
+{
+    const unsigned c = layout_.indexBits();
+    const std::uint64_t mask = frames.size() - 1;
+    std::uint64_t h = 0;
+    while (line_addr != 0) {
+        h ^= line_addr & mask;
+        line_addr >>= c;
+    }
+    return h;
+}
+
+AccessOutcome
+XorMappedCache::lookupAndFill(Addr line_addr)
+{
+    Frame &frame = frames[hashIndex(line_addr)];
+    if (frame.valid && frame.line == line_addr)
+        return {true, false, 0};
+
+    AccessOutcome outcome{false, frame.valid, frame.line};
+    frame.valid = true;
+    frame.line = line_addr;
+    return outcome;
+}
+
+bool
+XorMappedCache::contains(Addr word_addr) const
+{
+    const Addr line = layout_.lineAddress(word_addr);
+    const Frame &frame = frames[hashIndex(line)];
+    return frame.valid && frame.line == line;
+}
+
+void
+XorMappedCache::reset()
+{
+    Cache::reset();
+    for (auto &f : frames)
+        f = Frame{};
+}
+
+std::uint64_t
+XorMappedCache::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &f : frames)
+        n += f.valid;
+    return n;
+}
+
+} // namespace vcache

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * XOR-mapped (hash) cache: the era's main alternative index hash.
+ *
+ * Instead of a prime modulus, fold the line address's c-bit digits
+ * together with XOR (a "pseudo-random" index, used by skewed and
+ * hash-indexed caches).  Like the prime mapping it needs no division
+ * and keeps a 2^c-line array; unlike it, XOR folding is *linear over
+ * GF(2)*, so any stride that is a multiple of 2^c still collapses
+ * onto few lines, and power-of-two strides below 2^c merely permute
+ * the frames instead of spreading sweeps that exceed the coverage.
+ * The mapping ablation bench quantifies where the prime modulus wins.
+ */
+
+#ifndef VCACHE_CACHE_XOR_MAPPED_HH
+#define VCACHE_CACHE_XOR_MAPPED_HH
+
+#include <vector>
+
+#include "cache/cache.hh"
+
+namespace vcache
+{
+
+/** Hash-indexed cache with 2^c lines: index = XOR of c-bit digits. */
+class XorMappedCache : public Cache
+{
+  public:
+    explicit XorMappedCache(const AddressLayout &layout);
+
+    bool contains(Addr word_addr) const override;
+    void reset() override;
+    std::uint64_t numLines() const override { return frames.size(); }
+    std::uint64_t validLines() const override;
+
+    /** The index hash, exposed for tests and benches. */
+    std::uint64_t hashIndex(Addr line_addr) const;
+
+  protected:
+    AccessOutcome lookupAndFill(Addr line_addr) override;
+
+  private:
+    struct Frame
+    {
+        bool valid = false;
+        Addr line = 0;
+    };
+
+    std::vector<Frame> frames;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_CACHE_XOR_MAPPED_HH

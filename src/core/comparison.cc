@@ -1,0 +1,20 @@
+#include "core/comparison.hh"
+
+namespace vcache
+{
+
+ThreeWayPoint
+compareMachines(const MachineParams &machine,
+                const WorkloadParams &workload)
+{
+    return ThreeWayPoint{
+        evaluate(MachineKind::MemoryOnly, machine, workload)
+            .cyclesPerResult,
+        evaluate(MachineKind::DirectCache, machine, workload)
+            .cyclesPerResult,
+        evaluate(MachineKind::PrimeCache, machine, workload)
+            .cyclesPerResult,
+    };
+}
+
+} // namespace vcache

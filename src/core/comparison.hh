@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Side-by-side model evaluation of the paper's three machines, the
+ * common shape of every figure.
+ */
+
+#ifndef VCACHE_CORE_COMPARISON_HH
+#define VCACHE_CORE_COMPARISON_HH
+
+#include "analytic/model.hh"
+
+namespace vcache
+{
+
+/** Cycles-per-result of all three machines at one workload point. */
+struct ThreeWayPoint
+{
+    double mm;
+    double direct;
+    double prime;
+
+    /** Speed-up of the prime cache over the direct-mapped cache. */
+    double primeOverDirect() const { return direct / prime; }
+
+    /** Speed-up of the prime cache over the cacheless machine. */
+    double primeOverMm() const { return mm / prime; }
+};
+
+/** Evaluate MM, CC-direct and CC-prime at one point. */
+ThreeWayPoint compareMachines(const MachineParams &machine,
+                              const WorkloadParams &workload);
+
+} // namespace vcache
+
+#endif // VCACHE_CORE_COMPARISON_HH

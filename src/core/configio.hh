@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Typed experiment configuration: build MachineParams / CacheConfig /
+ * WorkloadParams from an INI file, so whole experiments live in
+ * checked-in text instead of command lines.
+ *
+ * Recognised keys (all optional; defaults are the paper's):
+ *
+ *   [machine]
+ *   mvl = 64              maximum vector length
+ *   bank_bits = 6         2^bank_bits memory banks
+ *   memory_time = 32      t_m in cycles
+ *   cache_bits = 13       index width c
+ *   startup_base = 30     T_start = startup_base + t_m
+ *
+ *   [cache]
+ *   organization = prime  direct | prime | xor | assoc | full |
+ *                         prime-assoc
+ *   ways = 4              for the associative organisations
+ *   replacement = lru     lru | fifo | random
+ *   line_words_log2 = 0   W
+ *
+ *   [workload]
+ *   blocking_factor = 1024
+ *   reuse_factor = 1024
+ *   p_double_stream = 0.2
+ *   p_stride1 = 0.25
+ *   total_data = 65536
+ */
+
+#ifndef VCACHE_CORE_CONFIGIO_HH
+#define VCACHE_CORE_CONFIGIO_HH
+
+#include "analytic/machine.hh"
+#include "cache/factory.hh"
+#include "util/config.hh"
+
+namespace vcache
+{
+
+/** [machine] section -> MachineParams (paper defaults elsewhere). */
+MachineParams machineFromConfig(const KeyValueConfig &config);
+
+/** [cache] section -> CacheConfig. */
+CacheConfig cacheFromConfig(const KeyValueConfig &config);
+
+/** [workload] section -> WorkloadParams. */
+WorkloadParams workloadFromConfig(const KeyValueConfig &config);
+
+/** Parse an organisation name as used in configs and trace_sim. */
+Organization parseOrganization(const std::string &name);
+
+/** Parse a replacement-policy name. */
+ReplacementKind parseReplacement(const std::string &name);
+
+} // namespace vcache
+
+#endif // VCACHE_CORE_CONFIGIO_HH

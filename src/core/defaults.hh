@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The paper's canonical experiment parameters.
+ *
+ * Every figure in Section 3.4 / Section 4 fixes MVL = 64, T_start =
+ * 30 + t_m and P_stride1 = 0.25, and uses an 8K-word vector cache
+ * (c = 13: 8192 lines direct-mapped, 8191 = 2^13 - 1 prime-mapped)
+ * with one-word lines.  Benches start from these and override the
+ * swept parameter.
+ */
+
+#ifndef VCACHE_CORE_DEFAULTS_HH
+#define VCACHE_CORE_DEFAULTS_HH
+
+#include "analytic/machine.hh"
+
+namespace vcache
+{
+
+/** Machine defaults for Figures 4-6 (M = 32 banks). */
+MachineParams paperMachineM32();
+
+/** Machine defaults for Figures 7-12 (M = 64 banks). */
+MachineParams paperMachineM64();
+
+/** Workload defaults: B = 1K, R = B, P_ds = 0.2, P1 = 0.25, N = 64K. */
+WorkloadParams paperWorkload();
+
+} // namespace vcache
+
+#endif // VCACHE_CORE_DEFAULTS_HH

@@ -1,0 +1,85 @@
+#include "core/reporting.hh"
+
+namespace vcache
+{
+
+void
+appendStats(StatDump &dump, const CacheStats &stats)
+{
+    dump.scalar("accesses", stats.accesses, "demand accesses");
+    dump.scalar("hits", stats.hits, "demand hits");
+    dump.scalar("misses", stats.misses, "demand misses");
+    dump.scalar("reads", stats.reads, "read accesses");
+    dump.scalar("writes", stats.writes, "write accesses");
+    dump.scalar("evictions", stats.evictions,
+                "fills that displaced a valid line");
+    dump.scalar("writebacks", stats.writebacks,
+                "dirty lines written back to memory");
+    dump.scalar("miss_ratio", stats.missRatio(),
+                "misses / accesses");
+}
+
+void
+appendStats(StatDump &dump, const Cache &cache)
+{
+    dump.scalar("lines", cache.numLines(), "total cache lines");
+    dump.scalar("line_words", cache.addressLayout().lineWords(),
+                "words per line");
+    dump.scalar("valid_lines", cache.validLines(),
+                "lines currently valid");
+    dump.scalar("utilization", cache.utilization(),
+                "fraction of lines valid");
+    appendStats(dump, cache.stats());
+}
+
+void
+appendStats(StatDump &dump, const MissBreakdown &breakdown)
+{
+    dump.scalar("compulsory", breakdown.compulsory,
+                "first-touch misses");
+    dump.scalar("capacity", breakdown.capacity,
+                "misses a same-size fully-associative LRU also takes");
+    dump.scalar("conflict", breakdown.conflict,
+                "misses caused by the mapping alone");
+}
+
+void
+appendStats(StatDump &dump, const SimResult &result)
+{
+    dump.scalar("cycles", result.totalCycles,
+                "total simulated cycles");
+    dump.scalar("stall_cycles", result.stallCycles,
+                "cycles lost to banks or misses");
+    dump.scalar("results", result.results,
+                "vector result elements produced");
+    dump.scalar("cycles_per_result", result.cyclesPerResult(),
+                "the paper's figure of merit");
+    dump.scalar("hits", result.hits, "vector cache hits");
+    dump.scalar("misses", result.misses, "vector cache misses");
+    dump.scalar("compulsory_misses", result.compulsoryMisses,
+                "pipelined first-touch misses");
+}
+
+void
+appendStats(StatDump &dump, const PrefetchStats &stats)
+{
+    dump.scalar("issued", stats.issued, "prefetches issued");
+    dump.scalar("useful", stats.useful,
+                "prefetched lines used before eviction");
+    dump.scalar("wasted", stats.wasted,
+                "prefetched lines evicted unused");
+    dump.scalar("accuracy", stats.accuracy(), "useful / issued");
+}
+
+void
+appendStats(StatDump &dump, const IndexGenStats &stats)
+{
+    dump.scalar("stride_conversion_adds", stats.strideConversionAdds,
+                "c-bit adds converting strides");
+    dump.scalar("startup_adds", stats.startupAdds,
+                "c-bit adds folding starting addresses");
+    dump.scalar("step_adds", stats.stepAdds,
+                "c-bit adds stepping along vectors");
+}
+
+} // namespace vcache

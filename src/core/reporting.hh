@@ -1,0 +1,40 @@
+/**
+ * @file
+ * StatDump adapters for the library's statistics structs, so drivers
+ * report caches, simulators and prefetchers in one grammar.
+ */
+
+#ifndef VCACHE_CORE_REPORTING_HH
+#define VCACHE_CORE_REPORTING_HH
+
+#include "address/index_gen.hh"
+#include "cache/cache.hh"
+#include "cache/classify.hh"
+#include "cache/prefetch.hh"
+#include "sim/result.hh"
+#include "util/statdump.hh"
+
+namespace vcache
+{
+
+/** Cache counters under the current group. */
+void appendStats(StatDump &dump, const CacheStats &stats);
+
+/** Cache counters + geometry for a live cache. */
+void appendStats(StatDump &dump, const Cache &cache);
+
+/** 3C breakdown under the current group. */
+void appendStats(StatDump &dump, const MissBreakdown &breakdown);
+
+/** Simulator results under the current group. */
+void appendStats(StatDump &dump, const SimResult &result);
+
+/** Prefetcher counters under the current group. */
+void appendStats(StatDump &dump, const PrefetchStats &stats);
+
+/** Index-generator hardware activity under the current group. */
+void appendStats(StatDump &dump, const IndexGenStats &stats);
+
+} // namespace vcache
+
+#endif // VCACHE_CORE_REPORTING_HH

@@ -1,0 +1,58 @@
+#include "memory/bus.hh"
+
+#include <algorithm>
+
+namespace vcache
+{
+
+PipelinedBus::PipelinedBus(std::string name) : label(std::move(name))
+{
+}
+
+Cycles
+PipelinedBus::reserve(Cycles earliest)
+{
+    const Cycles when = std::max(earliest, nextFree);
+    waited += when - earliest;
+    nextFree = when + 1;
+    ++count;
+    return when;
+}
+
+void
+PipelinedBus::reset()
+{
+    nextFree = 0;
+    count = 0;
+    waited = 0;
+}
+
+BusSet::BusSet() : rd0("read0"), rd1("read1"), wr("write")
+{
+}
+
+Cycles
+BusSet::reserveRead(Cycles earliest)
+{
+    // Two read buses serve the two concurrent vector streams; pick
+    // whichever can accept the transfer sooner (ties favour bus 0).
+    if (rd1.nextFreeAt() < rd0.nextFreeAt())
+        return rd1.reserve(earliest);
+    return rd0.reserve(earliest);
+}
+
+Cycles
+BusSet::reserveWrite(Cycles earliest)
+{
+    return wr.reserve(earliest);
+}
+
+void
+BusSet::reset()
+{
+    rd0.reset();
+    rd1.reset();
+    wr.reset();
+}
+
+} // namespace vcache

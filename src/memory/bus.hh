@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Pipelined bus model.
+ *
+ * The machine models connect processor and memory through three
+ * pipelined buses (two read, one write), each able to move one line
+ * per cycle.  A bus is a unit-rate resource: requests are accepted in
+ * order, one per cycle.
+ */
+
+#ifndef VCACHE_MEMORY_BUS_HH
+#define VCACHE_MEMORY_BUS_HH
+
+#include <string>
+
+#include "util/types.hh"
+
+namespace vcache
+{
+
+/** One pipelined bus accepting one transfer per cycle. */
+class PipelinedBus
+{
+  public:
+    explicit PipelinedBus(std::string name);
+
+    /**
+     * Reserve the next slot at or after `earliest`.
+     * @return the cycle in which the transfer occupies the bus
+     */
+    Cycles reserve(Cycles earliest);
+
+    /** Earliest cycle at which the next transfer could start. */
+    Cycles nextFreeAt() const { return nextFree; }
+
+    /** Transfers carried so far. */
+    std::uint64_t transfers() const { return count; }
+
+    /** Cycles transfers spent waiting for the bus. */
+    Cycles contentionCycles() const { return waited; }
+
+    void reset();
+
+    const std::string &name() const { return label; }
+
+  private:
+    std::string label;
+    Cycles nextFree = 0;
+    std::uint64_t count = 0;
+    Cycles waited = 0;
+};
+
+/** The paper's bus complement: two read buses and one write bus. */
+class BusSet
+{
+  public:
+    BusSet();
+
+    /** Round-robin-free read bus: picks the earliest available. */
+    Cycles reserveRead(Cycles earliest);
+
+    /** The single write bus. */
+    Cycles reserveWrite(Cycles earliest);
+
+    void reset();
+
+    const PipelinedBus &read0() const { return rd0; }
+    const PipelinedBus &read1() const { return rd1; }
+    const PipelinedBus &write() const { return wr; }
+
+  private:
+    PipelinedBus rd0;
+    PipelinedBus rd1;
+    PipelinedBus wr;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_MEMORY_BUS_HH

@@ -1,0 +1,56 @@
+#include "memory/interleaved.hh"
+
+#include <algorithm>
+
+#include "numtheory/primality.hh"
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+InterleavedMemory::InterleavedMemory(unsigned bank_bits,
+                                     Cycles busy_time,
+                                     BankMapping bank_mapping)
+    : bits(bank_bits), m(std::uint64_t{1} << bank_bits), tm(busy_time),
+      mapping(bank_mapping), busyUntil(m, 0)
+{
+    vc_assert(bank_bits <= 20, "more than 2^20 banks is surely a typo");
+    vc_assert(busy_time >= 1, "bank busy time must be at least 1 cycle");
+    if (mapping == BankMapping::PrimeModulo) {
+        // The BSP organisation: the largest prime number of banks
+        // that fits the 2^m bank budget.
+        m = prevPrime(m);
+        vc_assert(m >= 2, "prime bank placement needs >= 2 banks");
+        busyUntil.assign(m, 0);
+    }
+}
+
+Cycles
+InterleavedMemory::issue(Addr word_addr, Cycles earliest)
+{
+    const std::uint64_t bank = bankOf(word_addr);
+    const Cycles when = std::max(earliest, busyUntil[bank]);
+    busyUntil[bank] = when + tm;
+    return when;
+}
+
+InterleavedMemory::StreamResult
+InterleavedMemory::streamAccess(std::span<const Addr> addrs, Cycles start)
+{
+    Cycles clock = start;
+    Cycles stalls = 0;
+    for (const Addr a : addrs) {
+        const Cycles when = issue(a, clock);
+        stalls += when - clock;
+        clock = when + 1; // the pipelined bus accepts one issue/cycle
+    }
+    return {clock, stalls};
+}
+
+void
+InterleavedMemory::reset()
+{
+    std::fill(busyUntil.begin(), busyUntil.end(), 0);
+}
+
+} // namespace vcache

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Low-order-bit interleaved memory (Figures 2 and 3).
+ *
+ * M = 2^m banks, each busy for t_m cycles per access; word w lives in
+ * bank w mod M.  A pipelined vector access issues one request per
+ * cycle; a request to a busy bank stalls the whole stream (in-order
+ * issue), which is exactly the conflict model behind the paper's
+ * I_s^M / I_c^M derivations.
+ */
+
+#ifndef VCACHE_MEMORY_INTERLEAVED_HH
+#define VCACHE_MEMORY_INTERLEAVED_HH
+
+#include <span>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace vcache
+{
+
+/**
+ * Word-to-bank placement function.
+ *
+ * LowOrder is the paper's baseline.  Skewed implements a simple
+ * row-rotation scheme (bank = (w + floor(w / M)) mod M): it fixes the
+ * power-of-two strides but serialises near-M strides.  XorHash folds
+ * the address's m-bit digits with XOR, the pseudo-random flavour of
+ * the conflict-reducing storage schemes (Harper [17], Raghavan-Hayes
+ * [19]).  PrimeModulo drops to the largest prime below 2^m banks --
+ * the Budnik-Kuck / Burroughs-BSP organisation ([13], [14]) from
+ * which the prime-mapped *cache* idea descends: every stride that is
+ * not a multiple of the (prime) bank count visits every bank.
+ */
+enum class BankMapping
+{
+    LowOrder,
+    Skewed,
+    XorHash,
+    PrimeModulo,
+};
+
+/** Interleaved memory bank array with per-bank busy tracking. */
+class InterleavedMemory
+{
+  public:
+    /**
+     * @param bank_bits m: number of banks is 2^m
+     * @param busy_time t_m: cycles one bank stays busy per access
+     * @param mapping word-to-bank placement
+     */
+    InterleavedMemory(unsigned bank_bits, Cycles busy_time,
+                      BankMapping mapping = BankMapping::LowOrder);
+
+    /** Bank holding word address w. */
+    std::uint64_t
+    bankOf(Addr word_addr) const
+    {
+        switch (mapping) {
+          case BankMapping::Skewed:
+            return (word_addr + (word_addr >> bits)) & (m - 1);
+          case BankMapping::XorHash: {
+            std::uint64_t h = 0;
+            for (Addr w = word_addr; w != 0; w >>= bits)
+                h ^= w & (m - 1);
+            return h;
+          }
+          case BankMapping::PrimeModulo:
+            return word_addr % m; // m is prime here
+          case BankMapping::LowOrder:
+            break;
+        }
+        return word_addr & (m - 1);
+    }
+
+    /**
+     * Issue one request no earlier than `earliest`; the request waits
+     * until its bank is free.
+     *
+     * @return the cycle at which the request actually issues
+     */
+    Cycles issue(Addr word_addr, Cycles earliest);
+
+    /** Outcome of streaming a whole address sequence. */
+    struct StreamResult
+    {
+        /** Cycle after the last issue (issue-limited, not data return). */
+        Cycles finishCycle;
+        /** Cycles lost waiting for busy banks. */
+        Cycles stallCycles;
+    };
+
+    /**
+     * Stream a sequence at one request per cycle starting at cycle
+     * `start`, stalling in-order on busy banks.
+     */
+    StreamResult streamAccess(std::span<const Addr> addrs,
+                              Cycles start = 0);
+
+    /** Forget all bank state. */
+    void reset();
+
+    std::uint64_t banks() const { return m; }
+    Cycles busyTime() const { return tm; }
+    BankMapping bankMapping() const { return mapping; }
+
+  private:
+    unsigned bits;
+    std::uint64_t m;
+    Cycles tm;
+    BankMapping mapping;
+    std::vector<Cycles> busyUntil;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_MEMORY_INTERLEAVED_HH

@@ -1,0 +1,27 @@
+#include "memory/sweep_model.hh"
+
+#include "numtheory/divisors.hh"
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+std::uint64_t
+banksVisited(std::uint64_t banks, std::uint64_t stride)
+{
+    return sweepCoverage(banks, stride);
+}
+
+double
+sweepStallCycles(std::uint64_t banks, std::uint64_t stride,
+                 std::uint64_t length, std::uint64_t busy_time)
+{
+    vc_assert(banks >= 1, "need at least one bank");
+    const std::uint64_t v = banksVisited(banks, stride);
+    if (busy_time <= v)
+        return 0.0;
+    return static_cast<double>(busy_time - v) *
+           static_cast<double>(length) / static_cast<double>(v);
+}
+
+} // namespace vcache

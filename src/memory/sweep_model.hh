@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Closed-form stall count for a single strided sweep over interleaved
+ * banks (the building block of the paper's I_s^M derivation).
+ *
+ * A stride-s stream visits V = M / gcd(M, s) distinct banks.  Issuing
+ * one request per cycle, each bank is revisited every V cycles; if the
+ * bank busy time t_m exceeds V, every revisit waits t_m - V cycles, so
+ * a stream of L elements loses about (t_m - V) * L / V cycles.
+ */
+
+#ifndef VCACHE_MEMORY_SWEEP_MODEL_HH
+#define VCACHE_MEMORY_SWEEP_MODEL_HH
+
+#include <cstdint>
+
+namespace vcache
+{
+
+/** Banks visited by a stride-s sweep: M / gcd(M, s). */
+std::uint64_t banksVisited(std::uint64_t banks, std::uint64_t stride);
+
+/**
+ * Closed-form stall cycles for one stride-s stream of `length`
+ * requests over `banks` banks with busy time `busy_time`.
+ *
+ * Matches the paper's per-stride term: (t_m - V) * length / V for
+ * t_m > V, else 0 (the V == 1 case degenerates to length*(t_m - 1)).
+ */
+double sweepStallCycles(std::uint64_t banks, std::uint64_t stride,
+                        std::uint64_t length, std::uint64_t busy_time);
+
+} // namespace vcache
+
+#endif // VCACHE_MEMORY_SWEEP_MODEL_HH

@@ -1,0 +1,116 @@
+#include "numtheory/congruence.hh"
+
+#include <cstdlib>
+
+#include "numtheory/gcd.hh"
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+std::vector<std::uint64_t>
+solveLinearCongruence(std::uint64_t a, std::uint64_t b, std::uint64_t m)
+{
+    vc_assert(m >= 1, "congruence modulus must be positive");
+    a %= m;
+    b %= m;
+
+    const std::uint64_t g = gcd(a, m);
+    std::vector<std::uint64_t> xs;
+    if (g == 0) {
+        // a == 0 (mod m): either every x works (b == 0) or none does.
+        if (b == 0)
+            for (std::uint64_t x = 0; x < m; ++x)
+                xs.push_back(x);
+        return xs;
+    }
+    if (b % g != 0)
+        return xs;
+
+    // Reduce to (a/g) x == (b/g) (mod m/g) with a/g invertible.
+    const std::uint64_t m_r = m / g;
+    const std::uint64_t a_r = a / g;
+    const std::uint64_t b_r = (b / g) % m_r;
+    const std::uint64_t x0 =
+        m_r == 1 ? 0 : (modInverse(a_r, m_r) * b_r) % m_r;
+
+    xs.reserve(g);
+    for (std::uint64_t k = 0; k < g; ++k)
+        xs.push_back(x0 + k * m_r);
+    return xs;
+}
+
+std::uint64_t
+crossConflictStalls(const CrossConflictQuery &q)
+{
+    vc_assert(q.banks >= 1, "need at least one bank");
+    const std::uint64_t m = q.banks;
+    std::uint64_t stalls = 0;
+
+    // For each element j of the second stream, the colliding elements i
+    // of the first stream satisfy s1*i == s2*j + D (mod M): an
+    // arithmetic progression with period M / gcd(s1, M).
+    const std::uint64_t g = gcd(q.s1 % m, m);
+    const std::uint64_t period = g == 0 ? 1 : m / g;
+
+    for (std::uint64_t j = 0; j < q.elements; ++j) {
+        const std::uint64_t rhs = (q.s2 % m * (j % m) + q.startDistance) % m;
+        const auto sols = solveLinearCongruence(q.s1, rhs, m);
+        if (sols.empty())
+            continue;
+        // Enumerate i = x0 + k*period (all solution classes share the
+        // same period; iterate each base solution).
+        for (std::uint64_t base : sols) {
+            if (base >= period)
+                continue; // progressions repeat with period `period`
+            for (std::uint64_t i = base; i < q.elements; i += period) {
+                const auto d = i > j ? i - j : j - i;
+                if (d < q.busyTime)
+                    stalls += q.busyTime - d;
+            }
+        }
+    }
+    return stalls;
+}
+
+std::uint64_t
+crossConflictStallsBruteForce(const CrossConflictQuery &q)
+{
+    const std::uint64_t m = q.banks;
+    std::uint64_t stalls = 0;
+    for (std::uint64_t i = 0; i < q.elements; ++i) {
+        for (std::uint64_t j = 0; j < q.elements; ++j) {
+            const std::uint64_t lhs = q.s1 % m * (i % m) % m;
+            const std::uint64_t rhs =
+                (q.s2 % m * (j % m) + q.startDistance) % m;
+            if (lhs != rhs)
+                continue;
+            const auto d = i > j ? i - j : j - i;
+            if (d < q.busyTime)
+                stalls += q.busyTime - d;
+        }
+    }
+    return stalls;
+}
+
+double
+crossConflictStallsUniformD(std::uint64_t banks, std::uint64_t elements,
+                            std::uint64_t busyTime)
+{
+    vc_assert(banks >= 1, "need at least one bank");
+    // Each (i, j) pair collides for exactly one D residue, so the
+    // expectation over uniform D counts every nearby pair with weight
+    // 1/M.
+    double sum = 0.0;
+    const auto n = static_cast<std::int64_t>(elements);
+    const auto tm = static_cast<std::int64_t>(busyTime);
+    for (std::int64_t d = -(tm - 1); d <= tm - 1; ++d) {
+        const std::int64_t pairs = n - std::llabs(d);
+        if (pairs <= 0)
+            continue;
+        sum += static_cast<double>((tm - std::llabs(d)) * pairs);
+    }
+    return sum / static_cast<double>(banks);
+}
+
+} // namespace vcache

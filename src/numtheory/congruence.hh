@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Linear-congruence solving and the paper's cross-interference count.
+ *
+ * Section 3.2 computes memory stalls caused by two concurrent vector
+ * streams: whenever s1*i == s2*j + D (mod M) has a solution with
+ * |i - j| < t_m, the streams collide in a bank and the pipeline stalls
+ * t_m - |i - j| cycles.  The paper solves this congruence numerically;
+ * we provide an extended-gcd solver plus the closed form obtained by
+ * averaging over a uniformly distributed starting distance D.
+ */
+
+#ifndef VCACHE_NUMTHEORY_CONGRUENCE_HH
+#define VCACHE_NUMTHEORY_CONGRUENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vcache
+{
+
+/**
+ * All x in [0, m) with a*x == b (mod m), in increasing order.
+ *
+ * There are gcd(a, m) solutions when gcd(a, m) divides b, none
+ * otherwise.
+ */
+std::vector<std::uint64_t> solveLinearCongruence(std::uint64_t a,
+                                                 std::uint64_t b,
+                                                 std::uint64_t m);
+
+/** Parameters of one cross-interference evaluation. */
+struct CrossConflictQuery
+{
+    /** Stride of the first vector stream. */
+    std::uint64_t s1;
+    /** Stride of the second vector stream. */
+    std::uint64_t s2;
+    /** Bank distance between the two starting addresses. */
+    std::uint64_t startDistance;
+    /** Number of memory banks (any modulus >= 1). */
+    std::uint64_t banks;
+    /** Elements per stream (the paper uses MVL). */
+    std::uint64_t elements;
+    /** Bank busy time t_m in cycles. */
+    std::uint64_t busyTime;
+};
+
+/**
+ * Total stall cycles sum(t_m - |i - j|) over all solution pairs of
+ * s1*i == s2*j + D (mod M) with i, j in [0, elements) and
+ * |i - j| < t_m, following the paper's accumulation rule.
+ *
+ * Solved per-j with the arithmetic-progression structure of the
+ * solutions, so cost is O(elements * elements/ (M/g)) not O(elements^2).
+ */
+std::uint64_t crossConflictStalls(const CrossConflictQuery &q);
+
+/** Brute-force reference for crossConflictStalls (used by tests). */
+std::uint64_t crossConflictStallsBruteForce(const CrossConflictQuery &q);
+
+/**
+ * Expected stalls when D is uniform over [1, M].
+ *
+ * Every (i, j) pair determines exactly one D (mod M), so the average
+ * collapses to (1/M) * sum_{|d| < t_m} (t_m - |d|) * (elements - |d|),
+ * independent of s1 and s2.  Tested against the exact solver.
+ */
+double crossConflictStallsUniformD(std::uint64_t banks,
+                                   std::uint64_t elements,
+                                   std::uint64_t busyTime);
+
+} // namespace vcache
+
+#endif // VCACHE_NUMTHEORY_CONGRUENCE_HH

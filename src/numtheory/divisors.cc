@@ -1,0 +1,51 @@
+#include "numtheory/divisors.hh"
+
+#include "numtheory/gcd.hh"
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+bool
+isPowerOfTwo(std::uint64_t n)
+{
+    return n >= 1 && (n & (n - 1)) == 0;
+}
+
+unsigned
+floorLog2(std::uint64_t n)
+{
+    vc_assert(n >= 1, "floorLog2(0) is undefined");
+    unsigned r = 0;
+    while (n >>= 1)
+        ++r;
+    return r;
+}
+
+unsigned
+ceilLog2(std::uint64_t n)
+{
+    vc_assert(n >= 1, "ceilLog2(0) is undefined");
+    const unsigned f = floorLog2(n);
+    return isPowerOfTwo(n) ? f : f + 1;
+}
+
+std::uint64_t
+stridesWithGcdPow2(unsigned m, unsigned i)
+{
+    vc_assert(i <= m, "gcd exponent ", i, " exceeds modulus exponent ", m);
+    if (i == m)
+        return 1; // only s == 2^m itself
+    // phi(2^(m-i)) counts odd multiples of 2^i in range.
+    return std::uint64_t{1} << (m - i - 1);
+}
+
+std::uint64_t
+sweepCoverage(std::uint64_t n, std::uint64_t s)
+{
+    vc_assert(n >= 1, "sweepCoverage needs a positive modulus");
+    const std::uint64_t g = gcd(n, s % n == 0 ? n : s % n);
+    return n / g;
+}
+
+} // namespace vcache

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Stride/divisor structure of power-of-two moduli.
+ *
+ * Both machine models need the count of strides s in [1, 2^m] whose
+ * gcd with 2^m equals 2^i: a sweep with such a stride visits exactly
+ * 2^(m-i) banks (or cache lines).  The paper quotes these counts as
+ * "the divisor function"; they are Euler totients of 2^(m-i).
+ */
+
+#ifndef VCACHE_NUMTHEORY_DIVISORS_HH
+#define VCACHE_NUMTHEORY_DIVISORS_HH
+
+#include <cstdint>
+
+namespace vcache
+{
+
+/** True if n is a power of two (n >= 1). */
+bool isPowerOfTwo(std::uint64_t n);
+
+/** floor(log2(n)); panics for n == 0. */
+unsigned floorLog2(std::uint64_t n);
+
+/** ceil(log2(n)); panics for n == 0. */
+unsigned ceilLog2(std::uint64_t n);
+
+/**
+ * Number of strides s in [1, 2^m] with gcd(2^m, s) == 2^i.
+ *
+ * For i < m this is phi(2^(m-i)) = 2^(m-i-1); for i == m the only
+ * such stride is s = 2^m itself.
+ *
+ * @param m log2 of the modulus
+ * @param i log2 of the required gcd (0 <= i <= m)
+ */
+std::uint64_t stridesWithGcdPow2(unsigned m, unsigned i);
+
+/**
+ * Number of distinct residues visited by a stride-s sweep over a
+ * modulus of n positions: n / gcd(n, s).
+ */
+std::uint64_t sweepCoverage(std::uint64_t n, std::uint64_t s);
+
+} // namespace vcache
+
+#endif // VCACHE_NUMTHEORY_DIVISORS_HH

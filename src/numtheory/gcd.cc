@@ -1,0 +1,70 @@
+#include "numtheory/gcd.hh"
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+std::uint64_t
+gcd(std::uint64_t a, std::uint64_t b)
+{
+    while (b != 0) {
+        const std::uint64_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+std::uint64_t
+lcm(std::uint64_t a, std::uint64_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return a / gcd(a, b) * b;
+}
+
+ExtGcd
+extendedGcd(std::int64_t a, std::int64_t b)
+{
+    // Iterative extended Euclid maintaining r = a*x + b*y invariants.
+    std::int64_t old_r = a, r = b;
+    std::int64_t old_x = 1, x = 0;
+    std::int64_t old_y = 0, y = 1;
+    while (r != 0) {
+        const std::int64_t q = old_r / r;
+        std::int64_t t;
+        t = old_r - q * r; old_r = r; r = t;
+        t = old_x - q * x; old_x = x; x = t;
+        t = old_y - q * y; old_y = y; y = t;
+    }
+    if (old_r < 0) {
+        old_r = -old_r;
+        old_x = -old_x;
+        old_y = -old_y;
+    }
+    return ExtGcd{old_r, old_x, old_y};
+}
+
+std::uint64_t
+modInverse(std::uint64_t a, std::uint64_t m)
+{
+    vc_assert(m >= 1, "modInverse: modulus must be positive");
+    const auto r = extendedGcd(static_cast<std::int64_t>(a % m),
+                               static_cast<std::int64_t>(m));
+    vc_assert(r.g == 1, "modInverse: ", a, " is not invertible mod ", m);
+    return floorMod(r.x, m);
+}
+
+std::uint64_t
+floorMod(std::int64_t a, std::uint64_t m)
+{
+    vc_assert(m >= 1, "floorMod: modulus must be positive");
+    const auto sm = static_cast<std::int64_t>(m);
+    std::int64_t r = a % sm;
+    if (r < 0)
+        r += sm;
+    return static_cast<std::uint64_t>(r);
+}
+
+} // namespace vcache

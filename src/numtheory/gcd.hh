@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Greatest-common-divisor helpers.
+ *
+ * gcd(M, s) determines how many banks (or cache lines) a stride-s sweep
+ * visits: M / gcd(M, s).  The extended form underlies the linear
+ * congruence solver used for cross-interference analysis.
+ */
+
+#ifndef VCACHE_NUMTHEORY_GCD_HH
+#define VCACHE_NUMTHEORY_GCD_HH
+
+#include <cstdint>
+
+namespace vcache
+{
+
+/** Greatest common divisor; gcd(0, 0) == 0 by convention. */
+std::uint64_t gcd(std::uint64_t a, std::uint64_t b);
+
+/** Least common multiple; 0 if either argument is 0. */
+std::uint64_t lcm(std::uint64_t a, std::uint64_t b);
+
+/** Result of the extended Euclidean algorithm. */
+struct ExtGcd
+{
+    /** gcd(a, b). */
+    std::int64_t g;
+    /** Bezout coefficients: a*x + b*y == g. */
+    std::int64_t x;
+    std::int64_t y;
+};
+
+/** Extended Euclidean algorithm over signed integers. */
+ExtGcd extendedGcd(std::int64_t a, std::int64_t b);
+
+/**
+ * Modular inverse of a modulo m.
+ *
+ * @pre gcd(a, m) == 1 and m >= 1 (panics otherwise)
+ * @return x in [0, m) with a*x == 1 (mod m)
+ */
+std::uint64_t modInverse(std::uint64_t a, std::uint64_t m);
+
+/** Non-negative remainder of a modulo m (m >= 1). */
+std::uint64_t floorMod(std::int64_t a, std::uint64_t m);
+
+} // namespace vcache
+
+#endif // VCACHE_NUMTHEORY_GCD_HH

@@ -1,0 +1,112 @@
+#include "numtheory/mersenne.hh"
+
+#include <array>
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+namespace
+{
+
+// 2^c - 1 is prime exactly for these c below 32.
+constexpr std::array<unsigned, 8> exponents{2, 3, 5, 7, 13, 17, 19, 31};
+
+} // namespace
+
+std::span<const unsigned>
+mersenneExponents()
+{
+    return {exponents.data(), exponents.size()};
+}
+
+bool
+isMersenneExponent(unsigned c)
+{
+    for (unsigned e : exponents)
+        if (e == c)
+            return true;
+    return false;
+}
+
+std::uint64_t
+mersenne(unsigned c)
+{
+    vc_assert(c >= 1 && c <= 63, "mersenne exponent out of range: ", c);
+    return (std::uint64_t{1} << c) - 1;
+}
+
+unsigned
+mersenneExponentFor(std::uint64_t lines)
+{
+    for (unsigned e : exponents) {
+        if (mersenne(e) >= lines)
+            return e;
+    }
+    vc_fatal("no Mersenne prime cache can hold ", lines, " lines");
+}
+
+std::uint64_t
+modMersenne(std::uint64_t x, unsigned c)
+{
+    const std::uint64_t m = mersenne(c);
+    // Fold c-bit digits until the value fits in c bits.  Each pass adds
+    // the high digits into the low digit; since 2^c == 1 (mod m) every
+    // digit has weight 1.
+    while (x >> c)
+        x = (x & m) + (x >> c);
+    // All-ones is the one's-complement "negative zero": 2^c - 1 == 0.
+    return x == m ? 0 : x;
+}
+
+std::uint64_t
+addMersenne(std::uint64_t a, std::uint64_t b, unsigned c)
+{
+    const std::uint64_t m = mersenne(c);
+    vc_assert(a <= m && b <= m,
+              "addMersenne operands must fit in ", c, " bits");
+    std::uint64_t s = a + b;
+    // End-around carry: fold bit c back into bit 0.
+    s = (s & m) + (s >> c);
+    // One fold suffices: (m) + (m) = 2m -> (m - 1) + 1 = m at most,
+    // but the result can still be the all-ones alias of zero.
+    s = (s & m) + (s >> c);
+    return s == m ? 0 : s;
+}
+
+MersenneResidue::MersenneResidue(std::uint64_t value, unsigned c)
+    : v(modMersenne(value, c)), c_(c)
+{
+}
+
+MersenneResidue
+MersenneResidue::operator+(const MersenneResidue &o) const
+{
+    vc_assert(c_ == o.c_, "mixed Mersenne moduli: ", c_, " vs ", o.c_);
+    return {addMersenne(v, o.v, c_), c_};
+}
+
+MersenneResidue
+MersenneResidue::operator-(const MersenneResidue &o) const
+{
+    vc_assert(c_ == o.c_, "mixed Mersenne moduli: ", c_, " vs ", o.c_);
+    // -x == m - x; the one's-complement negation is just bitwise NOT
+    // restricted to c bits.
+    const std::uint64_t neg = o.v == 0 ? 0 : modulus() - o.v;
+    return {addMersenne(v, neg, c_), c_};
+}
+
+MersenneResidue
+MersenneResidue::operator*(const MersenneResidue &o) const
+{
+    vc_assert(c_ == o.c_, "mixed Mersenne moduli: ", c_, " vs ", o.c_);
+    // Products can exceed 64 bits for c > 32, so reduce the wide value
+    // directly; for the cache-sized exponents (c <= 31) this is exact
+    // 64-bit folding.
+    const auto wide = static_cast<unsigned __int128>(v) * o.v;
+    const auto folded = static_cast<std::uint64_t>(wide % modulus());
+    return {folded, c_};
+}
+
+} // namespace vcache

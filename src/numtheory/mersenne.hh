@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Mersenne-number arithmetic.
+ *
+ * The prime-mapped cache holds 2^c - 1 lines where 2^c - 1 is a
+ * Mersenne prime.  Reduction modulo 2^c - 1 needs only c-bit additions
+ * because 2^c == 1 (mod 2^c - 1); this file provides the arithmetic
+ * used both by the hardware model (src/address) and by the analytic
+ * model, plus the table of usable exponents.
+ */
+
+#ifndef VCACHE_NUMTHEORY_MERSENNE_HH
+#define VCACHE_NUMTHEORY_MERSENNE_HH
+
+#include <cstdint>
+#include <span>
+
+namespace vcache
+{
+
+/** Mersenne exponents c <= 31 for which 2^c - 1 is prime. */
+std::span<const unsigned> mersenneExponents();
+
+/** True if 2^c - 1 is a Mersenne prime for this c (c <= 31). */
+bool isMersenneExponent(unsigned c);
+
+/** The Mersenne number 2^c - 1 (c <= 63). */
+std::uint64_t mersenne(unsigned c);
+
+/**
+ * Smallest Mersenne-prime exponent whose cache (2^c - 1 lines) holds at
+ * least `lines` lines; panics if none fits below 2^31.
+ */
+unsigned mersenneExponentFor(std::uint64_t lines);
+
+/**
+ * x mod (2^c - 1) computed by c-bit folding, never by division.
+ *
+ * This mirrors exactly what the paper's adder tree does: split x into
+ * c-bit digits, sum them, fold the carries back in, and normalise the
+ * all-ones pattern ("negative zero") to 0.
+ */
+std::uint64_t modMersenne(std::uint64_t x, unsigned c);
+
+/**
+ * Addition modulo 2^c - 1 via a single end-around-carry step,
+ * matching a one's-complement adder.
+ *
+ * @pre a, b < 2^c
+ */
+std::uint64_t addMersenne(std::uint64_t a, std::uint64_t b, unsigned c);
+
+/**
+ * Value in the Mersenne residue ring Z/(2^c - 1).
+ *
+ * A thin typed wrapper so model code cannot accidentally mix residues
+ * with full addresses.  All operations reduce by folding.
+ */
+class MersenneResidue
+{
+  public:
+    /** Residue of value modulo 2^c - 1. */
+    MersenneResidue(std::uint64_t value, unsigned c);
+
+    /** The canonical residue in [0, 2^c - 1). */
+    std::uint64_t value() const { return v; }
+
+    /** The exponent c of the modulus 2^c - 1. */
+    unsigned exponent() const { return c_; }
+
+    /** The modulus 2^c - 1. */
+    std::uint64_t modulus() const { return mersenne(c_); }
+
+    MersenneResidue operator+(const MersenneResidue &o) const;
+    MersenneResidue operator-(const MersenneResidue &o) const;
+    MersenneResidue operator*(const MersenneResidue &o) const;
+    bool operator==(const MersenneResidue &o) const = default;
+
+  private:
+    std::uint64_t v;
+    unsigned c_;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_NUMTHEORY_MERSENNE_HH

@@ -1,0 +1,104 @@
+#include "numtheory/primality.hh"
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+namespace
+{
+
+/** (a * b) mod m without overflow, using unsigned 128-bit arithmetic. */
+std::uint64_t
+mulMod(std::uint64_t a, std::uint64_t b, std::uint64_t m)
+{
+    return static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(a) * b % m);
+}
+
+/** (a ^ e) mod m by square and multiply. */
+std::uint64_t
+powMod(std::uint64_t a, std::uint64_t e, std::uint64_t m)
+{
+    std::uint64_t result = 1 % m;
+    a %= m;
+    while (e > 0) {
+        if (e & 1)
+            result = mulMod(result, a, m);
+        a = mulMod(a, a, m);
+        e >>= 1;
+    }
+    return result;
+}
+
+/** One Miller-Rabin round; true if n passes for witness a. */
+bool
+millerRabinRound(std::uint64_t n, std::uint64_t a, std::uint64_t d,
+                 unsigned r)
+{
+    std::uint64_t x = powMod(a, d, n);
+    if (x == 1 || x == n - 1)
+        return true;
+    for (unsigned i = 1; i < r; ++i) {
+        x = mulMod(x, x, n);
+        if (x == n - 1)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+isPrime(std::uint64_t n)
+{
+    if (n < 2)
+        return false;
+    for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull,
+                            19ull, 23ull, 29ull, 31ull, 37ull}) {
+        if (n % p == 0)
+            return n == p;
+    }
+
+    // n - 1 == d * 2^r with d odd.
+    std::uint64_t d = n - 1;
+    unsigned r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+
+    // This witness set is deterministic for all 64-bit integers
+    // (Sinclair, 2011).
+    for (std::uint64_t a : {2ull, 325ull, 9375ull, 28178ull, 450775ull,
+                            9780504ull, 1795265022ull}) {
+        if (a % n == 0)
+            continue;
+        if (!millerRabinRound(n, a, d, r))
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+nextPrime(std::uint64_t n)
+{
+    vc_assert(n < 18446744073709551557ull,
+              "nextPrime: no 64-bit prime above ", n);
+    std::uint64_t c = n + 1;
+    while (!isPrime(c))
+        ++c;
+    return c;
+}
+
+std::uint64_t
+prevPrime(std::uint64_t n)
+{
+    for (std::uint64_t c = n; c >= 2; --c) {
+        if (isPrime(c))
+            return c;
+    }
+    return 0;
+}
+
+} // namespace vcache

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Primality testing.
+ *
+ * The prime-mapped cache only works because 2^c - 1 is prime for the
+ * supported exponents; these helpers verify that property in tests and
+ * at configuration time.
+ */
+
+#ifndef VCACHE_NUMTHEORY_PRIMALITY_HH
+#define VCACHE_NUMTHEORY_PRIMALITY_HH
+
+#include <cstdint>
+
+namespace vcache
+{
+
+/** Deterministic primality test for any 64-bit value (Miller-Rabin). */
+bool isPrime(std::uint64_t n);
+
+/** Smallest prime strictly greater than n (panics on overflow). */
+std::uint64_t nextPrime(std::uint64_t n);
+
+/** Largest prime less than or equal to n; 0 if none exists (n < 2). */
+std::uint64_t prevPrime(std::uint64_t n);
+
+} // namespace vcache
+
+#endif // VCACHE_NUMTHEORY_PRIMALITY_HH

@@ -1,0 +1,183 @@
+#include "sim/cc_sim.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+CacheConfig
+ccCacheConfig(const MachineParams &params, CacheScheme scheme)
+{
+    CacheConfig config;
+    config.organization = scheme == CacheScheme::Prime
+                              ? Organization::PrimeMapped
+                              : Organization::DirectMapped;
+    config.indexBits = params.cacheIndexBits;
+    config.offsetBits = 0; // the paper's one-word lines
+    return config;
+}
+
+CcSimulator::CcSimulator(const MachineParams &params,
+                         const CacheConfig &cache_config)
+    : machine(params), vectorCache(makeCache(cache_config)),
+      memory(params.bankBits, params.memoryTime, params.bankMapping)
+{
+}
+
+CcSimulator::CcSimulator(const MachineParams &params, CacheScheme scheme)
+    : CcSimulator(params, ccCacheConfig(params, scheme))
+{
+}
+
+void
+CcSimulator::enablePrefetch(PrefetchPolicy policy, unsigned degree)
+{
+    vc_assert(degree >= 1 || policy == PrefetchPolicy::None,
+              "prefetch degree must be at least 1");
+    prefetchPolicy = policy;
+    prefetchDegree = degree;
+}
+
+void
+CcSimulator::reset()
+{
+    vectorCache->reset();
+    memory.reset();
+    buses.reset();
+    touchedLines.clear();
+    clock = 0;
+    inFlight.clear();
+    untouchedPrefetches.clear();
+    prefetchCount = 0;
+}
+
+void
+CcSimulator::issuePrefetches(Addr addr)
+{
+    const auto &layout = vectorCache->addressLayout();
+    const std::int64_t step =
+        prefetchPolicy == PrefetchPolicy::Stride
+            ? (streamStride == 0 ? 1 : streamStride)
+            : static_cast<std::int64_t>(layout.lineWords());
+
+    Addr next = addr;
+    for (unsigned d = 0; d < prefetchDegree; ++d) {
+        next = static_cast<Addr>(static_cast<std::int64_t>(next) +
+                                 step);
+        if (vectorCache->contains(next))
+            continue;
+        const Addr line = layout.lineAddress(next);
+        if (!vectorCache->insert(next))
+            continue;
+        // The prefetch streams through a read bus and its bank; the
+        // data is usable one memory time after issue.
+        const Cycles bus = buses.reserveRead(clock);
+        const Cycles when = memory.issue(next, bus);
+        inFlight[line] = when + machine.memoryTime;
+        untouchedPrefetches.insert(line);
+        touchedLines.insert(line);
+        ++prefetchCount;
+    }
+}
+
+void
+CcSimulator::accessElement(Addr addr, SimResult &result)
+{
+    const Addr line = vectorCache->addressLayout().lineAddress(addr);
+    const AccessOutcome outcome = vectorCache->access(addr);
+
+    if (outcome.hit) {
+        ++result.hits;
+        touchedLines.insert(line);
+        clock += 1;
+        // A hit on a line still in flight waits for whatever part of
+        // the flight the vector pipeline cannot absorb.  The strip
+        // start-up (T_start = 30 + t_m) already hides one memory
+        // time of an in-order stream -- the same credit the
+        // compulsory path gets -- so only bank-contention delays
+        // beyond that are exposed.
+        if (auto it = inFlight.find(line); it != inFlight.end()) {
+            const Cycles visible = clock + machine.memoryTime;
+            if (it->second > visible) {
+                result.stallCycles += it->second - visible;
+                clock = it->second - machine.memoryTime;
+            }
+            inFlight.erase(it);
+        }
+        // Tagged retrigger: first demand use of a prefetched line
+        // launches the next prefetch.
+        if (untouchedPrefetches.erase(line) &&
+            prefetchPolicy != PrefetchPolicy::None) {
+            issuePrefetches(addr);
+        }
+        return;
+    }
+
+    ++result.misses;
+    untouchedPrefetches.erase(line);
+    const bool first_touch = touchedLines.insert(line).second;
+    if (first_touch || nonBlocking) {
+        // Compulsory miss (or any miss of a lockup-free cache): part
+        // of the pipelined load stream; it flows through bus and
+        // banks at streaming rate.
+        if (first_touch)
+            ++result.compulsoryMisses;
+        const Cycles bus = buses.reserveRead(clock);
+        const Cycles when = memory.issue(addr, bus);
+        result.stallCycles += when - clock;
+        clock = when + 1;
+    } else {
+        // Interference/capacity miss: full memory round trip exposed.
+        result.stallCycles += machine.memoryTime;
+        clock += 1 + machine.memoryTime;
+    }
+    if (prefetchPolicy != PrefetchPolicy::None)
+        issuePrefetches(addr);
+}
+
+SimResult
+CcSimulator::run(const Trace &trace)
+{
+    SimResult result;
+
+    for (const auto &op : trace) {
+        clock += static_cast<Cycles>(machine.blockOverhead);
+        streamStride = op.first.stride; // the stride register value
+
+        const VectorRef *second =
+            op.second ? &op.second.value() : nullptr;
+
+        for (std::uint64_t done = 0; done < op.first.length;
+             done += machine.mvl) {
+            // Strips whose head is already cached skip the memory
+            // latency component of the start-up (Equation (4)).
+            const bool warm =
+                vectorCache->contains(op.first.element(done));
+            const double startup =
+                machine.stripOverhead + machine.startupTime() -
+                (warm ? static_cast<double>(machine.memoryTime) : 0.0);
+            clock += static_cast<Cycles>(startup);
+
+            const std::uint64_t count =
+                std::min<std::uint64_t>(machine.mvl,
+                                        op.first.length - done);
+            for (std::uint64_t i = 0; i < count; ++i) {
+                accessElement(op.first.element(done + i), result);
+                if (second && done + i < second->length)
+                    accessElement(second->element(done + i), result);
+                ++result.results;
+            }
+        }
+
+        if (op.store)
+            for (std::uint64_t i = 0; i < op.store->length; ++i)
+                buses.reserveWrite(clock);
+    }
+
+    result.totalCycles = clock;
+    return result;
+}
+
+} // namespace vcache

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Trace-driven simulator of the CC-model machine (Figure 3): the MM
+ * machine plus a vector data cache in front of the banks.
+ *
+ * Timing follows the paper's assumptions:
+ *
+ *   - a cache hit sustains one element per cycle;
+ *   - a *first-touch* (compulsory) miss is pipelined through the
+ *     interleaved banks like an MM-model access (the initial loading
+ *     of each block, Equation (1));
+ *   - any other miss -- interference or capacity -- stalls the
+ *     pipeline for the full t_m memory time ("cache misses may not be
+ *     easily pipelined", Section 3.3);
+ *   - a strip whose leading element hits starts up t_m cycles faster
+ *     (the "- t_m" in Equation (4));
+ *   - writes drain through the write bus without stalling.
+ */
+
+#ifndef VCACHE_SIM_CC_SIM_HH
+#define VCACHE_SIM_CC_SIM_HH
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analytic/machine.hh"
+#include "cache/cache.hh"
+#include "cache/factory.hh"
+#include "cache/prefetch.hh"
+#include "memory/bus.hh"
+#include "memory/interleaved.hh"
+#include "sim/result.hh"
+#include "trace/access.hh"
+
+namespace vcache
+{
+
+/** Cycle-level CC-model machine with a pluggable cache. */
+class CcSimulator
+{
+  public:
+    /**
+     * @param params machine parameters (cache geometry comes from
+     *               cache_config, which should agree with
+     *               params.cacheIndexBits for like-for-like runs)
+     * @param cache_config vector-cache configuration
+     */
+    CcSimulator(const MachineParams &params,
+                const CacheConfig &cache_config);
+
+    /** Convenience: direct- or prime-mapped cache per the scheme. */
+    CcSimulator(const MachineParams &params, CacheScheme scheme);
+
+    /**
+     * Enable hardware prefetching with timing: a prefetch issues
+     * through a read bus and its bank, and its line arrives one
+     * memory time later.  The vector pipeline absorbs up to t_m
+     * cycles of that flight (the same start-up credit the pipelined
+     * compulsory loads enjoy), so what remains visible is bank
+     * contention -- and, crucially, *interference*: prefetches into
+     * frames the demand stream is thrashing evict each other and
+     * leave the full t_m miss penalty in place.  That is the paper's
+     * argument for removing conflicts (prime mapping) rather than
+     * hiding latency (prefetch).
+     *
+     * @param policy sequential or stride scheme
+     * @param degree lines prefetched per trigger
+     */
+    void enablePrefetch(PrefetchPolicy policy, unsigned degree);
+
+    /**
+     * Robustness knob: let interference/capacity misses stream
+     * through the banks like the pipelined compulsory loads instead
+     * of stalling the full t_m ("cache misses may not be easily
+     * pipelined", Section 3.3, is the paper's assumption -- this
+     * switch quantifies how much of the prime advantage rests on
+     * it).  A lockup-free cache with enough MSHRs would approximate
+     * this behaviour.
+     */
+    void setNonBlockingMisses(bool enable) { nonBlocking = enable; }
+
+    /** Run a whole trace from a cold start. */
+    SimResult run(const Trace &trace);
+
+    /** Prefetches issued by the timed prefetcher. */
+    std::uint64_t prefetchesIssued() const { return prefetchCount; }
+
+    /** Reset cache, banks and buses between runs. */
+    void reset();
+
+    const Cache &cache() const { return *vectorCache; }
+    const MachineParams &params() const { return machine; }
+
+  private:
+    /** Access one element; returns the cycle the pipeline may resume. */
+    void accessElement(Addr addr, SimResult &result);
+
+    /** Launch the prefetches triggered at `addr` (timed). */
+    void issuePrefetches(Addr addr);
+
+    MachineParams machine;
+    std::unique_ptr<Cache> vectorCache;
+    InterleavedMemory memory;
+    BusSet buses;
+    std::unordered_set<Addr> touchedLines;
+    Cycles clock = 0;
+    bool nonBlocking = false;
+
+    // Timed prefetch state.
+    PrefetchPolicy prefetchPolicy = PrefetchPolicy::None;
+    unsigned prefetchDegree = 1;
+    std::int64_t streamStride = 1;
+    /** Lines prefetched but still in flight: line -> arrival cycle. */
+    std::unordered_map<Addr, Cycles> inFlight;
+    /** Prefetched lines not yet demand-used (tagged retrigger). */
+    std::unordered_set<Addr> untouchedPrefetches;
+    std::uint64_t prefetchCount = 0;
+};
+
+/** Cache configuration matching the analytic machine and scheme. */
+CacheConfig ccCacheConfig(const MachineParams &params,
+                          CacheScheme scheme);
+
+} // namespace vcache
+
+#endif // VCACHE_SIM_CC_SIM_HH

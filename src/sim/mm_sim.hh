@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Trace-driven simulator of the MM-model machine (Figure 2): vector
+ * registers fed straight from interleaved banks over pipelined buses.
+ *
+ * Every vector operation strip-mines into MVL-element chunks; each
+ * chunk pays the start-up and loop overheads of Equation (1), then
+ * issues one element per cycle per stream, stalling in-order when a
+ * bank is still busy.  This is the machine the analytic I_s^M / I_c^M
+ * formulas approximate, so the two are cross-checked in tests and in
+ * the validation bench.
+ */
+
+#ifndef VCACHE_SIM_MM_SIM_HH
+#define VCACHE_SIM_MM_SIM_HH
+
+#include "analytic/machine.hh"
+#include "memory/bus.hh"
+#include "memory/interleaved.hh"
+#include "sim/result.hh"
+#include "trace/access.hh"
+
+namespace vcache
+{
+
+/** Cycle-level MM-model machine. */
+class MmSimulator
+{
+  public:
+    explicit MmSimulator(const MachineParams &params);
+
+    /** Run a whole trace from a cold start. */
+    SimResult run(const Trace &trace);
+
+    /** Reset banks/buses between runs. */
+    void reset();
+
+    const MachineParams &params() const { return machine; }
+
+  private:
+    /** Issue one strip of up to MVL elements from one or two streams. */
+    void issueStrip(const VectorRef &first, const VectorRef *second,
+                    std::uint64_t offset, std::uint64_t count,
+                    SimResult &result);
+
+    MachineParams machine;
+    InterleavedMemory memory;
+    BusSet buses;
+    Cycles clock = 0;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_SIM_MM_SIM_HH

@@ -1,0 +1,23 @@
+#include "sim/result.hh"
+
+namespace vcache
+{
+
+double
+SimResult::cyclesPerResult() const
+{
+    return results ? static_cast<double>(totalCycles) /
+                         static_cast<double>(results)
+                   : 0.0;
+}
+
+double
+SimResult::missRatio() const
+{
+    const auto accesses = hits + misses;
+    return accesses ? static_cast<double>(misses) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+}
+
+} // namespace vcache

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Result of one trace-driven simulation run.
+ */
+
+#ifndef VCACHE_SIM_RESULT_HH
+#define VCACHE_SIM_RESULT_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace vcache
+{
+
+/** Counters produced by the MM and CC trace-driven simulators. */
+struct SimResult
+{
+    /** Total simulated cycles. */
+    Cycles totalCycles = 0;
+    /** Cycles lost to busy banks (MM) or non-pipelined misses (CC). */
+    Cycles stallCycles = 0;
+    /** Result elements produced (first-stream loads). */
+    std::uint64_t results = 0;
+    /** Cache hits (CC only). */
+    std::uint64_t hits = 0;
+    /** Cache misses (CC only). */
+    std::uint64_t misses = 0;
+    /** Misses that were first touches (pipelined initial loads). */
+    std::uint64_t compulsoryMisses = 0;
+
+    /** The paper's figure-of-merit. */
+    double cyclesPerResult() const;
+
+    /** Miss ratio over all cache accesses (0 for the MM machine). */
+    double missRatio() const;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_SIM_RESULT_HH

@@ -1,0 +1,86 @@
+#include "sim/runner.hh"
+
+#include "sim/cc_sim.hh"
+#include "sim/mm_sim.hh"
+
+namespace vcache
+{
+
+SimResult
+simulateMm(const MachineParams &params, const Trace &trace)
+{
+    MmSimulator sim(params);
+    return sim.run(trace);
+}
+
+SimResult
+simulateCc(const MachineParams &params, CacheScheme scheme,
+           const Trace &trace)
+{
+    CcSimulator sim(params, scheme);
+    return sim.run(trace);
+}
+
+namespace
+{
+
+template <typename AccessFn>
+void
+walkTrace(const Trace &trace, AccessFn &&access)
+{
+    for (const auto &op : trace) {
+        const std::uint64_t n =
+            op.second ? std::max(op.first.length, op.second->length)
+                      : op.first.length;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (i < op.first.length)
+                access(op.first.element(i), AccessType::Read);
+            if (op.second && i < op.second->length)
+                access(op.second->element(i), AccessType::Read);
+        }
+        if (op.store)
+            for (std::uint64_t i = 0; i < op.store->length; ++i)
+                access(op.store->element(i), AccessType::Write);
+    }
+}
+
+} // namespace
+
+CacheStats
+runTraceThroughCache(Cache &cache, const Trace &trace)
+{
+    walkTrace(trace, [&](Addr a, AccessType t) { cache.access(a, t); });
+    return cache.stats();
+}
+
+MissBreakdown
+classifyTrace(Cache &cache, const Trace &trace)
+{
+    MissClassifier classifier(cache);
+    walkTrace(trace,
+              [&](Addr a, AccessType t) { classifier.access(a, t); });
+    return classifier.breakdown();
+}
+
+CacheStats
+runTraceWithPrefetch(PrefetchingCache &front, const Trace &trace)
+{
+    for (const auto &op : trace) {
+        front.beginStream(op.first.stride);
+        const std::uint64_t n =
+            op.second ? std::max(op.first.length, op.second->length)
+                      : op.first.length;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (i < op.first.length)
+                front.access(op.first.element(i), AccessType::Read);
+            if (op.second && i < op.second->length)
+                front.access(op.second->element(i), AccessType::Read);
+        }
+        if (op.store)
+            for (std::uint64_t i = 0; i < op.store->length; ++i)
+                front.access(op.store->element(i), AccessType::Write);
+    }
+    return front.cache().stats();
+}
+
+} // namespace vcache

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * One-call helpers tying traces, machines and caches together.
+ */
+
+#ifndef VCACHE_SIM_RUNNER_HH
+#define VCACHE_SIM_RUNNER_HH
+
+#include "analytic/machine.hh"
+#include "cache/cache.hh"
+#include "cache/classify.hh"
+#include "cache/prefetch.hh"
+#include "sim/result.hh"
+#include "trace/access.hh"
+
+namespace vcache
+{
+
+/** Simulate a trace on the cacheless MM machine. */
+SimResult simulateMm(const MachineParams &params, const Trace &trace);
+
+/** Simulate a trace on the CC machine with the given mapping. */
+SimResult simulateCc(const MachineParams &params, CacheScheme scheme,
+                     const Trace &trace);
+
+/**
+ * Functional run: push every load of a trace through a cache and
+ * return its stats (no timing).  Stores are treated as allocating
+ * accesses too, matching the write-allocate vector cache.
+ */
+CacheStats runTraceThroughCache(Cache &cache, const Trace &trace);
+
+/** Functional run with 3C classification. */
+MissBreakdown classifyTrace(Cache &cache, const Trace &trace);
+
+/**
+ * Functional run through a prefetching front end.  Each vector
+ * operation announces its first stream's stride (the Figure-1 stride
+ * register contents) before its elements issue.
+ */
+CacheStats runTraceWithPrefetch(PrefetchingCache &front,
+                                const Trace &trace);
+
+} // namespace vcache
+
+#endif // VCACHE_SIM_RUNNER_HH

@@ -1,0 +1,64 @@
+#include "trace/access.hh"
+
+namespace vcache
+{
+
+std::vector<Addr>
+expand(const VectorRef &ref)
+{
+    std::vector<Addr> out;
+    out.reserve(ref.length);
+    for (std::uint64_t i = 0; i < ref.length; ++i)
+        out.push_back(ref.element(i));
+    return out;
+}
+
+std::uint64_t
+loadedElements(const Trace &trace)
+{
+    std::uint64_t n = 0;
+    for (const auto &op : trace) {
+        n += op.first.length;
+        if (op.second)
+            n += op.second->length;
+    }
+    return n;
+}
+
+std::uint64_t
+totalElements(const Trace &trace)
+{
+    std::uint64_t n = loadedElements(trace);
+    for (const auto &op : trace)
+        if (op.store)
+            n += op.store->length;
+    return n;
+}
+
+std::vector<Addr>
+flatten(const Trace &trace)
+{
+    std::vector<Addr> out;
+    out.reserve(totalElements(trace));
+    for (const auto &op : trace) {
+        if (op.second) {
+            const std::uint64_t n =
+                std::max(op.first.length, op.second->length);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                if (i < op.first.length)
+                    out.push_back(op.first.element(i));
+                if (i < op.second->length)
+                    out.push_back(op.second->element(i));
+            }
+        } else {
+            for (std::uint64_t i = 0; i < op.first.length; ++i)
+                out.push_back(op.first.element(i));
+        }
+        if (op.store)
+            for (std::uint64_t i = 0; i < op.store->length; ++i)
+                out.push_back(op.store->element(i));
+    }
+    return out;
+}
+
+} // namespace vcache

@@ -1,0 +1,50 @@
+#include "trace/banded.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+Trace
+generateBandedMatvecTrace(const BandedParams &p)
+{
+    vc_assert(p.n >= 1, "need at least one unknown");
+    vc_assert(!p.offsets.empty(), "need at least one diagonal");
+    const std::uint64_t spacing = p.diagSpacing ? p.diagSpacing : p.n;
+    vc_assert(spacing >= p.n, "diagonal spacing ", spacing,
+              " smaller than n = ", p.n);
+
+    Trace trace;
+    for (std::uint64_t rep = 0; rep < p.repetitions; ++rep) {
+        for (std::size_t d = 0; d < p.offsets.size(); ++d) {
+            const std::int64_t off = p.offsets[d];
+            // Valid rows: i and i + off both in [0, n).
+            const std::uint64_t lo =
+                off < 0 ? static_cast<std::uint64_t>(-off) : 0;
+            const std::uint64_t hi =
+                off > 0 ? p.n - static_cast<std::uint64_t>(off) : p.n;
+            if (lo >= hi)
+                continue;
+            const std::uint64_t len = hi - lo;
+
+            VectorOp op;
+            // Diagonal values, aligned to the valid row range.
+            op.first = VectorRef{p.diagBase + d * spacing + lo, 1,
+                                 len};
+            // x shifted by the diagonal offset.
+            op.second = VectorRef{
+                static_cast<Addr>(static_cast<std::int64_t>(
+                                      p.xBase + lo) +
+                                  off),
+                1, len};
+            // y accumulation.
+            op.store = VectorRef{p.yBase + lo, 1, len};
+            trace.push_back(op);
+        }
+    }
+    return trace;
+}
+
+} // namespace vcache

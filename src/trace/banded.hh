@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Banded matrix-vector product traces (diagonal storage).
+ *
+ * A banded SPD system stored by diagonals computes
+ * y = A x as a sum of shifted element-wise products:
+ *
+ *   y[i] = sum_d  diag_d[i] * x[i + offset_d]
+ *
+ * Each diagonal contributes one double-stream pass (the diagonal
+ * itself plus the shifted x), the generalisation of the CG example's
+ * tridiagonal stencil.  All strides are 1, but the *shifts* slide the
+ * x window, so cache behaviour depends on how the diagonals and x are
+ * laid out -- another workload where power-of-two array spacing turns
+ * toxic for a power-of-two cache.
+ */
+
+#ifndef VCACHE_TRACE_BANDED_HH
+#define VCACHE_TRACE_BANDED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/access.hh"
+
+namespace vcache
+{
+
+/** Parameters of the banded matvec. */
+struct BandedParams
+{
+    /** Unknowns n. */
+    std::uint64_t n = 1024;
+    /** Diagonal offsets (e.g. {-1, 0, 1} for tridiagonal). */
+    std::vector<std::int64_t> offsets = {-1, 0, 1};
+    /** Word address of x[0]. */
+    Addr xBase = 0;
+    /** Word address of y[0]. */
+    Addr yBase = 0;
+    /**
+     * Word address of diag_0[0]; subsequent diagonals follow at
+     * diagSpacing intervals.
+     */
+    Addr diagBase = 0;
+    /** Spacing between stored diagonals (>= n). */
+    std::uint64_t diagSpacing = 0;
+    /** Number of matvec repetitions (solver iterations). */
+    std::uint64_t repetitions = 1;
+};
+
+/** Generate the diagonal-by-diagonal matvec trace. */
+Trace generateBandedMatvecTrace(const BandedParams &params);
+
+} // namespace vcache
+
+#endif // VCACHE_TRACE_BANDED_HH

@@ -1,0 +1,154 @@
+#include "trace/fft.hh"
+
+#include "numtheory/divisors.hh"
+#include "trace/matmul.hh"
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+Trace
+generateFftButterflyTrace(Addr base, std::uint64_t n)
+{
+    vc_assert(isPowerOfTwo(n) && n >= 2,
+              "FFT size must be a power of two >= 2, got ", n);
+
+    Trace trace;
+    // Decimation-in-frequency order: stage distances n/2, n/4, ..., 1.
+    for (std::uint64_t dist = n / 2; dist >= 1; dist /= 2) {
+        // Butterflies (i, i + dist) for i stepping through each block
+        // of 2*dist.  The upper and lower operand sequences are two
+        // strided streams read concurrently.
+        for (std::uint64_t block = 0; block < n; block += 2 * dist) {
+            VectorOp op;
+            op.first = VectorRef{base + block, 1, dist};
+            op.second = VectorRef{base + block + dist, 1, dist};
+            op.store = VectorRef{base + block, 1, dist};
+            trace.push_back(op);
+        }
+        if (dist == 1)
+            break;
+    }
+    return trace;
+}
+
+namespace
+{
+
+/**
+ * Emit an L-point FFT whose points live at `base + i*stride`:
+ * log2(L) stages, each touching all L points (two interleaved
+ * half-streams per stage, as in the in-place butterfly network).
+ */
+void
+emitStridedFft(Trace &trace, Addr base, std::int64_t stride,
+               std::uint64_t l)
+{
+    for (std::uint64_t dist = l / 2; dist >= 1; dist /= 2) {
+        for (std::uint64_t block = 0; block < l; block += 2 * dist) {
+            VectorOp op;
+            op.first = VectorRef{
+                base + static_cast<Addr>(stride *
+                                         static_cast<std::int64_t>(block)),
+                stride, dist};
+            op.second = VectorRef{
+                base + static_cast<Addr>(
+                           stride * static_cast<std::int64_t>(block + dist)),
+                stride, dist};
+            op.store = op.first;
+            trace.push_back(op);
+        }
+        if (dist == 1)
+            break;
+    }
+}
+
+} // namespace
+
+Trace
+generateFft2dTrace(const Fft2dParams &p)
+{
+    vc_assert(isPowerOfTwo(p.b1) && p.b1 >= 2,
+              "B1 must be a power of two >= 2");
+    vc_assert(isPowerOfTwo(p.b2) && p.b2 >= 2,
+              "B2 must be a power of two >= 2");
+
+    Trace trace;
+
+    // Phase 1: B2 row FFTs of length B1; row r starts at (r, 0) and
+    // its elements are B2 words apart (column-major layout).
+    for (std::uint64_t r = 0; r < p.b2; ++r) {
+        emitStridedFft(trace, columnMajorAddr(p.base, r, 0, p.b2),
+                       static_cast<std::int64_t>(p.b2), p.b1);
+    }
+
+    // Phase 2 (after the twiddle multiply): B1 column FFTs of length
+    // B2, stride 1.
+    for (std::uint64_t c = 0; c < p.b1; ++c) {
+        emitStridedFft(trace, columnMajorAddr(p.base, 0, c, p.b2), 1,
+                       p.b2);
+    }
+    return trace;
+}
+
+Trace
+generateFftAgarwalTrace(const FftAgarwalParams &p)
+{
+    vc_assert(isPowerOfTwo(p.b1) && p.b1 >= 2,
+              "B1 must be a power of two >= 2");
+    vc_assert(isPowerOfTwo(p.b2) && p.b2 >= 2,
+              "B2 must be a power of two >= 2");
+    vc_assert(p.groupRows >= 1 && p.b2 % p.groupRows == 0,
+              "group size must divide B2");
+
+    Trace trace;
+
+    // Phase 1: for each group of rows, transform every row of the
+    // group stage by stage -- the group's sub-matrix is the working
+    // set, so its rows are revisited log2(B1) times while resident.
+    for (std::uint64_t g = 0; g < p.b2; g += p.groupRows) {
+        for (std::uint64_t dist = p.b1 / 2; dist >= 1; dist /= 2) {
+            for (std::uint64_t r = g; r < g + p.groupRows; ++r) {
+                const Addr row_base =
+                    columnMajorAddr(p.base, r, 0, p.b2);
+                const auto stride =
+                    static_cast<std::int64_t>(p.b2);
+                for (std::uint64_t block = 0; block < p.b1;
+                     block += 2 * dist) {
+                    VectorOp op;
+                    op.first = VectorRef{
+                        row_base +
+                            static_cast<Addr>(
+                                stride *
+                                static_cast<std::int64_t>(block)),
+                        stride, dist};
+                    op.second = VectorRef{
+                        row_base +
+                            static_cast<Addr>(
+                                stride * static_cast<std::int64_t>(
+                                             block + dist)),
+                        stride, dist};
+                    op.store = op.first;
+                    trace.push_back(op);
+                }
+            }
+            if (dist == 1)
+                break;
+        }
+    }
+
+    // Phase 2: B1 column FFTs of length B2, stride 1 (unchanged).
+    for (std::uint64_t c = 0; c < p.b1; ++c) {
+        emitStridedFft(trace, columnMajorAddr(p.base, 0, c, p.b2), 1,
+                       p.b2);
+    }
+    return trace;
+}
+
+std::uint64_t
+fftResultElements(std::uint64_t n)
+{
+    return n * floorLog2(n);
+}
+
+} // namespace vcache

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * FFT access traces (Section 4, "FFT Accesses").
+ *
+ * Two forms are provided:
+ *
+ *  1. The in-place radix-2 Cooley-Tukey trace over N = 2^k points:
+ *     after each stage the butterfly distance doubles, so all strides
+ *     except the last are powers of two -- the worst case for a
+ *     power-of-two cache.
+ *
+ *  2. The blocked two-dimensional formulation the paper analyses:
+ *     N = B2 x B1 stored column-major (B2 rows, B1 columns).  Phase 1
+ *     performs B2 row FFTs (row stride = B2, the conflict-prone one),
+ *     phase 2 performs B1 column FFTs (stride 1).  Each L-point FFT
+ *     touches its L points log2(L) times (the reuse factor).
+ */
+
+#ifndef VCACHE_TRACE_FFT_HH
+#define VCACHE_TRACE_FFT_HH
+
+#include <cstdint>
+
+#include "trace/access.hh"
+
+namespace vcache
+{
+
+/** Parameters of the blocked 2-D FFT. */
+struct Fft2dParams
+{
+    /** Rows B2 (power of two). */
+    std::uint64_t b2 = 64;
+    /** Columns B1 (power of two); N = b1 * b2. */
+    std::uint64_t b1 = 64;
+    /** Word address of element (0,0). */
+    Addr base = 0;
+};
+
+/**
+ * In-place radix-2 butterfly trace over n = 2^k points at `base`.
+ *
+ * Stage t (t = 0 .. k-1) pairs element i with element i + 2^t; the
+ * trace emits, per stage, the two interleaved half-sweeps the
+ * butterflies read, each of length n/2.  The read pattern equals the
+ * reference algorithm's exactly (validated against
+ * referenceFftDif's instrumented accesses); the store record keeps
+ * the upper half only, since stores are free in the machine models.
+ */
+Trace generateFftButterflyTrace(Addr base, std::uint64_t n);
+
+/** Phase-1 + phase-2 trace of the blocked 2-D FFT. */
+Trace generateFft2dTrace(const Fft2dParams &params);
+
+/**
+ * Agarwal's IBM-3090-style variant (the algorithm discussed at the
+ * end of Section 4): instead of one row FFT at a time, a *group* of
+ * `groupRows` rows is loaded as a sub-matrix and all of them are
+ * transformed while resident; then the column FFTs run as usual.
+ * "The selection of B2 is tricky in order to maximize cache hit
+ * ratio since improper B2 can make the cache performance very poor"
+ * -- for a power-of-two cache; the prime-mapped cache needs no
+ * tuning.
+ */
+struct FftAgarwalParams
+{
+    /** Rows B2 (power of two). */
+    std::uint64_t b2 = 1024;
+    /** Columns B1 (power of two); N = b1 * b2. */
+    std::uint64_t b1 = 64;
+    /** Rows loaded and transformed per group. */
+    std::uint64_t groupRows = 8;
+    /** Word address of element (0,0). */
+    Addr base = 0;
+};
+
+/** Group-of-rows phase-1 + phase-2 trace of Agarwal's algorithm. */
+Trace generateFftAgarwalTrace(const FftAgarwalParams &params);
+
+/** Result count: N log2(N) butterfly outputs. */
+std::uint64_t fftResultElements(std::uint64_t n);
+
+} // namespace vcache
+
+#endif // VCACHE_TRACE_FFT_HH

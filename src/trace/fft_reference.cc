@@ -1,0 +1,88 @@
+#include "trace/fft_reference.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "numtheory/divisors.hh"
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+void
+referenceFftDif(std::vector<std::complex<double>> &data,
+                const FftAccessHook &hook)
+{
+    const std::uint64_t n = data.size();
+    vc_assert(isPowerOfTwo(n) && n >= 2,
+              "FFT size must be a power of two >= 2, got ", n);
+
+    auto touch = [&](std::uint64_t index, bool write) {
+        if (hook)
+            hook(index, write);
+    };
+
+    // Decimation in frequency: stage distances n/2, n/4, ..., 1 --
+    // the same order generateFftButterflyTrace() emits.
+    for (std::uint64_t dist = n / 2; dist >= 1; dist /= 2) {
+        for (std::uint64_t block = 0; block < n; block += 2 * dist) {
+            for (std::uint64_t j = 0; j < dist; ++j) {
+                const std::uint64_t hi = block + j;
+                const std::uint64_t lo = block + j + dist;
+                const double angle =
+                    -2.0 * std::numbers::pi * static_cast<double>(j) /
+                    static_cast<double>(2 * dist);
+                const std::complex<double> w(std::cos(angle),
+                                             std::sin(angle));
+
+                touch(hi, false);
+                touch(lo, false);
+                const auto a = data[hi];
+                const auto b = data[lo];
+                data[hi] = a + b;
+                data[lo] = (a - b) * w;
+                touch(hi, true);
+                touch(lo, true);
+            }
+        }
+        if (dist == 1)
+            break;
+    }
+}
+
+void
+bitReversePermute(std::vector<std::complex<double>> &data)
+{
+    const std::uint64_t n = data.size();
+    vc_assert(isPowerOfTwo(n), "size must be a power of two");
+    const unsigned bits = floorLog2(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t r = 0;
+        for (unsigned b = 0; b < bits; ++b)
+            r |= ((i >> b) & 1) << (bits - 1 - b);
+        if (r > i)
+            std::swap(data[i], data[r]);
+    }
+}
+
+std::vector<std::complex<double>>
+naiveDft(const std::vector<std::complex<double>> &input)
+{
+    const std::uint64_t n = input.size();
+    std::vector<std::complex<double>> out(n);
+    for (std::uint64_t k = 0; k < n; ++k) {
+        std::complex<double> acc(0.0, 0.0);
+        for (std::uint64_t t = 0; t < n; ++t) {
+            const double angle = -2.0 * std::numbers::pi *
+                                 static_cast<double>(k * t) /
+                                 static_cast<double>(n);
+            acc += input[t] *
+                   std::complex<double>(std::cos(angle),
+                                        std::sin(angle));
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+} // namespace vcache

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reference radix-2 FFT with an instrumented memory accessor.
+ *
+ * Two jobs:
+ *
+ *  1. a known-good Cooley-Tukey implementation (decimation in
+ *     frequency, matching the butterfly trace generator's stage
+ *     order) whose numerics are testable against a naive DFT;
+ *  2. every array access goes through a user-supplied hook, so tests
+ *     can record the *actual* element addresses the algorithm touches
+ *     and prove generateFftButterflyTrace() emits exactly that
+ *     pattern -- the trace generator is validated against the real
+ *     algorithm, not against itself.
+ */
+
+#ifndef VCACHE_TRACE_FFT_REFERENCE_HH
+#define VCACHE_TRACE_FFT_REFERENCE_HH
+
+#include <complex>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace vcache
+{
+
+/** Called with the element index of every array read or write. */
+using FftAccessHook = std::function<void(std::uint64_t index,
+                                         bool is_write)>;
+
+/**
+ * In-place DIF radix-2 FFT over n = 2^k complex points.
+ *
+ * The output is in bit-reversed order (the classic in-place form;
+ * callers wanting natural order apply bitReversePermute()).
+ *
+ * @param data n complex values, transformed in place
+ * @param hook optional access hook (pass nullptr to skip)
+ */
+void referenceFftDif(std::vector<std::complex<double>> &data,
+                     const FftAccessHook &hook = nullptr);
+
+/** Reorder a bit-reversed result into natural order. */
+void bitReversePermute(std::vector<std::complex<double>> &data);
+
+/** O(n^2) DFT for correctness checks. */
+std::vector<std::complex<double>>
+naiveDft(const std::vector<std::complex<double>> &input);
+
+} // namespace vcache
+
+#endif // VCACHE_TRACE_FFT_REFERENCE_HH

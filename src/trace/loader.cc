@@ -1,0 +1,127 @@
+#include "trace/loader.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+namespace
+{
+
+VectorRef
+parseRef(std::istringstream &line, std::size_t line_no,
+         const char *what)
+{
+    std::int64_t base, stride, length;
+    if (!(line >> base >> stride >> length) || base < 0 || length < 0)
+        vc_fatal("trace line ", line_no, ": malformed ", what,
+                 " record (expected <base> <stride> <length>)");
+    return VectorRef{static_cast<Addr>(base), stride,
+                     static_cast<std::uint64_t>(length)};
+}
+
+} // namespace
+
+Trace
+loadTrace(std::istream &in)
+{
+    Trace trace;
+    std::string raw;
+    std::size_t line_no = 0;
+
+    while (std::getline(in, raw)) {
+        ++line_no;
+        const auto hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.erase(hash);
+
+        std::istringstream line(raw);
+        std::string kind;
+        if (!(line >> kind))
+            continue; // blank or comment-only line
+
+        if (kind == "L") {
+            VectorOp op;
+            op.first = parseRef(line, line_no, "load");
+            trace.push_back(op);
+        } else if (kind == "D") {
+            VectorOp op;
+            op.first = parseRef(line, line_no, "first load");
+            op.second = parseRef(line, line_no, "second load");
+            trace.push_back(op);
+        } else if (kind == "S") {
+            if (trace.empty())
+                vc_fatal("trace line ", line_no,
+                         ": store with no preceding load record");
+            if (trace.back().store)
+                vc_fatal("trace line ", line_no,
+                         ": record already has a store");
+            trace.back().store = parseRef(line, line_no, "store");
+        } else {
+            vc_fatal("trace line ", line_no, ": unknown record kind '",
+                     kind, "' (expected L, D or S)");
+        }
+
+        std::string extra;
+        if (line >> extra)
+            vc_fatal("trace line ", line_no, ": trailing junk '",
+                     extra, "'");
+    }
+    return trace;
+}
+
+Trace
+loadTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        vc_fatal("cannot open trace file '", path, "'");
+    return loadTrace(in);
+}
+
+namespace
+{
+
+void
+writeRef(std::ostream &out, const VectorRef &ref)
+{
+    out << " " << ref.base << " " << ref.stride << " " << ref.length;
+}
+
+} // namespace
+
+void
+saveTrace(std::ostream &out, const Trace &trace)
+{
+    out << "# vcache trace: L/D load records, S attaches a store\n";
+    for (const auto &op : trace) {
+        if (op.second) {
+            out << "D";
+            writeRef(out, op.first);
+            writeRef(out, *op.second);
+        } else {
+            out << "L";
+            writeRef(out, op.first);
+        }
+        out << "\n";
+        if (op.store) {
+            out << "S";
+            writeRef(out, *op.store);
+            out << "\n";
+        }
+    }
+}
+
+void
+saveTraceFile(const std::string &path, const Trace &trace)
+{
+    std::ofstream out(path);
+    if (!out)
+        vc_fatal("cannot open trace file '", path, "' for writing");
+    saveTrace(out, trace);
+}
+
+} // namespace vcache

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain-text trace files, so external workloads can be replayed
+ * through the simulators.
+ *
+ * Format (one record per line, '#' starts a comment):
+ *
+ *   L <base> <stride> <length>                      single load
+ *   D <b1> <s1> <l1> <b2> <s2> <l2>                 double load
+ *   S <base> <stride> <length>                      store, attached
+ *                                                   to the previous
+ *                                                   L/D record
+ *
+ * Bases and lengths are unsigned word units; strides are signed
+ * words.  The writer emits exactly this format, so save/load round
+ * trips.
+ */
+
+#ifndef VCACHE_TRACE_LOADER_HH
+#define VCACHE_TRACE_LOADER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/access.hh"
+
+namespace vcache
+{
+
+/** Parse a trace from a stream; fatals with line numbers on errors. */
+Trace loadTrace(std::istream &in);
+
+/** Parse a trace file by path. */
+Trace loadTraceFile(const std::string &path);
+
+/** Write a trace in the text format. */
+void saveTrace(std::ostream &out, const Trace &trace);
+
+/** Write a trace file by path. */
+void saveTraceFile(const std::string &path, const Trace &trace);
+
+} // namespace vcache
+
+#endif // VCACHE_TRACE_LOADER_HH

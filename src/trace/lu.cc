@@ -1,0 +1,91 @@
+#include "trace/lu.hh"
+
+#include "trace/matmul.hh"
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+Trace
+generateLuTrace(const LuParams &p)
+{
+    vc_assert(p.b >= 1 && p.n >= 1, "matrix and block sizes must be >= 1");
+    vc_assert(p.n % p.b == 0, "block size ", p.b,
+              " must divide matrix size ", p.n);
+
+    const std::uint64_t blocks = p.n / p.b;
+    Trace trace;
+
+    auto column = [&](std::uint64_t row0, std::uint64_t col,
+                      std::uint64_t len) {
+        return VectorRef{columnMajorAddr(p.base, row0, col, p.n), 1, len};
+    };
+
+    for (std::uint64_t k = 0; k < blocks; ++k) {
+        const std::uint64_t diag = k * p.b;
+
+        // 1. Factor the diagonal block: for each of its b columns,
+        //    read the column, scale, and update the trailing columns
+        //    of the block (reuse within the block).
+        for (std::uint64_t j = 0; j < p.b; ++j) {
+            VectorOp factor;
+            factor.first = column(diag, diag + j, p.b);
+            factor.store = column(diag, diag + j, p.b);
+            trace.push_back(factor);
+            for (std::uint64_t j2 = j + 1; j2 < p.b; ++j2) {
+                VectorOp update;
+                update.first = column(diag, diag + j, p.b);
+                update.second = column(diag, diag + j2, p.b);
+                update.store = column(diag, diag + j2, p.b);
+                trace.push_back(update);
+            }
+        }
+
+        // 2. Triangular solves: panel columns below and rows to the
+        //    right of the diagonal block.
+        for (std::uint64_t i = k + 1; i < blocks; ++i) {
+            for (std::uint64_t j = 0; j < p.b; ++j) {
+                VectorOp solve;
+                solve.first = column(i * p.b, diag + j, p.b);
+                solve.second = column(diag, diag + j, p.b);
+                solve.store = column(i * p.b, diag + j, p.b);
+                trace.push_back(solve);
+            }
+        }
+        for (std::uint64_t j = k + 1; j < blocks; ++j) {
+            for (std::uint64_t jj = 0; jj < p.b; ++jj) {
+                VectorOp solve;
+                solve.first = column(diag, j * p.b + jj, p.b);
+                solve.second = column(diag, diag + jj, p.b);
+                solve.store = column(diag, j * p.b + jj, p.b);
+                trace.push_back(solve);
+            }
+        }
+
+        // 3. Trailing-matrix update: rank-b update of each (i, j)
+        //    block, the matmul-like bulk of the work.
+        for (std::uint64_t j = k + 1; j < blocks; ++j) {
+            for (std::uint64_t i = k + 1; i < blocks; ++i) {
+                for (std::uint64_t jj = 0; jj < p.b; ++jj) {
+                    VectorOp update;
+                    // Row of the left panel block: stride n.
+                    update.first = VectorRef{
+                        columnMajorAddr(p.base, i * p.b, diag, p.n),
+                        static_cast<std::int64_t>(p.n), p.b};
+                    update.second = column(diag, j * p.b + jj, p.b);
+                    update.store = column(i * p.b, j * p.b + jj, p.b);
+                    trace.push_back(update);
+                }
+            }
+        }
+    }
+    return trace;
+}
+
+std::uint64_t
+luResultElements(const LuParams &p)
+{
+    return 2 * p.n * p.n * p.n / 3;
+}
+
+} // namespace vcache

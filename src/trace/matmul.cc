@@ -1,0 +1,74 @@
+#include "trace/matmul.hh"
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+Trace
+generateMatmulTrace(const MatmulParams &p)
+{
+    vc_assert(p.b >= 1 && p.n >= 1, "matrix and block sizes must be >= 1");
+    vc_assert(p.n % p.b == 0, "block size ", p.b,
+              " must divide matrix size ", p.n);
+    const std::uint64_t lda = p.lda ? p.lda : p.n;
+    vc_assert(lda >= p.n, "leading dimension ", lda,
+              " smaller than matrix size ", p.n);
+
+    const Addr base_a = p.baseA;
+    const Addr base_b = p.baseA + lda * p.n;
+    const Addr base_c = base_b + lda * p.n;
+    const std::uint64_t blocks = p.n / p.b;
+
+    Trace trace;
+
+    // for each block column J of C, block row I, and depth block K:
+    //   load A(I, K) block (column by column), then for each column j
+    //   of the B(K, J) block: load the column (stride 1) and update
+    //   the C(I, j) column -- a double-stream op (A-block row walked
+    //   with stride lda, B column with stride 1).
+    for (std::uint64_t bj = 0; bj < blocks; ++bj) {
+        for (std::uint64_t bi = 0; bi < blocks; ++bi) {
+            for (std::uint64_t bk = 0; bk < blocks; ++bk) {
+                // Load the A block: b columns of length b, stride 1.
+                for (std::uint64_t c = 0; c < p.b; ++c) {
+                    VectorOp load_a;
+                    load_a.first = VectorRef{
+                        columnMajorAddr(base_a, bi * p.b,
+                                        bk * p.b + c, lda),
+                        1, p.b};
+                    trace.push_back(load_a);
+                }
+                // Stream the B and C columns against the resident A
+                // block.
+                for (std::uint64_t j = 0; j < p.b; ++j) {
+                    VectorOp op;
+                    // Re-read one A-block row per inner product step:
+                    // row r of the A block has stride lda.
+                    op.first = VectorRef{
+                        columnMajorAddr(base_a, bi * p.b + j % p.b,
+                                        bk * p.b, lda),
+                        static_cast<std::int64_t>(lda), p.b};
+                    op.second = VectorRef{
+                        columnMajorAddr(base_b, bk * p.b,
+                                        bj * p.b + j, lda),
+                        1, p.b};
+                    op.store = VectorRef{
+                        columnMajorAddr(base_c, bi * p.b,
+                                        bj * p.b + j, lda),
+                        1, p.b};
+                    trace.push_back(op);
+                }
+            }
+        }
+    }
+    return trace;
+}
+
+std::uint64_t
+matmulResultElements(const MatmulParams &p)
+{
+    return p.n * p.n * p.n;
+}
+
+} // namespace vcache

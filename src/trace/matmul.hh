@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Blocked matrix-multiply trace (the Lam/Rothberg/Wolf workload the
+ * paper analyses in its introduction and Section 3.1).
+ *
+ * C = A * B with N x N column-major matrices blocked into b x b
+ * submatrices.  Per Section 3.1 the blocking factor is b^2, the reuse
+ * factor is b, and every sequence of b - 1 single-stream accesses is
+ * followed by one double-stream access.
+ */
+
+#ifndef VCACHE_TRACE_MATMUL_HH
+#define VCACHE_TRACE_MATMUL_HH
+
+#include <cstdint>
+
+#include "trace/access.hh"
+
+namespace vcache
+{
+
+/** Parameters of the blocked multiply. */
+struct MatmulParams
+{
+    /** Matrix dimension N (N x N operands). */
+    std::uint64_t n = 64;
+    /** Block dimension b (b x b submatrices); must divide n. */
+    std::uint64_t b = 16;
+    /** Word address of A(0,0); B and C follow contiguously. */
+    Addr baseA = 0;
+    /**
+     * Leading dimension of the storage (>= n); 0 means lda = n.
+     * Lam et al.'s observation that one problem size can run at
+     * twice the speed of another is an lda effect: it sets the
+     * stride between columns and hence the cache alignment of
+     * blocks.
+     */
+    std::uint64_t lda = 0;
+};
+
+/** Word address of element (row, col) of a column-major lda matrix. */
+inline Addr
+columnMajorAddr(Addr base, std::uint64_t row, std::uint64_t col,
+                std::uint64_t lda)
+{
+    return base + row + col * lda;
+}
+
+/**
+ * Generate the access trace of the blocked multiply.
+ *
+ * The loop nest is the standard blocked form: for each C block, for
+ * each k block, load the A block (reused across the b columns of the
+ * B block) and stream B/C columns.  Column accesses are stride 1;
+ * the A-block rows seen by the inner product give the non-unit
+ * strides.
+ */
+Trace generateMatmulTrace(const MatmulParams &params);
+
+/** Flop-producing results (n^3 multiply-adds). */
+std::uint64_t matmulResultElements(const MatmulParams &params);
+
+} // namespace vcache
+
+#endif // VCACHE_TRACE_MATMUL_HH

@@ -1,0 +1,79 @@
+#include "trace/matrix_access.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+VectorRef
+matrixSliceRef(const MatrixShape &shape, MatrixSlice slice,
+               std::uint64_t index)
+{
+    switch (slice) {
+      case MatrixSlice::Column:
+        vc_assert(index < shape.q, "column index out of range");
+        return VectorRef{shape.base + index * shape.p, 1, shape.p};
+      case MatrixSlice::Row:
+        vc_assert(index < shape.p, "row index out of range");
+        return VectorRef{shape.base + index,
+                         static_cast<std::int64_t>(shape.p), shape.q};
+      case MatrixSlice::Diagonal:
+        return VectorRef{shape.base,
+                         static_cast<std::int64_t>(shape.p + 1),
+                         std::min(shape.p, shape.q)};
+    }
+    vc_panic("unknown matrix slice");
+}
+
+Trace
+generateRowColumnMix(const RowColumnMixParams &params, std::uint64_t seed)
+{
+    vc_assert(params.rowFraction >= 0.0 && params.rowFraction <= 1.0,
+              "row fraction must be a probability");
+
+    Rng rng(seed);
+    Trace trace;
+    trace.reserve(params.operations);
+
+    const std::uint64_t len =
+        std::min({params.length, params.shape.p, params.shape.q});
+
+    // Pre-draw the working set: `distinctSlices` random row and
+    // column indices, reused for the whole trace.  (Adjacent rows
+    // would be unrepresentative: blocked code revisits slices spread
+    // over the matrix, and bunched rows can alias under *any*
+    // modulus -- e.g. rows r and r+1 of a P = 1024 matrix collide in
+    // a 8191-line cache because 1024 * 8 == 1 (mod 8191).)
+    const std::uint64_t distinct =
+        params.distinctSlices ? params.distinctSlices : 16;
+    std::vector<std::uint64_t> row_set, col_set;
+    for (std::uint64_t i = 0; i < distinct; ++i) {
+        row_set.push_back(rng.uniformInt(0, params.shape.p - 1));
+        col_set.push_back(rng.uniformInt(0, params.shape.q - 1));
+    }
+
+    for (std::uint64_t i = 0; i < params.operations; ++i) {
+        VectorOp op;
+        if (rng.bernoulli(params.rowFraction)) {
+            const auto row =
+                row_set[rng.uniformInt(0, row_set.size() - 1)];
+            VectorRef ref = matrixSliceRef(params.shape,
+                                           MatrixSlice::Row, row);
+            ref.length = len;
+            op.first = ref;
+        } else {
+            const auto col =
+                col_set[rng.uniformInt(0, col_set.size() - 1)];
+            VectorRef ref = matrixSliceRef(params.shape,
+                                           MatrixSlice::Column, col);
+            ref.length = len;
+            op.first = ref;
+        }
+        trace.push_back(op);
+    }
+    return trace;
+}
+
+} // namespace vcache

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Row / column / diagonal accesses of a column-major matrix
+ * (the Figure-11 workload and the introduction's diagonal argument).
+ *
+ * For a P x Q matrix stored column-major:
+ *   - a column has stride 1,
+ *   - a row has stride P,
+ *   - the major diagonal has stride P + 1.
+ *
+ * The introduction observes that P and P + 1 cannot both be odd, so
+ * no power-of-two cache can serve rows and diagonals conflict-free at
+ * once -- while a prime modulus serves both.
+ */
+
+#ifndef VCACHE_TRACE_MATRIX_ACCESS_HH
+#define VCACHE_TRACE_MATRIX_ACCESS_HH
+
+#include <cstdint>
+
+#include "trace/access.hh"
+#include "util/rng.hh"
+
+namespace vcache
+{
+
+/** Which 1-D slice of the matrix to touch. */
+enum class MatrixSlice
+{
+    Column,
+    Row,
+    Diagonal,
+};
+
+/** A P x Q column-major matrix at a base address. */
+struct MatrixShape
+{
+    std::uint64_t p = 1024;
+    std::uint64_t q = 1024;
+    Addr base = 0;
+};
+
+/** Reference to slice `index` (column index, row index; diag: 0). */
+VectorRef matrixSliceRef(const MatrixShape &shape, MatrixSlice slice,
+                         std::uint64_t index);
+
+/** Parameters for the Figure-11 row/column mix. */
+struct RowColumnMixParams
+{
+    MatrixShape shape;
+    /** Fraction of operations that read a row (stride P). */
+    double rowFraction = 0.5;
+    /** Vector operations to generate. */
+    std::uint64_t operations = 512;
+    /** Length of each access (min(P, Q) capped). */
+    std::uint64_t length = 256;
+    /**
+     * The working set: row/column indices are drawn from the first
+     * `distinctSlices` of each kind, so slices are reused and cache
+     * behaviour (not compulsory traffic) dominates.
+     */
+    std::uint64_t distinctSlices = 16;
+};
+
+/** Random mix of row and column sweeps. */
+Trace generateRowColumnMix(const RowColumnMixParams &params,
+                           std::uint64_t seed);
+
+} // namespace vcache
+
+#endif // VCACHE_TRACE_MATRIX_ACCESS_HH

@@ -1,0 +1,29 @@
+#include "trace/multistride.hh"
+
+#include "util/strides.hh"
+
+namespace vcache
+{
+
+Trace
+generateMultistrideTrace(const MultistrideParams &params,
+                         std::uint64_t seed)
+{
+    Rng rng(seed);
+    const StrideDistribution dist(params.pStride1, params.maxStride);
+
+    Trace trace;
+    trace.reserve(params.sweeps * params.reusePerStride);
+    for (std::uint64_t s = 0; s < params.sweeps; ++s) {
+        VectorOp op;
+        op.first = VectorRef{
+            params.base,
+            static_cast<std::int64_t>(dist.sample(rng)),
+            params.length};
+        for (std::uint64_t r = 0; r < params.reusePerStride; ++r)
+            trace.push_back(op);
+    }
+    return trace;
+}
+
+} // namespace vcache

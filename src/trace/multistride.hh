@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Random multistride trace (Section 4, "Random Stride Accesses").
+ *
+ * Repeated sweeps over a block with strides drawn from the paper's
+ * distribution -- the purest exercise of self-interference behaviour.
+ */
+
+#ifndef VCACHE_TRACE_MULTISTRIDE_HH
+#define VCACHE_TRACE_MULTISTRIDE_HH
+
+#include <cstdint>
+
+#include "trace/access.hh"
+
+namespace vcache
+{
+
+/** Parameters of the random multistride workload. */
+struct MultistrideParams
+{
+    /** Elements per sweep. */
+    std::uint64_t length = 1024;
+    /** Number of distinct strides drawn. */
+    std::uint64_t sweeps = 64;
+    /** Probability of stride 1. */
+    double pStride1 = 0.25;
+    /** Largest stride (M or C depending on the machine under test). */
+    std::uint64_t maxStride = 8192;
+    /** Base address of the region. */
+    Addr base = 0;
+    /**
+     * Times each sweep repeats before the next stride is drawn (the
+     * VCM reuse factor: blocked code re-reads a block with the same
+     * pattern).
+     */
+    std::uint64_t reusePerStride = 4;
+};
+
+/** Generate the multistride trace deterministically. */
+Trace generateMultistrideTrace(const MultistrideParams &params,
+                               std::uint64_t seed);
+
+} // namespace vcache
+
+#endif // VCACHE_TRACE_MULTISTRIDE_HH

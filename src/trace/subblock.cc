@@ -1,0 +1,30 @@
+#include "trace/subblock.hh"
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+Trace
+generateSubblockTrace(const SubblockParams &params)
+{
+    vc_assert(params.b1 >= 1 && params.b2 >= 1,
+              "sub-block dimensions must be positive");
+    vc_assert(params.b1 <= params.p,
+              "sub-block rows (", params.b1,
+              ") exceed the leading dimension (", params.p, ")");
+
+    Trace trace;
+    trace.reserve(params.repetitions * params.b2);
+    for (std::uint64_t rep = 0; rep < params.repetitions; ++rep) {
+        for (std::uint64_t c = 0; c < params.b2; ++c) {
+            VectorOp op;
+            op.first = VectorRef{params.base + c * params.p, 1,
+                                 params.b1};
+            trace.push_back(op);
+        }
+    }
+    return trace;
+}
+
+} // namespace vcache

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Sub-block (submatrix) access trace (Section 4, "Sub-block
+ * Accesses").
+ *
+ * A b1 x b2 sub-block of a P x Q column-major matrix is b2 stride-1
+ * column sweeps of length b1 whose starting addresses are P words
+ * apart.  The paper's conflict-free rule for the prime-mapped cache:
+ *
+ *   b1 <= min(P mod C, C - P mod C)   and   b2 <= floor(C / b1)
+ *
+ * lets the block fill the cache almost completely without a single
+ * self-interference miss.
+ */
+
+#ifndef VCACHE_TRACE_SUBBLOCK_HH
+#define VCACHE_TRACE_SUBBLOCK_HH
+
+#include <cstdint>
+
+#include "trace/access.hh"
+
+namespace vcache
+{
+
+/** Parameters of a sub-block sweep. */
+struct SubblockParams
+{
+    /** Leading dimension P of the column-major matrix. */
+    std::uint64_t p = 1000;
+    /** Sub-block rows b1. */
+    std::uint64_t b1 = 16;
+    /** Sub-block columns b2. */
+    std::uint64_t b2 = 16;
+    /** Word address of the sub-block's (0,0) element. */
+    Addr base = 0;
+    /** Number of times the whole sub-block is swept (reuse). */
+    std::uint64_t repetitions = 1;
+};
+
+/** Generate the column-by-column sub-block trace. */
+Trace generateSubblockTrace(const SubblockParams &params);
+
+} // namespace vcache
+
+#endif // VCACHE_TRACE_SUBBLOCK_HH

@@ -1,0 +1,43 @@
+#include "trace/transpose.hh"
+
+#include "trace/matmul.hh"
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+Trace
+generateTransposeTrace(const TransposeParams &p)
+{
+    vc_assert(p.b >= 1 && p.n >= 1, "sizes must be positive");
+    vc_assert(p.n % p.b == 0, "tile size ", p.b,
+              " must divide matrix size ", p.n);
+    const Addr base_b = p.baseB ? p.baseB : p.baseA + p.n * p.n;
+
+    Trace trace;
+    const std::uint64_t tiles = p.n / p.b;
+
+    // For each tile (ti, tj): read tile columns of A (stride 1) and
+    // write them as rows of B (stride n).
+    for (std::uint64_t tj = 0; tj < tiles; ++tj) {
+        for (std::uint64_t ti = 0; ti < tiles; ++ti) {
+            for (std::uint64_t c = 0; c < p.b; ++c) {
+                VectorOp op;
+                op.first = VectorRef{
+                    columnMajorAddr(p.baseA, ti * p.b,
+                                    tj * p.b + c, p.n),
+                    1, p.b};
+                // Column (tj*b + c) of A becomes row (tj*b + c) of
+                // B: elements land n words apart.
+                op.store = VectorRef{
+                    columnMajorAddr(base_b, tj * p.b + c, ti * p.b,
+                                    p.n),
+                    static_cast<std::int64_t>(p.n), p.b};
+                trace.push_back(op);
+            }
+        }
+    }
+    return trace;
+}
+
+} // namespace vcache

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Matrix transpose trace: B = A^T for column-major matrices.
+ *
+ * The canonical mixed-stride kernel: each step reads a column of A
+ * (stride 1) and writes a row of B (stride P) -- or blockwise, reads
+ * a b x b tile column-wise and writes it row-wise.  Every non-unit
+ * stride is the leading dimension, so a power-of-two matrix is the
+ * worst case for a power-of-two cache and a non-event for the prime
+ * cache.
+ */
+
+#ifndef VCACHE_TRACE_TRANSPOSE_HH
+#define VCACHE_TRACE_TRANSPOSE_HH
+
+#include <cstdint>
+
+#include "trace/access.hh"
+
+namespace vcache
+{
+
+/** Parameters of the blocked transpose. */
+struct TransposeParams
+{
+    /** Matrix dimension n (n x n). */
+    std::uint64_t n = 64;
+    /** Tile dimension b; must divide n.  b = n: unblocked. */
+    std::uint64_t b = 16;
+    /** Word address of A(0,0). */
+    Addr baseA = 0;
+    /** Word address of B(0,0); defaults to just past A. */
+    Addr baseB = 0;
+};
+
+/** Generate the blocked transpose trace. */
+Trace generateTransposeTrace(const TransposeParams &params);
+
+} // namespace vcache
+
+#endif // VCACHE_TRACE_TRANSPOSE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The paper's generic Vector Computational Model (VCM) as a trace
+ * generator.
+ *
+ * Section 3.1 defines the seven-tuple
+ *
+ *   VCM = [B, R, P_ds, s1, s2, P_stride1(s1), P_stride1(s2)]
+ *
+ * One block of B elements is processed R times.  Each pass is a
+ * single-stream vector operation with probability P_ss = 1 - P_ds, or
+ * a double-stream operation whose second vector has length B * P_ds.
+ * Strides are drawn from the paper's distribution (1 with probability
+ * P_stride1, else uniform over [2, max]).
+ */
+
+#ifndef VCACHE_TRACE_VCM_HH
+#define VCACHE_TRACE_VCM_HH
+
+#include <cstdint>
+
+#include "trace/access.hh"
+#include "util/rng.hh"
+
+namespace vcache
+{
+
+/** Parameters of the seven-tuple VCM (plus machine-facing extras). */
+struct VcmParams
+{
+    /** Blocking factor B: elements per block. */
+    std::uint64_t blockingFactor = 1024;
+    /** Reuse factor R: passes over each block. */
+    std::uint64_t reuseFactor = 32;
+    /** Probability that a pass reads two streams. */
+    double pDoubleStream = 0.3;
+    /** Probability of stride 1 for the first stream. */
+    double pStride1First = 0.25;
+    /** Probability of stride 1 for the second stream. */
+    double pStride1Second = 0.25;
+    /**
+     * Largest stride value: M for the MM-model, C for the CC-model
+     * ("due to modular operations", Section 3.1).
+     */
+    std::uint64_t maxStride = 8192;
+    /** Number of blocks (total data N = blocks * B). */
+    std::uint64_t blocks = 8;
+    /** Fixed first-stream stride; 0 = draw from the distribution. */
+    std::int64_t fixedStride1 = 0;
+    /** Fixed second-stream stride; 0 = draw from the distribution. */
+    std::int64_t fixedStride2 = 0;
+};
+
+/** Generate the VCM trace deterministically from a seed. */
+Trace generateVcmTrace(const VcmParams &params, std::uint64_t seed);
+
+/** Total result elements N * R produced by the trace's operations. */
+std::uint64_t vcmResultElements(const VcmParams &params);
+
+} // namespace vcache
+
+#endif // VCACHE_TRACE_VCM_HH

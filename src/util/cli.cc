@@ -1,0 +1,138 @@
+#include "util/cli.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+ArgParser::ArgParser(std::string desc) : description(std::move(desc))
+{
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &def,
+                   const std::string &help)
+{
+    vc_assert(!flags.count(name), "duplicate flag --", name);
+    flags[name] = Flag{def, help, def};
+    order.push_back(name);
+}
+
+void
+ArgParser::parse(int argc, char **argv)
+{
+    program = argc > 0 ? argv[0] : "prog";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << usage();
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0)
+            vc_fatal("unexpected positional argument '", arg, "'");
+
+        std::string name = arg.substr(2);
+        std::string value;
+        const auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+        } else {
+            if (i + 1 >= argc)
+                vc_fatal("flag --", name, " is missing a value");
+            value = argv[++i];
+        }
+
+        auto it = flags.find(name);
+        if (it == flags.end())
+            vc_fatal("unknown flag --", name, "\n", usage());
+        it->second.value = value;
+        it->second.explicitlySet = true;
+    }
+}
+
+const ArgParser::Flag &
+ArgParser::find(const std::string &name) const
+{
+    auto it = flags.find(name);
+    vc_assert(it != flags.end(), "flag --", name, " was never registered");
+    return it->second;
+}
+
+bool
+ArgParser::wasSet(const std::string &name) const
+{
+    return find(name).explicitlySet;
+}
+
+std::string
+ArgParser::getString(const std::string &name) const
+{
+    return find(name).value;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name) const
+{
+    const auto &v = find(name).value;
+    try {
+        return std::stoll(v);
+    } catch (...) {
+        vc_fatal("flag --", name, ": '", v, "' is not an integer");
+    }
+}
+
+std::uint64_t
+ArgParser::getUint(const std::string &name) const
+{
+    const auto &v = find(name).value;
+    try {
+        if (!v.empty() && v[0] == '-')
+            throw std::invalid_argument("negative");
+        return std::stoull(v);
+    } catch (...) {
+        vc_fatal("flag --", name, ": '", v,
+                 "' is not a non-negative integer");
+    }
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    const auto &v = find(name).value;
+    try {
+        return std::stod(v);
+    } catch (...) {
+        vc_fatal("flag --", name, ": '", v, "' is not a number");
+    }
+}
+
+bool
+ArgParser::getBool(const std::string &name) const
+{
+    const auto &v = find(name).value;
+    if (v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    vc_fatal("flag --", name, ": '", v, "' is not a boolean");
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::ostringstream os;
+    os << description << "\n\nusage: " << program << " [flags]\n\n";
+    for (const auto &name : order) {
+        const auto &f = flags.at(name);
+        os << "  --" << name << " (default: " << f.def << ")\n      "
+           << f.help << "\n";
+    }
+    return os.str();
+}
+
+} // namespace vcache

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal command-line flag parser for examples and benches.
+ *
+ * Supports "--name=value" and "--name value" forms plus "--help".
+ * Unknown flags are fatal so typos cannot silently change experiments.
+ */
+
+#ifndef VCACHE_UTIL_CLI_HH
+#define VCACHE_UTIL_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vcache
+{
+
+/** Declarative command-line parser. */
+class ArgParser
+{
+  public:
+    /** @param description one-line program summary shown by --help */
+    explicit ArgParser(std::string description);
+
+    /** Register a flag with a default value and help text. */
+    void addFlag(const std::string &name, const std::string &def,
+                 const std::string &help);
+
+    /**
+     * Parse argv.  Exits with a usage message on --help or bad input.
+     */
+    void parse(int argc, char **argv);
+
+    /** True if the flag was given on the command line. */
+    bool wasSet(const std::string &name) const;
+
+    /** Value of a registered flag as a string. */
+    std::string getString(const std::string &name) const;
+
+    /** Value of a registered flag parsed as a signed integer. */
+    std::int64_t getInt(const std::string &name) const;
+
+    /** Value of a registered flag parsed as unsigned. */
+    std::uint64_t getUint(const std::string &name) const;
+
+    /** Value of a registered flag parsed as a double. */
+    double getDouble(const std::string &name) const;
+
+    /** Value of a registered flag parsed as a bool (true/false/1/0). */
+    bool getBool(const std::string &name) const;
+
+    /** Render the --help text. */
+    std::string usage() const;
+
+  private:
+    struct Flag
+    {
+        std::string def;
+        std::string help;
+        std::string value;
+        bool explicitlySet = false;
+    };
+
+    const Flag &find(const std::string &name) const;
+
+    std::string description;
+    std::string program;
+    std::map<std::string, Flag> flags;
+    std::vector<std::string> order;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_UTIL_CLI_HH

@@ -1,0 +1,174 @@
+#include "util/config.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    const auto first = s.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    const auto last = s.find_last_not_of(" \t\r");
+    return s.substr(first, last - first + 1);
+}
+
+} // namespace
+
+KeyValueConfig
+KeyValueConfig::parse(std::istream &in)
+{
+    KeyValueConfig config;
+    std::string raw;
+    std::string section;
+    std::size_t line_no = 0;
+
+    while (std::getline(in, raw)) {
+        ++line_no;
+        const auto hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.erase(hash);
+        const std::string line = trim(raw);
+        if (line.empty())
+            continue;
+
+        if (line.front() == '[') {
+            if (line.back() != ']' || line.size() < 3)
+                vc_fatal("config line ", line_no,
+                         ": malformed section header '", line, "'");
+            section = trim(line.substr(1, line.size() - 2));
+            continue;
+        }
+
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            vc_fatal("config line ", line_no,
+                     ": expected 'key = value', got '", line, "'");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            vc_fatal("config line ", line_no, ": empty key");
+
+        const std::string full =
+            section.empty() ? key : section + "." + key;
+        if (config.values.count(full))
+            vc_fatal("config line ", line_no, ": duplicate key '",
+                     full, "'");
+        config.values[full] = value;
+    }
+    return config;
+}
+
+KeyValueConfig
+KeyValueConfig::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        vc_fatal("cannot open config file '", path, "'");
+    return parse(in);
+}
+
+const std::string *
+KeyValueConfig::find(const std::string &key) const
+{
+    const auto it = values.find(key);
+    if (it == values.end())
+        return nullptr;
+    touched.insert(key);
+    return &it->second;
+}
+
+bool
+KeyValueConfig::has(const std::string &key) const
+{
+    return values.count(key) > 0;
+}
+
+std::string
+KeyValueConfig::getString(const std::string &key,
+                          const std::string &def) const
+{
+    const auto *v = find(key);
+    return v ? *v : def;
+}
+
+std::uint64_t
+KeyValueConfig::getUint(const std::string &key,
+                        std::uint64_t def) const
+{
+    const auto *v = find(key);
+    if (!v)
+        return def;
+    try {
+        if (!v->empty() && (*v)[0] == '-')
+            throw std::invalid_argument("negative");
+        std::size_t used = 0;
+        const auto parsed = std::stoull(*v, &used);
+        if (used != v->size())
+            throw std::invalid_argument("trailing");
+        return parsed;
+    } catch (...) {
+        vc_fatal("config key '", key, "': '", *v,
+                 "' is not a non-negative integer");
+    }
+}
+
+double
+KeyValueConfig::getDouble(const std::string &key, double def) const
+{
+    const auto *v = find(key);
+    if (!v)
+        return def;
+    try {
+        std::size_t used = 0;
+        const double parsed = std::stod(*v, &used);
+        if (used != v->size())
+            throw std::invalid_argument("trailing");
+        return parsed;
+    } catch (...) {
+        vc_fatal("config key '", key, "': '", *v,
+                 "' is not a number");
+    }
+}
+
+bool
+KeyValueConfig::getBool(const std::string &key, bool def) const
+{
+    const auto *v = find(key);
+    if (!v)
+        return def;
+    if (*v == "true" || *v == "1" || *v == "yes")
+        return true;
+    if (*v == "false" || *v == "0" || *v == "no")
+        return false;
+    vc_fatal("config key '", key, "': '", *v, "' is not a boolean");
+}
+
+std::vector<std::string>
+KeyValueConfig::unusedKeys() const
+{
+    std::vector<std::string> unused;
+    for (const auto &[key, value] : values)
+        if (!touched.count(key))
+            unused.push_back(key);
+    return unused;
+}
+
+std::vector<std::string>
+KeyValueConfig::keys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, value] : values)
+        out.push_back(key);
+    return out;
+}
+
+} // namespace vcache

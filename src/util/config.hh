@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal INI-style configuration files.
+ *
+ * Experiments should be reproducible from a checked-in file, not a
+ * shell history.  Syntax:
+ *
+ *   # comment
+ *   [section]
+ *   key = value          ; becomes "section.key"
+ *   top_level = 3        ; no section: plain "top_level"
+ *
+ * Values are strings; typed getters parse on demand and fatal with
+ * the offending key on bad input.  Unknown keys are detectable via
+ * unusedKeys() so drivers can reject typos.
+ */
+
+#ifndef VCACHE_UTIL_CONFIG_HH
+#define VCACHE_UTIL_CONFIG_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vcache
+{
+
+/** Parsed key/value configuration with section prefixes. */
+class KeyValueConfig
+{
+  public:
+    /** Parse from a stream; fatals with line numbers on errors. */
+    static KeyValueConfig parse(std::istream &in);
+
+    /** Parse a file by path. */
+    static KeyValueConfig parseFile(const std::string &path);
+
+    /** True if the key exists. */
+    bool has(const std::string &key) const;
+
+    /** String value, or `def` when absent. */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+
+    /** Unsigned value, or `def` when absent. */
+    std::uint64_t getUint(const std::string &key,
+                          std::uint64_t def) const;
+
+    /** Double value, or `def` when absent. */
+    double getDouble(const std::string &key, double def) const;
+
+    /** Boolean value (true/false/1/0/yes/no), or `def` when absent. */
+    bool getBool(const std::string &key, bool def) const;
+
+    /** Keys never read by any getter (typo detection). */
+    std::vector<std::string> unusedKeys() const;
+
+    /** All keys, sorted. */
+    std::vector<std::string> keys() const;
+
+  private:
+    const std::string *find(const std::string &key) const;
+
+    std::map<std::string, std::string> values;
+    mutable std::set<std::string> touched;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_UTIL_CONFIG_HH

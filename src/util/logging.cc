@@ -1,0 +1,52 @@
+#include "util/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace vcache
+{
+namespace detail
+{
+
+namespace
+{
+
+const char *
+prefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Info:
+        return "info: ";
+      case LogLevel::Warning:
+        return "warn: ";
+      case LogLevel::Fatal:
+        return "fatal: ";
+      case LogLevel::Panic:
+        return "panic: ";
+    }
+    return "";
+}
+
+} // namespace
+
+void
+emit(LogLevel level, const std::string &where, const std::string &message)
+{
+    std::cerr << prefix(level) << message;
+    if (!where.empty())
+        std::cerr << " [" << where << "]";
+    std::cerr << std::endl;
+}
+
+void
+terminate(LogLevel level, const std::string &where,
+          const std::string &message)
+{
+    emit(level, where, message);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace vcache

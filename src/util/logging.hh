@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 style.
+ *
+ * panic()  - an internal invariant was violated: a bug in this library.
+ *            Aborts so a debugger or core dump can capture the state.
+ * fatal()  - the *user* asked for something impossible (bad configuration,
+ *            inconsistent parameters).  Exits with status 1.
+ * warn()   - something is suspicious but simulation can continue.
+ * inform() - progress/status output.
+ */
+
+#ifndef VCACHE_UTIL_LOGGING_HH
+#define VCACHE_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace vcache
+{
+
+/** Severity of a log message; controls prefix and termination behaviour. */
+enum class LogLevel
+{
+    Info,
+    Warning,
+    Fatal,
+    Panic,
+};
+
+namespace detail
+{
+
+/** Emit one formatted message; terminates the process for Fatal/Panic. */
+[[noreturn]] void terminate(LogLevel level, const std::string &where,
+                            const std::string &message);
+
+void emit(LogLevel level, const std::string &where,
+          const std::string &message);
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Print an informational message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit(LogLevel::Info, "", detail::concat(args...));
+}
+
+/** Print a warning to stderr; execution continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit(LogLevel::Warning, "", detail::concat(args...));
+}
+
+} // namespace vcache
+
+/** Report an unrecoverable user error (bad configuration) and exit(1). */
+#define vc_fatal(...)                                                       \
+    ::vcache::detail::terminate(::vcache::LogLevel::Fatal,                  \
+                                __FILE__ ":" + std::to_string(__LINE__),    \
+                                ::vcache::detail::concat(__VA_ARGS__))
+
+/** Report an internal library bug and abort(). */
+#define vc_panic(...)                                                       \
+    ::vcache::detail::terminate(::vcache::LogLevel::Panic,                  \
+                                __FILE__ ":" + std::to_string(__LINE__),    \
+                                ::vcache::detail::concat(__VA_ARGS__))
+
+/** Panic if an invariant does not hold. */
+#define vc_assert(cond, ...)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            vc_panic("assertion '" #cond "' failed: ", ##__VA_ARGS__);      \
+        }                                                                   \
+    } while (0)
+
+#endif // VCACHE_UTIL_LOGGING_HH

@@ -1,0 +1,66 @@
+#include "util/rng.hh"
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t s)
+{
+    // xorshift state must be nonzero.
+    state = s ? s : 0x9e3779b97f4a7c15ull;
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t x = state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state = x;
+    return x * 0x2545f4914f6cdd1dull;
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t lo, std::uint64_t hi)
+{
+    vc_assert(lo <= hi, "uniformInt bounds inverted: ", lo, " > ", hi);
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) {
+        // Full 64-bit range requested.
+        return next();
+    }
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    std::uint64_t x;
+    do {
+        x = next();
+    } while (x >= limit);
+    return lo + x % span;
+}
+
+double
+Rng::uniformReal()
+{
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniformReal() < p;
+}
+
+} // namespace vcache

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Experiments must be reproducible run-to-run, so every stochastic
+ * component takes an explicit Rng seeded by the experiment harness.
+ * The generator is xorshift64*, which is small, fast, and has more
+ * than enough quality for workload generation.
+ */
+
+#ifndef VCACHE_UTIL_RNG_HH
+#define VCACHE_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace vcache
+{
+
+/** xorshift64* pseudo-random generator with convenience distributions. */
+class Rng
+{
+  public:
+    /** Construct with a nonzero seed (0 is remapped internally). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Bernoulli trial: true with probability p. */
+    bool bernoulli(double p);
+
+    /** Reseed the generator. */
+    void seed(std::uint64_t s);
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_UTIL_RNG_HH

@@ -1,0 +1,72 @@
+#include "util/statdump.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+void
+StatDump::beginGroup(const std::string &name)
+{
+    groups.push_back(name);
+}
+
+void
+StatDump::endGroup()
+{
+    vc_assert(!groups.empty(), "endGroup without beginGroup");
+    groups.pop_back();
+}
+
+std::string
+StatDump::qualified(const std::string &name) const
+{
+    std::string full;
+    for (const auto &g : groups) {
+        full += g;
+        full += '.';
+    }
+    full += name;
+    return full;
+}
+
+void
+StatDump::scalar(const std::string &name, std::uint64_t value,
+                 const std::string &description)
+{
+    entries.push_back(
+        {qualified(name), std::to_string(value), description});
+}
+
+void
+StatDump::scalar(const std::string &name, double value,
+                 const std::string &description)
+{
+    std::ostringstream os;
+    os << std::setprecision(6) << value;
+    entries.push_back({qualified(name), os.str(), description});
+}
+
+void
+StatDump::print(std::ostream &os) const
+{
+    std::size_t name_w = 0, value_w = 0;
+    for (const auto &e : entries) {
+        name_w = std::max(name_w, e.name.size());
+        value_w = std::max(value_w, e.value.size());
+    }
+    for (const auto &e : entries) {
+        os << std::left << std::setw(static_cast<int>(name_w + 2))
+           << e.name << std::right
+           << std::setw(static_cast<int>(value_w)) << e.value;
+        if (!e.description.empty())
+            os << "  # " << e.description;
+        os << "\n";
+    }
+}
+
+} // namespace vcache

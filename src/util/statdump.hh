@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Uniform statistics dumps in the gem5 stats.txt style:
+ *
+ *   system.cache.hits          12345     # demand hits
+ *   system.cache.miss_ratio    0.04321   # misses / accesses
+ *
+ * Components append named scalars under dotted group prefixes; the
+ * dump prints them aligned with their descriptions, so every example
+ * and the trace_sim driver report in one grammar.
+ */
+
+#ifndef VCACHE_UTIL_STATDUMP_HH
+#define VCACHE_UTIL_STATDUMP_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vcache
+{
+
+/** Collects named scalar statistics for one report. */
+class StatDump
+{
+  public:
+    /** Push a group: subsequent names are prefixed "group.". */
+    void beginGroup(const std::string &name);
+
+    /** Pop the innermost group. */
+    void endGroup();
+
+    /** Append one integer statistic. */
+    void scalar(const std::string &name, std::uint64_t value,
+                const std::string &description);
+
+    /** Append one floating-point statistic. */
+    void scalar(const std::string &name, double value,
+                const std::string &description);
+
+    /** Number of statistics recorded. */
+    std::size_t size() const { return entries.size(); }
+
+    /** Render aligned "name value # description" lines. */
+    void print(std::ostream &os) const;
+
+    /** RAII group helper. */
+    class Group
+    {
+      public:
+        Group(StatDump &dump, const std::string &name) : owner(dump)
+        {
+            owner.beginGroup(name);
+        }
+        ~Group() { owner.endGroup(); }
+        Group(const Group &) = delete;
+        Group &operator=(const Group &) = delete;
+
+      private:
+        StatDump &owner;
+    };
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string value;
+        std::string description;
+    };
+
+    std::string qualified(const std::string &name) const;
+
+    std::vector<std::string> groups;
+    std::vector<Entry> entries;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_UTIL_STATDUMP_HH

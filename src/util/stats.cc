@@ -1,0 +1,133 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+void
+RunningStats::add(double x)
+{
+    ++n;
+    total += x;
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(other.n);
+    const double delta = other.mu - mu;
+    const double combined = na + nb;
+    mu += delta * nb / combined;
+    m2 += other.m2 + delta * delta * na * nb / combined;
+    n += other.n;
+    total += other.total;
+    mn = std::min(mn, other.mn);
+    mx = std::max(mx, other.mx);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo_edge, double hi_edge, std::size_t buckets)
+    : lo(lo_edge), hi(hi_edge), counts(buckets, 0)
+{
+    vc_assert(buckets >= 1, "histogram needs at least one bucket");
+    vc_assert(hi_edge > lo_edge, "histogram range is empty");
+}
+
+void
+Histogram::add(double x)
+{
+    if (x < lo) {
+        ++below;
+        return;
+    }
+    if (x >= hi) {
+        ++above;
+        return;
+    }
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    auto idx = static_cast<std::size_t>((x - lo) / width);
+    idx = std::min(idx, counts.size() - 1);
+    ++counts[idx];
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t i) const
+{
+    vc_assert(i < counts.size(), "histogram bucket out of range");
+    return counts[i];
+}
+
+std::uint64_t
+Histogram::total() const
+{
+    std::uint64_t sum = below + above;
+    for (auto c : counts)
+        sum += c;
+    return sum;
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    return lo + width * static_cast<double>(i);
+}
+
+double
+Histogram::bucketHi(std::size_t i) const
+{
+    return bucketLo(i + 1);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::uint64_t peak = 1;
+    for (auto c : counts)
+        peak = std::max(peak, c);
+
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const auto bar =
+            static_cast<std::size_t>(counts[i] * width / peak);
+        os << "[" << bucketLo(i) << ", " << bucketHi(i) << ") "
+           << std::string(bar, '#') << " " << counts[i] << "\n";
+    }
+    if (below)
+        os << "underflow " << below << "\n";
+    if (above)
+        os << "overflow " << above << "\n";
+    return os.str();
+}
+
+} // namespace vcache

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Small statistics accumulators used by simulators and benches.
+ */
+
+#ifndef VCACHE_UTIL_STATS_HH
+#define VCACHE_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace vcache
+{
+
+/**
+ * Streaming mean/variance/min/max accumulator (Welford's algorithm).
+ *
+ * Used e.g. to report the spread of cycles-per-result across problem
+ * sizes, mirroring the standard-deviation discussion in the paper's
+ * Section 2.1.
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Number of samples added. */
+    std::size_t count() const { return n; }
+
+    /** Sample mean; 0 if empty. */
+    double mean() const { return n ? mu : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; +inf if empty. */
+    double min() const { return mn; }
+
+    /** Largest sample; -inf if empty. */
+    double max() const { return mx; }
+
+    /** Sum of all samples. */
+    double sum() const { return total; }
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double total = 0.0;
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width linear histogram over [lo, hi) with out-of-range buckets.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower bound of the first bucket
+     * @param hi upper bound of the last bucket (exclusive)
+     * @param buckets number of equal-width buckets; must be >= 1
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** Count in bucket i (0 <= i < bucketCount()). */
+    std::uint64_t bucket(std::size_t i) const;
+
+    /** Number of in-range buckets. */
+    std::size_t bucketCount() const { return counts.size(); }
+
+    /** Samples below lo. */
+    std::uint64_t underflow() const { return below; }
+
+    /** Samples at or above hi. */
+    std::uint64_t overflow() const { return above; }
+
+    /** Total samples recorded, including out-of-range ones. */
+    std::uint64_t total() const;
+
+    /** Inclusive lower edge of bucket i. */
+    double bucketLo(std::size_t i) const;
+
+    /** Exclusive upper edge of bucket i. */
+    double bucketHi(std::size_t i) const;
+
+    /** Render a compact multi-line ASCII bar chart. */
+    std::string render(std::size_t width = 40) const;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t below = 0;
+    std::uint64_t above = 0;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_UTIL_STATS_HH

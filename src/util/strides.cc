@@ -1,0 +1,35 @@
+#include "util/strides.hh"
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+StrideDistribution::StrideDistribution(double p_stride1,
+                                       std::uint64_t max_stride)
+    : p1(p_stride1), max(max_stride)
+{
+    vc_assert(p1 >= 0.0 && p1 <= 1.0,
+              "P_stride1 must be a probability, got ", p1);
+    vc_assert(max >= 2, "max stride must be at least 2, got ", max);
+}
+
+std::uint64_t
+StrideDistribution::sample(Rng &rng) const
+{
+    if (rng.bernoulli(p1))
+        return 1;
+    return rng.uniformInt(2, max);
+}
+
+double
+StrideDistribution::probability(std::uint64_t stride) const
+{
+    if (stride == 1)
+        return p1;
+    if (stride >= 2 && stride <= max)
+        return (1.0 - p1) / static_cast<double>(max - 1);
+    return 0.0;
+}
+
+} // namespace vcache

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The paper's vector-stride distribution.
+ *
+ * Section 3.1: a vector access has stride 1 with probability P_stride1;
+ * otherwise the stride is uniform over {2, ..., max}, where max is the
+ * number of memory banks M for the MM-model and the number of cache
+ * lines C for the CC-model ("due to modular operations").
+ */
+
+#ifndef VCACHE_UTIL_STRIDES_HH
+#define VCACHE_UTIL_STRIDES_HH
+
+#include <cstdint>
+
+#include "util/rng.hh"
+
+namespace vcache
+{
+
+/** Random stride source following the paper's distribution. */
+class StrideDistribution
+{
+  public:
+    /**
+     * @param p_stride1 probability of stride 1
+     * @param max_stride largest stride value (inclusive); must be >= 2
+     */
+    StrideDistribution(double p_stride1, std::uint64_t max_stride);
+
+    /** Draw one stride. */
+    std::uint64_t sample(Rng &rng) const;
+
+    /** Probability of a specific stride value under this distribution. */
+    double probability(std::uint64_t stride) const;
+
+    double pStride1() const { return p1; }
+    std::uint64_t maxStride() const { return max; }
+
+  private:
+    double p1;
+    std::uint64_t max;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_UTIL_STRIDES_HH

@@ -1,0 +1,85 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+Table::Table(std::vector<std::string> headers) : head(std::move(headers))
+{
+    vc_assert(!head.empty(), "table needs at least one column");
+}
+
+void
+Table::addRowStrings(std::vector<std::string> cells)
+{
+    vc_assert(cells.size() == head.size(),
+              "row has ", cells.size(), " cells, expected ", head.size());
+    body.push_back(std::move(cells));
+}
+
+std::string
+Table::format(double v)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3) << v;
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto &row : body)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::setw(static_cast<int>(width[c])) << row[c];
+            os << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+
+    emit_row(head);
+    for (std::size_t c = 0; c < head.size(); ++c) {
+        os << std::string(width[c], '-');
+        os << (c + 1 == head.size() ? "\n" : "  ");
+    }
+    for (const auto &row : body)
+        emit_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << quote(row[c]) << (c + 1 == row.size() ? "\n" : ",");
+    };
+
+    emit_row(head);
+    for (const auto &row : body)
+        emit_row(row);
+}
+
+} // namespace vcache

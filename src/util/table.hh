@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Aligned-text and CSV table output.
+ *
+ * Every bench binary prints one table per paper figure; this writer keeps
+ * the formatting consistent so EXPERIMENTS.md can quote output verbatim.
+ */
+
+#ifndef VCACHE_UTIL_TABLE_HH
+#define VCACHE_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vcache
+{
+
+/**
+ * Column-aligned table with a header row.
+ *
+ * Values are stored as strings; addRow() accepts any streamable types.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; the cell count must match the header count. */
+    void addRowStrings(std::vector<std::string> cells);
+
+    /** Append one row of arbitrary streamable values. */
+    template <typename... Ts>
+    void
+    addRow(const Ts &...values)
+    {
+        addRowStrings({format(values)...});
+    }
+
+    /** Number of data rows. */
+    std::size_t rows() const { return body.size(); }
+
+    /** Render with aligned columns to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (RFC-4180 quoting for commas/quotes). */
+    void printCsv(std::ostream &os) const;
+
+    /** Format a double with fixed precision used across benches. */
+    static std::string format(double v);
+    static std::string format(float v) { return format(double(v)); }
+    static std::string format(const std::string &v) { return v; }
+    static std::string format(const char *v) { return v; }
+
+    template <typename T>
+    static std::string
+    format(const T &v)
+    {
+        return std::to_string(v);
+    }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_UTIL_TABLE_HH

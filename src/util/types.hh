@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module.
+ *
+ * The machine models in this library address memory in units of one
+ * double-precision word (8 bytes), matching the paper's fixed line size
+ * of one double word.  An Addr is therefore a *word* address unless a
+ * byte address is explicitly requested.
+ */
+
+#ifndef VCACHE_UTIL_TYPES_HH
+#define VCACHE_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace vcache
+{
+
+/** A memory address, in words (one word = one double = 8 bytes). */
+using Addr = std::uint64_t;
+
+/** A simulated-time duration or timestamp, in processor clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Number of bytes in one memory word (one double-precision element). */
+inline constexpr unsigned wordBytes = 8;
+
+} // namespace vcache
+
+#endif // VCACHE_UTIL_TYPES_HH

@@ -1,0 +1,155 @@
+#include "vpu/chime.hh"
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+namespace
+{
+
+/** Resources and register sets one convoy has committed. */
+struct ConvoyState
+{
+    unsigned memoryUsed = 0;
+    unsigned arithUsed = 0;
+    /** Vector registers written by instructions in this convoy. */
+    std::uint64_t writtenMask = 0;
+
+    void
+    clear()
+    {
+        memoryUsed = 0;
+        arithUsed = 0;
+        writtenMask = 0;
+    }
+};
+
+bool
+isMemory(VOp op)
+{
+    return op == VOp::LoadV || op == VOp::LoadPairV ||
+           op == VOp::StoreV || op == VOp::LoadSMem ||
+           op == VOp::StoreSMem;
+}
+
+bool
+isArithmetic(VOp op)
+{
+    return op == VOp::AddVV || op == VOp::MulVV || op == VOp::AddSV ||
+           op == VOp::MulSV || op == VOp::MulAddSV ||
+           op == VOp::SumV;
+}
+
+/** Vector registers an instruction reads, as a bit mask. */
+std::uint64_t
+readMask(const VInstr &i)
+{
+    switch (i.op) {
+      case VOp::StoreV:
+        return std::uint64_t{1} << i.vs1;
+      case VOp::AddVV:
+      case VOp::MulVV:
+      case VOp::MulAddSV:
+        return (std::uint64_t{1} << i.vs1) |
+               (std::uint64_t{1} << i.vs2);
+      case VOp::AddSV:
+      case VOp::MulSV:
+      case VOp::SumV:
+        return std::uint64_t{1} << i.vs1;
+      default:
+        return 0;
+    }
+}
+
+/** Vector registers an instruction writes, as a bit mask. */
+std::uint64_t
+writeMask(const VInstr &i)
+{
+    switch (i.op) {
+      case VOp::LoadV:
+        return std::uint64_t{1} << i.vd;
+      case VOp::LoadPairV:
+        return (std::uint64_t{1} << i.vd) |
+               (std::uint64_t{1} << i.vs1);
+      case VOp::AddVV:
+      case VOp::MulVV:
+      case VOp::AddSV:
+      case VOp::MulSV:
+      case VOp::MulAddSV:
+        return std::uint64_t{1} << i.vd;
+      default:
+        return 0;
+    }
+}
+
+} // namespace
+
+ChimeAnalysis
+analyzeChimes(const VectorProgram &program, std::uint64_t mvl,
+              const ChimeUnits &units)
+{
+    vc_assert(mvl >= 1, "MVL must be positive");
+    vc_assert(units.memory >= 1 && units.arithmetic >= 1,
+              "need at least one unit of each kind");
+
+    ChimeAnalysis result;
+    ConvoyState convoy;
+    bool convoy_open = false;
+    std::uint64_t vl = mvl;
+
+    auto close_convoy = [&](std::uint64_t length) {
+        if (!convoy_open)
+            return;
+        ++result.convoys;
+        result.chimeCycles += length;
+        convoy.clear();
+        convoy_open = false;
+    };
+
+    std::uint64_t convoy_vl = mvl;
+    for (const auto &i : program.code()) {
+        if (i.op == VOp::SetVl) {
+            vl = static_cast<std::uint64_t>(i.imm);
+            continue;
+        }
+        if (i.op == VOp::LoadS || i.op == VOp::RecipS ||
+            i.op == VOp::NegS) {
+            continue; // scalar-unit register ops: no vector convoy
+        }
+
+        const bool mem = isMemory(i.op);
+        const bool arith = isArithmetic(i.op);
+        if (mem)
+            ++result.memoryOps;
+        if (arith)
+            ++result.arithmeticOps;
+        const std::uint64_t effective_vl =
+            i.op == VOp::LoadSMem || i.op == VOp::StoreSMem ? 1 : vl;
+        result.elementOps += effective_vl;
+
+        // Structural hazard: limited memory and arithmetic pipes.
+        // Data hazard: no reading a register written in this convoy
+        // (chaining is not modelled at this level).
+        const bool structural =
+            (mem && convoy.memoryUsed >= units.memory) ||
+            (arith && convoy.arithUsed >= units.arithmetic);
+        const bool data = (readMask(i) & convoy.writtenMask) != 0;
+        if (convoy_open && (structural || data))
+            close_convoy(convoy_vl);
+
+        if (!convoy_open) {
+            convoy_open = true;
+            convoy_vl = effective_vl;
+        } else {
+            convoy_vl = std::max(convoy_vl, effective_vl);
+        }
+        convoy.memoryUsed += mem;
+        convoy.arithUsed += arith;
+        convoy.writtenMask |= writeMask(i);
+    }
+    close_convoy(convoy_vl);
+    return result;
+}
+
+} // namespace vcache

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Convoy/chime analysis of vector programs (Hennessy & Patterson's
+ * first-order vector timing model, the framework Equation (1)'s
+ * constants come from).
+ *
+ * Instructions are packed into *convoys*: groups that could begin
+ * execution in the same cycle because they share no functional unit
+ * and no register dependence.  The machine modelled here has one
+ * load/store unit that serves one memory instruction per convoy
+ * (a LoadPairV counts once: the two streams ride the two read buses)
+ * and one arithmetic unit.  Each convoy takes one *chime* ~ vl
+ * cycles, so a program of c convoys over n elements runs in about
+ * c * n cycles plus start-up -- the "B * T_elem" term of Equation (1)
+ * with T_elem = chimes per element.
+ */
+
+#ifndef VCACHE_VPU_CHIME_HH
+#define VCACHE_VPU_CHIME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "vpu/program.hh"
+
+namespace vcache
+{
+
+/** Result of packing one program into convoys. */
+struct ChimeAnalysis
+{
+    /** Number of convoys (chimes) across the whole program. */
+    std::uint64_t convoys = 0;
+    /** Total element slots executed (sum of vl per vector instr). */
+    std::uint64_t elementOps = 0;
+    /** Memory instructions (loads + stores). */
+    std::uint64_t memoryOps = 0;
+    /** Arithmetic vector instructions. */
+    std::uint64_t arithmeticOps = 0;
+    /**
+     * First-order execution time: sum over convoys of the vector
+     * length in force, ignoring start-up (the B * T_elem term).
+     */
+    std::uint64_t chimeCycles = 0;
+
+    /** Average chimes per vector instruction. */
+    double
+    chimesPerInstruction() const
+    {
+        const auto instrs = memoryOps + arithmeticOps;
+        return instrs ? static_cast<double>(convoys) /
+                            static_cast<double>(instrs)
+                      : 0.0;
+    }
+};
+
+/** Functional-unit complement available to one convoy. */
+struct ChimeUnits
+{
+    /** Concurrent memory (load/store) pipes. */
+    unsigned memory = 1;
+    /** Concurrent arithmetic pipes. */
+    unsigned arithmetic = 1;
+};
+
+/**
+ * Pack a program into convoys and estimate its chime time.
+ *
+ * @param program the instruction sequence (SetVl instructions are
+ *                honoured; the initial vector length is `mvl`)
+ * @param mvl the machine's maximum vector length
+ * @param units functional units available per convoy (default: the
+ *              paper's one load/store pipe and one arithmetic pipe)
+ */
+ChimeAnalysis analyzeChimes(const VectorProgram &program,
+                            std::uint64_t mvl,
+                            const ChimeUnits &units = {});
+
+} // namespace vcache
+
+#endif // VCACHE_VPU_CHIME_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A minimal register-register vector instruction set, modelled on the
+ * machines of Figures 2/3 (vector registers of MVL double words,
+ * strided vector load/store, vector-vector and scalar-vector
+ * arithmetic).
+ *
+ * The functional machine in machine.hh executes these instructions on
+ * real data AND emits the corresponding access trace, so timing runs
+ * are driven by the same instruction stream that produces verifiable
+ * numerical results -- the closest thing to "collecting experimental
+ * data" for the paper's machines.
+ */
+
+#ifndef VCACHE_VPU_ISA_HH
+#define VCACHE_VPU_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace vcache
+{
+
+/** Vector opcodes. */
+enum class VOp
+{
+    /** vd <- memory[base + i*stride], i in [0, vl). */
+    LoadV,
+    /**
+     * vd <- memory[base + i*stride1] while vs1 streams in from
+     * memory[base2 + i*stride2]: the paper's double-stream load.
+     */
+    LoadPairV,
+    /** memory[base + i*stride] <- vs1. */
+    StoreV,
+    /** vd <- vs1 + vs2. */
+    AddVV,
+    /** vd <- vs1 * vs2. */
+    MulVV,
+    /** vd <- scalar + vs1. */
+    AddSV,
+    /** vd <- scalar * vs1. */
+    MulSV,
+    /** vd <- scalar * vs1 + vs2 (fused multiply-add, SAXPY core). */
+    MulAddSV,
+    /** scalar <- scalar + sum(vs1): horizontal reduction (dot/norm). */
+    SumV,
+    /** set the vector length register (<= MVL). */
+    SetVl,
+    /** load the scalar register with an immediate. */
+    LoadS,
+    /** load the scalar register from memory[base] (scalar unit). */
+    LoadSMem,
+    /** memory[base] <- scalar (scalar unit). */
+    StoreSMem,
+    /** scalar <- 1 / scalar (the scalar divide unit). */
+    RecipS,
+    /** scalar <- -scalar. */
+    NegS,
+};
+
+/** One decoded instruction. */
+struct VInstr
+{
+    VOp op;
+    /** Destination vector register. */
+    unsigned vd = 0;
+    /** Source vector registers. */
+    unsigned vs1 = 0;
+    unsigned vs2 = 0;
+    /** Memory operands (LoadV/LoadPairV/StoreV). */
+    Addr base = 0;
+    std::int64_t stride = 1;
+    Addr base2 = 0;
+    std::int64_t stride2 = 1;
+    /** Immediate for SetVl / LoadS. */
+    double imm = 0.0;
+};
+
+/** Disassemble one instruction (debugging / program dumps). */
+std::string disassemble(const VInstr &instr);
+
+} // namespace vcache
+
+#endif // VCACHE_VPU_ISA_HH

@@ -1,0 +1,209 @@
+#include "vpu/machine.hh"
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+VectorMachine::VectorMachine(std::uint64_t mvl_value,
+                             std::uint64_t memory_words,
+                             unsigned vector_registers)
+    : mvl(mvl_value), vl(mvl_value),
+      vregs(vector_registers, std::vector<double>(mvl_value, 0.0)),
+      memory(memory_words, 0.0)
+{
+    vc_assert(mvl >= 1, "MVL must be at least 1");
+    vc_assert(vector_registers >= 1, "need at least one register");
+}
+
+double
+VectorMachine::readMem(Addr addr) const
+{
+    vc_assert(addr < memory.size(), "memory read out of range: ",
+              addr, " >= ", memory.size());
+    return memory[addr];
+}
+
+void
+VectorMachine::writeMem(Addr addr, double value)
+{
+    vc_assert(addr < memory.size(), "memory write out of range: ",
+              addr, " >= ", memory.size());
+    memory[addr] = value;
+}
+
+const std::vector<double> &
+VectorMachine::vectorRegister(unsigned index) const
+{
+    vc_assert(index < vregs.size(), "vector register v", index,
+              " does not exist");
+    return vregs[index];
+}
+
+std::vector<double> &
+VectorMachine::vreg(unsigned index)
+{
+    vc_assert(index < vregs.size(), "vector register v", index,
+              " does not exist");
+    return vregs[index];
+}
+
+void
+VectorMachine::checkRange(Addr base, std::int64_t stride,
+                          std::uint64_t n) const
+{
+    if (n == 0)
+        return;
+    const auto last = static_cast<std::int64_t>(base) +
+                      stride * static_cast<std::int64_t>(n - 1);
+    vc_assert(base < memory.size() && last >= 0 &&
+              static_cast<std::uint64_t>(last) < memory.size(),
+              "vector access [", base, " stride ", stride, " x ", n,
+              "] leaves the ", memory.size(), "-word memory");
+}
+
+void
+VectorMachine::run(const VectorProgram &program)
+{
+    for (const auto &instr : program.code())
+        exec(instr);
+}
+
+void
+VectorMachine::exec(const VInstr &i)
+{
+    ++executed;
+    switch (i.op) {
+      case VOp::SetVl: {
+        const auto requested = static_cast<std::uint64_t>(i.imm);
+        vc_assert(requested >= 1 && requested <= mvl,
+                  "setvl ", requested, " outside [1, ", mvl, "]");
+        vl = requested;
+        return;
+      }
+      case VOp::LoadS:
+        scalar = i.imm;
+        return;
+      case VOp::LoadSMem: {
+        scalar = readMem(i.base);
+        ++scalarLoadCount;
+        if (traceScalar) {
+            VectorOp op;
+            op.first = VectorRef{i.base, 1, 1};
+            trace_.push_back(op);
+        }
+        return;
+      }
+      case VOp::LoadV: {
+        checkRange(i.base, i.stride, vl);
+        auto &dst = vreg(i.vd);
+        const VectorRef ref{i.base, i.stride, vl};
+        for (std::uint64_t e = 0; e < vl; ++e)
+            dst[e] = memory[ref.element(e)];
+        VectorOp op;
+        op.first = ref;
+        trace_.push_back(op);
+        return;
+      }
+      case VOp::LoadPairV: {
+        checkRange(i.base, i.stride, vl);
+        checkRange(i.base2, i.stride2, vl);
+        auto &dst = vreg(i.vd);
+        auto &dst2 = vreg(i.vs1);
+        const VectorRef ref{i.base, i.stride, vl};
+        const VectorRef ref2{i.base2, i.stride2, vl};
+        for (std::uint64_t e = 0; e < vl; ++e) {
+            dst[e] = memory[ref.element(e)];
+            dst2[e] = memory[ref2.element(e)];
+        }
+        VectorOp op;
+        op.first = ref;
+        op.second = ref2;
+        trace_.push_back(op);
+        return;
+      }
+      case VOp::StoreV: {
+        checkRange(i.base, i.stride, vl);
+        const auto &src = vreg(i.vs1);
+        const VectorRef ref{i.base, i.stride, vl};
+        for (std::uint64_t e = 0; e < vl; ++e)
+            memory[ref.element(e)] = src[e];
+        // Stores ride the write bus alongside the producing op when
+        // possible (the paper's write-buffer assumption).
+        if (!trace_.empty() && !trace_.back().store) {
+            trace_.back().store = ref;
+        } else {
+            VectorOp op;
+            op.first = VectorRef{ref.base, ref.stride, 0};
+            op.store = ref;
+            trace_.push_back(op);
+        }
+        return;
+      }
+      case VOp::AddVV: {
+        auto &dst = vreg(i.vd);
+        const auto &a = vreg(i.vs1);
+        const auto &b = vreg(i.vs2);
+        for (std::uint64_t e = 0; e < vl; ++e)
+            dst[e] = a[e] + b[e];
+        return;
+      }
+      case VOp::MulVV: {
+        auto &dst = vreg(i.vd);
+        const auto &a = vreg(i.vs1);
+        const auto &b = vreg(i.vs2);
+        for (std::uint64_t e = 0; e < vl; ++e)
+            dst[e] = a[e] * b[e];
+        return;
+      }
+      case VOp::AddSV: {
+        auto &dst = vreg(i.vd);
+        const auto &a = vreg(i.vs1);
+        for (std::uint64_t e = 0; e < vl; ++e)
+            dst[e] = scalar + a[e];
+        return;
+      }
+      case VOp::MulSV: {
+        auto &dst = vreg(i.vd);
+        const auto &a = vreg(i.vs1);
+        for (std::uint64_t e = 0; e < vl; ++e)
+            dst[e] = scalar * a[e];
+        return;
+      }
+      case VOp::MulAddSV: {
+        auto &dst = vreg(i.vd);
+        const auto &a = vreg(i.vs1);
+        const auto &b = vreg(i.vs2);
+        for (std::uint64_t e = 0; e < vl; ++e)
+            dst[e] = scalar * a[e] + b[e];
+        return;
+      }
+      case VOp::SumV: {
+        const auto &a = vreg(i.vs1);
+        for (std::uint64_t e = 0; e < vl; ++e)
+            scalar += a[e];
+        return;
+      }
+      case VOp::StoreSMem: {
+        writeMem(i.base, scalar);
+        ++scalarLoadCount;
+        if (traceScalar) {
+            VectorOp op;
+            op.first = VectorRef{i.base, 1, 0};
+            op.store = VectorRef{i.base, 1, 1};
+            trace_.push_back(op);
+        }
+        return;
+      }
+      case VOp::RecipS:
+        vc_assert(scalar != 0.0, "scalar reciprocal of zero");
+        scalar = 1.0 / scalar;
+        return;
+      case VOp::NegS:
+        scalar = -scalar;
+        return;
+    }
+    vc_panic("unknown vector opcode");
+}
+
+} // namespace vcache

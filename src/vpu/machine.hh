@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Functional vector machine: executes VectorPrograms on real data and
+ * records the access trace the timing simulators replay.
+ *
+ * Numerics and timing come from the *same* instruction stream: run()
+ * computes the answers (verifiable against scalar references) while
+ * building a Trace; feed that trace to MmSimulator / CcSimulator for
+ * cycle counts on any of the paper's machines.
+ */
+
+#ifndef VCACHE_VPU_MACHINE_HH
+#define VCACHE_VPU_MACHINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/access.hh"
+#include "vpu/program.hh"
+
+namespace vcache
+{
+
+/** Architectural state plus flat word-addressed data memory. */
+class VectorMachine
+{
+  public:
+    /**
+     * @param mvl maximum vector length (words per vector register)
+     * @param memory_words size of the data memory
+     * @param vector_registers register-file size (the paper's
+     *        machines have "a set of vector registers")
+     */
+    VectorMachine(std::uint64_t mvl, std::uint64_t memory_words,
+                  unsigned vector_registers = 8);
+
+    /** Execute a whole program; trace records are appended. */
+    void run(const VectorProgram &program);
+
+    // --- memory access for setup and verification ----------------
+    double readMem(Addr addr) const;
+    void writeMem(Addr addr, double value);
+    std::uint64_t memoryWords() const { return memory.size(); }
+
+    // --- architectural state --------------------------------------
+    std::uint64_t maxVectorLength() const { return mvl; }
+    std::uint64_t vectorLength() const { return vl; }
+    double scalarRegister() const { return scalar; }
+    const std::vector<double> &vectorRegister(unsigned index) const;
+
+    // --- trace ----------------------------------------------------
+    const Trace &trace() const { return trace_; }
+    void clearTrace() { trace_.clear(); }
+
+    /**
+     * Whether scalar-unit loads (LoadSMem) appear in the vector
+     * trace.  Off by default: the paper's machines give scalar data
+     * its own cache ("we assume that scalar data have a separate
+     * cache", Section 2), so scalar traffic does not occupy the
+     * vector cache or its buses.
+     */
+    void traceScalarLoads(bool enable) { traceScalar = enable; }
+
+    /** Scalar-unit loads executed (whether traced or not). */
+    std::uint64_t scalarLoads() const { return scalarLoadCount; }
+
+    /** Executed instruction count (SetVl/LoadS included). */
+    std::uint64_t instructionsExecuted() const { return executed; }
+
+  private:
+    void exec(const VInstr &instr);
+    std::vector<double> &vreg(unsigned index);
+    void checkRange(Addr base, std::int64_t stride,
+                    std::uint64_t n) const;
+
+    std::uint64_t mvl;
+    std::uint64_t vl;
+    double scalar = 0.0;
+    std::vector<std::vector<double>> vregs;
+    std::vector<double> memory;
+    Trace trace_;
+    std::uint64_t executed = 0;
+    bool traceScalar = false;
+    std::uint64_t scalarLoadCount = 0;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_VPU_MACHINE_HH

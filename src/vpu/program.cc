@@ -1,0 +1,415 @@
+#include "vpu/program.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+std::string
+disassemble(const VInstr &i)
+{
+    std::ostringstream os;
+    switch (i.op) {
+      case VOp::LoadV:
+        os << "vload   v" << i.vd << ", [" << i.base << " +"
+           << i.stride << "]";
+        break;
+      case VOp::LoadPairV:
+        os << "vloadp  v" << i.vd << ", [" << i.base << " +"
+           << i.stride << "], v" << i.vs1 << ", [" << i.base2 << " +"
+           << i.stride2 << "]";
+        break;
+      case VOp::StoreV:
+        os << "vstore  v" << i.vs1 << ", [" << i.base << " +"
+           << i.stride << "]";
+        break;
+      case VOp::AddVV:
+        os << "vadd    v" << i.vd << ", v" << i.vs1 << ", v" << i.vs2;
+        break;
+      case VOp::MulVV:
+        os << "vmul    v" << i.vd << ", v" << i.vs1 << ", v" << i.vs2;
+        break;
+      case VOp::AddSV:
+        os << "vadds   v" << i.vd << ", s, v" << i.vs1;
+        break;
+      case VOp::MulSV:
+        os << "vmuls   v" << i.vd << ", s, v" << i.vs1;
+        break;
+      case VOp::MulAddSV:
+        os << "vmadds  v" << i.vd << ", s, v" << i.vs1 << ", v"
+           << i.vs2;
+        break;
+      case VOp::SumV:
+        os << "vsum    s, v" << i.vs1;
+        break;
+      case VOp::SetVl:
+        os << "setvl   " << static_cast<std::uint64_t>(i.imm);
+        break;
+      case VOp::LoadS:
+        os << "loads   " << i.imm;
+        break;
+      case VOp::LoadSMem:
+        os << "loadsm  [" << i.base << "]";
+        break;
+      case VOp::StoreSMem:
+        os << "storesm [" << i.base << "]";
+        break;
+      case VOp::RecipS:
+        os << "recips";
+        break;
+      case VOp::NegS:
+        os << "negs";
+        break;
+    }
+    return os.str();
+}
+
+void
+VectorProgram::setVl(std::uint64_t vl)
+{
+    VInstr i{};
+    i.op = VOp::SetVl;
+    i.imm = static_cast<double>(vl);
+    push(i);
+}
+
+void
+VectorProgram::loadScalar(double value)
+{
+    VInstr i{};
+    i.op = VOp::LoadS;
+    i.imm = value;
+    push(i);
+}
+
+void
+VectorProgram::loadScalarFromMem(Addr base)
+{
+    VInstr i{};
+    i.op = VOp::LoadSMem;
+    i.base = base;
+    push(i);
+}
+
+void
+VectorProgram::storeScalarToMem(Addr base)
+{
+    VInstr i{};
+    i.op = VOp::StoreSMem;
+    i.base = base;
+    push(i);
+}
+
+void
+VectorProgram::recipScalar()
+{
+    VInstr i{};
+    i.op = VOp::RecipS;
+    push(i);
+}
+
+void
+VectorProgram::negScalar()
+{
+    VInstr i{};
+    i.op = VOp::NegS;
+    push(i);
+}
+
+void
+VectorProgram::loadV(unsigned vd, Addr base, std::int64_t stride)
+{
+    VInstr i{};
+    i.op = VOp::LoadV;
+    i.vd = vd;
+    i.base = base;
+    i.stride = stride;
+    push(i);
+}
+
+void
+VectorProgram::loadPairV(unsigned vd, Addr base, std::int64_t stride,
+                         unsigned vs1, Addr base2,
+                         std::int64_t stride2)
+{
+    VInstr i{};
+    i.op = VOp::LoadPairV;
+    i.vd = vd;
+    i.vs1 = vs1;
+    i.base = base;
+    i.stride = stride;
+    i.base2 = base2;
+    i.stride2 = stride2;
+    push(i);
+}
+
+void
+VectorProgram::storeV(unsigned vs, Addr base, std::int64_t stride)
+{
+    VInstr i{};
+    i.op = VOp::StoreV;
+    i.vs1 = vs;
+    i.base = base;
+    i.stride = stride;
+    push(i);
+}
+
+namespace
+{
+
+VInstr
+arith(VOp op, unsigned vd, unsigned vs1, unsigned vs2 = 0)
+{
+    VInstr i{};
+    i.op = op;
+    i.vd = vd;
+    i.vs1 = vs1;
+    i.vs2 = vs2;
+    return i;
+}
+
+} // namespace
+
+void
+VectorProgram::addVV(unsigned vd, unsigned vs1, unsigned vs2)
+{
+    push(arith(VOp::AddVV, vd, vs1, vs2));
+}
+
+void
+VectorProgram::mulVV(unsigned vd, unsigned vs1, unsigned vs2)
+{
+    push(arith(VOp::MulVV, vd, vs1, vs2));
+}
+
+void
+VectorProgram::addSV(unsigned vd, unsigned vs1)
+{
+    push(arith(VOp::AddSV, vd, vs1));
+}
+
+void
+VectorProgram::mulSV(unsigned vd, unsigned vs1)
+{
+    push(arith(VOp::MulSV, vd, vs1));
+}
+
+void
+VectorProgram::mulAddSV(unsigned vd, unsigned vs1, unsigned vs2)
+{
+    push(arith(VOp::MulAddSV, vd, vs1, vs2));
+}
+
+void
+VectorProgram::sumV(unsigned vs1)
+{
+    push(arith(VOp::SumV, 0, vs1));
+}
+
+std::string
+VectorProgram::disassemble() const
+{
+    std::ostringstream os;
+    for (const auto &i : code_)
+        os << vcache::disassemble(i) << "\n";
+    return os.str();
+}
+
+void
+emitSaxpy(VectorProgram &prog, std::uint64_t mvl, double a,
+          Addr x_base, std::int64_t x_stride, Addr y_base,
+          std::int64_t y_stride, std::uint64_t n)
+{
+    vc_assert(mvl >= 1, "MVL must be positive");
+    prog.loadScalar(a);
+    for (std::uint64_t done = 0; done < n; done += mvl) {
+        const std::uint64_t vl = std::min(mvl, n - done);
+        prog.setVl(vl);
+        const Addr xb = static_cast<Addr>(
+            static_cast<std::int64_t>(x_base) +
+            x_stride * static_cast<std::int64_t>(done));
+        const Addr yb = static_cast<Addr>(
+            static_cast<std::int64_t>(y_base) +
+            y_stride * static_cast<std::int64_t>(done));
+        // v0 <- x, v1 <- y as one double-stream load.
+        prog.loadPairV(0, xb, x_stride, 1, yb, y_stride);
+        // v2 <- a*x + y.
+        prog.mulAddSV(2, 0, 1);
+        prog.storeV(2, yb, y_stride);
+    }
+}
+
+void
+emitDot(VectorProgram &prog, std::uint64_t mvl, Addr x_base,
+        std::int64_t x_stride, Addr y_base, std::int64_t y_stride,
+        std::uint64_t n)
+{
+    vc_assert(mvl >= 1, "MVL must be positive");
+    prog.loadScalar(0.0);
+    for (std::uint64_t done = 0; done < n; done += mvl) {
+        const std::uint64_t vl = std::min(mvl, n - done);
+        prog.setVl(vl);
+        const Addr xb = static_cast<Addr>(
+            static_cast<std::int64_t>(x_base) +
+            x_stride * static_cast<std::int64_t>(done));
+        const Addr yb = static_cast<Addr>(
+            static_cast<std::int64_t>(y_base) +
+            y_stride * static_cast<std::int64_t>(done));
+        prog.loadPairV(0, xb, x_stride, 1, yb, y_stride);
+        prog.mulVV(2, 0, 1);
+        prog.sumV(2); // scalar accumulates across strips
+    }
+}
+
+void
+emitLuFactor(VectorProgram &prog, std::uint64_t mvl, Addr base,
+             std::uint64_t n, std::uint64_t lda)
+{
+    vc_assert(n >= 1 && lda >= n, "need n >= 1 and lda >= n");
+    vc_assert(mvl >= 1, "MVL must be positive");
+
+    auto elem = [&](std::uint64_t row, std::uint64_t col) {
+        return base + row + col * lda;
+    };
+
+    // Strip-mined op over the column segment rows [k+1, n) of `col`.
+    auto for_strips = [&](std::uint64_t k, auto &&body) {
+        const std::uint64_t len = n - (k + 1);
+        for (std::uint64_t done = 0; done < len; done += mvl) {
+            const std::uint64_t vl = std::min(mvl, len - done);
+            prog.setVl(vl);
+            body(k + 1 + done);
+        }
+    };
+
+    for (std::uint64_t k = 0; k + 1 < n; ++k) {
+        // Multipliers: column k below the pivot, scaled by 1/pivot.
+        prog.loadScalarFromMem(elem(k, k));
+        prog.recipScalar();
+        for_strips(k, [&](std::uint64_t row0) {
+            prog.loadV(0, elem(row0, k), 1);
+            prog.mulSV(1, 0);
+            prog.storeV(1, elem(row0, k), 1);
+        });
+
+        // Trailing update: col_j -= A[k, j] * col_k for j > k.
+        for (std::uint64_t j = k + 1; j < n; ++j) {
+            prog.loadScalarFromMem(elem(k, j));
+            prog.negScalar();
+            for_strips(k, [&](std::uint64_t row0) {
+                prog.loadPairV(0, elem(row0, k), 1, 1,
+                               elem(row0, j), 1);
+                prog.mulAddSV(2, 0, 1); // -A[k,j]*L(:,k) + A(:,j)
+                prog.storeV(2, elem(row0, j), 1);
+            });
+        }
+    }
+}
+
+void
+emitForwardSolveUnitLower(VectorProgram &prog, std::uint64_t mvl,
+                          Addr matrix, std::uint64_t n,
+                          std::uint64_t lda, Addr rhs)
+{
+    vc_assert(n >= 1 && lda >= n, "need n >= 1 and lda >= n");
+    auto elem = [&](std::uint64_t row, std::uint64_t col) {
+        return matrix + row + col * lda;
+    };
+
+    for (std::uint64_t k = 0; k + 1 < n; ++k) {
+        // y[k] is already final (unit diagonal); eliminate it from
+        // the rows below: b[i] -= L[i, k] * y[k].
+        prog.loadScalarFromMem(rhs + k);
+        prog.negScalar();
+        const std::uint64_t len = n - (k + 1);
+        for (std::uint64_t done = 0; done < len; done += mvl) {
+            const std::uint64_t vl = std::min(mvl, len - done);
+            prog.setVl(vl);
+            const std::uint64_t row0 = k + 1 + done;
+            prog.loadPairV(0, elem(row0, k), 1, 1, rhs + row0, 1);
+            prog.mulAddSV(2, 0, 1); // -y[k]*L(:,k) + b
+            prog.storeV(2, rhs + row0, 1);
+        }
+    }
+}
+
+void
+emitBackSolveUpper(VectorProgram &prog, std::uint64_t mvl, Addr matrix,
+                   std::uint64_t n, std::uint64_t lda, Addr rhs)
+{
+    vc_assert(n >= 1 && lda >= n, "need n >= 1 and lda >= n");
+    auto elem = [&](std::uint64_t row, std::uint64_t col) {
+        return matrix + row + col * lda;
+    };
+
+    for (std::uint64_t kk = n; kk-- > 0;) {
+        // x[k] = b[k] / U[k, k]: the scalar unit holds 1/U[k,k] and
+        // a one-element vector op applies it to b[k].
+        prog.loadScalarFromMem(elem(kk, kk));
+        prog.recipScalar();
+        prog.setVl(1);
+        prog.loadV(0, rhs + kk, 1);
+        prog.mulSV(1, 0);
+        prog.storeV(1, rhs + kk, 1);
+
+        if (kk == 0)
+            break;
+        // Eliminate x[k] from the rows above.
+        prog.loadScalarFromMem(rhs + kk);
+        prog.negScalar();
+        for (std::uint64_t done = 0; done < kk; done += mvl) {
+            const std::uint64_t vl = std::min(mvl, kk - done);
+            prog.setVl(vl);
+            prog.loadPairV(0, elem(done, kk), 1, 1, rhs + done, 1);
+            prog.mulAddSV(2, 0, 1); // -x[k]*U(:,k) + b
+            prog.storeV(2, rhs + done, 1);
+        }
+    }
+}
+
+void
+emitBlockedMatmul(VectorProgram &prog, std::uint64_t mvl, Addr a_base,
+                  Addr b_base, Addr c_base, std::uint64_t n,
+                  std::uint64_t b)
+{
+    vc_assert(b >= 1 && n % b == 0, "block must divide n");
+    vc_assert(b <= mvl, "block column must fit one vector register");
+
+    const std::uint64_t blocks = n / b;
+    prog.setVl(b);
+
+    // C(I,J) += A(I,K) * B(K,J), one column of C at a time, with the
+    // inner product over the K block expressed column-wise (the
+    // classic vectorised GAXPY): c_col += A(:,k) * b[k].  A-block
+    // columns are re-read every (j, k) step -- reuse is exactly what
+    // the vector cache must provide -- and the scalar operand b[k]
+    // goes through the scalar unit.
+    for (std::uint64_t bj = 0; bj < blocks; ++bj) {
+        for (std::uint64_t bi = 0; bi < blocks; ++bi) {
+            for (std::uint64_t bk = 0; bk < blocks; ++bk) {
+                for (std::uint64_t j = 0; j < b; ++j) {
+                    const Addr c_col =
+                        c_base + bi * b + (bj * b + j) * n;
+                    // v1 <- C column (accumulator).
+                    prog.loadV(1, c_col, 1);
+                    for (std::uint64_t k = 0; k < b; ++k) {
+                        const Addr a_col =
+                            a_base + bi * b + (bk * b + k) * n;
+                        const Addr b_elem =
+                            b_base + (bk * b + k) + (bj * b + j) * n;
+                        prog.loadScalarFromMem(b_elem);
+                        prog.loadV(0, a_col, 1);
+                        // v1 <- s * v0 + v1.
+                        prog.mulAddSV(1, 0, 1);
+                    }
+                    prog.storeV(1, c_col, 1);
+                }
+            }
+        }
+    }
+}
+
+} // namespace vcache

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Vector programs: instruction sequences with builder helpers that
+ * handle strip-mining (splitting arbitrary-length vector work into
+ * MVL-sized strips, Equation (1)'s inner loops).
+ */
+
+#ifndef VCACHE_VPU_PROGRAM_HH
+#define VCACHE_VPU_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vpu/isa.hh"
+
+namespace vcache
+{
+
+/** An executable sequence of vector instructions. */
+class VectorProgram
+{
+  public:
+    /** Raw instruction append. */
+    void push(const VInstr &instr) { code_.push_back(instr); }
+
+    // Convenience emitters (one instruction each).
+    void setVl(std::uint64_t vl);
+    void loadScalar(double value);
+    void loadScalarFromMem(Addr base);
+    void storeScalarToMem(Addr base);
+    void recipScalar();
+    void negScalar();
+    void loadV(unsigned vd, Addr base, std::int64_t stride);
+    void loadPairV(unsigned vd, Addr base, std::int64_t stride,
+                   unsigned vs1, Addr base2, std::int64_t stride2);
+    void storeV(unsigned vs, Addr base, std::int64_t stride);
+    void addVV(unsigned vd, unsigned vs1, unsigned vs2);
+    void mulVV(unsigned vd, unsigned vs1, unsigned vs2);
+    void addSV(unsigned vd, unsigned vs1);
+    void mulSV(unsigned vd, unsigned vs1);
+    void mulAddSV(unsigned vd, unsigned vs1, unsigned vs2);
+    void sumV(unsigned vs1);
+
+    const std::vector<VInstr> &code() const { return code_; }
+    std::size_t size() const { return code_.size(); }
+
+    /** Multi-line disassembly. */
+    std::string disassemble() const;
+
+  private:
+    std::vector<VInstr> code_;
+};
+
+/**
+ * Emit a strip-mined SAXPY: y[i] = a * x[i] + y[i] for n elements,
+ * with the given strides.  Each strip loads x and y as a double
+ * stream, fuses the multiply-add, and stores y.
+ */
+void emitSaxpy(VectorProgram &prog, std::uint64_t mvl, double a,
+               Addr x_base, std::int64_t x_stride, Addr y_base,
+               std::int64_t y_stride, std::uint64_t n);
+
+/**
+ * Emit a strip-mined dot product: leaves sum(x[i] * y[i]) for n
+ * elements in the scalar register.  Per strip: a double-stream load,
+ * a vector multiply, and a horizontal reduction.
+ */
+void emitDot(VectorProgram &prog, std::uint64_t mvl, Addr x_base,
+             std::int64_t x_stride, Addr y_base,
+             std::int64_t y_stride, std::uint64_t n);
+
+/**
+ * Emit an in-place right-looking LU factorisation (no pivoting) of a
+ * column-major n x n matrix: on completion the strict lower triangle
+ * holds L (unit diagonal implicit) and the upper triangle holds U.
+ * Column segments are strip-mined; the pivot reciprocal and the
+ * update multipliers flow through the scalar unit (LoadSMem /
+ * RecipS / NegS).  The caller must ensure the matrix needs no
+ * pivoting (e.g. diagonally dominant).
+ */
+void emitLuFactor(VectorProgram &prog, std::uint64_t mvl, Addr base,
+                  std::uint64_t n, std::uint64_t lda);
+
+/**
+ * Emit a forward substitution with the unit lower triangle of a
+ * factored matrix (as left by emitLuFactor): solves L y = b in
+ * place, overwriting b with y.  Column-oriented: once y[k] is final,
+ * the remaining right-hand side is updated with column k of L.
+ */
+void emitForwardSolveUnitLower(VectorProgram &prog, std::uint64_t mvl,
+                               Addr matrix, std::uint64_t n,
+                               std::uint64_t lda, Addr rhs);
+
+/**
+ * Emit a back substitution with the upper triangle of a factored
+ * matrix: solves U x = y in place, overwriting the right-hand side
+ * with x.
+ */
+void emitBackSolveUpper(VectorProgram &prog, std::uint64_t mvl,
+                        Addr matrix, std::uint64_t n,
+                        std::uint64_t lda, Addr rhs);
+
+/**
+ * Emit a blocked matrix multiply C += A * B for column-major n x n
+ * matrices with b x b blocks (b <= MVL), the Section 3.1 flagship
+ * workload: per block-column update, the A-block column is reused
+ * while B/C columns stream.
+ */
+void emitBlockedMatmul(VectorProgram &prog, std::uint64_t mvl,
+                       Addr a_base, Addr b_base, Addr c_base,
+                       std::uint64_t n, std::uint64_t b);
+
+} // namespace vcache
+
+#endif // VCACHE_VPU_PROGRAM_HH

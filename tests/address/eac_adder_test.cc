@@ -1,0 +1,90 @@
+/** Tests for the end-around-carry adder hardware model. */
+
+#include <gtest/gtest.h>
+
+#include "address/eac_adder.hh"
+#include "numtheory/mersenne.hh"
+#include "util/rng.hh"
+
+namespace vcache
+{
+namespace
+{
+
+class EacAdderWidths : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(EacAdderWidths, AddMatchesModularArithmetic)
+{
+    const unsigned c = GetParam();
+    EacAdder adder(c);
+    const std::uint64_t m = adder.modulus();
+    Rng rng(c);
+    for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t a = rng.uniformInt(0, m);
+        const std::uint64_t b = rng.uniformInt(0, m);
+        EXPECT_EQ(adder.add(a, b), (a + b) % m)
+            << a << " + " << b << " (c=" << c << ")";
+    }
+}
+
+TEST_P(EacAdderWidths, BitSerialMatchesWordLevel)
+{
+    const unsigned c = GetParam();
+    EacAdder adder(c);
+    Rng rng(c + 100);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t a = rng.uniformInt(0, adder.modulus());
+        const std::uint64_t b = rng.uniformInt(0, adder.modulus());
+        EXPECT_EQ(adder.addBitSerial(a, b), adder.add(a, b))
+            << a << " + " << b << " (c=" << c << ")";
+    }
+}
+
+TEST_P(EacAdderWidths, ExhaustiveForSmallWidths)
+{
+    const unsigned c = GetParam();
+    if (c > 7)
+        GTEST_SKIP() << "exhaustive check limited to small widths";
+    EacAdder adder(c);
+    const std::uint64_t m = adder.modulus();
+    for (std::uint64_t a = 0; a <= m; ++a)
+        for (std::uint64_t b = 0; b <= m; ++b) {
+            EXPECT_EQ(adder.add(a, b), (a + b) % m);
+            EXPECT_EQ(adder.addBitSerial(a, b), (a + b) % m);
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(MersenneWidths, EacAdderWidths,
+                         testing::Values(2u, 3u, 5u, 7u, 13u, 17u, 19u,
+                                         31u));
+
+TEST(EacAdder, NormalisesNegativeZero)
+{
+    EacAdder adder(3);
+    // 3 + 4 = 7 = all-ones: the alias of 0.
+    EXPECT_EQ(adder.add(3, 4), 0u);
+    EXPECT_EQ(adder.addBitSerial(3, 4), 0u);
+    // 7 + 7 = 14 -> fold -> 7 -> 0.
+    EXPECT_EQ(adder.add(7, 7), 0u);
+}
+
+TEST(EacAdder, CountsOperations)
+{
+    EacAdder adder(13);
+    adder.add(1, 2);
+    adder.add(3, 4);
+    EXPECT_EQ(adder.operations(), 2u);
+    adder.resetStats();
+    EXPECT_EQ(adder.operations(), 0u);
+}
+
+TEST(EacAdderDeathTest, RejectsWideOperands)
+{
+    EacAdder adder(5);
+    EXPECT_DEATH((void)adder.add(32, 0), "wider");
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,61 @@
+/** Tests for tag/index/offset address decomposition. */
+
+#include <gtest/gtest.h>
+
+#include "address/fields.hh"
+#include "util/rng.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(AddressLayout, PaperConfiguration)
+{
+    // One-word lines, 8K-line cache, 32-bit addresses: W=0, c=13,
+    // tag=19 (the Alliant FX/8 example of Section 2.3 with c=14 is
+    // analogous).
+    const AddressLayout l(0, 13, 32);
+    EXPECT_EQ(l.offsetBits(), 0u);
+    EXPECT_EQ(l.indexBits(), 13u);
+    EXPECT_EQ(l.tagBits(), 19u);
+    EXPECT_EQ(l.lineWords(), 1u);
+}
+
+TEST(AddressLayout, FieldExtraction)
+{
+    const AddressLayout l(2, 4, 32);
+    const Addr a = (0xABCull << 6) | (0x9ull << 2) | 0x3;
+    EXPECT_EQ(l.offset(a), 0x3u);
+    EXPECT_EQ(l.index(a), 0x9u);
+    EXPECT_EQ(l.tag(a), 0xABCu);
+    EXPECT_EQ(l.lineAddress(a), a >> 2);
+}
+
+TEST(AddressLayout, ComposeRoundTrips)
+{
+    const AddressLayout l(3, 7, 32);
+    Rng rng(21);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr a = rng.uniformInt(0, (1ull << 32) - 1);
+        EXPECT_EQ(l.compose(l.tag(a), l.index(a), l.offset(a)), a);
+    }
+}
+
+TEST(AddressLayout, ZeroOffsetLineIsAddress)
+{
+    const AddressLayout l(0, 13, 32);
+    EXPECT_EQ(l.lineAddress(12345), 12345u);
+    EXPECT_EQ(l.offset(12345), 0u);
+}
+
+TEST(AddressLayoutDeathTest, OverflowingFieldsPanic)
+{
+    EXPECT_DEATH(AddressLayout(20, 20, 32), "exceed");
+    const AddressLayout l(2, 4, 32);
+    EXPECT_DEATH((void)l.compose(0, 16, 0), "index");
+    EXPECT_DEATH((void)l.compose(0, 0, 4), "offset");
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,168 @@
+/** Tests for the Figure-1 index generators. */
+
+#include <gtest/gtest.h>
+
+#include "address/index_gen.hh"
+#include "numtheory/mersenne.hh"
+#include "util/rng.hh"
+
+namespace vcache
+{
+namespace
+{
+
+AddressLayout
+paperLayout()
+{
+    return AddressLayout(0, 13, 32);
+}
+
+TEST(DirectIndexGenerator, WalksStride)
+{
+    DirectIndexGenerator gen(paperLayout());
+    gen.setStride(3);
+    EXPECT_EQ(gen.start(10), 10u);
+    EXPECT_EQ(gen.step(), 13u);
+    EXPECT_EQ(gen.step(), 16u);
+}
+
+TEST(DirectIndexGenerator, WrapsPowerOfTwo)
+{
+    DirectIndexGenerator gen(paperLayout());
+    gen.setStride(1);
+    gen.start(8190);
+    EXPECT_EQ(gen.step(), 8191u);
+    EXPECT_EQ(gen.step(), 0u); // 8192 mod 2^13
+}
+
+TEST(MersenneIndexGenerator, StartMatchesModulo)
+{
+    MersenneIndexGenerator gen(paperLayout());
+    Rng rng(31);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = rng.uniformInt(0, (1ull << 32) - 1);
+        EXPECT_EQ(gen.start(a), a % 8191) << "addr " << a;
+        EXPECT_EQ(gen.indexOf(a), a % 8191);
+    }
+}
+
+TEST(MersenneIndexGenerator, IncrementalWalkMatchesModulo)
+{
+    MersenneIndexGenerator gen(paperLayout());
+    Rng rng(37);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Addr base = rng.uniformInt(0, (1ull << 31));
+        const std::int64_t stride =
+            static_cast<std::int64_t>(rng.uniformInt(1, 1 << 20));
+        gen.setStride(stride);
+        gen.start(base);
+        for (std::uint64_t i = 1; i <= 200; ++i) {
+            const Addr expect =
+                (base + static_cast<Addr>(stride) * i) % 8191;
+            EXPECT_EQ(gen.step(), expect)
+                << "base=" << base << " stride=" << stride << " i=" << i;
+        }
+    }
+}
+
+TEST(MersenneIndexGenerator, NegativeStrides)
+{
+    MersenneIndexGenerator gen(paperLayout());
+    gen.setStride(-5);
+    const Addr base = 1u << 20;
+    gen.start(base);
+    for (std::uint64_t i = 1; i <= 100; ++i)
+        EXPECT_EQ(gen.step(), (base - 5 * i) % 8191) << i;
+}
+
+TEST(MersenneIndexGenerator, StrideRegisterHoldsResidue)
+{
+    MersenneIndexGenerator gen(paperLayout());
+    gen.setStride(8191 + 7);
+    EXPECT_EQ(gen.strideRegister(), 7u);
+    gen.setStride(8191);
+    EXPECT_EQ(gen.strideRegister(), 0u);
+}
+
+TEST(MersenneIndexGenerator, PowerOfTwoStridesStayConflictFree)
+{
+    // The whole point: a 2^k stride visits 8191 distinct lines before
+    // repeating (the direct-mapped cache would visit 2^13 / 2^k).
+    MersenneIndexGenerator gen(paperLayout());
+    gen.setStride(256);
+    std::vector<bool> seen(8191, false);
+    std::uint64_t idx = gen.start(0);
+    std::uint64_t distinct = 0;
+    for (int i = 0; i < 8191; ++i) {
+        if (!seen[idx]) {
+            seen[idx] = true;
+            ++distinct;
+        }
+        idx = gen.step();
+    }
+    EXPECT_EQ(distinct, 8191u);
+}
+
+TEST(MersenneIndexGenerator, CountsHardwareActivity)
+{
+    MersenneIndexGenerator gen(paperLayout());
+    gen.setStride(3);
+    gen.start(0x12345678);
+    gen.step();
+    gen.step();
+    const auto stats = gen.stats();
+    EXPECT_GE(stats.strideConversionAdds, 0u);
+    EXPECT_GE(stats.startupAdds, 1u); // 32-bit address folds its tag
+    EXPECT_EQ(stats.stepAdds, 2u);
+}
+
+TEST(MersenneIndexGenerator, StartupFoldIsCheap)
+{
+    // With tag <= 2c the startup takes at most 2 c-bit additions --
+    // the paper's "a couple of stages of c bit additions".
+    MersenneIndexGenerator gen(paperLayout());
+    gen.start(0xFFFFFFFF);
+    EXPECT_LE(gen.stats().startupAdds, 2u);
+}
+
+TEST(MersenneIndexGenerator, HardwareCostMatchesPaper)
+{
+    const auto cost = MersenneIndexGenerator::hardwareCost();
+    EXPECT_EQ(cost.fullAdders, 1u);
+    EXPECT_EQ(cost.multiplexors, 2u);
+    EXPECT_GE(cost.registers, 2u);
+}
+
+TEST(MersenneIndexGeneratorDeathTest, RejectsCompositeModulus)
+{
+    const AddressLayout bad(0, 11, 32); // 2047 = 23 * 89
+    EXPECT_DEATH(MersenneIndexGenerator{bad}, "Mersenne");
+}
+
+TEST(MersenneIndexGenerator, CompositeAllowedWhenRelaxed)
+{
+    const AddressLayout l(0, 11, 32);
+    MersenneIndexGenerator gen(l, false);
+    EXPECT_EQ(gen.lines(), 2047u);
+    EXPECT_EQ(gen.indexOf(2048), 1u);
+}
+
+TEST(MakeIndexGenerator, Factory)
+{
+    const auto l = paperLayout();
+    EXPECT_EQ(makeIndexGenerator(Mapping::Direct, l)->lines(), 8192u);
+    EXPECT_EQ(makeIndexGenerator(Mapping::Prime, l)->lines(), 8191u);
+}
+
+TEST(IndexGenerators, AgreeWithEachOtherOnSmallAddresses)
+{
+    // Below the cache size the two mappings coincide (indices < C-1).
+    const auto l = paperLayout();
+    DirectIndexGenerator direct(l);
+    MersenneIndexGenerator prime(l);
+    for (Addr a = 0; a < 8191; ++a)
+        EXPECT_EQ(direct.indexOf(a), prime.indexOf(a));
+}
+
+} // namespace
+} // namespace vcache

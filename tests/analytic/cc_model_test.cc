@@ -1,0 +1,167 @@
+/** Tests for the CC-model equations (Sections 3.3 and 4). */
+
+#include <gtest/gtest.h>
+
+#include "analytic/cc_model.hh"
+#include "analytic/mm_model.hh"
+#include "core/defaults.hh"
+
+namespace vcache
+{
+namespace
+{
+
+class DirectSelfInterference
+    : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(DirectSelfInterference, ClosedFormMatchesSum)
+{
+    // Equation (6) is exact for any B <= C, power of two or not.
+    const double b = static_cast<double>(GetParam());
+    const MachineParams m = paperMachineM32();
+    EXPECT_NEAR(selfInterferenceDirectSum(m, b, 0.25),
+                selfInterferenceDirectClosed(m, b, 0.25),
+                1e-7 * (1.0 + selfInterferenceDirectSum(m, b, 0.25)))
+        << "B=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, DirectSelfInterference,
+                         testing::Values(1ull, 2ull, 3ull, 5ull, 64ull,
+                                         100ull, 1000ull, 1024ull,
+                                         4095ull, 4096ull, 8191ull,
+                                         8192ull));
+
+TEST(DirectSelfInterference, HandComputedTinyCache)
+{
+    // C = 8 (c = 3), B = 4, t_m arbitrary: bracket = 2 + 0 + 3 = 5
+    // (worked in DESIGN.md note 3's verification).
+    MachineParams m = paperMachineM32();
+    m.cacheIndexBits = 3;
+    m.memoryTime = 1;
+    EXPECT_NEAR(selfInterferenceDirectSum(m, 4.0, 0.0), 5.0 / 7.0,
+                1e-12);
+}
+
+TEST(DirectSelfInterference, PowerOfTwoSpecialCase)
+{
+    // For B a power of two the closed form reduces to
+    // (1-P1)(B^2-1)/(3(C-1)) * t_m.
+    const MachineParams m = paperMachineM32(); // C=8192, tm=16
+    const double b = 1024.0;
+    EXPECT_NEAR(selfInterferenceDirectClosed(m, b, 0.25),
+                0.75 * (b * b - 1.0) / (3.0 * 8191.0) * 16.0, 1e-6);
+}
+
+TEST(PrimeSelfInterference, Equation8)
+{
+    const MachineParams m = paperMachineM32(); // prime C = 8191
+    EXPECT_NEAR(selfInterferencePrime(m, 1024.0, 0.25),
+                0.75 * 1023.0 / 8190.0 * 16.0, 1e-9);
+}
+
+TEST(PrimeSelfInterference, VastlySmallerThanDirect)
+{
+    const MachineParams m = paperMachineM32();
+    for (double b : {512.0, 1024.0, 4096.0}) {
+        EXPECT_LT(selfInterferencePrime(m, b, 0.25) * 50.0,
+                  selfInterferenceDirectSum(m, b, 0.25))
+            << "B=" << b;
+    }
+}
+
+TEST(Footprint, PrimeLargerThanDirect)
+{
+    const MachineParams m = paperMachineM32();
+    for (double b : {256.0, 1024.0, 4096.0}) {
+        EXPECT_GT(footprintCc(m, CacheScheme::Prime, b, 0.25),
+                  footprintCc(m, CacheScheme::Direct, b, 0.25));
+    }
+}
+
+TEST(Footprint, BoundedByVectorAndCache)
+{
+    const MachineParams m = paperMachineM32();
+    for (double b : {16.0, 8191.0, 20000.0}) {
+        for (auto s : {CacheScheme::Direct, CacheScheme::Prime}) {
+            const double fp = footprintCc(m, s, b, 0.25);
+            EXPECT_LE(fp, std::min(b, 8192.0) + 1e-9);
+            EXPECT_GE(fp, 1.0);
+        }
+    }
+}
+
+TEST(Footprint, UnitStrideOnlyIsWholeVector)
+{
+    const MachineParams m = paperMachineM32();
+    EXPECT_NEAR(footprintCc(m, CacheScheme::Direct, 500.0, 1.0), 500.0,
+                1e-9);
+    EXPECT_NEAR(footprintCc(m, CacheScheme::Prime, 500.0, 1.0), 500.0,
+                1e-9);
+}
+
+TEST(CrossInterference, ScalesWithPds)
+{
+    const MachineParams m = paperMachineM32();
+    WorkloadParams w = paperWorkload();
+    w.pDoubleStream = 0.1;
+    const double lo = crossInterferenceCc(m, CacheScheme::Prime, w);
+    w.pDoubleStream = 0.4;
+    const double hi = crossInterferenceCc(m, CacheScheme::Prime, w);
+    EXPECT_GT(hi, lo * 3.0);
+}
+
+TEST(ElementTimeCc, UnitStrideSingleStreamIsIdeal)
+{
+    const MachineParams m = paperMachineM32();
+    WorkloadParams w = paperWorkload();
+    w.pDoubleStream = 0.0;
+    w.pStride1First = 1.0;
+    EXPECT_DOUBLE_EQ(elementTimeCc(m, CacheScheme::Direct, w), 1.0);
+    EXPECT_DOUBLE_EQ(elementTimeCc(m, CacheScheme::Prime, w), 1.0);
+}
+
+TEST(ElementTimeCc, PrimeBelowDirect)
+{
+    const MachineParams m = paperMachineM32();
+    const WorkloadParams w = paperWorkload();
+    EXPECT_LT(elementTimeCc(m, CacheScheme::Prime, w),
+              elementTimeCc(m, CacheScheme::Direct, w));
+}
+
+TEST(TotalTimeCc, ReuseOneEqualsMmTime)
+{
+    // With R = 1 only the initial (pipelined) load happens: the CC
+    // machine degenerates to the MM machine, matching the R = 1
+    // equality in Figure 5.
+    const MachineParams m = paperMachineM32();
+    WorkloadParams w = paperWorkload();
+    w.reuseFactor = 1.0;
+    EXPECT_NEAR(cyclesPerResultCc(m, CacheScheme::Direct, w),
+                cyclesPerResultMm(m, w), 1e-9);
+}
+
+TEST(CyclesPerResultCc, ImprovesWithReuse)
+{
+    const MachineParams m = paperMachineM32();
+    WorkloadParams w = paperWorkload();
+    double prev = 1e18;
+    for (double r : {1.0, 2.0, 4.0, 16.0, 64.0}) {
+        w.reuseFactor = r;
+        const double v = cyclesPerResultCc(m, CacheScheme::Prime, w);
+        EXPECT_LT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(CyclesPerResultCc, PrimeBeatsDirectAtPaperDefaults)
+{
+    const MachineParams m = paperMachineM64();
+    const WorkloadParams w = paperWorkload();
+    EXPECT_LT(cyclesPerResultCc(m, CacheScheme::Prime, w),
+              cyclesPerResultCc(m, CacheScheme::Direct, w));
+}
+
+} // namespace
+} // namespace vcache

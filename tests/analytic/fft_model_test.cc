@@ -1,0 +1,86 @@
+/** Tests for the blocked-FFT analytic model. */
+
+#include <gtest/gtest.h>
+
+#include "analytic/fft_model.hh"
+#include "core/defaults.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(FftRowConflicts, DirectMappedPowerOfTwoRows)
+{
+    // C = 8192, B2 = 64: gcd = 64, coverage 128.  A 256-point row FFT
+    // overflows by 128.
+    EXPECT_DOUBLE_EQ(fftRowConflicts(256, 64, 8192), 128.0);
+    // Short rows fit.
+    EXPECT_DOUBLE_EQ(fftRowConflicts(64, 64, 8192), 0.0);
+}
+
+TEST(FftRowConflicts, PrimeCacheConflictFree)
+{
+    // gcd(2^k, 8191) = 1 for every power-of-two row count: full
+    // coverage, no conflicts for any B1 <= 8191.
+    for (std::uint64_t b2 : {2ull, 64ull, 1024ull, 8192ull})
+        EXPECT_DOUBLE_EQ(fftRowConflicts(8191, b2, 8191), 0.0)
+            << "B2=" << b2;
+}
+
+TEST(FftModel, PrimeBeatsDirectAcrossB2)
+{
+    const MachineParams m = paperMachineM64();
+    for (std::uint64_t b2 = 64; b2 <= 4096; b2 *= 2) {
+        const FftShape shape{512, b2};
+        const double direct =
+            fftCyclesPerPointCc(m, CacheScheme::Direct, shape);
+        const double prime =
+            fftCyclesPerPointCc(m, CacheScheme::Prime, shape);
+        EXPECT_LT(prime, direct) << "B2=" << b2;
+    }
+}
+
+TEST(FftModel, PaperClaimFactorOfTwo)
+{
+    // "the prime-mapped cache outperforms the direct-mapped cache by
+    // a factor of more than 2" for conflicting shapes.
+    const MachineParams m = paperMachineM64();
+    const FftShape shape{4096, 1024};
+    const double direct =
+        fftCyclesPerPointCc(m, CacheScheme::Direct, shape);
+    const double prime =
+        fftCyclesPerPointCc(m, CacheScheme::Prime, shape);
+    EXPECT_GT(direct / prime, 2.0);
+}
+
+TEST(FftModel, SchemesAgreeWhenNoConflictsPossible)
+{
+    // Tiny transform entirely inside both caches: identical model
+    // output up to the one-line capacity difference.
+    const MachineParams m = paperMachineM64();
+    const FftShape shape{64, 64};
+    EXPECT_NEAR(fftCyclesPerPointCc(m, CacheScheme::Direct, shape),
+                fftCyclesPerPointCc(m, CacheScheme::Prime, shape),
+                1e-6);
+}
+
+TEST(FftModel, CacheBeatsMmWhenReuseIsHigh)
+{
+    const MachineParams m = paperMachineM64();
+    const FftShape shape{4096, 1024};
+    EXPECT_LT(fftCyclesPerPointCc(m, CacheScheme::Prime, shape),
+              fftCyclesPerPointMm(m, shape));
+}
+
+TEST(FftModel, TotalIsPerPointTimesN)
+{
+    const MachineParams m = paperMachineM64();
+    const FftShape shape{256, 128};
+    EXPECT_NEAR(fftCyclesPerPointCc(m, CacheScheme::Prime, shape) *
+                    32768.0,
+                fftTotalTimeCc(m, CacheScheme::Prime, shape), 1e-6);
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,118 @@
+/** Tests for the MM-model equations (Section 3.2). */
+
+#include <gtest/gtest.h>
+
+#include "analytic/mm_model.hh"
+#include "core/defaults.hh"
+#include "numtheory/congruence.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(SelfInterferenceMm, ClosedFormMatchesSumForPow2BusyTimes)
+{
+    for (unsigned bank_bits : {4u, 5u, 6u}) {
+        for (std::uint64_t tm : {1ull, 2ull, 4ull, 8ull, 16ull}) {
+            if (tm >= (1ull << bank_bits))
+                continue; // the derivation assumes t_m < M
+            MachineParams m = paperMachineM32();
+            m.bankBits = bank_bits;
+            m.memoryTime = tm;
+            EXPECT_NEAR(selfInterferenceMmSum(m, 0.25),
+                        selfInterferenceMmClosed(m, 0.25), 1e-9)
+                << "m=" << bank_bits << " tm=" << tm;
+        }
+    }
+}
+
+TEST(SelfInterferenceMm, HandComputedValue)
+{
+    // M = 32, t_m = 8, MVL = 64, P1 = 0: bracket = 128 + 192 + 448
+    // = 768 (see the derivation in the paper); / (M-1) = 24.77...
+    MachineParams m = paperMachineM32();
+    m.memoryTime = 8;
+    EXPECT_NEAR(selfInterferenceMmSum(m, 0.0), 768.0 / 31.0, 1e-9);
+}
+
+TEST(SelfInterferenceMm, UnitStrideProbabilityScalesLinearly)
+{
+    const MachineParams m = paperMachineM32();
+    const double at0 = selfInterferenceMmSum(m, 0.0);
+    EXPECT_NEAR(selfInterferenceMmSum(m, 0.5), at0 * 0.5, 1e-9);
+    EXPECT_NEAR(selfInterferenceMmSum(m, 1.0), 0.0, 1e-12);
+}
+
+TEST(SelfInterferenceMm, GrowsWithMemoryTime)
+{
+    MachineParams m = paperMachineM32();
+    double prev = -1.0;
+    for (std::uint64_t tm : {2ull, 4ull, 8ull, 16ull, 32ull}) {
+        m.memoryTime = tm;
+        const double v = selfInterferenceMmSum(m, 0.25);
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(CrossInterferenceMm, MatchesUniformDClosedForm)
+{
+    const MachineParams m = paperMachineM32();
+    EXPECT_DOUBLE_EQ(crossInterferenceMm(m),
+                     crossConflictStallsUniformD(32, 64, 16));
+}
+
+TEST(ElementTimeMm, AtLeastOneCyclePerElement)
+{
+    const MachineParams m = paperMachineM32();
+    const WorkloadParams w = paperWorkload();
+    EXPECT_GE(elementTimeMm(m, w), 1.0);
+}
+
+TEST(ElementTimeMm, PureUnitStrideSingleStreamIsIdeal)
+{
+    MachineParams m = paperMachineM32();
+    WorkloadParams w = paperWorkload();
+    w.pDoubleStream = 0.0;
+    w.pStride1First = 1.0;
+    EXPECT_DOUBLE_EQ(elementTimeMm(m, w), 1.0);
+}
+
+TEST(BlockTime, Equation1Structure)
+{
+    MachineParams m = paperMachineM32();
+    m.memoryTime = 16; // T_start = 46
+    // B = 64 (one strip), T_elem = 1: 10 + 1*(15 + 46) + 64.
+    EXPECT_DOUBLE_EQ(blockTime(m, 64.0, 1.0), 135.0);
+    // B = 65: two strips.
+    EXPECT_DOUBLE_EQ(blockTime(m, 65.0, 1.0), 10 + 2 * 61 + 65);
+}
+
+TEST(TotalTimeMm, ScalesWithBlocksAndReuse)
+{
+    const MachineParams m = paperMachineM32();
+    WorkloadParams w = paperWorkload();
+    w.blockingFactor = 1024;
+    w.totalData = 4096;
+    w.reuseFactor = 8;
+    const double t_elem = elementTimeMm(m, w);
+    const double expect =
+        blockTime(m, 1024.0, t_elem) * 8.0 * 4.0; // 4 blocks
+    EXPECT_DOUBLE_EQ(totalTimeMm(m, w), expect);
+}
+
+TEST(CyclesPerResultMm, IndependentOfReuse)
+{
+    // Without a cache, every pass re-pays memory: cycles/result is
+    // flat in R (the Figure-5 MM curves).
+    const MachineParams m = paperMachineM32();
+    WorkloadParams w = paperWorkload();
+    w.reuseFactor = 1;
+    const double r1 = cyclesPerResultMm(m, w);
+    w.reuseFactor = 64;
+    EXPECT_NEAR(cyclesPerResultMm(m, w), r1, 1e-9);
+}
+
+} // namespace
+} // namespace vcache

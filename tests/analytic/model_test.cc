@@ -1,0 +1,174 @@
+/** Tests for the model facade and paper-level claims. */
+
+#include <gtest/gtest.h>
+
+#include "analytic/model.hh"
+#include "core/comparison.hh"
+#include "core/defaults.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(ModelFacade, NamesAndDispatch)
+{
+    EXPECT_EQ(machineName(MachineKind::MemoryOnly), "MM");
+    EXPECT_EQ(machineName(MachineKind::DirectCache), "CC-direct");
+    EXPECT_EQ(machineName(MachineKind::PrimeCache), "CC-prime");
+
+    const MachineParams m = paperMachineM64();
+    const WorkloadParams w = paperWorkload();
+    for (auto kind : {MachineKind::MemoryOnly, MachineKind::DirectCache,
+                      MachineKind::PrimeCache}) {
+        const auto r = evaluate(kind, m, w);
+        EXPECT_EQ(r.kind, kind);
+        EXPECT_GT(r.cyclesPerResult, 0.99);
+        EXPECT_GT(r.totalCycles, 0.0);
+        EXPECT_GE(r.elementTime, 1.0);
+    }
+}
+
+TEST(ModelFacade, ComparisonMatchesIndividualCalls)
+{
+    const MachineParams m = paperMachineM64();
+    const WorkloadParams w = paperWorkload();
+    const auto p = compareMachines(m, w);
+    EXPECT_DOUBLE_EQ(
+        p.mm, evaluate(MachineKind::MemoryOnly, m, w).cyclesPerResult);
+    EXPECT_DOUBLE_EQ(
+        p.direct,
+        evaluate(MachineKind::DirectCache, m, w).cyclesPerResult);
+    EXPECT_DOUBLE_EQ(
+        p.prime,
+        evaluate(MachineKind::PrimeCache, m, w).cyclesPerResult);
+}
+
+TEST(PaperClaims, Figure7PrimeWinsEverywhere)
+{
+    MachineParams m = paperMachineM64();
+    WorkloadParams w = paperWorkload();
+    w.blockingFactor = 4096;
+    w.reuseFactor = 4096;
+    for (std::uint64_t tm = 4; tm <= 64; tm += 4) {
+        m.memoryTime = tm;
+        const auto p = compareMachines(m, w);
+        EXPECT_LT(p.prime, p.direct) << "t_m=" << tm;
+        EXPECT_LT(p.prime, p.mm) << "t_m=" << tm;
+    }
+}
+
+TEST(PaperClaims, Figure7MagnitudesAtTmEqualsM)
+{
+    // "When the memory access time matches the number of memory
+    // modules (64), the prime-mapped CC-model runs three times faster
+    // than the direct-mapped CC-model and almost five times faster
+    // than the MM-model."
+    MachineParams m = paperMachineM64();
+    m.memoryTime = 64;
+    WorkloadParams w = paperWorkload();
+    w.blockingFactor = 4096;
+    w.reuseFactor = 4096;
+    const auto p = compareMachines(m, w);
+    EXPECT_GT(p.primeOverDirect(), 2.5);
+    EXPECT_LT(p.primeOverDirect(), 5.0);
+    EXPECT_GT(p.primeOverMm(), 3.5);
+    EXPECT_LT(p.primeOverMm(), 6.5);
+}
+
+TEST(PaperClaims, Figure4DirectCrossoverMovesWithBlockingFactor)
+{
+    // The direct-mapped cache overtakes MM beyond some t_m; the
+    // crossover comes *earlier* for the smaller blocking factor.
+    MachineParams m = paperMachineM32();
+    WorkloadParams w = paperWorkload();
+
+    auto crossover = [&](double b) {
+        w.blockingFactor = b;
+        w.reuseFactor = b;
+        for (std::uint64_t tm = 1; tm <= 64; ++tm) {
+            m.memoryTime = tm;
+            const auto p = compareMachines(m, w);
+            if (p.direct < p.mm)
+                return tm;
+        }
+        return std::uint64_t{65};
+    };
+
+    const auto cross2k = crossover(2048);
+    const auto cross4k = crossover(4096);
+    EXPECT_LT(cross2k, cross4k);
+    EXPECT_LE(cross2k, 20u);
+    EXPECT_LE(cross4k, 40u);
+}
+
+TEST(PaperClaims, Figure8PrimeFlatInBlockingFactor)
+{
+    // "the average cycles per result for the prime-mapped cache
+    // remains flat" while direct crosses over MM.
+    MachineParams m = paperMachineM64();
+    m.memoryTime = 32; // t_m = M / 2
+    WorkloadParams w = paperWorkload();
+
+    double prime_min = 1e18, prime_max = 0.0;
+    double direct_min = 1e18, direct_max = 0.0;
+    bool direct_crossed = false;
+    for (double b = 256; b <= 8192; b *= 2) {
+        w.blockingFactor = b;
+        w.reuseFactor = b;
+        const auto p = compareMachines(m, w);
+        prime_min = std::min(prime_min, p.prime);
+        prime_max = std::max(prime_max, p.prime);
+        direct_min = std::min(direct_min, p.direct);
+        direct_max = std::max(direct_max, p.direct);
+        direct_crossed = direct_crossed || p.direct > p.mm;
+    }
+    // "Flat" relative to the direct-mapped blow-up: the prime curve
+    // moves a fraction as much.
+    EXPECT_LT(prime_max / prime_min, 2.0);
+    EXPECT_GT(direct_max / direct_min,
+              2.0 * prime_max / prime_min);
+    EXPECT_TRUE(direct_crossed);
+}
+
+TEST(PaperClaims, Figure9SchemesConvergeAsPStride1GoesToOne)
+{
+    MachineParams m = paperMachineM64();
+    WorkloadParams w = paperWorkload();
+    w.blockingFactor = 4096;
+    w.reuseFactor = 4096;
+
+    double prev_gap = 1e18;
+    for (double p1 : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        w.pStride1First = p1;
+        w.pStride1Second = p1;
+        const auto p = compareMachines(m, w);
+        // The one-line capacity difference (8191 vs 8192) leaves a
+        // ~1e-4 wobble at P1 = 1.
+        const double gap = p.direct - p.prime;
+        EXPECT_GE(gap, -1e-3) << "P1=" << p1;
+        EXPECT_LE(gap, prev_gap + 1e-3) << "P1=" << p1;
+        prev_gap = gap;
+    }
+    // Identical at P1 = 1 (no random strides left).
+    w.pStride1First = w.pStride1Second = 1.0;
+    const auto p = compareMachines(m, w);
+    EXPECT_NEAR(p.direct, p.prime, 0.02);
+}
+
+TEST(PaperClaims, Figure10PrimeWinsForAllPds)
+{
+    MachineParams m = paperMachineM64();
+    m.memoryTime = 32;
+    WorkloadParams w = paperWorkload();
+    w.blockingFactor = 4096;
+    w.reuseFactor = 4096;
+    for (double pds = 0.0; pds <= 1.0; pds += 0.1) {
+        w.pDoubleStream = pds;
+        const auto p = compareMachines(m, w);
+        EXPECT_LT(p.prime, p.direct * 1.0 + 1e-9) << "P_ds=" << pds;
+    }
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,102 @@
+/** Tests for the Section 3.1 algorithm-to-VCM presets. */
+
+#include <gtest/gtest.h>
+
+#include "analytic/cc_model.hh"
+#include "analytic/presets.hh"
+#include "core/comparison.hh"
+#include "core/defaults.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(Presets, MatmulTupleMatchesSection31)
+{
+    // "the blocked matrix multiply algorithm ... has the blocking
+    // factor of b^2 ... reuse factor of each block is b ... the
+    // fraction of double stream accesses is 1/b."
+    const auto w = matmulWorkload(16, 256);
+    EXPECT_DOUBLE_EQ(w.blockingFactor, 256.0);
+    EXPECT_DOUBLE_EQ(w.reuseFactor, 16.0);
+    EXPECT_DOUBLE_EQ(w.pDoubleStream, 1.0 / 16.0);
+    EXPECT_DOUBLE_EQ(w.totalData, 65536.0);
+}
+
+TEST(Presets, LuTupleMatchesSection31)
+{
+    // "blocked LU decomposition ... has an average reuse factor of
+    // 3b/2."
+    const auto w = luWorkload(16, 256);
+    EXPECT_DOUBLE_EQ(w.blockingFactor, 256.0);
+    EXPECT_DOUBLE_EQ(w.reuseFactor, 24.0);
+}
+
+TEST(Presets, FftTupleMatchesSection31)
+{
+    // "the blocked FFT algorithm ... with a blocking factor of b has
+    // a reuse factor of log2(b)."
+    const auto w = fftWorkload(1024, 65536);
+    EXPECT_DOUBLE_EQ(w.blockingFactor, 1024.0);
+    EXPECT_DOUBLE_EQ(w.reuseFactor, 10.0);
+    EXPECT_DOUBLE_EQ(w.pDoubleStream, 0.0);
+}
+
+TEST(Presets, RowColumnTupleMatchesSection31)
+{
+    // "if we set VCM = [b, r, 1, 1, P, 1, 1/C], we have double
+    // stream vector accesses to columns and rows."
+    const auto w = rowColumnWorkload(512, 8, 65536);
+    EXPECT_DOUBLE_EQ(w.pDoubleStream, 1.0);
+    EXPECT_DOUBLE_EQ(w.pStride1First, 1.0);
+    EXPECT_DOUBLE_EQ(w.pStride1Second, 0.0);
+}
+
+TEST(Presets, PrimeWinsOnEveryNamedAlgorithm)
+{
+    MachineParams m = paperMachineM64();
+    m.memoryTime = 32;
+    const WorkloadParams workloads[] = {
+        matmulWorkload(32, 1024),
+        luWorkload(32, 1024),
+        fftWorkload(4096, 65536),
+        rowColumnWorkload(4096, 64, 65536),
+    };
+    for (const auto &w : workloads) {
+        const auto p = compareMachines(m, w);
+        EXPECT_LE(p.prime, p.direct + 1e-9);
+    }
+    // Against the cacheless machine the cache wins whenever the
+    // workload is not pure double-stream; at P_ds = 1 (the row/col
+    // preset) cross-interference brings CC and MM together -- the
+    // right-hand edge of Figure 10.
+    for (const auto &w : {matmulWorkload(32, 1024),
+                          luWorkload(32, 1024),
+                          fftWorkload(4096, 65536)}) {
+        EXPECT_LT(compareMachines(m, w).prime,
+                  compareMachines(m, w).mm);
+    }
+    const auto rc =
+        compareMachines(m, rowColumnWorkload(4096, 64, 65536));
+    EXPECT_LT(rc.prime, rc.mm * 1.1);
+}
+
+TEST(Presets, LargerMatmulBlocksHurtDirectNotPrime)
+{
+    MachineParams m = paperMachineM64();
+    m.memoryTime = 32;
+    const auto small = compareMachines(m, matmulWorkload(16, 1024));
+    const auto large = compareMachines(m, matmulWorkload(64, 1024));
+    EXPECT_GT(large.direct, small.direct);
+    EXPECT_LT(large.prime, small.prime * 1.25);
+}
+
+TEST(PresetsDeathTest, RejectsBadShapes)
+{
+    EXPECT_DEATH((void)matmulWorkload(32, 16), "b <= n");
+    EXPECT_DEATH((void)fftWorkload(100, 1024), "power of two");
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,132 @@
+/** Tests for the conflict-free sub-block blocking rule. */
+
+#include <gtest/gtest.h>
+
+#include "analytic/subblock_model.hh"
+#include "core/defaults.hh"
+
+namespace vcache
+{
+namespace
+{
+
+MachineParams
+primeMachine()
+{
+    return paperMachineM32(); // prime cache: 8191 lines
+}
+
+class LeadingDimensions : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(LeadingDimensions, ChosenBlockingIsActuallyConflictFree)
+{
+    const std::uint64_t p = GetParam();
+    const MachineParams m = primeMachine();
+    const auto choice = chooseConflictFreeBlocking(p, 8191);
+    ASSERT_GT(choice.b1, 0u);
+    ASSERT_GT(choice.b2, 0u);
+    EXPECT_TRUE(satisfiesConflictFreeRule(p, choice.b1, choice.b2,
+                                          8191));
+    EXPECT_EQ(countSubblockConflicts(p, choice.b1, choice.b2, m,
+                                     CacheScheme::Prime),
+              0u)
+        << "P=" << p;
+}
+
+TEST_P(LeadingDimensions, UtilizationIsHigh)
+{
+    // "conflict free access is possible to the submatrix even with
+    // the cache utilization approaching 1."
+    const std::uint64_t p = GetParam();
+    const auto choice = chooseConflictFreeBlocking(p, 8191);
+    EXPECT_GT(choice.utilization(8191), 0.5) << "P=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MatrixShapes, LeadingDimensions,
+    testing::Values(100ull, 500ull, 1000ull, 1024ull, 4096ull,
+                    5000ull, 8192ull, 10000ull, 123456ull));
+
+TEST(SubblockRule, RejectsOversizedBlocks)
+{
+    EXPECT_FALSE(satisfiesConflictFreeRule(1000, 8191, 2, 8191));
+    EXPECT_FALSE(satisfiesConflictFreeRule(1000, 0, 2, 8191));
+    EXPECT_FALSE(satisfiesConflictFreeRule(8191, 10, 10, 8191));
+}
+
+TEST(SubblockRule, MultipleOfCacheHasNoBlocking)
+{
+    const auto choice = chooseConflictFreeBlocking(2 * 8191, 8191);
+    EXPECT_EQ(choice.b1, 0u);
+    EXPECT_EQ(choice.b2, 0u);
+}
+
+TEST(SubblockConflicts, DirectMappedFailsWherePrimeSucceeds)
+{
+    // P = 8192 = C_direct: every column starts on the same direct-
+    // mapped line, so any multi-column block thrashes; the prime
+    // cache (P mod 8191 = 1) walks the columns one line apart and
+    // holds a block of 8191 elements conflict-free.
+    const MachineParams m = primeMachine();
+    const std::uint64_t p = 8192;
+
+    const auto choice = chooseConflictFreeBlocking(p, 8191);
+    EXPECT_EQ(choice.b1, 1u);
+    EXPECT_EQ(choice.b2, 8191u);
+    EXPECT_EQ(countSubblockConflicts(p, choice.b1, choice.b2, m,
+                                     CacheScheme::Prime),
+              0u);
+    EXPECT_NEAR(choice.utilization(8191), 1.0, 1e-9);
+
+    // The same shape in the direct-mapped cache: all on line 0.
+    EXPECT_EQ(countSubblockConflicts(p, choice.b1, choice.b2, m,
+                                     CacheScheme::Direct),
+              8190u);
+}
+
+TEST(SubblockConflicts, PaperRuleAsStatedIsNotSufficient)
+{
+    // Reproduction finding (DESIGN.md): the paper's two conditions
+    // admit b1 < min(P mod C, C - P mod C) with b2 up to
+    // floor(C/b1), but then non-consecutive columns can wrap around
+    // the modulus and collide.  P = 1024, b1 = 64, b2 = 64 satisfies
+    // the stated rule yet column 8 (8 * 1024 mod 8191 = 1) overlaps
+    // column 0.  The paper's *maximal* choice is immune (tested
+    // above); submaximal b1 requires b2 <= floor(C / (P mod C)).
+    const MachineParams m = primeMachine();
+    EXPECT_TRUE(satisfiesConflictFreeRule(1024, 64, 64, 8191));
+    EXPECT_GT(countSubblockConflicts(1024, 64, 64, m,
+                                     CacheScheme::Prime),
+              0u);
+    // Shrinking b2 below the wraparound point restores the property.
+    EXPECT_EQ(countSubblockConflicts(1024, 64, 7, m,
+                                     CacheScheme::Prime),
+              0u);
+}
+
+TEST(SubblockConflicts, ExactCountForTinyExample)
+{
+    // C = 8 direct: P = 8, b1 = 2, b2 = 4: every column starts at
+    // line 0 -- columns collide pairwise: 3 columns * 2 elements.
+    MachineParams m = primeMachine();
+    m.cacheIndexBits = 3;
+    EXPECT_EQ(countSubblockConflicts(8, 2, 4, m, CacheScheme::Direct),
+              6u);
+    // Prime C = 7: P mod 7 = 1, so b1 = 2 violates the rule
+    // (b1 > min(1, 6)); consecutive columns overlap by one line each:
+    // cols {0,1}, {1,2}, {2,3}, {3,4} -> 3 collisions.
+    EXPECT_EQ(countSubblockConflicts(8, 2, 4, m, CacheScheme::Prime),
+              3u);
+}
+
+TEST(SubblockChoice, Utilization)
+{
+    const SubblockChoice c{100, 80};
+    EXPECT_DOUBLE_EQ(c.utilization(8191), 8000.0 / 8191.0);
+    EXPECT_EQ(c.elements(), 8000u);
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,97 @@
+/** Tests for 3C miss classification. */
+
+#include <gtest/gtest.h>
+
+#include "cache/classify.hh"
+#include "cache/direct.hh"
+#include "cache/prime.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(MissClassifier, FirstTouchIsCompulsory)
+{
+    DirectMappedCache cache(AddressLayout(0, 3, 32));
+    MissClassifier classifier(cache);
+    for (Addr a = 0; a < 4; ++a)
+        classifier.access(a);
+    EXPECT_EQ(classifier.breakdown().compulsory, 4u);
+    EXPECT_EQ(classifier.breakdown().capacity, 0u);
+    EXPECT_EQ(classifier.breakdown().conflict, 0u);
+}
+
+TEST(MissClassifier, ConflictMissesDetected)
+{
+    // Two lines alias in the direct-mapped cache but fit in the
+    // same-capacity fully-associative shadow: conflict misses.
+    DirectMappedCache cache(AddressLayout(0, 3, 32));
+    MissClassifier classifier(cache);
+    classifier.access(0);
+    classifier.access(8);  // evicts 0 (same frame), shadow keeps both
+    classifier.access(0);  // miss in cache, hit in shadow -> conflict
+    classifier.access(8);
+    const auto &b = classifier.breakdown();
+    EXPECT_EQ(b.compulsory, 2u);
+    EXPECT_EQ(b.conflict, 2u);
+    EXPECT_EQ(b.capacity, 0u);
+}
+
+TEST(MissClassifier, CapacityMissesDetected)
+{
+    // A sweep over 2x the cache size misses in the shadow LRU too.
+    DirectMappedCache cache(AddressLayout(0, 3, 32));
+    MissClassifier classifier(cache);
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr a = 0; a < 16; ++a)
+            classifier.access(a);
+    const auto &b = classifier.breakdown();
+    EXPECT_EQ(b.compulsory, 16u);
+    EXPECT_EQ(b.capacity, 16u);
+    EXPECT_EQ(b.conflict, 0u);
+}
+
+TEST(MissClassifier, PrimeCacheRemovesConflictClass)
+{
+    // Stride 8 sweep, re-swept: all conflict misses in the 8-line
+    // direct cache, none in the 7-line prime cache.
+    DirectMappedCache direct(AddressLayout(0, 3, 32));
+    MissClassifier direct_cls(direct);
+    PrimeMappedCache prime(AddressLayout(0, 3, 32));
+    MissClassifier prime_cls(prime);
+
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr a = 0; a < 7 * 8; a += 8) {
+            direct_cls.access(a);
+            prime_cls.access(a);
+        }
+
+    EXPECT_EQ(direct_cls.breakdown().conflict, 7u);
+    EXPECT_EQ(prime_cls.breakdown().conflict, 0u);
+    EXPECT_EQ(prime_cls.breakdown().compulsory, 7u);
+}
+
+TEST(MissClassifier, TotalsMatchCacheMisses)
+{
+    DirectMappedCache cache(AddressLayout(0, 4, 32));
+    MissClassifier classifier(cache);
+    for (Addr a = 0; a < 100; ++a)
+        classifier.access(a * 3);
+    EXPECT_EQ(classifier.breakdown().total(), cache.stats().misses);
+}
+
+TEST(MissClassifier, ResetClearsAll)
+{
+    DirectMappedCache cache(AddressLayout(0, 3, 32));
+    MissClassifier classifier(cache);
+    classifier.access(0);
+    classifier.reset();
+    EXPECT_EQ(classifier.breakdown().total(), 0u);
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    classifier.access(0);
+    EXPECT_EQ(classifier.breakdown().compulsory, 1u);
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,125 @@
+/**
+ * Differential tests: each optimised cache implementation against a
+ * deliberately naive reference model, over long random and structured
+ * traffic.  If the tag-array code ever diverges from "index = f(line
+ * address); one line per frame", these fail.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+
+#include "cache/direct.hh"
+#include "cache/prime.hh"
+#include "cache/xor_mapped.hh"
+#include "numtheory/mersenne.hh"
+#include "util/rng.hh"
+
+namespace vcache
+{
+namespace
+{
+
+/** Naive single-line-per-frame cache model over any index function. */
+class ReferenceModel
+{
+  public:
+    /**
+     * @param index_fn word address -> frame number
+     * @param line_bits W: words sharing a line (hit granularity)
+     */
+    template <typename IndexFn>
+    ReferenceModel(IndexFn &&index_fn, unsigned line_bits)
+        : indexOf(index_fn), w(line_bits)
+    {
+    }
+
+    /** Returns hit?, mirroring Cache::access on word addresses. */
+    bool
+    access(Addr word)
+    {
+        const auto frame = indexOf(word);
+        const Addr line = word >> w;
+        const auto it = frames.find(frame);
+        const bool hit = it != frames.end() && it->second == line;
+        frames[frame] = line;
+        return hit;
+    }
+
+  private:
+    std::function<std::uint64_t(Addr)> indexOf;
+    unsigned w;
+    std::map<std::uint64_t, Addr> frames;
+};
+
+template <typename MakeCache, typename IndexFn>
+void
+differentialRun(MakeCache &&make, IndexFn &&index_fn,
+                std::uint64_t seed, unsigned line_bits = 0)
+{
+    auto cache = make();
+    ReferenceModel reference(index_fn, line_bits);
+    Rng rng(seed);
+
+    for (int i = 0; i < 50000; ++i) {
+        Addr a;
+        switch (rng.uniformInt(0, 2)) {
+          case 0: // uniform random
+            a = rng.uniformInt(0, 1u << 20);
+            break;
+          case 1: // strided walk
+            a = rng.uniformInt(0, 64) +
+                rng.uniformInt(0, 4096) * rng.uniformInt(1, 4096);
+            break;
+          default: // hot region
+            a = rng.uniformInt(0, 300);
+            break;
+        }
+        const bool hit = cache->access(a).hit;
+        EXPECT_EQ(hit, reference.access(a))
+            << "step " << i << " addr " << a;
+    }
+}
+
+TEST(Differential, DirectMappedMatchesReference)
+{
+    const AddressLayout layout(0, 13, 32);
+    differentialRun(
+        [&] { return std::make_unique<DirectMappedCache>(layout); },
+        [](Addr line) { return line & 8191; }, 1);
+}
+
+TEST(Differential, PrimeMappedMatchesReference)
+{
+    const AddressLayout layout(0, 13, 32);
+    differentialRun(
+        [&] { return std::make_unique<PrimeMappedCache>(layout); },
+        [](Addr line) { return line % 8191; }, 2);
+}
+
+TEST(Differential, XorMappedMatchesReference)
+{
+    const AddressLayout layout(0, 13, 32);
+    differentialRun(
+        [&] { return std::make_unique<XorMappedCache>(layout); },
+        [](Addr line) {
+            std::uint64_t h = 0;
+            for (Addr w = line; w != 0; w >>= 13)
+                h ^= w & 8191;
+            return h;
+        },
+        3);
+}
+
+TEST(Differential, PrimeMappedWithWideLines)
+{
+    // W = 2: the frame index is the residue of the *line* address.
+    const AddressLayout layout(2, 13, 32);
+    differentialRun(
+        [&] { return std::make_unique<PrimeMappedCache>(layout); },
+        [](Addr word) { return (word >> 2) % 8191; }, 4, 2);
+}
+
+} // namespace
+} // namespace vcache

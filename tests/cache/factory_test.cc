@@ -1,0 +1,80 @@
+/** Tests for declarative cache construction. */
+
+#include <gtest/gtest.h>
+
+#include "cache/factory.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(CacheFactory, BuildsEveryOrganization)
+{
+    CacheConfig config;
+    config.indexBits = 5;
+
+    config.organization = Organization::DirectMapped;
+    EXPECT_EQ(makeCache(config)->numLines(), 32u);
+
+    config.organization = Organization::PrimeMapped;
+    EXPECT_EQ(makeCache(config)->numLines(), 31u);
+
+    config.organization = Organization::SetAssociative;
+    config.associativity = 4;
+    EXPECT_EQ(makeCache(config)->numLines(), 32u);
+
+    config.organization = Organization::FullyAssociative;
+    EXPECT_EQ(makeCache(config)->numLines(), 32u);
+}
+
+TEST(CacheFactory, HonoursLineSize)
+{
+    CacheConfig config;
+    config.indexBits = 5;
+    config.offsetBits = 2; // 4-word lines
+    const auto cache = makeCache(config);
+    EXPECT_EQ(cache->capacityWords(), 128u);
+}
+
+TEST(CacheFactory, Describe)
+{
+    CacheConfig config;
+    config.indexBits = 13;
+    config.organization = Organization::PrimeMapped;
+    EXPECT_EQ(describe(config), "prime-mapped(8191 lines x 1 words)");
+
+    config.organization = Organization::SetAssociative;
+    config.associativity = 2;
+    config.replacement = ReplacementKind::Fifo;
+    EXPECT_NE(describe(config).find("2-way FIFO"), std::string::npos);
+}
+
+TEST(CacheFactory, Names)
+{
+    EXPECT_EQ(organizationName(Organization::DirectMapped),
+              "direct-mapped");
+    EXPECT_EQ(organizationName(Organization::PrimeMapped),
+              "prime-mapped");
+}
+
+TEST(CacheFactory, RandomReplacementSeedIsDeterministic)
+{
+    CacheConfig config;
+    config.indexBits = 4;
+    config.organization = Organization::SetAssociative;
+    config.associativity = 4;
+    config.replacement = ReplacementKind::Random;
+    config.rngSeed = 42;
+
+    auto run = [&] {
+        const auto cache = makeCache(config);
+        for (Addr a = 0; a < 200; ++a)
+            cache->access(a * 4);
+        return cache->stats().hits;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,185 @@
+/**
+ * Integration tests: whole-stack scenarios wiring workload
+ * generators, caches, memory, simulators and the analytic model
+ * together, checking the paper's claims end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vcache.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(EndToEnd, VcmThroughAllThreeMachinesOrdersLikeTheModel)
+{
+    MachineParams machine = paperMachineM32();
+    machine.memoryTime = 32;
+
+    VcmParams p;
+    p.blockingFactor = 2048;
+    p.reuseFactor = 16;
+    p.pDoubleStream = 0.0;
+    p.maxStride = 8192;
+    p.blocks = 4;
+
+    RunningStats mm, direct, prime;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const auto cc_trace = generateVcmTrace(p, seed);
+        direct.add(simulateCc(machine, CacheScheme::Direct, cc_trace)
+                       .cyclesPerResult());
+        prime.add(simulateCc(machine, CacheScheme::Prime, cc_trace)
+                      .cyclesPerResult());
+
+        VcmParams pm = p;
+        pm.maxStride = machine.banks();
+        mm.add(simulateMm(machine, generateVcmTrace(pm, seed))
+                   .cyclesPerResult());
+    }
+
+    // The central ordering of the paper, measured not modelled.
+    EXPECT_LT(prime.mean(), direct.mean());
+    EXPECT_LT(prime.mean(), mm.mean());
+
+    // And the model agrees on direction and rough magnitude.
+    WorkloadParams w = paperWorkload();
+    w.blockingFactor = 2048;
+    w.reuseFactor = 16;
+    w.pDoubleStream = 0.0;
+    w.totalData = 4 * 2048;
+    const auto model = compareMachines(machine, w);
+    EXPECT_LT(model.prime, model.direct);
+    EXPECT_NEAR(prime.mean(), model.prime, model.prime * 0.35);
+}
+
+TEST(EndToEnd, BlockedFftPrimeWinsInSimAndModel)
+{
+    MachineParams machine = paperMachineM64();
+    machine.memoryTime = 32;
+
+    const Fft2dParams shape{1024, 512, 0}; // b2=1024, b1=512
+    const auto trace = generateFft2dTrace(shape);
+
+    const auto direct = simulateCc(machine, CacheScheme::Direct, trace);
+    const auto prime = simulateCc(machine, CacheScheme::Prime, trace);
+    EXPECT_LT(prime.missRatio() * 3.0, direct.missRatio());
+    EXPECT_LT(prime.totalCycles, direct.totalCycles);
+
+    const FftShape model_shape{512, 1024};
+    EXPECT_LT(fftCyclesPerPointCc(machine, CacheScheme::Prime,
+                                  model_shape) *
+                  1.5,
+              fftCyclesPerPointCc(machine, CacheScheme::Direct,
+                                  model_shape));
+}
+
+TEST(EndToEnd, SubblockPlannedBlockIsAllHitsOnReuse)
+{
+    // Plan a conflict-free block for an awkward leading dimension,
+    // sweep it 4 times through the CC machine: only the first sweep
+    // misses.
+    const std::uint64_t lead = 10000;
+    const auto choice = chooseConflictFreeBlocking(lead, 8191);
+    ASSERT_GT(choice.b1, 0u);
+
+    const SubblockParams sp{lead, choice.b1, choice.b2, 0, 4};
+    const auto trace = generateSubblockTrace(sp);
+
+    MachineParams machine = paperMachineM32();
+    const auto r = simulateCc(machine, CacheScheme::Prime, trace);
+    EXPECT_EQ(r.misses, choice.elements());
+    EXPECT_EQ(r.compulsoryMisses, r.misses);
+    EXPECT_EQ(r.hits, 3 * choice.elements());
+}
+
+TEST(EndToEnd, LuDecompositionPrimeNotWorse)
+{
+    const auto trace = generateLuTrace(LuParams{64, 16, 0});
+    const AddressLayout layout(0, 13, 32);
+    DirectMappedCache direct(layout);
+    PrimeMappedCache prime(layout);
+    const auto ds = runTraceThroughCache(direct, trace);
+    const auto ps = runTraceThroughCache(prime, trace);
+    EXPECT_LE(ps.missRatio(), ds.missRatio() * 1.05);
+}
+
+TEST(EndToEnd, PrefetchingDoesNotRescueTheDirectCache)
+{
+    // Fu & Patel prefetching on the direct-mapped cache vs the bare
+    // prime-mapped cache, on the conflict-heavy FFT row phase.
+    const auto trace = generateFft2dTrace(Fft2dParams{1024, 512, 0});
+    const AddressLayout layout(0, 13, 32);
+
+    DirectMappedCache direct(layout);
+    PrefetchingCache front(direct, PrefetchPolicy::Stride, 2);
+    const auto with_prefetch = runTraceWithPrefetch(front, trace);
+
+    PrimeMappedCache prime(layout);
+    const auto bare_prime = runTraceThroughCache(prime, trace);
+
+    EXPECT_LT(bare_prime.missRatio(), with_prefetch.missRatio());
+}
+
+TEST(EndToEnd, TraceFileRoundTripPreservesSimulation)
+{
+    const auto original = generateMultistrideTrace(
+        MultistrideParams{512, 16, 0.25, 4096, 0, 2}, 5);
+    std::stringstream buffer;
+    saveTrace(buffer, original);
+    const auto loaded = loadTrace(buffer);
+
+    MachineParams machine = paperMachineM32();
+    const auto a = simulateCc(machine, CacheScheme::Prime, original);
+    const auto b = simulateCc(machine, CacheScheme::Prime, loaded);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.misses, b.misses);
+}
+
+TEST(EndToEnd, HardwarePathMatchesFunctionalPrimeCache)
+{
+    // The Figure-1 incremental index generator and the prime cache's
+    // functional index must agree along any strided walk -- the
+    // hardware really implements the mapping the model assumes.
+    const AddressLayout layout(0, 13, 32);
+    MersenneIndexGenerator gen(layout);
+    PrimeMappedCache cache(layout);
+
+    Rng rng(2026);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Addr base = rng.uniformInt(0, 1u << 24);
+        const auto stride =
+            static_cast<std::int64_t>(rng.uniformInt(1, 16384));
+        gen.setStride(stride);
+        std::uint64_t idx = gen.start(base);
+        for (std::uint64_t i = 0; i < 500; ++i) {
+            const Addr addr =
+                base + static_cast<Addr>(stride) * i;
+            EXPECT_EQ(idx, gen.indexOf(addr))
+                << "trial " << trial << " i " << i;
+            idx = gen.step();
+        }
+    }
+}
+
+TEST(EndToEnd, MissClassifierExplainsSchemeDifference)
+{
+    // The entire gap between the two schemes on the multistride
+    // workload must be conflict misses: compulsory counts are equal
+    // and capacity misses are comparable.
+    const auto trace = generateMultistrideTrace(
+        MultistrideParams{2048, 32, 0.25, 8192, 0, 4}, 11);
+    const AddressLayout layout(0, 13, 32);
+
+    DirectMappedCache direct(layout);
+    PrimeMappedCache prime(layout);
+    const auto db = classifyTrace(direct, trace);
+    const auto pb = classifyTrace(prime, trace);
+
+    EXPECT_EQ(db.compulsory, pb.compulsory);
+    EXPECT_GT(db.conflict, 2 * pb.conflict);
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,148 @@
+/**
+ * Randomised invariant checks: whatever the workload, every cache
+ * organisation must keep its books straight.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/classify.hh"
+#include "cache/factory.hh"
+#include "sim/runner.hh"
+#include "trace/multistride.hh"
+#include "trace/vcm.hh"
+#include "util/rng.hh"
+
+namespace vcache
+{
+namespace
+{
+
+class AllOrganizations : public testing::TestWithParam<Organization>
+{
+};
+
+TEST_P(AllOrganizations, StatsAreConsistentUnderRandomTraffic)
+{
+    CacheConfig config;
+    config.organization = GetParam();
+    config.indexBits = 7; // small cache: plenty of evictions
+    config.associativity = 4;
+
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        const auto cache = makeCache(config);
+        Rng rng(seed);
+        std::uint64_t accesses = 0;
+        for (int i = 0; i < 20000; ++i) {
+            const Addr a = rng.uniformInt(0, 4096);
+            const auto type = rng.bernoulli(0.3) ? AccessType::Write
+                                                 : AccessType::Read;
+            cache->access(a, type);
+            ++accesses;
+        }
+        const auto &s = cache->stats();
+        EXPECT_EQ(s.accesses, accesses);
+        EXPECT_EQ(s.hits + s.misses, s.accesses);
+        EXPECT_EQ(s.reads + s.writes, s.accesses);
+        EXPECT_LE(s.evictions, s.misses);
+        EXPECT_LE(s.writebacks, s.evictions);
+        EXPECT_LE(s.writebacks, s.writes);
+        EXPECT_LE(cache->validLines(), cache->numLines());
+        // Valid lines = distinct fills that were not displaced:
+        // misses - evictions.
+        EXPECT_EQ(cache->validLines(), s.misses - s.evictions);
+        EXPECT_GE(cache->utilization(), 0.0);
+        EXPECT_LE(cache->utilization(), 1.0);
+    }
+}
+
+TEST_P(AllOrganizations, ClassifierTotalsEqualMisses)
+{
+    CacheConfig config;
+    config.organization = GetParam();
+    config.indexBits = 7;
+    config.associativity = 4;
+    const auto cache = makeCache(config);
+
+    const auto trace = generateMultistrideTrace(
+        MultistrideParams{256, 24, 0.25, 128, 0, 3}, 17);
+    const auto breakdown = classifyTrace(*cache, trace);
+    EXPECT_EQ(breakdown.total(), cache->stats().misses);
+    // Distinct lines touched equals the compulsory count.
+    EXPECT_GT(breakdown.compulsory, 0u);
+}
+
+TEST_P(AllOrganizations, ResetIsEquivalentToFreshCache)
+{
+    CacheConfig config;
+    config.organization = GetParam();
+    config.indexBits = 7;
+    config.associativity = 4;
+
+    const auto trace = generateVcmTrace(
+        []{
+            VcmParams p;
+            p.blockingFactor = 128;
+            p.reuseFactor = 4;
+            p.maxStride = 128;
+            p.blocks = 2;
+            return p;
+        }(), 23);
+
+    const auto fresh = makeCache(config);
+    const auto fresh_stats = runTraceThroughCache(*fresh, trace);
+
+    const auto reused = makeCache(config);
+    runTraceThroughCache(*reused, trace);
+    reused->reset();
+    const auto reused_stats = runTraceThroughCache(*reused, trace);
+
+    EXPECT_EQ(fresh_stats.hits, reused_stats.hits);
+    EXPECT_EQ(fresh_stats.misses, reused_stats.misses);
+    EXPECT_EQ(fresh_stats.writebacks, reused_stats.writebacks);
+}
+
+TEST_P(AllOrganizations, ContainsAgreesWithHits)
+{
+    CacheConfig config;
+    config.organization = GetParam();
+    config.indexBits = 7; // 127 is a Mersenne prime
+    config.associativity = 2;
+    const auto cache = makeCache(config);
+
+    Rng rng(31);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr a = rng.uniformInt(0, 512);
+        const bool resident = cache->contains(a);
+        const bool hit = cache->access(a).hit;
+        EXPECT_EQ(resident, hit) << "address " << a;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Organizations, AllOrganizations,
+    testing::Values(Organization::DirectMapped,
+                    Organization::SetAssociative,
+                    Organization::FullyAssociative,
+                    Organization::PrimeMapped,
+                    Organization::XorMapped,
+                    Organization::PrimeSetAssociative),
+    [](const testing::TestParamInfo<Organization> &param_info) {
+        switch (param_info.param) {
+          case Organization::DirectMapped:
+            return std::string("Direct");
+          case Organization::SetAssociative:
+            return std::string("SetAssoc");
+          case Organization::FullyAssociative:
+            return std::string("Full");
+          case Organization::PrimeMapped:
+            return std::string("Prime");
+          case Organization::XorMapped:
+            return std::string("Xor");
+          case Organization::PrimeSetAssociative:
+            return std::string("PrimeAssoc");
+        }
+        return std::string("Unknown");
+    });
+
+} // namespace
+} // namespace vcache

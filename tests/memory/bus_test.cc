@@ -1,0 +1,70 @@
+/** Tests for the pipelined bus model. */
+
+#include <gtest/gtest.h>
+
+#include "memory/bus.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(PipelinedBus, OneTransferPerCycle)
+{
+    PipelinedBus bus("test");
+    EXPECT_EQ(bus.reserve(0), 0u);
+    EXPECT_EQ(bus.reserve(0), 1u); // must wait a cycle
+    EXPECT_EQ(bus.reserve(0), 2u);
+    EXPECT_EQ(bus.transfers(), 3u);
+    EXPECT_EQ(bus.contentionCycles(), 3u);
+}
+
+TEST(PipelinedBus, NoContentionWhenSpaced)
+{
+    PipelinedBus bus("test");
+    EXPECT_EQ(bus.reserve(0), 0u);
+    EXPECT_EQ(bus.reserve(5), 5u);
+    EXPECT_EQ(bus.contentionCycles(), 0u);
+}
+
+TEST(PipelinedBus, Reset)
+{
+    PipelinedBus bus("test");
+    bus.reserve(0);
+    bus.reserve(0);
+    bus.reset();
+    EXPECT_EQ(bus.reserve(0), 0u);
+    EXPECT_EQ(bus.transfers(), 1u);
+}
+
+TEST(BusSet, TwoReadBusesDoubleThroughput)
+{
+    BusSet buses;
+    // Four reads at cycle 0: two per bus, finishing by cycle 1.
+    Cycles worst = 0;
+    for (int i = 0; i < 4; ++i)
+        worst = std::max(worst, buses.reserveRead(0));
+    EXPECT_EQ(worst, 1u);
+    EXPECT_EQ(buses.read0().transfers() + buses.read1().transfers(),
+              4u);
+}
+
+TEST(BusSet, WriteBusIndependent)
+{
+    BusSet buses;
+    buses.reserveRead(0);
+    EXPECT_EQ(buses.reserveWrite(0), 0u);
+}
+
+TEST(BusSet, Reset)
+{
+    BusSet buses;
+    buses.reserveRead(0);
+    buses.reserveWrite(0);
+    buses.reset();
+    EXPECT_EQ(buses.read0().transfers(), 0u);
+    EXPECT_EQ(buses.write().transfers(), 0u);
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,104 @@
+/** Tests for the interleaved-bank memory model. */
+
+#include <gtest/gtest.h>
+
+#include "memory/interleaved.hh"
+#include "memory/sweep_model.hh"
+#include "trace/access.hh"
+
+namespace vcache
+{
+namespace
+{
+
+std::vector<Addr>
+stridedAddrs(Addr base, std::uint64_t stride, std::uint64_t n)
+{
+    return expand(VectorRef{base, static_cast<std::int64_t>(stride), n});
+}
+
+TEST(InterleavedMemory, BankAssignment)
+{
+    InterleavedMemory mem(3, 4); // 8 banks
+    EXPECT_EQ(mem.banks(), 8u);
+    EXPECT_EQ(mem.bankOf(0), 0u);
+    EXPECT_EQ(mem.bankOf(7), 7u);
+    EXPECT_EQ(mem.bankOf(8), 0u);
+    EXPECT_EQ(mem.bankOf(13), 5u);
+}
+
+TEST(InterleavedMemory, UnitStrideStreamsWithoutStalls)
+{
+    // t_m <= M: consecutive words hit distinct banks and the stream
+    // never waits.
+    InterleavedMemory mem(3, 8);
+    const auto r = mem.streamAccess(stridedAddrs(0, 1, 64));
+    EXPECT_EQ(r.stallCycles, 0u);
+    EXPECT_EQ(r.finishCycle, 64u);
+}
+
+TEST(InterleavedMemory, SingleBankStrideSerialises)
+{
+    // Stride M: every access to bank 0, each waits t_m after the
+    // first.
+    InterleavedMemory mem(3, 5);
+    const auto r = mem.streamAccess(stridedAddrs(0, 8, 10));
+    EXPECT_EQ(r.stallCycles, 9u * 4u); // (t_m - 1) per later element
+}
+
+TEST(InterleavedMemory, StallsMatchSweepModel)
+{
+    // The simulated steady-state throughput must match the closed
+    // form (t_m - V) * L / V for long streams.
+    for (std::uint64_t stride : {1ull, 2ull, 4ull, 8ull, 16ull}) {
+        InterleavedMemory mem(4, 12); // 16 banks, t_m = 12
+        const std::uint64_t n = 4096;
+        const auto r = mem.streamAccess(stridedAddrs(0, stride, n));
+        const double model = sweepStallCycles(16, stride, n, 12);
+        EXPECT_NEAR(static_cast<double>(r.stallCycles), model,
+                    model * 0.02 + 16.0)
+            << "stride " << stride;
+    }
+}
+
+TEST(InterleavedMemory, IssueRespectsBusyBank)
+{
+    InterleavedMemory mem(2, 6); // 4 banks
+    EXPECT_EQ(mem.issue(0, 0), 0u);
+    EXPECT_EQ(mem.issue(4, 1), 6u); // same bank: wait until free
+    EXPECT_EQ(mem.issue(1, 1), 1u); // different bank: immediate
+}
+
+TEST(InterleavedMemory, ResetFreesBanks)
+{
+    InterleavedMemory mem(2, 6);
+    mem.issue(0, 0);
+    mem.reset();
+    EXPECT_EQ(mem.issue(0, 0), 0u);
+}
+
+TEST(SweepModel, BanksVisited)
+{
+    EXPECT_EQ(banksVisited(32, 1), 32u);
+    EXPECT_EQ(banksVisited(32, 4), 8u);
+    EXPECT_EQ(banksVisited(32, 12), 8u);
+    EXPECT_EQ(banksVisited(32, 32), 1u);
+}
+
+TEST(SweepModel, NoStallWhenCoverageExceedsBusyTime)
+{
+    EXPECT_DOUBLE_EQ(sweepStallCycles(32, 1, 1000, 16), 0.0);
+    EXPECT_DOUBLE_EQ(sweepStallCycles(32, 2, 1000, 16), 0.0);
+}
+
+TEST(SweepModel, StallFormula)
+{
+    // V = 4 banks, t_m = 16: each revisit waits 12 cycles.
+    EXPECT_DOUBLE_EQ(sweepStallCycles(32, 8, 64, 16),
+                     12.0 * 64.0 / 4.0);
+    // Single-bank case degenerates to (t_m - 1) per element.
+    EXPECT_DOUBLE_EQ(sweepStallCycles(32, 32, 64, 16), 15.0 * 64.0);
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,121 @@
+/** Tests for linear-congruence solving and cross-conflict counting. */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "numtheory/congruence.hh"
+#include "util/rng.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(LinearCongruence, UniqueSolution)
+{
+    // 3x == 2 (mod 7): x = 3.
+    const auto xs = solveLinearCongruence(3, 2, 7);
+    ASSERT_EQ(xs.size(), 1u);
+    EXPECT_EQ(xs[0], 3u);
+}
+
+TEST(LinearCongruence, MultipleSolutions)
+{
+    // 4x == 8 (mod 12): gcd 4 divides 8 -> 4 solutions {2, 5, 8, 11}.
+    const auto xs = solveLinearCongruence(4, 8, 12);
+    EXPECT_EQ(xs, (std::vector<std::uint64_t>{2, 5, 8, 11}));
+}
+
+TEST(LinearCongruence, NoSolution)
+{
+    // 4x == 6 (mod 12): gcd 4 does not divide 6.
+    EXPECT_TRUE(solveLinearCongruence(4, 6, 12).empty());
+}
+
+TEST(LinearCongruence, ZeroCoefficient)
+{
+    EXPECT_EQ(solveLinearCongruence(0, 0, 4).size(), 4u);
+    EXPECT_TRUE(solveLinearCongruence(0, 3, 4).empty());
+}
+
+TEST(LinearCongruence, AgainstBruteForce)
+{
+    Rng rng(101);
+    for (int trial = 0; trial < 300; ++trial) {
+        const std::uint64_t m = rng.uniformInt(1, 40);
+        const std::uint64_t a = rng.uniformInt(0, 80);
+        const std::uint64_t b = rng.uniformInt(0, 80);
+        std::vector<std::uint64_t> ref;
+        for (std::uint64_t x = 0; x < m; ++x)
+            if (a * x % m == b % m)
+                ref.push_back(x);
+        EXPECT_EQ(solveLinearCongruence(a, b, m), ref)
+            << a << "x=" << b << " mod " << m;
+    }
+}
+
+TEST(CrossConflict, SolverMatchesBruteForce)
+{
+    Rng rng(103);
+    for (int trial = 0; trial < 200; ++trial) {
+        CrossConflictQuery q;
+        q.banks = std::uint64_t{1} << rng.uniformInt(0, 6);
+        q.s1 = rng.uniformInt(1, q.banks);
+        q.s2 = rng.uniformInt(1, q.banks);
+        q.startDistance = rng.uniformInt(1, q.banks);
+        q.elements = rng.uniformInt(1, 64);
+        q.busyTime = rng.uniformInt(1, 16);
+        EXPECT_EQ(crossConflictStalls(q), crossConflictStallsBruteForce(q))
+            << "s1=" << q.s1 << " s2=" << q.s2 << " D="
+            << q.startDistance << " M=" << q.banks << " n="
+            << q.elements << " tm=" << q.busyTime;
+    }
+}
+
+TEST(CrossConflict, NoConflictWhenDistanceUnreachable)
+{
+    // Even strides modulo an even modulus cannot bridge an odd D.
+    CrossConflictQuery q{2, 2, 1, 8, 16, 4};
+    EXPECT_EQ(crossConflictStalls(q), 0u);
+}
+
+TEST(CrossConflict, IdenticalStreamsFullyCollide)
+{
+    // Same stride, D == M (alias of 0): every i == j pair collides at
+    // cost t_m.
+    CrossConflictQuery q{1, 1, 8, 8, 32, 4};
+    EXPECT_EQ(crossConflictStalls(q),
+              crossConflictStallsBruteForce(q));
+    EXPECT_GT(crossConflictStalls(q), 0u);
+}
+
+TEST(CrossConflict, UniformDAverageMatchesExactEnumeration)
+{
+    // Average the exact solver over all D in [1, M] and compare with
+    // the closed form; by the one-D-per-pair argument they are equal
+    // for every (s1, s2).
+    const std::uint64_t m = 16, n = 24, tm = 5;
+    for (std::uint64_t s1 : {1ull, 2ull, 3ull, 8ull, 16ull}) {
+        for (std::uint64_t s2 : {1ull, 4ull, 7ull, 16ull}) {
+            double total = 0.0;
+            for (std::uint64_t d = 1; d <= m; ++d) {
+                CrossConflictQuery q{s1, s2, d, m, n, tm};
+                total += static_cast<double>(crossConflictStalls(q));
+            }
+            EXPECT_NEAR(total / static_cast<double>(m),
+                        crossConflictStallsUniformD(m, n, tm), 1e-9)
+                << "s1=" << s1 << " s2=" << s2;
+        }
+    }
+}
+
+TEST(CrossConflict, UniformDClosedFormValue)
+{
+    // Hand-computed: M=4, n=2, tm=2 -> pairs (d=0):2*2=4, (|d|=1):
+    // 1*1*2=2 -> 6/4 = 1.5.
+    EXPECT_DOUBLE_EQ(crossConflictStallsUniformD(4, 2, 2), 1.5);
+}
+
+} // namespace
+} // namespace vcache

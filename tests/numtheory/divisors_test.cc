@@ -1,0 +1,76 @@
+/** Tests for stride/divisor class counting. */
+
+#include <gtest/gtest.h>
+
+#include "numtheory/divisors.hh"
+#include "numtheory/gcd.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(PowerOfTwo, Classification)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(8192));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(8191));
+}
+
+TEST(Log2, FloorAndCeil)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(8), 3u);
+    EXPECT_EQ(floorLog2(9), 3u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(8), 3u);
+    EXPECT_EQ(ceilLog2(9), 4u);
+}
+
+TEST(StridesWithGcd, CountsMatchEnumeration)
+{
+    // Enumerate strides 1..2^m and bucket by gcd; the class counts
+    // must match the totient formula used in Equations (5)/(I_s^M).
+    for (unsigned m : {3u, 5u, 6u}) {
+        const std::uint64_t big_m = std::uint64_t{1} << m;
+        for (unsigned i = 0; i <= m; ++i) {
+            std::uint64_t count = 0;
+            for (std::uint64_t s = 1; s <= big_m; ++s)
+                if (gcd(big_m, s) == (std::uint64_t{1} << i))
+                    ++count;
+            EXPECT_EQ(stridesWithGcdPow2(m, i), count)
+                << "m=" << m << " i=" << i;
+        }
+    }
+}
+
+TEST(StridesWithGcd, ClassesPartitionAllStrides)
+{
+    for (unsigned m : {2u, 5u, 10u}) {
+        std::uint64_t total = 0;
+        for (unsigned i = 0; i <= m; ++i)
+            total += stridesWithGcdPow2(m, i);
+        EXPECT_EQ(total, std::uint64_t{1} << m);
+    }
+}
+
+TEST(SweepCoverage, Values)
+{
+    EXPECT_EQ(sweepCoverage(64, 1), 64u);
+    EXPECT_EQ(sweepCoverage(64, 2), 32u);
+    EXPECT_EQ(sweepCoverage(64, 6), 32u); // gcd 2
+    EXPECT_EQ(sweepCoverage(64, 64), 1u);
+    EXPECT_EQ(sweepCoverage(64, 128), 1u); // stride reduced mod 64
+    EXPECT_EQ(sweepCoverage(64, 96), 2u);  // 96 mod 64 = 32
+    EXPECT_EQ(sweepCoverage(8191, 2), 8191u); // prime modulus
+    EXPECT_EQ(sweepCoverage(8191, 8191), 1u);
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,86 @@
+/** Tests for gcd/extended-gcd helpers. */
+
+#include <gtest/gtest.h>
+
+#include "numtheory/gcd.hh"
+#include "util/rng.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(Gcd, Basics)
+{
+    EXPECT_EQ(gcd(12, 18), 6u);
+    EXPECT_EQ(gcd(18, 12), 6u);
+    EXPECT_EQ(gcd(7, 13), 1u);
+    EXPECT_EQ(gcd(0, 5), 5u);
+    EXPECT_EQ(gcd(5, 0), 5u);
+    EXPECT_EQ(gcd(0, 0), 0u);
+    EXPECT_EQ(gcd(64, 48), 16u);
+}
+
+TEST(Gcd, PowerOfTwoStrides)
+{
+    // gcd(2^m, s) picks out the 2-adic valuation of s.
+    EXPECT_EQ(gcd(64, 24), 8u);
+    EXPECT_EQ(gcd(64, 40), 8u);
+    EXPECT_EQ(gcd(64, 33), 1u);
+    EXPECT_EQ(gcd(64, 64), 64u);
+}
+
+TEST(Lcm, Basics)
+{
+    EXPECT_EQ(lcm(4, 6), 12u);
+    EXPECT_EQ(lcm(0, 6), 0u);
+    EXPECT_EQ(lcm(7, 13), 91u);
+}
+
+TEST(ExtendedGcd, BezoutIdentityHolds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        const auto a =
+            static_cast<std::int64_t>(rng.uniformInt(0, 1000000)) - 500000;
+        const auto b =
+            static_cast<std::int64_t>(rng.uniformInt(0, 1000000)) - 500000;
+        const auto r = extendedGcd(a, b);
+        EXPECT_EQ(a * r.x + b * r.y, r.g);
+        EXPECT_GE(r.g, 0);
+        if (a != 0 || b != 0) {
+            EXPECT_EQ(static_cast<std::int64_t>(
+                          gcd(static_cast<std::uint64_t>(a < 0 ? -a : a),
+                              static_cast<std::uint64_t>(b < 0 ? -b : b))),
+                      r.g);
+        }
+    }
+}
+
+TEST(ModInverse, InvertsUnits)
+{
+    for (std::uint64_t m : {7ull, 31ull, 8191ull}) {
+        for (std::uint64_t a = 1; a < std::min<std::uint64_t>(m, 50);
+             ++a) {
+            const auto inv = modInverse(a, m);
+            EXPECT_EQ(a * inv % m, 1u) << a << " mod " << m;
+        }
+    }
+}
+
+TEST(ModInverseDeathTest, NonUnitPanics)
+{
+    EXPECT_DEATH((void)modInverse(4, 8), "not invertible");
+}
+
+TEST(FloorMod, NegativeOperands)
+{
+    EXPECT_EQ(floorMod(-1, 8), 7u);
+    EXPECT_EQ(floorMod(-8, 8), 0u);
+    EXPECT_EQ(floorMod(-9, 8), 7u);
+    EXPECT_EQ(floorMod(9, 8), 1u);
+    EXPECT_EQ(floorMod(0, 8), 0u);
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,115 @@
+/** Tests for Mersenne arithmetic: folding equals true modulo. */
+
+#include <gtest/gtest.h>
+
+#include "numtheory/mersenne.hh"
+#include "util/rng.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(Mersenne, ExponentTable)
+{
+    EXPECT_TRUE(isMersenneExponent(13));
+    EXPECT_TRUE(isMersenneExponent(31));
+    EXPECT_FALSE(isMersenneExponent(11));
+    EXPECT_FALSE(isMersenneExponent(16));
+    EXPECT_EQ(mersenneExponents().size(), 8u);
+}
+
+TEST(Mersenne, Values)
+{
+    EXPECT_EQ(mersenne(2), 3u);
+    EXPECT_EQ(mersenne(13), 8191u);
+    EXPECT_EQ(mersenne(31), 2147483647u);
+}
+
+TEST(Mersenne, ExponentFor)
+{
+    EXPECT_EQ(mersenneExponentFor(1), 2u);
+    EXPECT_EQ(mersenneExponentFor(4), 3u);
+    EXPECT_EQ(mersenneExponentFor(8191), 13u);
+    EXPECT_EQ(mersenneExponentFor(8192), 17u);
+}
+
+TEST(ModMersenne, MatchesDivision)
+{
+    Rng rng(77);
+    for (unsigned c : {2u, 3u, 5u, 7u, 13u, 17u, 19u, 31u}) {
+        const std::uint64_t m = mersenne(c);
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint64_t x = rng.next() >> 4; // keep < 2^60
+            EXPECT_EQ(modMersenne(x, c), x % m)
+                << "x=" << x << " c=" << c;
+        }
+    }
+}
+
+TEST(ModMersenne, AllOnesAliasOfZero)
+{
+    for (unsigned c : {3u, 13u}) {
+        EXPECT_EQ(modMersenne(mersenne(c), c), 0u);
+        EXPECT_EQ(modMersenne(2 * mersenne(c), c), 0u);
+    }
+}
+
+TEST(AddMersenne, MatchesModularAddition)
+{
+    Rng rng(78);
+    for (unsigned c : {3u, 13u, 19u}) {
+        const std::uint64_t m = mersenne(c);
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint64_t a = rng.uniformInt(0, m);
+            const std::uint64_t b = rng.uniformInt(0, m);
+            // Operands may include the all-ones alias m itself.
+            EXPECT_EQ(addMersenne(a, b, c), (a + b) % m)
+                << a << "+" << b << " mod " << m;
+        }
+    }
+}
+
+TEST(MersenneResidue, RingOperations)
+{
+    Rng rng(79);
+    const unsigned c = 13;
+    const std::uint64_t m = mersenne(c);
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t a = rng.uniformInt(0, m - 1);
+        const std::uint64_t b = rng.uniformInt(0, m - 1);
+        const MersenneResidue ra(a, c), rb(b, c);
+        EXPECT_EQ((ra + rb).value(), (a + b) % m);
+        EXPECT_EQ((ra - rb).value(), (a + m - b) % m);
+        EXPECT_EQ((ra * rb).value(), a * b % m);
+    }
+}
+
+TEST(MersenneResidue, ConstructorReduces)
+{
+    const MersenneResidue r(8191 + 5, 13);
+    EXPECT_EQ(r.value(), 5u);
+    EXPECT_EQ(r.modulus(), 8191u);
+    EXPECT_EQ(r.exponent(), 13u);
+}
+
+TEST(MersenneResidue, SubtractionToZero)
+{
+    const MersenneResidue a(123, 13);
+    EXPECT_EQ((a - a).value(), 0u);
+}
+
+TEST(MersenneDeathTest, MixedModuliPanic)
+{
+    const MersenneResidue a(1, 13), b(1, 17);
+    EXPECT_DEATH((void)(a + b), "mixed");
+}
+
+TEST(MersenneDeathTest, NoPrimeFitsPanics)
+{
+    EXPECT_EXIT((void)mersenneExponentFor(3000000000ull),
+                testing::ExitedWithCode(1), "no Mersenne prime");
+}
+
+} // namespace
+} // namespace vcache

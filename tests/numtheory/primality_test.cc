@@ -1,0 +1,79 @@
+/** Tests for the deterministic Miller-Rabin primality test. */
+
+#include <gtest/gtest.h>
+
+#include "numtheory/primality.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(IsPrime, SmallValues)
+{
+    EXPECT_FALSE(isPrime(0));
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(3));
+    EXPECT_FALSE(isPrime(4));
+    EXPECT_TRUE(isPrime(5));
+    EXPECT_FALSE(isPrime(9));
+    EXPECT_TRUE(isPrime(97));
+    EXPECT_FALSE(isPrime(91)); // 7 * 13
+}
+
+TEST(IsPrime, MersennePrimes)
+{
+    // The exponents the prime-mapped cache can use.
+    for (unsigned c : {2u, 3u, 5u, 7u, 13u, 17u, 19u, 31u})
+        EXPECT_TRUE(isPrime((1ull << c) - 1)) << "c=" << c;
+}
+
+TEST(IsPrime, MersenneComposites)
+{
+    // 2^c - 1 is composite for these c even when c is prime (c = 11,
+    // 23, 29) or composite (c = 4, 6, ...).
+    for (unsigned c : {4u, 6u, 8u, 9u, 10u, 11u, 12u, 23u, 29u})
+        EXPECT_FALSE(isPrime((1ull << c) - 1)) << "c=" << c;
+}
+
+TEST(IsPrime, AgainstSieve)
+{
+    // Cross-check the first 1000 integers against trial division.
+    for (std::uint64_t n = 0; n < 1000; ++n) {
+        bool ref = n >= 2;
+        for (std::uint64_t d = 2; d * d <= n; ++d)
+            if (n % d == 0) {
+                ref = false;
+                break;
+            }
+        EXPECT_EQ(isPrime(n), ref) << n;
+    }
+}
+
+TEST(IsPrime, LargeKnownValues)
+{
+    EXPECT_TRUE(isPrime(2305843009213693951ull)); // 2^61 - 1
+    EXPECT_FALSE(isPrime(2305843009213693951ull - 2));
+    EXPECT_TRUE(isPrime(18446744073709551557ull)); // largest 64-bit
+    EXPECT_FALSE(isPrime(18446744073709551615ull)); // 2^64 - 1
+}
+
+TEST(NextPrime, Walks)
+{
+    EXPECT_EQ(nextPrime(0), 2u);
+    EXPECT_EQ(nextPrime(2), 3u);
+    EXPECT_EQ(nextPrime(8190), 8191u);
+    EXPECT_EQ(nextPrime(8191), 8209u);
+}
+
+TEST(PrevPrime, Walks)
+{
+    EXPECT_EQ(prevPrime(1), 0u);
+    EXPECT_EQ(prevPrime(2), 2u);
+    EXPECT_EQ(prevPrime(8192), 8191u);
+    EXPECT_EQ(prevPrime(8190), 8179u);
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,131 @@
+/** Tests for the trace-driven MM-model simulator. */
+
+#include <gtest/gtest.h>
+
+#include "analytic/mm_model.hh"
+#include "core/defaults.hh"
+#include "sim/mm_sim.hh"
+#include "sim/runner.hh"
+#include "trace/multistride.hh"
+#include "trace/vcm.hh"
+#include "util/stats.hh"
+
+namespace vcache
+{
+namespace
+{
+
+Trace
+singleSweep(std::int64_t stride, std::uint64_t n)
+{
+    VectorOp op;
+    op.first = VectorRef{0, stride, n};
+    return {op};
+}
+
+TEST(MmSimulator, UnitStrideHasNoStalls)
+{
+    MachineParams m = paperMachineM32(); // t_m = 16 < M = 32
+    const auto r = simulateMm(m, singleSweep(1, 1024));
+    EXPECT_EQ(r.stallCycles, 0u);
+    EXPECT_EQ(r.results, 1024u);
+}
+
+TEST(MmSimulator, OverheadAccounting)
+{
+    // One 64-element strip: 10 + (15 + 46) + 64 issues = 135 cycles,
+    // exactly Equation (1) with T_elem = 1.
+    MachineParams m = paperMachineM32();
+    const auto r = simulateMm(m, singleSweep(1, 64));
+    EXPECT_EQ(r.totalCycles, 135u);
+}
+
+TEST(MmSimulator, SingleBankStrideStallsMatchModel)
+{
+    MachineParams m = paperMachineM32();
+    m.memoryTime = 8;
+    // Stride 32 = M: every element hits bank 0.
+    const auto r = simulateMm(m, singleSweep(32, 512));
+    // Model: (t_m - 1) per element after each strip's first access;
+    // allow the per-strip boundary slack.
+    const double expect = 511.0 * 7.0;
+    EXPECT_NEAR(static_cast<double>(r.stallCycles), expect,
+                expect * 0.15);
+}
+
+TEST(MmSimulator, StallsGrowWithMemoryTime)
+{
+    const auto trace = generateMultistrideTrace(
+        MultistrideParams{1024, 32, 0.25, 32, 0}, 5);
+    MachineParams m = paperMachineM32();
+    Cycles prev = 0;
+    for (std::uint64_t tm : {4ull, 8ull, 16ull, 32ull}) {
+        m.memoryTime = tm;
+        const auto r = simulateMm(m, trace);
+        EXPECT_GE(r.stallCycles, prev) << "t_m=" << tm;
+        prev = r.stallCycles;
+    }
+}
+
+TEST(MmSimulator, CyclesPerResultFlatInReuse)
+{
+    // Re-running the same vector costs the same every time: the MM
+    // machine cannot exploit reuse (Figure 5's flat MM curves).
+    MachineParams m = paperMachineM32();
+    VcmParams p;
+    p.blockingFactor = 512;
+    p.maxStride = 32;
+    p.blocks = 2;
+    p.pDoubleStream = 0.0;
+    p.fixedStride1 = 8; // keep the workload identical across R
+
+    p.reuseFactor = 1;
+    const double once =
+        simulateMm(m, generateVcmTrace(p, 3)).cyclesPerResult();
+    p.reuseFactor = 16;
+    const double many =
+        simulateMm(m, generateVcmTrace(p, 3)).cyclesPerResult();
+    EXPECT_NEAR(many, once, once * 0.05);
+}
+
+TEST(MmSimulator, TracksAnalyticModelOnRandomStrides)
+{
+    // The analytic MM model and the simulator must agree within ~25%
+    // on the paper's random-multistride workload.
+    MachineParams m = paperMachineM32();
+    WorkloadParams w = paperWorkload();
+    w.blockingFactor = 1024;
+    w.reuseFactor = 16;
+    w.pDoubleStream = 0.0; // single stream: the cleanest comparison
+    w.totalData = 8192;
+
+    VcmParams p;
+    p.blockingFactor = 1024;
+    p.reuseFactor = 16;
+    p.pDoubleStream = 0.0;
+    p.maxStride = 32;
+    p.blocks = 8;
+
+    RunningStats sim_cpr;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const auto r = simulateMm(m, generateVcmTrace(p, seed));
+        sim_cpr.add(r.cyclesPerResult());
+    }
+    const double model = cyclesPerResultMm(m, w);
+    EXPECT_NEAR(sim_cpr.mean(), model, model * 0.25);
+}
+
+TEST(MmSimulator, ResetGivesRepeatableRuns)
+{
+    MachineParams m = paperMachineM32();
+    MmSimulator sim(m);
+    const auto trace = singleSweep(3, 500);
+    const auto a = sim.run(trace);
+    sim.reset();
+    const auto b = sim.run(trace);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.stallCycles, b.stallCycles);
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,76 @@
+/** Tests for vector access records and trace flattening. */
+
+#include <gtest/gtest.h>
+
+#include "trace/access.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(VectorRef, ElementAddresses)
+{
+    const VectorRef r{100, 3, 5};
+    EXPECT_EQ(r.element(0), 100u);
+    EXPECT_EQ(r.element(4), 112u);
+}
+
+TEST(VectorRef, NegativeStride)
+{
+    const VectorRef r{100, -10, 4};
+    EXPECT_EQ(r.element(0), 100u);
+    EXPECT_EQ(r.element(3), 70u);
+}
+
+TEST(Expand, ProducesAllElements)
+{
+    const auto v = expand(VectorRef{0, 2, 4});
+    EXPECT_EQ(v, (std::vector<Addr>{0, 2, 4, 6}));
+}
+
+TEST(TraceCounts, LoadsAndStores)
+{
+    Trace t;
+    VectorOp a;
+    a.first = {0, 1, 10};
+    t.push_back(a);
+    VectorOp b;
+    b.first = {0, 1, 10};
+    b.second = VectorRef{100, 1, 5};
+    b.store = VectorRef{200, 1, 10};
+    t.push_back(b);
+
+    EXPECT_EQ(loadedElements(t), 25u);
+    EXPECT_EQ(totalElements(t), 35u);
+}
+
+TEST(Flatten, InterleavesDoubleStreams)
+{
+    VectorOp op;
+    op.first = {0, 1, 3};
+    op.second = VectorRef{100, 1, 2};
+    const auto flat = flatten({op});
+    EXPECT_EQ(flat, (std::vector<Addr>{0, 100, 1, 101, 2}));
+}
+
+TEST(Flatten, AppendsStores)
+{
+    VectorOp op;
+    op.first = {0, 1, 2};
+    op.store = VectorRef{50, 1, 2};
+    const auto flat = flatten({op});
+    EXPECT_EQ(flat, (std::vector<Addr>{0, 1, 50, 51}));
+}
+
+TEST(VectorOp, DoubleStreamFlag)
+{
+    VectorOp op;
+    op.first = {0, 1, 1};
+    EXPECT_FALSE(op.doubleStream());
+    op.second = VectorRef{1, 1, 1};
+    EXPECT_TRUE(op.doubleStream());
+}
+
+} // namespace
+} // namespace vcache

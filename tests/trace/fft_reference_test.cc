@@ -1,0 +1,121 @@
+/** Tests for the reference FFT and trace-generator validation. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/fft.hh"
+#include "trace/fft_reference.hh"
+#include "util/rng.hh"
+
+namespace vcache
+{
+namespace
+{
+
+std::vector<std::complex<double>>
+randomSignal(std::uint64_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::complex<double>> v(n);
+    for (auto &x : v)
+        x = {rng.uniformReal() - 0.5, rng.uniformReal() - 0.5};
+    return v;
+}
+
+double
+maxError(const std::vector<std::complex<double>> &a,
+         const std::vector<std::complex<double>> &b)
+{
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    return worst;
+}
+
+class FftSizes : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FftSizes, MatchesNaiveDft)
+{
+    const std::uint64_t n = GetParam();
+    auto data = randomSignal(n, n);
+    const auto expect = naiveDft(data);
+
+    referenceFftDif(data);
+    bitReversePermute(data);
+    EXPECT_LT(maxError(data, expect), 1e-9 * static_cast<double>(n));
+}
+
+TEST_P(FftSizes, TraceGeneratorMatchesRealAlgorithmReads)
+{
+    // Record every read the real FFT performs and compare, in order,
+    // with the flattened load stream of the generated trace.
+    const std::uint64_t n = GetParam();
+    auto data = randomSignal(n, n + 1);
+
+    std::vector<Addr> real_reads;
+    referenceFftDif(data, [&](std::uint64_t index, bool write) {
+        if (!write)
+            real_reads.push_back(index);
+    });
+
+    const Trace trace = generateFftButterflyTrace(0, n);
+    std::vector<Addr> trace_reads;
+    for (const auto &op : trace) {
+        ASSERT_TRUE(op.second.has_value());
+        for (std::uint64_t i = 0; i < op.first.length; ++i) {
+            trace_reads.push_back(op.first.element(i));
+            trace_reads.push_back(op.second->element(i));
+        }
+    }
+
+    ASSERT_EQ(trace_reads.size(), real_reads.size());
+    for (std::size_t i = 0; i < real_reads.size(); ++i)
+        ASSERT_EQ(trace_reads[i], real_reads[i]) << "position " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2Sizes, FftSizes,
+                         testing::Values(2ull, 4ull, 8ull, 64ull,
+                                         256ull, 1024ull));
+
+TEST(FftReference, DeltaTransformsToConstant)
+{
+    std::vector<std::complex<double>> data(16, {0.0, 0.0});
+    data[0] = {1.0, 0.0};
+    referenceFftDif(data);
+    bitReversePermute(data);
+    for (const auto &x : data) {
+        EXPECT_NEAR(x.real(), 1.0, 1e-12);
+        EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(FftReference, ConstantTransformsToDelta)
+{
+    std::vector<std::complex<double>> data(16, {1.0, 0.0});
+    referenceFftDif(data);
+    bitReversePermute(data);
+    EXPECT_NEAR(data[0].real(), 16.0, 1e-12);
+    for (std::size_t i = 1; i < 16; ++i)
+        EXPECT_NEAR(std::abs(data[i]), 0.0, 1e-12);
+}
+
+TEST(FftReference, BitReverseIsInvolution)
+{
+    auto data = randomSignal(64, 3);
+    const auto original = data;
+    bitReversePermute(data);
+    bitReversePermute(data);
+    EXPECT_LT(maxError(data, original), 1e-15);
+}
+
+TEST(FftReferenceDeathTest, RejectsNonPowerOfTwo)
+{
+    std::vector<std::complex<double>> data(12);
+    EXPECT_DEATH(referenceFftDif(data), "power of two");
+}
+
+} // namespace
+} // namespace vcache

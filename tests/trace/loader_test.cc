@@ -1,0 +1,112 @@
+/** Tests for the text trace format. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/loader.hh"
+#include "trace/matmul.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(TraceLoader, ParsesAllRecordKinds)
+{
+    std::istringstream in(
+        "# a comment\n"
+        "L 100 2 8\n"
+        "D 0 1 4 50 -3 2\n"
+        "S 200 1 4\n"
+        "\n"
+        "L 7 1 1   # trailing comment\n");
+    const Trace trace = loadTrace(in);
+    ASSERT_EQ(trace.size(), 3u);
+
+    EXPECT_EQ(trace[0].first.base, 100u);
+    EXPECT_EQ(trace[0].first.stride, 2);
+    EXPECT_EQ(trace[0].first.length, 8u);
+    EXPECT_FALSE(trace[0].second);
+    EXPECT_FALSE(trace[0].store);
+
+    ASSERT_TRUE(trace[1].second);
+    EXPECT_EQ(trace[1].second->stride, -3);
+    ASSERT_TRUE(trace[1].store);
+    EXPECT_EQ(trace[1].store->base, 200u);
+
+    EXPECT_EQ(trace[2].first.base, 7u);
+}
+
+TEST(TraceLoader, RoundTripsGeneratedTraces)
+{
+    const auto original = generateMatmulTrace(MatmulParams{16, 4, 0});
+    std::stringstream buffer;
+    saveTrace(buffer, original);
+    const Trace loaded = loadTrace(buffer);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(loaded[i].first.base, original[i].first.base);
+        EXPECT_EQ(loaded[i].first.stride, original[i].first.stride);
+        EXPECT_EQ(loaded[i].first.length, original[i].first.length);
+        EXPECT_EQ(loaded[i].second.has_value(),
+                  original[i].second.has_value());
+        EXPECT_EQ(loaded[i].store.has_value(),
+                  original[i].store.has_value());
+        if (loaded[i].store) {
+            EXPECT_EQ(loaded[i].store->base,
+                      original[i].store->base);
+        }
+    }
+}
+
+TEST(TraceLoader, EmptyInput)
+{
+    std::istringstream in("# nothing but comments\n\n");
+    EXPECT_TRUE(loadTrace(in).empty());
+}
+
+TEST(TraceLoaderDeathTest, UnknownKind)
+{
+    std::istringstream in("X 1 2 3\n");
+    EXPECT_EXIT((void)loadTrace(in), testing::ExitedWithCode(1),
+                "unknown record kind");
+}
+
+TEST(TraceLoaderDeathTest, MalformedRecord)
+{
+    std::istringstream in("L 1 2\n");
+    EXPECT_EXIT((void)loadTrace(in), testing::ExitedWithCode(1),
+                "malformed");
+}
+
+TEST(TraceLoaderDeathTest, DanglingStore)
+{
+    std::istringstream in("S 1 1 1\n");
+    EXPECT_EXIT((void)loadTrace(in), testing::ExitedWithCode(1),
+                "no preceding load");
+}
+
+TEST(TraceLoaderDeathTest, DoubleStore)
+{
+    std::istringstream in("L 1 1 1\nS 1 1 1\nS 2 1 1\n");
+    EXPECT_EXIT((void)loadTrace(in), testing::ExitedWithCode(1),
+                "already has a store");
+}
+
+TEST(TraceLoaderDeathTest, TrailingJunk)
+{
+    std::istringstream in("L 1 1 1 junk\n");
+    EXPECT_EXIT((void)loadTrace(in), testing::ExitedWithCode(1),
+                "trailing junk");
+}
+
+TEST(TraceLoaderDeathTest, MissingFile)
+{
+    EXPECT_EXIT((void)loadTraceFile("/nonexistent/trace.txt"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,138 @@
+/** Tests for the VCM seven-tuple trace generator. */
+
+#include <gtest/gtest.h>
+
+#include "trace/vcm.hh"
+
+namespace vcache
+{
+namespace
+{
+
+VcmParams
+smallParams()
+{
+    VcmParams p;
+    p.blockingFactor = 64;
+    p.reuseFactor = 8;
+    p.pDoubleStream = 0.5;
+    p.maxStride = 32;
+    p.blocks = 4;
+    return p;
+}
+
+TEST(VcmTrace, OpCountIsBlocksTimesReuse)
+{
+    const auto trace = generateVcmTrace(smallParams(), 1);
+    EXPECT_EQ(trace.size(), 32u);
+}
+
+TEST(VcmTrace, Deterministic)
+{
+    const auto a = generateVcmTrace(smallParams(), 7);
+    const auto b = generateVcmTrace(smallParams(), 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].first.base, b[i].first.base);
+        EXPECT_EQ(a[i].first.stride, b[i].first.stride);
+        EXPECT_EQ(a[i].doubleStream(), b[i].doubleStream());
+    }
+}
+
+TEST(VcmTrace, FirstVectorLengthIsBlockingFactor)
+{
+    for (const auto &op : generateVcmTrace(smallParams(), 3))
+        EXPECT_EQ(op.first.length, 64u);
+}
+
+TEST(VcmTrace, SecondVectorLengthIsBTimesPds)
+{
+    const auto trace = generateVcmTrace(smallParams(), 3);
+    bool saw_double = false;
+    for (const auto &op : trace) {
+        if (op.second) {
+            saw_double = true;
+            EXPECT_EQ(op.second->length, 32u); // 64 * 0.5
+        }
+    }
+    EXPECT_TRUE(saw_double);
+}
+
+TEST(VcmTrace, DoubleStreamRateTracksPds)
+{
+    VcmParams p = smallParams();
+    p.blocks = 64;
+    p.reuseFactor = 64;
+    p.pDoubleStream = 0.25;
+    const auto trace = generateVcmTrace(p, 11);
+    std::uint64_t doubles = 0;
+    for (const auto &op : trace)
+        doubles += op.doubleStream();
+    EXPECT_NEAR(static_cast<double>(doubles) /
+                    static_cast<double>(trace.size()),
+                0.25, 0.03);
+}
+
+TEST(VcmTrace, PureSingleStream)
+{
+    VcmParams p = smallParams();
+    p.pDoubleStream = 0.0;
+    for (const auto &op : generateVcmTrace(p, 5))
+        EXPECT_FALSE(op.doubleStream());
+}
+
+TEST(VcmTrace, FixedStridesRespected)
+{
+    VcmParams p = smallParams();
+    p.fixedStride1 = 17;
+    p.fixedStride2 = 5;
+    p.pDoubleStream = 1.0;
+    for (const auto &op : generateVcmTrace(p, 5)) {
+        EXPECT_EQ(op.first.stride, 17);
+        ASSERT_TRUE(op.second.has_value());
+        EXPECT_EQ(op.second->stride, 5);
+    }
+}
+
+TEST(VcmTrace, StridesWithinDistributionRange)
+{
+    const auto trace = generateVcmTrace(smallParams(), 13);
+    for (const auto &op : trace) {
+        EXPECT_GE(op.first.stride, 1);
+        EXPECT_LE(op.first.stride, 32);
+    }
+}
+
+TEST(VcmTrace, StrideConstantWithinBlock)
+{
+    // A blocked algorithm accesses one block with a consistent
+    // pattern; the stride changes only between blocks.
+    VcmParams p = smallParams();
+    const auto trace = generateVcmTrace(p, 17);
+    for (std::size_t blk = 0; blk < p.blocks; ++blk) {
+        const auto s0 = trace[blk * p.reuseFactor].first.stride;
+        for (std::size_t r = 1; r < p.reuseFactor; ++r)
+            EXPECT_EQ(trace[blk * p.reuseFactor + r].first.stride, s0);
+    }
+}
+
+TEST(VcmTrace, BlocksDoNotOverlap)
+{
+    const VcmParams p = smallParams();
+    const auto trace = generateVcmTrace(p, 19);
+    // Max extent of a block: B * maxStride; bases are spaced farther.
+    for (std::size_t blk = 1; blk < p.blocks; ++blk) {
+        const auto prev =
+            trace[(blk - 1) * p.reuseFactor].first.base;
+        const auto cur = trace[blk * p.reuseFactor].first.base;
+        EXPECT_GT(cur - prev, p.blockingFactor * (p.maxStride - 1));
+    }
+}
+
+TEST(VcmTrace, ResultElements)
+{
+    EXPECT_EQ(vcmResultElements(smallParams()), 4u * 64u * 8u);
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,352 @@
+/** Tests for the workload trace generators. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "trace/fft.hh"
+#include "trace/banded.hh"
+#include "trace/lu.hh"
+#include "trace/matmul.hh"
+#include "trace/matrix_access.hh"
+#include "trace/multistride.hh"
+#include "trace/subblock.hh"
+#include "trace/transpose.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(MatmulTrace, TouchesAllThreeMatrices)
+{
+    const MatmulParams p{8, 4, 0};
+    const auto trace = generateMatmulTrace(p);
+    ASSERT_FALSE(trace.empty());
+
+    std::set<Addr> touched;
+    for (const Addr a : flatten(trace))
+        touched.insert(a);
+
+    // Every element of A, B and C must appear at least once.
+    for (Addr a = 0; a < 3 * 64; ++a)
+        EXPECT_TRUE(touched.count(a)) << "element " << a;
+    // And nothing outside the three matrices.
+    EXPECT_LT(*touched.rbegin(), 3u * 64u);
+}
+
+TEST(MatmulTrace, ColumnAccessesHaveUnitStride)
+{
+    const MatmulParams p{8, 4, 0};
+    for (const auto &op : generateMatmulTrace(p)) {
+        if (op.second) {
+            EXPECT_EQ(op.second->stride, 1);
+        }
+        if (op.store) {
+            EXPECT_EQ(op.store->stride, 1);
+        }
+    }
+}
+
+TEST(MatmulTrace, RowAccessesHaveLeadingDimensionStride)
+{
+    const MatmulParams p{8, 4, 0};
+    bool saw_row = false;
+    for (const auto &op : generateMatmulTrace(p)) {
+        if (op.second) {
+            EXPECT_EQ(op.first.stride, 8);
+            saw_row = true;
+        }
+    }
+    EXPECT_TRUE(saw_row);
+}
+
+TEST(MatmulTraceDeathTest, BlockMustDivide)
+{
+    EXPECT_DEATH((void)generateMatmulTrace(MatmulParams{10, 3, 0}),
+                 "divide");
+}
+
+TEST(LuTrace, StaysInsideMatrix)
+{
+    const LuParams p{16, 4, 0};
+    for (const Addr a : flatten(generateLuTrace(p)))
+        EXPECT_LT(a, 256u);
+}
+
+TEST(LuTrace, TouchesWholeMatrix)
+{
+    const LuParams p{16, 4, 0};
+    std::set<Addr> touched;
+    for (const Addr a : flatten(generateLuTrace(p)))
+        touched.insert(a);
+    EXPECT_EQ(touched.size(), 256u);
+}
+
+TEST(LuTrace, ReuseGrowsWithBlockCount)
+{
+    // The trailing update dominates: total accesses scale ~n^3/b.
+    const auto small = totalElements(generateLuTrace(LuParams{16, 4, 0}));
+    const auto large = totalElements(generateLuTrace(LuParams{32, 4, 0}));
+    EXPECT_GT(large, 6 * small);
+}
+
+TEST(FftButterflyTrace, StageCountAndLengths)
+{
+    const auto trace = generateFftButterflyTrace(0, 16);
+    // Stages: dist 8,4,2,1 -> 1+2+4+8 = 15 ops.
+    EXPECT_EQ(trace.size(), 15u);
+    std::uint64_t loads = 0;
+    for (const auto &op : trace) {
+        ASSERT_TRUE(op.second.has_value());
+        EXPECT_EQ(op.first.length, op.second->length);
+        loads += op.first.length + op.second->length;
+    }
+    // Each of log2(16) = 4 stages touches all 16 points.
+    EXPECT_EQ(loads, 64u);
+}
+
+TEST(FftButterflyTrace, PartnersAreDistApart)
+{
+    const auto trace = generateFftButterflyTrace(0, 8);
+    // First op: dist 4, lower half vs upper half.
+    EXPECT_EQ(trace[0].first.base, 0u);
+    EXPECT_EQ(trace[0].second->base, 4u);
+}
+
+TEST(Fft2dTrace, StaysInsideArray)
+{
+    const Fft2dParams p{8, 16, 0}; // b2=8, b1=16 -> 128 points
+    for (const Addr a : flatten(generateFft2dTrace(p)))
+        EXPECT_LT(a, 128u);
+}
+
+TEST(Fft2dTrace, RowPhaseUsesB2Stride)
+{
+    const Fft2dParams p{8, 16, 0};
+    const auto trace = generateFft2dTrace(p);
+    // Row-FFT ops come first and stride by b2 = 8.
+    EXPECT_EQ(trace.front().first.stride, 8);
+    // Column-FFT ops close the trace with stride 1.
+    EXPECT_EQ(trace.back().first.stride, 1);
+}
+
+TEST(Fft2dTrace, TouchesEveryPointInBothPhases)
+{
+    const Fft2dParams p{4, 8, 0};
+    std::set<Addr> touched;
+    for (const Addr a : flatten(generateFft2dTrace(p)))
+        touched.insert(a);
+    EXPECT_EQ(touched.size(), 32u);
+}
+
+TEST(FftAgarwalTrace, SameFootprintAsPlainBlocked)
+{
+    const FftAgarwalParams p{16, 8, 4, 0};
+    std::set<Addr> touched;
+    for (const Addr a : flatten(generateFftAgarwalTrace(p)))
+        touched.insert(a);
+    EXPECT_EQ(touched.size(), 128u); // all B1 * B2 points
+    EXPECT_LT(*touched.rbegin(), 128u);
+}
+
+TEST(FftAgarwalTrace, GroupsRevisitRowsWhileResident)
+{
+    // With groupRows = 2 and B1 = 8, each group's rows appear in
+    // log2(8) = 3 consecutive stages before the next group starts.
+    const FftAgarwalParams p{4, 8, 2, 0};
+    const auto trace = generateFftAgarwalTrace(p);
+    // Phase 1 ops: per group, per stage, per row: B1/(2*dist) ops.
+    // dist = 4: 1 op/row; 2: 2; 1: 4 -> 7 ops per row, 14 per group,
+    // 2 groups = 28 ops; phase 2: B1 = 8 column FFTs of length 4:
+    // dist 2: 1 op, dist 1: 2 ops -> 3 each, 24 total.
+    ASSERT_EQ(trace.size(), 28u + 24u);
+    // The first group's ops only touch rows 0 and 1.
+    for (std::size_t i = 0; i < 14; ++i) {
+        const Addr a = trace[i].first.base;
+        EXPECT_LT(a % 4, 2u) << "op " << i;
+    }
+}
+
+TEST(FftAgarwalTrace, RowStridesAreB2)
+{
+    const FftAgarwalParams p{64, 16, 8, 0};
+    const auto trace = generateFftAgarwalTrace(p);
+    EXPECT_EQ(trace.front().first.stride, 64);
+    EXPECT_EQ(trace.back().first.stride, 1);
+}
+
+TEST(BandedMatvec, TridiagonalRanges)
+{
+    BandedParams p;
+    p.n = 10;
+    p.offsets = {-1, 0, 1};
+    p.xBase = 100;
+    p.yBase = 200;
+    p.diagBase = 300;
+    const auto trace = generateBandedMatvecTrace(p);
+    ASSERT_EQ(trace.size(), 3u);
+
+    // Sub-diagonal: rows 1..9 read x[0..8].
+    EXPECT_EQ(trace[0].first.base, 301u); // diag 0 storage + lo
+    EXPECT_EQ(trace[0].first.length, 9u);
+    EXPECT_EQ(trace[0].second->base, 100u);
+    // Main diagonal: all 10 rows.
+    EXPECT_EQ(trace[1].first.base, 310u); // diag 1 at spacing n
+    EXPECT_EQ(trace[1].first.length, 10u);
+    EXPECT_EQ(trace[1].second->base, 100u);
+    // Super-diagonal: rows 0..8 read x[1..9].
+    EXPECT_EQ(trace[2].first.length, 9u);
+    EXPECT_EQ(trace[2].second->base, 101u);
+    // All stores accumulate into y over the valid rows.
+    EXPECT_EQ(trace[1].store->base, 200u);
+}
+
+TEST(BandedMatvec, RepetitionsAndWideBands)
+{
+    BandedParams p;
+    p.n = 64;
+    p.offsets = {-8, -1, 0, 1, 8};
+    p.repetitions = 3;
+    const auto trace = generateBandedMatvecTrace(p);
+    EXPECT_EQ(trace.size(), 15u);
+    for (const auto &op : trace) {
+        EXPECT_EQ(op.first.stride, 1);
+        EXPECT_TRUE(op.second.has_value());
+        EXPECT_TRUE(op.store.has_value());
+        EXPECT_LE(op.first.length, 64u);
+    }
+}
+
+TEST(BandedMatvecDeathTest, SpacingMustCoverDiagonal)
+{
+    BandedParams p;
+    p.n = 100;
+    p.diagSpacing = 50;
+    EXPECT_DEATH((void)generateBandedMatvecTrace(p), "spacing");
+}
+
+TEST(FftResultElements, NLogN)
+{
+    EXPECT_EQ(fftResultElements(16), 64u);
+    EXPECT_EQ(fftResultElements(1024), 10240u);
+}
+
+TEST(SubblockTrace, ColumnLayout)
+{
+    const SubblockParams p{100, 4, 3, 1000, 1};
+    const auto trace = generateSubblockTrace(p);
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace[0].first.base, 1000u);
+    EXPECT_EQ(trace[1].first.base, 1100u);
+    EXPECT_EQ(trace[2].first.base, 1200u);
+    for (const auto &op : trace) {
+        EXPECT_EQ(op.first.stride, 1);
+        EXPECT_EQ(op.first.length, 4u);
+    }
+}
+
+TEST(SubblockTrace, Repetitions)
+{
+    const SubblockParams p{100, 4, 3, 0, 5};
+    EXPECT_EQ(generateSubblockTrace(p).size(), 15u);
+}
+
+TEST(MatrixSlice, StridesMatchLayout)
+{
+    const MatrixShape shape{100, 50, 0};
+    EXPECT_EQ(matrixSliceRef(shape, MatrixSlice::Column, 3).stride, 1);
+    EXPECT_EQ(matrixSliceRef(shape, MatrixSlice::Column, 3).base, 300u);
+    EXPECT_EQ(matrixSliceRef(shape, MatrixSlice::Row, 2).stride, 100);
+    EXPECT_EQ(matrixSliceRef(shape, MatrixSlice::Row, 2).base, 2u);
+    EXPECT_EQ(matrixSliceRef(shape, MatrixSlice::Diagonal, 0).stride,
+              101);
+    EXPECT_EQ(matrixSliceRef(shape, MatrixSlice::Diagonal, 0).length,
+              50u);
+}
+
+TEST(RowColumnMix, FractionRespected)
+{
+    RowColumnMixParams p;
+    p.shape = {256, 256, 0};
+    p.rowFraction = 0.75;
+    p.operations = 2000;
+    p.length = 64;
+    std::uint64_t rows = 0;
+    for (const auto &op : generateRowColumnMix(p, 3))
+        rows += op.first.stride == 256;
+    EXPECT_NEAR(static_cast<double>(rows) / 2000.0, 0.75, 0.04);
+}
+
+TEST(TransposeTrace, CoversBothMatrices)
+{
+    const TransposeParams p{16, 4, 0, 0};
+    const auto trace = generateTransposeTrace(p);
+    std::set<Addr> read, written;
+    for (const auto &op : trace) {
+        for (const Addr a : expand(op.first))
+            read.insert(a);
+        ASSERT_TRUE(op.store.has_value());
+        for (const Addr a : expand(*op.store))
+            written.insert(a);
+    }
+    EXPECT_EQ(read.size(), 256u);    // every element of A read once
+    EXPECT_EQ(written.size(), 256u); // every element of B written
+    EXPECT_LT(*read.rbegin(), 256u);
+    EXPECT_GE(*written.begin(), 256u);
+}
+
+TEST(TransposeTrace, ElementMappingIsTransposed)
+{
+    const TransposeParams p{8, 4, 0, 100};
+    const auto trace = generateTransposeTrace(p);
+    for (const auto &op : trace) {
+        // Read element k of the column is A(r0+k, c); the store
+        // element k is B(c, r0+k): addresses must satisfy the
+        // transpose relation.
+        for (std::uint64_t k = 0; k < op.first.length; ++k) {
+            const Addr a = op.first.element(k);
+            const Addr b = op.store->element(k) - 100;
+            const std::uint64_t row_a = a % 8, col_a = a / 8;
+            const std::uint64_t row_b = b % 8, col_b = b / 8;
+            EXPECT_EQ(row_a, col_b);
+            EXPECT_EQ(col_a, row_b);
+        }
+    }
+}
+
+TEST(TransposeTrace, StoresUseLeadingDimensionStride)
+{
+    const TransposeParams p{64, 16, 0, 0};
+    for (const auto &op : generateTransposeTrace(p)) {
+        EXPECT_EQ(op.first.stride, 1);
+        EXPECT_EQ(op.store->stride, 64);
+    }
+}
+
+TEST(MultistrideTrace, SweepsAndLengths)
+{
+    const MultistrideParams p{128, 10, 0.25, 64, 0, 1};
+    const auto trace = generateMultistrideTrace(p, 21);
+    EXPECT_EQ(trace.size(), 10u);
+    for (const auto &op : trace) {
+        EXPECT_EQ(op.first.length, 128u);
+        EXPECT_GE(op.first.stride, 1);
+        EXPECT_LE(op.first.stride, 64);
+    }
+}
+
+TEST(MultistrideTrace, ReuseRepeatsEachStride)
+{
+    const MultistrideParams p{128, 10, 0.25, 64, 0, 3};
+    const auto trace = generateMultistrideTrace(p, 21);
+    ASSERT_EQ(trace.size(), 30u);
+    for (std::size_t s = 0; s < 10; ++s)
+        for (std::size_t r = 1; r < 3; ++r)
+            EXPECT_EQ(trace[3 * s + r].first.stride,
+                      trace[3 * s].first.stride);
+}
+
+} // namespace
+} // namespace vcache

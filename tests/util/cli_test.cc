@@ -1,0 +1,126 @@
+/** Tests for the command-line flag parser. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/cli.hh"
+
+namespace vcache
+{
+namespace
+{
+
+/** Build a mutable argv from string literals. */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args) : storage(std::move(args))
+    {
+        for (auto &s : storage)
+            pointers.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(pointers.size()); }
+    char **argv() { return pointers.data(); }
+
+  private:
+    std::vector<std::string> storage;
+    std::vector<char *> pointers;
+};
+
+TEST(ArgParser, DefaultsApply)
+{
+    ArgParser p("test");
+    p.addFlag("count", "5", "a count");
+    Argv a({"prog"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getInt("count"), 5);
+}
+
+TEST(ArgParser, EqualsForm)
+{
+    ArgParser p("test");
+    p.addFlag("count", "5", "a count");
+    Argv a({"prog", "--count=9"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getInt("count"), 9);
+}
+
+TEST(ArgParser, SpaceForm)
+{
+    ArgParser p("test");
+    p.addFlag("name", "x", "a name");
+    Argv a({"prog", "--name", "hello"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getString("name"), "hello");
+}
+
+TEST(ArgParser, Types)
+{
+    ArgParser p("test");
+    p.addFlag("i", "-3", "int");
+    p.addFlag("u", "7", "uint");
+    p.addFlag("d", "2.5", "double");
+    p.addFlag("b", "true", "bool");
+    Argv a({"prog"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getInt("i"), -3);
+    EXPECT_EQ(p.getUint("u"), 7u);
+    EXPECT_DOUBLE_EQ(p.getDouble("d"), 2.5);
+    EXPECT_TRUE(p.getBool("b"));
+}
+
+TEST(ArgParser, WasSetDistinguishesDefaults)
+{
+    ArgParser p("test");
+    p.addFlag("given", "1", "set on the command line");
+    p.addFlag("defaulted", "2", "left at its default");
+    Argv a({"prog", "--given=5"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_TRUE(p.wasSet("given"));
+    EXPECT_FALSE(p.wasSet("defaulted"));
+    EXPECT_EQ(p.getInt("defaulted"), 2);
+}
+
+TEST(ArgParser, UsageListsFlags)
+{
+    ArgParser p("my tool");
+    p.addFlag("alpha", "1", "the alpha flag");
+    const std::string u = p.usage();
+    EXPECT_NE(u.find("my tool"), std::string::npos);
+    EXPECT_NE(u.find("--alpha"), std::string::npos);
+    EXPECT_NE(u.find("the alpha flag"), std::string::npos);
+}
+
+TEST(ArgParserDeathTest, UnknownFlag)
+{
+    ArgParser p("test");
+    p.addFlag("known", "1", "known");
+    Argv a({"prog", "--unknown=2"});
+    EXPECT_EXIT(p.parse(a.argc(), a.argv()),
+                testing::ExitedWithCode(1), "unknown flag");
+}
+
+TEST(ArgParserDeathTest, BadInteger)
+{
+    ArgParser p("test");
+    p.addFlag("n", "1", "n");
+    Argv a({"prog", "--n=abc"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EXIT((void)p.getInt("n"), testing::ExitedWithCode(1),
+                "not an integer");
+}
+
+TEST(ArgParserDeathTest, NegativeUint)
+{
+    ArgParser p("test");
+    p.addFlag("n", "1", "n");
+    Argv a({"prog", "--n=-4"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EXIT((void)p.getUint("n"), testing::ExitedWithCode(1),
+                "non-negative");
+}
+
+} // namespace
+} // namespace vcache

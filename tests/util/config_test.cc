@@ -1,0 +1,104 @@
+/** Tests for the INI-style configuration parser. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/config.hh"
+
+namespace vcache
+{
+namespace
+{
+
+KeyValueConfig
+parseText(const std::string &text)
+{
+    std::istringstream in(text);
+    return KeyValueConfig::parse(in);
+}
+
+TEST(KeyValueConfig, SectionsPrefixKeys)
+{
+    const auto c = parseText(
+        "top = 1\n"
+        "[machine]\n"
+        "mvl = 64\n"
+        "memory_time = 32\n"
+        "[cache]\n"
+        "organization = prime\n");
+    EXPECT_TRUE(c.has("top"));
+    EXPECT_TRUE(c.has("machine.mvl"));
+    EXPECT_TRUE(c.has("cache.organization"));
+    EXPECT_FALSE(c.has("mvl"));
+    EXPECT_EQ(c.getUint("machine.mvl", 0), 64u);
+    EXPECT_EQ(c.getString("cache.organization", "?"), "prime");
+}
+
+TEST(KeyValueConfig, CommentsAndWhitespace)
+{
+    const auto c = parseText(
+        "# full-line comment\n"
+        "  key  =  spaced value  # trailing comment\n"
+        "\n"
+        "   \t \n");
+    EXPECT_EQ(c.getString("key", "?"), "spaced value");
+    EXPECT_EQ(c.keys().size(), 1u);
+}
+
+TEST(KeyValueConfig, TypedGettersAndDefaults)
+{
+    const auto c = parseText(
+        "n = 42\n"
+        "x = 2.5\n"
+        "flag = yes\n"
+        "off = false\n");
+    EXPECT_EQ(c.getUint("n", 0), 42u);
+    EXPECT_DOUBLE_EQ(c.getDouble("x", 0.0), 2.5);
+    EXPECT_TRUE(c.getBool("flag", false));
+    EXPECT_FALSE(c.getBool("off", true));
+    EXPECT_EQ(c.getUint("absent", 7), 7u);
+    EXPECT_DOUBLE_EQ(c.getDouble("absent", 1.5), 1.5);
+    EXPECT_TRUE(c.getBool("absent", true));
+}
+
+TEST(KeyValueConfig, UnusedKeyTracking)
+{
+    const auto c = parseText("used = 1\ntypo = 2\n");
+    (void)c.getUint("used", 0);
+    const auto unused = c.unusedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(KeyValueConfigDeathTest, MalformedInput)
+{
+    EXPECT_EXIT((void)parseText("no equals sign\n"),
+                testing::ExitedWithCode(1), "expected");
+    EXPECT_EXIT((void)parseText("[unclosed\n"),
+                testing::ExitedWithCode(1), "section");
+    EXPECT_EXIT((void)parseText("= value\n"),
+                testing::ExitedWithCode(1), "empty key");
+    EXPECT_EXIT((void)parseText("a = 1\na = 2\n"),
+                testing::ExitedWithCode(1), "duplicate");
+}
+
+TEST(KeyValueConfigDeathTest, BadTypedValues)
+{
+    const auto c = parseText("n = -3\nx = abc\nb = maybe\n");
+    EXPECT_EXIT((void)c.getUint("n", 0), testing::ExitedWithCode(1),
+                "non-negative");
+    EXPECT_EXIT((void)c.getDouble("x", 0.0),
+                testing::ExitedWithCode(1), "not a number");
+    EXPECT_EXIT((void)c.getBool("b", false),
+                testing::ExitedWithCode(1), "not a boolean");
+}
+
+TEST(KeyValueConfigDeathTest, MissingFile)
+{
+    EXPECT_EXIT((void)KeyValueConfig::parseFile("/nonexistent.ini"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,53 @@
+/** Tests for the logging/assertion helpers. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(Logging, InformAndWarnDoNotTerminate)
+{
+    testing::internal::CaptureStderr();
+    inform("status ", 42);
+    warn("odd but fine: ", 3.5);
+    const std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("info: status 42"), std::string::npos);
+    EXPECT_NE(out.find("warn: odd but fine: 3.5"), std::string::npos);
+}
+
+TEST(Logging, ConcatFormatsMixedTypes)
+{
+    EXPECT_EQ(detail::concat("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(vc_fatal("bad config ", 7),
+                testing::ExitedWithCode(1), "fatal: bad config 7");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(vc_panic("broken invariant"),
+                 "panic: broken invariant");
+}
+
+TEST(LoggingDeathTest, AssertMessageNamesCondition)
+{
+    const int x = 3;
+    EXPECT_DEATH(vc_assert(x == 4, "x was ", x), "x == 4");
+}
+
+TEST(Logging, AssertPassesSilently)
+{
+    vc_assert(1 + 1 == 2, "arithmetic broke");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace vcache

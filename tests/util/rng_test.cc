@@ -1,0 +1,112 @@
+/** Tests for the xorshift64* RNG and its distributions. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.uniformInt(5, 17);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 17u);
+    }
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng r(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(r.uniformInt(9, 9), 9u);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(r.uniformInt(0, 7));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformRealMeanNearHalf)
+{
+    Rng r(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniformReal();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng r(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng r(23);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, ReseedRepeatsSequence)
+{
+    Rng r(31);
+    const auto a = r.next();
+    const auto b = r.next();
+    r.seed(31);
+    EXPECT_EQ(r.next(), a);
+    EXPECT_EQ(r.next(), b);
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,73 @@
+/** Tests for the gem5-style statistics dump. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/statdump.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(StatDump, GroupsPrefixNames)
+{
+    StatDump dump;
+    dump.beginGroup("system");
+    dump.beginGroup("cache");
+    dump.scalar("hits", std::uint64_t{10}, "demand hits");
+    dump.endGroup();
+    dump.scalar("cycles", std::uint64_t{99}, "");
+    dump.endGroup();
+    dump.scalar("top", 1.5, "top-level");
+
+    std::ostringstream os;
+    dump.print(os);
+    const auto out = os.str();
+    EXPECT_NE(out.find("system.cache.hits"), std::string::npos);
+    EXPECT_NE(out.find("system.cycles"), std::string::npos);
+    EXPECT_NE(out.find("# demand hits"), std::string::npos);
+    // "top" appears unprefixed at the line start.
+    EXPECT_EQ(out.find("top"), out.rfind("\ntop") + 1);
+}
+
+TEST(StatDump, RaiiGroup)
+{
+    StatDump dump;
+    {
+        StatDump::Group g(dump, "inner");
+        dump.scalar("x", std::uint64_t{1}, "");
+    }
+    dump.scalar("y", std::uint64_t{2}, "");
+    std::ostringstream os;
+    dump.print(os);
+    EXPECT_NE(os.str().find("inner.x"), std::string::npos);
+    EXPECT_EQ(os.str().find("inner.y"), std::string::npos);
+}
+
+TEST(StatDump, AlignsValues)
+{
+    StatDump dump;
+    dump.scalar("short", std::uint64_t{1}, "a");
+    dump.scalar("much_longer_name", std::uint64_t{123456}, "b");
+    std::ostringstream os;
+    dump.print(os);
+    // Both '#' comment markers line up column-wise.
+    std::istringstream lines(os.str());
+    std::string l1, l2;
+    std::getline(lines, l1);
+    std::getline(lines, l2);
+    EXPECT_NE(l1.find('#'), std::string::npos);
+    EXPECT_EQ(l1.find('#'), l2.find('#'));
+    EXPECT_EQ(dump.size(), 2u);
+}
+
+TEST(StatDumpDeathTest, UnbalancedEndGroup)
+{
+    StatDump dump;
+    EXPECT_DEATH(dump.endGroup(), "endGroup");
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,111 @@
+/** Tests for RunningStats and Histogram. */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(RunningStats, Empty)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Population variance is 4; the unbiased sample variance is
+    // 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    RunningStats whole, a, b;
+    for (int i = 0; i < 50; ++i) {
+        const double v = i * 0.37 - 3.0;
+        whole.add(v);
+        (i % 2 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean = a.mean();
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+    empty.merge(a);
+    EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(Histogram, BucketEdges)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketLo(4), 8.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(4), 10.0);
+}
+
+TEST(Histogram, Placement)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.0);
+    h.add(1.99);
+    h.add(2.0);
+    h.add(9.99);
+    h.add(-1.0);
+    h.add(10.0);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, RenderMentionsCounts)
+{
+    Histogram h(0.0, 4.0, 2);
+    h.add(1.0);
+    h.add(1.5);
+    h.add(3.0);
+    const std::string out = h.render(10);
+    EXPECT_NE(out.find("2"), std::string::npos);
+    EXPECT_NE(out.find("#"), std::string::npos);
+}
+
+} // namespace
+} // namespace vcache

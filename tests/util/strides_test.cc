@@ -1,0 +1,79 @@
+/** Tests for the paper's stride distribution. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/strides.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(StrideDistribution, ProbabilityMassSumsToOne)
+{
+    const StrideDistribution d(0.25, 64);
+    double total = 0.0;
+    for (std::uint64_t s = 1; s <= 64; ++s)
+        total += d.probability(s);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(StrideDistribution, Stride1Mass)
+{
+    const StrideDistribution d(0.25, 64);
+    EXPECT_DOUBLE_EQ(d.probability(1), 0.25);
+    EXPECT_DOUBLE_EQ(d.probability(2), 0.75 / 63.0);
+    EXPECT_DOUBLE_EQ(d.probability(65), 0.0);
+    EXPECT_DOUBLE_EQ(d.probability(0), 0.0);
+}
+
+TEST(StrideDistribution, SamplesWithinRange)
+{
+    const StrideDistribution d(0.25, 32);
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const auto s = d.sample(rng);
+        EXPECT_GE(s, 1u);
+        EXPECT_LE(s, 32u);
+    }
+}
+
+TEST(StrideDistribution, EmpiricalStride1Rate)
+{
+    const StrideDistribution d(0.4, 128);
+    Rng rng(9);
+    int unit = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        unit += d.sample(rng) == 1;
+    EXPECT_NEAR(static_cast<double>(unit) / n, 0.4, 0.02);
+}
+
+TEST(StrideDistribution, NonUnitRoughlyUniform)
+{
+    const StrideDistribution d(0.0, 8);
+    Rng rng(13);
+    std::map<std::uint64_t, int> counts;
+    const int n = 70000;
+    for (int i = 0; i < n; ++i)
+        ++counts[d.sample(rng)];
+    EXPECT_EQ(counts.count(1), 0u);
+    for (std::uint64_t s = 2; s <= 8; ++s)
+        EXPECT_NEAR(counts[s] / static_cast<double>(n), 1.0 / 7.0, 0.01)
+            << "stride " << s;
+}
+
+TEST(StrideDistributionDeathTest, RejectsBadProbability)
+{
+    EXPECT_DEATH(StrideDistribution(1.5, 8), "probability");
+}
+
+TEST(StrideDistributionDeathTest, RejectsTinyMax)
+{
+    EXPECT_DEATH(StrideDistribution(0.5, 1), "at least 2");
+}
+
+} // namespace
+} // namespace vcache

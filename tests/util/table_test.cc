@@ -1,0 +1,70 @@
+/** Tests for the aligned/CSV table writer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(Table, AlignedOutput)
+{
+    Table t({"name", "value"});
+    t.addRow("alpha", 1);
+    t.addRow("b", 22);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    // Four lines: header, rule, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, RowCount)
+{
+    Table t({"a"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow(1);
+    t.addRow(2);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, DoubleFormatting)
+{
+    EXPECT_EQ(Table::format(1.0), "1.000");
+    EXPECT_EQ(Table::format(2.3456), "2.346");
+}
+
+TEST(Table, CsvEscaping)
+{
+    Table t({"x", "y"});
+    t.addRow("has,comma", "has\"quote");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainValuesUnquoted)
+{
+    Table t({"x"});
+    t.addRow("plain");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x\nplain\n");
+}
+
+TEST(TableDeathTest, WrongArity)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow(1), "cells");
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,131 @@
+/** Tests for the convoy/chime analyzer. */
+
+#include <gtest/gtest.h>
+
+#include "vpu/chime.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(Chime, EmptyProgram)
+{
+    VectorProgram p;
+    const auto a = analyzeChimes(p, 64);
+    EXPECT_EQ(a.convoys, 0u);
+    EXPECT_EQ(a.chimeCycles, 0u);
+}
+
+TEST(Chime, SaxpyStripIsThreeConvoys)
+{
+    // The classic H&P example: load-pair, multiply-add (depends on
+    // the loads), store (depends on the multiply-add): 3 convoys.
+    VectorProgram p;
+    p.setVl(64);
+    p.loadScalar(2.0);
+    p.loadPairV(0, 0, 1, 1, 100, 1);
+    p.mulAddSV(2, 0, 1);
+    p.storeV(2, 100, 1);
+    const auto a = analyzeChimes(p, 64);
+    EXPECT_EQ(a.convoys, 3u);
+    EXPECT_EQ(a.chimeCycles, 3u * 64u);
+    EXPECT_EQ(a.memoryOps, 2u);
+    EXPECT_EQ(a.arithmeticOps, 1u);
+}
+
+TEST(Chime, IndependentOpsShareAConvoy)
+{
+    // A load and an arithmetic op on unrelated registers co-issue.
+    VectorProgram p;
+    p.setVl(32);
+    p.loadV(0, 0, 1);
+    p.addVV(3, 4, 5);
+    const auto a = analyzeChimes(p, 64);
+    EXPECT_EQ(a.convoys, 1u);
+    EXPECT_EQ(a.chimeCycles, 32u);
+}
+
+TEST(Chime, StructuralHazardSplitsMemoryOps)
+{
+    // Two loads cannot share the single memory unit.
+    VectorProgram p;
+    p.setVl(16);
+    p.loadV(0, 0, 1);
+    p.loadV(1, 100, 1);
+    const auto a = analyzeChimes(p, 64);
+    EXPECT_EQ(a.convoys, 2u);
+}
+
+TEST(Chime, DataHazardSplitsDependentArithmetic)
+{
+    VectorProgram p;
+    p.setVl(16);
+    p.loadV(0, 0, 1);
+    p.mulSV(1, 0); // reads v0 written this convoy
+    const auto a = analyzeChimes(p, 64);
+    EXPECT_EQ(a.convoys, 2u);
+}
+
+TEST(Chime, SetVlChangesConvoyLength)
+{
+    VectorProgram p;
+    p.setVl(16);
+    p.loadV(0, 0, 1);
+    p.setVl(64);
+    p.loadV(1, 100, 1);
+    const auto a = analyzeChimes(p, 64);
+    EXPECT_EQ(a.convoys, 2u);
+    EXPECT_EQ(a.chimeCycles, 16u + 64u);
+    EXPECT_EQ(a.elementOps, 80u);
+}
+
+TEST(Chime, ScalarMemLoadCountsOneElement)
+{
+    VectorProgram p;
+    p.setVl(64);
+    p.loadScalarFromMem(5);
+    const auto a = analyzeChimes(p, 64);
+    EXPECT_EQ(a.memoryOps, 1u);
+    EXPECT_EQ(a.elementOps, 1u);
+    EXPECT_EQ(a.convoys, 1u);
+    EXPECT_EQ(a.chimeCycles, 1u);
+}
+
+TEST(Chime, TwoMemoryPipesMergeLoadConvoys)
+{
+    VectorProgram p;
+    p.setVl(16);
+    p.loadV(0, 0, 1);
+    p.loadV(1, 100, 1);
+    EXPECT_EQ(analyzeChimes(p, 64).convoys, 2u);
+    EXPECT_EQ(analyzeChimes(p, 64, ChimeUnits{2, 1}).convoys, 1u);
+}
+
+TEST(Chime, ExtraUnitsCannotBeatDataHazards)
+{
+    // A dependent chain stays serial however many pipes exist.
+    VectorProgram p;
+    p.setVl(16);
+    p.loadV(0, 0, 1);
+    p.mulSV(1, 0);
+    p.addSV(2, 1);
+    const auto wide = analyzeChimes(p, 64, ChimeUnits{4, 4});
+    EXPECT_EQ(wide.convoys, 3u);
+}
+
+TEST(Chime, SaxpyProgramScalesWithLength)
+{
+    VectorProgram p;
+    emitSaxpy(p, 64, 2.0, 0, 1, 10000, 1, 640);
+    const auto a = analyzeChimes(p, 64);
+    // 10 strips x 3 convoys.
+    EXPECT_EQ(a.convoys, 30u);
+    EXPECT_EQ(a.chimeCycles, 30u * 64u);
+    // Chime time per element = 3: the T_elem floor of Equation (1)
+    // once memory behaves (cache hits).
+    EXPECT_DOUBLE_EQ(static_cast<double>(a.chimeCycles) / 640.0, 3.0);
+}
+
+} // namespace
+} // namespace vcache

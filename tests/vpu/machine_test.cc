@@ -1,0 +1,401 @@
+/** Tests for the functional vector machine and program builders. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/defaults.hh"
+#include "util/rng.hh"
+#include "sim/runner.hh"
+#include "vpu/machine.hh"
+#include "vpu/program.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(VectorMachine, RegistersAndMemoryBasics)
+{
+    VectorMachine m(64, 1024);
+    EXPECT_EQ(m.maxVectorLength(), 64u);
+    EXPECT_EQ(m.memoryWords(), 1024u);
+    m.writeMem(7, 3.5);
+    EXPECT_DOUBLE_EQ(m.readMem(7), 3.5);
+    EXPECT_DOUBLE_EQ(m.readMem(8), 0.0);
+}
+
+TEST(VectorMachine, LoadComputeStore)
+{
+    VectorMachine m(8, 64);
+    for (Addr a = 0; a < 8; ++a) {
+        m.writeMem(a, static_cast<double>(a));      // x
+        m.writeMem(16 + a, 10.0 * static_cast<double>(a)); // y
+    }
+
+    VectorProgram p;
+    p.setVl(8);
+    p.loadV(0, 0, 1);
+    p.loadV(1, 16, 1);
+    p.addVV(2, 0, 1);
+    p.storeV(2, 32, 1);
+    m.run(p);
+
+    for (Addr a = 0; a < 8; ++a)
+        EXPECT_DOUBLE_EQ(m.readMem(32 + a), 11.0 * a);
+}
+
+TEST(VectorMachine, StridedAndScalarOps)
+{
+    VectorMachine m(4, 64);
+    for (Addr a = 0; a < 16; ++a)
+        m.writeMem(a, static_cast<double>(a));
+
+    VectorProgram p;
+    p.setVl(4);
+    p.loadScalar(2.0);
+    p.loadV(0, 1, 4); // {1, 5, 9, 13}
+    p.mulSV(1, 0);    // {2, 10, 18, 26}
+    p.addSV(2, 1);    // {4, 12, 20, 28}
+    m.run(p);
+
+    const auto &v2 = m.vectorRegister(2);
+    EXPECT_DOUBLE_EQ(v2[0], 4.0);
+    EXPECT_DOUBLE_EQ(v2[3], 28.0);
+}
+
+TEST(VectorMachine, TraceRecordsWhatExecutes)
+{
+    VectorMachine m(8, 256);
+    VectorProgram p;
+    p.setVl(8);
+    p.loadPairV(0, 0, 1, 1, 100, 2);
+    p.mulAddSV(2, 0, 1);
+    p.storeV(2, 200, 1);
+    m.run(p);
+
+    const auto &t = m.trace();
+    ASSERT_EQ(t.size(), 1u); // store attached to the pair load
+    EXPECT_TRUE(t[0].doubleStream());
+    EXPECT_EQ(t[0].first.base, 0u);
+    EXPECT_EQ(t[0].second->stride, 2);
+    ASSERT_TRUE(t[0].store.has_value());
+    EXPECT_EQ(t[0].store->base, 200u);
+    EXPECT_EQ(m.instructionsExecuted(), 4u);
+}
+
+TEST(VectorMachine, StandaloneStoreGetsOwnRecord)
+{
+    VectorMachine m(4, 64);
+    VectorProgram p;
+    p.setVl(4);
+    p.loadV(0, 0, 1);
+    p.storeV(0, 16, 1);
+    p.storeV(0, 32, 1); // previous op already has a store
+    m.run(p);
+    ASSERT_EQ(m.trace().size(), 2u);
+    EXPECT_EQ(m.trace()[1].first.length, 0u);
+    ASSERT_TRUE(m.trace()[1].store.has_value());
+    EXPECT_EQ(m.trace()[1].store->base, 32u);
+}
+
+TEST(VectorMachine, SaxpyMatchesReference)
+{
+    const std::uint64_t n = 500;
+    const double a = 2.5;
+    VectorMachine m(64, 4096);
+    for (Addr i = 0; i < n; ++i) {
+        m.writeMem(i, 0.5 * static_cast<double>(i));          // x
+        m.writeMem(1000 + i, 1.0 - static_cast<double>(i));   // y
+    }
+
+    VectorProgram p;
+    emitSaxpy(p, m.maxVectorLength(), a, 0, 1, 1000, 1, n);
+    m.run(p);
+
+    for (Addr i = 0; i < n; ++i) {
+        const double expect =
+            a * (0.5 * i) + (1.0 - static_cast<double>(i));
+        EXPECT_DOUBLE_EQ(m.readMem(1000 + i), expect) << i;
+    }
+}
+
+TEST(VectorMachine, StridedSaxpyMatchesReference)
+{
+    // SAXPY over a matrix row: stride = leading dimension.
+    const std::uint64_t n = 64, lead = 100;
+    VectorMachine m(64, 16384);
+    for (Addr i = 0; i < n; ++i) {
+        m.writeMem(i * lead, static_cast<double>(i));
+        m.writeMem(7000 + i * lead, 100.0);
+    }
+
+    VectorProgram p;
+    emitSaxpy(p, 64, -1.0, 0, static_cast<std::int64_t>(lead), 7000,
+              static_cast<std::int64_t>(lead), n);
+    m.run(p);
+
+    for (Addr i = 0; i < n; ++i)
+        EXPECT_DOUBLE_EQ(m.readMem(7000 + i * lead),
+                         100.0 - static_cast<double>(i));
+}
+
+TEST(VectorMachine, DotProductMatchesReference)
+{
+    const std::uint64_t n = 300;
+    VectorMachine m(64, 2048);
+    double expect = 0.0;
+    for (Addr i = 0; i < n; ++i) {
+        const double x = 0.1 * static_cast<double>(i) - 3.0;
+        const double y = 0.05 * static_cast<double>(i * i % 17);
+        m.writeMem(i, x);
+        m.writeMem(1024 + i, y);
+        expect += x * y;
+    }
+
+    VectorProgram p;
+    emitDot(p, 64, 0, 1, 1024, 1, n);
+    m.run(p);
+    EXPECT_NEAR(m.scalarRegister(), expect, 1e-9);
+}
+
+TEST(VectorMachine, StridedDotProduct)
+{
+    VectorMachine m(8, 256);
+    // x = {1,1,1,1} at stride 3; y = {2,2,2,2} at stride 5.
+    for (int i = 0; i < 4; ++i) {
+        m.writeMem(3 * i, 1.0);
+        m.writeMem(100 + 5 * i, 2.0);
+    }
+    VectorProgram p;
+    emitDot(p, 8, 0, 3, 100, 5, 4);
+    m.run(p);
+    EXPECT_DOUBLE_EQ(m.scalarRegister(), 8.0);
+}
+
+TEST(VectorMachine, BlockedMatmulMatchesReference)
+{
+    const std::uint64_t n = 16, b = 4;
+    VectorMachine m(64, 4096);
+    const Addr base_a = 0, base_b = 256, base_c = 512;
+
+    // A[i][j] = i + j, B[i][j] = i - j (column-major).
+    for (std::uint64_t col = 0; col < n; ++col)
+        for (std::uint64_t row = 0; row < n; ++row) {
+            m.writeMem(base_a + row + col * n,
+                       static_cast<double>(row + col));
+            m.writeMem(base_b + row + col * n,
+                       static_cast<double>(row) -
+                           static_cast<double>(col));
+        }
+
+    VectorProgram p;
+    emitBlockedMatmul(p, 64, base_a, base_b, base_c, n, b);
+    m.run(p);
+
+    for (std::uint64_t col = 0; col < n; ++col)
+        for (std::uint64_t row = 0; row < n; ++row) {
+            double expect = 0.0;
+            for (std::uint64_t k = 0; k < n; ++k)
+                expect += (static_cast<double>(row + k)) *
+                          (static_cast<double>(k) -
+                           static_cast<double>(col));
+            EXPECT_DOUBLE_EQ(m.readMem(base_c + row + col * n),
+                             expect)
+                << "C(" << row << "," << col << ")";
+        }
+}
+
+TEST(VectorMachine, MatmulTraceTimesFasterOnPrime)
+{
+    // The very trace the functional matmul produced, timed on the
+    // direct- and prime-mapped machines with a pathological leading
+    // dimension (the matrices are padded apart by powers of two).
+    const std::uint64_t n = 64, b = 16;
+    VectorMachine m(64, 1u << 16);
+    VectorProgram p;
+    emitBlockedMatmul(p, 64, 0, 16384, 32768, n, b);
+    m.run(p);
+
+    MachineParams machine = paperMachineM32();
+    machine.memoryTime = 32;
+    const auto direct =
+        simulateCc(machine, CacheScheme::Direct, m.trace());
+    const auto prime =
+        simulateCc(machine, CacheScheme::Prime, m.trace());
+    EXPECT_LE(prime.totalCycles, direct.totalCycles);
+}
+
+TEST(VectorMachine, ScalarRegisterOps)
+{
+    VectorMachine m(8, 64);
+    m.writeMem(3, 4.0);
+    VectorProgram p;
+    p.loadScalarFromMem(3);
+    p.recipScalar();  // 0.25
+    p.negScalar();    // -0.25
+    p.storeScalarToMem(10);
+    m.run(p);
+    EXPECT_DOUBLE_EQ(m.readMem(10), -0.25);
+}
+
+TEST(VectorMachineDeathTest, ReciprocalOfZeroPanics)
+{
+    VectorMachine m(8, 64);
+    VectorProgram p;
+    p.loadScalar(0.0);
+    p.recipScalar();
+    EXPECT_DEATH(m.run(p), "reciprocal of zero");
+}
+
+TEST(VectorMachine, LuFactorMatchesHostReference)
+{
+    // Diagonally dominant 20x20 system: no pivoting needed.
+    const std::uint64_t n = 20, lda = 24;
+    VectorMachine m(8, 1024); // MVL 8 forces strip-mining
+    std::vector<std::vector<double>> ref(n, std::vector<double>(n));
+    Rng rng(77);
+    for (std::uint64_t col = 0; col < n; ++col)
+        for (std::uint64_t row = 0; row < n; ++row) {
+            double v = rng.uniformReal() - 0.5;
+            if (row == col)
+                v += static_cast<double>(n); // dominance
+            ref[row][col] = v;
+            m.writeMem(row + col * lda, v);
+        }
+
+    // Host reference LU (same algorithm, plain loops).
+    for (std::uint64_t k = 0; k + 1 < n; ++k) {
+        for (std::uint64_t i = k + 1; i < n; ++i)
+            ref[i][k] /= ref[k][k];
+        for (std::uint64_t j = k + 1; j < n; ++j)
+            for (std::uint64_t i = k + 1; i < n; ++i)
+                ref[i][j] -= ref[i][k] * ref[k][j];
+    }
+
+    VectorProgram p;
+    emitLuFactor(p, m.maxVectorLength(), 0, n, lda);
+    m.run(p);
+
+    for (std::uint64_t col = 0; col < n; ++col)
+        for (std::uint64_t row = 0; row < n; ++row)
+            EXPECT_NEAR(m.readMem(row + col * lda), ref[row][col],
+                        1e-9)
+                << "(" << row << "," << col << ")";
+}
+
+TEST(VectorMachine, LuSolveRecoversKnownSolution)
+{
+    // Factor + forward + back solve must reproduce x* exactly
+    // (within rounding) for a diagonally dominant system.
+    const std::uint64_t n = 24, lda = 24;
+    VectorMachine m(8, 2048);
+    Rng rng(55);
+
+    std::vector<double> x_star(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        x_star[i] = rng.uniformReal() * 4.0 - 2.0;
+
+    // A and b = A x* in machine memory (b at address 1024).
+    const Addr rhs = 1024;
+    for (std::uint64_t row = 0; row < n; ++row) {
+        double b = 0.0;
+        for (std::uint64_t col = 0; col < n; ++col) {
+            double v = rng.uniformReal() - 0.5;
+            if (row == col)
+                v += static_cast<double>(n);
+            m.writeMem(row + col * lda, v);
+            b += v * x_star[col];
+        }
+        m.writeMem(rhs + row, b);
+    }
+
+    VectorProgram solve;
+    emitLuFactor(solve, m.maxVectorLength(), 0, n, lda);
+    emitForwardSolveUnitLower(solve, m.maxVectorLength(), 0, n, lda,
+                              rhs);
+    emitBackSolveUpper(solve, m.maxVectorLength(), 0, n, lda, rhs);
+    m.run(solve);
+
+    for (std::uint64_t i = 0; i < n; ++i)
+        EXPECT_NEAR(m.readMem(rhs + i), x_star[i], 1e-9) << "x[" << i
+                                                         << "]";
+}
+
+TEST(VectorMachine, LuTraceStridesAreUnit)
+{
+    VectorMachine m(64, 4096);
+    for (std::uint64_t i = 0; i < 16; ++i)
+        m.writeMem(i + i * 16, 100.0);
+    VectorProgram p;
+    emitLuFactor(p, 64, 0, 16, 16);
+    m.run(p);
+    for (const auto &op : m.trace()) {
+        EXPECT_EQ(op.first.stride, 1);
+        if (op.second) {
+            EXPECT_EQ(op.second->stride, 1);
+        }
+    }
+    EXPECT_GT(m.scalarLoads(), 0u);
+}
+
+TEST(VectorMachine, ScalarLoadsBypassVectorTraceByDefault)
+{
+    VectorMachine m(8, 64);
+    m.writeMem(5, 42.0);
+    VectorProgram p;
+    p.loadScalarFromMem(5);
+    m.run(p);
+    EXPECT_DOUBLE_EQ(m.scalarRegister(), 42.0);
+    EXPECT_TRUE(m.trace().empty()); // separate scalar cache
+    EXPECT_EQ(m.scalarLoads(), 1u);
+
+    VectorMachine m2(8, 64);
+    m2.writeMem(5, 42.0);
+    m2.traceScalarLoads(true);
+    m2.run(p);
+    ASSERT_EQ(m2.trace().size(), 1u);
+    EXPECT_EQ(m2.trace()[0].first.length, 1u);
+}
+
+TEST(VectorMachine, DisassemblyIsReadable)
+{
+    VectorProgram p;
+    p.setVl(8);
+    p.loadScalar(2.0);
+    p.loadV(0, 100, 4);
+    p.mulAddSV(2, 0, 1);
+    const auto text = p.disassemble();
+    EXPECT_NE(text.find("setvl   8"), std::string::npos);
+    EXPECT_NE(text.find("vload   v0, [100 +4]"), std::string::npos);
+    EXPECT_NE(text.find("vmadds"), std::string::npos);
+}
+
+TEST(VectorMachineDeathTest, OutOfRangeAccessPanics)
+{
+    VectorMachine m(8, 32);
+    VectorProgram p;
+    p.setVl(8);
+    p.loadV(0, 30, 1); // 30..37 leaves the 32-word memory
+    EXPECT_DEATH(m.run(p), "leaves");
+}
+
+TEST(VectorMachineDeathTest, BadRegisterPanics)
+{
+    VectorMachine m(8, 64, 4);
+    VectorProgram p;
+    p.setVl(4);
+    p.loadV(7, 0, 1);
+    EXPECT_DEATH(m.run(p), "does not exist");
+}
+
+TEST(VectorMachineDeathTest, BadVectorLengthPanics)
+{
+    VectorMachine m(8, 64);
+    VectorProgram p;
+    p.setVl(9);
+    EXPECT_DEATH(m.run(p), "setvl");
+}
+
+} // namespace
+} // namespace vcache
