@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_associativity"
+  "../bench/abl_associativity.pdb"
+  "CMakeFiles/abl_associativity.dir/abl_associativity.cc.o"
+  "CMakeFiles/abl_associativity.dir/abl_associativity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

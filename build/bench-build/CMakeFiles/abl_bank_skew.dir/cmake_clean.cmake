@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_bank_skew"
+  "../bench/abl_bank_skew.pdb"
+  "CMakeFiles/abl_bank_skew.dir/abl_bank_skew.cc.o"
+  "CMakeFiles/abl_bank_skew.dir/abl_bank_skew.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bank_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

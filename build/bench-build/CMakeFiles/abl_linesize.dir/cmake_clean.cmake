@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_linesize"
+  "../bench/abl_linesize.pdb"
+  "CMakeFiles/abl_linesize.dir/abl_linesize.cc.o"
+  "CMakeFiles/abl_linesize.dir/abl_linesize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_linesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

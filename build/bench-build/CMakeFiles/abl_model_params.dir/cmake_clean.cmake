@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_model_params"
+  "../bench/abl_model_params.pdb"
+  "CMakeFiles/abl_model_params.dir/abl_model_params.cc.o"
+  "CMakeFiles/abl_model_params.dir/abl_model_params.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_model_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_nonblocking"
+  "../bench/abl_nonblocking.pdb"
+  "CMakeFiles/abl_nonblocking.dir/abl_nonblocking.cc.o"
+  "CMakeFiles/abl_nonblocking.dir/abl_nonblocking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_prefetch"
+  "../bench/abl_prefetch.pdb"
+  "CMakeFiles/abl_prefetch.dir/abl_prefetch.cc.o"
+  "CMakeFiles/abl_prefetch.dir/abl_prefetch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

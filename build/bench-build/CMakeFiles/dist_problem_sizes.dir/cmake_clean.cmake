@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dist_problem_sizes"
+  "../bench/dist_problem_sizes.pdb"
+  "CMakeFiles/dist_problem_sizes.dir/dist_problem_sizes.cc.o"
+  "CMakeFiles/dist_problem_sizes.dir/dist_problem_sizes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_problem_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_memtime_direct"
+  "../bench/fig04_memtime_direct.pdb"
+  "CMakeFiles/fig04_memtime_direct.dir/fig04_memtime_direct.cc.o"
+  "CMakeFiles/fig04_memtime_direct.dir/fig04_memtime_direct.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_memtime_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

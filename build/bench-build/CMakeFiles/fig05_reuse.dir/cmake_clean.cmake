@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_reuse"
+  "../bench/fig05_reuse.pdb"
+  "CMakeFiles/fig05_reuse.dir/fig05_reuse.cc.o"
+  "CMakeFiles/fig05_reuse.dir/fig05_reuse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

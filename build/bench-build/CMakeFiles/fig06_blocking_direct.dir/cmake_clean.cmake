@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_blocking_direct"
+  "../bench/fig06_blocking_direct.pdb"
+  "CMakeFiles/fig06_blocking_direct.dir/fig06_blocking_direct.cc.o"
+  "CMakeFiles/fig06_blocking_direct.dir/fig06_blocking_direct.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_blocking_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_memtime_prime"
+  "../bench/fig07_memtime_prime.pdb"
+  "CMakeFiles/fig07_memtime_prime.dir/fig07_memtime_prime.cc.o"
+  "CMakeFiles/fig07_memtime_prime.dir/fig07_memtime_prime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_memtime_prime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

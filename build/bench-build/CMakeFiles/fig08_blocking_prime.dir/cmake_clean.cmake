@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_blocking_prime"
+  "../bench/fig08_blocking_prime.pdb"
+  "CMakeFiles/fig08_blocking_prime.dir/fig08_blocking_prime.cc.o"
+  "CMakeFiles/fig08_blocking_prime.dir/fig08_blocking_prime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_blocking_prime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

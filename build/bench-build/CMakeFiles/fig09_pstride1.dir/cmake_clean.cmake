@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_pstride1"
+  "../bench/fig09_pstride1.pdb"
+  "CMakeFiles/fig09_pstride1.dir/fig09_pstride1.cc.o"
+  "CMakeFiles/fig09_pstride1.dir/fig09_pstride1.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_pstride1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

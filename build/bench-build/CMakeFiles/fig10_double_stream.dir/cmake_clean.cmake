@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_double_stream"
+  "../bench/fig10_double_stream.pdb"
+  "CMakeFiles/fig10_double_stream.dir/fig10_double_stream.cc.o"
+  "CMakeFiles/fig10_double_stream.dir/fig10_double_stream.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_double_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

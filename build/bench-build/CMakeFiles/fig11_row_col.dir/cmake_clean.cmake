@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_row_col"
+  "../bench/fig11_row_col.pdb"
+  "CMakeFiles/fig11_row_col.dir/fig11_row_col.cc.o"
+  "CMakeFiles/fig11_row_col.dir/fig11_row_col.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_row_col.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

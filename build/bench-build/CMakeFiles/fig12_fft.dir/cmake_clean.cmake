@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_fft"
+  "../bench/fig12_fft.pdb"
+  "CMakeFiles/fig12_fft.dir/fig12_fft.cc.o"
+  "CMakeFiles/fig12_fft.dir/fig12_fft.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_mapping_latency"
+  "../bench/micro_mapping_latency.pdb"
+  "CMakeFiles/micro_mapping_latency.dir/micro_mapping_latency.cc.o"
+  "CMakeFiles/micro_mapping_latency.dir/micro_mapping_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mapping_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

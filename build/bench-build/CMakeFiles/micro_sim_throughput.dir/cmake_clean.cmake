@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_sim_throughput"
+  "../bench/micro_sim_throughput.pdb"
+  "CMakeFiles/micro_sim_throughput.dir/micro_sim_throughput.cc.o"
+  "CMakeFiles/micro_sim_throughput.dir/micro_sim_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sim_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sweep_grid"
+  "../bench/sweep_grid.pdb"
+  "CMakeFiles/sweep_grid.dir/sweep_grid.cc.o"
+  "CMakeFiles/sweep_grid.dir/sweep_grid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

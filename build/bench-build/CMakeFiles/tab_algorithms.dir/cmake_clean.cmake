@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_algorithms"
+  "../bench/tab_algorithms.pdb"
+  "CMakeFiles/tab_algorithms.dir/tab_algorithms.cc.o"
+  "CMakeFiles/tab_algorithms.dir/tab_algorithms.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_subblock"
+  "../bench/tab_subblock.pdb"
+  "CMakeFiles/tab_subblock.dir/tab_subblock.cc.o"
+  "CMakeFiles/tab_subblock.dir/tab_subblock.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_subblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

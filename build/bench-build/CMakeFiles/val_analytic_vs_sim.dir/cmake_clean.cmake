@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/val_analytic_vs_sim"
+  "../bench/val_analytic_vs_sim.pdb"
+  "CMakeFiles/val_analytic_vs_sim.dir/val_analytic_vs_sim.cc.o"
+  "CMakeFiles/val_analytic_vs_sim.dir/val_analytic_vs_sim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/val_analytic_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocked_matmul.dir/blocked_matmul.cpp.o"
+  "CMakeFiles/blocked_matmul.dir/blocked_matmul.cpp.o.d"
+  "blocked_matmul"
+  "blocked_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocked_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vcache_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/vcache_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/vpu/CMakeFiles/vcache_vpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/vcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vcache_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/vcache_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/address/CMakeFiles/vcache_address.dir/DependInfo.cmake"
+  "/root/repo/build/src/numtheory/CMakeFiles/vcache_numtheory.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subblock_planner.dir/subblock_planner.cpp.o"
+  "CMakeFiles/subblock_planner.dir/subblock_planner.cpp.o.d"
+  "subblock_planner"
+  "subblock_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subblock_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_sim.dir/trace_sim.cpp.o"
+  "CMakeFiles/trace_sim.dir/trace_sim.cpp.o.d"
+  "trace_sim"
+  "trace_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

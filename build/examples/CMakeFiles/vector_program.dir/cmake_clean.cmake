@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_program.dir/vector_program.cpp.o"
+  "CMakeFiles/vector_program.dir/vector_program.cpp.o.d"
+  "vector_program"
+  "vector_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

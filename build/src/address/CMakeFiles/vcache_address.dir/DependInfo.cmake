@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/address/eac_adder.cc" "src/address/CMakeFiles/vcache_address.dir/eac_adder.cc.o" "gcc" "src/address/CMakeFiles/vcache_address.dir/eac_adder.cc.o.d"
+  "/root/repo/src/address/fields.cc" "src/address/CMakeFiles/vcache_address.dir/fields.cc.o" "gcc" "src/address/CMakeFiles/vcache_address.dir/fields.cc.o.d"
+  "/root/repo/src/address/index_gen.cc" "src/address/CMakeFiles/vcache_address.dir/index_gen.cc.o" "gcc" "src/address/CMakeFiles/vcache_address.dir/index_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numtheory/CMakeFiles/vcache_numtheory.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

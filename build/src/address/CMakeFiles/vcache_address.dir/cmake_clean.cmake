@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcache_address.dir/eac_adder.cc.o"
+  "CMakeFiles/vcache_address.dir/eac_adder.cc.o.d"
+  "CMakeFiles/vcache_address.dir/fields.cc.o"
+  "CMakeFiles/vcache_address.dir/fields.cc.o.d"
+  "CMakeFiles/vcache_address.dir/index_gen.cc.o"
+  "CMakeFiles/vcache_address.dir/index_gen.cc.o.d"
+  "libvcache_address.a"
+  "libvcache_address.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcache_address.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

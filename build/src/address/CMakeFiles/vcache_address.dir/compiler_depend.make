@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vcache_address.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/cc_model.cc" "src/analytic/CMakeFiles/vcache_analytic.dir/cc_model.cc.o" "gcc" "src/analytic/CMakeFiles/vcache_analytic.dir/cc_model.cc.o.d"
+  "/root/repo/src/analytic/fft_model.cc" "src/analytic/CMakeFiles/vcache_analytic.dir/fft_model.cc.o" "gcc" "src/analytic/CMakeFiles/vcache_analytic.dir/fft_model.cc.o.d"
+  "/root/repo/src/analytic/machine.cc" "src/analytic/CMakeFiles/vcache_analytic.dir/machine.cc.o" "gcc" "src/analytic/CMakeFiles/vcache_analytic.dir/machine.cc.o.d"
+  "/root/repo/src/analytic/mm_model.cc" "src/analytic/CMakeFiles/vcache_analytic.dir/mm_model.cc.o" "gcc" "src/analytic/CMakeFiles/vcache_analytic.dir/mm_model.cc.o.d"
+  "/root/repo/src/analytic/model.cc" "src/analytic/CMakeFiles/vcache_analytic.dir/model.cc.o" "gcc" "src/analytic/CMakeFiles/vcache_analytic.dir/model.cc.o.d"
+  "/root/repo/src/analytic/presets.cc" "src/analytic/CMakeFiles/vcache_analytic.dir/presets.cc.o" "gcc" "src/analytic/CMakeFiles/vcache_analytic.dir/presets.cc.o.d"
+  "/root/repo/src/analytic/subblock_model.cc" "src/analytic/CMakeFiles/vcache_analytic.dir/subblock_model.cc.o" "gcc" "src/analytic/CMakeFiles/vcache_analytic.dir/subblock_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memory/CMakeFiles/vcache_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/numtheory/CMakeFiles/vcache_numtheory.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcache_analytic.dir/cc_model.cc.o"
+  "CMakeFiles/vcache_analytic.dir/cc_model.cc.o.d"
+  "CMakeFiles/vcache_analytic.dir/fft_model.cc.o"
+  "CMakeFiles/vcache_analytic.dir/fft_model.cc.o.d"
+  "CMakeFiles/vcache_analytic.dir/machine.cc.o"
+  "CMakeFiles/vcache_analytic.dir/machine.cc.o.d"
+  "CMakeFiles/vcache_analytic.dir/mm_model.cc.o"
+  "CMakeFiles/vcache_analytic.dir/mm_model.cc.o.d"
+  "CMakeFiles/vcache_analytic.dir/model.cc.o"
+  "CMakeFiles/vcache_analytic.dir/model.cc.o.d"
+  "CMakeFiles/vcache_analytic.dir/presets.cc.o"
+  "CMakeFiles/vcache_analytic.dir/presets.cc.o.d"
+  "CMakeFiles/vcache_analytic.dir/subblock_model.cc.o"
+  "CMakeFiles/vcache_analytic.dir/subblock_model.cc.o.d"
+  "libvcache_analytic.a"
+  "libvcache_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcache_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

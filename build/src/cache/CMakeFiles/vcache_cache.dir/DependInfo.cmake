@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/cache/CMakeFiles/vcache_cache.dir/cache.cc.o" "gcc" "src/cache/CMakeFiles/vcache_cache.dir/cache.cc.o.d"
+  "/root/repo/src/cache/classify.cc" "src/cache/CMakeFiles/vcache_cache.dir/classify.cc.o" "gcc" "src/cache/CMakeFiles/vcache_cache.dir/classify.cc.o.d"
+  "/root/repo/src/cache/direct.cc" "src/cache/CMakeFiles/vcache_cache.dir/direct.cc.o" "gcc" "src/cache/CMakeFiles/vcache_cache.dir/direct.cc.o.d"
+  "/root/repo/src/cache/factory.cc" "src/cache/CMakeFiles/vcache_cache.dir/factory.cc.o" "gcc" "src/cache/CMakeFiles/vcache_cache.dir/factory.cc.o.d"
+  "/root/repo/src/cache/prefetch.cc" "src/cache/CMakeFiles/vcache_cache.dir/prefetch.cc.o" "gcc" "src/cache/CMakeFiles/vcache_cache.dir/prefetch.cc.o.d"
+  "/root/repo/src/cache/prime.cc" "src/cache/CMakeFiles/vcache_cache.dir/prime.cc.o" "gcc" "src/cache/CMakeFiles/vcache_cache.dir/prime.cc.o.d"
+  "/root/repo/src/cache/prime_assoc.cc" "src/cache/CMakeFiles/vcache_cache.dir/prime_assoc.cc.o" "gcc" "src/cache/CMakeFiles/vcache_cache.dir/prime_assoc.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/cache/CMakeFiles/vcache_cache.dir/replacement.cc.o" "gcc" "src/cache/CMakeFiles/vcache_cache.dir/replacement.cc.o.d"
+  "/root/repo/src/cache/set_assoc.cc" "src/cache/CMakeFiles/vcache_cache.dir/set_assoc.cc.o" "gcc" "src/cache/CMakeFiles/vcache_cache.dir/set_assoc.cc.o.d"
+  "/root/repo/src/cache/xor_mapped.cc" "src/cache/CMakeFiles/vcache_cache.dir/xor_mapped.cc.o" "gcc" "src/cache/CMakeFiles/vcache_cache.dir/xor_mapped.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/address/CMakeFiles/vcache_address.dir/DependInfo.cmake"
+  "/root/repo/build/src/numtheory/CMakeFiles/vcache_numtheory.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcache_cache.dir/cache.cc.o"
+  "CMakeFiles/vcache_cache.dir/cache.cc.o.d"
+  "CMakeFiles/vcache_cache.dir/classify.cc.o"
+  "CMakeFiles/vcache_cache.dir/classify.cc.o.d"
+  "CMakeFiles/vcache_cache.dir/direct.cc.o"
+  "CMakeFiles/vcache_cache.dir/direct.cc.o.d"
+  "CMakeFiles/vcache_cache.dir/factory.cc.o"
+  "CMakeFiles/vcache_cache.dir/factory.cc.o.d"
+  "CMakeFiles/vcache_cache.dir/prefetch.cc.o"
+  "CMakeFiles/vcache_cache.dir/prefetch.cc.o.d"
+  "CMakeFiles/vcache_cache.dir/prime.cc.o"
+  "CMakeFiles/vcache_cache.dir/prime.cc.o.d"
+  "CMakeFiles/vcache_cache.dir/prime_assoc.cc.o"
+  "CMakeFiles/vcache_cache.dir/prime_assoc.cc.o.d"
+  "CMakeFiles/vcache_cache.dir/replacement.cc.o"
+  "CMakeFiles/vcache_cache.dir/replacement.cc.o.d"
+  "CMakeFiles/vcache_cache.dir/set_assoc.cc.o"
+  "CMakeFiles/vcache_cache.dir/set_assoc.cc.o.d"
+  "CMakeFiles/vcache_cache.dir/xor_mapped.cc.o"
+  "CMakeFiles/vcache_cache.dir/xor_mapped.cc.o.d"
+  "libvcache_cache.a"
+  "libvcache_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcache_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

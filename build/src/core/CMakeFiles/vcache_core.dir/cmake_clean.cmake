@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcache_core.dir/comparison.cc.o"
+  "CMakeFiles/vcache_core.dir/comparison.cc.o.d"
+  "CMakeFiles/vcache_core.dir/configio.cc.o"
+  "CMakeFiles/vcache_core.dir/configio.cc.o.d"
+  "CMakeFiles/vcache_core.dir/defaults.cc.o"
+  "CMakeFiles/vcache_core.dir/defaults.cc.o.d"
+  "CMakeFiles/vcache_core.dir/reporting.cc.o"
+  "CMakeFiles/vcache_core.dir/reporting.cc.o.d"
+  "libvcache_core.a"
+  "libvcache_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcache_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

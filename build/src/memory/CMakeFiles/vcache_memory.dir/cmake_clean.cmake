@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcache_memory.dir/bus.cc.o"
+  "CMakeFiles/vcache_memory.dir/bus.cc.o.d"
+  "CMakeFiles/vcache_memory.dir/interleaved.cc.o"
+  "CMakeFiles/vcache_memory.dir/interleaved.cc.o.d"
+  "CMakeFiles/vcache_memory.dir/sweep_model.cc.o"
+  "CMakeFiles/vcache_memory.dir/sweep_model.cc.o.d"
+  "libvcache_memory.a"
+  "libvcache_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcache_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

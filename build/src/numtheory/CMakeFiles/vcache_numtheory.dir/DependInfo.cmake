@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numtheory/congruence.cc" "src/numtheory/CMakeFiles/vcache_numtheory.dir/congruence.cc.o" "gcc" "src/numtheory/CMakeFiles/vcache_numtheory.dir/congruence.cc.o.d"
+  "/root/repo/src/numtheory/divisors.cc" "src/numtheory/CMakeFiles/vcache_numtheory.dir/divisors.cc.o" "gcc" "src/numtheory/CMakeFiles/vcache_numtheory.dir/divisors.cc.o.d"
+  "/root/repo/src/numtheory/gcd.cc" "src/numtheory/CMakeFiles/vcache_numtheory.dir/gcd.cc.o" "gcc" "src/numtheory/CMakeFiles/vcache_numtheory.dir/gcd.cc.o.d"
+  "/root/repo/src/numtheory/mersenne.cc" "src/numtheory/CMakeFiles/vcache_numtheory.dir/mersenne.cc.o" "gcc" "src/numtheory/CMakeFiles/vcache_numtheory.dir/mersenne.cc.o.d"
+  "/root/repo/src/numtheory/primality.cc" "src/numtheory/CMakeFiles/vcache_numtheory.dir/primality.cc.o" "gcc" "src/numtheory/CMakeFiles/vcache_numtheory.dir/primality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

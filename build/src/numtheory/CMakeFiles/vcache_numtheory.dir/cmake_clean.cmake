@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcache_numtheory.dir/congruence.cc.o"
+  "CMakeFiles/vcache_numtheory.dir/congruence.cc.o.d"
+  "CMakeFiles/vcache_numtheory.dir/divisors.cc.o"
+  "CMakeFiles/vcache_numtheory.dir/divisors.cc.o.d"
+  "CMakeFiles/vcache_numtheory.dir/gcd.cc.o"
+  "CMakeFiles/vcache_numtheory.dir/gcd.cc.o.d"
+  "CMakeFiles/vcache_numtheory.dir/mersenne.cc.o"
+  "CMakeFiles/vcache_numtheory.dir/mersenne.cc.o.d"
+  "CMakeFiles/vcache_numtheory.dir/primality.cc.o"
+  "CMakeFiles/vcache_numtheory.dir/primality.cc.o.d"
+  "libvcache_numtheory.a"
+  "libvcache_numtheory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcache_numtheory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcache_sim.dir/cc_sim.cc.o"
+  "CMakeFiles/vcache_sim.dir/cc_sim.cc.o.d"
+  "CMakeFiles/vcache_sim.dir/mm_sim.cc.o"
+  "CMakeFiles/vcache_sim.dir/mm_sim.cc.o.d"
+  "CMakeFiles/vcache_sim.dir/result.cc.o"
+  "CMakeFiles/vcache_sim.dir/result.cc.o.d"
+  "CMakeFiles/vcache_sim.dir/runner.cc.o"
+  "CMakeFiles/vcache_sim.dir/runner.cc.o.d"
+  "libvcache_sim.a"
+  "libvcache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

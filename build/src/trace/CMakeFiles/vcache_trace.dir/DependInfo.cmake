@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/access.cc" "src/trace/CMakeFiles/vcache_trace.dir/access.cc.o" "gcc" "src/trace/CMakeFiles/vcache_trace.dir/access.cc.o.d"
+  "/root/repo/src/trace/banded.cc" "src/trace/CMakeFiles/vcache_trace.dir/banded.cc.o" "gcc" "src/trace/CMakeFiles/vcache_trace.dir/banded.cc.o.d"
+  "/root/repo/src/trace/fft.cc" "src/trace/CMakeFiles/vcache_trace.dir/fft.cc.o" "gcc" "src/trace/CMakeFiles/vcache_trace.dir/fft.cc.o.d"
+  "/root/repo/src/trace/fft_reference.cc" "src/trace/CMakeFiles/vcache_trace.dir/fft_reference.cc.o" "gcc" "src/trace/CMakeFiles/vcache_trace.dir/fft_reference.cc.o.d"
+  "/root/repo/src/trace/loader.cc" "src/trace/CMakeFiles/vcache_trace.dir/loader.cc.o" "gcc" "src/trace/CMakeFiles/vcache_trace.dir/loader.cc.o.d"
+  "/root/repo/src/trace/lu.cc" "src/trace/CMakeFiles/vcache_trace.dir/lu.cc.o" "gcc" "src/trace/CMakeFiles/vcache_trace.dir/lu.cc.o.d"
+  "/root/repo/src/trace/matmul.cc" "src/trace/CMakeFiles/vcache_trace.dir/matmul.cc.o" "gcc" "src/trace/CMakeFiles/vcache_trace.dir/matmul.cc.o.d"
+  "/root/repo/src/trace/matrix_access.cc" "src/trace/CMakeFiles/vcache_trace.dir/matrix_access.cc.o" "gcc" "src/trace/CMakeFiles/vcache_trace.dir/matrix_access.cc.o.d"
+  "/root/repo/src/trace/multistride.cc" "src/trace/CMakeFiles/vcache_trace.dir/multistride.cc.o" "gcc" "src/trace/CMakeFiles/vcache_trace.dir/multistride.cc.o.d"
+  "/root/repo/src/trace/subblock.cc" "src/trace/CMakeFiles/vcache_trace.dir/subblock.cc.o" "gcc" "src/trace/CMakeFiles/vcache_trace.dir/subblock.cc.o.d"
+  "/root/repo/src/trace/transpose.cc" "src/trace/CMakeFiles/vcache_trace.dir/transpose.cc.o" "gcc" "src/trace/CMakeFiles/vcache_trace.dir/transpose.cc.o.d"
+  "/root/repo/src/trace/vcm.cc" "src/trace/CMakeFiles/vcache_trace.dir/vcm.cc.o" "gcc" "src/trace/CMakeFiles/vcache_trace.dir/vcm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numtheory/CMakeFiles/vcache_numtheory.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcache_trace.dir/access.cc.o"
+  "CMakeFiles/vcache_trace.dir/access.cc.o.d"
+  "CMakeFiles/vcache_trace.dir/banded.cc.o"
+  "CMakeFiles/vcache_trace.dir/banded.cc.o.d"
+  "CMakeFiles/vcache_trace.dir/fft.cc.o"
+  "CMakeFiles/vcache_trace.dir/fft.cc.o.d"
+  "CMakeFiles/vcache_trace.dir/fft_reference.cc.o"
+  "CMakeFiles/vcache_trace.dir/fft_reference.cc.o.d"
+  "CMakeFiles/vcache_trace.dir/loader.cc.o"
+  "CMakeFiles/vcache_trace.dir/loader.cc.o.d"
+  "CMakeFiles/vcache_trace.dir/lu.cc.o"
+  "CMakeFiles/vcache_trace.dir/lu.cc.o.d"
+  "CMakeFiles/vcache_trace.dir/matmul.cc.o"
+  "CMakeFiles/vcache_trace.dir/matmul.cc.o.d"
+  "CMakeFiles/vcache_trace.dir/matrix_access.cc.o"
+  "CMakeFiles/vcache_trace.dir/matrix_access.cc.o.d"
+  "CMakeFiles/vcache_trace.dir/multistride.cc.o"
+  "CMakeFiles/vcache_trace.dir/multistride.cc.o.d"
+  "CMakeFiles/vcache_trace.dir/subblock.cc.o"
+  "CMakeFiles/vcache_trace.dir/subblock.cc.o.d"
+  "CMakeFiles/vcache_trace.dir/transpose.cc.o"
+  "CMakeFiles/vcache_trace.dir/transpose.cc.o.d"
+  "CMakeFiles/vcache_trace.dir/vcm.cc.o"
+  "CMakeFiles/vcache_trace.dir/vcm.cc.o.d"
+  "libvcache_trace.a"
+  "libvcache_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcache_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

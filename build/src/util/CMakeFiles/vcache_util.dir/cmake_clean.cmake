@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcache_util.dir/cli.cc.o"
+  "CMakeFiles/vcache_util.dir/cli.cc.o.d"
+  "CMakeFiles/vcache_util.dir/config.cc.o"
+  "CMakeFiles/vcache_util.dir/config.cc.o.d"
+  "CMakeFiles/vcache_util.dir/logging.cc.o"
+  "CMakeFiles/vcache_util.dir/logging.cc.o.d"
+  "CMakeFiles/vcache_util.dir/rng.cc.o"
+  "CMakeFiles/vcache_util.dir/rng.cc.o.d"
+  "CMakeFiles/vcache_util.dir/statdump.cc.o"
+  "CMakeFiles/vcache_util.dir/statdump.cc.o.d"
+  "CMakeFiles/vcache_util.dir/stats.cc.o"
+  "CMakeFiles/vcache_util.dir/stats.cc.o.d"
+  "CMakeFiles/vcache_util.dir/strides.cc.o"
+  "CMakeFiles/vcache_util.dir/strides.cc.o.d"
+  "CMakeFiles/vcache_util.dir/table.cc.o"
+  "CMakeFiles/vcache_util.dir/table.cc.o.d"
+  "libvcache_util.a"
+  "libvcache_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcache_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

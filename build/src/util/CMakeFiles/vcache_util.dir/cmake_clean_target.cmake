@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvcache_util.a"
+)

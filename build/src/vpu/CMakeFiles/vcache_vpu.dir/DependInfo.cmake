@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vpu/chime.cc" "src/vpu/CMakeFiles/vcache_vpu.dir/chime.cc.o" "gcc" "src/vpu/CMakeFiles/vcache_vpu.dir/chime.cc.o.d"
+  "/root/repo/src/vpu/machine.cc" "src/vpu/CMakeFiles/vcache_vpu.dir/machine.cc.o" "gcc" "src/vpu/CMakeFiles/vcache_vpu.dir/machine.cc.o.d"
+  "/root/repo/src/vpu/program.cc" "src/vpu/CMakeFiles/vcache_vpu.dir/program.cc.o" "gcc" "src/vpu/CMakeFiles/vcache_vpu.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/vcache_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcache_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/numtheory/CMakeFiles/vcache_numtheory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcache_vpu.dir/chime.cc.o"
+  "CMakeFiles/vcache_vpu.dir/chime.cc.o.d"
+  "CMakeFiles/vcache_vpu.dir/machine.cc.o"
+  "CMakeFiles/vcache_vpu.dir/machine.cc.o.d"
+  "CMakeFiles/vcache_vpu.dir/program.cc.o"
+  "CMakeFiles/vcache_vpu.dir/program.cc.o.d"
+  "libvcache_vpu.a"
+  "libvcache_vpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcache_vpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytic.dir/analytic/cc_model_test.cc.o"
+  "CMakeFiles/test_analytic.dir/analytic/cc_model_test.cc.o.d"
+  "CMakeFiles/test_analytic.dir/analytic/fft_model_test.cc.o"
+  "CMakeFiles/test_analytic.dir/analytic/fft_model_test.cc.o.d"
+  "CMakeFiles/test_analytic.dir/analytic/mm_model_test.cc.o"
+  "CMakeFiles/test_analytic.dir/analytic/mm_model_test.cc.o.d"
+  "CMakeFiles/test_analytic.dir/analytic/model_test.cc.o"
+  "CMakeFiles/test_analytic.dir/analytic/model_test.cc.o.d"
+  "CMakeFiles/test_analytic.dir/analytic/presets_test.cc.o"
+  "CMakeFiles/test_analytic.dir/analytic/presets_test.cc.o.d"
+  "CMakeFiles/test_analytic.dir/analytic/subblock_model_test.cc.o"
+  "CMakeFiles/test_analytic.dir/analytic/subblock_model_test.cc.o.d"
+  "test_analytic"
+  "test_analytic.pdb"
+  "test_analytic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

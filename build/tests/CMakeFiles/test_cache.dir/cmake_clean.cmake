@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache.dir/cache/classify_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/classify_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/differential_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/differential_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/direct_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/direct_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/factory_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/factory_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/prefetch_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/prefetch_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/prime_assoc_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/prime_assoc_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/prime_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/prime_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/set_assoc_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/set_assoc_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/xor_mapped_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/xor_mapped_test.cc.o.d"
+  "test_cache"
+  "test_cache.pdb"
+  "test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

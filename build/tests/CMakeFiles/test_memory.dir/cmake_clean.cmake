@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory.dir/memory/bus_test.cc.o"
+  "CMakeFiles/test_memory.dir/memory/bus_test.cc.o.d"
+  "CMakeFiles/test_memory.dir/memory/interleaved_test.cc.o"
+  "CMakeFiles/test_memory.dir/memory/interleaved_test.cc.o.d"
+  "CMakeFiles/test_memory.dir/memory/skewed_test.cc.o"
+  "CMakeFiles/test_memory.dir/memory/skewed_test.cc.o.d"
+  "test_memory"
+  "test_memory.pdb"
+  "test_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numtheory.dir/numtheory/congruence_test.cc.o"
+  "CMakeFiles/test_numtheory.dir/numtheory/congruence_test.cc.o.d"
+  "CMakeFiles/test_numtheory.dir/numtheory/divisors_test.cc.o"
+  "CMakeFiles/test_numtheory.dir/numtheory/divisors_test.cc.o.d"
+  "CMakeFiles/test_numtheory.dir/numtheory/gcd_test.cc.o"
+  "CMakeFiles/test_numtheory.dir/numtheory/gcd_test.cc.o.d"
+  "CMakeFiles/test_numtheory.dir/numtheory/mersenne_test.cc.o"
+  "CMakeFiles/test_numtheory.dir/numtheory/mersenne_test.cc.o.d"
+  "CMakeFiles/test_numtheory.dir/numtheory/primality_test.cc.o"
+  "CMakeFiles/test_numtheory.dir/numtheory/primality_test.cc.o.d"
+  "test_numtheory"
+  "test_numtheory.pdb"
+  "test_numtheory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numtheory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/access_test.cc.o"
+  "CMakeFiles/test_trace.dir/trace/access_test.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/fft_reference_test.cc.o"
+  "CMakeFiles/test_trace.dir/trace/fft_reference_test.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/loader_test.cc.o"
+  "CMakeFiles/test_trace.dir/trace/loader_test.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/vcm_test.cc.o"
+  "CMakeFiles/test_trace.dir/trace/vcm_test.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/workloads_test.cc.o"
+  "CMakeFiles/test_trace.dir/trace/workloads_test.cc.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

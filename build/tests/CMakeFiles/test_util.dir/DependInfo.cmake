@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/cli_test.cc" "tests/CMakeFiles/test_util.dir/util/cli_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/cli_test.cc.o.d"
+  "/root/repo/tests/util/config_test.cc" "tests/CMakeFiles/test_util.dir/util/config_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/config_test.cc.o.d"
+  "/root/repo/tests/util/logging_test.cc" "tests/CMakeFiles/test_util.dir/util/logging_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/logging_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/test_util.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/statdump_test.cc" "tests/CMakeFiles/test_util.dir/util/statdump_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/statdump_test.cc.o.d"
+  "/root/repo/tests/util/stats_test.cc" "tests/CMakeFiles/test_util.dir/util/stats_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/stats_test.cc.o.d"
+  "/root/repo/tests/util/strides_test.cc" "tests/CMakeFiles/test_util.dir/util/strides_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/strides_test.cc.o.d"
+  "/root/repo/tests/util/table_test.cc" "tests/CMakeFiles/test_util.dir/util/table_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vcache_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/vcache_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/vpu/CMakeFiles/vcache_vpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/vcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vcache_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/vcache_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/address/CMakeFiles/vcache_address.dir/DependInfo.cmake"
+  "/root/repo/build/src/numtheory/CMakeFiles/vcache_numtheory.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

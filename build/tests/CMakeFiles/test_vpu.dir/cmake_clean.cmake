@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vpu.dir/vpu/chime_test.cc.o"
+  "CMakeFiles/test_vpu.dir/vpu/chime_test.cc.o.d"
+  "CMakeFiles/test_vpu.dir/vpu/machine_test.cc.o"
+  "CMakeFiles/test_vpu.dir/vpu/machine_test.cc.o.d"
+  "test_vpu"
+  "test_vpu.pdb"
+  "test_vpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/build/tests/headers/selfcheck_address_eac_adder.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_address_eac_adder.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_address_eac_adder.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_address_fields.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_address_fields.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_address_fields.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_address_index_gen.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_address_index_gen.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_address_index_gen.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_analytic_cc_model.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_analytic_cc_model.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_analytic_cc_model.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_analytic_fft_model.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_analytic_fft_model.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_analytic_fft_model.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_analytic_machine.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_analytic_machine.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_analytic_machine.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_analytic_mm_model.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_analytic_mm_model.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_analytic_mm_model.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_analytic_model.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_analytic_model.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_analytic_model.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_analytic_presets.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_analytic_presets.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_analytic_presets.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_analytic_subblock_model.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_analytic_subblock_model.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_analytic_subblock_model.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_cache_cache.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_cache.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_cache.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_cache_classify.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_classify.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_classify.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_cache_direct.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_direct.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_direct.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_cache_factory.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_factory.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_factory.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_cache_prefetch.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_prefetch.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_prefetch.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_cache_prime.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_prime.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_prime.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_cache_prime_assoc.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_prime_assoc.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_prime_assoc.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_cache_replacement.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_replacement.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_replacement.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_cache_set_assoc.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_set_assoc.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_set_assoc.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_cache_stats.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_stats.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_stats.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_cache_xor_mapped.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_xor_mapped.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_cache_xor_mapped.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_core_comparison.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_core_comparison.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_core_comparison.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_core_configio.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_core_configio.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_core_configio.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_core_defaults.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_core_defaults.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_core_defaults.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_core_reporting.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_core_reporting.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_core_reporting.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_core_vcache.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_core_vcache.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_core_vcache.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_memory_bus.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_memory_bus.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_memory_bus.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_memory_interleaved.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_memory_interleaved.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_memory_interleaved.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_memory_sweep_model.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_memory_sweep_model.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_memory_sweep_model.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_numtheory_congruence.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_numtheory_congruence.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_numtheory_congruence.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_numtheory_divisors.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_numtheory_divisors.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_numtheory_divisors.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_numtheory_gcd.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_numtheory_gcd.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_numtheory_gcd.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_numtheory_mersenne.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_numtheory_mersenne.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_numtheory_mersenne.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_numtheory_primality.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_numtheory_primality.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_numtheory_primality.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_sim_cc_sim.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_sim_cc_sim.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_sim_cc_sim.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_sim_mm_sim.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_sim_mm_sim.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_sim_mm_sim.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_sim_result.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_sim_result.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_sim_result.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_sim_runner.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_sim_runner.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_sim_runner.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_trace_access.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_access.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_access.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_trace_banded.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_banded.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_banded.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_trace_fft.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_fft.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_fft.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_trace_fft_reference.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_fft_reference.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_fft_reference.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_trace_loader.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_loader.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_loader.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_trace_lu.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_lu.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_lu.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_trace_matmul.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_matmul.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_matmul.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_trace_matrix_access.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_matrix_access.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_matrix_access.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_trace_multistride.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_multistride.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_multistride.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_trace_subblock.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_subblock.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_subblock.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_trace_transpose.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_transpose.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_transpose.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_trace_vcm.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_vcm.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_trace_vcm.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_util_cli.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_cli.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_cli.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_util_config.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_config.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_config.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_util_logging.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_logging.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_logging.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_util_rng.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_rng.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_rng.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_util_statdump.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_statdump.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_statdump.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_util_stats.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_stats.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_stats.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_util_strides.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_strides.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_strides.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_util_table.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_table.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_table.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_util_types.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_types.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_util_types.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_vpu_chime.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_vpu_chime.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_vpu_chime.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_vpu_isa.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_vpu_isa.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_vpu_isa.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_vpu_machine.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_vpu_machine.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_vpu_machine.cc.o.d"
+  "/root/repo/build/tests/headers/selfcheck_vpu_program.cc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_vpu_program.cc.o" "gcc" "tests/headers/CMakeFiles/header_selfcheck.dir/selfcheck_vpu_program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

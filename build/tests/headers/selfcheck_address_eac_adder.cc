@@ -1,0 +1,3 @@
+// Auto-generated: address/eac_adder.hh must compile standalone.
+#include "address/eac_adder.hh"
+#include "address/eac_adder.hh"  // and be include-guarded

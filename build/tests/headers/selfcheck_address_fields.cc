@@ -1,0 +1,3 @@
+// Auto-generated: address/fields.hh must compile standalone.
+#include "address/fields.hh"
+#include "address/fields.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: address/index_gen.hh must compile standalone.
+#include "address/index_gen.hh"
+#include "address/index_gen.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: analytic/cc_model.hh must compile standalone.
+#include "analytic/cc_model.hh"
+#include "analytic/cc_model.hh"  // and be include-guarded

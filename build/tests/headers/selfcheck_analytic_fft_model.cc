@@ -1,0 +1,3 @@
+// Auto-generated: analytic/fft_model.hh must compile standalone.
+#include "analytic/fft_model.hh"
+#include "analytic/fft_model.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: analytic/machine.hh must compile standalone.
+#include "analytic/machine.hh"
+#include "analytic/machine.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: analytic/mm_model.hh must compile standalone.
+#include "analytic/mm_model.hh"
+#include "analytic/mm_model.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: analytic/model.hh must compile standalone.
+#include "analytic/model.hh"
+#include "analytic/model.hh"  // and be include-guarded

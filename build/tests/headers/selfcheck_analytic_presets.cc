@@ -1,0 +1,3 @@
+// Auto-generated: analytic/presets.hh must compile standalone.
+#include "analytic/presets.hh"
+#include "analytic/presets.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: analytic/subblock_model.hh must compile standalone.
+#include "analytic/subblock_model.hh"
+#include "analytic/subblock_model.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: cache/cache.hh must compile standalone.
+#include "cache/cache.hh"
+#include "cache/cache.hh"  // and be include-guarded

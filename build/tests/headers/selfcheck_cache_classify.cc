@@ -1,0 +1,3 @@
+// Auto-generated: cache/classify.hh must compile standalone.
+#include "cache/classify.hh"
+#include "cache/classify.hh"  // and be include-guarded

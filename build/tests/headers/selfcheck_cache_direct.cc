@@ -1,0 +1,3 @@
+// Auto-generated: cache/direct.hh must compile standalone.
+#include "cache/direct.hh"
+#include "cache/direct.hh"  // and be include-guarded

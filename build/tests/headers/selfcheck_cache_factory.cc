@@ -1,0 +1,3 @@
+// Auto-generated: cache/factory.hh must compile standalone.
+#include "cache/factory.hh"
+#include "cache/factory.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: cache/prefetch.hh must compile standalone.
+#include "cache/prefetch.hh"
+#include "cache/prefetch.hh"  // and be include-guarded

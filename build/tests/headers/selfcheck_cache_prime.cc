@@ -1,0 +1,3 @@
+// Auto-generated: cache/prime.hh must compile standalone.
+#include "cache/prime.hh"
+#include "cache/prime.hh"  // and be include-guarded

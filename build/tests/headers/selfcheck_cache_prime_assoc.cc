@@ -1,0 +1,3 @@
+// Auto-generated: cache/prime_assoc.hh must compile standalone.
+#include "cache/prime_assoc.hh"
+#include "cache/prime_assoc.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: cache/replacement.hh must compile standalone.
+#include "cache/replacement.hh"
+#include "cache/replacement.hh"  // and be include-guarded

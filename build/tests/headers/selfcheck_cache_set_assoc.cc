@@ -1,0 +1,3 @@
+// Auto-generated: cache/set_assoc.hh must compile standalone.
+#include "cache/set_assoc.hh"
+#include "cache/set_assoc.hh"  // and be include-guarded

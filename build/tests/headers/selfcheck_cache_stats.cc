@@ -1,0 +1,3 @@
+// Auto-generated: cache/stats.hh must compile standalone.
+#include "cache/stats.hh"
+#include "cache/stats.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: cache/xor_mapped.hh must compile standalone.
+#include "cache/xor_mapped.hh"
+#include "cache/xor_mapped.hh"  // and be include-guarded

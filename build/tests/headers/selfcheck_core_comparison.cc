@@ -1,0 +1,3 @@
+// Auto-generated: core/comparison.hh must compile standalone.
+#include "core/comparison.hh"
+#include "core/comparison.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: core/configio.hh must compile standalone.
+#include "core/configio.hh"
+#include "core/configio.hh"  // and be include-guarded

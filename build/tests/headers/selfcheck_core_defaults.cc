@@ -1,0 +1,3 @@
+// Auto-generated: core/defaults.hh must compile standalone.
+#include "core/defaults.hh"
+#include "core/defaults.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: core/reporting.hh must compile standalone.
+#include "core/reporting.hh"
+#include "core/reporting.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: core/vcache.hh must compile standalone.
+#include "core/vcache.hh"
+#include "core/vcache.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: memory/bus.hh must compile standalone.
+#include "memory/bus.hh"
+#include "memory/bus.hh"  // and be include-guarded

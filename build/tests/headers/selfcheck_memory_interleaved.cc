@@ -1,0 +1,3 @@
+// Auto-generated: memory/interleaved.hh must compile standalone.
+#include "memory/interleaved.hh"
+#include "memory/interleaved.hh"  // and be include-guarded

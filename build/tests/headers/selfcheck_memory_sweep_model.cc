@@ -1,0 +1,3 @@
+// Auto-generated: memory/sweep_model.hh must compile standalone.
+#include "memory/sweep_model.hh"
+#include "memory/sweep_model.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: numtheory/congruence.hh must compile standalone.
+#include "numtheory/congruence.hh"
+#include "numtheory/congruence.hh"  // and be include-guarded

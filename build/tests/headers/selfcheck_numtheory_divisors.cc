@@ -1,0 +1,3 @@
+// Auto-generated: numtheory/divisors.hh must compile standalone.
+#include "numtheory/divisors.hh"
+#include "numtheory/divisors.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: numtheory/gcd.hh must compile standalone.
+#include "numtheory/gcd.hh"
+#include "numtheory/gcd.hh"  // and be include-guarded

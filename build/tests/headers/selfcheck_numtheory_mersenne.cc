@@ -1,0 +1,3 @@
+// Auto-generated: numtheory/mersenne.hh must compile standalone.
+#include "numtheory/mersenne.hh"
+#include "numtheory/mersenne.hh"  // and be include-guarded

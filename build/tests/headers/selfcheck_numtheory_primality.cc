@@ -1,0 +1,3 @@
+// Auto-generated: numtheory/primality.hh must compile standalone.
+#include "numtheory/primality.hh"
+#include "numtheory/primality.hh"  // and be include-guarded

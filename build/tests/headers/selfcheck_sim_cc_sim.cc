@@ -1,0 +1,3 @@
+// Auto-generated: sim/cc_sim.hh must compile standalone.
+#include "sim/cc_sim.hh"
+#include "sim/cc_sim.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: sim/mm_sim.hh must compile standalone.
+#include "sim/mm_sim.hh"
+#include "sim/mm_sim.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: sim/result.hh must compile standalone.
+#include "sim/result.hh"
+#include "sim/result.hh"  // and be include-guarded

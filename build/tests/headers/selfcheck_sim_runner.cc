@@ -1,0 +1,3 @@
+// Auto-generated: sim/runner.hh must compile standalone.
+#include "sim/runner.hh"
+#include "sim/runner.hh"  // and be include-guarded

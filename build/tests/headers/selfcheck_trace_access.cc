@@ -1,0 +1,3 @@
+// Auto-generated: trace/access.hh must compile standalone.
+#include "trace/access.hh"
+#include "trace/access.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: trace/banded.hh must compile standalone.
+#include "trace/banded.hh"
+#include "trace/banded.hh"  // and be include-guarded

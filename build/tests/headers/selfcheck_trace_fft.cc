@@ -1,0 +1,3 @@
+// Auto-generated: trace/fft.hh must compile standalone.
+#include "trace/fft.hh"
+#include "trace/fft.hh"  // and be include-guarded

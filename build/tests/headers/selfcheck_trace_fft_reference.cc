@@ -1,0 +1,3 @@
+// Auto-generated: trace/fft_reference.hh must compile standalone.
+#include "trace/fft_reference.hh"
+#include "trace/fft_reference.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: trace/loader.hh must compile standalone.
+#include "trace/loader.hh"
+#include "trace/loader.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: trace/lu.hh must compile standalone.
+#include "trace/lu.hh"
+#include "trace/lu.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: trace/matmul.hh must compile standalone.
+#include "trace/matmul.hh"
+#include "trace/matmul.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: trace/matrix_access.hh must compile standalone.
+#include "trace/matrix_access.hh"
+#include "trace/matrix_access.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: trace/multistride.hh must compile standalone.
+#include "trace/multistride.hh"
+#include "trace/multistride.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: trace/subblock.hh must compile standalone.
+#include "trace/subblock.hh"
+#include "trace/subblock.hh"  // and be include-guarded

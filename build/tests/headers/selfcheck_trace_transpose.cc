@@ -1,0 +1,3 @@
+// Auto-generated: trace/transpose.hh must compile standalone.
+#include "trace/transpose.hh"
+#include "trace/transpose.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: trace/vcm.hh must compile standalone.
+#include "trace/vcm.hh"
+#include "trace/vcm.hh"  // and be include-guarded

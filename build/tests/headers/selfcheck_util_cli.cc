@@ -1,0 +1,3 @@
+// Auto-generated: util/cli.hh must compile standalone.
+#include "util/cli.hh"
+#include "util/cli.hh"  // and be include-guarded

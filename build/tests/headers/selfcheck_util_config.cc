@@ -1,0 +1,3 @@
+// Auto-generated: util/config.hh must compile standalone.
+#include "util/config.hh"
+#include "util/config.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: util/logging.hh must compile standalone.
+#include "util/logging.hh"
+#include "util/logging.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: util/rng.hh must compile standalone.
+#include "util/rng.hh"
+#include "util/rng.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: util/statdump.hh must compile standalone.
+#include "util/statdump.hh"
+#include "util/statdump.hh"  // and be include-guarded

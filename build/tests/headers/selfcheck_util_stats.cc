@@ -1,0 +1,3 @@
+// Auto-generated: util/stats.hh must compile standalone.
+#include "util/stats.hh"
+#include "util/stats.hh"  // and be include-guarded

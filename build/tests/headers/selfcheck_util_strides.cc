@@ -1,0 +1,3 @@
+// Auto-generated: util/strides.hh must compile standalone.
+#include "util/strides.hh"
+#include "util/strides.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: util/table.hh must compile standalone.
+#include "util/table.hh"
+#include "util/table.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: util/types.hh must compile standalone.
+#include "util/types.hh"
+#include "util/types.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: vpu/chime.hh must compile standalone.
+#include "vpu/chime.hh"
+#include "vpu/chime.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: vpu/isa.hh must compile standalone.
+#include "vpu/isa.hh"
+#include "vpu/isa.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: vpu/machine.hh must compile standalone.
+#include "vpu/machine.hh"
+#include "vpu/machine.hh"  // and be include-guarded

@@ -1,0 +1,3 @@
+// Auto-generated: vpu/program.hh must compile standalone.
+#include "vpu/program.hh"
+#include "vpu/program.hh"  // and be include-guarded
