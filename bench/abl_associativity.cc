@@ -11,23 +11,37 @@
  * "we will not see significant reduction in terms of interference
  * misses", and serial vector access defeats LRU; the prime mapping
  * removes the conflicts outright with direct-mapped lookup cost.
+ *
+ * Each (workload, organisation) cell is one independent classify run,
+ * fanned out by the parallel sweep engine (--jobs).
  */
 
+#include <cstdint>
 #include <functional>
 #include <iostream>
+#include <vector>
 
 #include "cache/factory.hh"
 #include "common.hh"
 #include "core/defaults.hh"
 #include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "trace/fft.hh"
 #include "trace/multistride.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vcache;
+
+    ArgParser args("Associativity ablation: miss ratio and conflict "
+                   "share by cache organisation.");
+    addSweepFlags(args);
+    args.parse(argc, argv);
+    const SweepOptions opts =
+        sweepOptionsFromFlags(args, "abl_associativity");
 
     banner("Associativity ablation (Section 2.1)",
            "miss ratio and conflict share by cache organisation",
@@ -74,8 +88,10 @@ main()
         configs.push_back({"2-way prime (2x capacity)", c});
     }
 
+    // Base seed 1 reproduces the historical multistride seed 4242.
     const auto multistride = generateMultistrideTrace(
-        MultistrideParams{2048, 48, 0.25, 8192, 0, 4}, 4242);
+        MultistrideParams{2048, 48, 0.25, 8192, 0, 4},
+        opts.seed + 4241);
     // 512x1024-point blocked FFT: the row phase strides by 1024, the
     // cleanest pure-interference workload.
     const auto fft = generateFft2dTrace(Fft2dParams{1024, 512, 0});
@@ -85,25 +101,59 @@ main()
         std::string name;
         const Trace &trace;
     };
-    const Workload workloads[] = {{"multistride", multistride},
-                                  {"blocked 2-D FFT", fft}};
+    const std::vector<Workload> workloads = {
+        {"multistride", multistride}, {"blocked 2-D FFT", fft}};
 
-    for (const auto &wl : workloads) {
-        std::cout << "workload: " << wl.name << "\n";
-        Table table({"organisation", "miss%", "compulsory", "capacity",
-                     "conflict", "conflict share%"});
-        for (const auto &cfg : configs) {
-            const auto cache = makeCache(cfg.config);
-            const auto breakdown = classifyTrace(*cache, wl.trace);
+    /** One classified cell of the result tables. */
+    struct CellResult
+    {
+        double missPct = 0.0;
+        std::uint64_t compulsory = 0;
+        std::uint64_t capacity = 0;
+        std::uint64_t conflict = 0;
+        double conflictShare = 0.0;
+    };
+
+    struct Cell
+    {
+        std::size_t workload;
+        std::size_t config;
+    };
+    std::vector<Cell> cells;
+    for (std::size_t wl = 0; wl < workloads.size(); ++wl)
+        for (std::size_t c = 0; c < configs.size(); ++c)
+            cells.push_back({wl, c});
+
+    const auto results = sweepGrid(
+        cells,
+        [&](const Cell &cell, SweepWorker &w) {
+            const auto cache = makeCache(configs[cell.config].config);
+            const auto breakdown = classifyTrace(
+                *cache, workloads[cell.workload].trace);
             const auto &stats = cache->stats();
-            const double conflict_share =
+            CellResult r;
+            r.missPct = 100.0 * stats.missRatio();
+            r.compulsory = breakdown.compulsory;
+            r.capacity = breakdown.capacity;
+            r.conflict = breakdown.conflict;
+            r.conflictShare =
                 stats.misses
                     ? 100.0 * static_cast<double>(breakdown.conflict) /
                           static_cast<double>(stats.misses)
                     : 0.0;
-            table.addRow(cfg.name, 100.0 * stats.missRatio(),
-                         breakdown.compulsory, breakdown.capacity,
-                         breakdown.conflict, conflict_share);
+            w.stats.add(r.missPct);
+            return r;
+        },
+        opts);
+
+    for (std::size_t wl = 0; wl < workloads.size(); ++wl) {
+        std::cout << "workload: " << workloads[wl].name << "\n";
+        Table table({"organisation", "miss%", "compulsory", "capacity",
+                     "conflict", "conflict share%"});
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const auto &r = results[wl * configs.size() + c];
+            table.addRow(configs[c].name, r.missPct, r.compulsory,
+                         r.capacity, r.conflict, r.conflictShare);
         }
         table.print(std::cout);
         std::cout << "\n";

@@ -11,24 +11,38 @@
  *                 serialises strides near M;
  *   xor-hash   -- digit-XOR placement, the pseudo-random flavour of
  *                 the schemes in [17]/[19]: good across the board.
+ *
+ * The per-stride table and the timed MM runs are independent grid
+ * points, evaluated by the parallel sweep engine (--jobs).
  */
 
+#include <cstdint>
 #include <iostream>
+#include <vector>
 
 #include "common.hh"
 #include "core/defaults.hh"
 #include "memory/interleaved.hh"
 #include "sim/runner.hh"
-#include "trace/vcm.hh"
-#include "util/stats.hh"
+#include "sim/sweep.hh"
 #include "trace/access.hh"
+#include "trace/vcm.hh"
+#include "util/cli.hh"
+#include "util/stats.hh"
 #include "util/strides.hh"
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vcache;
+
+    ArgParser args("Bank-placement ablation: stall cycles per element "
+                   "by storage scheme.");
+    addSweepFlags(args);
+    args.parse(argc, argv);
+    const SweepOptions opts =
+        sweepOptionsFromFlags(args, "abl_bank_skew");
 
     MachineParams machine = paperMachineM64();
     machine.memoryTime = 32;
@@ -48,39 +62,56 @@ main()
                static_cast<double>(n);
     };
 
-    Table table({"stride", "low-order", "skewed", "xor-hash",
-                 "prime(61)"});
-    for (const std::uint64_t stride :
-         {1ull, 2ull, 8ull, 16ull, 32ull, 61ull, 63ull, 64ull, 65ull,
-          128ull, 192ull, 1024ull}) {
-        table.addRow(stride, stalls(BankMapping::LowOrder, stride),
-                     stalls(BankMapping::Skewed, stride),
-                     stalls(BankMapping::XorHash, stride),
-                     stalls(BankMapping::PrimeModulo, stride));
-    }
-    table.print(std::cout);
-
-    // Average over the paper's stride distribution.
-    const StrideDistribution dist(0.25, machine.banks());
     constexpr int n_maps = 4;
-    double avg[n_maps] = {};
     const BankMapping mappings[n_maps] = {BankMapping::LowOrder,
                                           BankMapping::Skewed,
                                           BankMapping::XorHash,
                                           BankMapping::PrimeModulo};
-    for (std::uint64_t s = 1; s <= machine.banks(); ++s)
-        for (int i = 0; i < n_maps; ++i)
-            avg[i] += dist.probability(s) * stalls(mappings[i], s);
+    const char *names[n_maps] = {"low-order", "skewed", "xor-hash",
+                                 "prime(61)"};
+
+    // Per-stride table: each stride row (all four placements) is one
+    // grid point.
+    const std::vector<std::uint64_t> strides = {
+        1, 2, 8, 16, 32, 61, 63, 64, 65, 128, 192, 1024};
+    const auto stride_rows = sweepGrid(
+        strides,
+        [&](const std::uint64_t &stride, SweepWorker &) {
+            std::vector<std::string> row{Table::format(stride)};
+            for (int i = 0; i < n_maps; ++i)
+                row.push_back(
+                    Table::format(stalls(mappings[i], stride)));
+            return row;
+        },
+        opts);
+
+    Table table({"stride", "low-order", "skewed", "xor-hash",
+                 "prime(61)"});
+    for (const auto &row : stride_rows)
+        table.addRowStrings(row);
+    table.print(std::cout);
+
+    // Average over the paper's stride distribution: one grid point
+    // per placement, each integrating the full stride domain.
+    const StrideDistribution dist(0.25, machine.banks());
+    std::vector<int> placement_idx = {0, 1, 2, 3};
+    const auto avgs = sweepGrid(
+        placement_idx,
+        [&](const int &i, SweepWorker &) {
+            double avg = 0.0;
+            for (std::uint64_t s = 1; s <= machine.banks(); ++s)
+                avg += dist.probability(s) * stalls(mappings[i], s);
+            return avg;
+        },
+        opts);
 
     std::cout << "\nexpected stalls/element over the stride "
                  "distribution (P1 = 0.25):\n";
     Table summary({"placement", "stalls/elem", "vs low-order"});
-    const char *names[n_maps] = {"low-order", "skewed", "xor-hash",
-                                 "prime(61)"};
     for (int i = 0; i < n_maps; ++i) {
         const double delta =
-            avg[0] > 0.0 ? 100.0 * (1.0 - avg[i] / avg[0]) : 0.0;
-        summary.addRow(names[i], avg[i],
+            avgs[0] > 0.0 ? 100.0 * (1.0 - avgs[i] / avgs[0]) : 0.0;
+        summary.addRow(names[i], avgs[i],
                        Table::format(delta) + "% fewer");
     }
     summary.print(std::cout);
@@ -92,26 +123,33 @@ main()
                  "prime-mapped cache applies on-chip.\n";
 
     // End-to-end: the full MM machine on the paper's random-stride
-    // workload under each placement.
+    // workload under each placement, one grid point per placement.
     std::cout << "\ntimed MM machine on the VCM random-stride "
                  "workload (cycles/result, 5 seeds):\n";
+    const auto timed_rows = sweepGrid(
+        placement_idx,
+        [&](const int &i, SweepWorker &w) {
+            MachineParams m = machine;
+            m.bankMapping = mappings[i];
+            RunningStats cpr;
+            for (std::uint64_t s = 0; s < 5; ++s) {
+                VcmParams p;
+                p.blockingFactor = 1024;
+                p.reuseFactor = 8;
+                p.pDoubleStream = 0.2;
+                p.maxStride = machine.banks();
+                p.blocks = 4;
+                cpr.add(simulateMm(m, generateVcmTrace(p, opts.seed + s))
+                            .cyclesPerResult());
+            }
+            w.stats.add(cpr.mean());
+            return cpr.mean();
+        },
+        opts);
+
     Table timed({"placement", "cycles/result"});
-    for (int i = 0; i < n_maps; ++i) {
-        MachineParams m = machine;
-        m.bankMapping = mappings[i];
-        RunningStats cpr;
-        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-            VcmParams p;
-            p.blockingFactor = 1024;
-            p.reuseFactor = 8;
-            p.pDoubleStream = 0.2;
-            p.maxStride = machine.banks();
-            p.blocks = 4;
-            cpr.add(simulateMm(m, generateVcmTrace(p, seed))
-                        .cyclesPerResult());
-        }
-        timed.addRow(names[i], cpr.mean());
-    }
+    for (int i = 0; i < n_maps; ++i)
+        timed.addRow(names[i], timed_rows[i]);
     timed.print(std::cout);
     std::cout << "\nThe timed machine adds double streams (P_ds = "
                  "0.2): two issues per cycle\nneed >= 2 t_m = 64 "

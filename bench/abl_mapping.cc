@@ -8,40 +8,57 @@
  * spreading them, so sweeps that exceed their coverage still thrash.
  * The Mersenne modulus is division-free too (end-around-carry adds)
  * but spreads every stride that is not a multiple of 2^c - 1.
+ *
+ * Every (workload, mapping) cell is an independent functional cache
+ * run, so both tables are evaluated by the parallel sweep engine
+ * (--jobs); the printed tables are identical for any worker count.
  */
 
+#include <algorithm>
+#include <cstdint>
 #include <iostream>
+#include <vector>
 
 #include "cache/factory.hh"
 #include "common.hh"
 #include "core/defaults.hh"
 #include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "trace/banded.hh"
 #include "trace/fft.hh"
 #include "trace/matrix_access.hh"
 #include "trace/multistride.hh"
 #include "trace/transpose.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vcache;
+
+    ArgParser args("Equal-cost index-function ablation: modulo 2^c "
+                   "vs XOR hash vs modulo 2^c - 1.");
+    addSweepFlags(args);
+    args.parse(argc, argv);
+    const SweepOptions opts = sweepOptionsFromFlags(args, "abl_mapping");
 
     banner("Mapping-function ablation",
            "equal-cost index functions: modulo 2^c vs XOR hash vs "
            "modulo 2^c - 1",
            paperMachineM32());
 
+    // Seeds fold in --seed so the default run reproduces the
+    // historical tables (base seed 1 -> 31 and 7).
     const auto multistride = generateMultistrideTrace(
-        MultistrideParams{2048, 48, 0.25, 8192, 0, 4}, 31);
+        MultistrideParams{2048, 48, 0.25, 8192, 0, 4}, opts.seed + 30);
     const auto fft = generateFft2dTrace(Fft2dParams{1024, 512, 0});
     RowColumnMixParams rc;
     rc.shape = MatrixShape{1024, 1024, 0};
     rc.rowFraction = 0.75;
     rc.operations = 2048;
     rc.length = 256;
-    const auto rowcol = generateRowColumnMix(rc, 7);
+    const auto rowcol = generateRowColumnMix(rc, opts.seed + 6);
 
     // Banded matvec with 64KB-aligned arrays: three diagonals, x and
     // y each placed a multiple of 600 * 8192 words apart (so the
@@ -66,29 +83,48 @@ main()
     // (A pure transpose is omitted: with one-word lines it has no
     // temporal reuse, so every mapping misses 100% -- its spatial
     // story lives in the line-size ablation instead.)
-    const Workload workloads[] = {
+    const std::vector<Workload> workloads = {
         {"multistride", multistride},
         {"blocked 2-D FFT", fft},
         {"row/column mix (75% rows)", rowcol},
         {"banded matvec, aligned arrays", banded_trace},
     };
 
-    const Organization orgs[] = {Organization::DirectMapped,
-                                 Organization::XorMapped,
-                                 Organization::PrimeMapped};
+    const std::vector<Organization> orgs = {Organization::DirectMapped,
+                                            Organization::XorMapped,
+                                            Organization::PrimeMapped};
+
+    // One grid point per (workload, mapping) cell.
+    struct Cell
+    {
+        std::size_t workload;
+        std::size_t org;
+    };
+    std::vector<Cell> cells;
+    for (std::size_t wl = 0; wl < workloads.size(); ++wl)
+        for (std::size_t o = 0; o < orgs.size(); ++o)
+            cells.push_back({wl, o});
+
+    const auto miss = sweepGrid(
+        cells,
+        [&](const Cell &cell, SweepWorker &w) {
+            CacheConfig config;
+            config.organization = orgs[cell.org];
+            config.indexBits = 13;
+            const auto cache = makeCache(config);
+            const auto stats = runTraceThroughCache(
+                *cache, workloads[cell.workload].trace);
+            w.stats.add(stats.missRatio());
+            return Table::format(100.0 * stats.missRatio());
+        },
+        opts);
 
     Table table({"workload", "direct miss%", "xor miss%",
                  "prime miss%"});
-    for (const auto &wl : workloads) {
-        std::vector<std::string> row{wl.name};
-        for (const auto org : orgs) {
-            CacheConfig config;
-            config.organization = org;
-            config.indexBits = 13;
-            const auto cache = makeCache(config);
-            const auto stats = runTraceThroughCache(*cache, wl.trace);
-            row.push_back(Table::format(100.0 * stats.missRatio()));
-        }
+    for (std::size_t wl = 0; wl < workloads.size(); ++wl) {
+        std::vector<std::string> row{workloads[wl].name};
+        for (std::size_t o = 0; o < orgs.size(); ++o)
+            row.push_back(miss[wl * orgs.size() + o]);
         table.addRowStrings(row);
     }
     table.print(std::cout);
@@ -97,29 +133,41 @@ main()
     // power-of-two strides.
     std::cout << "\nre-sweep miss ratio by stride (4096-element "
                  "vector, second sweep):\n";
-    Table anatomy({"stride", "direct miss%", "xor miss%",
-                   "prime miss%"});
-    for (const std::int64_t stride :
-         {1ll, 2ll, 64ll, 512ll, 1024ll, 4096ll, 8192ll, 12345ll}) {
-        std::vector<std::string> row{std::to_string(stride)};
-        for (const auto org : orgs) {
+    const std::vector<std::int64_t> strides = {
+        1, 2, 64, 512, 1024, 4096, 8192, 12345};
+    std::vector<Cell> stride_cells;
+    for (std::size_t s = 0; s < strides.size(); ++s)
+        for (std::size_t o = 0; o < orgs.size(); ++o)
+            stride_cells.push_back({s, o});
+
+    const auto resweep = sweepGrid(
+        stride_cells,
+        [&](const Cell &cell, SweepWorker &) {
             CacheConfig config;
-            config.organization = org;
+            config.organization = orgs[cell.org];
             config.indexBits = 13;
             const auto cache = makeCache(config);
             Trace trace;
             VectorOp op;
-            op.first = VectorRef{0, stride, 4096};
+            op.first = VectorRef{0, strides[cell.workload], 4096};
             trace.push_back(op);
             trace.push_back(op);
             const auto stats = runTraceThroughCache(*cache, trace);
-            const double resweep =
+            const double miss_resweep =
                 (static_cast<double>(stats.misses) -
                  std::min<double>(static_cast<double>(stats.misses),
                                   4096.0)) /
                 4096.0;
-            row.push_back(Table::format(100.0 * resweep));
-        }
+            return Table::format(100.0 * miss_resweep);
+        },
+        opts);
+
+    Table anatomy({"stride", "direct miss%", "xor miss%",
+                   "prime miss%"});
+    for (std::size_t s = 0; s < strides.size(); ++s) {
+        std::vector<std::string> row{std::to_string(strides[s])};
+        for (std::size_t o = 0; o < orgs.size(); ++o)
+            row.push_back(resweep[s * orgs.size() + o]);
         anatomy.addRowStrings(row);
     }
     anatomy.print(std::cout);

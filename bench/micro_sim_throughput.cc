@@ -3,17 +3,30 @@
  * Simulator-performance micro-benchmark: how fast the library itself
  * runs (accesses or elements simulated per second), for users sizing
  * sweeps.  Not a paper result -- a tooling property.
+ *
+ * The BM_ParallelSweep* cases measure the sweep engine end to end --
+ * grid points per second at 1/2/4 workers -- and BM_ThreadPool*
+ * isolates the pool's submit/drain overhead, so regressions in the
+ * parallel driver show up here rather than in wall-clock anecdotes.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
 #include "cache/direct.hh"
 #include "cache/prime.hh"
+#include "core/comparison.hh"
 #include "core/defaults.hh"
 #include "sim/cc_sim.hh"
 #include "sim/mm_sim.hh"
 #include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "trace/multistride.hh"
+#include "trace/vcm.hh"
+#include "util/threadpool.hh"
 
 namespace
 {
@@ -87,6 +100,69 @@ BM_TimedCcSimulator(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations() * n));
 }
 BENCHMARK(BM_TimedCcSimulator);
+
+/**
+ * Parallel sweep over a small model+sim grid; the benchmark argument
+ * is the worker count, so the 1-vs-N ratio is the engine's speedup on
+ * this host.
+ */
+void
+BM_ParallelSweepModelSim(benchmark::State &state)
+{
+    std::vector<std::uint64_t> grid;
+    for (std::uint64_t tm = 4; tm <= 64; tm += 4)
+        grid.push_back(tm);
+
+    SweepOptions opts;
+    opts.jobs = static_cast<unsigned>(state.range(0));
+    opts.progress = false;
+
+    for (auto _ : state) {
+        const auto rows = sweepGrid(
+            grid,
+            [&](const std::uint64_t &tm, SweepWorker &w) {
+                MachineParams machine = paperMachineM32();
+                machine.memoryTime = tm;
+                WorkloadParams wl = paperWorkload();
+                const auto p = compareMachines(machine, wl);
+                w.stats.add(p.primeOverDirect());
+
+                VcmParams vp;
+                vp.blockingFactor = 512;
+                vp.reuseFactor = 4;
+                vp.blocks = 2;
+                vp.maxStride = 8192;
+                const auto trace = generateVcmTrace(vp, tm);
+                return simulateCc(machine, CacheScheme::Prime, trace)
+                    .cyclesPerResult();
+            },
+            opts);
+        benchmark::DoNotOptimize(rows.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * grid.size()));
+}
+BENCHMARK(BM_ParallelSweepModelSim)->Arg(1)->Arg(2)->Arg(4);
+
+/** Pool overhead: submit/drain many empty jobs. */
+void
+BM_ThreadPoolSubmitDrain(benchmark::State &state)
+{
+    ThreadPool pool(static_cast<unsigned>(state.range(0)));
+    constexpr int kJobs = 1024;
+    std::atomic<int> ran{0};
+    for (auto _ : state) {
+        for (int i = 0; i < kJobs; ++i)
+            pool.submit([&ran](unsigned) {
+                ran.fetch_add(1, std::memory_order_relaxed);
+            });
+        pool.wait();
+    }
+    benchmark::DoNotOptimize(ran.load());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kJobs));
+}
+BENCHMARK(BM_ThreadPoolSubmitDrain)->Arg(1)->Arg(4);
 
 } // namespace
 

@@ -6,22 +6,126 @@
  * experimental data for the new design"; this bench is that study.
  * It runs the VCM workload through the cycle-level MM and CC
  * simulators and prints cycles-per-result next to Equations (1)-(8).
+ *
+ * Each (t_m, B) validation point is independent, so both tables are
+ * evaluated by the parallel sweep engine; row order and seeds depend
+ * only on the grid position and --seed, never on --jobs.
  */
 
+#include <cmath>
+#include <cstdint>
 #include <iostream>
+#include <vector>
 
 #include "common.hh"
 #include "core/comparison.hh"
 #include "core/defaults.hh"
 #include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "trace/vcm.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
-int
-main()
+namespace
 {
-    using namespace vcache;
+
+using namespace vcache;
+
+/** One validation point: a (t_m, B, P_ds) cell of either table. */
+struct ValPoint
+{
+    std::uint64_t memoryTime;
+    std::uint64_t blockingFactor;
+    double pDoubleStream;
+};
+
+/** Model and 5-seed simulator means at one point, as a table row. */
+std::vector<std::string>
+evaluatePoint(const ValPoint &point, std::uint64_t baseSeed,
+              SweepWorker &worker)
+{
+    MachineParams machine = paperMachineM32();
+    machine.memoryTime = point.memoryTime;
+
+    WorkloadParams w = paperWorkload();
+    w.blockingFactor = static_cast<double>(point.blockingFactor);
+    w.reuseFactor = 16.0;
+    w.pDoubleStream = point.pDoubleStream;
+    w.totalData = static_cast<double>(4 * point.blockingFactor);
+
+    VcmParams p;
+    p.blockingFactor = point.blockingFactor;
+    p.reuseFactor = 16;
+    p.pDoubleStream = point.pDoubleStream;
+    p.blocks = 4;
+
+    // The stride domain differs per machine (M banks vs C lines,
+    // Section 3.1).
+    RunningStats mm_sim, direct_sim, prime_sim;
+    for (std::uint64_t s = 0; s < 5; ++s) {
+        const std::uint64_t seed = baseSeed + s;
+        p.maxStride = machine.banks();
+        mm_sim.add(simulateMm(machine, generateVcmTrace(p, seed))
+                       .cyclesPerResult());
+
+        p.maxStride = 8192;
+        const auto cc_trace = generateVcmTrace(p, seed);
+        direct_sim.add(
+            simulateCc(machine, CacheScheme::Direct, cc_trace)
+                .cyclesPerResult());
+        prime_sim.add(
+            simulateCc(machine, CacheScheme::Prime, cc_trace)
+                .cyclesPerResult());
+    }
+
+    const auto model = compareMachines(machine, w);
+    if (prime_sim.mean() > 0.0)
+        worker.stats.add(std::abs(model.prime - prime_sim.mean()) /
+                         prime_sim.mean());
+    return {Table::format(point.memoryTime),
+            Table::format(point.blockingFactor),
+            Table::format(model.mm),
+            Table::format(mm_sim.mean()),
+            Table::format(model.direct),
+            Table::format(direct_sim.mean()),
+            Table::format(model.prime),
+            Table::format(prime_sim.mean())};
+}
+
+/** Sweep one table's grid and print it. */
+void
+runTable(const std::vector<ValPoint> &grid, const SweepOptions &opts)
+{
+    Table table({"t_m", "B", "model MM", "sim MM", "model direct",
+                 "sim direct", "model prime", "sim prime"});
+    SweepOutcome outcome;
+    const auto rows = sweepGrid(
+        grid,
+        [&](const ValPoint &point, SweepWorker &w) {
+            return evaluatePoint(point, opts.seed, w);
+        },
+        opts, &outcome);
+    for (const auto &row : rows)
+        table.addRowStrings(row);
+    table.print(std::cout);
+    inform("prime model-vs-sim relative error: mean ",
+           Table::format(100.0 * outcome.stats.mean()), "%, max ",
+           Table::format(100.0 * outcome.stats.max()), "%");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("Analytic model vs cycle-level simulation on the "
+                   "VCM workload.");
+    addSweepFlags(args);
+    args.parse(argc, argv);
+    const SweepOptions opts =
+        sweepOptionsFromFlags(args, "val_analytic_vs_sim");
 
     MachineParams machine = paperMachineM32();
     banner("Validation: analytic vs trace-driven simulation",
@@ -29,96 +133,20 @@ main()
            "cycle-level simulators (5 seeds each)",
            machine);
 
-    Table table({"t_m", "B", "model MM", "sim MM", "model direct",
-                 "sim direct", "model prime", "sim prime"});
-
-    for (std::uint64_t tm : {8ull, 16ull, 32ull}) {
-        for (std::uint64_t b : {512ull, 1024ull, 2048ull}) {
-            machine.memoryTime = tm;
-
-            WorkloadParams w = paperWorkload();
-            w.blockingFactor = static_cast<double>(b);
-            w.reuseFactor = 16.0;
-            w.pDoubleStream = 0.0; // single-stream: Eq (2)/(7) core
-            w.totalData = static_cast<double>(4 * b);
-
-            VcmParams p;
-            p.blockingFactor = b;
-            p.reuseFactor = 16;
-            p.pDoubleStream = 0.0;
-            p.blocks = 4;
-
-            // The stride domain differs per machine (M banks vs C
-            // lines, Section 3.1).
-            RunningStats mm_sim, direct_sim, prime_sim;
-            for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-                p.maxStride = machine.banks();
-                const auto mm_trace = generateVcmTrace(p, seed);
-                mm_sim.add(
-                    simulateMm(machine, mm_trace).cyclesPerResult());
-
-                p.maxStride = 8192;
-                const auto cc_trace = generateVcmTrace(p, seed);
-                direct_sim.add(
-                    simulateCc(machine, CacheScheme::Direct, cc_trace)
-                        .cyclesPerResult());
-                prime_sim.add(
-                    simulateCc(machine, CacheScheme::Prime, cc_trace)
-                        .cyclesPerResult());
-            }
-
-            w.totalData = static_cast<double>(4 * b);
-            const auto model = compareMachines(machine, w);
-            table.addRow(tm, b, model.mm, mm_sim.mean(), model.direct,
-                         direct_sim.mean(), model.prime,
-                         prime_sim.mean());
-        }
-    }
-    table.print(std::cout);
+    std::vector<ValPoint> grid;
+    for (std::uint64_t tm : {8ull, 16ull, 32ull})
+        for (std::uint64_t b : {512ull, 1024ull, 2048ull})
+            grid.push_back({tm, b, 0.0}); // single-stream: Eq (2)/(7)
+    runTable(grid, opts);
 
     // Double-stream section: exercises I_c (cross-interference) in
     // both the model and the simulators.
     std::cout << "\ndouble-stream workloads (P_ds = 0.2):\n";
-    Table dtable({"t_m", "B", "model MM", "sim MM", "model direct",
-                  "sim direct", "model prime", "sim prime"});
-    for (std::uint64_t tm : {8ull, 32ull}) {
-        for (std::uint64_t b : {1024ull, 2048ull}) {
-            machine.memoryTime = tm;
-
-            WorkloadParams w = paperWorkload();
-            w.blockingFactor = static_cast<double>(b);
-            w.reuseFactor = 16.0;
-            w.pDoubleStream = 0.2;
-            w.totalData = static_cast<double>(4 * b);
-
-            VcmParams p;
-            p.blockingFactor = b;
-            p.reuseFactor = 16;
-            p.pDoubleStream = 0.2;
-            p.blocks = 4;
-
-            RunningStats mm_sim, direct_sim, prime_sim;
-            for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-                p.maxStride = machine.banks();
-                mm_sim.add(
-                    simulateMm(machine, generateVcmTrace(p, seed))
-                        .cyclesPerResult());
-                p.maxStride = 8192;
-                const auto cc_trace = generateVcmTrace(p, seed);
-                direct_sim.add(
-                    simulateCc(machine, CacheScheme::Direct, cc_trace)
-                        .cyclesPerResult());
-                prime_sim.add(
-                    simulateCc(machine, CacheScheme::Prime, cc_trace)
-                        .cyclesPerResult());
-            }
-            const auto model = compareMachines(machine, w);
-            dtable.addRow(tm, b, model.mm, mm_sim.mean(),
-                          model.direct, direct_sim.mean(),
-                          model.prime, prime_sim.mean());
-        }
-    }
-    dtable.print(std::cout);
+    std::vector<ValPoint> dgrid;
+    for (std::uint64_t tm : {8ull, 32ull})
+        for (std::uint64_t b : {1024ull, 2048ull})
+            dgrid.push_back({tm, b, 0.2});
+    runTable(dgrid, opts);
 
     std::cout << "\nThe simulators include effects the closed forms "
                  "average away: a handful of\nexact stride draws per "

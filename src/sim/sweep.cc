@@ -1,0 +1,164 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <iomanip>
+#include <mutex>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/threadpool.hh"
+
+namespace vcache
+{
+
+namespace
+{
+
+/** Largest --jobs value that is plausibly a thread count. */
+constexpr std::uint64_t kMaxJobs = 1024;
+
+/** Seconds between progress lines. */
+constexpr double kProgressPeriod = 2.0;
+
+/** Fixed one-decimal rendering for rates and ETAs. */
+std::string
+fmt1(double v)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1) << v;
+    return os.str();
+}
+
+} // namespace
+
+double
+SweepOutcome::pointsPerSecond() const
+{
+    if (seconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(points) / seconds;
+}
+
+SweepOutcome
+runSweep(std::size_t points,
+         const std::function<void(std::size_t, SweepWorker &)> &eval,
+         const SweepOptions &opts)
+{
+    vc_assert(eval, "sweep needs a point evaluator");
+
+    unsigned jobs = opts.jobs ? opts.jobs : ThreadPool::defaultWorkers();
+    if (points > 0 && jobs > points)
+        jobs = static_cast<unsigned>(points);
+
+    SweepOutcome outcome;
+    outcome.points = points;
+    outcome.jobs = jobs;
+    if (points == 0)
+        return outcome;
+
+    std::vector<SweepWorker> workers(jobs);
+    for (unsigned w = 0; w < jobs; ++w)
+        workers[w].id = w;
+
+    // Dynamic point distribution: each runner pulls the next unclaimed
+    // index, so slow points do not stall a statically partitioned
+    // neighbour.  Result placement stays deterministic because the
+    // caller indexes by grid position.
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex done_mtx;
+    std::condition_variable done_cv;
+
+    const auto start = std::chrono::steady_clock::now();
+    auto elapsed = [&start] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    {
+        ThreadPool pool(jobs);
+        for (unsigned w = 0; w < jobs; ++w) {
+            pool.submit([&](unsigned worker) {
+                for (;;) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= points)
+                        return;
+                    eval(i, workers[worker]);
+                    if (done.fetch_add(1, std::memory_order_release) + 1 ==
+                        points) {
+                        std::lock_guard<std::mutex> lock(done_mtx);
+                        done_cv.notify_all();
+                    }
+                }
+            });
+        }
+
+        std::unique_lock<std::mutex> lock(done_mtx);
+        double next_report = kProgressPeriod;
+        while (done.load(std::memory_order_acquire) < points) {
+            done_cv.wait_for(lock,
+                             std::chrono::milliseconds(100));
+            const double t = elapsed();
+            if (!opts.progress || t < next_report)
+                continue;
+            next_report = t + kProgressPeriod;
+            const auto d = done.load(std::memory_order_acquire);
+            if (d == 0 || d >= points)
+                continue;
+            const double rate = static_cast<double>(d) / t;
+            const double eta =
+                static_cast<double>(points - d) / rate;
+            inform(opts.label, ": ", d, "/", points, " points, ",
+                   fmt1(rate), " points/s, ETA ", fmt1(eta), " s");
+        }
+        lock.unlock();
+        pool.wait();
+    }
+
+    outcome.seconds = elapsed();
+    // Merge in worker-id order so the accumulation order never
+    // depends on which worker finished last.
+    for (const auto &w : workers)
+        outcome.stats.merge(w.stats);
+
+    if (opts.progress) {
+        inform(opts.label, ": ", points, " points in ",
+               fmt1(outcome.seconds), " s (",
+               fmt1(outcome.pointsPerSecond()),
+               " points/s, jobs=", jobs, ")");
+    }
+    return outcome;
+}
+
+void
+addSweepFlags(ArgParser &args)
+{
+    args.addFlag("jobs", "0",
+                 "worker threads for grid sweeps; 0 = one per "
+                 "hardware thread");
+    args.addFlag("seed", "1",
+                 "base seed folded into every per-point trace seed");
+    args.addFlag("progress", "true",
+                 "print progress/throughput lines on stderr");
+}
+
+SweepOptions
+sweepOptionsFromFlags(const ArgParser &args, const std::string &label)
+{
+    SweepOptions opts;
+    const std::uint64_t jobs = args.getUint("jobs");
+    if (jobs > kMaxJobs)
+        vc_fatal("--jobs ", jobs, " is out of range (max ", kMaxJobs,
+                 ")");
+    opts.jobs = static_cast<unsigned>(jobs);
+    opts.seed = args.getUint("seed");
+    opts.progress = args.getBool("progress");
+    opts.label = label;
+    return opts;
+}
+
+} // namespace vcache

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Parallel sweep engine for the model/sim parameter grids.
+ *
+ * Every figure in the paper's evaluation is a grid walk: evaluate a
+ * pure function of (t_m, B, stride, mapping, ...) at each point and
+ * print one row per point.  Points are independent, so the driver
+ * here fans them out across a fixed-size ThreadPool while keeping the
+ * output *byte-identical* to a serial run:
+ *
+ *  - results land in a pre-sized vector indexed by grid position, so
+ *    row order never depends on scheduling;
+ *  - per-worker RunningStats are merged in worker-id order via
+ *    RunningStats::merge.
+ *
+ * Determinism contract: anything printed per point must derive from
+ * that point's result (seed every RNG from the point index, never
+ * from the worker).  The merged SweepOutcome::stats are deterministic
+ * in count/min/max/sum-of-samples but, because which worker ran which
+ * point is scheduling-dependent, their floating-point accumulation
+ * order is not -- use them for stderr summaries, not for table cells.
+ */
+
+#ifndef VCACHE_SIM_SWEEP_HH
+#define VCACHE_SIM_SWEEP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/cli.hh"
+#include "util/stats.hh"
+
+namespace vcache
+{
+
+/** Per-worker scratch state; never shared between live jobs. */
+struct SweepWorker
+{
+    /** Worker index, 0 <= id < jobs. */
+    unsigned id = 0;
+    /** Point-evaluator accumulator; merged into SweepOutcome::stats. */
+    RunningStats stats;
+};
+
+/** Knobs shared by every sweep-driven bench. */
+struct SweepOptions
+{
+    /** Worker threads; 0 means ThreadPool::defaultWorkers(). */
+    unsigned jobs = 0;
+    /** Base seed benches fold into per-point trace seeds. */
+    std::uint64_t seed = 1;
+    /** Emit progress/throughput lines on stderr while running. */
+    bool progress = true;
+    /** Name used in the progress lines. */
+    std::string label = "sweep";
+};
+
+/** What one sweep did, for throughput reporting. */
+struct SweepOutcome
+{
+    /** Grid points evaluated. */
+    std::size_t points = 0;
+    /** Worker threads actually used. */
+    unsigned jobs = 1;
+    /** Wall-clock seconds for the whole sweep. */
+    double seconds = 0.0;
+    /** Per-worker accumulators merged in worker-id order. */
+    RunningStats stats;
+
+    /** Points evaluated per wall-clock second. */
+    double pointsPerSecond() const;
+};
+
+/**
+ * Evaluate points [0, n) across the pool.
+ *
+ * The evaluator must be safe to call concurrently for *distinct*
+ * indices; the SweepWorker reference it receives is exclusive to the
+ * calling thread for the duration of the call.
+ */
+SweepOutcome
+runSweep(std::size_t points,
+         const std::function<void(std::size_t, SweepWorker &)> &eval,
+         const SweepOptions &opts = {});
+
+/**
+ * Grid convenience wrapper: results[i] = eval(grid[i], worker), with
+ * the results vector pre-sized and indexed by grid position so output
+ * ordering matches the serial walk exactly.
+ */
+template <typename Point, typename F>
+auto
+sweepGrid(const std::vector<Point> &grid, F &&eval,
+          const SweepOptions &opts = {}, SweepOutcome *outcome = nullptr)
+{
+    using Result =
+        std::invoke_result_t<F &, const Point &, SweepWorker &>;
+    static_assert(!std::is_void_v<Result>,
+                  "use runSweep for evaluators without results");
+    std::vector<Result> results(grid.size());
+    const auto ran = runSweep(
+        grid.size(),
+        [&](std::size_t i, SweepWorker &w) { results[i] = eval(grid[i], w); },
+        opts);
+    if (outcome)
+        *outcome = ran;
+    return results;
+}
+
+/** Register the shared --jobs / --seed / --progress flags. */
+void addSweepFlags(ArgParser &args);
+
+/**
+ * Read the shared flags back.  Rejects implausible --jobs values
+ * outright instead of truncating them into a small integer.
+ */
+SweepOptions sweepOptionsFromFlags(const ArgParser &args,
+                                   const std::string &label = "sweep");
+
+} // namespace vcache
+
+#endif // VCACHE_SIM_SWEEP_HH

@@ -1,8 +1,10 @@
 #include "util/cli.hh"
 
+#include <charconv>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <system_error>
 
 #include "util/logging.hh"
 
@@ -75,40 +77,54 @@ ArgParser::getString(const std::string &name) const
     return find(name).value;
 }
 
+namespace
+{
+
+/**
+ * Parse the whole string as one number or die.  std::sto* silently
+ * ignores trailing garbage ("--jobs=4x" became 4) and callers used to
+ * narrow the result; from_chars lets us reject partial parses and
+ * report overflow distinctly instead of wrapping or truncating.
+ */
+template <typename T>
+T
+parseWhole(const std::string &flag, const std::string &v,
+           const char *kind)
+{
+    T out{};
+    const char *first = v.data();
+    const char *last = v.data() + v.size();
+    const auto res = std::from_chars(first, last, out);
+    if (res.ec == std::errc::result_out_of_range)
+        vc_fatal("flag --", flag, ": '", v, "' is out of range for ",
+                 kind);
+    if (res.ec != std::errc() || res.ptr != last)
+        vc_fatal("flag --", flag, ": '", v, "' is not ", kind);
+    return out;
+}
+
+} // namespace
+
 std::int64_t
 ArgParser::getInt(const std::string &name) const
 {
-    const auto &v = find(name).value;
-    try {
-        return std::stoll(v);
-    } catch (...) {
-        vc_fatal("flag --", name, ": '", v, "' is not an integer");
-    }
+    return parseWhole<std::int64_t>(name, find(name).value,
+                                    "an integer");
 }
 
 std::uint64_t
 ArgParser::getUint(const std::string &name) const
 {
-    const auto &v = find(name).value;
-    try {
-        if (!v.empty() && v[0] == '-')
-            throw std::invalid_argument("negative");
-        return std::stoull(v);
-    } catch (...) {
-        vc_fatal("flag --", name, ": '", v,
-                 "' is not a non-negative integer");
-    }
+    return parseWhole<std::uint64_t>(name, find(name).value,
+                                     "a non-negative integer");
 }
 
 double
 ArgParser::getDouble(const std::string &name) const
 {
     const auto &v = find(name).value;
-    try {
-        return std::stod(v);
-    } catch (...) {
-        vc_fatal("flag --", name, ": '", v, "' is not a number");
-    }
+    const double out = parseWhole<double>(name, v, "a number");
+    return out;
 }
 
 bool

@@ -59,8 +59,10 @@ Table::print(std::ostream &os) const
 void
 Table::printCsv(std::ostream &os) const
 {
+    // RFC 4180: any cell containing a comma, quote, or line break
+    // (LF *or* CR) must be quoted, with embedded quotes doubled.
     auto quote = [](const std::string &s) {
-        if (s.find_first_of(",\"\n") == std::string::npos)
+        if (s.find_first_of(",\"\n\r") == std::string::npos)
             return s;
         std::string out = "\"";
         for (char ch : s) {

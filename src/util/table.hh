@@ -45,7 +45,7 @@ class Table
     /** Render with aligned columns to a stream. */
     void print(std::ostream &os) const;
 
-    /** Render as CSV (RFC-4180 quoting for commas/quotes). */
+    /** Render as CSV (RFC-4180 quoting for commas/quotes/newlines). */
     void printCsv(std::ostream &os) const;
 
     /** Format a double with fixed precision used across benches. */

@@ -1,0 +1,84 @@
+#include "util/threadpool.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace vcache
+{
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = defaultWorkers();
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        threads.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (auto &t : threads)
+        t.join();
+}
+
+void
+ThreadPool::submit(Job job)
+{
+    vc_assert(job, "cannot submit an empty job");
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        vc_assert(!stopping, "submit on a stopping pool");
+        queue.push_back(std::move(job));
+        ++inFlight;
+    }
+    wake.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    drained.wait(lock, [this] { return inFlight == 0; });
+}
+
+std::size_t
+ThreadPool::pending() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return inFlight;
+}
+
+void
+ThreadPool::workerLoop(unsigned id)
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    for (;;) {
+        wake.wait(lock, [this] { return stopping || !queue.empty(); });
+        // Drain the queue even while stopping so the destructor never
+        // drops submitted work.
+        if (queue.empty())
+            return;
+        Job job = std::move(queue.front());
+        queue.pop_front();
+        lock.unlock();
+        job(id);
+        lock.lock();
+        if (--inFlight == 0)
+            drained.notify_all();
+    }
+}
+
+} // namespace vcache

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fixed-size thread pool for the parallel sweep engine.
+ *
+ * Workers are spawned once at construction and live until the pool is
+ * destroyed; jobs are plain callables queued under a mutex.  Each job
+ * receives the index of the worker executing it (0 <= w < size()), so
+ * callers can keep per-worker scratch state -- accumulators, RNGs,
+ * result buffers -- without any locking of their own: two jobs only
+ * ever share a worker index when they run on the same thread, one
+ * after the other.
+ */
+
+#ifndef VCACHE_UTIL_THREADPOOL_HH
+#define VCACHE_UTIL_THREADPOOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vcache
+{
+
+/** Fixed-size worker pool with a FIFO job queue. */
+class ThreadPool
+{
+  public:
+    /** A unit of work; receives the executing worker's index. */
+    using Job = std::function<void(unsigned worker)>;
+
+    /**
+     * Spawn the workers.
+     *
+     * @param workers number of threads; 0 means defaultWorkers()
+     */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Drains every queued job, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Queue one job; runs as soon as a worker is free. */
+    void submit(Job job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(threads.size()); }
+
+    /** Jobs submitted but not yet finished. */
+    std::size_t pending() const;
+
+    /** hardware_concurrency(), clamped to at least 1. */
+    static unsigned defaultWorkers();
+
+  private:
+    void workerLoop(unsigned id);
+
+    std::vector<std::thread> threads;
+    std::deque<Job> queue;
+    mutable std::mutex mtx;
+    std::condition_variable wake;    ///< signalled on submit/shutdown
+    std::condition_variable drained; ///< signalled when inFlight hits 0
+    std::size_t inFlight = 0;        ///< queued + currently running
+    bool stopping = false;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_UTIL_THREADPOOL_HH

@@ -1,0 +1,181 @@
+/** Tests for the parallel sweep engine. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/comparison.hh"
+#include "core/defaults.hh"
+#include "sim/sweep.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+namespace vcache
+{
+namespace
+{
+
+SweepOptions
+quiet(unsigned jobs)
+{
+    SweepOptions opts;
+    opts.jobs = jobs;
+    opts.progress = false;
+    return opts;
+}
+
+TEST(Sweep, ResultsIndexedByGridPosition)
+{
+    std::vector<int> grid;
+    for (int i = 0; i < 100; ++i)
+        grid.push_back(i);
+    const auto results = sweepGrid(
+        grid, [](const int &v, SweepWorker &) { return v * v; },
+        quiet(4));
+    ASSERT_EQ(results.size(), grid.size());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(results[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(Sweep, EmptyGrid)
+{
+    const std::vector<int> grid;
+    SweepOutcome outcome;
+    const auto results = sweepGrid(
+        grid, [](const int &v, SweepWorker &) { return v; }, quiet(4),
+        &outcome);
+    EXPECT_TRUE(results.empty());
+    EXPECT_EQ(outcome.points, 0u);
+    EXPECT_DOUBLE_EQ(outcome.pointsPerSecond(), 0.0);
+}
+
+TEST(Sweep, JobsClampedToPoints)
+{
+    std::vector<int> grid{1, 2};
+    SweepOutcome outcome;
+    sweepGrid(grid, [](const int &v, SweepWorker &) { return v; },
+              quiet(16), &outcome);
+    EXPECT_EQ(outcome.jobs, 2u);
+}
+
+TEST(Sweep, MergedStatsMatchSerialAccumulation)
+{
+    std::vector<int> grid;
+    for (int i = 1; i <= 200; ++i)
+        grid.push_back(i);
+
+    RunningStats serial;
+    for (int v : grid)
+        serial.add(static_cast<double>(v));
+
+    SweepOutcome outcome;
+    sweepGrid(
+        grid,
+        [](const int &v, SweepWorker &w) {
+            w.stats.add(static_cast<double>(v));
+            return v;
+        },
+        quiet(4), &outcome);
+
+    EXPECT_EQ(outcome.stats.count(), serial.count());
+    EXPECT_DOUBLE_EQ(outcome.stats.min(), serial.min());
+    EXPECT_DOUBLE_EQ(outcome.stats.max(), serial.max());
+    EXPECT_NEAR(outcome.stats.mean(), serial.mean(), 1e-9);
+    EXPECT_NEAR(outcome.stats.sum(), serial.sum(), 1e-6);
+    EXPECT_NEAR(outcome.stats.variance(), serial.variance(), 1e-6);
+}
+
+/** Render one model grid as CSV with the given worker count. */
+std::string
+modelGridCsv(unsigned jobs)
+{
+    struct Point
+    {
+        std::uint64_t tm;
+        std::uint64_t b;
+    };
+    std::vector<Point> grid;
+    for (std::uint64_t tm = 4; tm <= 32; tm += 4)
+        for (std::uint64_t b : {512ull, 1024ull, 2048ull})
+            grid.push_back({tm, b});
+
+    const auto rows = sweepGrid(
+        grid,
+        [](const Point &g, SweepWorker &) {
+            MachineParams machine = paperMachineM32();
+            machine.memoryTime = g.tm;
+            WorkloadParams w = paperWorkload();
+            w.blockingFactor = static_cast<double>(g.b);
+            const auto p = compareMachines(machine, w);
+            return std::vector<std::string>{
+                Table::format(g.tm), Table::format(g.b),
+                Table::format(p.mm), Table::format(p.direct),
+                Table::format(p.prime)};
+        },
+        quiet(jobs));
+
+    Table csv({"t_m", "B", "mm", "direct", "prime"});
+    for (const auto &row : rows)
+        csv.addRowStrings(row);
+    std::ostringstream os;
+    csv.printCsv(os);
+    return os.str();
+}
+
+TEST(Sweep, CsvByteIdenticalAcrossWorkerCounts)
+{
+    const std::string serial = modelGridCsv(1);
+    EXPECT_EQ(serial, modelGridCsv(2));
+    EXPECT_EQ(serial, modelGridCsv(4));
+    EXPECT_EQ(serial, modelGridCsv(7));
+}
+
+TEST(Sweep, RunSweepVisitsEveryIndexOnce)
+{
+    constexpr std::size_t kPoints = 300;
+    std::vector<int> visits(kPoints, 0);
+    const auto outcome = runSweep(
+        kPoints,
+        [&](std::size_t i, SweepWorker &) { ++visits[i]; },
+        quiet(4));
+    EXPECT_EQ(outcome.points, kPoints);
+    for (std::size_t i = 0; i < kPoints; ++i)
+        EXPECT_EQ(visits[i], 1) << "index " << i;
+}
+
+TEST(SweepFlags, RoundTripThroughArgParser)
+{
+    ArgParser args("test");
+    addSweepFlags(args);
+    std::vector<std::string> storage{"prog", "--jobs=3", "--seed=99",
+                                     "--progress=false"};
+    std::vector<char *> argv;
+    for (auto &s : storage)
+        argv.push_back(s.data());
+    args.parse(static_cast<int>(argv.size()), argv.data());
+
+    const SweepOptions opts = sweepOptionsFromFlags(args, "label");
+    EXPECT_EQ(opts.jobs, 3u);
+    EXPECT_EQ(opts.seed, 99u);
+    EXPECT_FALSE(opts.progress);
+    EXPECT_EQ(opts.label, "label");
+}
+
+TEST(SweepFlagsDeathTest, ImplausibleJobsCountIsFatal)
+{
+    ArgParser args("test");
+    addSweepFlags(args);
+    std::vector<std::string> storage{"prog", "--jobs=1000000"};
+    std::vector<char *> argv;
+    for (auto &s : storage)
+        argv.push_back(s.data());
+    args.parse(static_cast<int>(argv.size()), argv.data());
+    EXPECT_EXIT((void)sweepOptionsFromFlags(args),
+                testing::ExitedWithCode(1), "out of range");
+}
+
+} // namespace
+} // namespace vcache

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "util/cli.hh"
@@ -120,6 +122,85 @@ TEST(ArgParserDeathTest, NegativeUint)
     p.parse(a.argc(), a.argv());
     EXPECT_EXIT((void)p.getUint("n"), testing::ExitedWithCode(1),
                 "non-negative");
+}
+
+TEST(ArgParserDeathTest, TrailingGarbageInt)
+{
+    // std::stoll would have silently parsed "4x" as 4; the whole
+    // string must now be numeric.
+    ArgParser p("test");
+    p.addFlag("jobs", "1", "jobs");
+    Argv a({"prog", "--jobs=4x"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EXIT((void)p.getInt("jobs"), testing::ExitedWithCode(1),
+                "not an integer");
+}
+
+TEST(ArgParserDeathTest, FractionalJobsRejected)
+{
+    ArgParser p("test");
+    p.addFlag("jobs", "1", "jobs");
+    Argv a({"prog", "--jobs=4.5"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EXIT((void)p.getUint("jobs"), testing::ExitedWithCode(1),
+                "non-negative integer");
+}
+
+TEST(ArgParserDeathTest, HexNotSilentlyTruncated)
+{
+    // "0x10" used to parse as 0; it must be an error.
+    ArgParser p("test");
+    p.addFlag("n", "1", "n");
+    Argv a({"prog", "--n=0x10"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EXIT((void)p.getInt("n"), testing::ExitedWithCode(1),
+                "not an integer");
+}
+
+TEST(ArgParserDeathTest, IntOverflowIsFatal)
+{
+    ArgParser p("test");
+    p.addFlag("n", "1", "n");
+    Argv a({"prog", "--n=9223372036854775808"}); // INT64_MAX + 1
+    p.parse(a.argc(), a.argv());
+    EXPECT_EXIT((void)p.getInt("n"), testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(ArgParserDeathTest, UintOverflowIsFatal)
+{
+    ArgParser p("test");
+    p.addFlag("n", "1", "n");
+    Argv a({"prog", "--n=18446744073709551616"}); // UINT64_MAX + 1
+    p.parse(a.argc(), a.argv());
+    EXPECT_EXIT((void)p.getUint("n"), testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(ArgParserDeathTest, TrailingGarbageDouble)
+{
+    ArgParser p("test");
+    p.addFlag("d", "1.0", "d");
+    Argv a({"prog", "--d=2.5abc"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EXIT((void)p.getDouble("d"), testing::ExitedWithCode(1),
+                "not a number");
+}
+
+TEST(ArgParser, ExtremeButValidValuesParse)
+{
+    ArgParser p("test");
+    p.addFlag("lo", "0", "lo");
+    p.addFlag("hi", "0", "hi");
+    p.addFlag("uhi", "0", "uhi");
+    Argv a({"prog", "--lo=-9223372036854775808",
+            "--hi=9223372036854775807",
+            "--uhi=18446744073709551615"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getInt("lo"), std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(p.getInt("hi"), std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(p.getUint("uhi"),
+              std::numeric_limits<std::uint64_t>::max());
 }
 
 } // namespace

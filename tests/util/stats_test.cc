@@ -70,6 +70,68 @@ TEST(RunningStats, MergeWithEmpty)
     EXPECT_DOUBLE_EQ(empty.mean(), mean);
 }
 
+TEST(RunningStats, MergeTwoEmpties)
+{
+    RunningStats a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeOneSidedPreservesAllMoments)
+{
+    RunningStats full, empty_side;
+    for (double v : {3.0, 1.0, 4.0, 1.0, 5.0})
+        full.add(v);
+    empty_side.merge(full);
+    EXPECT_EQ(empty_side.count(), full.count());
+    EXPECT_DOUBLE_EQ(empty_side.mean(), full.mean());
+    EXPECT_DOUBLE_EQ(empty_side.variance(), full.variance());
+    EXPECT_DOUBLE_EQ(empty_side.min(), full.min());
+    EXPECT_DOUBLE_EQ(empty_side.max(), full.max());
+    EXPECT_DOUBLE_EQ(empty_side.sum(), full.sum());
+}
+
+TEST(RunningStats, MergeOfManySplitsMatchesSinglePass)
+{
+    // Split 1000 samples into 7 uneven chunks; merging the chunk
+    // accumulators must reproduce the single-pass moments.  This is
+    // the exact shape of the parallel sweep's per-worker merge.
+    RunningStats whole;
+    RunningStats chunks[7];
+    for (int i = 0; i < 1000; ++i) {
+        const double v = (i % 13) * 1.7 - (i % 5) * 0.3 + i * 1e-3;
+        whole.add(v);
+        chunks[(i * i) % 7].add(v);
+    }
+    RunningStats merged;
+    for (const auto &c : chunks)
+        merged.merge(c);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+    EXPECT_NEAR(merged.sum(), whole.sum(), 1e-9);
+}
+
+TEST(RunningStats, MergeUnevenSizes)
+{
+    RunningStats big, small, whole;
+    for (int i = 0; i < 99; ++i) {
+        big.add(static_cast<double>(i));
+        whole.add(static_cast<double>(i));
+    }
+    small.add(1000.0);
+    whole.add(1000.0);
+    big.merge(small);
+    EXPECT_EQ(big.count(), whole.count());
+    EXPECT_NEAR(big.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(big.variance(), whole.variance(), 1e-8);
+    EXPECT_DOUBLE_EQ(big.max(), 1000.0);
+}
+
 TEST(Histogram, BucketEdges)
 {
     Histogram h(0.0, 10.0, 5);

@@ -51,6 +51,27 @@ TEST(Table, CsvEscaping)
     EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
 }
 
+TEST(Table, CsvQuotesLineBreaks)
+{
+    // RFC 4180: LF and CR both force quoting, or downstream parsers
+    // silently split the row.
+    Table t({"x", "y"});
+    t.addRow("has\nnewline", "has\rreturn");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("\"has\nnewline\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"has\rreturn\""), std::string::npos);
+}
+
+TEST(Table, CsvQuotedHeaderCells)
+{
+    Table t({"plain", "with,comma"});
+    t.addRow(1, 2);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "plain,\"with,comma\"\n1,2\n");
+}
+
 TEST(Table, CsvPlainValuesUnquoted)
 {
     Table t({"x"});

@@ -1,0 +1,102 @@
+/** Tests for the fixed-size thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "util/threadpool.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(ThreadPool, DefaultWorkersIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::defaultWorkers(), 1u);
+    ThreadPool pool;
+    EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce)
+{
+    constexpr int kJobs = 500;
+    std::atomic<int> ran{0};
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < kJobs; ++i)
+        pool.submit([&ran](unsigned) {
+            ran.fetch_add(1, std::memory_order_relaxed);
+        });
+    pool.wait();
+    EXPECT_EQ(ran.load(), kJobs);
+    EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, WorkerIdsAreInRange)
+{
+    ThreadPool pool(3);
+    std::mutex mtx;
+    std::set<unsigned> seen;
+    for (int i = 0; i < 200; ++i)
+        pool.submit([&](unsigned w) {
+            std::lock_guard<std::mutex> lock(mtx);
+            seen.insert(w);
+        });
+    pool.wait();
+    ASSERT_FALSE(seen.empty());
+    for (unsigned w : seen)
+        EXPECT_LT(w, 3u);
+}
+
+TEST(ThreadPool, ReusableAfterWait)
+{
+    std::atomic<int> ran{0};
+    ThreadPool pool(2);
+    pool.submit([&](unsigned) { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+    pool.submit([&](unsigned) { ++ran; });
+    pool.submit([&](unsigned) { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedJobs)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&ran](unsigned) {
+                ran.fetch_add(1, std::memory_order_relaxed);
+            });
+        // No wait(): destruction itself must not drop work.
+    }
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WaitWithNoJobsReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, ConcurrentWritersDisjointSlots)
+{
+    constexpr int kJobs = 256;
+    std::vector<int> slots(kJobs, 0);
+    ThreadPool pool(4);
+    for (int i = 0; i < kJobs; ++i)
+        pool.submit([&slots, i](unsigned) { slots[i] = i + 1; });
+    pool.wait();
+    for (int i = 0; i < kJobs; ++i)
+        EXPECT_EQ(slots[i], i + 1);
+}
+
+} // namespace
+} // namespace vcache
