@@ -25,6 +25,7 @@
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
 #include "trace/multistride.hh"
+#include "trace/source.hh"
 #include "trace/vcm.hh"
 #include "util/threadpool.hh"
 
@@ -87,11 +88,11 @@ BM_TimedMmSimulator(benchmark::State &state)
 BENCHMARK(BM_TimedMmSimulator);
 
 void
-BM_TimedCcSimulator(benchmark::State &state)
+BM_TimedCcSimulator(benchmark::State &state, CacheScheme scheme)
 {
     const auto &trace = benchTrace();
     const auto n = totalElements(trace);
-    CcSimulator sim(paperMachineM32(), CacheScheme::Prime);
+    CcSimulator sim(paperMachineM32(), scheme);
     for (auto _ : state) {
         sim.reset();
         benchmark::DoNotOptimize(sim.run(trace));
@@ -99,7 +100,32 @@ BM_TimedCcSimulator(benchmark::State &state)
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations() * n));
 }
-BENCHMARK(BM_TimedCcSimulator);
+// The two paper mapping schemes take different devirtualized fast
+// paths through the simulator, so the tracked baseline records each.
+BENCHMARK_CAPTURE(BM_TimedCcSimulator, direct, CacheScheme::Direct);
+BENCHMARK_CAPTURE(BM_TimedCcSimulator, prime, CacheScheme::Prime);
+
+/**
+ * Same simulated workload, but regenerated from the trace source's
+ * RNG on every run instead of replaying a materialized vector: the
+ * sweep drivers run this way, so the baseline tracks it separately.
+ */
+void
+BM_StreamingCcSimulator(benchmark::State &state, CacheScheme scheme)
+{
+    const MultistrideParams params{1024, 16, 0.25, 8192, 0, 2};
+    const auto n = totalElements(benchTrace());
+    MultistrideTraceSource source(params, 11);
+    CcSimulator sim(paperMachineM32(), scheme);
+    for (auto _ : state) {
+        sim.reset();
+        source.reset();
+        benchmark::DoNotOptimize(sim.run(source));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK_CAPTURE(BM_StreamingCcSimulator, prime, CacheScheme::Prime);
 
 /**
  * Parallel sweep over a small model+sim grid; the benchmark argument

@@ -21,6 +21,7 @@
 #include "core/defaults.hh"
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
+#include "trace/source.hh"
 #include "trace/vcm.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
@@ -57,15 +58,19 @@ simulatePoint(const MachineParams &machine, std::uint64_t b,
     p.pDoubleStream = p_ds;
     p.blocks = 2;
 
+    // Stream the workloads straight from the generators' RNG: no
+    // point ever materializes its trace (the grid's large-B points
+    // would otherwise allocate multi-megabyte vectors per worker).
     SimPoint out{};
     p.maxStride = machine.banks();
-    out.mm = simulateMm(machine, generateVcmTrace(p, seed))
-                 .cyclesPerResult();
+    VcmTraceSource mm_source(p, seed);
+    out.mm = simulateMm(machine, mm_source).cyclesPerResult();
     p.maxStride = 8192;
-    const auto cc_trace = generateVcmTrace(p, seed);
-    out.direct = simulateCc(machine, CacheScheme::Direct, cc_trace)
+    VcmTraceSource cc_source(p, seed);
+    out.direct = simulateCc(machine, CacheScheme::Direct, cc_source)
                      .cyclesPerResult();
-    out.prime = simulateCc(machine, CacheScheme::Prime, cc_trace)
+    cc_source.reset();
+    out.prime = simulateCc(machine, CacheScheme::Prime, cc_source)
                     .cyclesPerResult();
     return out;
 }

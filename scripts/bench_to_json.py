@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Convert Google-Benchmark JSON into the repo's tracked BENCH_sim.json.
+
+Usage:
+    bench_to_json.py RAW_JSON [OUT_JSON]
+
+RAW_JSON is the file written by
+`micro_sim_throughput --benchmark_out=... --benchmark_out_format=json`.
+OUT_JSON defaults to BENCH_sim.json in the current directory.
+
+The output keeps only what the throughput baseline tracks: items/s for
+each simulator benchmark (elements simulated per second) and the sweep
+engine's grid points per second, plus enough context (host, build, date)
+to interpret a regression.  Raw nanosecond timings and repetition noise
+stay in the raw file; this one is meant to be diffed.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"bench_to_json: {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main(argv: list[str]) -> None:
+    if len(argv) < 2 or len(argv) > 3:
+        fail(f"usage: {argv[0]} RAW_JSON [OUT_JSON]")
+    raw_path = argv[1]
+    out_path = argv[2] if len(argv) == 3 else "BENCH_sim.json"
+
+    try:
+        with open(raw_path, encoding="utf-8") as f:
+            raw = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot read {raw_path}: {err}")
+
+    context = raw.get("context", {})
+    benchmarks = raw.get("benchmarks", [])
+    if not benchmarks:
+        fail(f"{raw_path} has no 'benchmarks' array")
+
+    items = {}
+    for bench in benchmarks:
+        # Aggregate rows (mean/median/stddev) would shadow the plain
+        # run; the baseline records the plain per-benchmark rate.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        rate = bench.get("items_per_second")
+        if name is None or rate is None:
+            continue
+        items[name] = {
+            "items_per_second": round(rate, 1),
+            "real_time_ns": round(bench.get("real_time", 0.0), 1),
+        }
+
+    if not items:
+        fail(f"no benchmark in {raw_path} reported items_per_second")
+
+    def rate_of(name: str):
+        entry = items.get(name)
+        return entry["items_per_second"] if entry else None
+
+    summary = {
+        # Elements simulated per second through each devirtualized
+        # fast path; the PR acceptance gate compares these.
+        "cc_direct_elements_per_s": rate_of("BM_TimedCcSimulator/direct"),
+        "cc_prime_elements_per_s": rate_of("BM_TimedCcSimulator/prime"),
+        "cc_streaming_elements_per_s":
+            rate_of("BM_StreamingCcSimulator/prime"),
+        "mm_elements_per_s": rate_of("BM_TimedMmSimulator"),
+        "functional_direct_elements_per_s":
+            rate_of("BM_FunctionalDirectCache"),
+        "functional_prime_elements_per_s":
+            rate_of("BM_FunctionalPrimeCache"),
+        "sweep_points_per_s_jobs1":
+            rate_of("BM_ParallelSweepModelSim/1"),
+    }
+
+    out = {
+        "schema_version": 1,
+        "source": "bench/micro_sim_throughput via scripts/bench_to_json.py",
+        "context": {
+            "date": context.get("date"),
+            "host_name": context.get("host_name"),
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "build_type": context.get("library_build_type"),
+        },
+        "summary": summary,
+        "benchmarks": items,
+    }
+
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out_path} ({len(items)} benchmarks)")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -8,49 +8,10 @@ Cache::Cache(const AddressLayout &layout, std::string name)
 {
 }
 
-AccessOutcome
-Cache::access(Addr word_addr, AccessType type)
-{
-    const Addr line = layout_.lineAddress(word_addr);
-    const AccessOutcome outcome = lookupAndFill(line);
-
-    ++stats_.accesses;
-    if (type == AccessType::Read)
-        ++stats_.reads;
-    else
-        ++stats_.writes;
-    if (outcome.hit) {
-        ++stats_.hits;
-    } else {
-        ++stats_.misses;
-        if (outcome.evicted) {
-            ++stats_.evictions;
-            if (dirtyLines.erase(outcome.evictedLine))
-                ++stats_.writebacks;
-        }
-    }
-    if (type == AccessType::Write)
-        dirtyLines.insert(line);
-    return outcome;
-}
-
-bool
-Cache::insert(Addr word_addr)
-{
-    const AccessOutcome outcome =
-        lookupAndFill(layout_.lineAddress(word_addr));
-    if (!outcome.hit && outcome.evicted &&
-        dirtyLines.erase(outcome.evictedLine)) {
-        ++stats_.writebacks;
-    }
-    return !outcome.hit;
-}
-
 void
 Cache::reset()
 {
     stats_.reset();
-    dirtyLines.clear();
 }
 
 double

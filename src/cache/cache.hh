@@ -6,13 +6,26 @@
  * only tags) and allocate on both read and write misses, matching the
  * vector-data cache of the paper's CC-model.  Timing is layered on top
  * by src/sim.
+ *
+ * Per-line metadata that earlier revisions kept in side hash sets
+ * (write-back dirty state, prefetched-but-untouched marks) now lives
+ * as flag bits on the tag array itself: a frame's flags travel with
+ * its line and are returned in AccessOutcome::evictedFlags when the
+ * line is displaced, so the bookkeeping costs no extra probes and no
+ * allocations on the access path.
+ *
+ * The demand path (access/insert) is defined inline here, and the tag
+ * probe (lookupAndFill) is public, so that code specialised on a
+ * `final` concrete cache type -- the simulators' hot loops -- compiles
+ * to direct, inlinable calls with no virtual dispatch.
  */
 
 #ifndef VCACHE_CACHE_CACHE_HH
 #define VCACHE_CACHE_CACHE_HH
 
+#include <cstdint>
 #include <string>
-#include <unordered_set>
+#include <type_traits>
 
 #include "address/fields.hh"
 #include "cache/stats.hh"
@@ -36,12 +49,25 @@ struct AccessOutcome
     bool evicted;
     /** Line address of the displaced line (valid if evicted). */
     Addr evictedLine;
+    /** Frame-flag bits (Cache::kDirtyFlag, ...) of the displaced line. */
+    std::uint8_t evictedFlags = 0;
 };
 
 /** Common base class: stats plumbing plus the tag-array interface. */
 class Cache
 {
   public:
+    /**
+     * Per-frame metadata bits.  kDirtyFlag implements the write-back
+     * bookkeeping (the paper's write-buffer assumption makes stores
+     * free in *time*; the dirty bit makes the resulting memory
+     * *traffic* visible as stats().writebacks).  kPrefetchedFlag
+     * marks lines brought in by a prefetcher and not yet demand-used
+     * (tagged-retrigger and accuracy accounting).
+     */
+    static constexpr std::uint8_t kDirtyFlag = 0x1;
+    static constexpr std::uint8_t kPrefetchedFlag = 0x2;
+
     /**
      * @param layout address layout (offset width defines line size)
      * @param name human-readable identifier for reports
@@ -53,7 +79,16 @@ class Cache
     Cache &operator=(const Cache &) = delete;
 
     /** Perform one access at a word address. */
-    AccessOutcome access(Addr word_addr, AccessType type = AccessType::Read);
+    AccessOutcome
+    access(Addr word_addr, AccessType type = AccessType::Read)
+    {
+        const Addr line = layout_.lineAddress(word_addr);
+        const AccessOutcome outcome = lookupAndFill(line);
+        recordAccess(outcome, type);
+        if (type == AccessType::Write)
+            setLineFlag(line, kDirtyFlag);
+        return outcome;
+    }
 
     /**
      * Fill the word's line without recording a demand access --
@@ -63,10 +98,72 @@ class Cache
      *
      * @return true if the line was newly brought in (it missed)
      */
-    bool insert(Addr word_addr);
+    bool
+    insert(Addr word_addr)
+    {
+        const AccessOutcome outcome =
+            lookupAndFill(layout_.lineAddress(word_addr));
+        recordFill(outcome);
+        return !outcome.hit;
+    }
+
+    /** Count a demand-access outcome into the stats block. */
+    void
+    recordAccess(const AccessOutcome &outcome, AccessType type)
+    {
+        ++stats_.accesses;
+        if (type == AccessType::Read)
+            ++stats_.reads;
+        else
+            ++stats_.writes;
+        if (outcome.hit) {
+            ++stats_.hits;
+            return;
+        }
+        ++stats_.misses;
+        if (outcome.evicted) {
+            ++stats_.evictions;
+            if (outcome.evictedFlags & kDirtyFlag)
+                ++stats_.writebacks;
+        }
+    }
+
+    /** Count a prefetch-fill outcome (write-back traffic only). */
+    void
+    recordFill(const AccessOutcome &outcome)
+    {
+        if (!outcome.hit && outcome.evicted &&
+            (outcome.evictedFlags & kDirtyFlag))
+            ++stats_.writebacks;
+    }
+
+    /**
+     * Look up a line address; fill it (possibly evicting) on a miss.
+     * Filling clears the frame's flags; an eviction reports the old
+     * flags in AccessOutcome::evictedFlags.  Public (rather than a
+     * protected implementation detail) so the devirtualized simulator
+     * fast path can bind it statically; almost every other caller
+     * wants access()/insert(), which add the stats accounting.
+     *
+     * @param line_addr full line address (word address >> W)
+     * @return outcome with hit/eviction details
+     */
+    virtual AccessOutcome lookupAndFill(Addr line_addr) = 0;
 
     /** True if the word's line is currently resident (no side effect). */
     virtual bool contains(Addr word_addr) const = 0;
+
+    /** Set flag bits on the resident frame holding `line_addr`; no-op
+     *  when the line is not resident. */
+    virtual void setLineFlag(Addr line_addr, std::uint8_t flag) = 0;
+
+    /** True if the line is resident with all `flag` bits set. */
+    virtual bool testLineFlag(Addr line_addr,
+                              std::uint8_t flag) const = 0;
+
+    /** Clear flag bits; @return true if the line was resident with
+     *  any of them set. */
+    virtual bool clearLineFlag(Addr line_addr, std::uint8_t flag) = 0;
 
     /** Invalidate all lines and clear statistics. */
     virtual void reset();
@@ -88,28 +185,87 @@ class Cache
     const std::string &name() const { return name_; }
 
   protected:
-    /**
-     * Look up a line address; fill it (possibly evicting) on a miss.
-     *
-     * @param line_addr full line address (word address >> W)
-     * @return outcome with hit/eviction details
-     */
-    virtual AccessOutcome lookupAndFill(Addr line_addr) = 0;
-
     AddressLayout layout_;
     CacheStats stats_;
 
   private:
-    /**
-     * Write-back bookkeeping (the paper's write-buffer assumption
-     * makes stores free in *time*; the dirty set makes the resulting
-     * memory *traffic* visible).  Kept in the base class so every
-     * organisation accounts identically.
-     */
-    std::unordered_set<Addr> dirtyLines;
-
     std::string name_;
 };
+
+/**
+ * Statically-bound tag probe: for a `final` concrete cache type the
+ * call resolves at compile time (and inlines); for the base class it
+ * falls back to ordinary virtual dispatch.  The simulators' templated
+ * hot loops run through these so one implementation serves both the
+ * devirtualized fast paths and the generic path.
+ */
+template <typename CacheT>
+inline AccessOutcome
+probeLine(CacheT &cache, Addr line_addr)
+{
+    if constexpr (std::is_final_v<CacheT>)
+        return cache.CacheT::lookupAndFill(line_addr);
+    else
+        return cache.lookupAndFill(line_addr);
+}
+
+/** Statically-bound Cache::contains (see probeLine). */
+template <typename CacheT>
+inline bool
+containsWord(const CacheT &cache, Addr word_addr)
+{
+    if constexpr (std::is_final_v<CacheT>)
+        return cache.CacheT::contains(word_addr);
+    else
+        return cache.contains(word_addr);
+}
+
+/** Statically-bound Cache::setLineFlag (see probeLine). */
+template <typename CacheT>
+inline void
+setFrameFlag(CacheT &cache, Addr line_addr, std::uint8_t flag)
+{
+    if constexpr (std::is_final_v<CacheT>)
+        cache.CacheT::setLineFlag(line_addr, flag);
+    else
+        cache.setLineFlag(line_addr, flag);
+}
+
+/** Statically-bound Cache::clearLineFlag (see probeLine). */
+template <typename CacheT>
+inline bool
+clearFrameFlag(CacheT &cache, Addr line_addr, std::uint8_t flag)
+{
+    if constexpr (std::is_final_v<CacheT>)
+        return cache.CacheT::clearLineFlag(line_addr, flag);
+    else
+        return cache.clearLineFlag(line_addr, flag);
+}
+
+/** Statically-bound Cache::insert over a precomputed line address
+ *  (see probeLine). */
+template <typename CacheT>
+inline bool
+fillLine(CacheT &cache, Addr line_addr)
+{
+    const AccessOutcome outcome = probeLine(cache, line_addr);
+    cache.recordFill(outcome);
+    return !outcome.hit;
+}
+
+/** Statically-bound Cache::access (see probeLine). */
+template <typename CacheT>
+inline AccessOutcome
+accessCache(CacheT &cache, Addr word_addr,
+            AccessType type = AccessType::Read)
+{
+    const Addr line = cache.addressLayout().lineAddress(word_addr);
+    const AccessOutcome outcome = probeLine(cache, line);
+    cache.recordAccess(outcome, type);
+    if (type == AccessType::Write)
+        setFrameFlag(cache, line, Cache::kDirtyFlag);
+    return outcome;
+}
 
 } // namespace vcache
 

@@ -19,9 +19,8 @@ MissClassifier::ShadowLru::ShadowLru(std::uint64_t capacity_lines)
 bool
 MissClassifier::ShadowLru::access(Addr line_addr)
 {
-    auto it = where.find(line_addr);
-    if (it != where.end()) {
-        order.splice(order.begin(), order, it->second);
+    if (auto *it = where.find(line_addr)) {
+        order.splice(order.begin(), order, *it);
         return true;
     }
     if (order.size() >= capacity) {
@@ -45,7 +44,7 @@ MissClassifier::access(Addr word_addr, AccessType type)
 {
     const Addr line = target.addressLayout().lineAddress(word_addr);
     const AccessOutcome outcome = target.access(word_addr, type);
-    const bool first_touch = seen.insert(line).second;
+    const bool first_touch = seen.insert(line);
     const bool in_shadow = shadow.access(line);
 
     if (!outcome.hit) {

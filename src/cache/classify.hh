@@ -19,10 +19,9 @@
 
 #include <cstdint>
 #include <list>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "cache/cache.hh"
+#include "util/flat_hash.hh"
 
 namespace vcache
 {
@@ -72,12 +71,12 @@ class MissClassifier
       private:
         std::uint64_t capacity;
         std::list<Addr> order; // most recent at front
-        std::unordered_map<Addr, std::list<Addr>::iterator> where;
+        FlatMap<Addr, std::list<Addr>::iterator> where;
     };
 
     Cache &target;
     ShadowLru shadow;
-    std::unordered_set<Addr> seen;
+    FlatSet<Addr> seen;
     MissBreakdown byClass;
 };
 

@@ -9,33 +9,6 @@ DirectMappedCache::DirectMappedCache(const AddressLayout &layout)
 {
 }
 
-std::uint64_t
-DirectMappedCache::frameOf(Addr line_addr) const
-{
-    return line_addr & (frames.size() - 1);
-}
-
-AccessOutcome
-DirectMappedCache::lookupAndFill(Addr line_addr)
-{
-    Frame &frame = frames[frameOf(line_addr)];
-    if (frame.valid && frame.line == line_addr)
-        return {true, false, 0};
-
-    AccessOutcome outcome{false, frame.valid, frame.line};
-    frame.valid = true;
-    frame.line = line_addr;
-    return outcome;
-}
-
-bool
-DirectMappedCache::contains(Addr word_addr) const
-{
-    const Addr line = layout_.lineAddress(word_addr);
-    const Frame &frame = frames[frameOf(line)];
-    return frame.valid && frame.line == line;
-}
-
 void
 DirectMappedCache::reset()
 {

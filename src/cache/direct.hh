@@ -1,6 +1,10 @@
 /**
  * @file
  * Conventional direct-mapped cache: index = line address mod 2^c.
+ *
+ * The class is `final` and defines its probe inline so the templated
+ * simulator hot loops bind it statically (no virtual dispatch per
+ * element).
  */
 
 #ifndef VCACHE_CACHE_DIRECT_HH
@@ -14,28 +18,80 @@ namespace vcache
 {
 
 /** Direct-mapped cache with 2^c lines. */
-class DirectMappedCache : public Cache
+class DirectMappedCache final : public Cache
 {
   public:
     /** @param layout index field width c gives 2^c lines */
     explicit DirectMappedCache(const AddressLayout &layout);
 
-    bool contains(Addr word_addr) const override;
+    AccessOutcome
+    lookupAndFill(Addr line_addr) override
+    {
+        Frame &frame = frames[frameOf(line_addr)];
+        if (frame.valid && frame.line == line_addr)
+            return {true, false, 0, 0};
+
+        AccessOutcome outcome{false, frame.valid, frame.line,
+                              frame.flags};
+        frame.valid = true;
+        frame.line = line_addr;
+        frame.flags = 0;
+        return outcome;
+    }
+
+    bool
+    contains(Addr word_addr) const override
+    {
+        const Addr line = layout_.lineAddress(word_addr);
+        const Frame &frame = frames[frameOf(line)];
+        return frame.valid && frame.line == line;
+    }
+
+    void
+    setLineFlag(Addr line_addr, std::uint8_t flag) override
+    {
+        Frame &frame = frames[frameOf(line_addr)];
+        if (frame.valid && frame.line == line_addr)
+            frame.flags |= flag;
+    }
+
+    bool
+    testLineFlag(Addr line_addr, std::uint8_t flag) const override
+    {
+        const Frame &frame = frames[frameOf(line_addr)];
+        return frame.valid && frame.line == line_addr &&
+               (frame.flags & flag) == flag;
+    }
+
+    bool
+    clearLineFlag(Addr line_addr, std::uint8_t flag) override
+    {
+        Frame &frame = frames[frameOf(line_addr)];
+        if (frame.valid && frame.line == line_addr &&
+            (frame.flags & flag)) {
+            frame.flags &= static_cast<std::uint8_t>(~flag);
+            return true;
+        }
+        return false;
+    }
+
     void reset() override;
     std::uint64_t numLines() const override { return frames.size(); }
     std::uint64_t validLines() const override;
-
-  protected:
-    AccessOutcome lookupAndFill(Addr line_addr) override;
 
   private:
     struct Frame
     {
         bool valid = false;
         Addr line = 0;
+        std::uint8_t flags = 0;
     };
 
-    std::uint64_t frameOf(Addr line_addr) const;
+    std::uint64_t
+    frameOf(Addr line_addr) const
+    {
+        return line_addr & (frames.size() - 1);
+    }
 
     std::vector<Frame> frames;
 };

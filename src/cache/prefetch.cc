@@ -40,13 +40,11 @@ PrefetchingCache::prefetch(Addr word_addr)
         const Addr line = layout.lineAddress(next);
         if (target.contains(next))
             continue;
-        // A prefetch that displaces a pending prefetched line wastes
-        // the earlier one.
         const bool was_new = target.insert(next);
         if (!was_new)
             continue;
         ++stats_.issued;
-        pending.insert(line);
+        target.setLineFlag(line, Cache::kPrefetchedFlag);
     }
 }
 
@@ -56,23 +54,19 @@ PrefetchingCache::access(Addr word_addr, AccessType type)
     const Addr line = target.addressLayout().lineAddress(word_addr);
     const AccessOutcome outcome = target.access(word_addr, type);
 
+    // A demand hit on a still-flagged line is the prefetch's first
+    // use; a demand fill clears the frame's flags, which is exactly
+    // the "now demand-touched" transition.  A displaced line that
+    // still carries the flag was prefetched and never used.
     bool first_use_of_prefetch = false;
-    if (auto it = pending.find(line); it != pending.end()) {
-        if (outcome.hit) {
-            ++stats_.useful;
-            first_use_of_prefetch = true;
-        }
-        // Either way the line is now demand-touched.
-        pending.erase(it);
+    if (outcome.hit &&
+        target.clearLineFlag(line, Cache::kPrefetchedFlag)) {
+        ++stats_.useful;
+        first_use_of_prefetch = true;
     }
-    if (!outcome.hit && outcome.evicted) {
-        const auto it =
-            pending.find(outcome.evictedLine);
-        if (it != pending.end()) {
-            ++stats_.wasted;
-            pending.erase(it);
-        }
-    }
+    if (!outcome.hit && outcome.evicted &&
+        (outcome.evictedFlags & Cache::kPrefetchedFlag))
+        ++stats_.wasted;
 
     // Tagged prefetching: trigger on demand misses and on the first
     // use of a prefetched line, so a well-predicted stream keeps one
@@ -88,7 +82,6 @@ void
 PrefetchingCache::reset()
 {
     target.reset();
-    pending.clear();
     stats_ = PrefetchStats{};
     streamStride = 1;
 }

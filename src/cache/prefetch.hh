@@ -24,7 +24,6 @@
 #define VCACHE_CACHE_PREFETCH_HH
 
 #include <cstdint>
-#include <unordered_set>
 
 #include "cache/cache.hh"
 
@@ -94,12 +93,13 @@ class PrefetchingCache
   private:
     void prefetch(Addr word_addr);
 
+    // Prefetched-but-untouched state lives as kPrefetchedFlag bits on
+    // the target's tag array, so the decorator itself is stateless per
+    // line and the per-access path never hashes.
     Cache &target;
     PrefetchPolicy policy;
     unsigned degree;
     std::int64_t streamStride = 1;
-    /** Prefetched lines not yet touched by demand. */
-    std::unordered_set<Addr> pending;
     PrefetchStats stats_;
 };
 

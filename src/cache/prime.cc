@@ -1,6 +1,5 @@
 #include "cache/prime.hh"
 
-#include "numtheory/mersenne.hh"
 #include "util/logging.hh"
 
 namespace vcache
@@ -17,33 +16,6 @@ PrimeMappedCache::PrimeMappedCache(const AddressLayout &layout,
                   " - 1 is not a Mersenne prime; pick c from "
                   "{2,3,5,7,13,17,19,31}");
     }
-}
-
-std::uint64_t
-PrimeMappedCache::frameOf(Addr line_addr) const
-{
-    return modMersenne(line_addr, layout_.indexBits());
-}
-
-AccessOutcome
-PrimeMappedCache::lookupAndFill(Addr line_addr)
-{
-    Frame &frame = frames[frameOf(line_addr)];
-    if (frame.valid && frame.line == line_addr)
-        return {true, false, 0};
-
-    AccessOutcome outcome{false, frame.valid, frame.line};
-    frame.valid = true;
-    frame.line = line_addr;
-    return outcome;
-}
-
-bool
-PrimeMappedCache::contains(Addr word_addr) const
-{
-    const Addr line = layout_.lineAddress(word_addr);
-    const Frame &frame = frames[frameOf(line)];
-    return frame.valid && frame.line == line;
 }
 
 void

@@ -13,6 +13,10 @@
  * modelled in src/address (the functional indexOf() form here, with
  * the incremental hardware model exercised by tests and the
  * microbenchmark).
+ *
+ * The class is `final` and defines its probe inline so the templated
+ * simulator hot loops bind it statically (no virtual dispatch per
+ * element).
  */
 
 #ifndef VCACHE_CACHE_PRIME_HH
@@ -21,12 +25,13 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "numtheory/mersenne.hh"
 
 namespace vcache
 {
 
 /** Prime-mapped cache with 2^c - 1 lines. */
-class PrimeMappedCache : public Cache
+class PrimeMappedCache final : public Cache
 {
   public:
     /**
@@ -37,22 +42,74 @@ class PrimeMappedCache : public Cache
     explicit PrimeMappedCache(const AddressLayout &layout,
                               bool require_prime = true);
 
-    bool contains(Addr word_addr) const override;
+    AccessOutcome
+    lookupAndFill(Addr line_addr) override
+    {
+        Frame &frame = frames[frameOf(line_addr)];
+        if (frame.valid && frame.line == line_addr)
+            return {true, false, 0, 0};
+
+        AccessOutcome outcome{false, frame.valid, frame.line,
+                              frame.flags};
+        frame.valid = true;
+        frame.line = line_addr;
+        frame.flags = 0;
+        return outcome;
+    }
+
+    bool
+    contains(Addr word_addr) const override
+    {
+        const Addr line = layout_.lineAddress(word_addr);
+        const Frame &frame = frames[frameOf(line)];
+        return frame.valid && frame.line == line;
+    }
+
+    void
+    setLineFlag(Addr line_addr, std::uint8_t flag) override
+    {
+        Frame &frame = frames[frameOf(line_addr)];
+        if (frame.valid && frame.line == line_addr)
+            frame.flags |= flag;
+    }
+
+    bool
+    testLineFlag(Addr line_addr, std::uint8_t flag) const override
+    {
+        const Frame &frame = frames[frameOf(line_addr)];
+        return frame.valid && frame.line == line_addr &&
+               (frame.flags & flag) == flag;
+    }
+
+    bool
+    clearLineFlag(Addr line_addr, std::uint8_t flag) override
+    {
+        Frame &frame = frames[frameOf(line_addr)];
+        if (frame.valid && frame.line == line_addr &&
+            (frame.flags & flag)) {
+            frame.flags &= static_cast<std::uint8_t>(~flag);
+            return true;
+        }
+        return false;
+    }
+
     void reset() override;
     std::uint64_t numLines() const override { return frames.size(); }
     std::uint64_t validLines() const override;
-
-  protected:
-    AccessOutcome lookupAndFill(Addr line_addr) override;
 
   private:
     struct Frame
     {
         bool valid = false;
         Addr line = 0;
+        std::uint8_t flags = 0;
     };
 
-    std::uint64_t frameOf(Addr line_addr) const;
+    std::uint64_t
+    frameOf(Addr line_addr) const
+    {
+        return modMersenne(line_addr, layout_.indexBits());
+    }
 
     std::vector<Frame> frames;
 };

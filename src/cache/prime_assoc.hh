@@ -29,7 +29,7 @@ namespace vcache
 {
 
 /** N-way set-associative cache with a Mersenne-prime set count. */
-class PrimeSetAssociativeCache : public Cache
+class PrimeSetAssociativeCache final : public Cache
 {
   public:
     /**
@@ -43,7 +43,12 @@ class PrimeSetAssociativeCache : public Cache
                              std::unique_ptr<ReplacementPolicy> policy,
                              bool require_prime = true);
 
+    AccessOutcome lookupAndFill(Addr line_addr) override;
     bool contains(Addr word_addr) const override;
+    void setLineFlag(Addr line_addr, std::uint8_t flag) override;
+    bool testLineFlag(Addr line_addr,
+                      std::uint8_t flag) const override;
+    bool clearLineFlag(Addr line_addr, std::uint8_t flag) override;
     void reset() override;
     std::uint64_t numLines() const override;
     std::uint64_t validLines() const override;
@@ -51,15 +56,17 @@ class PrimeSetAssociativeCache : public Cache
     unsigned associativity() const { return ways; }
     std::uint64_t numSets() const { return sets; }
 
-  protected:
-    AccessOutcome lookupAndFill(Addr line_addr) override;
-
   private:
     struct Way
     {
         bool valid = false;
         Addr line = 0;
+        std::uint8_t flags = 0;
     };
+
+    /** The resident way holding `line_addr`, or nullptr. */
+    Way *findWay(Addr line_addr);
+    const Way *findWay(Addr line_addr) const;
 
     std::uint64_t setOf(Addr line_addr) const;
 

@@ -37,7 +37,7 @@ SetAssociativeCache::lookupAndFill(Addr line_addr)
     for (unsigned w = 0; w < ways; ++w) {
         if (base[w].valid && base[w].line == line_addr) {
             policy->touch(set, w);
-            return {true, false, 0};
+            return {true, false, 0, 0};
         }
     }
 
@@ -46,8 +46,9 @@ SetAssociativeCache::lookupAndFill(Addr line_addr)
         if (!base[w].valid) {
             base[w].valid = true;
             base[w].line = line_addr;
+            base[w].flags = 0;
             policy->fill(set, w);
-            return {false, false, 0};
+            return {false, false, 0, 0};
         }
     }
 
@@ -55,21 +56,62 @@ SetAssociativeCache::lookupAndFill(Addr line_addr)
     const unsigned w = policy->victim(set);
     vc_assert(w < ways, "replacement policy chose way ", w,
               " of ", ways);
-    AccessOutcome outcome{false, true, base[w].line};
+    AccessOutcome outcome{false, true, base[w].line, base[w].flags};
     base[w].line = line_addr;
+    base[w].flags = 0;
     policy->fill(set, w);
     return outcome;
+}
+
+SetAssociativeCache::Way *
+SetAssociativeCache::findWay(Addr line_addr)
+{
+    Way *base = &frames[setOf(line_addr) * ways];
+    for (unsigned w = 0; w < ways; ++w)
+        if (base[w].valid && base[w].line == line_addr)
+            return &base[w];
+    return nullptr;
+}
+
+const SetAssociativeCache::Way *
+SetAssociativeCache::findWay(Addr line_addr) const
+{
+    const Way *base = &frames[setOf(line_addr) * ways];
+    for (unsigned w = 0; w < ways; ++w)
+        if (base[w].valid && base[w].line == line_addr)
+            return &base[w];
+    return nullptr;
 }
 
 bool
 SetAssociativeCache::contains(Addr word_addr) const
 {
-    const Addr line = layout_.lineAddress(word_addr);
-    const std::uint64_t set = setOf(line);
-    const Way *base = &frames[set * ways];
-    for (unsigned w = 0; w < ways; ++w)
-        if (base[w].valid && base[w].line == line)
-            return true;
+    return findWay(layout_.lineAddress(word_addr)) != nullptr;
+}
+
+void
+SetAssociativeCache::setLineFlag(Addr line_addr, std::uint8_t flag)
+{
+    if (Way *way = findWay(line_addr))
+        way->flags |= flag;
+}
+
+bool
+SetAssociativeCache::testLineFlag(Addr line_addr,
+                                  std::uint8_t flag) const
+{
+    const Way *way = findWay(line_addr);
+    return way && (way->flags & flag) == flag;
+}
+
+bool
+SetAssociativeCache::clearLineFlag(Addr line_addr, std::uint8_t flag)
+{
+    Way *way = findWay(line_addr);
+    if (way && (way->flags & flag)) {
+        way->flags &= static_cast<std::uint8_t>(~flag);
+        return true;
+    }
     return false;
 }
 

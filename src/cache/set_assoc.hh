@@ -17,7 +17,7 @@ namespace vcache
 {
 
 /** N-way set-associative cache with 2^c lines total. */
-class SetAssociativeCache : public Cache
+class SetAssociativeCache final : public Cache
 {
   public:
     /**
@@ -28,7 +28,12 @@ class SetAssociativeCache : public Cache
     SetAssociativeCache(const AddressLayout &layout, unsigned ways,
                         std::unique_ptr<ReplacementPolicy> policy);
 
+    AccessOutcome lookupAndFill(Addr line_addr) override;
     bool contains(Addr word_addr) const override;
+    void setLineFlag(Addr line_addr, std::uint8_t flag) override;
+    bool testLineFlag(Addr line_addr,
+                      std::uint8_t flag) const override;
+    bool clearLineFlag(Addr line_addr, std::uint8_t flag) override;
     void reset() override;
     std::uint64_t numLines() const override;
     std::uint64_t validLines() const override;
@@ -37,15 +42,17 @@ class SetAssociativeCache : public Cache
     std::uint64_t numSets() const { return sets; }
     const ReplacementPolicy &replacement() const { return *policy; }
 
-  protected:
-    AccessOutcome lookupAndFill(Addr line_addr) override;
-
   private:
     struct Way
     {
         bool valid = false;
         Addr line = 0;
+        std::uint8_t flags = 0;
     };
+
+    /** The resident way holding `line_addr`, or nullptr. */
+    Way *findWay(Addr line_addr);
+    const Way *findWay(Addr line_addr) const;
 
     std::uint64_t setOf(Addr line_addr) const { return line_addr & (sets - 1); }
 

@@ -27,11 +27,12 @@ XorMappedCache::lookupAndFill(Addr line_addr)
 {
     Frame &frame = frames[hashIndex(line_addr)];
     if (frame.valid && frame.line == line_addr)
-        return {true, false, 0};
+        return {true, false, 0, 0};
 
-    AccessOutcome outcome{false, frame.valid, frame.line};
+    AccessOutcome outcome{false, frame.valid, frame.line, frame.flags};
     frame.valid = true;
     frame.line = line_addr;
+    frame.flags = 0;
     return outcome;
 }
 
@@ -41,6 +42,34 @@ XorMappedCache::contains(Addr word_addr) const
     const Addr line = layout_.lineAddress(word_addr);
     const Frame &frame = frames[hashIndex(line)];
     return frame.valid && frame.line == line;
+}
+
+void
+XorMappedCache::setLineFlag(Addr line_addr, std::uint8_t flag)
+{
+    Frame &frame = frames[hashIndex(line_addr)];
+    if (frame.valid && frame.line == line_addr)
+        frame.flags |= flag;
+}
+
+bool
+XorMappedCache::testLineFlag(Addr line_addr, std::uint8_t flag) const
+{
+    const Frame &frame = frames[hashIndex(line_addr)];
+    return frame.valid && frame.line == line_addr &&
+           (frame.flags & flag) == flag;
+}
+
+bool
+XorMappedCache::clearLineFlag(Addr line_addr, std::uint8_t flag)
+{
+    Frame &frame = frames[hashIndex(line_addr)];
+    if (frame.valid && frame.line == line_addr &&
+        (frame.flags & flag)) {
+        frame.flags &= static_cast<std::uint8_t>(~flag);
+        return true;
+    }
+    return false;
 }
 
 void

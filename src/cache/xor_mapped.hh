@@ -23,12 +23,17 @@ namespace vcache
 {
 
 /** Hash-indexed cache with 2^c lines: index = XOR of c-bit digits. */
-class XorMappedCache : public Cache
+class XorMappedCache final : public Cache
 {
   public:
     explicit XorMappedCache(const AddressLayout &layout);
 
+    AccessOutcome lookupAndFill(Addr line_addr) override;
     bool contains(Addr word_addr) const override;
+    void setLineFlag(Addr line_addr, std::uint8_t flag) override;
+    bool testLineFlag(Addr line_addr,
+                      std::uint8_t flag) const override;
+    bool clearLineFlag(Addr line_addr, std::uint8_t flag) override;
     void reset() override;
     std::uint64_t numLines() const override { return frames.size(); }
     std::uint64_t validLines() const override;
@@ -36,14 +41,12 @@ class XorMappedCache : public Cache
     /** The index hash, exposed for tests and benches. */
     std::uint64_t hashIndex(Addr line_addr) const;
 
-  protected:
-    AccessOutcome lookupAndFill(Addr line_addr) override;
-
   private:
     struct Frame
     {
         bool valid = false;
         Addr line = 0;
+        std::uint8_t flags = 0;
     };
 
     std::vector<Frame> frames;

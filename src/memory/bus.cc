@@ -19,6 +19,18 @@ PipelinedBus::reserve(Cycles earliest)
     return when;
 }
 
+Cycles
+PipelinedBus::reserveMany(Cycles earliest, std::uint64_t n)
+{
+    const Cycles first = std::max(earliest, nextFree);
+    if (n == 0)
+        return first;
+    waited += n * (first - earliest) + n * (n - 1) / 2;
+    nextFree = first + n;
+    count += n;
+    return first;
+}
+
 void
 PipelinedBus::reset()
 {
@@ -45,6 +57,12 @@ Cycles
 BusSet::reserveWrite(Cycles earliest)
 {
     return wr.reserve(earliest);
+}
+
+Cycles
+BusSet::reserveWrites(Cycles earliest, std::uint64_t n)
+{
+    return wr.reserveMany(earliest, n);
 }
 
 void

@@ -30,6 +30,19 @@ class PipelinedBus
      */
     Cycles reserve(Cycles earliest);
 
+    /**
+     * Reserve `n` consecutive slots at or after `earliest` in closed
+     * form -- equivalent to n calls to reserve(earliest), but O(1).
+     * Once the first transfer is granted at w0 = max(earliest,
+     * nextFree), the i-th departs at w0 + i, so the aggregate wait is
+     * n*(w0 - earliest) plus the arithmetic series 0+1+...+(n-1).
+     *
+     * @return the cycle of the first transfer (w0); when n == 0,
+     *         nothing is reserved and the hypothetical grant cycle is
+     *         returned
+     */
+    Cycles reserveMany(Cycles earliest, std::uint64_t n);
+
     /** Earliest cycle at which the next transfer could start. */
     Cycles nextFreeAt() const { return nextFree; }
 
@@ -61,6 +74,9 @@ class BusSet
 
     /** The single write bus. */
     Cycles reserveWrite(Cycles earliest);
+
+    /** Drain `n` writes queued at `earliest` through the write bus. */
+    Cycles reserveWrites(Cycles earliest, std::uint64_t n);
 
     void reset();
 

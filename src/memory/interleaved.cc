@@ -25,15 +25,6 @@ InterleavedMemory::InterleavedMemory(unsigned bank_bits,
     }
 }
 
-Cycles
-InterleavedMemory::issue(Addr word_addr, Cycles earliest)
-{
-    const std::uint64_t bank = bankOf(word_addr);
-    const Cycles when = std::max(earliest, busyUntil[bank]);
-    busyUntil[bank] = when + tm;
-    return when;
-}
-
 InterleavedMemory::StreamResult
 InterleavedMemory::streamAccess(std::span<const Addr> addrs, Cycles start)
 {

@@ -12,6 +12,7 @@
 #ifndef VCACHE_MEMORY_INTERLEAVED_HH
 #define VCACHE_MEMORY_INTERLEAVED_HH
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -76,11 +77,19 @@ class InterleavedMemory
 
     /**
      * Issue one request no earlier than `earliest`; the request waits
-     * until its bank is free.
+     * until its bank is free.  Inline: this is the per-miss step of
+     * the simulator hot path.
      *
      * @return the cycle at which the request actually issues
      */
-    Cycles issue(Addr word_addr, Cycles earliest);
+    Cycles
+    issue(Addr word_addr, Cycles earliest)
+    {
+        const std::uint64_t bank = bankOf(word_addr);
+        const Cycles when = std::max(earliest, busyUntil[bank]);
+        busyUntil[bank] = when + tm;
+        return when;
+    }
 
     /** Outcome of streaming a whole address sequence. */
     struct StreamResult

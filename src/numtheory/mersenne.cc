@@ -48,19 +48,6 @@ mersenneExponentFor(std::uint64_t lines)
 }
 
 std::uint64_t
-modMersenne(std::uint64_t x, unsigned c)
-{
-    const std::uint64_t m = mersenne(c);
-    // Fold c-bit digits until the value fits in c bits.  Each pass adds
-    // the high digits into the low digit; since 2^c == 1 (mod m) every
-    // digit has weight 1.
-    while (x >> c)
-        x = (x & m) + (x >> c);
-    // All-ones is the one's-complement "negative zero": 2^c - 1 == 0.
-    return x == m ? 0 : x;
-}
-
-std::uint64_t
 addMersenne(std::uint64_t a, std::uint64_t b, unsigned c)
 {
     const std::uint64_t m = mersenne(c);

@@ -38,9 +38,22 @@ unsigned mersenneExponentFor(std::uint64_t lines);
  *
  * This mirrors exactly what the paper's adder tree does: split x into
  * c-bit digits, sum them, fold the carries back in, and normalise the
- * all-ones pattern ("negative zero") to 0.
+ * all-ones pattern ("negative zero") to 0.  Inline because it is the
+ * prime-mapped cache's index function, executed once per tag probe on
+ * the simulator hot path.
  */
-std::uint64_t modMersenne(std::uint64_t x, unsigned c);
+inline std::uint64_t
+modMersenne(std::uint64_t x, unsigned c)
+{
+    const std::uint64_t m = (std::uint64_t{1} << c) - 1;
+    // Fold c-bit digits until the value fits in c bits.  Each pass adds
+    // the high digits into the low digit; since 2^c == 1 (mod m) every
+    // digit has weight 1.
+    while (x >> c)
+        x = (x & m) + (x >> c);
+    // All-ones is the one's-complement "negative zero": 2^c - 1 == 0.
+    return x == m ? 0 : x;
+}
 
 /**
  * Addition modulo 2^c - 1 via a single end-around-carry step,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cache/direct.hh"
+#include "cache/prime.hh"
 #include "util/logging.hh"
 
 namespace vcache
@@ -49,14 +51,14 @@ CcSimulator::reset()
     touchedLines.clear();
     clock = 0;
     inFlight.clear();
-    untouchedPrefetches.clear();
     prefetchCount = 0;
 }
 
+template <typename CacheT>
 void
-CcSimulator::issuePrefetches(Addr addr)
+CcSimulator::issuePrefetches(CacheT &cache, const AddressLayout &layout,
+                             Addr addr)
 {
-    const auto &layout = vectorCache->addressLayout();
     const std::int64_t step =
         prefetchPolicy == PrefetchPolicy::Stride
             ? (streamStride == 0 ? 1 : streamStride)
@@ -66,58 +68,64 @@ CcSimulator::issuePrefetches(Addr addr)
     for (unsigned d = 0; d < prefetchDegree; ++d) {
         next = static_cast<Addr>(static_cast<std::int64_t>(next) +
                                  step);
-        if (vectorCache->contains(next))
-            continue;
         const Addr line = layout.lineAddress(next);
-        if (!vectorCache->insert(next))
+        // One tag probe decides both "already resident?" and the
+        // fill; its hit answer replaces the old contains() pre-check.
+        if (!fillLine(cache, line))
             continue;
         // The prefetch streams through a read bus and its bank; the
         // data is usable one memory time after issue.
         const Cycles bus = buses.reserveRead(clock);
         const Cycles when = memory.issue(next, bus);
-        inFlight[line] = when + machine.memoryTime;
-        untouchedPrefetches.insert(line);
+        inFlight.insertOrAssign(line, when + machine.memoryTime);
+        setFrameFlag(cache, line, Cache::kPrefetchedFlag);
         touchedLines.insert(line);
         ++prefetchCount;
     }
 }
 
-void
-CcSimulator::accessElement(Addr addr, SimResult &result)
+template <typename CacheT, bool Prefetching>
+VCACHE_ALWAYS_INLINE void
+CcSimulator::accessElement(CacheT &cache, const AddressLayout &layout,
+                           Addr addr, SimResult &result)
 {
-    const Addr line = vectorCache->addressLayout().lineAddress(addr);
-    const AccessOutcome outcome = vectorCache->access(addr);
+    const Addr line = layout.lineAddress(addr);
+    const AccessOutcome outcome = probeLine(cache, line);
+    cache.recordAccess(outcome, AccessType::Read);
 
     if (outcome.hit) {
         ++result.hits;
-        touchedLines.insert(line);
         clock += 1;
-        // A hit on a line still in flight waits for whatever part of
-        // the flight the vector pipeline cannot absorb.  The strip
-        // start-up (T_start = 30 + t_m) already hides one memory
-        // time of an in-order stream -- the same credit the
-        // compulsory path gets -- so only bank-contention delays
-        // beyond that are exposed.
-        if (auto it = inFlight.find(line); it != inFlight.end()) {
-            const Cycles visible = clock + machine.memoryTime;
-            if (it->second > visible) {
-                result.stallCycles += it->second - visible;
-                clock = it->second - machine.memoryTime;
+        if constexpr (Prefetching) {
+            // A hit on a line still in flight waits for whatever part
+            // of the flight the vector pipeline cannot absorb.  The
+            // strip start-up (T_start = 30 + t_m) already hides one
+            // memory time of an in-order stream -- the same credit
+            // the compulsory path gets -- so only bank-contention
+            // delays beyond that are exposed.
+            if (const Cycles *arrival = inFlight.find(line)) {
+                const Cycles visible = clock + machine.memoryTime;
+                if (*arrival > visible) {
+                    result.stallCycles += *arrival - visible;
+                    clock = *arrival - machine.memoryTime;
+                }
+                inFlight.erase(line);
             }
-            inFlight.erase(it);
-        }
-        // Tagged retrigger: first demand use of a prefetched line
-        // launches the next prefetch.
-        if (untouchedPrefetches.erase(line) &&
-            prefetchPolicy != PrefetchPolicy::None) {
-            issuePrefetches(addr);
+            // Tagged retrigger: first demand use of a prefetched line
+            // launches the next prefetch.  No flag can be set before
+            // the first prefetch issues, so runs without prefetching
+            // skip the extra tag probe entirely.
+            if (prefetchCount != 0 &&
+                clearFrameFlag(cache, line, Cache::kPrefetchedFlag) &&
+                prefetchPolicy != PrefetchPolicy::None) {
+                issuePrefetches(cache, layout, addr);
+            }
         }
         return;
     }
 
     ++result.misses;
-    untouchedPrefetches.erase(line);
-    const bool first_touch = touchedLines.insert(line).second;
+    const bool first_touch = touchedLines.insert(line);
     if (first_touch || nonBlocking) {
         // Compulsory miss (or any miss of a lockup-free cache): part
         // of the pipelined load stream; it flows through bus and
@@ -133,51 +141,118 @@ CcSimulator::accessElement(Addr addr, SimResult &result)
         result.stallCycles += machine.memoryTime;
         clock += 1 + machine.memoryTime;
     }
-    if (prefetchPolicy != PrefetchPolicy::None)
-        issuePrefetches(addr);
+    if constexpr (Prefetching) {
+        if (prefetchPolicy != PrefetchPolicy::None)
+            issuePrefetches(cache, layout, addr);
+    }
 }
 
+template <typename CacheT>
 SimResult
-CcSimulator::run(const Trace &trace)
+CcSimulator::dispatchRun(CacheT &cache, TraceSource &source)
+{
+    // A run beginning with a None policy and no live prefetch state
+    // (no lines in flight, no tag flags -- both imply prefetchCount
+    // == 0) can never acquire any, so the specialized loop omits the
+    // prefetch bookkeeping from the per-element path altogether.
+    if (prefetchPolicy == PrefetchPolicy::None && prefetchCount == 0)
+        return runImpl<CacheT, false>(cache, source);
+    return runImpl<CacheT, true>(cache, source);
+}
+
+template <typename CacheT, bool Prefetching>
+SimResult
+CcSimulator::runImpl(CacheT &cache, TraceSource &source)
 {
     SimResult result;
+    const AddressLayout &layout = cache.addressLayout();
 
-    for (const auto &op : trace) {
+    // The strip start-up only takes two values per run -- cold head,
+    // or warm head with the memory-latency credit of Equation (4) --
+    // so the floating-point math happens once, not once per strip.
+    const double base_startup =
+        machine.stripOverhead + machine.startupTime();
+    const Cycles cold_startup = static_cast<Cycles>(base_startup);
+    const Cycles warm_startup = static_cast<Cycles>(
+        base_startup - static_cast<double>(machine.memoryTime));
+
+    VectorOp op;
+    while (source.next(op)) {
         clock += static_cast<Cycles>(machine.blockOverhead);
         streamStride = op.first.stride; // the stride register value
 
         const VectorRef *second =
             op.second ? &op.second.value() : nullptr;
+        const std::int64_t s1 = op.first.stride;
+        const std::int64_t s2 = second ? second->stride : 0;
 
         for (std::uint64_t done = 0; done < op.first.length;
              done += machine.mvl) {
             // Strips whose head is already cached skip the memory
             // latency component of the start-up (Equation (4)).
-            const bool warm =
-                vectorCache->contains(op.first.element(done));
-            const double startup =
-                machine.stripOverhead + machine.startupTime() -
-                (warm ? static_cast<double>(machine.memoryTime) : 0.0);
-            clock += static_cast<Cycles>(startup);
+            Addr a1 = op.first.element(done);
+            const bool warm = containsWord(cache, a1);
+            clock += warm ? warm_startup : cold_startup;
 
             const std::uint64_t count =
                 std::min<std::uint64_t>(machine.mvl,
                                         op.first.length - done);
-            for (std::uint64_t i = 0; i < count; ++i) {
-                accessElement(op.first.element(done + i), result);
-                if (second && done + i < second->length)
-                    accessElement(second->element(done + i), result);
-                ++result.results;
+            if (second) {
+                Addr a2 = second->element(done);
+                for (std::uint64_t i = 0; i < count; ++i) {
+                    accessElement<CacheT, Prefetching>(cache, layout, a1,
+                                                   result);
+                    if (done + i < second->length)
+                        accessElement<CacheT, Prefetching>(cache, layout, a2,
+                                                       result);
+                    ++result.results;
+                    a1 = static_cast<Addr>(
+                        static_cast<std::int64_t>(a1) + s1);
+                    a2 = static_cast<Addr>(
+                        static_cast<std::int64_t>(a2) + s2);
+                }
+            } else {
+                for (std::uint64_t i = 0; i < count; ++i) {
+                    accessElement<CacheT, Prefetching>(cache, layout, a1,
+                                                   result);
+                    ++result.results;
+                    a1 = static_cast<Addr>(
+                        static_cast<std::int64_t>(a1) + s1);
+                }
             }
         }
 
         if (op.store)
-            for (std::uint64_t i = 0; i < op.store->length; ++i)
-                buses.reserveWrite(clock);
+            buses.reserveWrites(clock, op.store->length);
     }
 
     result.totalCycles = clock;
     return result;
+}
+
+SimResult
+CcSimulator::run(const Trace &trace)
+{
+    TraceVectorSource source(trace);
+    return run(source);
+}
+
+SimResult
+CcSimulator::run(TraceSource &source)
+{
+    Cache *base = vectorCache.get();
+    if (auto *direct = dynamic_cast<DirectMappedCache *>(base))
+        return dispatchRun(*direct, source);
+    if (auto *prime = dynamic_cast<PrimeMappedCache *>(base))
+        return dispatchRun(*prime, source);
+    return dispatchRun(*base, source);
+}
+
+SimResult
+CcSimulator::runVirtual(const Trace &trace)
+{
+    TraceVectorSource source(trace);
+    return dispatchRun(*vectorCache, source);
 }
 
 } // namespace vcache

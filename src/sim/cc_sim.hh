@@ -15,14 +15,19 @@
  *   - a strip whose leading element hits starts up t_m cycles faster
  *     (the "- t_m" in Equation (4));
  *   - writes drain through the write bus without stalling.
+ *
+ * The per-element loop is a member template over the concrete cache
+ * type: run() dispatches once per run on the paper's two mapping
+ * schemes (direct and prime), whose accesses then compile to direct,
+ * inlinable calls, with the virtual interface as the fallback for
+ * every other organization.  runVirtual() forces that fallback so
+ * tests can pin the fast paths against it.
  */
 
 #ifndef VCACHE_SIM_CC_SIM_HH
 #define VCACHE_SIM_CC_SIM_HH
 
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "analytic/machine.hh"
 #include "cache/cache.hh"
@@ -32,6 +37,8 @@
 #include "memory/interleaved.hh"
 #include "sim/result.hh"
 #include "trace/access.hh"
+#include "trace/source.hh"
+#include "util/flat_hash.hh"
 
 namespace vcache
 {
@@ -83,6 +90,17 @@ class CcSimulator
     /** Run a whole trace from a cold start. */
     SimResult run(const Trace &trace);
 
+    /** Run a streamed workload (no materialized trace needed). */
+    SimResult run(TraceSource &source);
+
+    /**
+     * Run through the generic virtual-dispatch path regardless of the
+     * cache's concrete type.  Exists so equivalence tests can pin the
+     * devirtualized fast paths against the reference behaviour; it is
+     * not meant for production use.
+     */
+    SimResult runVirtual(const Trace &trace);
+
     /** Prefetches issued by the timed prefetcher. */
     std::uint64_t prefetchesIssued() const { return prefetchCount; }
 
@@ -93,28 +111,45 @@ class CcSimulator
     const MachineParams &params() const { return machine; }
 
   private:
-    /** Access one element; returns the cycle the pipeline may resume. */
-    void accessElement(Addr addr, SimResult &result);
+    /** Pick the Prefetching instantiation and run (see runImpl). */
+    template <typename CacheT>
+    SimResult dispatchRun(CacheT &cache, TraceSource &source);
+
+    /**
+     * The whole-run loop, monomorphized per concrete cache type and,
+     * via `Prefetching`, per prefetch mode: a run that starts with no
+     * prefetch state and a None policy can never grow any, so its
+     * per-element path drops the in-flight and tag-flag checks.
+     */
+    template <typename CacheT, bool Prefetching>
+    SimResult runImpl(CacheT &cache, TraceSource &source);
+
+    /** Access one element, advancing the pipeline clock. */
+    template <typename CacheT, bool Prefetching>
+    void accessElement(CacheT &cache, const AddressLayout &layout,
+                       Addr addr, SimResult &result);
 
     /** Launch the prefetches triggered at `addr` (timed). */
-    void issuePrefetches(Addr addr);
+    template <typename CacheT>
+    void issuePrefetches(CacheT &cache, const AddressLayout &layout,
+                         Addr addr);
 
     MachineParams machine;
     std::unique_ptr<Cache> vectorCache;
     InterleavedMemory memory;
     BusSet buses;
-    std::unordered_set<Addr> touchedLines;
+    /** Every line ever brought in (first touch => compulsory). */
+    FlatSet<Addr> touchedLines;
     Cycles clock = 0;
     bool nonBlocking = false;
 
-    // Timed prefetch state.
+    // Timed prefetch state.  The prefetched-but-untouched marks live
+    // as kPrefetchedFlag bits on the cache's tag array.
     PrefetchPolicy prefetchPolicy = PrefetchPolicy::None;
     unsigned prefetchDegree = 1;
     std::int64_t streamStride = 1;
     /** Lines prefetched but still in flight: line -> arrival cycle. */
-    std::unordered_map<Addr, Cycles> inFlight;
-    /** Prefetched lines not yet demand-used (tagged retrigger). */
-    std::unordered_set<Addr> untouchedPrefetches;
+    FlatMap<Addr, Cycles> inFlight;
     std::uint64_t prefetchCount = 0;
 };
 

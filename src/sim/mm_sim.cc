@@ -54,9 +54,17 @@ MmSimulator::issueStrip(const VectorRef &first, const VectorRef *second,
 SimResult
 MmSimulator::run(const Trace &trace)
 {
+    TraceVectorSource source(trace);
+    return run(source);
+}
+
+SimResult
+MmSimulator::run(TraceSource &source)
+{
     SimResult result;
 
-    for (const auto &op : trace) {
+    VectorOp op;
+    while (source.next(op)) {
         clock += static_cast<Cycles>(machine.blockOverhead);
 
         const VectorRef *second =
@@ -75,8 +83,7 @@ MmSimulator::run(const Trace &trace)
         // Stores drain through the write bus without stalling the
         // pipeline (the paper's write-buffer assumption).
         if (op.store)
-            for (std::uint64_t i = 0; i < op.store->length; ++i)
-                buses.reserveWrite(clock);
+            buses.reserveWrites(clock, op.store->length);
     }
 
     result.totalCycles = clock;

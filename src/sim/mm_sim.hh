@@ -19,6 +19,7 @@
 #include "memory/interleaved.hh"
 #include "sim/result.hh"
 #include "trace/access.hh"
+#include "trace/source.hh"
 
 namespace vcache
 {
@@ -31,6 +32,9 @@ class MmSimulator
 
     /** Run a whole trace from a cold start. */
     SimResult run(const Trace &trace);
+
+    /** Run a streamed workload (no materialized trace needed). */
+    SimResult run(TraceSource &source);
 
     /** Reset banks/buses between runs. */
     void reset();

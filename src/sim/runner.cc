@@ -14,6 +14,13 @@ simulateMm(const MachineParams &params, const Trace &trace)
 }
 
 SimResult
+simulateMm(const MachineParams &params, TraceSource &source)
+{
+    MmSimulator sim(params);
+    return sim.run(source);
+}
+
+SimResult
 simulateCc(const MachineParams &params, CacheScheme scheme,
            const Trace &trace)
 {
@@ -21,44 +28,20 @@ simulateCc(const MachineParams &params, CacheScheme scheme,
     return sim.run(trace);
 }
 
-namespace
+SimResult
+simulateCc(const MachineParams &params, CacheScheme scheme,
+           TraceSource &source)
 {
-
-template <typename AccessFn>
-void
-walkTrace(const Trace &trace, AccessFn &&access)
-{
-    for (const auto &op : trace) {
-        const std::uint64_t n =
-            op.second ? std::max(op.first.length, op.second->length)
-                      : op.first.length;
-        for (std::uint64_t i = 0; i < n; ++i) {
-            if (i < op.first.length)
-                access(op.first.element(i), AccessType::Read);
-            if (op.second && i < op.second->length)
-                access(op.second->element(i), AccessType::Read);
-        }
-        if (op.store)
-            for (std::uint64_t i = 0; i < op.store->length; ++i)
-                access(op.store->element(i), AccessType::Write);
-    }
-}
-
-} // namespace
-
-CacheStats
-runTraceThroughCache(Cache &cache, const Trace &trace)
-{
-    walkTrace(trace, [&](Addr a, AccessType t) { cache.access(a, t); });
-    return cache.stats();
+    CcSimulator sim(params, scheme);
+    return sim.run(source);
 }
 
 MissBreakdown
 classifyTrace(Cache &cache, const Trace &trace)
 {
     MissClassifier classifier(cache);
-    walkTrace(trace,
-              [&](Addr a, AccessType t) { classifier.access(a, t); });
+    detail::walkTrace(
+        trace, [&](Addr a, AccessType t) { classifier.access(a, t); });
     return classifier.breakdown();
 }
 

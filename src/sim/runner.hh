@@ -6,29 +6,76 @@
 #ifndef VCACHE_SIM_RUNNER_HH
 #define VCACHE_SIM_RUNNER_HH
 
+#include <algorithm>
+
 #include "analytic/machine.hh"
 #include "cache/cache.hh"
 #include "cache/classify.hh"
 #include "cache/prefetch.hh"
 #include "sim/result.hh"
 #include "trace/access.hh"
+#include "trace/source.hh"
 
 namespace vcache
 {
 
+namespace detail
+{
+
+/** Visit every element access of a trace in machine issue order. */
+template <typename AccessFn>
+void
+walkTrace(const Trace &trace, AccessFn &&access)
+{
+    for (const auto &op : trace) {
+        const std::uint64_t n =
+            op.second ? std::max(op.first.length, op.second->length)
+                      : op.first.length;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (i < op.first.length)
+                access(op.first.element(i), AccessType::Read);
+            if (op.second && i < op.second->length)
+                access(op.second->element(i), AccessType::Read);
+        }
+        if (op.store)
+            for (std::uint64_t i = 0; i < op.store->length; ++i)
+                access(op.store->element(i), AccessType::Write);
+    }
+}
+
+} // namespace detail
+
 /** Simulate a trace on the cacheless MM machine. */
 SimResult simulateMm(const MachineParams &params, const Trace &trace);
+
+/** Simulate a streamed workload on the cacheless MM machine. */
+SimResult simulateMm(const MachineParams &params, TraceSource &source);
 
 /** Simulate a trace on the CC machine with the given mapping. */
 SimResult simulateCc(const MachineParams &params, CacheScheme scheme,
                      const Trace &trace);
 
+/** Simulate a streamed workload on the CC machine. */
+SimResult simulateCc(const MachineParams &params, CacheScheme scheme,
+                     TraceSource &source);
+
 /**
  * Functional run: push every load of a trace through a cache and
  * return its stats (no timing).  Stores are treated as allocating
  * accesses too, matching the write-allocate vector cache.
+ *
+ * A template so callers holding a concrete `final` cache type get the
+ * devirtualized access path; passing a plain Cache& (or any
+ * polymorphic reference) falls back to virtual dispatch.
  */
-CacheStats runTraceThroughCache(Cache &cache, const Trace &trace);
+template <typename CacheT>
+CacheStats
+runTraceThroughCache(CacheT &cache, const Trace &trace)
+{
+    detail::walkTrace(
+        trace, [&](Addr a, AccessType t) { accessCache(cache, a, t); });
+    return cache.stats();
+}
 
 /** Functional run with 3C classification. */
 MissBreakdown classifyTrace(Cache &cache, const Trace &trace);

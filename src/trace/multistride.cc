@@ -1,6 +1,6 @@
 #include "trace/multistride.hh"
 
-#include "util/strides.hh"
+#include "trace/source.hh"
 
 namespace vcache
 {
@@ -9,20 +9,13 @@ Trace
 generateMultistrideTrace(const MultistrideParams &params,
                          std::uint64_t seed)
 {
-    Rng rng(seed);
-    const StrideDistribution dist(params.pStride1, params.maxStride);
+    MultistrideTraceSource source(params, seed);
 
     Trace trace;
     trace.reserve(params.sweeps * params.reusePerStride);
-    for (std::uint64_t s = 0; s < params.sweeps; ++s) {
-        VectorOp op;
-        op.first = VectorRef{
-            params.base,
-            static_cast<std::int64_t>(dist.sample(rng)),
-            params.length};
-        for (std::uint64_t r = 0; r < params.reusePerStride; ++r)
-            trace.push_back(op);
-    }
+    VectorOp op;
+    while (source.next(op))
+        trace.push_back(op);
     return trace;
 }
 

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Streaming trace sources.
+ *
+ * A TraceSource yields one VectorOp at a time, so simulators and
+ * sweeps can drive a workload without first materializing the whole
+ * Trace vector -- the sweep grids run thousands of (machine, trace)
+ * points and the trace storage was a visible share of their footprint.
+ *
+ * The stochastic sources draw from the *same* RNG stream, in the same
+ * order, as the batch generators in vcm.cc / multistride.cc; in fact
+ * those generators are now implemented by draining the sources, so a
+ * streamed run and a materialized run see bit-identical operations.
+ */
+
+#ifndef VCACHE_TRACE_SOURCE_HH
+#define VCACHE_TRACE_SOURCE_HH
+
+#include <cstdint>
+
+#include "trace/access.hh"
+#include "trace/multistride.hh"
+#include "trace/vcm.hh"
+#include "util/strides.hh"
+
+namespace vcache
+{
+
+/** Pull-style stream of vector operations. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next operation.
+     * @return false when the workload is exhausted (`op` untouched)
+     */
+    virtual bool next(VectorOp &op) = 0;
+
+    /** Rewind to the first operation (restarting any RNG stream). */
+    virtual void reset() = 0;
+};
+
+/** Adapter: stream an existing materialized Trace. */
+class TraceVectorSource final : public TraceSource
+{
+  public:
+    /** @param trace the trace to walk (not owned; must outlive this) */
+    explicit TraceVectorSource(const Trace &trace) : ops(trace) {}
+
+    bool
+    next(VectorOp &op) override
+    {
+        if (pos >= ops.size())
+            return false;
+        op = ops[pos++];
+        return true;
+    }
+
+    void reset() override { pos = 0; }
+
+  private:
+    const Trace &ops;
+    std::size_t pos = 0;
+};
+
+/** Streaming equivalent of generateVcmTrace(). */
+class VcmTraceSource final : public TraceSource
+{
+  public:
+    VcmTraceSource(const VcmParams &params, std::uint64_t seed);
+
+    bool next(VectorOp &op) override;
+    void reset() override;
+
+  private:
+    VcmParams params;
+    std::uint64_t seedValue;
+    Rng rng;
+    StrideDistribution dist1;
+    StrideDistribution dist2;
+    std::uint64_t secondLen;
+
+    // Walk state: position (blk, pass) plus the per-block draw.
+    std::uint64_t blk = 0;
+    std::uint64_t pass = 0;
+    std::int64_t stride1 = 0;
+    Addr blockBase = 0;
+};
+
+/** Streaming equivalent of generateMultistrideTrace(). */
+class MultistrideTraceSource final : public TraceSource
+{
+  public:
+    MultistrideTraceSource(const MultistrideParams &params,
+                           std::uint64_t seed);
+
+    bool next(VectorOp &op) override;
+    void reset() override;
+
+  private:
+    MultistrideParams params;
+    std::uint64_t seedValue;
+    Rng rng;
+    StrideDistribution dist;
+
+    std::uint64_t sweep = 0;
+    std::uint64_t rep = 0;
+    VectorOp current;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_TRACE_SOURCE_HH

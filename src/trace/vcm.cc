@@ -1,9 +1,6 @@
 #include "trace/vcm.hh"
 
-#include <algorithm>
-
-#include "util/logging.hh"
-#include "util/strides.hh"
+#include "trace/source.hh"
 
 namespace vcache
 {
@@ -11,52 +8,16 @@ namespace vcache
 Trace
 generateVcmTrace(const VcmParams &p, std::uint64_t seed)
 {
-    vc_assert(p.blockingFactor >= 1, "blocking factor must be positive");
-    vc_assert(p.reuseFactor >= 1, "reuse factor must be positive");
-    vc_assert(p.pDoubleStream >= 0.0 && p.pDoubleStream <= 1.0,
-              "P_ds must be a probability");
-
-    Rng rng(seed);
-    const StrideDistribution dist1(p.pStride1First, p.maxStride);
-    const StrideDistribution dist2(p.pStride1Second, p.maxStride);
-
-    // The second vector's length per Section 3.1: B * P_ds (at least
-    // one element whenever double streams occur at all).
-    const auto second_len = std::max<std::uint64_t>(
-        1, static_cast<std::uint64_t>(
-               static_cast<double>(p.blockingFactor) * p.pDoubleStream));
+    // The streaming source owns the generation logic (and the
+    // parameter validation); draining it keeps the batch and streamed
+    // forms of the workload bit-identical by construction.
+    VcmTraceSource source(p, seed);
 
     Trace trace;
     trace.reserve(p.blocks * p.reuseFactor);
-
-    for (std::uint64_t blk = 0; blk < p.blocks; ++blk) {
-        // Each block has its own stride, drawn once: a blocked
-        // algorithm accesses one block with a consistent pattern.
-        const std::int64_t s1 =
-            p.fixedStride1 ? p.fixedStride1
-                           : static_cast<std::int64_t>(dist1.sample(rng));
-
-        // Blocks are laid out far enough apart not to overlap even at
-        // the maximum stride.
-        const Addr block_base =
-            blk * (p.blockingFactor * p.maxStride + 1);
-
-        for (std::uint64_t pass = 0; pass < p.reuseFactor; ++pass) {
-            VectorOp op;
-            op.first = VectorRef{block_base, s1, p.blockingFactor};
-            if (rng.bernoulli(p.pDoubleStream)) {
-                const std::int64_t s2 =
-                    p.fixedStride2
-                        ? p.fixedStride2
-                        : static_cast<std::int64_t>(dist2.sample(rng));
-                // The second stream starts a random bank/line distance
-                // D away from the first, as in the analysis.
-                const Addr d = rng.uniformInt(1, p.maxStride);
-                op.second = VectorRef{block_base + d, s2, second_len};
-            }
-            trace.push_back(op);
-        }
-    }
+    VectorOp op;
+    while (source.next(op))
+        trace.push_back(op);
     return trace;
 }
 

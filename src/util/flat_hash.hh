@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Open-addressing hash containers for the simulator hot path.
+ *
+ * std::unordered_{set,map} cost one allocation per node and a pointer
+ * chase per probe; on the per-element simulator path (touched-line
+ * tracking, in-flight prefetch arrivals, 3C bookkeeping) those
+ * dominate the profile.  FlatSet/FlatMap store entries inline in one
+ * power-of-two array with linear probing, so a lookup is a mix, a
+ * mask and a short scan, and the only allocations ever made are the
+ * doubling rehashes.
+ *
+ * Erase is tombstone-free: removing an entry backward-shifts the
+ * following probe chain into the gap, so tables never degrade with
+ * churn and load-factor math stays exact.  Iteration order is
+ * unspecified (as with the std containers); both containers are
+ * differentially tested against their std counterparts.
+ */
+
+#ifndef VCACHE_UTIL_FLAT_HASH_HH
+#define VCACHE_UTIL_FLAT_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vcache
+{
+
+/** Default integer hash: the splitmix64 finalizer (invertible mix). */
+struct FlatHash64
+{
+    std::size_t
+    operator()(std::uint64_t x) const
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+};
+
+/**
+ * Open-addressing hash map with inline storage.
+ *
+ * @tparam Key key type (hashed by Hash; compared with ==)
+ * @tparam Value mapped type (default-constructible)
+ * @tparam Hash hash functor
+ */
+template <typename Key, typename Value, typename Hash = FlatHash64>
+class FlatMap
+{
+  public:
+    FlatMap() = default;
+
+    /** Number of live entries. */
+    std::size_t size() const { return count; }
+
+    bool empty() const { return count == 0; }
+
+    /** Pointer to the mapped value, or nullptr when absent. */
+    Value *
+    find(const Key &key)
+    {
+        if (count == 0)
+            return nullptr;
+        const std::size_t i = probe(key);
+        return slots[i].used ? &slots[i].value : nullptr;
+    }
+
+    const Value *
+    find(const Key &key) const
+    {
+        if (count == 0)
+            return nullptr;
+        const std::size_t i = probe(key);
+        return slots[i].used ? &slots[i].value : nullptr;
+    }
+
+    bool contains(const Key &key) const { return find(key) != nullptr; }
+
+    /**
+     * Insert key with a default value if absent.
+     * @return reference to the mapped value (stable until the next
+     *         insertion)
+     */
+    Value &
+    operator[](const Key &key)
+    {
+        reserveOne();
+        const std::size_t i = probe(key);
+        if (!slots[i].used) {
+            slots[i].used = true;
+            slots[i].key = key;
+            slots[i].value = Value{};
+            ++count;
+        }
+        return slots[i].value;
+    }
+
+    /** Insert or overwrite; @return true if the key was new. */
+    bool
+    insertOrAssign(const Key &key, Value value)
+    {
+        reserveOne();
+        const std::size_t i = probe(key);
+        const bool fresh = !slots[i].used;
+        if (fresh) {
+            slots[i].used = true;
+            slots[i].key = key;
+            ++count;
+        }
+        slots[i].value = std::move(value);
+        return fresh;
+    }
+
+    /** Remove a key; @return true if it was present. */
+    bool
+    erase(const Key &key)
+    {
+        if (count == 0)
+            return false;
+        std::size_t gap = probe(key);
+        if (!slots[gap].used)
+            return false;
+
+        // Tombstone-free removal: walk the chain after the gap and
+        // shift back every entry whose probe distance reaches across
+        // the gap, so later lookups never hit a hole mid-chain.
+        const std::size_t mask = slots.size() - 1;
+        std::size_t j = gap;
+        for (;;) {
+            j = (j + 1) & mask;
+            if (!slots[j].used)
+                break;
+            const std::size_t home = hash(slots[j].key) & mask;
+            if (((j - home) & mask) >= ((j - gap) & mask)) {
+                slots[gap] = std::move(slots[j]);
+                gap = j;
+            }
+        }
+        slots[gap].used = false;
+        slots[gap].value = Value{};
+        --count;
+        return true;
+    }
+
+    /** Drop every entry but keep the table's capacity. */
+    void
+    clear()
+    {
+        for (auto &s : slots) {
+            s.used = false;
+            s.value = Value{};
+        }
+        count = 0;
+    }
+
+    /** Visit every (key, value) pair in unspecified order. */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        for (const auto &s : slots)
+            if (s.used)
+                fn(s.key, s.value);
+    }
+
+  private:
+    struct Slot
+    {
+        Key key{};
+        Value value{};
+        bool used = false;
+    };
+
+    /**
+     * Index of the key's slot if present, else of the empty slot
+     * where it would be inserted.  Requires a non-empty table.
+     */
+    std::size_t
+    probe(const Key &key) const
+    {
+        const std::size_t mask = slots.size() - 1;
+        std::size_t i = hash(key) & mask;
+        while (slots[i].used && !(slots[i].key == key))
+            i = (i + 1) & mask;
+        return i;
+    }
+
+    /** Guarantee room for one more entry at < 7/8 load. */
+    void
+    reserveOne()
+    {
+        if (slots.empty()) {
+            slots.resize(kMinCapacity);
+            return;
+        }
+        if ((count + 1) * 8 < slots.size() * 7)
+            return;
+        std::vector<Slot> old(slots.size() * 2);
+        old.swap(slots);
+        const std::size_t mask = slots.size() - 1;
+        for (auto &s : old) {
+            if (!s.used)
+                continue;
+            std::size_t i = hash(s.key) & mask;
+            while (slots[i].used)
+                i = (i + 1) & mask;
+            slots[i] = std::move(s);
+        }
+    }
+
+    static constexpr std::size_t kMinCapacity = 16;
+
+    std::vector<Slot> slots;
+    std::size_t count = 0;
+    [[no_unique_address]] Hash hash{};
+};
+
+/** Open-addressing hash set with inline storage. */
+template <typename Key, typename Hash = FlatHash64>
+class FlatSet
+{
+  public:
+    FlatSet() = default;
+
+    std::size_t size() const { return table.size(); }
+    bool empty() const { return table.empty(); }
+
+    /** @return true if the key was newly inserted. */
+    bool
+    insert(const Key &key)
+    {
+        return table.insertOrAssign(key, Unit{});
+    }
+
+    bool contains(const Key &key) const { return table.contains(key); }
+
+    /** Remove a key; @return true if it was present. */
+    bool erase(const Key &key) { return table.erase(key); }
+
+    /** Drop every entry but keep the table's capacity. */
+    void clear() { table.clear(); }
+
+    /** Visit every key in unspecified order. */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        table.forEach([&fn](const Key &key, const Unit &) { fn(key); });
+    }
+
+  private:
+    struct Unit
+    {
+    };
+
+    FlatMap<Key, Unit, Hash> table;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_UTIL_FLAT_HASH_HH

@@ -13,6 +13,17 @@
 
 #include <cstdint>
 
+/**
+ * Force inlining of a per-element hot-path function whose call
+ * overhead the compiler's size heuristics would otherwise keep.
+ * Falls back to plain `inline` off GCC/Clang.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define VCACHE_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define VCACHE_ALWAYS_INLINE inline
+#endif
+
 namespace vcache
 {
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
 #include "memory/bus.hh"
 
 namespace vcache
@@ -24,6 +27,44 @@ TEST(PipelinedBus, NoContentionWhenSpaced)
     PipelinedBus bus("test");
     EXPECT_EQ(bus.reserve(0), 0u);
     EXPECT_EQ(bus.reserve(5), 5u);
+    EXPECT_EQ(bus.contentionCycles(), 0u);
+}
+
+TEST(PipelinedBus, ReserveManyMatchesLoopOfReserve)
+{
+    // The closed form must agree with n individual reservations in
+    // grant cycle, transfer count, contention and next-free state,
+    // across randomized interleavings of arrival time and burst size.
+    std::mt19937_64 rng(1234);
+    PipelinedBus closed("closed");
+    PipelinedBus looped("looped");
+    Cycles clock = 0;
+    for (int step = 0; step < 500; ++step) {
+        clock += rng() % 7;
+        const std::uint64_t n = rng() % 6;
+
+        const Cycles want_first =
+            std::max(clock, looped.nextFreeAt());
+        for (std::uint64_t i = 0; i < n; ++i)
+            looped.reserve(clock);
+
+        EXPECT_EQ(closed.reserveMany(clock, n), want_first);
+        EXPECT_EQ(closed.nextFreeAt(), looped.nextFreeAt());
+        EXPECT_EQ(closed.transfers(), looped.transfers());
+        EXPECT_EQ(closed.contentionCycles(),
+                  looped.contentionCycles());
+    }
+}
+
+TEST(PipelinedBus, ReserveManyZeroReservesNothing)
+{
+    PipelinedBus bus("test");
+    bus.reserve(0);
+    // n == 0 reports the hypothetical grant cycle without taking it.
+    EXPECT_EQ(bus.reserveMany(0, 0), 1u);
+    EXPECT_EQ(bus.reserveMany(5, 0), 5u);
+    EXPECT_EQ(bus.transfers(), 1u);
+    EXPECT_EQ(bus.nextFreeAt(), 1u);
     EXPECT_EQ(bus.contentionCycles(), 0u);
 }
 

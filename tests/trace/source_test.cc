@@ -1,0 +1,105 @@
+/**
+ * Tests for the streaming trace sources: each stochastic source must
+ * yield exactly the operations of its batch generator, in order, and
+ * reset() must restart the stream from the same RNG state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "trace/multistride.hh"
+#include "trace/source.hh"
+#include "trace/vcm.hh"
+
+namespace vcache
+{
+namespace
+{
+
+void
+expectSameRef(const VectorRef &got, const VectorRef &want)
+{
+    EXPECT_EQ(got.base, want.base);
+    EXPECT_EQ(got.stride, want.stride);
+    EXPECT_EQ(got.length, want.length);
+}
+
+void
+expectSameOps(TraceSource &source, const Trace &trace)
+{
+    VectorOp op;
+    std::size_t i = 0;
+    while (source.next(op)) {
+        ASSERT_LT(i, trace.size());
+        const VectorOp &want = trace[i++];
+        expectSameRef(op.first, want.first);
+        ASSERT_EQ(op.second.has_value(), want.second.has_value());
+        if (op.second)
+            expectSameRef(*op.second, *want.second);
+        ASSERT_EQ(op.store.has_value(), want.store.has_value());
+        if (op.store)
+            expectSameRef(*op.store, *want.store);
+    }
+    EXPECT_EQ(i, trace.size());
+    // An exhausted source stays exhausted until reset.
+    EXPECT_FALSE(source.next(op));
+}
+
+TEST(VcmTraceSource, MatchesBatchGeneratorAndResets)
+{
+    VcmParams p;
+    p.blockingFactor = 256;
+    p.reuseFactor = 4;
+    p.pDoubleStream = 0.5;
+    p.blocks = 3;
+    p.maxStride = 4096;
+    const Trace trace = generateVcmTrace(p, 99);
+    ASSERT_FALSE(trace.empty());
+
+    VcmTraceSource source(p, 99);
+    expectSameOps(source, trace);
+    source.reset();
+    expectSameOps(source, trace);
+}
+
+TEST(MultistrideTraceSource, MatchesBatchGeneratorAndResets)
+{
+    const MultistrideParams p{512, 6, 0.25, 8192, 0, 2};
+    const Trace trace = generateMultistrideTrace(p, 5);
+    ASSERT_FALSE(trace.empty());
+
+    MultistrideTraceSource source(p, 5);
+    expectSameOps(source, trace);
+    source.reset();
+    expectSameOps(source, trace);
+}
+
+TEST(MultistrideTraceSource, ZeroReuseIsEmpty)
+{
+    const MultistrideParams p{512, 6, 0.25, 8192, 0, 0};
+    MultistrideTraceSource source(p, 5);
+    VectorOp op;
+    EXPECT_FALSE(source.next(op));
+    source.reset();
+    EXPECT_FALSE(source.next(op));
+}
+
+TEST(TraceVectorSource, WalksAndRewinds)
+{
+    Trace trace;
+    VectorOp op;
+    op.first = VectorRef{16, 2, 8};
+    trace.push_back(op);
+    op.first = VectorRef{0, 1, 4};
+    op.store = VectorRef{64, 1, 4};
+    trace.push_back(op);
+
+    TraceVectorSource source(trace);
+    expectSameOps(source, trace);
+    source.reset();
+    expectSameOps(source, trace);
+}
+
+} // namespace
+} // namespace vcache

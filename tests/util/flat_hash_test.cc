@@ -1,0 +1,190 @@
+#include "util/flat_hash.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace vcache;
+
+TEST(FlatSet, InsertFindErase)
+{
+    FlatSet<std::uint64_t> set;
+    EXPECT_TRUE(set.empty());
+    EXPECT_TRUE(set.insert(7));
+    EXPECT_FALSE(set.insert(7));
+    EXPECT_TRUE(set.contains(7));
+    EXPECT_FALSE(set.contains(8));
+    EXPECT_EQ(set.size(), 1u);
+    EXPECT_TRUE(set.erase(7));
+    EXPECT_FALSE(set.erase(7));
+    EXPECT_TRUE(set.empty());
+}
+
+TEST(FlatSet, ClearKeepsWorking)
+{
+    FlatSet<std::uint64_t> set;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        set.insert(i);
+    set.clear();
+    EXPECT_EQ(set.size(), 0u);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        EXPECT_FALSE(set.contains(i));
+    EXPECT_TRUE(set.insert(3));
+    EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FlatSet, GrowsAcrossRehash)
+{
+    FlatSet<std::uint64_t> set;
+    constexpr std::uint64_t kN = 10000;
+    for (std::uint64_t i = 0; i < kN; ++i)
+        EXPECT_TRUE(set.insert(i * 0x10001));
+    EXPECT_EQ(set.size(), kN);
+    for (std::uint64_t i = 0; i < kN; ++i)
+        EXPECT_TRUE(set.contains(i * 0x10001));
+    EXPECT_FALSE(set.contains(1));
+}
+
+TEST(FlatMap, OperatorIndexAndFind)
+{
+    FlatMap<std::uint64_t, int> map;
+    map[5] = 50;
+    map[6] = 60;
+    ASSERT_NE(map.find(5), nullptr);
+    EXPECT_EQ(*map.find(5), 50);
+    EXPECT_EQ(map.find(7), nullptr);
+    map[5] = 51;
+    EXPECT_EQ(*map.find(5), 51);
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatMap, InsertOrAssignReportsFreshness)
+{
+    FlatMap<std::uint64_t, int> map;
+    EXPECT_TRUE(map.insertOrAssign(1, 10));
+    EXPECT_FALSE(map.insertOrAssign(1, 11));
+    EXPECT_EQ(*map.find(1), 11);
+}
+
+/** Colliding hash: every key lands on one bucket, so every probe
+ *  chain is maximal and erase's backward shift is fully exercised. */
+struct CollidingHash
+{
+    std::size_t operator()(std::uint64_t) const { return 0; }
+};
+
+TEST(FlatMap, EraseBackwardShiftUnderFullCollision)
+{
+    FlatMap<std::uint64_t, std::uint64_t, CollidingHash> map;
+    for (std::uint64_t k = 0; k < 8; ++k)
+        map.insertOrAssign(k, k * 10);
+    // Remove from the middle of the single chain, then verify every
+    // survivor is still reachable.
+    EXPECT_TRUE(map.erase(3));
+    EXPECT_TRUE(map.erase(0));
+    for (std::uint64_t k = 0; k < 8; ++k) {
+        if (k == 3 || k == 0) {
+            EXPECT_EQ(map.find(k), nullptr) << k;
+        } else {
+            ASSERT_NE(map.find(k), nullptr) << k;
+            EXPECT_EQ(*map.find(k), k * 10);
+        }
+    }
+    // Reinsertion after the shift keeps the chain consistent.
+    EXPECT_TRUE(map.insertOrAssign(3, 33));
+    EXPECT_EQ(*map.find(3), 33u);
+}
+
+/**
+ * The satellite differential test: random interleavings of
+ * insert/erase/find/clear against the std containers, with a key
+ * range small enough that erases hit and chains overlap, across
+ * enough operations to cross several growth rehashes.
+ */
+TEST(FlatHashDifferential, SetMatchesUnorderedSet)
+{
+    Rng rng(2024);
+    FlatSet<std::uint64_t> flat;
+    std::unordered_set<std::uint64_t> ref;
+
+    for (int op = 0; op < 200000; ++op) {
+        const std::uint64_t key = rng.uniformInt(0, 4095);
+        const std::uint64_t what = rng.uniformInt(0, 99);
+        if (what < 55) {
+            EXPECT_EQ(flat.insert(key), ref.insert(key).second);
+        } else if (what < 85) {
+            EXPECT_EQ(flat.erase(key), ref.erase(key) > 0);
+        } else if (what < 99) {
+            EXPECT_EQ(flat.contains(key), ref.count(key) > 0);
+        } else {
+            flat.clear();
+            ref.clear();
+        }
+        ASSERT_EQ(flat.size(), ref.size());
+    }
+
+    // Full-content sweep at the end.
+    for (std::uint64_t key = 0; key < 4096; ++key)
+        EXPECT_EQ(flat.contains(key), ref.count(key) > 0);
+    std::uint64_t seen = 0;
+    flat.forEach([&](std::uint64_t key) {
+        ++seen;
+        EXPECT_TRUE(ref.count(key)) << key;
+    });
+    EXPECT_EQ(seen, ref.size());
+}
+
+TEST(FlatHashDifferential, MapMatchesUnorderedMap)
+{
+    Rng rng(77);
+    FlatMap<std::uint64_t, std::uint64_t> flat;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+
+    for (int op = 0; op < 200000; ++op) {
+        const std::uint64_t key = rng.uniformInt(0, 2047);
+        const std::uint64_t what = rng.uniformInt(0, 99);
+        if (what < 35) {
+            const std::uint64_t value = rng.next();
+            EXPECT_EQ(flat.insertOrAssign(key, value),
+                      ref.insert_or_assign(key, value).second);
+        } else if (what < 55) {
+            // operator[] default-constructs on first touch, like std.
+            EXPECT_EQ(flat[key], ref[key]);
+            const std::uint64_t value = rng.next();
+            flat[key] = value;
+            ref[key] = value;
+        } else if (what < 85) {
+            EXPECT_EQ(flat.erase(key), ref.erase(key) > 0);
+        } else if (what < 99) {
+            const auto *hit = flat.find(key);
+            const auto it = ref.find(key);
+            ASSERT_EQ(hit != nullptr, it != ref.end());
+            if (hit) {
+                EXPECT_EQ(*hit, it->second);
+            }
+        } else {
+            flat.clear();
+            ref.clear();
+        }
+        ASSERT_EQ(flat.size(), ref.size());
+    }
+
+    std::uint64_t seen = 0;
+    flat.forEach([&](std::uint64_t key, std::uint64_t value) {
+        ++seen;
+        const auto it = ref.find(key);
+        ASSERT_NE(it, ref.end()) << key;
+        EXPECT_EQ(value, it->second);
+    });
+    EXPECT_EQ(seen, ref.size());
+}
+
+} // namespace
