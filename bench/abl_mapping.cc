@@ -40,6 +40,7 @@ main(int argc, char **argv)
     ArgParser args("Equal-cost index-function ablation: modulo 2^c "
                    "vs XOR hash vs modulo 2^c - 1.");
     addSweepFlags(args);
+    addObsFlags(args);
     args.parse(argc, argv);
     const SweepOptions opts = sweepOptionsFromFlags(args, "abl_mapping");
 
@@ -171,5 +172,10 @@ main(int argc, char **argv)
         anatomy.addRowStrings(row);
     }
     anatomy.print(std::cout);
+
+    // Instrumented postlude: the aligned banded workload is the
+    // ablation's worst conflict case, so trace it on both schemes.
+    ObsSession session(obsOptionsFromFlags(args));
+    observeSchemes(session, paperMachineM32(), banded_trace);
     return 0;
 }

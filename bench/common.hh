@@ -12,6 +12,9 @@
 #include <string>
 
 #include "analytic/machine.hh"
+#include "obs/instrument.hh"
+#include "sim/runner.hh"
+#include "trace/access.hh"
 
 namespace vcache
 {
@@ -24,6 +27,27 @@ banner(const std::string &figure, const std::string &claim,
     std::cout << "== " << figure << " ==\n"
               << claim << "\n"
               << "machine: " << describe(machine) << "\n\n";
+}
+
+/**
+ * Shared instrumented postlude: when any --stats-out/--trace-out flag
+ * was given (addObsFlags), re-run `trace` on both CC mapping schemes
+ * under TracingObservers and write the requested outputs.  The traced
+ * runs are separate from the tables a driver prints -- the tables
+ * keep their zero-cost NullObserver paths -- so instrumentation never
+ * perturbs published numbers.
+ */
+inline void
+observeSchemes(ObsSession &session, const MachineParams &machine,
+               const Trace &trace)
+{
+    if (!session.enabled())
+        return;
+    auto &direct = session.observer("cc_direct");
+    simulateCc(machine, CacheScheme::Direct, trace, direct);
+    auto &prime = session.observer("cc_prime");
+    simulateCc(machine, CacheScheme::Prime, trace, prime);
+    session.finish();
 }
 
 } // namespace vcache

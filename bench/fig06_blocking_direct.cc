@@ -13,12 +13,18 @@
 #include "common.hh"
 #include "core/comparison.hh"
 #include "core/defaults.hh"
+#include "trace/vcm.hh"
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vcache;
+
+    ArgParser args("Figure 6: cycles/result vs blocking factor for "
+                   "the direct-mapped CC machine.");
+    addObsFlags(args);
+    args.parse(argc, argv);
 
     MachineParams machine = paperMachineM32();
     banner("Figure 6",
@@ -42,5 +48,20 @@ main()
                      p16.mm, p16.direct, p32.mm, p32.direct);
     }
     table.print(std::cout);
+
+    // Instrumented postlude: trace the crossover point (B = 4K, where
+    // direct mapping falls behind the cacheless MM machine) on both
+    // schemes to expose the conflict bursts behind the model curve.
+    ObsSession session(obsOptionsFromFlags(args));
+    if (session.enabled()) {
+        VcmParams p;
+        p.blockingFactor = 4096;
+        p.reuseFactor = 16;
+        p.pDoubleStream = 0.0;
+        p.blocks = 2;
+        p.maxStride = 8192;
+        machine.memoryTime = 32;
+        observeSchemes(session, machine, generateVcmTrace(p, 1));
+    }
     return 0;
 }

@@ -17,6 +17,7 @@
 #include <iostream>
 #include <vector>
 
+#include "common.hh"
 #include "core/comparison.hh"
 #include "core/defaults.hh"
 #include "sim/runner.hh"
@@ -83,6 +84,7 @@ main(int argc, char **argv)
     ArgParser args("Dump the full (banks, t_m, B) model grid as CSV; "
                    "--sim adds trace-driven simulator columns.");
     addSweepFlags(args);
+    addObsFlags(args);
     args.addFlag("sim", "true",
                  "also run the MM/CC simulators at every point");
     args.parse(argc, argv);
@@ -154,5 +156,19 @@ main(int argc, char **argv)
            Table::format(outcome.stats.mean()), ", min ",
            Table::format(outcome.stats.min()), ", max ",
            Table::format(outcome.stats.max()));
+
+    // Instrumented postlude: one representative traced point of the
+    // surface (paper machine, largest default B) on both schemes.
+    ObsSession session(obsOptionsFromFlags(args));
+    if (session.enabled()) {
+        VcmParams p;
+        p.blockingFactor = 2048;
+        p.reuseFactor = 8;
+        p.pDoubleStream = 0.2;
+        p.blocks = 2;
+        p.maxStride = 8192;
+        observeSchemes(session, paperMachineM64(),
+                       generateVcmTrace(p, opts.seed));
+    }
     return 0;
 }

@@ -123,6 +123,7 @@ main(int argc, char **argv)
     ArgParser args("Analytic model vs cycle-level simulation on the "
                    "VCM workload.");
     addSweepFlags(args);
+    addObsFlags(args);
     args.parse(argc, argv);
     const SweepOptions opts =
         sweepOptionsFromFlags(args, "val_analytic_vs_sim");
@@ -158,5 +159,19 @@ main(int argc, char **argv)
                  "double-stream rows within ~2x with\nthe model "
                  "conservative on MM.  The prime < direct ordering "
                  "holds at every\npoint, in both model and machine.\n";
+
+    // Instrumented postlude: one traced VCM run per mapping scheme,
+    // so --trace-out opens the direct-vs-prime comparison in Perfetto
+    // and --stats-out records the per-set occupancy split.
+    ObsSession session(obsOptionsFromFlags(args));
+    if (session.enabled()) {
+        VcmParams p;
+        p.blockingFactor = 2048;
+        p.reuseFactor = 16;
+        p.pDoubleStream = 0.2;
+        p.blocks = 4;
+        p.maxStride = 8192;
+        observeSchemes(session, machine, generateVcmTrace(p, opts.seed));
+    }
     return 0;
 }

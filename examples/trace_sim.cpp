@@ -33,6 +33,7 @@ main(int argc, char **argv)
     args.addFlag("config", "",
                  "INI experiment file ([machine]/[cache] sections, "
                  "see core/configio.hh); flags override it");
+    addObsFlags(args);
     args.parse(argc, argv);
 
     if (const auto demo = args.getString("demo"); !demo.empty()) {
@@ -102,14 +103,25 @@ main(int argc, char **argv)
     const auto mm = simulateMm(machine, trace);
     timing.addRow("MM (no cache)", mm.totalCycles,
                   mm.cyclesPerResult(), 0.0);
+    // --stats-out/--trace-out re-run the timed pass under a
+    // TracingObserver per scheme; the printed table itself stays on
+    // the zero-cost NullObserver path.
+    ObsSession session(obsOptionsFromFlags(args));
     for (const auto scheme :
          {CacheScheme::Direct, CacheScheme::Prime}) {
+        const char *name = scheme == CacheScheme::Prime ? "CC prime"
+                                                        : "CC direct";
         const auto r = simulateCc(machine, scheme, trace);
-        timing.addRow(scheme == CacheScheme::Prime ? "CC prime"
-                                                   : "CC direct",
-                      r.totalCycles, r.cyclesPerResult(),
+        timing.addRow(name, r.totalCycles, r.cyclesPerResult(),
                       100.0 * r.missRatio());
+        if (session.enabled()) {
+            auto &obs = session.observer(
+                scheme == CacheScheme::Prime ? "cc_prime"
+                                             : "cc_direct");
+            simulateCc(machine, scheme, trace, obs);
+        }
     }
     timing.print(std::cout);
+    session.finish();
     return 0;
 }

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare a fresh throughput run against the tracked baseline.
+
+Usage:
+    compare_bench.py BASELINE_JSON CURRENT_JSON [--tolerance FRAC]
+
+Both files are in the BENCH_sim.json format written by
+bench_to_json.py.  The comparison walks the "summary" rates (elements
+or points per second) present in *both* files and fails if any current
+rate falls more than FRAC (default 0.05, i.e. 5%) below the baseline.
+Speedups and new benchmarks never fail.
+
+This is the observability PR's zero-cost gate: the simulators run with
+the NullObserver here, so any slowdown beyond tolerance means the
+instrumentation leaked into the uninstrumented hot path.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_summary(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"compare_bench: cannot read {path}: {err}",
+              file=sys.stderr)
+        raise SystemExit(1)
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        print(f"compare_bench: {path} has no summary object",
+              file=sys.stderr)
+        raise SystemExit(1)
+    return summary
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="allowed fractional slowdown (default 0.05)",
+    )
+    args = parser.parse_args()
+
+    base = load_summary(args.baseline)
+    curr = load_summary(args.current)
+
+    compared = 0
+    failures = []
+    for key in sorted(base):
+        b, c = base.get(key), curr.get(key)
+        if not isinstance(b, (int, float)) or not isinstance(
+                c, (int, float)) or b <= 0:
+            continue
+        compared += 1
+        ratio = c / b
+        marker = "OK"
+        if ratio < 1.0 - args.tolerance:
+            marker = "REGRESSION"
+            failures.append(key)
+        print(f"compare_bench: {key}: baseline {b:.4g} "
+              f"current {c:.4g} ({ratio - 1.0:+.1%}) {marker}")
+
+    if compared == 0:
+        print("compare_bench: no comparable summary rates",
+              file=sys.stderr)
+        return 1
+    if failures:
+        print(f"compare_bench: {len(failures)}/{compared} rates "
+              f"regressed beyond {args.tolerance:.0%}: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"compare_bench: {compared} rates within "
+          f"{args.tolerance:.0%} of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace-event JSON file.
+
+Usage:
+    validate_trace.py TRACE_JSON [--min-events N]
+
+Checks, beyond "json.load succeeds":
+
+  - the document is an object with a "traceEvents" list;
+  - every event is an object carrying the keys its phase requires
+    ("ph", "ts", "pid", "tid" everywhere; "name" except on "E");
+  - timestamps are non-negative numbers;
+  - begin/end duration events balance per (pid, tid) lane and never
+    close an unopened slice;
+  - counter events carry a numeric value in "args";
+  - metadata thread_name events carry args.name.
+
+Exits 0 and prints a one-line summary on success; prints every
+violation (capped) and exits 1 otherwise.  The simulators' writer caps
+its stream and reports drops via a "dropped_events" counter, so a
+truncated-but-valid trace still passes -- truncation by a crash (no
+closing "]}") does not.
+"""
+
+import argparse
+import json
+import sys
+
+MAX_REPORTED = 20
+
+# Phases the writer emits; anything else is suspicious enough to flag.
+KNOWN_PHASES = {"B", "E", "i", "I", "C", "M", "X"}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace-event JSON file")
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="fail if fewer than this many events (default 1)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"validate_trace: cannot parse {args.trace}: {err}",
+              file=sys.stderr)
+        return 1
+
+    errors: list[str] = []
+
+    def report(index: int, msg: str) -> None:
+        if len(errors) < MAX_REPORTED:
+            errors.append(f"event {index}: {msg}")
+        elif len(errors) == MAX_REPORTED:
+            errors.append("... further violations suppressed")
+
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("traceEvents"), list):
+        print(f"validate_trace: {args.trace} has no traceEvents list",
+              file=sys.stderr)
+        return 1
+
+    events = doc["traceEvents"]
+    open_slices: dict[tuple, int] = {}
+    phases: dict[str, int] = {}
+    lanes: dict[tuple, str] = {}
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            report(i, "not an object")
+            continue
+        ph = ev.get("ph")
+        phases[ph] = phases.get(ph, 0) + 1
+        if ph not in KNOWN_PHASES:
+            report(i, f"unknown phase {ph!r}")
+            continue
+        for key in ("ts", "pid", "tid"):
+            if not isinstance(ev.get(key), (int, float)) and not (
+                    ph == "M" and key == "ts"):
+                report(i, f"missing/non-numeric {key!r}")
+        ts = ev.get("ts")
+        if isinstance(ts, (int, float)) and ts < 0:
+            report(i, f"negative timestamp {ts}")
+        if ph != "E" and not isinstance(ev.get("name"), str):
+            report(i, "missing name")
+
+        lane = (ev.get("pid"), ev.get("tid"))
+        if ph == "B":
+            open_slices[lane] = open_slices.get(lane, 0) + 1
+        elif ph == "E":
+            if open_slices.get(lane, 0) == 0:
+                report(i, f"'E' with no open slice on lane {lane}")
+            else:
+                open_slices[lane] -= 1
+        elif ph == "C":
+            trace_args = ev.get("args")
+            if not isinstance(trace_args, dict) or not any(
+                    isinstance(v, (int, float))
+                    for v in trace_args.values()):
+                report(i, "counter without a numeric args value")
+        elif ph == "M" and ev.get("name") == "thread_name":
+            name = (ev.get("args") or {}).get("name")
+            if not isinstance(name, str) or not name:
+                report(i, "thread_name without args.name")
+            else:
+                lanes[lane] = name
+
+    for lane, depth in sorted(open_slices.items(), key=str):
+        if depth:
+            errors.append(
+                f"lane {lane}: {depth} duration slice(s) never closed")
+
+    if len(events) < args.min_events:
+        errors.append(
+            f"only {len(events)} events (< {args.min_events})")
+
+    if errors:
+        for e in errors:
+            print(f"validate_trace: {args.trace}: {e}",
+                  file=sys.stderr)
+        return 1
+
+    lane_names = ", ".join(sorted(lanes.values())) or "unnamed"
+    by_phase = " ".join(
+        f"{ph}:{n}" for ph, n in sorted(phases.items(), key=str))
+    print(f"validate_trace: {args.trace} OK -- {len(events)} events "
+          f"({by_phase}) on lanes [{lane_names}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

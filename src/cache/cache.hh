@@ -174,6 +174,17 @@ class Cache
     /** Number of currently valid lines. */
     virtual std::uint64_t validLines() const = 0;
 
+    /**
+     * Frame/set index the line address maps to: the quantity per-set
+     * conflict observability histograms over.  For direct-style
+     * organizations this is the frame number; for set-associative
+     * ones, the set number.
+     */
+    virtual std::uint64_t frameIndex(Addr line_addr) const = 0;
+
+    /** Number of distinct frameIndex() values (histogram domain). */
+    virtual std::uint64_t numSets() const { return numLines(); }
+
     /** Fraction of lines valid, the paper's "fraction of cache used". */
     double utilization() const;
 
@@ -207,6 +218,17 @@ probeLine(CacheT &cache, Addr line_addr)
         return cache.CacheT::lookupAndFill(line_addr);
     else
         return cache.lookupAndFill(line_addr);
+}
+
+/** Statically-bound Cache::frameIndex (see probeLine). */
+template <typename CacheT>
+inline std::uint64_t
+frameIndexOf(const CacheT &cache, Addr line_addr)
+{
+    if constexpr (std::is_final_v<CacheT>)
+        return cache.CacheT::frameIndex(line_addr);
+    else
+        return cache.frameIndex(line_addr);
 }
 
 /** Statically-bound Cache::contains (see probeLine). */

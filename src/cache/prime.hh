@@ -97,6 +97,12 @@ class PrimeMappedCache final : public Cache
     std::uint64_t numLines() const override { return frames.size(); }
     std::uint64_t validLines() const override;
 
+    std::uint64_t
+    frameIndex(Addr line_addr) const override
+    {
+        return frameOf(line_addr);
+    }
+
   private:
     struct Frame
     {

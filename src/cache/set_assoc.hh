@@ -38,8 +38,14 @@ class SetAssociativeCache final : public Cache
     std::uint64_t numLines() const override;
     std::uint64_t validLines() const override;
 
+    std::uint64_t
+    frameIndex(Addr line_addr) const override
+    {
+        return setOf(line_addr);
+    }
+
     unsigned associativity() const { return ways; }
-    std::uint64_t numSets() const { return sets; }
+    std::uint64_t numSets() const override { return sets; }
     const ReplacementPolicy &replacement() const { return *policy; }
 
   private:

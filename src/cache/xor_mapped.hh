@@ -38,6 +38,12 @@ class XorMappedCache final : public Cache
     std::uint64_t numLines() const override { return frames.size(); }
     std::uint64_t validLines() const override;
 
+    std::uint64_t
+    frameIndex(Addr line_addr) const override
+    {
+        return hashIndex(line_addr);
+    }
+
     /** The index hash, exposed for tests and benches. */
     std::uint64_t hashIndex(Addr line_addr) const;
 

@@ -64,8 +64,19 @@
 // Trace-driven simulators.
 #include "sim/cc_sim.hh"
 #include "sim/mm_sim.hh"
+#include "sim/observe.hh"
 #include "sim/result.hh"
 #include "sim/runner.hh"
+#include "sim/sweep.hh"
+
+// Observability: observer policies, counters, traces, interval stats.
+#include "obs/histogram.hh"
+#include "obs/instrument.hh"
+#include "obs/interval.hh"
+#include "obs/observer.hh"
+#include "obs/registry.hh"
+#include "obs/trace_events.hh"
+#include "obs/tracing_observer.hh"
 
 // Vector processing unit (functional ISA model).
 #include "vpu/chime.hh"

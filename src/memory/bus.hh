@@ -72,6 +72,21 @@ class BusSet
     /** Round-robin-free read bus: picks the earliest available. */
     Cycles reserveRead(Cycles earliest);
 
+    /**
+     * reserveRead() with an Observer policy hook reporting how many
+     * cycles the transfer waited for a free read bus.  With a
+     * disabled observer this compiles to exactly reserveRead().
+     */
+    template <typename Observer>
+    Cycles
+    reserveReadObserved(Cycles earliest, Observer &obs)
+    {
+        const Cycles grant = reserveRead(earliest);
+        if constexpr (Observer::kEnabled)
+            obs.onBusWait(earliest, grant - earliest);
+        return grant;
+    }
+
     /** The single write bus. */
     Cycles reserveWrite(Cycles earliest);
 

@@ -91,6 +91,25 @@ class InterleavedMemory
         return when;
     }
 
+    /**
+     * issue() with an Observer policy hook: reports the request's bank
+     * and how long it waited for that bank (the conflict visibility
+     * the aggregate stall counters average away).  With a disabled
+     * observer (Observer::kEnabled == false) this compiles to exactly
+     * issue().
+     */
+    template <typename Observer>
+    Cycles
+    issueObserved(Addr word_addr, Cycles earliest, Observer &obs)
+    {
+        const std::uint64_t bank = bankOf(word_addr);
+        const Cycles when = std::max(earliest, busyUntil[bank]);
+        if constexpr (Observer::kEnabled)
+            obs.onBankIssue(earliest, bank, when - earliest);
+        busyUntil[bank] = when + tm;
+        return when;
+    }
+
     /** Outcome of streaming a whole address sequence. */
     struct StreamResult
     {

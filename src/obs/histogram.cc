@@ -1,0 +1,73 @@
+#include "obs/histogram.hh"
+
+#include "util/statdump.hh"
+
+namespace vcache
+{
+
+std::string
+Log2Histogram::bucketLabel(std::size_t bucket)
+{
+    if (bucket == 0)
+        return "0";
+    if (bucket == 1)
+        return "1";
+    const std::uint64_t lo = std::uint64_t{1} << (bucket - 1);
+    const std::uint64_t hi = lo + (lo - 1);
+    return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+double
+Log2Histogram::mean() const
+{
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(sum) / static_cast<double>(total);
+}
+
+std::size_t
+Log2Histogram::usedBuckets() const
+{
+    std::size_t used = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        if (counts[i] != 0)
+            used = i + 1;
+    return used;
+}
+
+void
+Log2Histogram::dumpTo(StatDump &dump) const
+{
+    dump.scalar("samples", total, "histogram sample count");
+    dump.scalar("mean", mean(), "mean sample value");
+    dump.scalar("max", maxSample, "largest sample value");
+    const std::size_t used = usedBuckets();
+    for (std::size_t i = 0; i < used; ++i) {
+        if (counts[i] == 0)
+            continue;
+        dump.scalar("bucket_" + bucketLabel(i), counts[i],
+                    "samples in this value range");
+    }
+}
+
+void
+Log2Histogram::clear()
+{
+    counts.fill(0);
+    total = 0;
+    sum = 0;
+    maxSample = 0;
+}
+
+void
+Log2Histogram::merge(const Log2Histogram &other)
+{
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        counts[i] += other.counts[i];
+    total += other.total;
+    sum += other.sum;
+    if (other.maxSample > maxSample)
+        maxSample = other.maxSample;
+}
+
+} // namespace vcache

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Power-of-two-bucketed histogram for observability counters.
+ *
+ * Per-set access/miss counts, conflict-burst lengths and bank-wait
+ * times span orders of magnitude, so the buckets are log2-spaced:
+ * [0], [1], [2,3], [4,7], ..., giving a compact, allocation-free
+ * summary whose shape (not its exact counts) is the explanatory
+ * quantity -- a direct-mapped run piles all its accesses into a few
+ * hot sets (mass in the high buckets), a prime-mapped run spreads
+ * them (mass near the mean).
+ */
+
+#ifndef VCACHE_OBS_HISTOGRAM_HH
+#define VCACHE_OBS_HISTOGRAM_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace vcache
+{
+
+class StatDump;
+
+/** Histogram of non-negative integer samples in log2 buckets. */
+class Log2Histogram
+{
+  public:
+    /** Bucket 0 holds value 0; bucket i>=1 holds [2^(i-1), 2^i - 1]. */
+    static constexpr std::size_t kBuckets = 65;
+
+    /** Add one sample (optionally weighted). */
+    void
+    add(std::uint64_t value, std::uint64_t weight = 1)
+    {
+        counts[bucketOf(value)] += weight;
+        total += weight;
+        sum += value * weight;
+        if (value > maxSample)
+            maxSample = value;
+    }
+
+    /** Bucket index a value lands in. */
+    static std::size_t
+    bucketOf(std::uint64_t value)
+    {
+        if (value == 0)
+            return 0;
+        return static_cast<std::size_t>(64 - __builtin_clzll(value));
+    }
+
+    /** Human label of one bucket: "0", "1", "2-3", "4-7", ... */
+    static std::string bucketLabel(std::size_t bucket);
+
+    std::uint64_t bucket(std::size_t i) const { return counts[i]; }
+    std::uint64_t samples() const { return total; }
+    std::uint64_t sampleSum() const { return sum; }
+    std::uint64_t max() const { return maxSample; }
+
+    /** Mean sample value; 0 with no samples. */
+    double mean() const;
+
+    /** Index one past the last non-empty bucket (0 when empty). */
+    std::size_t usedBuckets() const;
+
+    /** Append non-empty buckets as "bucket_<label>" scalars. */
+    void dumpTo(StatDump &dump) const;
+
+    void clear();
+
+    /** Accumulate another histogram into this one. */
+    void merge(const Log2Histogram &other);
+
+  private:
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t total = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t maxSample = 0;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_OBS_HISTOGRAM_HH

@@ -1,0 +1,118 @@
+#include "obs/instrument.hh"
+
+#include <fstream>
+#include <iostream>
+
+#include "util/logging.hh"
+#include "util/statdump.hh"
+
+namespace vcache
+{
+
+namespace
+{
+
+/** True when `name` ends in ".json". */
+bool
+wantsJson(const std::string &name)
+{
+    static const std::string suffix = ".json";
+    return name.size() >= suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+} // namespace
+
+void
+addObsFlags(ArgParser &args)
+{
+    args.addFlag("stats-out", "",
+                 "write run statistics to this file; \"-\" = stdout, "
+                 "a .json suffix selects JSON, otherwise aligned text");
+    args.addFlag("trace-out", "",
+                 "write a Chrome/Perfetto trace-event JSON timeline "
+                 "to this file; \"-\" = stdout");
+    args.addFlag("stats-interval", "0",
+                 "interval-stats window in cycles; 0 disables "
+                 "windowed sampling");
+}
+
+ObsOptions
+obsOptionsFromFlags(const ArgParser &args)
+{
+    ObsOptions opts;
+    opts.statsOut = args.getString("stats-out");
+    opts.traceOut = args.getString("trace-out");
+    opts.statsInterval = args.getUint("stats-interval");
+    return opts;
+}
+
+void
+writeStats(const StatDump &dump, const std::string &dest)
+{
+    if (dest.empty())
+        return;
+    if (dest == "-") {
+        dump.print(std::cout);
+        return;
+    }
+    std::ofstream out(dest);
+    if (!out)
+        vc_fatal("cannot open --stats-out destination '", dest, "'");
+    if (wantsJson(dest))
+        dump.printJson(out);
+    else
+        dump.print(out);
+}
+
+ObsSession::ObsSession(ObsOptions options) : opts(std::move(options))
+{
+    if (opts.traceOut.empty())
+        return;
+    if (opts.traceOut == "-") {
+        events = std::make_unique<TraceEventWriter>(std::cout);
+        return;
+    }
+    traceFile = std::make_unique<std::ofstream>(opts.traceOut);
+    if (!*traceFile)
+        vc_fatal("cannot open --trace-out destination '", opts.traceOut,
+                 "'");
+    events = std::make_unique<TraceEventWriter>(*traceFile);
+}
+
+ObsSession::~ObsSession()
+{
+    finish();
+}
+
+TracingObserver &
+ObsSession::observer(const std::string &name)
+{
+    TracingConfig config;
+    config.statsInterval = opts.statsInterval;
+    observers.push_back(std::make_unique<TracingObserver>(
+        name, config, events.get(),
+        static_cast<std::uint32_t>(observers.size())));
+    return *observers.back();
+}
+
+void
+ObsSession::finish()
+{
+    if (finished)
+        return;
+    finished = true;
+    if (!opts.statsOut.empty() && !observers.empty()) {
+        StatDump dump;
+        for (const auto &obs : observers)
+            obs->dumpTo(dump);
+        writeStats(dump, opts.statsOut);
+    }
+    if (events)
+        events->finish();
+    events.reset();
+    traceFile.reset();
+}
+
+} // namespace vcache

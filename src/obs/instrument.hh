@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Driver-facing instrumentation plumbing: the shared --stats-out /
+ * --trace-out / --stats-interval flags and an ObsSession that owns
+ * the output streams, the trace writer, and one TracingObserver lane
+ * per instrumented simulator.
+ *
+ * Intended use in a bench or example driver:
+ *
+ *   addObsFlags(args);
+ *   ...
+ *   ObsSession session(obsOptionsFromFlags(args));
+ *   if (session.enabled()) {
+ *       auto &obs = session.observer("cc_prime");
+ *       sim.run(trace, obs);
+ *   }
+ *   session.finish();
+ *
+ * With no obs flags given the session is inert and the driver's plain
+ * run() calls keep the zero-cost NullObserver paths.
+ */
+
+#ifndef VCACHE_OBS_INSTRUMENT_HH
+#define VCACHE_OBS_INSTRUMENT_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/tracing_observer.hh"
+#include "util/cli.hh"
+#include "util/types.hh"
+
+namespace vcache
+{
+
+class StatDump;
+
+/** Where (and how densely) an instrumented run reports. */
+struct ObsOptions
+{
+    /** Stats destination: "" = off, "-" = stdout, *.json = JSON. */
+    std::string statsOut;
+    /** Trace-event JSON destination: "" = off, "-" = stdout. */
+    std::string traceOut;
+    /** Interval-stats window in cycles; 0 disables windows. */
+    Cycles statsInterval = 0;
+
+    /** True when any output was requested. */
+    bool
+    enabled() const
+    {
+        return !statsOut.empty() || !traceOut.empty();
+    }
+};
+
+/** Register the shared --stats-out/--trace-out/--stats-interval. */
+void addObsFlags(ArgParser &args);
+
+/** Read the shared flags back. */
+ObsOptions obsOptionsFromFlags(const ArgParser &args);
+
+/**
+ * Render a StatDump to `dest`: "-" prints text to stdout, a ".json"
+ * suffix selects the flat-JSON rendering, anything else gets the
+ * aligned stats.txt text.
+ */
+void writeStats(const StatDump &dump, const std::string &dest);
+
+/** One instrumented reporting session (owns sinks and observers). */
+class ObsSession
+{
+  public:
+    /** An inert session: enabled() is false, finish() is a no-op. */
+    ObsSession() = default;
+
+    /** Open the requested sinks (fatal if a file cannot be opened). */
+    explicit ObsSession(ObsOptions options);
+
+    ObsSession(const ObsSession &) = delete;
+    ObsSession &operator=(const ObsSession &) = delete;
+
+    /** Finishes implicitly if the driver forgot. */
+    ~ObsSession();
+
+    /** True when the session will write something. */
+    bool enabled() const { return opts.enabled(); }
+
+    /**
+     * Create a new observer lane.  The name labels both the stats
+     * group and the trace lane; lanes get consecutive trace tids in
+     * creation order.  The reference stays valid for the session.
+     */
+    TracingObserver &observer(const std::string &name);
+
+    /** The shared trace writer, or nullptr when --trace-out is off. */
+    TraceEventWriter *writer() { return events.get(); }
+
+    /** Lanes created so far. */
+    const std::vector<std::unique_ptr<TracingObserver>> &lanes() const
+    {
+        return observers;
+    }
+
+    /**
+     * Write the stats of every lane and close the trace document.
+     * Idempotent; the destructor calls it if the caller did not.
+     */
+    void finish();
+
+  private:
+    ObsOptions opts;
+    /** Backing file for --trace-out (null when "-" or off). */
+    std::unique_ptr<std::ofstream> traceFile;
+    std::unique_ptr<TraceEventWriter> events;
+    std::vector<std::unique_ptr<TracingObserver>> observers;
+    bool finished = false;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_OBS_INSTRUMENT_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Interval statistics: windowed miss ratio, stall fraction and
+ * per-set activity, sampled every N simulated cycles.
+ *
+ * Aggregate SimResult counters cannot distinguish a run that misses
+ * uniformly from one whose conflict misses arrive in bursts (the
+ * signature of direct-mapped self-interference the paper removes).
+ * The accumulator slices the run into fixed-width cycle windows and
+ * keeps, per window, the demand-access counts, the exposed stall
+ * cycles and a log2 histogram of accesses-per-set -- the occupancy
+ * distribution whose shape separates the two mapping schemes.
+ */
+
+#ifndef VCACHE_OBS_INTERVAL_HH
+#define VCACHE_OBS_INTERVAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/histogram.hh"
+#include "util/types.hh"
+
+namespace vcache
+{
+
+/** One closed sampling window. */
+struct IntervalRow
+{
+    /** Window bounds: [startCycle, endCycle). */
+    Cycles startCycle = 0;
+    Cycles endCycle = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    /** Stall cycles exposed inside the window. */
+    Cycles stallCycles = 0;
+    /** Distinct sets touched inside the window. */
+    std::uint64_t setsTouched = 0;
+    /** Distribution of per-set access counts over the touched sets. */
+    Log2Histogram occupancy;
+
+    double
+    missRatio() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+
+    /** Fraction of the window's cycles lost to stalls. */
+    double
+    stallFraction() const
+    {
+        const Cycles span = endCycle - startCycle;
+        return span ? static_cast<double>(stallCycles) /
+                          static_cast<double>(span)
+                    : 0.0;
+    }
+};
+
+/** Accumulates accesses into fixed-width cycle windows. */
+class IntervalAccumulator
+{
+  public:
+    /** @param period window width in cycles; 0 disables sampling */
+    explicit IntervalAccumulator(Cycles period = 0) : width(period) {}
+
+    bool enabled() const { return width != 0; }
+    Cycles period() const { return width; }
+
+    /** Size the per-set scratch; forgets any previous run. */
+    void
+    begin(std::uint64_t sets)
+    {
+        if (!enabled())
+            return;
+        counts.assign(sets, 0);
+        touched.clear();
+        closed.clear();
+        current = IntervalRow{};
+        current.endCycle = width;
+    }
+
+    /** Record one demand access. */
+    void
+    record(Cycles cycle, std::uint64_t set, bool miss, Cycles stall)
+    {
+        if (!enabled())
+            return;
+        if (cycle >= current.endCycle)
+            rollTo(cycle);
+        ++current.accesses;
+        if (miss)
+            ++current.misses;
+        current.stallCycles += stall;
+        if (set < counts.size() && counts[set]++ == 0)
+            touched.push_back(set);
+    }
+
+    /** Close the trailing partial window (end of run). */
+    void
+    finish(Cycles cycle)
+    {
+        if (!enabled() || current.accesses == 0)
+            return;
+        closeCurrent(cycle > current.startCycle ? cycle
+                                                : current.endCycle);
+    }
+
+    /** All closed windows, oldest first. */
+    const std::vector<IntervalRow> &rows() const { return closed; }
+
+  private:
+    void
+    closeCurrent(Cycles end)
+    {
+        current.endCycle = end;
+        current.setsTouched = touched.size();
+        for (const std::uint64_t set : touched) {
+            current.occupancy.add(counts[set]);
+            counts[set] = 0;
+        }
+        touched.clear();
+        closed.push_back(std::move(current));
+    }
+
+    /** Close the due window and fast-forward over empty ones. */
+    void
+    rollTo(Cycles cycle)
+    {
+        const Cycles boundary = current.endCycle;
+        if (current.accesses != 0)
+            closeCurrent(boundary);
+        // Skip quiet windows in O(1): restart the window at the
+        // boundary of the period containing `cycle`.
+        const Cycles periods = (cycle - boundary) / width;
+        current = IntervalRow{};
+        current.startCycle = boundary + periods * width;
+        current.endCycle = current.startCycle + width;
+    }
+
+    Cycles width;
+    IntervalRow current;
+    std::vector<IntervalRow> closed;
+    /** Per-set access counts within the open window. */
+    std::vector<std::uint32_t> counts;
+    /** Sets with a non-zero count, for O(touched) window resets. */
+    std::vector<std::uint64_t> touched;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_OBS_INTERVAL_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The Observer policy: compile-time pluggable instrumentation for the
+ * simulator hot paths.
+ *
+ * The CC/MM run loops are member templates over an Observer type,
+ * mirroring the `Prefetching` template split: every hook call sits
+ * behind `if constexpr (Observer::kEnabled)`, so a run with the
+ * NullObserver monomorphizes to exactly the uninstrumented loop --
+ * no branches, no calls, no allocations -- while a TracingObserver
+ * (src/obs/tracing_observer.hh) sees every hit, miss, bank conflict,
+ * bus wait and prefetch with cycle stamps and set indices.
+ *
+ * Hook contract (all no-ops here; real observers override what they
+ * need by providing the same signatures):
+ *
+ *   onRunBegin(sets)                   once per run; histogram domain
+ *   onVectorOpBegin(cycle, op)         one vector instruction starts
+ *   onVectorOpEnd(cycle)               ... and retires
+ *   onHit(cycle, line, set)            demand hit
+ *   onMiss(cycle, line, set, kind, stall)  demand miss + exposed stall
+ *   onBankIssue(cycle, bank, waited)   memory bank request (+conflict)
+ *   onBusWait(cycle, waited)           read-bus arbitration wait
+ *   onPrefetchIssue(cycle, line)       timed prefetch launched
+ *   onPrefetchHit(cycle, line, late)   demand hit on an in-flight line
+ *   onRunEnd(cycle, result)            once per run, final counters
+ *
+ * Observers are plain structs passed by reference -- no virtual
+ * dispatch anywhere.  `kEnabled` must be a constexpr static bool.
+ */
+
+#ifndef VCACHE_OBS_OBSERVER_HH
+#define VCACHE_OBS_OBSERVER_HH
+
+#include <cstdint>
+
+#include "sim/observe.hh"
+#include "sim/result.hh"
+#include "trace/access.hh"
+#include "util/types.hh"
+
+namespace vcache
+{
+
+/**
+ * The zero-cost default observer: every hook is an inline no-op and
+ * kEnabled lets call sites vanish under `if constexpr`.
+ */
+struct NullObserver
+{
+    static constexpr bool kEnabled = false;
+
+    void onRunBegin(std::uint64_t /*sets*/) {}
+    void onVectorOpBegin(Cycles, const VectorOp &) {}
+    void onVectorOpEnd(Cycles) {}
+    void onHit(Cycles, Addr /*line*/, std::uint64_t /*set*/) {}
+    void onMiss(Cycles, Addr /*line*/, std::uint64_t /*set*/, MissKind,
+                Cycles /*stall*/)
+    {
+    }
+    void onBankIssue(Cycles, std::uint64_t /*bank*/, Cycles /*waited*/) {}
+    void onBusWait(Cycles, Cycles /*waited*/) {}
+    void onPrefetchIssue(Cycles, Addr /*line*/) {}
+    void onPrefetchHit(Cycles, Addr /*line*/, Cycles /*late*/) {}
+    void onRunEnd(Cycles, const SimResult &) {}
+};
+
+} // namespace vcache
+
+#endif // VCACHE_OBS_OBSERVER_HH

@@ -1,0 +1,85 @@
+#include "obs/registry.hh"
+
+#include "util/logging.hh"
+#include "util/statdump.hh"
+
+namespace vcache
+{
+
+ObsRegistry::Entry &
+ObsRegistry::findOrCreate(const std::string &name,
+                          const std::string &description, bool histogram)
+{
+    if (const auto it = byName.find(name); it != byName.end()) {
+        vc_assert(histogram == (it->second->histo != nullptr),
+                  "instrument '", name,
+                  "' re-registered as a different kind");
+        return *it->second;
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->name = name;
+    entry->description = description;
+    if (histogram)
+        entry->histo = std::make_unique<Log2Histogram>();
+    else
+        entry->count = std::make_unique<Counter>();
+    Entry &ref = *entry;
+    byName.emplace(name, &ref);
+    entries.push_back(std::move(entry));
+    return ref;
+}
+
+Counter &
+ObsRegistry::counter(const std::string &name,
+                     const std::string &description)
+{
+    return *findOrCreate(name, description, false).count;
+}
+
+Log2Histogram &
+ObsRegistry::histogram(const std::string &name,
+                       const std::string &description)
+{
+    return *findOrCreate(name, description, true).histo;
+}
+
+const Counter *
+ObsRegistry::findCounter(const std::string &name) const
+{
+    const auto it = byName.find(name);
+    return it == byName.end() ? nullptr : it->second->count.get();
+}
+
+const Log2Histogram *
+ObsRegistry::findHistogram(const std::string &name) const
+{
+    const auto it = byName.find(name);
+    return it == byName.end() ? nullptr : it->second->histo.get();
+}
+
+void
+ObsRegistry::dumpTo(StatDump &dump) const
+{
+    for (const auto &entry : entries) {
+        if (entry->count) {
+            dump.scalar(entry->name, entry->count->value,
+                        entry->description);
+        } else {
+            StatDump::Group g(dump, entry->name);
+            entry->histo->dumpTo(dump);
+        }
+    }
+}
+
+void
+ObsRegistry::clear()
+{
+    for (const auto &entry : entries) {
+        if (entry->count)
+            entry->count->value = 0;
+        else
+            entry->histo->clear();
+    }
+}
+
+} // namespace vcache

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Registry of named counters and histograms.
+ *
+ * Components (simulators, caches, the prefetcher, banks, buses --
+ * via their observers) register named instruments once and bump them
+ * freely; the registry renders everything through the StatDump
+ * grammar (text or JSON) in registration order, so the same run
+ * reports identically in stats.txt style and in --stats-out JSON.
+ *
+ * Instrument references stay valid for the registry's lifetime
+ * (entries are held behind stable storage), so observers can cache
+ * `Counter &` on their hot-ish paths instead of re-looking-up names.
+ */
+
+#ifndef VCACHE_OBS_REGISTRY_HH
+#define VCACHE_OBS_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hh"
+
+namespace vcache
+{
+
+class StatDump;
+
+/** One named monotonic counter. */
+struct Counter
+{
+    std::uint64_t value = 0;
+
+    void operator+=(std::uint64_t n) { value += n; }
+    void operator++() { ++value; }
+};
+
+/** Insertion-ordered collection of named counters and histograms. */
+class ObsRegistry
+{
+  public:
+    /**
+     * Find-or-create a counter.  The description of the first
+     * registration wins.
+     */
+    Counter &counter(const std::string &name,
+                     const std::string &description);
+
+    /** Find-or-create a histogram. */
+    Log2Histogram &histogram(const std::string &name,
+                             const std::string &description);
+
+    /** Read-only lookup; null when absent or of the other kind. */
+    const Counter *findCounter(const std::string &name) const;
+
+    /** Read-only lookup; null when absent or of the other kind. */
+    const Log2Histogram *findHistogram(const std::string &name) const;
+
+    /** Number of registered instruments. */
+    std::size_t size() const { return entries.size(); }
+
+    bool empty() const { return entries.empty(); }
+
+    /**
+     * Append every instrument to a StatDump in registration order:
+     * counters as scalars, histograms as "name." groups.
+     */
+    void dumpTo(StatDump &dump) const;
+
+    /** Reset all values; registrations survive. */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string description;
+        // Exactly one of these is set; unique_ptr keeps references
+        // stable across registrations.
+        std::unique_ptr<Counter> count;
+        std::unique_ptr<Log2Histogram> histo;
+    };
+
+    Entry &findOrCreate(const std::string &name,
+                        const std::string &description, bool histogram);
+
+    std::vector<std::unique_ptr<Entry>> entries;
+    std::map<std::string, Entry *> byName;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_OBS_REGISTRY_HH

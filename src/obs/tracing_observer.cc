@@ -1,0 +1,250 @@
+#include "obs/tracing_observer.hh"
+
+#include <sstream>
+
+#include "util/statdump.hh"
+
+namespace vcache
+{
+
+TracingObserver::TracingObserver(std::string name, TracingConfig cfg,
+                                 TraceEventWriter *writer,
+                                 std::uint32_t tid)
+    : label(std::move(name)), config(cfg), events(writer), lane(tid),
+      vectorOps(instruments.counter("vector_ops",
+                                    "vector instructions executed")),
+      hits(instruments.counter("hits", "demand hits")),
+      compulsoryMisses(instruments.counter(
+          "misses_compulsory", "first-touch misses (pipelined)")),
+      blockingMisses(instruments.counter(
+          "misses_conflict",
+          "interference/capacity misses paying the full t_m stall")),
+      nonBlockingMisses(instruments.counter(
+          "misses_nonblocking",
+          "interference/capacity misses streamed lockup-free")),
+      missStallCycles(instruments.counter(
+          "miss_stall_cycles", "stall cycles exposed by misses")),
+      bankRequests(
+          instruments.counter("bank_requests", "memory bank requests")),
+      bankConflicts(instruments.counter(
+          "bank_conflicts", "requests that found their bank busy")),
+      bankConflictCycles(instruments.counter(
+          "bank_conflict_cycles", "cycles spent waiting on busy banks")),
+      busWaits(instruments.counter(
+          "bus_waits", "transfers that waited for a read bus")),
+      busWaitCycles(instruments.counter(
+          "bus_wait_cycles", "cycles spent waiting for a read bus")),
+      prefetchIssues(
+          instruments.counter("prefetch_issues", "prefetches launched")),
+      prefetchInFlightHits(instruments.counter(
+          "prefetch_inflight_hits",
+          "demand hits on lines still in flight")),
+      prefetchLateCycles(instruments.counter(
+          "prefetch_late_cycles",
+          "stall cycles waiting on in-flight prefetches")),
+      bankWaitHisto(instruments.histogram(
+          "bank_wait", "distribution of per-request bank-wait cycles")),
+      windows(cfg.statsInterval)
+{
+    if (events)
+        events->threadName(lane, label);
+}
+
+void
+TracingObserver::onRunBegin(std::uint64_t sets)
+{
+    setAccessCount.assign(sets, 0);
+    setMissCount.assign(sets, 0);
+    windows = IntervalAccumulator(config.statsInterval);
+    windows.begin(sets);
+    emittedWindows = 0;
+}
+
+void
+TracingObserver::onVectorOpBegin(Cycles cycle, const VectorOp &op)
+{
+    ++vectorOps;
+    if (!events)
+        return;
+    std::ostringstream args;
+    args << "\"stride\":" << op.first.stride
+         << ",\"length\":" << op.first.length << ",\"double_stream\":"
+         << (op.doubleStream() ? "true" : "false");
+    if (op.store)
+        args << ",\"store_length\":" << op.store->length;
+    events->beginDuration("vop", "vector_op", cycle, lane, args.str());
+    opOpen = true;
+}
+
+void
+TracingObserver::onVectorOpEnd(Cycles cycle)
+{
+    if (events && opOpen) {
+        events->endDuration(cycle, lane);
+        opOpen = false;
+    }
+    emitClosedWindows();
+}
+
+void
+TracingObserver::onHit(Cycles cycle, Addr, std::uint64_t set)
+{
+    ++hits;
+    if (set < setAccessCount.size())
+        ++setAccessCount[set];
+    windows.record(cycle, set, false, 0);
+}
+
+void
+TracingObserver::onMiss(Cycles cycle, Addr line, std::uint64_t set,
+                        MissKind kind, Cycles stall)
+{
+    switch (kind) {
+      case MissKind::Compulsory:
+        ++compulsoryMisses;
+        break;
+      case MissKind::Blocking:
+        ++blockingMisses;
+        break;
+      case MissKind::NonBlocking:
+        ++nonBlockingMisses;
+        break;
+    }
+    missStallCycles += stall;
+    if (set < setAccessCount.size()) {
+        ++setAccessCount[set];
+        ++setMissCount[set];
+    }
+    windows.record(cycle, set, true, stall);
+    if (events && config.missEvents && kind != MissKind::Compulsory) {
+        std::ostringstream args;
+        args << "\"set\":" << set << ",\"line\":" << line
+             << ",\"stall\":" << stall;
+        events->instant("miss", "conflict_miss", cycle, lane,
+                        args.str());
+    }
+}
+
+void
+TracingObserver::onBankIssue(Cycles, std::uint64_t, Cycles waited)
+{
+    ++bankRequests;
+    bankWaitHisto.add(waited);
+    if (waited != 0) {
+        ++bankConflicts;
+        bankConflictCycles += waited;
+    }
+}
+
+void
+TracingObserver::onBusWait(Cycles, Cycles waited)
+{
+    if (waited != 0) {
+        ++busWaits;
+        busWaitCycles += waited;
+    }
+}
+
+void
+TracingObserver::onPrefetchIssue(Cycles cycle, Addr line)
+{
+    ++prefetchIssues;
+    if (events && config.prefetchEvents) {
+        std::ostringstream args;
+        args << "\"line\":" << line;
+        events->instant("prefetch", "prefetch_issue", cycle, lane,
+                        args.str());
+    }
+}
+
+void
+TracingObserver::onPrefetchHit(Cycles, Addr, Cycles late)
+{
+    ++prefetchInFlightHits;
+    prefetchLateCycles += late;
+}
+
+void
+TracingObserver::onRunEnd(Cycles cycle, const SimResult &)
+{
+    windows.finish(cycle);
+    emitClosedWindows();
+    if (events && opOpen) {
+        events->endDuration(cycle, lane);
+        opOpen = false;
+    }
+}
+
+void
+TracingObserver::emitClosedWindows()
+{
+    const auto &rows = windows.rows();
+    if (!events) {
+        emittedWindows = rows.size();
+        return;
+    }
+    for (; emittedWindows < rows.size(); ++emittedWindows) {
+        const IntervalRow &row = rows[emittedWindows];
+        // Counter samples land at the window start so Perfetto draws
+        // a step function over the run.
+        events->counter("miss_ratio", row.startCycle, lane,
+                        row.missRatio());
+        events->counter("stall_fraction", row.startCycle, lane,
+                        row.stallFraction());
+        events->counter("sets_touched", row.startCycle, lane,
+                        static_cast<double>(row.setsTouched));
+    }
+}
+
+Log2Histogram
+TracingObserver::setAccessHistogram() const
+{
+    Log2Histogram h;
+    for (const auto count : setAccessCount)
+        h.add(count);
+    return h;
+}
+
+Log2Histogram
+TracingObserver::setMissHistogram() const
+{
+    Log2Histogram h;
+    for (const auto count : setMissCount)
+        h.add(count);
+    return h;
+}
+
+void
+TracingObserver::dumpTo(StatDump &dump) const
+{
+    StatDump::Group top(dump, label);
+    instruments.dumpTo(dump);
+    {
+        StatDump::Group g(dump, "set_accesses");
+        setAccessHistogram().dumpTo(dump);
+    }
+    {
+        StatDump::Group g(dump, "set_misses");
+        setMissHistogram().dumpTo(dump);
+    }
+    const auto &rows = windows.rows();
+    if (!rows.empty()) {
+        StatDump::Group g(dump, "interval");
+        dump.scalar("width", windows.period(),
+                    "sampling window width in cycles");
+        dump.scalar("count", static_cast<std::uint64_t>(rows.size()),
+                    "closed sampling windows");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            StatDump::Group w(dump, std::to_string(i));
+            const IntervalRow &row = rows[i];
+            dump.scalar("start", row.startCycle, "");
+            dump.scalar("accesses", row.accesses, "");
+            dump.scalar("miss_ratio", row.missRatio(), "");
+            dump.scalar("stall_fraction", row.stallFraction(), "");
+            dump.scalar("sets_touched", row.setsTouched, "");
+            dump.scalar("max_set_accesses", row.occupancy.max(), "");
+        }
+    }
+}
+
+} // namespace vcache

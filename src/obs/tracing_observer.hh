@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The full-visibility Observer: counters, per-set activity, interval
+ * stats and an optional Perfetto event stream.
+ *
+ * One TracingObserver instruments one simulator run (or several
+ * sequential runs -- counters accumulate).  It registers its
+ * instruments in an ObsRegistry rendered through the StatDump
+ * grammar, tracks whole-run per-set access/miss counts (the paper's
+ * self-interference pile-ups, directly comparable between mapping
+ * schemes), slices the run into interval windows, and, when given a
+ * TraceEventWriter, emits vector-op slices, miss instants, prefetch
+ * instants and windowed counter tracks on its own trace lane.
+ */
+
+#ifndef VCACHE_OBS_TRACING_OBSERVER_HH
+#define VCACHE_OBS_TRACING_OBSERVER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/interval.hh"
+#include "obs/observer.hh"
+#include "obs/registry.hh"
+#include "obs/trace_events.hh"
+
+namespace vcache
+{
+
+class StatDump;
+
+/** Knobs for a TracingObserver. */
+struct TracingConfig
+{
+    /** Interval-stats window in cycles; 0 disables windows. */
+    Cycles statsInterval = 0;
+    /** Emit an instant event per demand miss (capped by the writer). */
+    bool missEvents = true;
+    /** Emit an instant event per prefetch issue. */
+    bool prefetchEvents = true;
+};
+
+/** Observer recording everything the hooks expose. */
+class TracingObserver
+{
+  public:
+    static constexpr bool kEnabled = true;
+
+    /**
+     * @param name stats group / trace lane label ("cc_prime", ...)
+     * @param config sampling and event-emission knobs
+     * @param writer optional shared trace sink (not owned)
+     * @param tid trace lane for this observer's events
+     */
+    explicit TracingObserver(std::string name,
+                             TracingConfig config = {},
+                             TraceEventWriter *writer = nullptr,
+                             std::uint32_t tid = 0);
+
+    // ---- hook interface (see obs/observer.hh for the contract) ----
+    void onRunBegin(std::uint64_t sets);
+    void onVectorOpBegin(Cycles cycle, const VectorOp &op);
+    void onVectorOpEnd(Cycles cycle);
+    void onHit(Cycles cycle, Addr line, std::uint64_t set);
+    void onMiss(Cycles cycle, Addr line, std::uint64_t set,
+                MissKind kind, Cycles stall);
+    void onBankIssue(Cycles cycle, std::uint64_t bank, Cycles waited);
+    void onBusWait(Cycles cycle, Cycles waited);
+    void onPrefetchIssue(Cycles cycle, Addr line);
+    void onPrefetchHit(Cycles cycle, Addr line, Cycles late);
+    void onRunEnd(Cycles cycle, const SimResult &result);
+
+    // ---- results ----
+    const std::string &name() const { return label; }
+    const ObsRegistry &registry() const { return instruments; }
+    const std::vector<IntervalRow> &intervals() const
+    {
+        return windows.rows();
+    }
+    /** Whole-run demand accesses per set index. */
+    const std::vector<std::uint64_t> &setAccesses() const
+    {
+        return setAccessCount;
+    }
+    /** Whole-run demand misses per set index. */
+    const std::vector<std::uint64_t> &setMisses() const
+    {
+        return setMissCount;
+    }
+    /** Distribution of per-set access counts (occupancy shape). */
+    Log2Histogram setAccessHistogram() const;
+    /** Distribution of per-set miss counts. */
+    Log2Histogram setMissHistogram() const;
+
+    /**
+     * Append everything -- counters, per-set histograms, interval
+     * rows -- to a StatDump under a group named after the observer.
+     */
+    void dumpTo(StatDump &dump) const;
+
+  private:
+    /** Emit counter tracks for interval rows closed since the last
+     *  call. */
+    void emitClosedWindows();
+
+    std::string label;
+    TracingConfig config;
+    TraceEventWriter *events;
+    std::uint32_t lane;
+
+    ObsRegistry instruments;
+    // Cached counter references: registration happens once, in the
+    // constructor, so the hooks never touch the name map.
+    Counter &vectorOps;
+    Counter &hits;
+    Counter &compulsoryMisses;
+    Counter &blockingMisses;
+    Counter &nonBlockingMisses;
+    Counter &missStallCycles;
+    Counter &bankRequests;
+    Counter &bankConflicts;
+    Counter &bankConflictCycles;
+    Counter &busWaits;
+    Counter &busWaitCycles;
+    Counter &prefetchIssues;
+    Counter &prefetchInFlightHits;
+    Counter &prefetchLateCycles;
+    Log2Histogram &bankWaitHisto;
+
+    std::vector<std::uint64_t> setAccessCount;
+    std::vector<std::uint64_t> setMissCount;
+
+    IntervalAccumulator windows;
+    std::size_t emittedWindows = 0;
+    bool opOpen = false;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_OBS_TRACING_OBSERVER_HH

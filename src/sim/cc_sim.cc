@@ -1,9 +1,6 @@
 #include "sim/cc_sim.hh"
 
-#include <algorithm>
-
-#include "cache/direct.hh"
-#include "cache/prime.hh"
+#include "obs/observer.hh"
 #include "util/logging.hh"
 
 namespace vcache
@@ -54,182 +51,6 @@ CcSimulator::reset()
     prefetchCount = 0;
 }
 
-template <typename CacheT>
-void
-CcSimulator::issuePrefetches(CacheT &cache, const AddressLayout &layout,
-                             Addr addr)
-{
-    const std::int64_t step =
-        prefetchPolicy == PrefetchPolicy::Stride
-            ? (streamStride == 0 ? 1 : streamStride)
-            : static_cast<std::int64_t>(layout.lineWords());
-
-    Addr next = addr;
-    for (unsigned d = 0; d < prefetchDegree; ++d) {
-        next = static_cast<Addr>(static_cast<std::int64_t>(next) +
-                                 step);
-        const Addr line = layout.lineAddress(next);
-        // One tag probe decides both "already resident?" and the
-        // fill; its hit answer replaces the old contains() pre-check.
-        if (!fillLine(cache, line))
-            continue;
-        // The prefetch streams through a read bus and its bank; the
-        // data is usable one memory time after issue.
-        const Cycles bus = buses.reserveRead(clock);
-        const Cycles when = memory.issue(next, bus);
-        inFlight.insertOrAssign(line, when + machine.memoryTime);
-        setFrameFlag(cache, line, Cache::kPrefetchedFlag);
-        touchedLines.insert(line);
-        ++prefetchCount;
-    }
-}
-
-template <typename CacheT, bool Prefetching>
-VCACHE_ALWAYS_INLINE void
-CcSimulator::accessElement(CacheT &cache, const AddressLayout &layout,
-                           Addr addr, SimResult &result)
-{
-    const Addr line = layout.lineAddress(addr);
-    const AccessOutcome outcome = probeLine(cache, line);
-    cache.recordAccess(outcome, AccessType::Read);
-
-    if (outcome.hit) {
-        ++result.hits;
-        clock += 1;
-        if constexpr (Prefetching) {
-            // A hit on a line still in flight waits for whatever part
-            // of the flight the vector pipeline cannot absorb.  The
-            // strip start-up (T_start = 30 + t_m) already hides one
-            // memory time of an in-order stream -- the same credit
-            // the compulsory path gets -- so only bank-contention
-            // delays beyond that are exposed.
-            if (const Cycles *arrival = inFlight.find(line)) {
-                const Cycles visible = clock + machine.memoryTime;
-                if (*arrival > visible) {
-                    result.stallCycles += *arrival - visible;
-                    clock = *arrival - machine.memoryTime;
-                }
-                inFlight.erase(line);
-            }
-            // Tagged retrigger: first demand use of a prefetched line
-            // launches the next prefetch.  No flag can be set before
-            // the first prefetch issues, so runs without prefetching
-            // skip the extra tag probe entirely.
-            if (prefetchCount != 0 &&
-                clearFrameFlag(cache, line, Cache::kPrefetchedFlag) &&
-                prefetchPolicy != PrefetchPolicy::None) {
-                issuePrefetches(cache, layout, addr);
-            }
-        }
-        return;
-    }
-
-    ++result.misses;
-    const bool first_touch = touchedLines.insert(line);
-    if (first_touch || nonBlocking) {
-        // Compulsory miss (or any miss of a lockup-free cache): part
-        // of the pipelined load stream; it flows through bus and
-        // banks at streaming rate.
-        if (first_touch)
-            ++result.compulsoryMisses;
-        const Cycles bus = buses.reserveRead(clock);
-        const Cycles when = memory.issue(addr, bus);
-        result.stallCycles += when - clock;
-        clock = when + 1;
-    } else {
-        // Interference/capacity miss: full memory round trip exposed.
-        result.stallCycles += machine.memoryTime;
-        clock += 1 + machine.memoryTime;
-    }
-    if constexpr (Prefetching) {
-        if (prefetchPolicy != PrefetchPolicy::None)
-            issuePrefetches(cache, layout, addr);
-    }
-}
-
-template <typename CacheT>
-SimResult
-CcSimulator::dispatchRun(CacheT &cache, TraceSource &source)
-{
-    // A run beginning with a None policy and no live prefetch state
-    // (no lines in flight, no tag flags -- both imply prefetchCount
-    // == 0) can never acquire any, so the specialized loop omits the
-    // prefetch bookkeeping from the per-element path altogether.
-    if (prefetchPolicy == PrefetchPolicy::None && prefetchCount == 0)
-        return runImpl<CacheT, false>(cache, source);
-    return runImpl<CacheT, true>(cache, source);
-}
-
-template <typename CacheT, bool Prefetching>
-SimResult
-CcSimulator::runImpl(CacheT &cache, TraceSource &source)
-{
-    SimResult result;
-    const AddressLayout &layout = cache.addressLayout();
-
-    // The strip start-up only takes two values per run -- cold head,
-    // or warm head with the memory-latency credit of Equation (4) --
-    // so the floating-point math happens once, not once per strip.
-    const double base_startup =
-        machine.stripOverhead + machine.startupTime();
-    const Cycles cold_startup = static_cast<Cycles>(base_startup);
-    const Cycles warm_startup = static_cast<Cycles>(
-        base_startup - static_cast<double>(machine.memoryTime));
-
-    VectorOp op;
-    while (source.next(op)) {
-        clock += static_cast<Cycles>(machine.blockOverhead);
-        streamStride = op.first.stride; // the stride register value
-
-        const VectorRef *second =
-            op.second ? &op.second.value() : nullptr;
-        const std::int64_t s1 = op.first.stride;
-        const std::int64_t s2 = second ? second->stride : 0;
-
-        for (std::uint64_t done = 0; done < op.first.length;
-             done += machine.mvl) {
-            // Strips whose head is already cached skip the memory
-            // latency component of the start-up (Equation (4)).
-            Addr a1 = op.first.element(done);
-            const bool warm = containsWord(cache, a1);
-            clock += warm ? warm_startup : cold_startup;
-
-            const std::uint64_t count =
-                std::min<std::uint64_t>(machine.mvl,
-                                        op.first.length - done);
-            if (second) {
-                Addr a2 = second->element(done);
-                for (std::uint64_t i = 0; i < count; ++i) {
-                    accessElement<CacheT, Prefetching>(cache, layout, a1,
-                                                   result);
-                    if (done + i < second->length)
-                        accessElement<CacheT, Prefetching>(cache, layout, a2,
-                                                       result);
-                    ++result.results;
-                    a1 = static_cast<Addr>(
-                        static_cast<std::int64_t>(a1) + s1);
-                    a2 = static_cast<Addr>(
-                        static_cast<std::int64_t>(a2) + s2);
-                }
-            } else {
-                for (std::uint64_t i = 0; i < count; ++i) {
-                    accessElement<CacheT, Prefetching>(cache, layout, a1,
-                                                   result);
-                    ++result.results;
-                    a1 = static_cast<Addr>(
-                        static_cast<std::int64_t>(a1) + s1);
-                }
-            }
-        }
-
-        if (op.store)
-            buses.reserveWrites(clock, op.store->length);
-    }
-
-    result.totalCycles = clock;
-    return result;
-}
-
 SimResult
 CcSimulator::run(const Trace &trace)
 {
@@ -240,19 +61,19 @@ CcSimulator::run(const Trace &trace)
 SimResult
 CcSimulator::run(TraceSource &source)
 {
-    Cache *base = vectorCache.get();
-    if (auto *direct = dynamic_cast<DirectMappedCache *>(base))
-        return dispatchRun(*direct, source);
-    if (auto *prime = dynamic_cast<PrimeMappedCache *>(base))
-        return dispatchRun(*prime, source);
-    return dispatchRun(*base, source);
+    // The NullObserver instantiations ARE the production fast paths:
+    // every hook vanishes under `if constexpr`, leaving exactly the
+    // uninstrumented loops.
+    NullObserver obs;
+    return run(source, obs);
 }
 
 SimResult
 CcSimulator::runVirtual(const Trace &trace)
 {
     TraceVectorSource source(trace);
-    return dispatchRun(*vectorCache, source);
+    NullObserver obs;
+    return dispatchRun(*vectorCache, source, obs);
 }
 
 } // namespace vcache

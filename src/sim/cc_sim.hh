@@ -17,24 +17,33 @@
  *   - writes drain through the write bus without stalling.
  *
  * The per-element loop is a member template over the concrete cache
- * type: run() dispatches once per run on the paper's two mapping
- * schemes (direct and prime), whose accesses then compile to direct,
- * inlinable calls, with the virtual interface as the fallback for
- * every other organization.  runVirtual() forces that fallback so
- * tests can pin the fast paths against it.
+ * type *and* an Observer policy: run() dispatches once per run on the
+ * paper's two mapping schemes (direct and prime), whose accesses then
+ * compile to direct, inlinable calls, with the virtual interface as
+ * the fallback for every other organization.  Every instrumentation
+ * hook sits behind `if constexpr (Observer::kEnabled)`, so the
+ * NullObserver instantiations (the plain run() overloads) are exactly
+ * the uninstrumented loops, while run(source, obs) with a
+ * TracingObserver sees every hit, miss, bank conflict, bus wait and
+ * prefetch with cycle stamps and set indices.  runVirtual() forces
+ * the virtual fallback so tests can pin the fast paths against it.
  */
 
 #ifndef VCACHE_SIM_CC_SIM_HH
 #define VCACHE_SIM_CC_SIM_HH
 
+#include <algorithm>
 #include <memory>
 
 #include "analytic/machine.hh"
 #include "cache/cache.hh"
+#include "cache/direct.hh"
 #include "cache/factory.hh"
 #include "cache/prefetch.hh"
+#include "cache/prime.hh"
 #include "memory/bus.hh"
 #include "memory/interleaved.hh"
+#include "sim/observe.hh"
 #include "sim/result.hh"
 #include "trace/access.hh"
 #include "trace/source.hh"
@@ -94,6 +103,17 @@ class CcSimulator
     SimResult run(TraceSource &source);
 
     /**
+     * Instrumented run: identical timing, every Observer hook fired.
+     * The observer must satisfy the contract in src/obs/observer.hh.
+     */
+    template <typename Observer>
+    SimResult run(const Trace &trace, Observer &obs);
+
+    /** Instrumented streamed run. */
+    template <typename Observer>
+    SimResult run(TraceSource &source, Observer &obs);
+
+    /**
      * Run through the generic virtual-dispatch path regardless of the
      * cache's concrete type.  Exists so equivalence tests can pin the
      * devirtualized fast paths against the reference behaviour; it is
@@ -112,8 +132,9 @@ class CcSimulator
 
   private:
     /** Pick the Prefetching instantiation and run (see runImpl). */
-    template <typename CacheT>
-    SimResult dispatchRun(CacheT &cache, TraceSource &source);
+    template <typename CacheT, typename Observer>
+    SimResult dispatchRun(CacheT &cache, TraceSource &source,
+                          Observer &obs);
 
     /**
      * The whole-run loop, monomorphized per concrete cache type and,
@@ -121,18 +142,18 @@ class CcSimulator
      * prefetch state and a None policy can never grow any, so its
      * per-element path drops the in-flight and tag-flag checks.
      */
-    template <typename CacheT, bool Prefetching>
-    SimResult runImpl(CacheT &cache, TraceSource &source);
+    template <typename CacheT, bool Prefetching, typename Observer>
+    SimResult runImpl(CacheT &cache, TraceSource &source, Observer &obs);
 
     /** Access one element, advancing the pipeline clock. */
-    template <typename CacheT, bool Prefetching>
+    template <typename CacheT, bool Prefetching, typename Observer>
     void accessElement(CacheT &cache, const AddressLayout &layout,
-                       Addr addr, SimResult &result);
+                       Addr addr, SimResult &result, Observer &obs);
 
     /** Launch the prefetches triggered at `addr` (timed). */
-    template <typename CacheT>
+    template <typename CacheT, typename Observer>
     void issuePrefetches(CacheT &cache, const AddressLayout &layout,
-                         Addr addr);
+                         Addr addr, Observer &obs);
 
     MachineParams machine;
     std::unique_ptr<Cache> vectorCache;
@@ -156,6 +177,228 @@ class CcSimulator
 /** Cache configuration matching the analytic machine and scheme. */
 CacheConfig ccCacheConfig(const MachineParams &params,
                           CacheScheme scheme);
+
+template <typename CacheT, typename Observer>
+void
+CcSimulator::issuePrefetches(CacheT &cache, const AddressLayout &layout,
+                             Addr addr, Observer &obs)
+{
+    const std::int64_t step =
+        prefetchPolicy == PrefetchPolicy::Stride
+            ? (streamStride == 0 ? 1 : streamStride)
+            : static_cast<std::int64_t>(layout.lineWords());
+
+    Addr next = addr;
+    for (unsigned d = 0; d < prefetchDegree; ++d) {
+        next = static_cast<Addr>(static_cast<std::int64_t>(next) +
+                                 step);
+        const Addr line = layout.lineAddress(next);
+        // One tag probe decides both "already resident?" and the
+        // fill; its hit answer replaces the old contains() pre-check.
+        if (!fillLine(cache, line))
+            continue;
+        // The prefetch streams through a read bus and its bank; the
+        // data is usable one memory time after issue.
+        const Cycles bus = buses.reserveReadObserved(clock, obs);
+        const Cycles when = memory.issueObserved(next, bus, obs);
+        if constexpr (Observer::kEnabled)
+            obs.onPrefetchIssue(clock, line);
+        inFlight.insertOrAssign(line, when + machine.memoryTime);
+        setFrameFlag(cache, line, Cache::kPrefetchedFlag);
+        touchedLines.insert(line);
+        ++prefetchCount;
+    }
+}
+
+template <typename CacheT, bool Prefetching, typename Observer>
+VCACHE_ALWAYS_INLINE void
+CcSimulator::accessElement(CacheT &cache, const AddressLayout &layout,
+                           Addr addr, SimResult &result, Observer &obs)
+{
+    const Addr line = layout.lineAddress(addr);
+    const AccessOutcome outcome = probeLine(cache, line);
+    cache.recordAccess(outcome, AccessType::Read);
+
+    if (outcome.hit) {
+        ++result.hits;
+        clock += 1;
+        if constexpr (Observer::kEnabled)
+            obs.onHit(clock, line, frameIndexOf(cache, line));
+        if constexpr (Prefetching) {
+            // A hit on a line still in flight waits for whatever part
+            // of the flight the vector pipeline cannot absorb.  The
+            // strip start-up (T_start = 30 + t_m) already hides one
+            // memory time of an in-order stream -- the same credit
+            // the compulsory path gets -- so only bank-contention
+            // delays beyond that are exposed.
+            if (const Cycles *arrival = inFlight.find(line)) {
+                const Cycles visible = clock + machine.memoryTime;
+                Cycles late = 0;
+                if (*arrival > visible) {
+                    late = *arrival - visible;
+                    result.stallCycles += late;
+                    clock = *arrival - machine.memoryTime;
+                }
+                if constexpr (Observer::kEnabled)
+                    obs.onPrefetchHit(clock, line, late);
+                inFlight.erase(line);
+            }
+            // Tagged retrigger: first demand use of a prefetched line
+            // launches the next prefetch.  No flag can be set before
+            // the first prefetch issues, so runs without prefetching
+            // skip the extra tag probe entirely.
+            if (prefetchCount != 0 &&
+                clearFrameFlag(cache, line, Cache::kPrefetchedFlag) &&
+                prefetchPolicy != PrefetchPolicy::None) {
+                issuePrefetches(cache, layout, addr, obs);
+            }
+        }
+        return;
+    }
+
+    ++result.misses;
+    const bool first_touch = touchedLines.insert(line);
+    if (first_touch || nonBlocking) {
+        // Compulsory miss (or any miss of a lockup-free cache): part
+        // of the pipelined load stream; it flows through bus and
+        // banks at streaming rate.
+        if (first_touch)
+            ++result.compulsoryMisses;
+        const Cycles bus = buses.reserveReadObserved(clock, obs);
+        const Cycles when = memory.issueObserved(addr, bus, obs);
+        if constexpr (Observer::kEnabled)
+            obs.onMiss(clock, line, frameIndexOf(cache, line),
+                       first_touch ? MissKind::Compulsory
+                                   : MissKind::NonBlocking,
+                       when - clock);
+        result.stallCycles += when - clock;
+        clock = when + 1;
+    } else {
+        // Interference/capacity miss: full memory round trip exposed.
+        if constexpr (Observer::kEnabled)
+            obs.onMiss(clock, line, frameIndexOf(cache, line),
+                       MissKind::Blocking, machine.memoryTime);
+        result.stallCycles += machine.memoryTime;
+        clock += 1 + machine.memoryTime;
+    }
+    if constexpr (Prefetching) {
+        if (prefetchPolicy != PrefetchPolicy::None)
+            issuePrefetches(cache, layout, addr, obs);
+    }
+}
+
+template <typename CacheT, typename Observer>
+SimResult
+CcSimulator::dispatchRun(CacheT &cache, TraceSource &source,
+                         Observer &obs)
+{
+    // A run beginning with a None policy and no live prefetch state
+    // (no lines in flight, no tag flags -- both imply prefetchCount
+    // == 0) can never acquire any, so the specialized loop omits the
+    // prefetch bookkeeping from the per-element path altogether.
+    if (prefetchPolicy == PrefetchPolicy::None && prefetchCount == 0)
+        return runImpl<CacheT, false>(cache, source, obs);
+    return runImpl<CacheT, true>(cache, source, obs);
+}
+
+template <typename CacheT, bool Prefetching, typename Observer>
+SimResult
+CcSimulator::runImpl(CacheT &cache, TraceSource &source, Observer &obs)
+{
+    SimResult result;
+    const AddressLayout &layout = cache.addressLayout();
+
+    if constexpr (Observer::kEnabled)
+        obs.onRunBegin(cache.numSets());
+
+    // The strip start-up only takes two values per run -- cold head,
+    // or warm head with the memory-latency credit of Equation (4) --
+    // so the floating-point math happens once, not once per strip.
+    const double base_startup =
+        machine.stripOverhead + machine.startupTime();
+    const Cycles cold_startup = static_cast<Cycles>(base_startup);
+    const Cycles warm_startup = static_cast<Cycles>(
+        base_startup - static_cast<double>(machine.memoryTime));
+
+    VectorOp op;
+    while (source.next(op)) {
+        clock += static_cast<Cycles>(machine.blockOverhead);
+        if constexpr (Observer::kEnabled)
+            obs.onVectorOpBegin(clock, op);
+        streamStride = op.first.stride; // the stride register value
+
+        const VectorRef *second =
+            op.second ? &op.second.value() : nullptr;
+        const std::int64_t s1 = op.first.stride;
+        const std::int64_t s2 = second ? second->stride : 0;
+
+        for (std::uint64_t done = 0; done < op.first.length;
+             done += machine.mvl) {
+            // Strips whose head is already cached skip the memory
+            // latency component of the start-up (Equation (4)).
+            Addr a1 = op.first.element(done);
+            const bool warm = containsWord(cache, a1);
+            clock += warm ? warm_startup : cold_startup;
+
+            const std::uint64_t count =
+                std::min<std::uint64_t>(machine.mvl,
+                                        op.first.length - done);
+            if (second) {
+                Addr a2 = second->element(done);
+                for (std::uint64_t i = 0; i < count; ++i) {
+                    accessElement<CacheT, Prefetching>(cache, layout, a1,
+                                                   result, obs);
+                    if (done + i < second->length)
+                        accessElement<CacheT, Prefetching>(cache, layout, a2,
+                                                       result, obs);
+                    ++result.results;
+                    a1 = static_cast<Addr>(
+                        static_cast<std::int64_t>(a1) + s1);
+                    a2 = static_cast<Addr>(
+                        static_cast<std::int64_t>(a2) + s2);
+                }
+            } else {
+                for (std::uint64_t i = 0; i < count; ++i) {
+                    accessElement<CacheT, Prefetching>(cache, layout, a1,
+                                                   result, obs);
+                    ++result.results;
+                    a1 = static_cast<Addr>(
+                        static_cast<std::int64_t>(a1) + s1);
+                }
+            }
+        }
+
+        if (op.store)
+            buses.reserveWrites(clock, op.store->length);
+        if constexpr (Observer::kEnabled)
+            obs.onVectorOpEnd(clock);
+    }
+
+    result.totalCycles = clock;
+    if constexpr (Observer::kEnabled)
+        obs.onRunEnd(clock, result);
+    return result;
+}
+
+template <typename Observer>
+SimResult
+CcSimulator::run(TraceSource &source, Observer &obs)
+{
+    Cache *base = vectorCache.get();
+    if (auto *direct = dynamic_cast<DirectMappedCache *>(base))
+        return dispatchRun(*direct, source, obs);
+    if (auto *prime = dynamic_cast<PrimeMappedCache *>(base))
+        return dispatchRun(*prime, source, obs);
+    return dispatchRun(*base, source, obs);
+}
+
+template <typename Observer>
+SimResult
+CcSimulator::run(const Trace &trace, Observer &obs)
+{
+    TraceVectorSource source(trace);
+    return run(source, obs);
+}
 
 } // namespace vcache
 

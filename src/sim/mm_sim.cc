@@ -1,8 +1,6 @@
 #include "sim/mm_sim.hh"
 
-#include <algorithm>
-
-#include "util/logging.hh"
+#include "obs/observer.hh"
 
 namespace vcache
 {
@@ -21,36 +19,6 @@ MmSimulator::reset()
     clock = 0;
 }
 
-void
-MmSimulator::issueStrip(const VectorRef &first, const VectorRef *second,
-                        std::uint64_t offset, std::uint64_t count,
-                        SimResult &result)
-{
-    for (std::uint64_t i = 0; i < count; ++i) {
-        Cycles ready = clock;
-
-        // Stream 1 element.
-        {
-            const Addr a = first.element(offset + i);
-            const Cycles bus = buses.reserveRead(ready);
-            const Cycles when = memory.issue(a, bus);
-            ready = std::max(ready, when);
-        }
-        // Stream 2 element, if this strip belongs to a double-stream
-        // op and the second (shorter) vector still has elements.
-        if (second && offset + i < second->length) {
-            const Addr a = second->element(offset + i);
-            const Cycles bus = buses.reserveRead(clock);
-            const Cycles when = memory.issue(a, bus);
-            ready = std::max(ready, when);
-        }
-
-        result.stallCycles += ready - clock;
-        clock = ready + 1; // in-order pipeline: next issue slot
-        ++result.results;
-    }
-}
-
 SimResult
 MmSimulator::run(const Trace &trace)
 {
@@ -61,33 +29,9 @@ MmSimulator::run(const Trace &trace)
 SimResult
 MmSimulator::run(TraceSource &source)
 {
-    SimResult result;
-
-    VectorOp op;
-    while (source.next(op)) {
-        clock += static_cast<Cycles>(machine.blockOverhead);
-
-        const VectorRef *second =
-            op.second ? &op.second.value() : nullptr;
-
-        for (std::uint64_t done = 0; done < op.first.length;
-             done += machine.mvl) {
-            clock += static_cast<Cycles>(machine.stripOverhead +
-                                         machine.startupTime());
-            const std::uint64_t count =
-                std::min<std::uint64_t>(machine.mvl,
-                                        op.first.length - done);
-            issueStrip(op.first, second, done, count, result);
-        }
-
-        // Stores drain through the write bus without stalling the
-        // pipeline (the paper's write-buffer assumption).
-        if (op.store)
-            buses.reserveWrites(clock, op.store->length);
-    }
-
-    result.totalCycles = clock;
-    return result;
+    // The NullObserver instantiation IS the production fast path.
+    NullObserver obs;
+    return run(source, obs);
 }
 
 } // namespace vcache

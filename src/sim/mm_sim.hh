@@ -9,10 +9,18 @@
  * bank is still busy.  This is the machine the analytic I_s^M / I_c^M
  * formulas approximate, so the two are cross-checked in tests and in
  * the validation bench.
+ *
+ * The run loop is a member template over an Observer policy (the same
+ * split as CcSimulator): the plain run() overloads instantiate it
+ * with the zero-cost NullObserver, while run(source, obs) with a
+ * TracingObserver sees every vector op, bank issue/conflict and bus
+ * wait with cycle stamps.
  */
 
 #ifndef VCACHE_SIM_MM_SIM_HH
 #define VCACHE_SIM_MM_SIM_HH
+
+#include <algorithm>
 
 #include "analytic/machine.hh"
 #include "memory/bus.hh"
@@ -36,6 +44,17 @@ class MmSimulator
     /** Run a streamed workload (no materialized trace needed). */
     SimResult run(TraceSource &source);
 
+    /**
+     * Instrumented run: identical timing, every Observer hook fired.
+     * The observer must satisfy the contract in src/obs/observer.hh.
+     */
+    template <typename Observer>
+    SimResult run(const Trace &trace, Observer &obs);
+
+    /** Instrumented streamed run. */
+    template <typename Observer>
+    SimResult run(TraceSource &source, Observer &obs);
+
     /** Reset banks/buses between runs. */
     void reset();
 
@@ -43,15 +62,98 @@ class MmSimulator
 
   private:
     /** Issue one strip of up to MVL elements from one or two streams. */
+    template <typename Observer>
     void issueStrip(const VectorRef &first, const VectorRef *second,
                     std::uint64_t offset, std::uint64_t count,
-                    SimResult &result);
+                    SimResult &result, Observer &obs);
 
     MachineParams machine;
     InterleavedMemory memory;
     BusSet buses;
     Cycles clock = 0;
 };
+
+template <typename Observer>
+void
+MmSimulator::issueStrip(const VectorRef &first, const VectorRef *second,
+                        std::uint64_t offset, std::uint64_t count,
+                        SimResult &result, Observer &obs)
+{
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Cycles ready = clock;
+
+        // Stream 1 element.
+        {
+            const Addr a = first.element(offset + i);
+            const Cycles bus = buses.reserveReadObserved(ready, obs);
+            const Cycles when = memory.issueObserved(a, bus, obs);
+            ready = std::max(ready, when);
+        }
+        // Stream 2 element, if this strip belongs to a double-stream
+        // op and the second (shorter) vector still has elements.
+        if (second && offset + i < second->length) {
+            const Addr a = second->element(offset + i);
+            const Cycles bus = buses.reserveReadObserved(clock, obs);
+            const Cycles when = memory.issueObserved(a, bus, obs);
+            ready = std::max(ready, when);
+        }
+
+        result.stallCycles += ready - clock;
+        clock = ready + 1; // in-order pipeline: next issue slot
+        ++result.results;
+    }
+}
+
+template <typename Observer>
+SimResult
+MmSimulator::run(TraceSource &source, Observer &obs)
+{
+    SimResult result;
+
+    // The MM machine has no cache: observers see a zero-set domain.
+    if constexpr (Observer::kEnabled)
+        obs.onRunBegin(0);
+
+    VectorOp op;
+    while (source.next(op)) {
+        clock += static_cast<Cycles>(machine.blockOverhead);
+        if constexpr (Observer::kEnabled)
+            obs.onVectorOpBegin(clock, op);
+
+        const VectorRef *second =
+            op.second ? &op.second.value() : nullptr;
+
+        for (std::uint64_t done = 0; done < op.first.length;
+             done += machine.mvl) {
+            clock += static_cast<Cycles>(machine.stripOverhead +
+                                         machine.startupTime());
+            const std::uint64_t count =
+                std::min<std::uint64_t>(machine.mvl,
+                                        op.first.length - done);
+            issueStrip(op.first, second, done, count, result, obs);
+        }
+
+        // Stores drain through the write bus without stalling the
+        // pipeline (the paper's write-buffer assumption).
+        if (op.store)
+            buses.reserveWrites(clock, op.store->length);
+        if constexpr (Observer::kEnabled)
+            obs.onVectorOpEnd(clock);
+    }
+
+    result.totalCycles = clock;
+    if constexpr (Observer::kEnabled)
+        obs.onRunEnd(clock, result);
+    return result;
+}
+
+template <typename Observer>
+SimResult
+MmSimulator::run(const Trace &trace, Observer &obs)
+{
+    TraceVectorSource source(trace);
+    return run(source, obs);
+}
 
 } // namespace vcache
 

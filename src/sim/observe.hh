@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Shared vocabulary between the simulators and their observers.
+ *
+ * The run loops are member templates over an Observer policy (see
+ * src/obs/observer.hh for the hook contract and the zero-cost
+ * NullObserver); the types the hooks speak -- beyond plain cycles and
+ * addresses -- live here so the sim layer never includes obs headers.
+ */
+
+#ifndef VCACHE_SIM_OBSERVE_HH
+#define VCACHE_SIM_OBSERVE_HH
+
+namespace vcache
+{
+
+/** How a demand miss was serviced by the CC machine. */
+enum class MissKind
+{
+    /** First touch: pipelined through the banks (Equation (1)). */
+    Compulsory,
+    /** Interference/capacity miss paying the full t_m stall. */
+    Blocking,
+    /** Interference/capacity miss streamed by a lockup-free cache. */
+    NonBlocking,
+};
+
+} // namespace vcache
+
+#endif // VCACHE_SIM_OBSERVE_HH

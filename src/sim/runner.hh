@@ -12,6 +12,8 @@
 #include "cache/cache.hh"
 #include "cache/classify.hh"
 #include "cache/prefetch.hh"
+#include "sim/cc_sim.hh"
+#include "sim/mm_sim.hh"
 #include "sim/result.hh"
 #include "trace/access.hh"
 #include "trace/source.hh"
@@ -58,6 +60,36 @@ SimResult simulateCc(const MachineParams &params, CacheScheme scheme,
 /** Simulate a streamed workload on the CC machine. */
 SimResult simulateCc(const MachineParams &params, CacheScheme scheme,
                      TraceSource &source);
+
+/** Instrumented MM run (see the Observer contract in src/obs). */
+template <typename Observer>
+SimResult
+simulateMm(const MachineParams &params, const Trace &trace,
+           Observer &obs)
+{
+    MmSimulator sim(params);
+    return sim.run(trace, obs);
+}
+
+/** Instrumented CC run (see the Observer contract in src/obs). */
+template <typename Observer>
+SimResult
+simulateCc(const MachineParams &params, CacheScheme scheme,
+           const Trace &trace, Observer &obs)
+{
+    CcSimulator sim(params, scheme);
+    return sim.run(trace, obs);
+}
+
+/** Instrumented CC run with an explicit cache configuration. */
+template <typename Observer>
+SimResult
+simulateCc(const MachineParams &params, const CacheConfig &config,
+           const Trace &trace, Observer &obs)
+{
+    CcSimulator sim(params, config);
+    return sim.run(trace, obs);
+}
 
 /**
  * Functional run: push every load of a trace through a cache and

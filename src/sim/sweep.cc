@@ -3,7 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <fstream>
 #include <iomanip>
+#include <iostream>
 #include <mutex>
 #include <sstream>
 
@@ -29,6 +31,34 @@ fmt1(double v)
     std::ostringstream os;
     os << std::fixed << std::setprecision(1) << v;
     return os.str();
+}
+
+/** Minimal JSON string escaping for sweep labels. */
+std::string
+jsonLabel(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/** Append the per-worker pointsDone array as a JSON list. */
+void
+appendWorkerCounts(std::ostream &os,
+                   const std::vector<SweepWorker> &workers)
+{
+    os << "\"workers\":[";
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+        if (w)
+            os << ',';
+        os << workers[w].pointsDone.load(std::memory_order_relaxed);
+    }
+    os << ']';
 }
 
 } // namespace
@@ -78,6 +108,14 @@ runSweep(std::size_t points,
             .count();
     };
 
+    std::ostream *telemetry = opts.telemetry.get();
+    if (telemetry) {
+        *telemetry << "{\"event\":\"sweep_start\",\"label\":\""
+                   << jsonLabel(opts.label) << "\",\"points\":"
+                   << points << ",\"jobs\":" << jobs << "}\n"
+                   << std::flush;
+    }
+
     {
         ThreadPool pool(jobs);
         for (unsigned w = 0; w < jobs; ++w) {
@@ -88,6 +126,8 @@ runSweep(std::size_t points,
                     if (i >= points)
                         return;
                     eval(i, workers[worker]);
+                    workers[worker].pointsDone.fetch_add(
+                        1, std::memory_order_relaxed);
                     if (done.fetch_add(1, std::memory_order_release) + 1 ==
                         points) {
                         std::lock_guard<std::mutex> lock(done_mtx);
@@ -103,7 +143,7 @@ runSweep(std::size_t points,
             done_cv.wait_for(lock,
                              std::chrono::milliseconds(100));
             const double t = elapsed();
-            if (!opts.progress || t < next_report)
+            if (t < next_report)
                 continue;
             next_report = t + kProgressPeriod;
             const auto d = done.load(std::memory_order_acquire);
@@ -112,8 +152,20 @@ runSweep(std::size_t points,
             const double rate = static_cast<double>(d) / t;
             const double eta =
                 static_cast<double>(points - d) / rate;
-            inform(opts.label, ": ", d, "/", points, " points, ",
-                   fmt1(rate), " points/s, ETA ", fmt1(eta), " s");
+            if (opts.progress) {
+                inform(opts.label, ": ", d, "/", points, " points, ",
+                       fmt1(rate), " points/s, ETA ", fmt1(eta), " s");
+            }
+            if (telemetry) {
+                *telemetry << "{\"event\":\"sweep_progress\","
+                           << "\"label\":\"" << jsonLabel(opts.label)
+                           << "\",\"done\":" << d << ",\"points\":"
+                           << points << ",\"elapsed_s\":" << fmt1(t)
+                           << ",\"points_per_s\":" << fmt1(rate)
+                           << ",\"eta_s\":" << fmt1(eta) << ',';
+                appendWorkerCounts(*telemetry, workers);
+                *telemetry << "}\n" << std::flush;
+            }
         }
         lock.unlock();
         pool.wait();
@@ -131,6 +183,16 @@ runSweep(std::size_t points,
                fmt1(outcome.pointsPerSecond()),
                " points/s, jobs=", jobs, ")");
     }
+    if (telemetry) {
+        *telemetry << "{\"event\":\"sweep_end\",\"label\":\""
+                   << jsonLabel(opts.label) << "\",\"points\":"
+                   << points << ",\"jobs\":" << jobs
+                   << ",\"seconds\":" << fmt1(outcome.seconds)
+                   << ",\"points_per_s\":"
+                   << fmt1(outcome.pointsPerSecond()) << ',';
+        appendWorkerCounts(*telemetry, workers);
+        *telemetry << "}\n" << std::flush;
+    }
     return outcome;
 }
 
@@ -144,6 +206,10 @@ addSweepFlags(ArgParser &args)
                  "base seed folded into every per-point trace seed");
     args.addFlag("progress", "true",
                  "print progress/throughput lines on stderr");
+    args.addFlag("telemetry", "",
+                 "emit machine-readable JSON-lines sweep progress "
+                 "(per-worker point counts) to this file; "
+                 "\"-\" = stderr");
 }
 
 SweepOptions
@@ -158,6 +224,19 @@ sweepOptionsFromFlags(const ArgParser &args, const std::string &label)
     opts.seed = args.getUint("seed");
     opts.progress = args.getBool("progress");
     opts.label = label;
+    const std::string telemetry = args.getString("telemetry");
+    if (telemetry == "-") {
+        // Non-owning alias: stderr outlives every sweep.
+        opts.telemetry =
+            std::shared_ptr<std::ostream>(std::shared_ptr<void>(),
+                                          &std::cerr);
+    } else if (!telemetry.empty()) {
+        auto file = std::make_shared<std::ofstream>(telemetry);
+        if (!*file)
+            vc_fatal("cannot open --telemetry destination '",
+                     telemetry, "'");
+        opts.telemetry = file;
+    }
     return opts;
 }
 

@@ -24,9 +24,12 @@
 #ifndef VCACHE_SIM_SWEEP_HH
 #define VCACHE_SIM_SWEEP_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <ostream>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -44,6 +47,14 @@ struct SweepWorker
     unsigned id = 0;
     /** Point-evaluator accumulator; merged into SweepOutcome::stats. */
     RunningStats stats;
+    /**
+     * Points this worker has finished, bumped by the sweep engine
+     * after every evaluation.  Read concurrently (relaxed) by the
+     * telemetry monitor, so it is atomic -- which also makes
+     * SweepWorker non-copyable; the engine only ever hands out
+     * references.
+     */
+    std::atomic<std::uint64_t> pointsDone{0};
 };
 
 /** Knobs shared by every sweep-driven bench. */
@@ -57,6 +68,13 @@ struct SweepOptions
     bool progress = true;
     /** Name used in the progress lines. */
     std::string label = "sweep";
+    /**
+     * Machine-readable progress sink: one JSON object per line
+     * (sweep_start, periodic sweep_progress with per-worker point
+     * counts, sweep_end).  Null disables telemetry.  The stream is
+     * only written from the monitor thread.
+     */
+    std::shared_ptr<std::ostream> telemetry;
 };
 
 /** What one sweep did, for throughput reporting. */
@@ -111,7 +129,7 @@ sweepGrid(const std::vector<Point> &grid, F &&eval,
     return results;
 }
 
-/** Register the shared --jobs / --seed / --progress flags. */
+/** Register the shared --jobs/--seed/--progress/--telemetry flags. */
 void addSweepFlags(ArgParser &args);
 
 /**

@@ -1,10 +1,124 @@
 #include "util/logging.hh"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 
 namespace vcache
 {
+
+namespace
+{
+
+/** Process-wide logging settings, initialised from VCACHE_LOG once. */
+struct LogSettings
+{
+    LogLevel threshold = LogLevel::Info;
+    bool timestamps = false;
+};
+
+/** Parse one spec token into `out`; false on an unknown token. */
+bool
+applyToken(const std::string &token, LogSettings &out)
+{
+    if (token == "info" || token == "debug")
+        out.threshold = LogLevel::Info;
+    else if (token == "warn" || token == "warning")
+        out.threshold = LogLevel::Warning;
+    else if (token == "fatal" || token == "error" ||
+             token == "silent" || token == "quiet")
+        out.threshold = LogLevel::Fatal;
+    else if (token == "ts" || token == "timestamps")
+        out.timestamps = true;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseSpec(const std::string &spec, LogSettings &out)
+{
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        const std::size_t comma = spec.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? spec.size() : comma;
+        const std::string token = spec.substr(start, end - start);
+        if (!token.empty() && !applyToken(token, out))
+            return false;
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return true;
+}
+
+LogSettings &
+settings()
+{
+    static LogSettings s = [] {
+        LogSettings init;
+        if (const char *env = std::getenv("VCACHE_LOG")) {
+            if (!parseSpec(env, init)) {
+                // Cannot use warn() here (recursion); report directly.
+                std::cerr << "warn: unknown VCACHE_LOG spec '" << env
+                          << "' ignored" << std::endl;
+            }
+        }
+        return init;
+    }();
+    return s;
+}
+
+/** Seconds since the first logging call (a stable process-start proxy). */
+double
+elapsedSeconds()
+{
+    static const auto start = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return settings().threshold;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    settings().threshold = level;
+}
+
+bool
+logTimestamps()
+{
+    return settings().timestamps;
+}
+
+void
+setLogTimestamps(bool enable)
+{
+    settings().timestamps = enable;
+    if (enable)
+        elapsedSeconds(); // anchor the clock at enable time
+}
+
+bool
+applyLogSpec(const std::string &spec)
+{
+    LogSettings parsed = settings();
+    if (!parseSpec(spec, parsed))
+        return false;
+    settings() = parsed;
+    return true;
+}
+
 namespace detail
 {
 
@@ -32,6 +146,12 @@ prefix(LogLevel level)
 void
 emit(LogLevel level, const std::string &where, const std::string &message)
 {
+    if (logTimestamps()) {
+        char stamp[32];
+        std::snprintf(stamp, sizeof(stamp), "[%.3fs] ",
+                      elapsedSeconds());
+        std::cerr << stamp;
+    }
     std::cerr << prefix(level) << message;
     if (!where.empty())
         std::cerr << " [" << where << "]";

@@ -8,6 +8,21 @@
  *            inconsistent parameters).  Exits with status 1.
  * warn()   - something is suspicious but simulation can continue.
  * inform() - progress/status output.
+ *
+ * Severity filtering: the VCACHE_LOG environment variable (read once,
+ * on first use) sets the minimum severity that is emitted, so
+ * instrumented runs can silence status chatter without touching the
+ * drivers.  Accepted specs are a level name -- "info" (default),
+ * "warn", "fatal" (aliases "error", "silent", "quiet") -- optionally
+ * followed by ",ts" to prefix every message with seconds elapsed
+ * since process start:
+ *
+ *   VCACHE_LOG=warn      ./sweep_grid      # progress lines dropped
+ *   VCACHE_LOG=info,ts   ./sweep_grid      # "[12.345s] info: ..."
+ *
+ * fatal()/panic() always print and still terminate regardless of the
+ * threshold.  setLogThreshold()/setLogTimestamps() override the
+ * environment programmatically (tests, embedding applications).
  */
 
 #ifndef VCACHE_UTIL_LOGGING_HH
@@ -27,6 +42,24 @@ enum class LogLevel
     Fatal,
     Panic,
 };
+
+/** Minimum severity currently emitted (Fatal/Panic always print). */
+LogLevel logThreshold();
+
+/** Override the VCACHE_LOG threshold programmatically. */
+void setLogThreshold(LogLevel level);
+
+/** True if messages carry an elapsed-seconds timestamp prefix. */
+bool logTimestamps();
+
+/** Enable/disable the elapsed-seconds timestamp prefix. */
+void setLogTimestamps(bool enable);
+
+/**
+ * Apply a VCACHE_LOG-style spec ("warn", "info,ts", ...).
+ * @return false (leaving settings untouched) on an unknown token
+ */
+bool applyLogSpec(const std::string &spec);
 
 namespace detail
 {
@@ -55,6 +88,8 @@ template <typename... Args>
 void
 inform(Args &&...args)
 {
+    if (logThreshold() != LogLevel::Info)
+        return;
     detail::emit(LogLevel::Info, "", detail::concat(args...));
 }
 
@@ -63,6 +98,8 @@ template <typename... Args>
 void
 warn(Args &&...args)
 {
+    if (logThreshold() == LogLevel::Fatal)
+        return;
     detail::emit(LogLevel::Warning, "", detail::concat(args...));
 }
 

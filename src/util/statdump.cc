@@ -1,13 +1,53 @@
 #include "util/statdump.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "util/logging.hh"
 
 namespace vcache
 {
+
+namespace
+{
+
+/** JSON string escaping for stat names (quotes, backslashes, controls). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
 
 void
 StatDump::beginGroup(const std::string &name)
@@ -38,8 +78,8 @@ void
 StatDump::scalar(const std::string &name, std::uint64_t value,
                  const std::string &description)
 {
-    entries.push_back(
-        {qualified(name), std::to_string(value), description});
+    entries.push_back({qualified(name), std::to_string(value),
+                       description, true, value, 0.0});
 }
 
 void
@@ -48,7 +88,8 @@ StatDump::scalar(const std::string &name, double value,
 {
     std::ostringstream os;
     os << std::setprecision(6) << value;
-    entries.push_back({qualified(name), os.str(), description});
+    entries.push_back(
+        {qualified(name), os.str(), description, false, 0, value});
 }
 
 void
@@ -59,14 +100,44 @@ StatDump::print(std::ostream &os) const
         name_w = std::max(name_w, e.name.size());
         value_w = std::max(value_w, e.value.size());
     }
+    // Lines are assembled by hand (not stream manipulators) so the
+    // caller's ostream formatting state survives, and so a line whose
+    // description is empty ends at its value -- no trailing padding.
     for (const auto &e : entries) {
-        os << std::left << std::setw(static_cast<int>(name_w + 2))
-           << e.name << std::right
-           << std::setw(static_cast<int>(value_w)) << e.value;
-        if (!e.description.empty())
-            os << "  # " << e.description;
-        os << "\n";
+        std::string line = e.name;
+        line.append(name_w + 2 - e.name.size(), ' ');
+        line.append(value_w - e.value.size(), ' ');
+        line += e.value;
+        if (!e.description.empty()) {
+            line += "  # ";
+            line += e.description;
+        }
+        os << line << "\n";
     }
+}
+
+void
+StatDump::printJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    for (const auto &e : entries) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "  \"" << jsonEscape(e.name) << "\": ";
+        if (e.isInteger) {
+            os << e.intValue;
+        } else if (!std::isfinite(e.doubleValue)) {
+            os << "null";
+        } else {
+            std::ostringstream num;
+            num << std::setprecision(
+                       std::numeric_limits<double>::max_digits10)
+                << e.doubleValue;
+            os << num.str();
+        }
+    }
+    os << (first ? "}" : "\n}") << "\n";
 }
 
 } // namespace vcache

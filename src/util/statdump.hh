@@ -7,7 +7,10 @@
  *
  * Components append named scalars under dotted group prefixes; the
  * dump prints them aligned with their descriptions, so every example
- * and the trace_sim driver report in one grammar.
+ * and the trace_sim driver report in one grammar.  printJson() renders
+ * the same entries as one flat JSON object -- groups become dotted
+ * keys, key order is the (stable) insertion order -- for machine
+ * consumers of the --stats-out flag.
  */
 
 #ifndef VCACHE_UTIL_STATDUMP_HH
@@ -45,6 +48,14 @@ class StatDump
     /** Render aligned "name value # description" lines. */
     void print(std::ostream &os) const;
 
+    /**
+     * Render a flat JSON object: one "dotted.name": value member per
+     * scalar, in insertion order.  Integers print exactly; doubles
+     * print with enough digits to round-trip; non-finite doubles
+     * (which JSON cannot represent) print as null.
+     */
+    void printJson(std::ostream &os) const;
+
     /** RAII group helper. */
     class Group
     {
@@ -65,8 +76,13 @@ class StatDump
     struct Entry
     {
         std::string name;
+        /** Pre-rendered value text used by the aligned print(). */
         std::string value;
         std::string description;
+        /** Typed payload so printJson() emits real JSON numbers. */
+        bool isInteger;
+        std::uint64_t intValue;
+        double doubleValue;
     };
 
     std::string qualified(const std::string &name) const;

@@ -1,0 +1,98 @@
+/**
+ * Golden render of the full stats pipeline: one small VCM run on both
+ * mapping schemes, dumped through the StatDump grammar as aligned
+ * text and as JSON, compared byte-for-byte against checked-in golden
+ * files.  Any change to counter names, registration order, histogram
+ * bucketing, interval rows or the renderers shows up here as a diff.
+ *
+ * To regenerate after an intentional change:
+ *
+ *     VCACHE_REGOLD=1 ./test_obs --gtest_filter='GoldenStats.*'
+ *
+ * and commit the rewritten tests/obs/golden_stats.{txt,json}.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/defaults.hh"
+#include "obs/tracing_observer.hh"
+#include "sim/cc_sim.hh"
+#include "trace/vcm.hh"
+#include "util/statdump.hh"
+
+namespace vcache
+{
+namespace
+{
+
+StatDump
+goldenDump()
+{
+    VcmParams p;
+    p.blockingFactor = 256;
+    p.reuseFactor = 4;
+    p.blocks = 2;
+    p.maxStride = 2048;
+    const Trace trace = generateVcmTrace(p, 7);
+
+    TracingConfig cfg;
+    cfg.statsInterval = 2000;
+
+    StatDump dump;
+    for (const auto scheme :
+         {CacheScheme::Direct, CacheScheme::Prime}) {
+        TracingObserver obs(scheme == CacheScheme::Direct ? "cc_direct"
+                                                          : "cc_prime",
+                            cfg);
+        CcSimulator sim(paperMachineM32(), scheme);
+        sim.run(trace, obs);
+        obs.dumpTo(dump);
+    }
+    return dump;
+}
+
+std::string
+goldenPath(const char *leaf)
+{
+    return std::string(VCACHE_OBS_GOLDEN_DIR) + "/" + leaf;
+}
+
+void
+checkAgainstGolden(const std::string &got, const char *leaf)
+{
+    const std::string path = goldenPath(leaf);
+    if (std::getenv("VCACHE_REGOLD") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << path;
+        out << got;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << path << " missing; run with VCACHE_REGOLD=1 to create it";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(got, want.str()) << "golden mismatch: " << path;
+}
+
+TEST(GoldenStats, Text)
+{
+    std::ostringstream os;
+    goldenDump().print(os);
+    checkAgainstGolden(os.str(), "golden_stats.txt");
+}
+
+TEST(GoldenStats, Json)
+{
+    std::ostringstream os;
+    goldenDump().printJson(os);
+    checkAgainstGolden(os.str(), "golden_stats.json");
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,94 @@
+/** Tests for the log2-bucketed observability histogram. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/histogram.hh"
+#include "util/statdump.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(Log2Histogram, BucketBoundaries)
+{
+    EXPECT_EQ(Log2Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Log2Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Log2Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Log2Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Log2Histogram::bucketOf(7), 3u);
+    EXPECT_EQ(Log2Histogram::bucketOf(8), 4u);
+    EXPECT_EQ(Log2Histogram::bucketOf(~std::uint64_t{0}), 64u);
+}
+
+TEST(Log2Histogram, BucketLabels)
+{
+    EXPECT_EQ(Log2Histogram::bucketLabel(0), "0");
+    EXPECT_EQ(Log2Histogram::bucketLabel(1), "1");
+    EXPECT_EQ(Log2Histogram::bucketLabel(2), "2-3");
+    EXPECT_EQ(Log2Histogram::bucketLabel(3), "4-7");
+    EXPECT_EQ(Log2Histogram::bucketLabel(4), "8-15");
+}
+
+TEST(Log2Histogram, AccumulatesMoments)
+{
+    Log2Histogram h;
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.usedBuckets(), 0u);
+
+    h.add(0);
+    h.add(1);
+    h.add(5);
+    h.add(6, 2); // weighted: two samples of value 6
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_EQ(h.sampleSum(), 18u);
+    EXPECT_DOUBLE_EQ(h.mean(), 18.0 / 5.0);
+    EXPECT_EQ(h.max(), 6u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 3u); // 5 once, 6 twice
+    EXPECT_EQ(h.usedBuckets(), 4u);
+}
+
+TEST(Log2Histogram, MergeAndClear)
+{
+    Log2Histogram a, b;
+    a.add(3);
+    b.add(100);
+    b.add(1);
+    a.merge(b);
+    EXPECT_EQ(a.samples(), 3u);
+    EXPECT_EQ(a.sampleSum(), 104u);
+    EXPECT_EQ(a.max(), 100u);
+    a.clear();
+    EXPECT_EQ(a.samples(), 0u);
+    EXPECT_EQ(a.max(), 0u);
+    EXPECT_EQ(a.usedBuckets(), 0u);
+}
+
+TEST(Log2Histogram, DumpSkipsEmptyBuckets)
+{
+    Log2Histogram h;
+    h.add(0);
+    h.add(9);
+    StatDump dump;
+    {
+        StatDump::Group g(dump, "occ");
+        h.dumpTo(dump);
+    }
+    std::ostringstream os;
+    dump.print(os);
+    const auto out = os.str();
+    EXPECT_NE(out.find("occ.samples"), std::string::npos);
+    EXPECT_NE(out.find("occ.bucket_0"), std::string::npos);
+    EXPECT_NE(out.find("occ.bucket_8-15"), std::string::npos);
+    EXPECT_EQ(out.find("occ.bucket_1 "), std::string::npos);
+    EXPECT_EQ(out.find("occ.bucket_2-3"), std::string::npos);
+}
+
+} // namespace
+} // namespace vcache

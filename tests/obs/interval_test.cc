@@ -1,0 +1,111 @@
+/** Tests for the interval-statistics accumulator. */
+
+#include <gtest/gtest.h>
+
+#include "obs/interval.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(IntervalAccumulator, DisabledCollectsNothing)
+{
+    IntervalAccumulator acc(0);
+    EXPECT_FALSE(acc.enabled());
+    acc.begin(16);
+    acc.record(5, 1, false, 0);
+    acc.finish(100);
+    EXPECT_TRUE(acc.rows().empty());
+}
+
+TEST(IntervalAccumulator, RollsFixedWindows)
+{
+    IntervalAccumulator acc(100);
+    acc.begin(8);
+    // Window [0, 100): 2 accesses, 1 miss, 10 stall cycles.
+    acc.record(10, 0, false, 0);
+    acc.record(50, 1, true, 10);
+    // Window [100, 200): 1 access.
+    acc.record(150, 1, false, 0);
+    acc.finish(160);
+
+    const auto &rows = acc.rows();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].startCycle, 0u);
+    EXPECT_EQ(rows[0].endCycle, 100u);
+    EXPECT_EQ(rows[0].accesses, 2u);
+    EXPECT_EQ(rows[0].misses, 1u);
+    EXPECT_EQ(rows[0].stallCycles, 10u);
+    EXPECT_EQ(rows[0].setsTouched, 2u);
+    EXPECT_DOUBLE_EQ(rows[0].missRatio(), 0.5);
+    EXPECT_DOUBLE_EQ(rows[0].stallFraction(), 0.1);
+    EXPECT_EQ(rows[1].startCycle, 100u);
+    EXPECT_EQ(rows[1].accesses, 1u);
+    EXPECT_EQ(rows[1].setsTouched, 1u);
+}
+
+TEST(IntervalAccumulator, FastForwardsQuietWindows)
+{
+    IntervalAccumulator acc(10);
+    acc.begin(4);
+    acc.record(1, 0, false, 0);
+    // A long quiet gap: no empty windows should be materialized.
+    acc.record(1005, 0, false, 0);
+    acc.finish(1006);
+    const auto &rows = acc.rows();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].startCycle, 0u);
+    EXPECT_EQ(rows[1].startCycle, 1000u);
+    EXPECT_EQ(rows[1].endCycle, 1006u);
+}
+
+TEST(IntervalAccumulator, OccupancyCountsPerSetAccesses)
+{
+    IntervalAccumulator acc(1000);
+    acc.begin(8);
+    for (int i = 0; i < 9; ++i)
+        acc.record(static_cast<Cycles>(i), 3, false, 0); // hot set
+    acc.record(20, 5, false, 0);                         // cold set
+    acc.finish(21);
+    const auto &rows = acc.rows();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].setsTouched, 2u);
+    EXPECT_EQ(rows[0].occupancy.samples(), 2u);
+    EXPECT_EQ(rows[0].occupancy.max(), 9u);
+    // One set in bucket "1", one in "8-15".
+    EXPECT_EQ(rows[0].occupancy.bucket(1), 1u);
+    EXPECT_EQ(rows[0].occupancy.bucket(4), 1u);
+}
+
+TEST(IntervalAccumulator, PerSetCountsResetBetweenWindows)
+{
+    IntervalAccumulator acc(10);
+    acc.begin(4);
+    acc.record(1, 2, false, 0);
+    acc.record(2, 2, false, 0);
+    acc.record(11, 2, false, 0); // same set, next window
+    acc.finish(12);
+    const auto &rows = acc.rows();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].occupancy.max(), 2u);
+    EXPECT_EQ(rows[1].occupancy.max(), 1u);
+}
+
+TEST(IntervalAccumulator, BeginForgetsPreviousRun)
+{
+    IntervalAccumulator acc(10);
+    acc.begin(4);
+    acc.record(1, 0, true, 5);
+    acc.finish(2);
+    EXPECT_EQ(acc.rows().size(), 1u);
+    acc.begin(4);
+    EXPECT_TRUE(acc.rows().empty());
+    acc.record(3, 1, false, 0);
+    acc.finish(4);
+    ASSERT_EQ(acc.rows().size(), 1u);
+    EXPECT_EQ(acc.rows()[0].misses, 0u);
+}
+
+} // namespace
+} // namespace vcache

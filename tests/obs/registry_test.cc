@@ -1,0 +1,88 @@
+/** Tests for the named counter/histogram registry. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/registry.hh"
+#include "util/statdump.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(ObsRegistry, FindOrCreateReturnsStableReferences)
+{
+    ObsRegistry reg;
+    Counter &hits = reg.counter("hits", "demand hits");
+    ++hits;
+    hits += 4;
+    // Re-registration finds the same instrument; the first
+    // description wins.
+    Counter &again = reg.counter("hits", "ignored");
+    EXPECT_EQ(&hits, &again);
+    EXPECT_EQ(hits.value, 5u);
+
+    // Creating more instruments must not invalidate earlier refs.
+    for (int i = 0; i < 100; ++i)
+        reg.counter("c" + std::to_string(i), "");
+    ++again;
+    EXPECT_EQ(hits.value, 6u);
+    EXPECT_EQ(reg.size(), 101u);
+}
+
+TEST(ObsRegistry, HistogramsLiveAlongsideCounters)
+{
+    ObsRegistry reg;
+    Log2Histogram &h = reg.histogram("waits", "bank waits");
+    h.add(3);
+    EXPECT_EQ(&h, &reg.histogram("waits", ""));
+    EXPECT_EQ(reg.histogram("waits", "").samples(), 1u);
+}
+
+TEST(ObsRegistry, DumpsInRegistrationOrder)
+{
+    ObsRegistry reg;
+    reg.counter("zeta", "last alphabetically, first registered") += 1;
+    reg.histogram("alpha", "").add(2);
+    reg.counter("mid", "") += 3;
+
+    StatDump dump;
+    reg.dumpTo(dump);
+    std::ostringstream os;
+    dump.print(os);
+    const auto out = os.str();
+    const auto z = out.find("zeta");
+    const auto a = out.find("alpha.samples");
+    const auto m = out.find("\nmid");
+    ASSERT_NE(z, std::string::npos);
+    ASSERT_NE(a, std::string::npos);
+    ASSERT_NE(m, std::string::npos);
+    EXPECT_LT(z, a);
+    EXPECT_LT(a, m);
+}
+
+TEST(ObsRegistry, ClearResetsValuesButKeepsRegistrations)
+{
+    ObsRegistry reg;
+    Counter &c = reg.counter("c", "");
+    Log2Histogram &h = reg.histogram("h", "");
+    c += 7;
+    h.add(7);
+    reg.clear();
+    EXPECT_EQ(c.value, 0u);
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(&c, &reg.counter("c", ""));
+}
+
+TEST(ObsRegistryDeathTest, KindMismatchPanics)
+{
+    ObsRegistry reg;
+    reg.counter("x", "");
+    EXPECT_DEATH(reg.histogram("x", ""), "different kind");
+}
+
+} // namespace
+} // namespace vcache

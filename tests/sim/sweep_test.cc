@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -144,6 +145,64 @@ TEST(Sweep, RunSweepVisitsEveryIndexOnce)
     EXPECT_EQ(outcome.points, kPoints);
     for (std::size_t i = 0; i < kPoints; ++i)
         EXPECT_EQ(visits[i], 1) << "index " << i;
+}
+
+TEST(Sweep, TelemetryReportsPerWorkerProgress)
+{
+    auto sink = std::make_shared<std::ostringstream>();
+    SweepOptions opts = quiet(3);
+    opts.label = "grid \"q\"";
+    opts.telemetry = sink;
+
+    std::vector<int> grid;
+    for (int i = 0; i < 50; ++i)
+        grid.push_back(i);
+    sweepGrid(grid, [](const int &v, SweepWorker &) { return v; },
+              opts);
+
+    std::istringstream lines(sink->str());
+    std::string first, line, last;
+    std::getline(lines, first);
+    while (std::getline(lines, line))
+        last = line;
+
+    EXPECT_NE(first.find("\"event\":\"sweep_start\""),
+              std::string::npos);
+    EXPECT_NE(first.find("\"points\":50"), std::string::npos);
+    EXPECT_NE(first.find("\"jobs\":3"), std::string::npos);
+    // Quotes in the label must arrive escaped (valid JSON lines).
+    EXPECT_NE(first.find("\"label\":\"grid \\\"q\\\"\""),
+              std::string::npos);
+
+    ASSERT_NE(last.find("\"event\":\"sweep_end\""), std::string::npos);
+    // The per-worker counts account for every point exactly once.
+    const auto open = last.find("\"workers\":[");
+    ASSERT_NE(open, std::string::npos);
+    const auto close = last.find(']', open);
+    ASSERT_NE(close, std::string::npos);
+    std::istringstream counts(
+        last.substr(open + 11, close - open - 11));
+    std::uint64_t total = 0, value = 0;
+    std::size_t workers = 0;
+    char comma = 0;
+    while (counts >> value) {
+        total += value;
+        ++workers;
+        counts >> comma;
+    }
+    EXPECT_EQ(workers, 3u);
+    EXPECT_EQ(total, 50u);
+}
+
+TEST(Sweep, NoTelemetrySinkWritesNothing)
+{
+    // The default options leave the sink null; this mostly checks the
+    // sweep does not trip on the absent stream.
+    std::vector<int> grid{1, 2, 3};
+    const auto results = sweepGrid(
+        grid, [](const int &v, SweepWorker &) { return v + 1; },
+        quiet(2));
+    EXPECT_EQ(results[2], 4);
 }
 
 TEST(SweepFlags, RoundTripThroughArgParser)

@@ -25,6 +25,77 @@ TEST(Logging, ConcatFormatsMixedTypes)
     EXPECT_EQ(detail::concat(), "");
 }
 
+/** Restores threshold/timestamp settings when a test exits. */
+class LogSettingsGuard
+{
+  public:
+    ~LogSettingsGuard()
+    {
+        setLogThreshold(LogLevel::Info);
+        setLogTimestamps(false);
+    }
+};
+
+TEST(Logging, ThresholdFiltersBySeverity)
+{
+    LogSettingsGuard guard;
+
+    setLogThreshold(LogLevel::Warning);
+    testing::internal::CaptureStderr();
+    inform("hidden status");
+    warn("still visible");
+    std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(out.find("hidden status"), std::string::npos);
+    EXPECT_NE(out.find("warn: still visible"), std::string::npos);
+
+    setLogThreshold(LogLevel::Fatal);
+    testing::internal::CaptureStderr();
+    inform("hidden status");
+    warn("hidden warning");
+    out = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(out, "");
+}
+
+TEST(Logging, ApplyLogSpecParsesLevelAndTimestamps)
+{
+    LogSettingsGuard guard;
+
+    EXPECT_TRUE(applyLogSpec("warn"));
+    EXPECT_EQ(logThreshold(), LogLevel::Warning);
+    EXPECT_FALSE(logTimestamps());
+
+    EXPECT_TRUE(applyLogSpec("info,ts"));
+    EXPECT_EQ(logThreshold(), LogLevel::Info);
+    EXPECT_TRUE(logTimestamps());
+
+    // Aliases map onto the three levels.
+    EXPECT_TRUE(applyLogSpec("quiet"));
+    EXPECT_EQ(logThreshold(), LogLevel::Fatal);
+}
+
+TEST(Logging, ApplyLogSpecRejectsUnknownTokensAtomically)
+{
+    LogSettingsGuard guard;
+    setLogThreshold(LogLevel::Warning);
+    // The bad token must leave the previous settings untouched even
+    // though "ts" parsed before it.
+    EXPECT_FALSE(applyLogSpec("ts,verbose"));
+    EXPECT_EQ(logThreshold(), LogLevel::Warning);
+    EXPECT_FALSE(logTimestamps());
+}
+
+TEST(Logging, TimestampPrefixesMessages)
+{
+    LogSettingsGuard guard;
+    setLogTimestamps(true);
+    testing::internal::CaptureStderr();
+    inform("stamped");
+    const std::string out = testing::internal::GetCapturedStderr();
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_NE(out.find("s] info: stamped"), std::string::npos);
+}
+
 TEST(LoggingDeathTest, FatalExitsWithOne)
 {
     EXPECT_EXIT(vc_fatal("bad config ", 7),

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/statdump.hh"
@@ -61,6 +63,88 @@ TEST(StatDump, AlignsValues)
     EXPECT_NE(l1.find('#'), std::string::npos);
     EXPECT_EQ(l1.find('#'), l2.find('#'));
     EXPECT_EQ(dump.size(), 2u);
+}
+
+TEST(StatDump, EmptyDescriptionLeavesNoTrailingComment)
+{
+    StatDump dump;
+    dump.scalar("plain", std::uint64_t{7}, "");
+    dump.scalar("described", std::uint64_t{8}, "has one");
+    std::ostringstream os;
+    dump.print(os);
+    std::istringstream lines(os.str());
+    std::string l1, l2;
+    std::getline(lines, l1);
+    std::getline(lines, l2);
+    // The undescribed line ends at its value: no padding, no "# ".
+    EXPECT_EQ(l1.back(), '7');
+    EXPECT_EQ(l1.find('#'), std::string::npos);
+    EXPECT_NE(l2.find("# has one"), std::string::npos);
+}
+
+TEST(StatDump, JsonFlattensGroupsInInsertionOrder)
+{
+    StatDump dump;
+    dump.scalar("zeta", std::uint64_t{1}, "registered first");
+    {
+        StatDump::Group g(dump, "grp");
+        dump.scalar("inner", std::uint64_t{2}, "");
+    }
+    dump.scalar("ratio", 0.25, "");
+    std::ostringstream os;
+    dump.printJson(os);
+    const auto out = os.str();
+    EXPECT_NE(out.find("\"zeta\": 1"), std::string::npos);
+    EXPECT_NE(out.find("\"grp.inner\": 2"), std::string::npos);
+    EXPECT_NE(out.find("\"ratio\": 0.25"), std::string::npos);
+    EXPECT_LT(out.find("zeta"), out.find("grp.inner"));
+    EXPECT_LT(out.find("grp.inner"), out.find("ratio"));
+    // Descriptions are a text-renderer feature; JSON is values only.
+    EXPECT_EQ(out.find("registered first"), std::string::npos);
+}
+
+TEST(StatDump, JsonNumbersAreExact)
+{
+    StatDump dump;
+    // Large integers must not pass through a double.
+    const std::uint64_t big = 9007199254740993ull; // 2^53 + 1
+    dump.scalar("big", big, "");
+    dump.scalar("third", 1.0 / 3.0, "");
+    std::ostringstream os;
+    dump.printJson(os);
+    const auto out = os.str();
+    EXPECT_NE(out.find("\"big\": 9007199254740993"), std::string::npos);
+    // max_digits10 round-trips the double exactly.
+    EXPECT_NE(out.find("0.33333333333333331"), std::string::npos);
+}
+
+TEST(StatDump, JsonNonFiniteBecomesNull)
+{
+    StatDump dump;
+    dump.scalar("nan", std::nan(""), "");
+    dump.scalar("inf", std::numeric_limits<double>::infinity(), "");
+    std::ostringstream os;
+    dump.printJson(os);
+    EXPECT_NE(os.str().find("\"nan\": null"), std::string::npos);
+    EXPECT_NE(os.str().find("\"inf\": null"), std::string::npos);
+}
+
+TEST(StatDump, JsonEscapesNames)
+{
+    StatDump dump;
+    dump.scalar("we\"ird\\name", std::uint64_t{1}, "");
+    std::ostringstream os;
+    dump.printJson(os);
+    EXPECT_NE(os.str().find("\"we\\\"ird\\\\name\": 1"),
+              std::string::npos);
+}
+
+TEST(StatDump, JsonEmptyDumpIsAnObject)
+{
+    StatDump dump;
+    std::ostringstream os;
+    dump.printJson(os);
+    EXPECT_EQ(os.str(), "{}\n");
 }
 
 TEST(StatDumpDeathTest, UnbalancedEndGroup)
