@@ -7,10 +7,15 @@
  * surface, and optionally validates each point with the trace-driven
  * simulators (--sim).
  *
- * Points are evaluated by the parallel sweep engine (--jobs); the
- * CSV on stdout is byte-identical for every worker count because
- * rows are collected by grid index and every per-point seed derives
- * from --seed and the grid index, never from the worker.
+ * Points are evaluated by the fault-tolerant sweep engine: --jobs
+ * fans them out, --checkpoint/--resume journal completed rows so an
+ * interrupted run picks up where it left off, --retries/--point-
+ * timeout bound a flaky or stuck point, and a permanently failed
+ * point becomes a CSV row with status=failed instead of sinking the
+ * sweep.  The CSV on stdout is byte-identical for every worker count
+ * (and across an interrupt/resume cycle) because rows are collected
+ * by grid index and every per-point seed derives from --seed and the
+ * grid index, never from the worker.
  */
 
 #include <cstdint>
@@ -51,7 +56,7 @@ struct SimPoint
 
 SimPoint
 simulatePoint(const MachineParams &machine, std::uint64_t b,
-              double p_ds, std::uint64_t seed)
+              double p_ds, std::uint64_t seed, const CancelToken *cancel)
 {
     VcmParams p;
     p.blockingFactor = b;
@@ -65,14 +70,16 @@ simulatePoint(const MachineParams &machine, std::uint64_t b,
     SimPoint out{};
     p.maxStride = machine.banks();
     VcmTraceSource mm_source(p, seed);
-    out.mm = simulateMm(machine, mm_source).cyclesPerResult();
+    out.mm = simulateMm(machine, mm_source, cancel).cyclesPerResult();
     p.maxStride = 8192;
     VcmTraceSource cc_source(p, seed);
-    out.direct = simulateCc(machine, CacheScheme::Direct, cc_source)
-                     .cyclesPerResult();
+    out.direct =
+        simulateCc(machine, CacheScheme::Direct, cc_source, cancel)
+            .cyclesPerResult();
     cc_source.reset();
-    out.prime = simulateCc(machine, CacheScheme::Prime, cc_source)
-                    .cyclesPerResult();
+    out.prime =
+        simulateCc(machine, CacheScheme::Prime, cc_source, cancel)
+            .cyclesPerResult();
     return out;
 }
 
@@ -88,8 +95,14 @@ main(int argc, char **argv)
     args.addFlag("sim", "true",
                  "also run the MM/CC simulators at every point");
     args.parse(argc, argv);
-    const SweepOptions opts = sweepOptionsFromFlags(args, "sweep_grid");
+    SweepOptions opts = sweepOptionsFromFlags(args, "sweep_grid");
     const bool sim = args.getBool("sim");
+
+    // The engine publishes sweep.points_ok / sweep.points_failed /
+    // sweep.point_retries / sweep.interrupted here; the ObsSession
+    // appends them to --stats-out after the observer lanes.
+    ObsRegistry sweep_registry;
+    opts.registry = &sweep_registry;
 
     std::vector<GridPoint> grid;
     for (const unsigned bank_bits : {5u, 6u})
@@ -97,19 +110,20 @@ main(int argc, char **argv)
             for (std::uint64_t b = 256; b <= 8192; b *= 2)
                 grid.push_back({bank_bits, tm, b});
 
-    std::vector<std::string> headers{"banks",  "t_m",       "B",
-                                     "R",      "p_ds",      "mm",
-                                     "cc_direct", "cc_prime"};
+    std::vector<std::string> headers{"status", "banks",     "t_m",
+                                     "B",      "R",         "p_ds",
+                                     "mm",     "cc_direct", "cc_prime"};
     if (sim) {
         headers.insert(headers.end(),
                        {"sim_mm", "sim_direct", "sim_prime"});
     }
+    const std::size_t columns = headers.size();
     Table csv(headers);
 
-    SweepOutcome outcome;
-    const auto rows = sweepGrid(
-        grid,
-        [&](const GridPoint &g, SweepWorker &w) {
+    const auto result = runCsvSweep(
+        grid.size(),
+        [&](std::size_t index, SweepWorker &w) {
+            const GridPoint &g = grid[index];
             MachineParams machine = paperMachineM64();
             machine.bankBits = g.bankBits;
             machine.memoryTime = g.memoryTime;
@@ -121,46 +135,72 @@ main(int argc, char **argv)
             const auto p = compareMachines(machine, wl);
             w.stats.add(p.primeOverDirect());
 
-            std::vector<std::string> row{
-                Table::format(std::uint64_t{1} << g.bankBits),
-                Table::format(g.memoryTime),
-                Table::format(g.blockingFactor),
-                Table::format(g.blockingFactor),
-                Table::format(wl.pDoubleStream),
-                Table::format(p.mm),
-                Table::format(p.direct),
-                Table::format(p.prime)};
+            CsvRow row{"ok",
+                       Table::format(std::uint64_t{1} << g.bankBits),
+                       Table::format(g.memoryTime),
+                       Table::format(g.blockingFactor),
+                       Table::format(g.blockingFactor),
+                       Table::format(wl.pDoubleStream),
+                       Table::format(p.mm),
+                       Table::format(p.direct),
+                       Table::format(p.prime)};
             if (sim) {
                 // Per-point seed: a function of --seed and the grid
                 // position only, so the draw never depends on which
                 // worker ran the point.
-                const auto index =
-                    static_cast<std::uint64_t>(&g - grid.data());
                 const std::uint64_t seed =
                     opts.seed + 1000003 * (index + 1);
-                const auto s = simulatePoint(
-                    machine, g.blockingFactor, wl.pDoubleStream, seed);
+                const auto s =
+                    simulatePoint(machine, g.blockingFactor,
+                                  wl.pDoubleStream, seed, &w.cancel);
                 row.push_back(Table::format(s.mm));
                 row.push_back(Table::format(s.direct));
                 row.push_back(Table::format(s.prime));
             }
             return row;
         },
-        opts, &outcome);
+        [&](const PointFailure &f) {
+            // Keep the CSV rectangular: the grid coordinates are
+            // always known, the measured columns become the error
+            // code.
+            const GridPoint &g = grid[f.index];
+            CsvRow row{"failed:" + std::string(errcName(f.error.code)),
+                       Table::format(std::uint64_t{1} << g.bankBits),
+                       Table::format(g.memoryTime),
+                       Table::format(g.blockingFactor),
+                       Table::format(g.blockingFactor)};
+            row.resize(columns, "nan");
+            return row;
+        },
+        opts);
+    if (!result.ok())
+        vc_fatal(result.error().describe());
 
-    for (const auto &row : rows)
-        csv.addRowStrings(row);
-    csv.printCsv(std::cout);
+    const SweepOutcome &outcome = result.value().outcome;
+    if (result.value().complete()) {
+        for (const auto &row : result.value().rows)
+            csv.addRowStrings(row);
+        csv.printCsv(std::cout);
+    } else {
+        inform(result.value().outcome.interrupted
+                   ? "sweep interrupted -- CSV withheld (resume with "
+                     "--checkpoint/--resume to finish the grid)"
+                   : "sweep incomplete -- CSV withheld");
+    }
 
-    inform("model prime-over-direct speedup across the grid: mean ",
-           Table::format(outcome.stats.mean()), ", min ",
-           Table::format(outcome.stats.min()), ", max ",
-           Table::format(outcome.stats.max()));
+    if (outcome.completedOk > 0) {
+        inform("model prime-over-direct speedup across the grid: "
+               "mean ",
+               Table::format(outcome.stats.mean()), ", min ",
+               Table::format(outcome.stats.min()), ", max ",
+               Table::format(outcome.stats.max()));
+    }
 
     // Instrumented postlude: one representative traced point of the
     // surface (paper machine, largest default B) on both schemes.
     ObsSession session(obsOptionsFromFlags(args));
-    if (session.enabled()) {
+    session.addRegistry(&sweep_registry);
+    if (session.enabled() && result.value().complete()) {
         VcmParams p;
         p.blockingFactor = 2048;
         p.reuseFactor = 8;
@@ -170,5 +210,5 @@ main(int argc, char **argv)
         observeSchemes(session, paperMachineM64(),
                        generateVcmTrace(p, opts.seed));
     }
-    return 0;
+    return outcome.interrupted ? 130 : 0;
 }

@@ -6,10 +6,29 @@
 namespace vcache
 {
 
-WorkloadParams
-matmulWorkload(std::uint64_t b, std::uint64_t n, double p_stride1)
+namespace
 {
-    vc_assert(b >= 1 && n >= b, "need 1 <= b <= n");
+
+/** Shared b/n sanity check for the blocked dense-matrix presets. */
+Expected<void>
+checkBlocked(const char *what, std::uint64_t b, std::uint64_t n)
+{
+    if (b < 1 || n < b)
+        return makeError(Errc::InvalidConfig,
+                         std::string(what) + ": need 1 <= b <= n (b=" +
+                             std::to_string(b) +
+                             ", n=" + std::to_string(n) + ")");
+    return {};
+}
+
+} // namespace
+
+Expected<WorkloadParams>
+tryMatmulWorkload(std::uint64_t b, std::uint64_t n, double p_stride1)
+{
+    auto checked = checkBlocked("matmul preset", b, n);
+    if (!checked.ok())
+        return checked.error();
     WorkloadParams w;
     w.blockingFactor = static_cast<double>(b * b);
     w.reuseFactor = static_cast<double>(b);
@@ -23,9 +42,20 @@ matmulWorkload(std::uint64_t b, std::uint64_t n, double p_stride1)
 }
 
 WorkloadParams
-luWorkload(std::uint64_t b, std::uint64_t n, double p_stride1)
+matmulWorkload(std::uint64_t b, std::uint64_t n, double p_stride1)
 {
-    vc_assert(b >= 1 && n >= b, "need 1 <= b <= n");
+    auto w = tryMatmulWorkload(b, n, p_stride1);
+    if (!w.ok())
+        vc_fatal(w.error().message);
+    return w.value();
+}
+
+Expected<WorkloadParams>
+tryLuWorkload(std::uint64_t b, std::uint64_t n, double p_stride1)
+{
+    auto checked = checkBlocked("lu preset", b, n);
+    if (!checked.ok())
+        return checked.error();
     WorkloadParams w;
     w.blockingFactor = static_cast<double>(b * b);
     w.reuseFactor = 1.5 * static_cast<double>(b); // 3b/2
@@ -37,10 +67,22 @@ luWorkload(std::uint64_t b, std::uint64_t n, double p_stride1)
 }
 
 WorkloadParams
-fftWorkload(std::uint64_t b, std::uint64_t n)
+luWorkload(std::uint64_t b, std::uint64_t n, double p_stride1)
 {
-    vc_assert(isPowerOfTwo(b) && b >= 2,
-              "FFT blocking factor must be a power of two >= 2");
+    auto w = tryLuWorkload(b, n, p_stride1);
+    if (!w.ok())
+        vc_fatal(w.error().message);
+    return w.value();
+}
+
+Expected<WorkloadParams>
+tryFftWorkload(std::uint64_t b, std::uint64_t n)
+{
+    if (!isPowerOfTwo(b) || b < 2)
+        return makeError(Errc::InvalidConfig,
+                         "fft preset: blocking factor must be a power "
+                         "of two >= 2 (b=" +
+                             std::to_string(b) + ")");
     WorkloadParams w;
     w.blockingFactor = static_cast<double>(b);
     w.reuseFactor = static_cast<double>(floorLog2(b));
@@ -51,6 +93,15 @@ fftWorkload(std::uint64_t b, std::uint64_t n)
     w.pStride1Second = 0.0;
     w.totalData = static_cast<double>(n);
     return w;
+}
+
+WorkloadParams
+fftWorkload(std::uint64_t b, std::uint64_t n)
+{
+    auto w = tryFftWorkload(b, n);
+    if (!w.ok())
+        vc_fatal(w.error().message);
+    return w.value();
 }
 
 WorkloadParams
@@ -65,6 +116,21 @@ rowColumnWorkload(std::uint64_t b, std::uint64_t reuse,
     w.pStride1Second = 0.0; // the row: random (1/C per value)
     w.totalData = static_cast<double>(total);
     return w;
+}
+
+Expected<WorkloadParams>
+presetWorkload(const std::string &name, std::uint64_t b,
+               std::uint64_t n, double p_stride1)
+{
+    if (name == "matmul")
+        return tryMatmulWorkload(b, n, p_stride1);
+    if (name == "lu")
+        return tryLuWorkload(b, n, p_stride1);
+    if (name == "fft")
+        return tryFftWorkload(b, n);
+    return makeError(Errc::InvalidConfig,
+                     "unknown workload preset '" + name +
+                         "' (expected matmul, lu or fft)");
 }
 
 } // namespace vcache

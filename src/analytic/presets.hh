@@ -9,14 +9,23 @@
  * blocked FFT reuse log2(b).  These helpers build the corresponding
  * WorkloadParams so benches and examples can evaluate the model on
  * named algorithms instead of raw tuples.
+ *
+ * Preset parameters arrive from flags and config files, so each
+ * helper has a try* variant returning Expected<WorkloadParams> --
+ * a bad (b, n) pair fails one sweep point, not the process -- and
+ * presetWorkload() resolves an algorithm *name* with an error that
+ * lists the valid spellings.  The classic helpers keep the
+ * fatal-on-error contract.
  */
 
 #ifndef VCACHE_ANALYTIC_PRESETS_HH
 #define VCACHE_ANALYTIC_PRESETS_HH
 
 #include <cstdint>
+#include <string>
 
 #include "analytic/machine.hh"
+#include "util/result.hh"
 
 namespace vcache
 {
@@ -25,6 +34,9 @@ namespace vcache
  * Blocked matrix multiply with b x b blocks of an n x n problem:
  * VCM = [b^2, b, 1/b, ...].
  */
+Expected<WorkloadParams> tryMatmulWorkload(std::uint64_t b,
+                                           std::uint64_t n,
+                                           double p_stride1 = 0.25);
 WorkloadParams matmulWorkload(std::uint64_t b, std::uint64_t n,
                               double p_stride1 = 0.25);
 
@@ -32,6 +44,9 @@ WorkloadParams matmulWorkload(std::uint64_t b, std::uint64_t n,
  * Blocked LU decomposition with b x b blocks of an n x n problem:
  * blocking factor b^2, average reuse 3b/2.
  */
+Expected<WorkloadParams> tryLuWorkload(std::uint64_t b,
+                                       std::uint64_t n,
+                                       double p_stride1 = 0.25);
 WorkloadParams luWorkload(std::uint64_t b, std::uint64_t n,
                           double p_stride1 = 0.25);
 
@@ -39,6 +54,8 @@ WorkloadParams luWorkload(std::uint64_t b, std::uint64_t n,
  * Blocked FFT with blocking factor b over n points: reuse log2(b),
  * single-stream (twiddles live in registers).
  */
+Expected<WorkloadParams> tryFftWorkload(std::uint64_t b,
+                                        std::uint64_t n);
 WorkloadParams fftWorkload(std::uint64_t b, std::uint64_t n);
 
 /**
@@ -48,6 +65,15 @@ WorkloadParams fftWorkload(std::uint64_t b, std::uint64_t n);
  */
 WorkloadParams rowColumnWorkload(std::uint64_t b, std::uint64_t reuse,
                                  std::uint64_t total);
+
+/**
+ * Resolve a preset by name: "matmul", "lu" or "fft" (fft ignores
+ * p_stride1).  Unknown names produce an error listing the valid ones.
+ */
+Expected<WorkloadParams> presetWorkload(const std::string &name,
+                                        std::uint64_t b,
+                                        std::uint64_t n,
+                                        double p_stride1 = 0.25);
 
 } // namespace vcache
 

@@ -13,6 +13,65 @@
 namespace vcache
 {
 
+namespace
+{
+
+/** Geometry checks mirroring every constructor assert, as errors. */
+Expected<void>
+checkGeometry(const CacheConfig &config)
+{
+    if (config.addressBits == 0 || config.addressBits > 64)
+        return makeError(Errc::InvalidConfig,
+                         "addressBits " +
+                             std::to_string(config.addressBits) +
+                             " is not in [1, 64]");
+    if (config.offsetBits + config.indexBits > config.addressBits)
+        return makeError(
+            Errc::InvalidConfig,
+            "offset (" + std::to_string(config.offsetBits) +
+                ") + index (" + std::to_string(config.indexBits) +
+                ") exceed the " + std::to_string(config.addressBits) +
+                "-bit address");
+
+    const bool prime =
+        config.organization == Organization::PrimeMapped ||
+        config.organization == Organization::PrimeSetAssociative;
+    if (prime && !isMersenneExponent(config.indexBits))
+        return makeError(Errc::InvalidConfig,
+                         "prime organisations need a Mersenne index "
+                         "width (2, 3, 5, 7, 13, ...); got " +
+                             std::to_string(config.indexBits));
+
+    const bool associative =
+        config.organization == Organization::SetAssociative ||
+        config.organization == Organization::PrimeSetAssociative;
+    if (associative && config.associativity < 1)
+        return makeError(Errc::InvalidConfig,
+                         "associativity must be at least 1");
+    if (config.organization == Organization::SetAssociative) {
+        const std::uint64_t lines = std::uint64_t{1}
+                                    << config.indexBits;
+        if (lines % config.associativity != 0)
+            return makeError(
+                Errc::InvalidConfig,
+                std::to_string(config.associativity) +
+                    " ways do not divide " + std::to_string(lines) +
+                    " lines");
+    }
+    return {};
+}
+
+} // namespace
+
+Expected<std::unique_ptr<Cache>>
+tryMakeCache(const CacheConfig &config)
+{
+    auto checked = checkGeometry(config);
+    if (!checked.ok())
+        return checked.error();
+    return makeCache(config);
+}
+
 std::unique_ptr<Cache>
 makeCache(const CacheConfig &config)
 {

@@ -12,6 +12,7 @@
 
 #include "cache/cache.hh"
 #include "cache/replacement.hh"
+#include "util/result.hh"
 
 namespace vcache
 {
@@ -49,6 +50,16 @@ struct CacheConfig
     /** Seed for the Random replacement policy. */
     std::uint64_t rngSeed = 12345;
 };
+
+/**
+ * Build a cache with recoverable errors: inconsistent geometry --
+ * fields wider than the address, a non-Mersenne index for the prime
+ * organisations, zero or non-dividing associativity -- comes back as
+ * Errc::InvalidConfig naming the offending parameters, before any
+ * cache constructor can assert on them.
+ */
+Expected<std::unique_ptr<Cache>>
+tryMakeCache(const CacheConfig &config);
 
 /** Build a cache; fatals on inconsistent configuration. */
 std::unique_ptr<Cache> makeCache(const CacheConfig &config);

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "util/faultinject.hh"
 #include "util/types.hh"
 
 namespace vcache
@@ -85,6 +86,7 @@ class InterleavedMemory
     Cycles
     issue(Addr word_addr, Cycles earliest)
     {
+        VCACHE_FAULT_POINT("memory.bank.issue");
         const std::uint64_t bank = bankOf(word_addr);
         const Cycles when = std::max(earliest, busyUntil[bank]);
         busyUntil[bank] = when + tm;
@@ -102,6 +104,7 @@ class InterleavedMemory
     Cycles
     issueObserved(Addr word_addr, Cycles earliest, Observer &obs)
     {
+        VCACHE_FAULT_POINT("memory.bank.issue");
         const std::uint64_t bank = bankOf(word_addr);
         const Cycles when = std::max(earliest, busyUntil[bank]);
         if constexpr (Observer::kEnabled)

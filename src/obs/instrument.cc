@@ -98,15 +98,25 @@ ObsSession::observer(const std::string &name)
 }
 
 void
+ObsSession::addRegistry(const ObsRegistry *registry)
+{
+    if (registry)
+        extraRegistries.push_back(registry);
+}
+
+void
 ObsSession::finish()
 {
     if (finished)
         return;
     finished = true;
-    if (!opts.statsOut.empty() && !observers.empty()) {
+    if (!opts.statsOut.empty() &&
+        (!observers.empty() || !extraRegistries.empty())) {
         StatDump dump;
         for (const auto &obs : observers)
             obs->dumpTo(dump);
+        for (const ObsRegistry *reg : extraRegistries)
+            reg->dumpTo(dump);
         writeStats(dump, opts.statsOut);
     }
     if (events)

@@ -97,6 +97,14 @@ class ObsSession
     /** The shared trace writer, or nullptr when --trace-out is off. */
     TraceEventWriter *writer() { return events.get(); }
 
+    /**
+     * Include an externally owned registry (e.g. the sweep engine's
+     * robustness counters) in the finish() stats dump, after the
+     * observer lanes.  The pointer must outlive the session; null is
+     * ignored.
+     */
+    void addRegistry(const ObsRegistry *registry);
+
     /** Lanes created so far. */
     const std::vector<std::unique_ptr<TracingObserver>> &lanes() const
     {
@@ -115,6 +123,8 @@ class ObsSession
     std::unique_ptr<std::ofstream> traceFile;
     std::unique_ptr<TraceEventWriter> events;
     std::vector<std::unique_ptr<TracingObserver>> observers;
+    /** Borrowed registries to append to the stats dump. */
+    std::vector<const ObsRegistry *> extraRegistries;
     bool finished = false;
 };
 

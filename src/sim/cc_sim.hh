@@ -43,6 +43,7 @@
 #include "cache/prime.hh"
 #include "memory/bus.hh"
 #include "memory/interleaved.hh"
+#include "sim/cancel.hh"
 #include "sim/observe.hh"
 #include "sim/result.hh"
 #include "trace/access.hh"
@@ -124,6 +125,15 @@ class CcSimulator
     /** Prefetches issued by the timed prefetcher. */
     std::uint64_t prefetchesIssued() const { return prefetchCount; }
 
+    /**
+     * Cooperative cancellation: polled once per vector operation (one
+     * relaxed load next to thousands of element accesses).  A tripped
+     * token raises VcError(Timeout|Cancelled) out of run().  Null
+     * (the default) disables the poll; the token must outlive the
+     * simulator or be cleared first.
+     */
+    void setCancelToken(const CancelToken *token) { cancel = token; }
+
     /** Reset cache, banks and buses between runs. */
     void reset();
 
@@ -163,6 +173,7 @@ class CcSimulator
     FlatSet<Addr> touchedLines;
     Cycles clock = 0;
     bool nonBlocking = false;
+    const CancelToken *cancel = nullptr;
 
     // Timed prefetch state.  The prefetched-but-untouched marks live
     // as kPrefetchedFlag bits on the cache's tag array.
@@ -322,6 +333,8 @@ CcSimulator::runImpl(CacheT &cache, TraceSource &source, Observer &obs)
 
     VectorOp op;
     while (source.next(op)) {
+        if (cancel && cancel->cancelled())
+            throwCancelled(*cancel);
         clock += static_cast<Cycles>(machine.blockOverhead);
         if constexpr (Observer::kEnabled)
             obs.onVectorOpBegin(clock, op);

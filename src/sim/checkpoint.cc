@@ -1,0 +1,449 @@
+#include "sim/checkpoint.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/faultinject.hh"
+#include "util/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define VCACHE_HAVE_FSYNC 1
+#endif
+
+namespace vcache
+{
+
+namespace
+{
+
+/** Records between fsyncs: bounded loss without per-record fsync cost. */
+constexpr unsigned kSyncBatch = 32;
+
+std::string
+hexByte(unsigned char c)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out = "\\u00";
+    out += digits[(c >> 4) & 0xf];
+    out += digits[c & 0xf];
+    return out;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += hexByte(static_cast<unsigned char>(c));
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+CheckpointWriter::CheckpointWriter(std::FILE *f, std::string path)
+    : file(f), file_path(std::move(path))
+{
+}
+
+CheckpointWriter::~CheckpointWriter()
+{
+    if (!file)
+        return;
+    (void)flush();
+    std::fclose(file);
+}
+
+Expected<std::unique_ptr<CheckpointWriter>>
+CheckpointWriter::open(const std::string &path,
+                       const CheckpointHeader &header, bool append)
+{
+    std::FILE *f = std::fopen(path.c_str(), append ? "ab" : "wb");
+    if (!f)
+        return makeError(Errc::Io, "cannot open checkpoint '" + path +
+                                       "': " + std::strerror(errno));
+    auto writer = std::unique_ptr<CheckpointWriter>(
+        new CheckpointWriter(f, path));
+    if (!append) {
+        std::ostringstream os;
+        os << "{\"vcache_checkpoint\":1,\"label\":\""
+           << jsonEscape(header.label) << "\",\"points\":"
+           << header.points << ",\"seed\":" << header.seed << "}";
+        auto wrote = writer->writeLine(os.str());
+        if (!wrote.ok())
+            return wrote.error();
+        auto synced = writer->flush();
+        if (!synced.ok())
+            return synced.error();
+    }
+    return writer;
+}
+
+Expected<void>
+CheckpointWriter::writeLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    VCACHE_FAULT_POINT("checkpoint.write");
+    if (std::fwrite(line.data(), 1, line.size(), file) != line.size() ||
+        std::fputc('\n', file) == EOF)
+        return makeError(Errc::Io, "short write to checkpoint '" +
+                                       file_path + "'");
+    if (++unsynced >= kSyncBatch) {
+        unsynced = 0;
+        if (std::fflush(file) != 0)
+            return makeError(Errc::Io, "cannot flush checkpoint '" +
+                                           file_path + "'");
+#if defined(VCACHE_HAVE_FSYNC)
+        (void)::fsync(fileno(file));
+#endif
+    }
+    return {};
+}
+
+Expected<void>
+CheckpointWriter::recordDone(std::uint64_t point,
+                             const std::vector<std::string> &row)
+{
+    std::ostringstream os;
+    os << "{\"point\":" << point << ",\"status\":\"ok\",\"row\":[";
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        if (i)
+            os << ',';
+        os << '"' << jsonEscape(row[i]) << '"';
+    }
+    os << "]}";
+    return writeLine(os.str());
+}
+
+Expected<void>
+CheckpointWriter::recordFailed(std::uint64_t point, const Error &err,
+                               unsigned attempts)
+{
+    std::ostringstream os;
+    os << "{\"point\":" << point << ",\"status\":\"failed\",\"code\":\""
+       << errcName(err.code) << "\",\"attempts\":" << attempts
+       << ",\"error\":\"" << jsonEscape(err.describe()) << "\"}";
+    return writeLine(os.str());
+}
+
+Expected<void>
+CheckpointWriter::flush()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    unsynced = 0;
+    if (std::fflush(file) != 0)
+        return makeError(Errc::Io, "cannot flush checkpoint '" +
+                                       file_path + "'");
+#if defined(VCACHE_HAVE_FSYNC)
+    (void)::fsync(fileno(file));
+#endif
+    return {};
+}
+
+namespace
+{
+
+/**
+ * Tiny scanner over exactly the JSON this file writes.  Not a general
+ * parser: objects with known member names, string/integer values, and
+ * one string array.
+ */
+class LineScanner
+{
+  public:
+    explicit LineScanner(const std::string &line) : s(line) {}
+
+    bool
+    literal(const char *text)
+    {
+        skipSpace();
+        const std::size_t n = std::strlen(text);
+        if (s.compare(pos, n, text) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    bool
+    uint(std::uint64_t &out)
+    {
+        skipSpace();
+        if (pos >= s.size() || !std::isdigit(
+                static_cast<unsigned char>(s[pos])))
+            return false;
+        out = 0;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos])))
+            out = out * 10 + static_cast<std::uint64_t>(s[pos++] - '0');
+        return true;
+    }
+
+    bool
+    quotedString(std::string &out)
+    {
+        skipSpace();
+        if (pos >= s.size() || s[pos] != '"')
+            return false;
+        ++pos;
+        out.clear();
+        while (pos < s.size()) {
+            const char c = s[pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= s.size())
+                return false;
+            const char esc = s[pos++];
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos + 4 > s.size())
+                    return false;
+                unsigned value = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = s[pos++];
+                    value <<= 4;
+                    if (h >= '0' && h <= '9')
+                        value |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        value |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        value |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return false;
+                }
+                out += static_cast<char>(value & 0xff);
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        return false;
+    }
+
+    bool
+    stringArray(std::vector<std::string> &out)
+    {
+        skipSpace();
+        if (!literal("["))
+            return false;
+        out.clear();
+        skipSpace();
+        if (literal("]"))
+            return true;
+        for (;;) {
+            std::string item;
+            if (!quotedString(item))
+                return false;
+            out.push_back(std::move(item));
+            skipSpace();
+            if (literal("]"))
+                return true;
+            if (!literal(","))
+                return false;
+        }
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos == s.size();
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t'))
+            ++pos;
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+/** Skip past one "name":value member we do not care about. */
+bool
+skipMember(LineScanner &in, const char *name)
+{
+    std::ostringstream key;
+    key << "\"" << name << "\"";
+    if (!in.literal(key.str().c_str()) || !in.literal(":"))
+        return false;
+    std::string str;
+    std::uint64_t n = 0;
+    return in.quotedString(str) || in.uint(n);
+}
+
+} // namespace
+
+Expected<CheckpointReplay>
+readCheckpoint(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return makeError(Errc::Io, "cannot open checkpoint '" + path +
+                                       "' for resume");
+
+    CheckpointReplay replay;
+    std::string line;
+    std::size_t line_no = 0;
+    bool saw_header = false;
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+
+        LineScanner scan(line);
+        bool parsed = false;
+        if (line_no == 1) {
+            std::uint64_t version = 0;
+            parsed = scan.literal("{") &&
+                     scan.literal("\"vcache_checkpoint\"") &&
+                     scan.literal(":") && scan.uint(version) &&
+                     version == 1 && scan.literal(",") &&
+                     scan.literal("\"label\"") && scan.literal(":") &&
+                     scan.quotedString(replay.header.label) &&
+                     scan.literal(",") && scan.literal("\"points\"") &&
+                     scan.literal(":") &&
+                     scan.uint(replay.header.points) &&
+                     scan.literal(",") && scan.literal("\"seed\"") &&
+                     scan.literal(":") &&
+                     scan.uint(replay.header.seed) &&
+                     scan.literal("}") && scan.atEnd();
+            saw_header = parsed;
+        } else {
+            std::uint64_t point = 0;
+            if (scan.literal("{") && scan.literal("\"point\"") &&
+                scan.literal(":") && scan.uint(point) &&
+                scan.literal(",") && scan.literal("\"status\"") &&
+                scan.literal(":")) {
+                std::string status;
+                if (scan.quotedString(status)) {
+                    if (status == "ok") {
+                        std::vector<std::string> row;
+                        parsed = scan.literal(",") &&
+                                 scan.literal("\"row\"") &&
+                                 scan.literal(":") &&
+                                 scan.stringArray(row) &&
+                                 scan.literal("}") && scan.atEnd();
+                        if (parsed) {
+                            replay.done[point] = std::move(row);
+                            replay.failed.erase(point);
+                        }
+                    } else if (status == "failed") {
+                        std::uint64_t attempts = 0;
+                        std::string text;
+                        parsed = scan.literal(",") &&
+                                 skipMember(scan, "code") &&
+                                 scan.literal(",") &&
+                                 scan.literal("\"attempts\"") &&
+                                 scan.literal(":") &&
+                                 scan.uint(attempts) &&
+                                 scan.literal(",") &&
+                                 scan.literal("\"error\"") &&
+                                 scan.literal(":") &&
+                                 scan.quotedString(text) &&
+                                 scan.literal("}") && scan.atEnd();
+                        if (parsed) {
+                            replay.failed.insert(point);
+                            replay.done.erase(point);
+                        }
+                    }
+                }
+            }
+        }
+
+        if (!parsed) {
+            // A torn final line is the expected signature of a killed
+            // process; anything earlier is real corruption.
+            if (in.peek() == std::ifstream::traits_type::eof()) {
+                warn("checkpoint '", path, "': ignoring torn final "
+                     "line ", line_no);
+                break;
+            }
+            return makeError(Errc::Io,
+                             "checkpoint '" + path + "' line " +
+                                 std::to_string(line_no) +
+                                 " is corrupt");
+        }
+    }
+
+    if (!saw_header)
+        return makeError(Errc::Io, "checkpoint '" + path +
+                                       "' has no valid header");
+    return replay;
+}
+
+Expected<void>
+checkResumeCompatible(const CheckpointReplay &replay,
+                      const CheckpointHeader &expected)
+{
+    const CheckpointHeader &h = replay.header;
+    if (h.label != expected.label)
+        return makeError(Errc::InvalidConfig,
+                         "checkpoint label '" + h.label +
+                             "' does not match sweep '" +
+                             expected.label + "'");
+    if (h.points != expected.points)
+        return makeError(Errc::InvalidConfig,
+                         "checkpoint has " + std::to_string(h.points) +
+                             " points but the sweep has " +
+                             std::to_string(expected.points) +
+                             " (grid changed?)");
+    if (h.seed != expected.seed)
+        return makeError(Errc::InvalidConfig,
+                         "checkpoint seed " + std::to_string(h.seed) +
+                             " does not match --seed " +
+                             std::to_string(expected.seed));
+    return {};
+}
+
+} // namespace vcache

@@ -25,6 +25,7 @@
 #include "analytic/machine.hh"
 #include "memory/bus.hh"
 #include "memory/interleaved.hh"
+#include "sim/cancel.hh"
 #include "sim/result.hh"
 #include "trace/access.hh"
 #include "trace/source.hh"
@@ -58,6 +59,12 @@ class MmSimulator
     /** Reset banks/buses between runs. */
     void reset();
 
+    /**
+     * Cooperative cancellation: polled once per vector operation; a
+     * tripped token raises VcError(Timeout|Cancelled) out of run().
+     */
+    void setCancelToken(const CancelToken *token) { cancel = token; }
+
     const MachineParams &params() const { return machine; }
 
   private:
@@ -71,6 +78,7 @@ class MmSimulator
     InterleavedMemory memory;
     BusSet buses;
     Cycles clock = 0;
+    const CancelToken *cancel = nullptr;
 };
 
 template <typename Observer>
@@ -116,6 +124,8 @@ MmSimulator::run(TraceSource &source, Observer &obs)
 
     VectorOp op;
     while (source.next(op)) {
+        if (cancel && cancel->cancelled())
+            throwCancelled(*cancel);
         clock += static_cast<Cycles>(machine.blockOverhead);
         if constexpr (Observer::kEnabled)
             obs.onVectorOpBegin(clock, op);

@@ -14,9 +14,11 @@ simulateMm(const MachineParams &params, const Trace &trace)
 }
 
 SimResult
-simulateMm(const MachineParams &params, TraceSource &source)
+simulateMm(const MachineParams &params, TraceSource &source,
+           const CancelToken *cancel)
 {
     MmSimulator sim(params);
+    sim.setCancelToken(cancel);
     return sim.run(source);
 }
 
@@ -30,9 +32,10 @@ simulateCc(const MachineParams &params, CacheScheme scheme,
 
 SimResult
 simulateCc(const MachineParams &params, CacheScheme scheme,
-           TraceSource &source)
+           TraceSource &source, const CancelToken *cancel)
 {
     CcSimulator sim(params, scheme);
+    sim.setCancelToken(cancel);
     return sim.run(source);
 }
 

@@ -12,6 +12,7 @@
 #include "cache/cache.hh"
 #include "cache/classify.hh"
 #include "cache/prefetch.hh"
+#include "sim/cancel.hh"
 #include "sim/cc_sim.hh"
 #include "sim/mm_sim.hh"
 #include "sim/result.hh"
@@ -50,16 +51,23 @@ walkTrace(const Trace &trace, AccessFn &&access)
 /** Simulate a trace on the cacheless MM machine. */
 SimResult simulateMm(const MachineParams &params, const Trace &trace);
 
-/** Simulate a streamed workload on the cacheless MM machine. */
-SimResult simulateMm(const MachineParams &params, TraceSource &source);
+/**
+ * Simulate a streamed workload on the cacheless MM machine.  A
+ * non-null `cancel` token is polled once per vector op; when tripped
+ * the run raises VcError(Timeout|Cancelled) -- how sweep deadlines
+ * preempt a stuck point.
+ */
+SimResult simulateMm(const MachineParams &params, TraceSource &source,
+                     const CancelToken *cancel = nullptr);
 
 /** Simulate a trace on the CC machine with the given mapping. */
 SimResult simulateCc(const MachineParams &params, CacheScheme scheme,
                      const Trace &trace);
 
-/** Simulate a streamed workload on the CC machine. */
+/** Simulate a streamed workload on the CC machine (cancellable). */
 SimResult simulateCc(const MachineParams &params, CacheScheme scheme,
-                     TraceSource &source);
+                     TraceSource &source,
+                     const CancelToken *cancel = nullptr);
 
 /** Instrumented MM run (see the Observer contract in src/obs). */
 template <typename Observer>

@@ -1,6 +1,6 @@
 /**
  * @file
- * Parallel sweep engine for the model/sim parameter grids.
+ * Parallel, fault-tolerant sweep engine for the model/sim grids.
  *
  * Every figure in the paper's evaluation is a grid walk: evaluate a
  * pure function of (t_m, B, stride, mapping, ...) at each point and
@@ -12,6 +12,26 @@
  *    row order never depends on scheduling;
  *  - per-worker RunningStats are merged in worker-id order via
  *    RunningStats::merge.
+ *
+ * On top of that, the engine is a *robustness boundary*: a multi-hour
+ * sweep must not lose ten thousand completed points to one bad one.
+ *
+ *  - Each point runs under an error boundary (vc_fatal/vc_panic throw
+ *    inside the sweep -- see ScopedThrowingErrors); a failing point
+ *    becomes a structured PointFailure and the sweep continues.
+ *  - Failed points retry with exponential backoff and deterministic
+ *    jitter (retryBackoffMs, seeded from --seed and the point index).
+ *  - --point-timeout arms a watchdog thread that cancels a stuck
+ *    point through its worker's epoch-tagged CancelToken; simulators
+ *    poll the token in their outer loop.
+ *  - SIGINT/SIGTERM request a graceful drain (the handler only sets a
+ *    volatile sig_atomic_t; all I/O happens on the monitor thread):
+ *    in-flight points finish, the checkpoint journal flushes, and a
+ *    done/failed/remaining summary prints.
+ *  - runCsvSweep journals completed rows to an append-only JSON-lines
+ *    checkpoint (--checkpoint) and can --resume, replaying the
+ *    journal and skipping completed points; the final CSV is
+ *    byte-identical to an uninterrupted run.
  *
  * Determinism contract: anything printed per point must derive from
  * that point's result (seed every RNG from the point index, never
@@ -34,11 +54,15 @@
 #include <type_traits>
 #include <vector>
 
+#include "sim/cancel.hh"
 #include "util/cli.hh"
+#include "util/result.hh"
 #include "util/stats.hh"
 
 namespace vcache
 {
+
+class ObsRegistry;
 
 /** Per-worker scratch state; never shared between live jobs. */
 struct SweepWorker
@@ -55,6 +79,19 @@ struct SweepWorker
      * references.
      */
     std::atomic<std::uint64_t> pointsDone{0};
+    /**
+     * Cancellation token for the point this worker is evaluating.
+     * Evaluators that run long simulations should wire it into the
+     * simulator (setCancelToken / the runner helpers) so a
+     * --point-timeout can actually preempt them; evaluators that
+     * ignore it simply cannot be timed out mid-point.
+     */
+    CancelToken cancel;
+    /**
+     * Milliseconds (since sweep start) at which the current point
+     * began, or -1 when idle; published for the watchdog.
+     */
+    std::atomic<std::int64_t> activeSinceMs{-1};
 };
 
 /** Knobs shared by every sweep-driven bench. */
@@ -75,12 +112,54 @@ struct SweepOptions
      * only written from the monitor thread.
      */
     std::shared_ptr<std::ostream> telemetry;
+
+    /**
+     * Attempts per point (1 = no retry).  Only the attempt that
+     * exhausts this budget records a PointFailure.
+     */
+    unsigned maxAttempts = 3;
+    /** First retry backoff; doubles per attempt (plus jitter). */
+    double backoffBaseMs = 100.0;
+    /** Backoff ceiling. */
+    double backoffMaxMs = 2000.0;
+    /**
+     * Per-point deadline in seconds; 0 disables the watchdog.  Fires
+     * through SweepWorker::cancel, so only evaluators that honour the
+     * token are actually preempted.
+     */
+    double pointTimeoutSeconds = 0.0;
+    /** Install SIGINT/SIGTERM graceful-drain handlers for the run. */
+    bool handleSignals = false;
+    /**
+     * Optional instrument sink: the engine publishes sweep.points_ok,
+     * sweep.points_failed, sweep.point_retries and sweep.interrupted
+     * counters here after the run (see docs/OBSERVABILITY.md).
+     */
+    ObsRegistry *registry = nullptr;
+
+    /** JSON-lines journal path for runCsvSweep ("" = off). */
+    std::string checkpointPath;
+    /** Replay checkpointPath and skip completed points. */
+    bool resume = false;
 };
 
-/** What one sweep did, for throughput reporting. */
+/** One permanently failed grid point, after all retries. */
+struct PointFailure
+{
+    /** Grid index of the point. */
+    std::size_t index = 0;
+    /** The error of the final attempt. */
+    Error error;
+    /** Attempts made (== SweepOptions::maxAttempts unless cancelled). */
+    unsigned attempts = 0;
+    /** Wall-clock seconds spent across every attempt. */
+    double elapsedSeconds = 0.0;
+};
+
+/** What one sweep did, for throughput and robustness reporting. */
 struct SweepOutcome
 {
-    /** Grid points evaluated. */
+    /** Grid points the sweep was asked to evaluate. */
     std::size_t points = 0;
     /** Worker threads actually used. */
     unsigned jobs = 1;
@@ -89,16 +168,53 @@ struct SweepOutcome
     /** Per-worker accumulators merged in worker-id order. */
     RunningStats stats;
 
+    /** Points that completed successfully. */
+    std::size_t completedOk = 0;
+    /** Permanently failed points, sorted by grid index. */
+    std::vector<PointFailure> failures;
+    /** Extra attempts spent retrying points (resolved or not). */
+    std::uint64_t retries = 0;
+    /** True when a SIGINT/SIGTERM drain ended the sweep early. */
+    bool interrupted = false;
+    /** Points never claimed because of the drain. */
+    std::size_t remaining = 0;
+
     /** Points evaluated per wall-clock second. */
     double pointsPerSecond() const;
 };
+
+/**
+ * Deterministic retry backoff: exponential in `attempt` (the 1-based
+ * attempt that just failed), jittered into [0.5, 1.5) of the nominal
+ * delay by a xorshift draw seeded from (seed, point, attempt) only --
+ * never from the worker or the clock -- so a run's retry schedule is
+ * reproducible under --seed.
+ */
+double retryBackoffMs(std::uint64_t seed, std::size_t point,
+                      unsigned attempt, double baseMs, double maxMs);
+
+/**
+ * Request a graceful drain of any running sweep, exactly as SIGINT
+ * does (tests use this to exercise the drain without signals).
+ */
+void requestSweepInterrupt();
+
+/** True once an interrupt/drain has been requested. */
+bool sweepInterruptRequested();
+
+/** Re-arm after a drained sweep (drivers that sweep repeatedly). */
+void clearSweepInterrupt();
 
 /**
  * Evaluate points [0, n) across the pool.
  *
  * The evaluator must be safe to call concurrently for *distinct*
  * indices; the SweepWorker reference it receives is exclusive to the
- * calling thread for the duration of the call.
+ * calling thread for the duration of the call.  An evaluator that
+ * throws (VcError, any std::exception, or a vc_fatal/vc_panic inside
+ * the sweep's throwing-errors scope) fails the point, which retries
+ * per SweepOptions and is recorded in SweepOutcome::failures when it
+ * never succeeds.
  */
 SweepOutcome
 runSweep(std::size_t points,
@@ -108,7 +224,8 @@ runSweep(std::size_t points,
 /**
  * Grid convenience wrapper: results[i] = eval(grid[i], worker), with
  * the results vector pre-sized and indexed by grid position so output
- * ordering matches the serial walk exactly.
+ * ordering matches the serial walk exactly.  Failed points leave
+ * their result default-constructed; consult outcome->failures.
  */
 template <typename Point, typename F>
 auto
@@ -129,12 +246,52 @@ sweepGrid(const std::vector<Point> &grid, F &&eval,
     return results;
 }
 
-/** Register the shared --jobs/--seed/--progress/--telemetry flags. */
+/** One CSV row of a checkpointed sweep. */
+using CsvRow = std::vector<std::string>;
+
+/** Result of a checkpoint-aware CSV sweep. */
+struct CsvSweepResult
+{
+    /** One row per grid point (failures get the error row). */
+    std::vector<CsvRow> rows;
+    SweepOutcome outcome;
+    /** Points replayed from the journal instead of re-evaluated. */
+    std::size_t skipped = 0;
+
+    /** True when every point has a row (nothing left to resume). */
+    bool
+    complete() const
+    {
+        return !outcome.interrupted && outcome.remaining == 0;
+    }
+};
+
+/**
+ * Checkpoint-aware sweep for CSV-producing grids: rows journal to
+ * opts.checkpointPath as they complete, opts.resume replays the
+ * journal and skips finished points, and `errorRow` renders a
+ * placeholder row for permanently failed points so the CSV stays
+ * rectangular.  Returns an error (not a crash) for an unusable or
+ * incompatible journal.
+ */
+Expected<CsvSweepResult> runCsvSweep(
+    std::size_t points,
+    const std::function<CsvRow(std::size_t, SweepWorker &)> &eval,
+    const std::function<CsvRow(const PointFailure &)> &errorRow,
+    const SweepOptions &opts);
+
+/**
+ * Register the shared sweep flags: --jobs/--seed/--progress/
+ * --telemetry plus the robustness set (--retries, --backoff-ms,
+ * --point-timeout, --checkpoint, --resume, --faults).
+ */
 void addSweepFlags(ArgParser &args);
 
 /**
  * Read the shared flags back.  Rejects implausible --jobs values
- * outright instead of truncating them into a small integer.
+ * outright instead of truncating them into a small integer, and
+ * installs the --faults plan (warning when fault-injection sites are
+ * compiled out).
  */
 SweepOptions sweepOptionsFromFlags(const ArgParser &args,
                                    const std::string &label = "sweep");

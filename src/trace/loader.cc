@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/faultinject.hh"
 #include "util/logging.hh"
 
 namespace vcache
@@ -11,22 +12,38 @@ namespace vcache
 namespace
 {
 
-VectorRef
-parseRef(std::istringstream &line, std::size_t line_no,
-         const char *what)
+/** Prefix an error with its origin ("file.trace line 7: ..."). */
+Error
+traceError(const std::string &name, std::size_t line_no,
+           const std::string &what)
+{
+    std::ostringstream os;
+    if (!name.empty())
+        os << "'" << name << "' ";
+    os << "trace line " << line_no << ": " << what;
+    return makeError(Errc::MalformedTrace, os.str());
+}
+
+Expected<VectorRef>
+parseRef(std::istringstream &line, const std::string &name,
+         std::size_t line_no, const char *what)
 {
     std::int64_t base, stride, length;
     if (!(line >> base >> stride >> length) || base < 0 || length < 0)
-        vc_fatal("trace line ", line_no, ": malformed ", what,
-                 " record (expected <base> <stride> <length>)");
-    return VectorRef{static_cast<Addr>(base), stride,
+        return traceError(name, line_no,
+                          std::string("malformed ") + what +
+                              " record (expected <base> <stride> "
+                              "<length>)");
+    auto parsed_base = static_cast<std::uint64_t>(base);
+    VCACHE_FAULT_MUTATE("trace.loader.field", parsed_base);
+    return VectorRef{static_cast<Addr>(parsed_base), stride,
                      static_cast<std::uint64_t>(length)};
 }
 
 } // namespace
 
-Trace
-loadTrace(std::istream &in)
+Expected<Trace>
+tryLoadTrace(std::istream &in, const std::string &name)
 {
     Trace trace;
     std::string raw;
@@ -34,6 +51,7 @@ loadTrace(std::istream &in)
 
     while (std::getline(in, raw)) {
         ++line_no;
+        VCACHE_FAULT_POINT("trace.loader.read");
         const auto hash = raw.find('#');
         if (hash != std::string::npos)
             raw.erase(hash);
@@ -45,41 +63,79 @@ loadTrace(std::istream &in)
 
         if (kind == "L") {
             VectorOp op;
-            op.first = parseRef(line, line_no, "load");
+            auto first = parseRef(line, name, line_no, "load");
+            if (!first.ok())
+                return first.error();
+            op.first = first.value();
             trace.push_back(op);
         } else if (kind == "D") {
             VectorOp op;
-            op.first = parseRef(line, line_no, "first load");
-            op.second = parseRef(line, line_no, "second load");
+            auto first = parseRef(line, name, line_no, "first load");
+            if (!first.ok())
+                return first.error();
+            auto second = parseRef(line, name, line_no, "second load");
+            if (!second.ok())
+                return second.error();
+            op.first = first.value();
+            op.second = second.value();
             trace.push_back(op);
         } else if (kind == "S") {
             if (trace.empty())
-                vc_fatal("trace line ", line_no,
-                         ": store with no preceding load record");
+                return traceError(name, line_no,
+                                  "store with no preceding load "
+                                  "record");
             if (trace.back().store)
-                vc_fatal("trace line ", line_no,
-                         ": record already has a store");
-            trace.back().store = parseRef(line, line_no, "store");
+                return traceError(name, line_no,
+                                  "record already has a store");
+            auto store = parseRef(line, name, line_no, "store");
+            if (!store.ok())
+                return store.error();
+            trace.back().store = store.value();
         } else {
-            vc_fatal("trace line ", line_no, ": unknown record kind '",
-                     kind, "' (expected L, D or S)");
+            return traceError(name, line_no,
+                              "unknown record kind '" + kind +
+                                  "' (expected L, D or S)");
         }
 
         std::string extra;
         if (line >> extra)
-            vc_fatal("trace line ", line_no, ": trailing junk '",
-                     extra, "'");
+            return traceError(name, line_no,
+                              "trailing junk '" + extra + "'");
     }
+    if (in.bad())
+        return makeError(Errc::Io,
+                         name.empty()
+                             ? std::string("trace stream read error")
+                             : "read error in trace '" + name + "'");
     return trace;
+}
+
+Expected<Trace>
+tryLoadTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return makeError(Errc::Io,
+                         "cannot open trace file '" + path + "'");
+    return tryLoadTrace(in, path);
+}
+
+Trace
+loadTrace(std::istream &in)
+{
+    auto trace = tryLoadTrace(in);
+    if (!trace.ok())
+        vc_fatal(trace.error().message);
+    return std::move(trace.value());
 }
 
 Trace
 loadTraceFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        vc_fatal("cannot open trace file '", path, "'");
-    return loadTrace(in);
+    auto trace = tryLoadTraceFile(path);
+    if (!trace.ok())
+        vc_fatal(trace.error().message);
+    return std::move(trace.value());
 }
 
 namespace

@@ -14,6 +14,14 @@
  * Bases and lengths are unsigned word units; strides are signed
  * words.  The writer emits exactly this format, so save/load round
  * trips.
+ *
+ * Traces come from outside the process -- generators, other
+ * simulators, hand edits -- so the parser treats every malformed line
+ * as a *recoverable* input error: the try* entry points return
+ * Expected<Trace> whose Error names the offending file and line, and
+ * a sweep evaluating a bad trace fails one grid point instead of the
+ * whole run.  The classic loadTrace/loadTraceFile wrappers keep the
+ * fatal-on-error contract for standalone tools.
  */
 
 #ifndef VCACHE_TRACE_LOADER_HH
@@ -23,9 +31,21 @@
 #include <string>
 
 #include "trace/access.hh"
+#include "util/result.hh"
 
 namespace vcache
 {
+
+/**
+ * Parse a trace from a stream.  Malformed records produce an
+ * Errc::MalformedTrace error whose message carries the 1-based line
+ * number (and `name`, when non-empty, as the origin).
+ */
+Expected<Trace> tryLoadTrace(std::istream &in,
+                             const std::string &name = "");
+
+/** Parse a trace file by path; Errc::Io when it cannot be opened. */
+Expected<Trace> tryLoadTraceFile(const std::string &path);
 
 /** Parse a trace from a stream; fatals with line numbers on errors. */
 Trace loadTrace(std::istream &in);

@@ -24,8 +24,8 @@ ArgParser::addFlag(const std::string &name, const std::string &def,
     order.push_back(name);
 }
 
-void
-ArgParser::parse(int argc, char **argv)
+Expected<void>
+ArgParser::tryParse(int argc, char **argv)
 {
     program = argc > 0 ? argv[0] : "prog";
     for (int i = 1; i < argc; ++i) {
@@ -35,7 +35,9 @@ ArgParser::parse(int argc, char **argv)
             std::exit(0);
         }
         if (arg.rfind("--", 0) != 0)
-            vc_fatal("unexpected positional argument '", arg, "'");
+            return makeError(Errc::InvalidConfig,
+                             "unexpected positional argument '" + arg +
+                                 "'");
 
         std::string name = arg.substr(2);
         std::string value;
@@ -45,16 +47,29 @@ ArgParser::parse(int argc, char **argv)
             name = name.substr(0, eq);
         } else {
             if (i + 1 >= argc)
-                vc_fatal("flag --", name, " is missing a value");
+                return makeError(Errc::InvalidConfig,
+                                 "flag --" + name +
+                                     " is missing a value");
             value = argv[++i];
         }
 
         auto it = flags.find(name);
         if (it == flags.end())
-            vc_fatal("unknown flag --", name, "\n", usage());
+            return makeError(Errc::InvalidConfig,
+                             "unknown flag --" + name + "\n" +
+                                 usage());
         it->second.value = value;
         it->second.explicitlySet = true;
     }
+    return {};
+}
+
+void
+ArgParser::parse(int argc, char **argv)
+{
+    auto parsed = tryParse(argc, argv);
+    if (!parsed.ok())
+        vc_fatal(parsed.error().message);
 }
 
 const ArgParser::Flag &
@@ -81,13 +96,13 @@ namespace
 {
 
 /**
- * Parse the whole string as one number or die.  std::sto* silently
- * ignores trailing garbage ("--jobs=4x" became 4) and callers used to
- * narrow the result; from_chars lets us reject partial parses and
- * report overflow distinctly instead of wrapping or truncating.
+ * Parse the whole string as one number.  std::sto* silently ignores
+ * trailing garbage ("--jobs=4x" became 4) and callers used to narrow
+ * the result; from_chars lets us reject partial parses and report
+ * overflow distinctly instead of wrapping or truncating.
  */
 template <typename T>
-T
+Expected<T>
 parseWhole(const std::string &flag, const std::string &v,
            const char *kind)
 {
@@ -96,46 +111,85 @@ parseWhole(const std::string &flag, const std::string &v,
     const char *last = v.data() + v.size();
     const auto res = std::from_chars(first, last, out);
     if (res.ec == std::errc::result_out_of_range)
-        vc_fatal("flag --", flag, ": '", v, "' is out of range for ",
-                 kind);
+        return makeError(Errc::InvalidConfig,
+                         "flag --" + flag + ": '" + v +
+                             "' is out of range for " + kind);
     if (res.ec != std::errc() || res.ptr != last)
-        vc_fatal("flag --", flag, ": '", v, "' is not ", kind);
+        return makeError(Errc::InvalidConfig, "flag --" + flag +
+                                                  ": '" + v +
+                                                  "' is not " + kind);
     return out;
 }
 
 } // namespace
 
-std::int64_t
-ArgParser::getInt(const std::string &name) const
+Expected<std::int64_t>
+ArgParser::tryGetInt(const std::string &name) const
 {
     return parseWhole<std::int64_t>(name, find(name).value,
                                     "an integer");
 }
 
-std::uint64_t
-ArgParser::getUint(const std::string &name) const
+Expected<std::uint64_t>
+ArgParser::tryGetUint(const std::string &name) const
 {
     return parseWhole<std::uint64_t>(name, find(name).value,
                                      "a non-negative integer");
 }
 
-double
-ArgParser::getDouble(const std::string &name) const
+Expected<double>
+ArgParser::tryGetDouble(const std::string &name) const
 {
-    const auto &v = find(name).value;
-    const double out = parseWhole<double>(name, v, "a number");
-    return out;
+    return parseWhole<double>(name, find(name).value, "a number");
 }
 
-bool
-ArgParser::getBool(const std::string &name) const
+Expected<bool>
+ArgParser::tryGetBool(const std::string &name) const
 {
     const auto &v = find(name).value;
     if (v == "true" || v == "1" || v == "yes")
         return true;
     if (v == "false" || v == "0" || v == "no")
         return false;
-    vc_fatal("flag --", name, ": '", v, "' is not a boolean");
+    return makeError(Errc::InvalidConfig, "flag --" + name + ": '" +
+                                              v +
+                                              "' is not a boolean");
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name) const
+{
+    auto parsed = tryGetInt(name);
+    if (!parsed.ok())
+        vc_fatal(parsed.error().message);
+    return parsed.value();
+}
+
+std::uint64_t
+ArgParser::getUint(const std::string &name) const
+{
+    auto parsed = tryGetUint(name);
+    if (!parsed.ok())
+        vc_fatal(parsed.error().message);
+    return parsed.value();
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    auto parsed = tryGetDouble(name);
+    if (!parsed.ok())
+        vc_fatal(parsed.error().message);
+    return parsed.value();
+}
+
+bool
+ArgParser::getBool(const std::string &name) const
+{
+    auto parsed = tryGetBool(name);
+    if (!parsed.ok())
+        vc_fatal(parsed.error().message);
+    return parsed.value();
 }
 
 std::string

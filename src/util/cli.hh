@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "util/result.hh"
+
 namespace vcache
 {
 
@@ -33,6 +35,15 @@ class ArgParser
      */
     void parse(int argc, char **argv);
 
+    /**
+     * Parse argv with recoverable errors (unknown flags, missing
+     * values, positional arguments become Errc::InvalidConfig).
+     * --help still prints the usage text and exits 0: asking for help
+     * is not an error.  Embedding applications that must not exit can
+     * pre-filter it.
+     */
+    Expected<void> tryParse(int argc, char **argv);
+
     /** True if the flag was given on the command line. */
     bool wasSet(const std::string &name) const;
 
@@ -50,6 +61,15 @@ class ArgParser
 
     /** Value of a registered flag parsed as a bool (true/false/1/0). */
     bool getBool(const std::string &name) const;
+
+    /**
+     * Typed getters with recoverable errors: the error names the flag
+     * and the rejected value instead of exiting.
+     */
+    Expected<std::int64_t> tryGetInt(const std::string &name) const;
+    Expected<std::uint64_t> tryGetUint(const std::string &name) const;
+    Expected<double> tryGetDouble(const std::string &name) const;
+    Expected<bool> tryGetBool(const std::string &name) const;
 
     /** Render the --help text. */
     std::string usage() const;

@@ -21,12 +21,24 @@ trim(const std::string &s)
     return s.substr(first, last - first + 1);
 }
 
+Error
+configError(const std::string &name, std::size_t line_no,
+            const std::string &what)
+{
+    std::ostringstream os;
+    if (!name.empty())
+        os << "'" << name << "' ";
+    os << "config line " << line_no << ": " << what;
+    return makeError(Errc::InvalidConfig, os.str());
+}
+
 } // namespace
 
-KeyValueConfig
-KeyValueConfig::parse(std::istream &in)
+Expected<KeyValueConfig>
+KeyValueConfig::tryParse(std::istream &in, const std::string &name)
 {
     KeyValueConfig config;
+    config.origin = name;
     std::string raw;
     std::string section;
     std::size_t line_no = 0;
@@ -41,42 +53,84 @@ KeyValueConfig::parse(std::istream &in)
             continue;
 
         if (line.front() == '[') {
-            if (line.back() != ']' || line.size() < 3)
-                vc_fatal("config line ", line_no,
-                         ": malformed section header '", line, "'");
-            section = trim(line.substr(1, line.size() - 2));
+            const auto close = line.find(']');
+            if (close == std::string::npos)
+                return configError(name, line_no,
+                                   "malformed section header '" +
+                                       line + "'");
+            // ']' must end the line: "[sec] junk" and "[sec]extra]"
+            // used to be half-accepted, silently mangling the
+            // section name.
+            if (close != line.size() - 1)
+                return configError(name, line_no,
+                                   "trailing garbage after section "
+                                   "header '" +
+                                       line.substr(0, close + 1) +
+                                       "'");
+            section = trim(line.substr(1, close - 1));
+            if (section.empty())
+                return configError(name, line_no,
+                                   "empty section name");
             continue;
         }
 
         const auto eq = line.find('=');
         if (eq == std::string::npos)
-            vc_fatal("config line ", line_no,
-                     ": expected 'key = value', got '", line, "'");
+            return configError(name, line_no,
+                               "expected 'key = value', got '" +
+                                   line + "'");
         const std::string key = trim(line.substr(0, eq));
         const std::string value = trim(line.substr(eq + 1));
         if (key.empty())
-            vc_fatal("config line ", line_no, ": empty key");
+            return configError(name, line_no, "empty key");
 
         const std::string full =
             section.empty() ? key : section + "." + key;
-        if (config.values.count(full))
-            vc_fatal("config line ", line_no, ": duplicate key '",
-                     full, "'");
-        config.values[full] = value;
+        const auto existing = config.values.find(full);
+        if (existing != config.values.end())
+            return configError(
+                name, line_no,
+                "duplicate key '" + full + "' (first defined at line " +
+                    std::to_string(existing->second.line) + ")");
+        config.values[full] = Entry{value, line_no};
     }
+    if (in.bad())
+        return makeError(Errc::Io,
+                         name.empty()
+                             ? std::string("config stream read error")
+                             : "read error in config '" + name + "'");
     return config;
+}
+
+Expected<KeyValueConfig>
+KeyValueConfig::tryParseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return makeError(Errc::Io,
+                         "cannot open config file '" + path + "'");
+    return tryParse(in, path);
+}
+
+KeyValueConfig
+KeyValueConfig::parse(std::istream &in)
+{
+    auto config = tryParse(in);
+    if (!config.ok())
+        vc_fatal(config.error().message);
+    return std::move(config.value());
 }
 
 KeyValueConfig
 KeyValueConfig::parseFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        vc_fatal("cannot open config file '", path, "'");
-    return parse(in);
+    auto config = tryParseFile(path);
+    if (!config.ok())
+        vc_fatal(config.error().message);
+    return std::move(config.value());
 }
 
-const std::string *
+const KeyValueConfig::Entry *
 KeyValueConfig::find(const std::string &key) const
 {
     const auto it = values.find(key);
@@ -84,6 +138,21 @@ KeyValueConfig::find(const std::string &key) const
         return nullptr;
     touched.insert(key);
     return &it->second;
+}
+
+std::string
+KeyValueConfig::describeKey(const std::string &key,
+                            const Entry &entry) const
+{
+    std::ostringstream os;
+    os << "config key '" << key << "'";
+    if (entry.line) {
+        os << " (";
+        if (!origin.empty())
+            os << origin << " ";
+        os << "line " << entry.line << ")";
+    }
+    return os.str();
 }
 
 bool
@@ -97,78 +166,134 @@ KeyValueConfig::getString(const std::string &key,
                           const std::string &def) const
 {
     const auto *v = find(key);
-    return v ? *v : def;
+    return v ? v->value : def;
+}
+
+Expected<std::uint64_t>
+KeyValueConfig::tryGetUint(const std::string &key,
+                           std::uint64_t def) const
+{
+    const auto *v = find(key);
+    if (!v)
+        return def;
+    try {
+        if (!v->value.empty() && v->value[0] == '-')
+            throw std::invalid_argument("negative");
+        std::size_t used = 0;
+        const auto parsed = std::stoull(v->value, &used);
+        if (used != v->value.size())
+            throw std::invalid_argument("trailing");
+        return parsed;
+    } catch (...) {
+        return makeError(Errc::InvalidConfig,
+                         describeKey(key, *v) + ": '" + v->value +
+                             "' is not a non-negative integer");
+    }
 }
 
 std::uint64_t
 KeyValueConfig::getUint(const std::string &key,
                         std::uint64_t def) const
 {
+    auto parsed = tryGetUint(key, def);
+    if (!parsed.ok())
+        vc_fatal(parsed.error().message);
+    return parsed.value();
+}
+
+Expected<double>
+KeyValueConfig::tryGetDouble(const std::string &key, double def) const
+{
     const auto *v = find(key);
     if (!v)
         return def;
     try {
-        if (!v->empty() && (*v)[0] == '-')
-            throw std::invalid_argument("negative");
         std::size_t used = 0;
-        const auto parsed = std::stoull(*v, &used);
-        if (used != v->size())
+        const double parsed = std::stod(v->value, &used);
+        if (used != v->value.size())
             throw std::invalid_argument("trailing");
         return parsed;
     } catch (...) {
-        vc_fatal("config key '", key, "': '", *v,
-                 "' is not a non-negative integer");
+        return makeError(Errc::InvalidConfig,
+                         describeKey(key, *v) + ": '" + v->value +
+                             "' is not a number");
     }
 }
 
 double
 KeyValueConfig::getDouble(const std::string &key, double def) const
 {
+    auto parsed = tryGetDouble(key, def);
+    if (!parsed.ok())
+        vc_fatal(parsed.error().message);
+    return parsed.value();
+}
+
+Expected<bool>
+KeyValueConfig::tryGetBool(const std::string &key, bool def) const
+{
     const auto *v = find(key);
     if (!v)
         return def;
-    try {
-        std::size_t used = 0;
-        const double parsed = std::stod(*v, &used);
-        if (used != v->size())
-            throw std::invalid_argument("trailing");
-        return parsed;
-    } catch (...) {
-        vc_fatal("config key '", key, "': '", *v,
-                 "' is not a number");
-    }
+    if (v->value == "true" || v->value == "1" || v->value == "yes")
+        return true;
+    if (v->value == "false" || v->value == "0" || v->value == "no")
+        return false;
+    return makeError(Errc::InvalidConfig,
+                     describeKey(key, *v) + ": '" + v->value +
+                         "' is not a boolean");
 }
 
 bool
 KeyValueConfig::getBool(const std::string &key, bool def) const
 {
-    const auto *v = find(key);
-    if (!v)
-        return def;
-    if (*v == "true" || *v == "1" || *v == "yes")
-        return true;
-    if (*v == "false" || *v == "0" || *v == "no")
-        return false;
-    vc_fatal("config key '", key, "': '", *v, "' is not a boolean");
+    auto parsed = tryGetBool(key, def);
+    if (!parsed.ok())
+        vc_fatal(parsed.error().message);
+    return parsed.value();
 }
 
 std::vector<std::string>
 KeyValueConfig::unusedKeys() const
 {
     std::vector<std::string> unused;
-    for (const auto &[key, value] : values)
+    for (const auto &[key, entry] : values)
         if (!touched.count(key))
             unused.push_back(key);
     return unused;
+}
+
+Expected<void>
+KeyValueConfig::rejectUnknown() const
+{
+    const auto unused = unusedKeys();
+    if (unused.empty())
+        return {};
+    std::ostringstream os;
+    os << "unknown config key" << (unused.size() > 1 ? "s" : "");
+    for (std::size_t i = 0; i < unused.size(); ++i) {
+        os << (i ? ", " : " ") << "'" << unused[i] << "'";
+        const auto it = values.find(unused[i]);
+        if (it != values.end() && it->second.line)
+            os << " (line " << it->second.line << ")";
+    }
+    return makeError(Errc::InvalidConfig, os.str());
 }
 
 std::vector<std::string>
 KeyValueConfig::keys() const
 {
     std::vector<std::string> out;
-    for (const auto &[key, value] : values)
+    for (const auto &[key, entry] : values)
         out.push_back(key);
     return out;
+}
+
+std::size_t
+KeyValueConfig::lineOf(const std::string &key) const
+{
+    const auto it = values.find(key);
+    return it == values.end() ? 0 : it->second.line;
 }
 
 } // namespace vcache

@@ -10,9 +10,15 @@
  *   key = value          ; becomes "section.key"
  *   top_level = 3        ; no section: plain "top_level"
  *
- * Values are strings; typed getters parse on demand and fatal with
- * the offending key on bad input.  Unknown keys are detectable via
- * unusedKeys() so drivers can reject typos.
+ * Values are strings; typed getters parse on demand.  Configs are
+ * user input, so every diagnostic is precise and recoverable: the
+ * try* entry points return Expected values whose errors carry the
+ * offending line number (parse errors, duplicate keys -- including
+ * where the first definition lives -- malformed or empty section
+ * headers, trailing garbage after a section header) or the line the
+ * key was defined on (type mismatches).  The classic parse/getX
+ * methods keep the fatal-on-error contract for standalone tools, and
+ * unusedKeys()/rejectUnknown() let drivers refuse typo'd keys.
  */
 
 #ifndef VCACHE_UTIL_CONFIG_HH
@@ -25,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "util/result.hh"
+
 namespace vcache
 {
 
@@ -32,6 +40,17 @@ namespace vcache
 class KeyValueConfig
 {
   public:
+    /**
+     * Parse from a stream.  Errors are Errc::InvalidConfig with the
+     * 1-based line number (and `name`, when non-empty, as origin).
+     */
+    static Expected<KeyValueConfig>
+    tryParse(std::istream &in, const std::string &name = "");
+
+    /** Parse a file by path; Errc::Io when it cannot be opened. */
+    static Expected<KeyValueConfig>
+    tryParseFile(const std::string &path);
+
     /** Parse from a stream; fatals with line numbers on errors. */
     static KeyValueConfig parse(std::istream &in);
 
@@ -55,16 +74,47 @@ class KeyValueConfig
     /** Boolean value (true/false/1/0/yes/no), or `def` when absent. */
     bool getBool(const std::string &key, bool def) const;
 
+    /**
+     * Typed getters with recoverable errors; the error names the key,
+     * the bad value, and the config line it was defined on.
+     */
+    Expected<std::uint64_t> tryGetUint(const std::string &key,
+                                       std::uint64_t def) const;
+    Expected<double> tryGetDouble(const std::string &key,
+                                  double def) const;
+    Expected<bool> tryGetBool(const std::string &key, bool def) const;
+
     /** Keys never read by any getter (typo detection). */
     std::vector<std::string> unusedKeys() const;
+
+    /**
+     * Error (listing every untouched key with its definition line)
+     * unless all keys have been read by some getter.  Call after the
+     * driver has pulled everything it understands.
+     */
+    Expected<void> rejectUnknown() const;
 
     /** All keys, sorted. */
     std::vector<std::string> keys() const;
 
-  private:
-    const std::string *find(const std::string &key) const;
+    /** 1-based definition line of a key (0 when absent). */
+    std::size_t lineOf(const std::string &key) const;
 
-    std::map<std::string, std::string> values;
+  private:
+    struct Entry
+    {
+        std::string value;
+        std::size_t line = 0;
+    };
+
+    const Entry *find(const std::string &key) const;
+
+    /** "key 'k' (line N)" or with the origin name when present. */
+    std::string describeKey(const std::string &key,
+                            const Entry &entry) const;
+
+    std::string origin;
+    std::map<std::string, Entry> values;
     mutable std::set<std::string> touched;
 };
 

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Deterministic fault injection behind named sites.
+ *
+ * A robustness layer is only trustworthy if the faults it claims to
+ * tolerate are actually exercised, so hot spots in the library carry
+ * named injection sites:
+ *
+ *   VCACHE_FAULT_POINT("trace.loader.read");
+ *   VCACHE_FAULT_MUTATE("trace.loader.field", parsed_value);
+ *
+ * In a normal build the macros expand to nothing -- the site costs
+ * zero instructions, the same contract as the Observer policy.  A
+ * build configured with -DVCACHE_FAULT_INJECTION=ON compiles the
+ * sites in; they stay dormant until a fault plan is installed, either
+ * programmatically (configureFaults) or from the environment
+ * (VCACHE_FAULTS) or the shared --faults sweep flag.
+ *
+ * Plan grammar (one rule per site, ';'-separated):
+ *
+ *   site=action@trigger
+ *   action  := throw | stall:<millis> | corrupt
+ *   trigger := every:<N> | prob:<P>
+ *
+ *   VCACHE_FAULTS='trace.loader.read=throw@every:7' ./sweep_grid
+ *   ./sweep_grid --faults 'memory.bank.issue=stall:50@prob:0.01'
+ *
+ * Firing is deterministic: every:<N> fires on the Nth, 2Nth, ... hit
+ * of the site (process-wide hit count), prob:<P> draws from a
+ * xorshift64* stream seeded from the plan seed and the site name, so
+ * the same (spec, seed) always yields the same fire schedule per
+ * site.  `throw` raises VcError(Errc::Io), `stall` sleeps the calling
+ * thread (for deadline/watchdog testing), `corrupt` bit-flips the
+ * value passed to VCACHE_FAULT_MUTATE.
+ *
+ * The decision engine below is always compiled (tests drive it
+ * directly); only the *sites* are gated, so the hot paths carrying
+ * them pay nothing when the option is off.
+ */
+
+#ifndef VCACHE_UTIL_FAULTINJECT_HH
+#define VCACHE_UTIL_FAULTINJECT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/result.hh"
+
+namespace vcache
+{
+namespace faults
+{
+
+/** True in builds whose fault-injection sites are compiled in. */
+#if defined(VCACHE_FAULT_INJECTION)
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/** What an armed site does when its trigger fires. */
+enum class Action
+{
+    Throw,
+    Stall,
+    Corrupt,
+};
+
+/** One parsed rule: action plus trigger. */
+struct Rule
+{
+    Action action = Action::Throw;
+    /** Fire on every Nth hit (0 = use probability instead). */
+    std::uint64_t every = 0;
+    /** Fire with this probability per hit (< 0 = use `every`). */
+    double probability = -1.0;
+    /** Milliseconds to sleep for Action::Stall. */
+    std::uint64_t stallMillis = 0;
+};
+
+/** A full parsed plan: site -> rule, plus the probability seed. */
+struct FaultPlan
+{
+    std::map<std::string, Rule> rules;
+    std::uint64_t seed = 1;
+
+    bool empty() const { return rules.empty(); }
+};
+
+/** Parse the plan grammar; structured error on bad input. */
+Expected<FaultPlan> parseFaultSpec(const std::string &spec,
+                                   std::uint64_t seed);
+
+/** Install a plan process-wide (replaces any previous one). */
+void configureFaults(const FaultPlan &plan);
+
+/** Remove the installed plan; every site goes dormant. */
+void clearFaults();
+
+/** True once a non-empty plan is installed. */
+bool faultsConfigured();
+
+/** Times the named site was hit / fired since its plan install. */
+std::uint64_t faultSiteHits(const std::string &site);
+std::uint64_t faultSiteFires(const std::string &site);
+
+/** What a site hit resolved to (Stall sleeps before returning None). */
+enum class Fire
+{
+    None,
+    Throw,
+    Corrupt,
+};
+
+/**
+ * Record one hit of `site` and decide whether it fires.  Stall rules
+ * sleep here and report None; Throw/Corrupt are returned for the
+ * macro to apply.  Dormant or unknown sites return None.
+ */
+Fire pollSite(const char *site);
+
+/** Deterministic bit-flip applied by VCACHE_FAULT_MUTATE. */
+constexpr std::uint64_t
+corruptValue(std::uint64_t v)
+{
+    return v ^ 0xa5a5a5a5a5a5a5a5ull;
+}
+
+/** Throw the injected-fault error for `site`. */
+[[noreturn]] void throwInjected(const char *site);
+
+namespace detail
+{
+/** Set when a non-empty plan is live; the only cost of a dormant site. */
+extern std::atomic<bool> active;
+} // namespace detail
+
+/** Cheap dormant-site check: one relaxed atomic load. */
+inline bool
+activeCheap()
+{
+    return detail::active.load(std::memory_order_relaxed);
+}
+
+} // namespace faults
+} // namespace vcache
+
+#if defined(VCACHE_FAULT_INJECTION)
+
+/** Hit a named site: may throw or stall per the installed plan. */
+#define VCACHE_FAULT_POINT(site)                                            \
+    do {                                                                    \
+        if (::vcache::faults::activeCheap()) {                              \
+            if (::vcache::faults::pollSite(site) ==                         \
+                ::vcache::faults::Fire::Throw)                              \
+                ::vcache::faults::throwInjected(site);                      \
+        }                                                                   \
+    } while (0)
+
+/** Hit a site that can also corrupt the given integral lvalue. */
+#define VCACHE_FAULT_MUTATE(site, lvalue)                                   \
+    do {                                                                    \
+        if (::vcache::faults::activeCheap()) {                              \
+            const auto vcache_fault_fire =                                  \
+                ::vcache::faults::pollSite(site);                           \
+            if (vcache_fault_fire == ::vcache::faults::Fire::Throw)         \
+                ::vcache::faults::throwInjected(site);                      \
+            if (vcache_fault_fire == ::vcache::faults::Fire::Corrupt)       \
+                (lvalue) = static_cast<std::remove_reference_t<             \
+                    decltype(lvalue)>>(::vcache::faults::corruptValue(      \
+                    static_cast<std::uint64_t>(lvalue)));                   \
+        }                                                                   \
+    } while (0)
+
+#else
+
+#define VCACHE_FAULT_POINT(site)                                            \
+    do {                                                                    \
+    } while (0)
+
+#define VCACHE_FAULT_MUTATE(site, lvalue)                                   \
+    do {                                                                    \
+    } while (0)
+
+#endif // VCACHE_FAULT_INJECTION
+
+#endif // VCACHE_UTIL_FAULTINJECT_HH

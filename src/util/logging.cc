@@ -1,9 +1,12 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+
+#include "util/result.hh"
 
 namespace vcache
 {
@@ -119,6 +122,24 @@ applyLogSpec(const std::string &spec)
     return true;
 }
 
+namespace
+{
+/** Sweep workers read this on every fatal path; atomic, not guarded. */
+std::atomic<bool> g_errors_throw{false};
+} // namespace
+
+bool
+errorsThrow()
+{
+    return g_errors_throw.load(std::memory_order_relaxed);
+}
+
+bool
+setErrorsThrow(bool enable)
+{
+    return g_errors_throw.exchange(enable, std::memory_order_relaxed);
+}
+
 namespace detail
 {
 
@@ -162,6 +183,20 @@ void
 terminate(LogLevel level, const std::string &where,
           const std::string &message)
 {
+    if (errorsThrow()) {
+        Error e;
+        e.code = level == LogLevel::Panic ? Errc::InternalInvariant
+                                          : Errc::InvalidConfig;
+        e.message = message;
+        // `where` arrives as "file.cc:123" from the macros.
+        const auto colon = where.rfind(':');
+        if (colon != std::string::npos) {
+            e.file = where.substr(0, colon);
+            e.line = static_cast<unsigned>(
+                std::strtoul(where.c_str() + colon + 1, nullptr, 10));
+        }
+        throw VcError(std::move(e));
+    }
     emit(level, where, message);
     if (level == LogLevel::Panic)
         std::abort();

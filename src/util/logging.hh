@@ -61,6 +61,36 @@ void setLogTimestamps(bool enable);
  */
 bool applyLogSpec(const std::string &spec);
 
+/**
+ * When true, vc_fatal()/vc_panic() throw VcError (Errc::InvalidConfig
+ * / Errc::InternalInvariant) instead of terminating the process.
+ *
+ * This is the sweep engine's error boundary: a worker evaluating one
+ * grid point must not take the other ten thousand points down with
+ * it, so runSweep enables throwing errors for the sweep's duration
+ * and catches the VcError per point.  The flag is process-wide;
+ * outside a sweep the default (terminate) keeps fatal errors fatal
+ * and panics dumpable.
+ */
+bool errorsThrow();
+
+/** Set the errors-throw mode; returns the previous value. */
+bool setErrorsThrow(bool enable);
+
+/** RAII scope for errorsThrow (restores the previous mode). */
+class ScopedThrowingErrors
+{
+  public:
+    ScopedThrowingErrors() : previous(setErrorsThrow(true)) {}
+    ~ScopedThrowingErrors() { setErrorsThrow(previous); }
+    ScopedThrowingErrors(const ScopedThrowingErrors &) = delete;
+    ScopedThrowingErrors &operator=(const ScopedThrowingErrors &) =
+        delete;
+
+  private:
+    bool previous;
+};
+
 namespace detail
 {
 

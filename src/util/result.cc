@@ -1,0 +1,65 @@
+#include "util/result.hh"
+
+#include <cstring>
+#include <sstream>
+
+namespace vcache
+{
+
+const char *
+errcName(Errc code)
+{
+    switch (code) {
+      case Errc::InvalidConfig:
+        return "InvalidConfig";
+      case Errc::MalformedTrace:
+        return "MalformedTrace";
+      case Errc::Io:
+        return "Io";
+      case Errc::Timeout:
+        return "Timeout";
+      case Errc::Cancelled:
+        return "Cancelled";
+      case Errc::InternalInvariant:
+        return "InternalInvariant";
+    }
+    return "UnknownErrc";
+}
+
+std::string
+Error::describe() const
+{
+    std::ostringstream os;
+    os << errcName(code) << ": " << message;
+    if (!file.empty())
+        os << " (" << file << ":" << line << ")";
+    for (const auto &n : notes)
+        os << " [" << n << "]";
+    return os.str();
+}
+
+namespace
+{
+
+/** Basename of a __FILE__-style path (keeps messages short). */
+const char *
+basenameOf(const char *path)
+{
+    const char *slash = std::strrchr(path, '/');
+    return slash ? slash + 1 : path;
+}
+
+} // namespace
+
+Error
+makeError(Errc code, std::string message, std::source_location loc)
+{
+    Error e;
+    e.code = code;
+    e.message = std::move(message);
+    e.file = basenameOf(loc.file_name());
+    e.line = static_cast<unsigned>(loc.line());
+    return e;
+}
+
+} // namespace vcache

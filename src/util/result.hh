@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Error-as-values plumbing: Expected<T> and the library's error
+ * taxonomy.
+ *
+ * Recoverable failures -- a malformed trace file, a bad INI key, a
+ * timed-out grid point -- travel as values so a caller (most
+ * importantly the sweep engine) can record them and carry on.
+ * vc_fatal()/vc_panic() remain for the two cases where dying is
+ * right: a driver's top level with nothing to resume, and genuine
+ * invariant bugs where a core dump beats a pretty message.
+ *
+ * The taxonomy is deliberately small; what distinguishes errors in
+ * practice is the message, the source location and the context notes
+ * attached as the error bubbles up, not a fine-grained code:
+ *
+ *   InvalidConfig     the user asked for something impossible
+ *   MalformedTrace    an external trace/input file failed to parse
+ *   Io                a file could not be opened, read or written
+ *   Timeout           a deadline expired (sweep --point-timeout)
+ *   Cancelled         cooperative cancellation (drain, shutdown)
+ *   InternalInvariant a bug in this library surfaced as an exception
+ *
+ * Expected<T>::value() throws VcError when the Expected holds an
+ * error; that is the bridge into the sweep engine's per-point error
+ * boundary, which catches VcError and records a structured
+ * PointFailure instead of killing the whole grid.
+ */
+
+#ifndef VCACHE_UTIL_RESULT_HH
+#define VCACHE_UTIL_RESULT_HH
+
+#include <optional>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace vcache
+{
+
+/** Error taxonomy; see the file comment for the intended semantics. */
+enum class Errc
+{
+    InvalidConfig,
+    MalformedTrace,
+    Io,
+    Timeout,
+    Cancelled,
+    InternalInvariant,
+};
+
+/** Stable name of a code ("InvalidConfig", ...), for messages/CSV. */
+const char *errcName(Errc code);
+
+/** One structured error: code, message, origin, context chain. */
+struct Error
+{
+    Errc code = Errc::InternalInvariant;
+    std::string message;
+    /** Source file (basename) and line where the error was made. */
+    std::string file;
+    unsigned line = 0;
+
+    /**
+     * Context pushed by intermediate frames as the error bubbles up
+     * ("while parsing 'trace.txt'", "grid point 42"), innermost
+     * first.
+     */
+    std::vector<std::string> notes;
+
+    /** Append one context note; returns *this for chaining. */
+    Error &
+    note(std::string context)
+    {
+        notes.push_back(std::move(context));
+        return *this;
+    }
+
+    /** "MalformedTrace: bad record (loader.cc:41) [while ...]" */
+    std::string describe() const;
+};
+
+/**
+ * Build an Error capturing the caller's source location.  The
+ * location is the *call site* (std::source_location::current() as a
+ * default argument), so helpers returning errors do not need macros.
+ */
+Error makeError(Errc code, std::string message,
+                std::source_location loc =
+                    std::source_location::current());
+
+/** Exception carrying an Error across a boundary that must unwind. */
+class VcError : public std::runtime_error
+{
+  public:
+    explicit VcError(Error e)
+        : std::runtime_error(e.describe()), err(std::move(e))
+    {
+    }
+
+    const Error &error() const { return err; }
+
+  private:
+    Error err;
+};
+
+/**
+ * Either a T or an Error.  Minimal by design: the library needs
+ * "return the value or a structured error", not a monad kit.
+ */
+template <typename T>
+class [[nodiscard]] Expected
+{
+  public:
+    /* implicit */ Expected(T value) : store(std::move(value)) {}
+    /* implicit */ Expected(Error e) : store(std::move(e)) {}
+
+    bool ok() const { return std::holds_alternative<T>(store); }
+    explicit operator bool() const { return ok(); }
+
+    /** The value; throws VcError when holding an error. */
+    T &
+    value() &
+    {
+        requireOk();
+        return std::get<T>(store);
+    }
+
+    const T &
+    value() const &
+    {
+        requireOk();
+        return std::get<T>(store);
+    }
+
+    T &&
+    value() &&
+    {
+        requireOk();
+        return std::get<T>(std::move(store));
+    }
+
+    /** The value, or `fallback` when holding an error. */
+    T
+    valueOr(T fallback) const &
+    {
+        return ok() ? std::get<T>(store) : std::move(fallback);
+    }
+
+    /** The error; must not be called when ok(). */
+    const Error &error() const { return std::get<Error>(store); }
+    Error &error() { return std::get<Error>(store); }
+
+  private:
+    void
+    requireOk() const
+    {
+        if (!ok())
+            throw VcError(std::get<Error>(store));
+    }
+
+    std::variant<T, Error> store;
+};
+
+/** Expected<void>: success, or an Error. */
+template <>
+class [[nodiscard]] Expected<void>
+{
+  public:
+    Expected() = default;
+    /* implicit */ Expected(Error e) : err(std::move(e)) {}
+
+    bool ok() const { return !err.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /** Throws VcError when holding an error. */
+    void
+    value() const
+    {
+        if (err)
+            throw VcError(*err);
+    }
+
+    const Error &error() const { return *err; }
+    Error &error() { return *err; }
+
+  private:
+    std::optional<Error> err;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_UTIL_RESULT_HH

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/faultinject.hh"
 #include "util/logging.hh"
+#include "util/result.hh"
 
 namespace vcache
 {
@@ -74,7 +76,21 @@ ThreadPool::workerLoop(unsigned id)
         Job job = std::move(queue.front());
         queue.pop_front();
         lock.unlock();
-        job(id);
+        // A job that leaks an exception must not tear the worker down
+        // with inFlight still counted -- wait() would hang forever.
+        // Sweep runners catch per point; this is the last-ditch net
+        // (and where injected dispatch faults land).
+        try {
+            VCACHE_FAULT_POINT("threadpool.dispatch");
+            job(id);
+        } catch (const VcError &e) {
+            warn("worker ", id, ": job failed: ", e.error().describe());
+        } catch (const std::exception &e) {
+            warn("worker ", id, ": job failed: ", e.what());
+        } catch (...) {
+            warn("worker ", id, ": job failed with an unknown "
+                 "exception");
+        }
         lock.lock();
         if (--inFlight == 0)
             drained.notify_all();

@@ -98,5 +98,72 @@ TEST(PresetsDeathTest, RejectsBadShapes)
     EXPECT_DEATH((void)fftWorkload(100, 1024), "power of two");
 }
 
+// ---------------------------------------------------------------------
+// Error-as-values: the try* variants fail one sweep point instead of
+// the process, and presetWorkload resolves algorithm names.
+// ---------------------------------------------------------------------
+
+TEST(PresetsTry, SuccessMatchesFatalHelpers)
+{
+    const auto m = tryMatmulWorkload(32, 1024);
+    ASSERT_TRUE(m.ok());
+    EXPECT_DOUBLE_EQ(m.value().blockingFactor,
+                     matmulWorkload(32, 1024).blockingFactor);
+
+    const auto f = tryFftWorkload(4096, 65536);
+    ASSERT_TRUE(f.ok());
+    EXPECT_DOUBLE_EQ(f.value().reuseFactor,
+                     fftWorkload(4096, 65536).reuseFactor);
+}
+
+TEST(PresetsTry, BadShapesAreValueErrors)
+{
+    const auto m = tryMatmulWorkload(32, 16);
+    ASSERT_FALSE(m.ok());
+    EXPECT_EQ(m.error().code, Errc::InvalidConfig);
+    EXPECT_NE(m.error().message.find("b <= n"), std::string::npos);
+
+    EXPECT_FALSE(tryMatmulWorkload(0, 16).ok());
+    EXPECT_FALSE(tryLuWorkload(64, 8).ok());
+
+    const auto f = tryFftWorkload(100, 1024);
+    ASSERT_FALSE(f.ok());
+    EXPECT_NE(f.error().message.find("power of two"),
+              std::string::npos);
+    EXPECT_FALSE(tryFftWorkload(1, 1024).ok());
+}
+
+TEST(PresetsTry, PresetWorkloadResolvesNames)
+{
+    const auto matmul = presetWorkload("matmul", 32, 1024, 0.25);
+    ASSERT_TRUE(matmul.ok());
+    EXPECT_DOUBLE_EQ(matmul.value().reuseFactor, 32.0);
+
+    const auto lu = presetWorkload("lu", 32, 1024, 0.25);
+    ASSERT_TRUE(lu.ok());
+    EXPECT_DOUBLE_EQ(lu.value().reuseFactor, 48.0); // 3b/2
+
+    const auto fft = presetWorkload("fft", 4096, 65536, 0.9);
+    ASSERT_TRUE(fft.ok());
+    EXPECT_DOUBLE_EQ(fft.value().reuseFactor, 12.0); // log2(4096)
+}
+
+TEST(PresetsTry, UnknownPresetListsTheValidNames)
+{
+    const auto w = presetWorkload("cholesky", 32, 1024, 0.25);
+    ASSERT_FALSE(w.ok());
+    EXPECT_EQ(w.error().code, Errc::InvalidConfig);
+    EXPECT_NE(w.error().message.find("'cholesky'"), std::string::npos);
+    EXPECT_NE(w.error().message.find("matmul, lu or fft"),
+              std::string::npos);
+}
+
+TEST(PresetsTry, PresetErrorsPropagateShapeChecks)
+{
+    const auto w = presetWorkload("lu", 64, 8, 0.25);
+    ASSERT_FALSE(w.ok());
+    EXPECT_NE(w.error().message.find("lu preset"), std::string::npos);
+}
+
 } // namespace
 } // namespace vcache

@@ -76,5 +76,76 @@ TEST(CacheFactory, RandomReplacementSeedIsDeterministic)
     EXPECT_EQ(run(), run());
 }
 
+// ---------------------------------------------------------------------
+// Error-as-values: tryMakeCache turns geometry violations (which the
+// constructors still assert on) into structured errors.
+// ---------------------------------------------------------------------
+
+TEST(CacheFactoryTry, ValidGeometryBuildsACache)
+{
+    CacheConfig config;
+    config.indexBits = 5;
+    config.organization = Organization::PrimeMapped;
+    const auto cache = tryMakeCache(config);
+    ASSERT_TRUE(cache.ok());
+    EXPECT_EQ(cache.value()->numLines(), 31u);
+}
+
+TEST(CacheFactoryTry, RejectsBadAddressWidth)
+{
+    CacheConfig config;
+    config.addressBits = 0;
+    const auto cache = tryMakeCache(config);
+    ASSERT_FALSE(cache.ok());
+    EXPECT_EQ(cache.error().code, Errc::InvalidConfig);
+}
+
+TEST(CacheFactoryTry, RejectsFieldsWiderThanTheAddress)
+{
+    CacheConfig config;
+    config.addressBits = 16;
+    config.offsetBits = 8;
+    config.indexBits = 10;
+    const auto cache = tryMakeCache(config);
+    ASSERT_FALSE(cache.ok());
+    EXPECT_NE(cache.error().message.find("exceed"), std::string::npos);
+}
+
+TEST(CacheFactoryTry, PrimeOrganisationsNeedMersenneIndexWidths)
+{
+    CacheConfig config;
+    config.indexBits = 6; // 2^6 - 1 = 63 is not prime
+    config.organization = Organization::PrimeMapped;
+    const auto cache = tryMakeCache(config);
+    ASSERT_FALSE(cache.ok());
+    EXPECT_NE(cache.error().message.find("Mersenne"),
+              std::string::npos);
+
+    config.organization = Organization::PrimeSetAssociative;
+    config.associativity = 2;
+    EXPECT_FALSE(tryMakeCache(config).ok());
+
+    config.indexBits = 5; // 31 is prime
+    EXPECT_TRUE(tryMakeCache(config).ok());
+}
+
+TEST(CacheFactoryTry, RejectsBadAssociativity)
+{
+    CacheConfig config;
+    config.indexBits = 4;
+    config.organization = Organization::SetAssociative;
+    config.associativity = 0;
+    EXPECT_FALSE(tryMakeCache(config).ok());
+
+    // 3 ways do not divide 16 lines.
+    config.associativity = 3;
+    const auto cache = tryMakeCache(config);
+    ASSERT_FALSE(cache.ok());
+    EXPECT_NE(cache.error().message.find("divide"), std::string::npos);
+
+    config.associativity = 4;
+    EXPECT_TRUE(tryMakeCache(config).ok());
+}
+
 } // namespace
 } // namespace vcache

@@ -1,0 +1,218 @@
+/** Tests for the JSON-lines sweep checkpoint journal. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.hh"
+
+namespace vcache
+{
+namespace
+{
+
+/** Temp journal path removed on scope exit. */
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string &name)
+        : p(std::string(::testing::TempDir()) + name)
+    {
+        std::remove(p.c_str());
+    }
+
+    ~TempPath() { std::remove(p.c_str()); }
+
+    const std::string &str() const { return p; }
+
+  private:
+    std::string p;
+};
+
+CheckpointHeader
+header()
+{
+    CheckpointHeader h;
+    h.label = "grid";
+    h.points = 10;
+    h.seed = 7;
+    return h;
+}
+
+TEST(Checkpoint, RoundTripsDoneAndFailedRecords)
+{
+    TempPath path("ckpt_roundtrip.jsonl");
+    {
+        auto writer = CheckpointWriter::open(path.str(), header(), false);
+        ASSERT_TRUE(writer.ok()) << writer.error().describe();
+        ASSERT_TRUE(
+            writer.value()->recordDone(3, {"a", "1.5", ""}).ok());
+        ASSERT_TRUE(writer.value()
+                        ->recordFailed(
+                            5, makeError(Errc::Timeout, "too slow"), 3)
+                        .ok());
+        ASSERT_TRUE(writer.value()->flush().ok());
+    }
+
+    const auto replay = readCheckpoint(path.str());
+    ASSERT_TRUE(replay.ok()) << replay.error().describe();
+    EXPECT_EQ(replay.value().header.label, "grid");
+    EXPECT_EQ(replay.value().header.points, 10u);
+    EXPECT_EQ(replay.value().header.seed, 7u);
+    ASSERT_EQ(replay.value().done.size(), 1u);
+    const auto &row = replay.value().done.at(3);
+    EXPECT_EQ(row, (std::vector<std::string>{"a", "1.5", ""}));
+    EXPECT_EQ(replay.value().failed,
+              (std::set<std::uint64_t>{5}));
+}
+
+TEST(Checkpoint, EscapesQuotesBackslashesAndControlCharacters)
+{
+    TempPath path("ckpt_escape.jsonl");
+    const std::vector<std::string> nasty{"say \"hi\"", "a\\b",
+                                         "line\nbreak", "tab\there",
+                                         std::string(1, '\x01')};
+    {
+        auto writer = CheckpointWriter::open(path.str(), header(), false);
+        ASSERT_TRUE(writer.ok());
+        ASSERT_TRUE(writer.value()->recordDone(0, nasty).ok());
+    }
+    const auto replay = readCheckpoint(path.str());
+    ASSERT_TRUE(replay.ok()) << replay.error().describe();
+    EXPECT_EQ(replay.value().done.at(0), nasty);
+}
+
+TEST(Checkpoint, LastRecordForAPointWins)
+{
+    TempPath path("ckpt_lastwins.jsonl");
+    {
+        auto writer = CheckpointWriter::open(path.str(), header(), false);
+        ASSERT_TRUE(writer.ok());
+        ASSERT_TRUE(writer.value()
+                        ->recordFailed(
+                            2, makeError(Errc::Io, "flaky"), 1)
+                        .ok());
+        // The point succeeded after a resume: the later "ok" record
+        // must shadow the earlier failure.
+        ASSERT_TRUE(writer.value()->recordDone(2, {"fine"}).ok());
+    }
+    const auto replay = readCheckpoint(path.str());
+    ASSERT_TRUE(replay.ok());
+    EXPECT_TRUE(replay.value().failed.empty());
+    EXPECT_EQ(replay.value().done.at(2),
+              (std::vector<std::string>{"fine"}));
+}
+
+TEST(Checkpoint, AppendModePreservesExistingRecords)
+{
+    TempPath path("ckpt_append.jsonl");
+    {
+        auto writer = CheckpointWriter::open(path.str(), header(), false);
+        ASSERT_TRUE(writer.ok());
+        ASSERT_TRUE(writer.value()->recordDone(1, {"first"}).ok());
+    }
+    {
+        auto writer = CheckpointWriter::open(path.str(), header(), true);
+        ASSERT_TRUE(writer.ok());
+        ASSERT_TRUE(writer.value()->recordDone(2, {"second"}).ok());
+    }
+    const auto replay = readCheckpoint(path.str());
+    ASSERT_TRUE(replay.ok());
+    EXPECT_EQ(replay.value().done.size(), 2u);
+}
+
+TEST(Checkpoint, ToleratesTornFinalLine)
+{
+    TempPath path("ckpt_torn.jsonl");
+    {
+        auto writer = CheckpointWriter::open(path.str(), header(), false);
+        ASSERT_TRUE(writer.ok());
+        ASSERT_TRUE(writer.value()->recordDone(4, {"whole"}).ok());
+    }
+    // Simulate a process killed mid-write: a record missing its tail.
+    {
+        std::ofstream out(path.str(), std::ios::app);
+        out << "{\"point\":5,\"status\":\"ok\",\"row\":[\"ha";
+    }
+    const auto replay = readCheckpoint(path.str());
+    ASSERT_TRUE(replay.ok()) << replay.error().describe();
+    EXPECT_EQ(replay.value().done.size(), 1u);
+    EXPECT_TRUE(replay.value().done.count(4));
+}
+
+TEST(Checkpoint, RejectsCorruptionBeforeTheFinalLine)
+{
+    TempPath path("ckpt_corrupt.jsonl");
+    {
+        auto writer = CheckpointWriter::open(path.str(), header(), false);
+        ASSERT_TRUE(writer.ok());
+    }
+    {
+        std::ofstream out(path.str(), std::ios::app);
+        out << "garbage in the middle\n";
+        out << "{\"point\":1,\"status\":\"ok\",\"row\":[\"x\"]}\n";
+    }
+    const auto replay = readCheckpoint(path.str());
+    ASSERT_FALSE(replay.ok());
+    EXPECT_EQ(replay.error().code, Errc::Io);
+    EXPECT_NE(replay.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(Checkpoint, RejectsMissingOrBadHeader)
+{
+    TempPath path("ckpt_nohdr.jsonl");
+    {
+        std::ofstream out(path.str());
+        out << "{\"point\":1,\"status\":\"ok\",\"row\":[\"x\"]}\n";
+    }
+    EXPECT_FALSE(readCheckpoint(path.str()).ok());
+
+    const auto missing = readCheckpoint(
+        std::string(::testing::TempDir()) + "ckpt_never_written.jsonl");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.error().code, Errc::Io);
+}
+
+TEST(Checkpoint, ResumeCompatibilityNamesTheMismatch)
+{
+    CheckpointReplay replay;
+    replay.header = header();
+
+    EXPECT_TRUE(checkResumeCompatible(replay, header()).ok());
+
+    CheckpointHeader other = header();
+    other.label = "other";
+    auto bad = checkResumeCompatible(replay, other);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, Errc::InvalidConfig);
+    EXPECT_NE(bad.error().message.find("label"), std::string::npos);
+
+    other = header();
+    other.points = 11;
+    bad = checkResumeCompatible(replay, other);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.error().message.find("points"), std::string::npos);
+
+    other = header();
+    other.seed = 8;
+    bad = checkResumeCompatible(replay, other);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.error().message.find("seed"), std::string::npos);
+}
+
+TEST(Checkpoint, JsonEscapeRoundTripBasics)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x02')), "\\u0002");
+}
+
+} // namespace
+} // namespace vcache

@@ -2,16 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/comparison.hh"
 #include "core/defaults.hh"
 #include "sim/sweep.hh"
 #include "util/cli.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 namespace vcache
@@ -234,6 +239,446 @@ TEST(SweepFlagsDeathTest, ImplausibleJobsCountIsFatal)
     args.parse(static_cast<int>(argv.size()), argv.data());
     EXPECT_EXIT((void)sweepOptionsFromFlags(args),
                 testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(SweepFlags, RobustnessFlagsRoundTrip)
+{
+    ArgParser args("test");
+    addSweepFlags(args);
+    std::vector<std::string> storage{
+        "prog",           "--retries=5",         "--backoff-ms=10",
+        "--point-timeout=1.5", "--checkpoint=ck.jsonl", "--resume=true"};
+    std::vector<char *> argv;
+    for (auto &s : storage)
+        argv.push_back(s.data());
+    args.parse(static_cast<int>(argv.size()), argv.data());
+
+    const SweepOptions opts = sweepOptionsFromFlags(args, "label");
+    EXPECT_EQ(opts.maxAttempts, 6u);
+    EXPECT_DOUBLE_EQ(opts.backoffBaseMs, 10.0);
+    EXPECT_DOUBLE_EQ(opts.pointTimeoutSeconds, 1.5);
+    EXPECT_EQ(opts.checkpointPath, "ck.jsonl");
+    EXPECT_TRUE(opts.resume);
+    EXPECT_TRUE(opts.handleSignals);
+}
+
+TEST(SweepFlagsDeathTest, ResumeWithoutCheckpointIsFatal)
+{
+    ArgParser args("test");
+    addSweepFlags(args);
+    std::vector<std::string> storage{"prog", "--resume=true"};
+    std::vector<char *> argv;
+    for (auto &s : storage)
+        argv.push_back(s.data());
+    args.parse(static_cast<int>(argv.size()), argv.data());
+    EXPECT_EXIT((void)sweepOptionsFromFlags(args),
+                testing::ExitedWithCode(1),
+                "--resume requires --checkpoint");
+}
+
+// ---------------------------------------------------------------------
+// Robustness: per-point isolation, retries, deadlines, drain, resume.
+// ---------------------------------------------------------------------
+
+/** Make sure a test never leaks a pending drain into its neighbours. */
+struct InterruptGuard
+{
+    InterruptGuard() { clearSweepInterrupt(); }
+    ~InterruptGuard() { clearSweepInterrupt(); }
+};
+
+/** Options tuned for fast failure paths. */
+SweepOptions
+robust(unsigned jobs, unsigned maxAttempts)
+{
+    SweepOptions opts = quiet(jobs);
+    opts.maxAttempts = maxAttempts;
+    opts.backoffBaseMs = 1.0;
+    opts.backoffMaxMs = 2.0;
+    return opts;
+}
+
+TEST(SweepRobustness, ThrowingPointIsIsolatedAndRecorded)
+{
+    const auto outcome = runSweep(
+        20,
+        [](std::size_t i, SweepWorker &) {
+            if (i == 7)
+                throw VcError(
+                    makeError(Errc::MalformedTrace, "bad point"));
+        },
+        robust(4, 1));
+
+    EXPECT_EQ(outcome.completedOk, 19u);
+    EXPECT_EQ(outcome.remaining, 0u);
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].index, 7u);
+    EXPECT_EQ(outcome.failures[0].error.code, Errc::MalformedTrace);
+    EXPECT_EQ(outcome.failures[0].attempts, 1u);
+}
+
+TEST(SweepRobustness, NonVcExceptionsAreWrappedAsInternalInvariant)
+{
+    const auto outcome = runSweep(
+        4,
+        [](std::size_t i, SweepWorker &) {
+            if (i == 2)
+                throw std::runtime_error("plain exception");
+        },
+        robust(2, 1));
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].error.code, Errc::InternalInvariant);
+    EXPECT_NE(outcome.failures[0].error.message.find("plain exception"),
+              std::string::npos);
+}
+
+TEST(SweepRobustness, VcFatalInsideEvaluatorBecomesPointFailure)
+{
+    // Inside the sweep's throwing-errors scope, vc_fatal raises a
+    // VcError instead of exiting -- the whole point of the boundary.
+    const auto outcome = runSweep(
+        6,
+        [](std::size_t i, SweepWorker &) {
+            if (i == 3)
+                vc_fatal("boom at point 3");
+        },
+        robust(2, 1));
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].index, 3u);
+    EXPECT_NE(
+        outcome.failures[0].error.message.find("boom at point 3"),
+        std::string::npos);
+}
+
+TEST(SweepRobustness, TransientFailureRetriesAndSucceeds)
+{
+    std::vector<std::atomic<unsigned>> attempts(10);
+    const auto outcome = runSweep(
+        10,
+        [&](std::size_t i, SweepWorker &) {
+            const unsigned a =
+                attempts[i].fetch_add(1, std::memory_order_relaxed) + 1;
+            if (i == 4 && a < 3)
+                throw VcError(makeError(Errc::Io, "flaky"));
+        },
+        robust(4, 3));
+
+    EXPECT_EQ(outcome.completedOk, 10u);
+    EXPECT_TRUE(outcome.failures.empty());
+    EXPECT_EQ(outcome.retries, 2u);
+    EXPECT_EQ(attempts[4].load(), 3u);
+}
+
+TEST(SweepRobustness, ExhaustedRetriesRecordAttemptCount)
+{
+    const auto outcome = runSweep(
+        3,
+        [](std::size_t i, SweepWorker &) {
+            if (i == 1)
+                throw VcError(makeError(Errc::Io, "always down"));
+        },
+        robust(1, 3));
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].attempts, 3u);
+    // Both extra attempts count as retries even though the point
+    // never resolved.
+    EXPECT_EQ(outcome.retries, 2u);
+}
+
+TEST(SweepRobustness, BackoffIsDeterministicJitteredAndCapped)
+{
+    const double a = retryBackoffMs(7, 13, 1, 100.0, 2000.0);
+    EXPECT_DOUBLE_EQ(a, retryBackoffMs(7, 13, 1, 100.0, 2000.0));
+
+    // Jitter keeps the delay within [0.5, 1.5) of nominal.
+    EXPECT_GE(a, 50.0);
+    EXPECT_LT(a, 150.0);
+    const double second = retryBackoffMs(7, 13, 2, 100.0, 2000.0);
+    EXPECT_GE(second, 100.0);
+    EXPECT_LT(second, 300.0);
+
+    // Different (seed, point, attempt) draw different jitter.
+    EXPECT_NE(a, retryBackoffMs(8, 13, 1, 100.0, 2000.0));
+    EXPECT_NE(a, retryBackoffMs(7, 14, 1, 100.0, 2000.0));
+
+    // The exponential is capped at maxMs * 1.5 jitter, even for huge
+    // attempt numbers (no overflow).
+    const double capped = retryBackoffMs(7, 13, 64, 100.0, 2000.0);
+    EXPECT_LT(capped, 3000.0);
+    EXPECT_GE(capped, 1000.0);
+
+    EXPECT_DOUBLE_EQ(retryBackoffMs(7, 13, 1, 0.0, 2000.0), 0.0);
+}
+
+TEST(SweepRobustness, WatchdogTimesOutCooperativePoint)
+{
+    SweepOptions opts = robust(2, 1);
+    opts.pointTimeoutSeconds = 0.05;
+
+    const auto outcome = runSweep(
+        4,
+        [](std::size_t i, SweepWorker &w) {
+            if (i != 2)
+                return;
+            // A stuck point that honours the token, bounded so a
+            // broken watchdog cannot hang the test suite.
+            const auto give_up = std::chrono::steady_clock::now() +
+                                 std::chrono::seconds(10);
+            while (!w.cancel.cancelled() &&
+                   std::chrono::steady_clock::now() < give_up)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            if (w.cancel.cancelled())
+                throwCancelled(w.cancel);
+        },
+        opts);
+
+    EXPECT_EQ(outcome.completedOk, 3u);
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].index, 2u);
+    EXPECT_EQ(outcome.failures[0].error.code, Errc::Timeout);
+}
+
+TEST(SweepRobustness, InterruptDrainsInFlightAndReportsRemaining)
+{
+    InterruptGuard guard;
+    std::atomic<std::size_t> evaluated{0};
+    const auto outcome = runSweep(
+        64,
+        [&](std::size_t, SweepWorker &) {
+            if (evaluated.fetch_add(1, std::memory_order_relaxed) == 8)
+                requestSweepInterrupt();
+            // Slow enough that the monitor's drain tick (100 ms) fires
+            // while points are still unclaimed.
+            std::this_thread::sleep_for(std::chrono::milliseconds(8));
+        },
+        robust(2, 1));
+
+    EXPECT_TRUE(outcome.interrupted);
+    EXPECT_GT(outcome.remaining, 0u);
+    EXPECT_GT(outcome.completedOk, 0u);
+    EXPECT_EQ(outcome.completedOk + outcome.failures.size() +
+                  outcome.remaining,
+              64u);
+}
+
+TEST(SweepRobustness, InterruptSkipsFurtherRetries)
+{
+    InterruptGuard guard;
+    std::atomic<unsigned> attempts{0};
+    SweepOptions opts = robust(1, 10);
+    opts.backoffBaseMs = 1.0;
+    const auto outcome = runSweep(
+        1,
+        [&](std::size_t, SweepWorker &) {
+            if (attempts.fetch_add(1, std::memory_order_relaxed) == 2)
+                requestSweepInterrupt();
+            throw VcError(makeError(Errc::Io, "always failing"));
+        },
+        opts);
+
+    // (outcome.interrupted is racy here -- the sweep may finish
+    // before the monitor's drain tick -- but the retry budget must
+    // have been cut either way.)
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].attempts, 3u);
+    EXPECT_LT(attempts.load(), 10u);
+}
+
+/** Deterministic grid row for the CSV/checkpoint tests. */
+CsvRow
+gridRow(std::size_t i)
+{
+    return {std::to_string(i), std::to_string(i * i)};
+}
+
+CsvRow
+failedRow(const PointFailure &f)
+{
+    return {std::to_string(f.index), "failed"};
+}
+
+/** Temp journal path removed on scope exit. */
+class TempJournal
+{
+  public:
+    explicit TempJournal(const std::string &name)
+        : p(std::string(::testing::TempDir()) + name)
+    {
+        std::remove(p.c_str());
+    }
+
+    ~TempJournal() { std::remove(p.c_str()); }
+
+    const std::string &str() const { return p; }
+
+  private:
+    std::string p;
+};
+
+TEST(CsvSweep, ResumeRequiresCheckpointAsValueError)
+{
+    SweepOptions opts = quiet(1);
+    opts.resume = true;
+    const auto result = runCsvSweep(
+        4, [](std::size_t i, SweepWorker &) { return gridRow(i); },
+        failedRow, opts);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, Errc::InvalidConfig);
+}
+
+TEST(CsvSweep, IncompatibleJournalIsAValueError)
+{
+    TempJournal journal("csv_incompat.jsonl");
+    SweepOptions opts = quiet(2);
+    opts.checkpointPath = journal.str();
+    ASSERT_TRUE(runCsvSweep(8,
+                            [](std::size_t i, SweepWorker &) {
+                                return gridRow(i);
+                            },
+                            failedRow, opts)
+                    .ok());
+
+    // Same journal, different grid size: refused, not silently wrong.
+    opts.resume = true;
+    const auto result = runCsvSweep(
+        9, [](std::size_t i, SweepWorker &) { return gridRow(i); },
+        failedRow, opts);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, Errc::InvalidConfig);
+    EXPECT_NE(result.error().message.find("points"), std::string::npos);
+}
+
+TEST(CsvSweep, ErrorRowKeepsTheGridRectangular)
+{
+    const auto result = runCsvSweep(
+        6,
+        [](std::size_t i, SweepWorker &) {
+            if (i == 4)
+                throw VcError(makeError(Errc::Timeout, "stuck"));
+            return gridRow(i);
+        },
+        failedRow, robust(2, 1));
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().complete());
+    ASSERT_EQ(result.value().rows.size(), 6u);
+    EXPECT_EQ(result.value().rows[4], (CsvRow{"4", "failed"}));
+    EXPECT_EQ(result.value().rows[3], gridRow(3));
+}
+
+TEST(CsvSweep, InterruptedRunResumesToByteIdenticalRows)
+{
+    InterruptGuard guard;
+    constexpr std::size_t kPoints = 48;
+
+    // Reference: one uninterrupted run with no journal.
+    const auto full = runCsvSweep(
+        kPoints,
+        [](std::size_t i, SweepWorker &) { return gridRow(i); },
+        failedRow, quiet(4));
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(full.value().complete());
+
+    TempJournal journal("csv_resume.jsonl");
+
+    // Interrupted first run: drain after a handful of points.
+    {
+        SweepOptions opts = quiet(2);
+        opts.checkpointPath = journal.str();
+        std::atomic<std::size_t> evaluated{0};
+        const auto partial = runCsvSweep(
+            kPoints,
+            [&](std::size_t i, SweepWorker &) {
+                if (evaluated.fetch_add(1,
+                                        std::memory_order_relaxed) == 6)
+                    requestSweepInterrupt();
+                // Outlast the monitor's 100 ms drain tick so points
+                // remain unclaimed when the drain lands.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(8));
+                return gridRow(i);
+            },
+            failedRow, opts);
+        ASSERT_TRUE(partial.ok());
+        EXPECT_TRUE(partial.value().outcome.interrupted);
+        EXPECT_FALSE(partial.value().complete());
+        EXPECT_GT(partial.value().outcome.remaining, 0u);
+    }
+    clearSweepInterrupt();
+
+    // Resume with a different worker count; rows must match the
+    // uninterrupted reference exactly.
+    SweepOptions opts = quiet(3);
+    opts.checkpointPath = journal.str();
+    opts.resume = true;
+    const auto resumed = runCsvSweep(
+        kPoints,
+        [](std::size_t i, SweepWorker &) { return gridRow(i); },
+        failedRow, opts);
+    ASSERT_TRUE(resumed.ok());
+    EXPECT_TRUE(resumed.value().complete());
+    EXPECT_GT(resumed.value().skipped, 0u);
+    EXPECT_LT(resumed.value().skipped, kPoints);
+    EXPECT_EQ(resumed.value().rows, full.value().rows);
+}
+
+TEST(CsvSweep, ResumeOfCompleteJournalSkipsEverything)
+{
+    TempJournal journal("csv_skip_all.jsonl");
+    SweepOptions opts = quiet(2);
+    opts.checkpointPath = journal.str();
+
+    const auto first = runCsvSweep(
+        12, [](std::size_t i, SweepWorker &) { return gridRow(i); },
+        failedRow, opts);
+    ASSERT_TRUE(first.ok());
+
+    std::atomic<std::size_t> evaluations{0};
+    opts.resume = true;
+    const auto second = runCsvSweep(
+        12,
+        [&](std::size_t i, SweepWorker &) {
+            evaluations.fetch_add(1, std::memory_order_relaxed);
+            return gridRow(i);
+        },
+        failedRow, opts);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.value().skipped, 12u);
+    EXPECT_EQ(evaluations.load(), 0u);
+    EXPECT_EQ(second.value().rows, first.value().rows);
+}
+
+TEST(CsvSweep, FailedPointsRerunOnResume)
+{
+    TempJournal journal("csv_retry_failed.jsonl");
+    SweepOptions opts = robust(2, 1);
+    opts.checkpointPath = journal.str();
+
+    const auto first = runCsvSweep(
+        8,
+        [](std::size_t i, SweepWorker &) {
+            if (i == 5)
+                throw VcError(makeError(Errc::Io, "transient outage"));
+            return gridRow(i);
+        },
+        failedRow, opts);
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first.value().rows[5], (CsvRow{"5", "failed"}));
+
+    // The outage is over; resume re-runs only the failed point.
+    std::atomic<std::size_t> evaluations{0};
+    opts.resume = true;
+    const auto second = runCsvSweep(
+        8,
+        [&](std::size_t i, SweepWorker &) {
+            evaluations.fetch_add(1, std::memory_order_relaxed);
+            return gridRow(i);
+        },
+        failedRow, opts);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(evaluations.load(), 1u);
+    EXPECT_EQ(second.value().skipped, 7u);
+    EXPECT_EQ(second.value().rows[5], gridRow(5));
 }
 
 } // namespace

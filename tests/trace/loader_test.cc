@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "trace/loader.hh"
 #include "trace/matmul.hh"
@@ -106,6 +109,84 @@ TEST(TraceLoaderDeathTest, MissingFile)
 {
     EXPECT_EXIT((void)loadTraceFile("/nonexistent/trace.txt"),
                 testing::ExitedWithCode(1), "cannot open");
+}
+
+// ---------------------------------------------------------------------
+// Error-as-values: tryLoadTrace reports malformed traces as structured
+// Expected errors (with name and line number) instead of dying.
+// ---------------------------------------------------------------------
+
+TEST(TraceLoaderTry, SuccessMatchesFatalLoader)
+{
+    std::istringstream a("L 0 1 8\nS 64 1 8\nD 0 1 8 128 2 4\n");
+    std::istringstream b("L 0 1 8\nS 64 1 8\nD 0 1 8 128 2 4\n");
+    const auto tried = tryLoadTrace(a, "t");
+    ASSERT_TRUE(tried.ok());
+    const Trace loaded = loadTrace(b);
+    ASSERT_EQ(tried.value().size(), loaded.size());
+    EXPECT_EQ(tried.value()[1].second->base, loaded[1].second->base);
+}
+
+TEST(TraceLoaderTry, ErrorsCarryNameAndLineNumber)
+{
+    std::istringstream in("L 0 1 8\nL 1 2\n");
+    const auto trace = tryLoadTrace(in, "fuzz.trace");
+    ASSERT_FALSE(trace.ok());
+    EXPECT_EQ(trace.error().code, Errc::MalformedTrace);
+    EXPECT_NE(trace.error().message.find("'fuzz.trace'"),
+              std::string::npos);
+    EXPECT_NE(trace.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(TraceLoaderTry, MissingFileIsIoError)
+{
+    const auto trace = tryLoadTraceFile("/nonexistent/trace.txt");
+    ASSERT_FALSE(trace.ok());
+    EXPECT_EQ(trace.error().code, Errc::Io);
+}
+
+TEST(TraceLoaderTry, FuzzishCorruptedLinesNeverCrash)
+{
+    // Every corruption the satellite cares about: wrong kinds, short
+    // records, non-numeric fields, negative bases/lengths, dangling
+    // and duplicate stores, junk tails, embedded NULs.  Each must come
+    // back as a structured MalformedTrace error naming its line.
+    const std::vector<std::string> corrupt{
+        "X 0 1 8",
+        "L",
+        "L 0",
+        "L 0 1",
+        "L zero one eight",
+        "L -1 1 8",
+        "L 0 1 -8",
+        "L 0x10 1 8 extra",
+        "S 0 1 8",
+        "L 0 1 8\nS 0 1 8\nS 0 1 8",
+        "D 0 1 8 1 2",
+        "D 0 1 8 x y z",
+        "L 0 1 8 trailing",
+        "L 99999999999999999999999999 1 8",
+        std::string("L 0 1 8\nL 0 1 ") + '\0' + "8",
+    };
+    for (std::size_t i = 0; i < corrupt.size(); ++i) {
+        std::istringstream in(corrupt[i]);
+        const auto trace = tryLoadTrace(in, "case");
+        ASSERT_FALSE(trace.ok()) << "case " << i << " parsed: "
+                                 << corrupt[i];
+        EXPECT_EQ(trace.error().code, Errc::MalformedTrace)
+            << "case " << i;
+        EXPECT_NE(trace.error().message.find("trace line"),
+                  std::string::npos)
+            << "case " << i;
+    }
+}
+
+TEST(TraceLoaderTry, BlankAndCommentOnlyInputStaysEmpty)
+{
+    std::istringstream in("# nothing\n\n   \n# more\n");
+    const auto trace = tryLoadTrace(in);
+    ASSERT_TRUE(trace.ok());
+    EXPECT_TRUE(trace.value().empty());
 }
 
 } // namespace

@@ -203,5 +203,71 @@ TEST(ArgParser, ExtremeButValidValuesParse)
               std::numeric_limits<std::uint64_t>::max());
 }
 
+// ---------------------------------------------------------------------
+// Error-as-values: tryParse/tryGet* for embedding in the sweep's
+// recoverable paths.
+// ---------------------------------------------------------------------
+
+TEST(ArgParserTry, UnknownFlagIsAValueError)
+{
+    ArgParser p("test");
+    p.addFlag("known", "1", "known");
+    Argv a({"prog", "--unknown=2"});
+    const auto parsed = p.tryParse(a.argc(), a.argv());
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().code, Errc::InvalidConfig);
+    EXPECT_NE(parsed.error().message.find("unknown"),
+              std::string::npos);
+}
+
+TEST(ArgParserTry, MissingValueIsAValueError)
+{
+    ArgParser p("test");
+    p.addFlag("n", "1", "n");
+    Argv a({"prog", "--n"});
+    EXPECT_FALSE(p.tryParse(a.argc(), a.argv()).ok());
+}
+
+TEST(ArgParserTry, SuccessfulParseReadsTypedValues)
+{
+    ArgParser p("test");
+    p.addFlag("n", "1", "n");
+    p.addFlag("x", "0.5", "x");
+    p.addFlag("b", "false", "b");
+    Argv a({"prog", "--n=42", "--x=2.5", "--b=true"});
+    ASSERT_TRUE(p.tryParse(a.argc(), a.argv()).ok());
+    EXPECT_EQ(p.tryGetInt("n").value(), 42);
+    EXPECT_EQ(p.tryGetUint("n").value(), 42u);
+    EXPECT_DOUBLE_EQ(p.tryGetDouble("x").value(), 2.5);
+    EXPECT_TRUE(p.tryGetBool("b").value());
+}
+
+TEST(ArgParserTry, BadTypedValuesAreValueErrors)
+{
+    ArgParser p("test");
+    p.addFlag("n", "0", "n");
+    p.addFlag("x", "0", "x");
+    p.addFlag("b", "false", "b");
+    Argv a({"prog", "--n=12abc", "--x=nanx", "--b=maybe"});
+    ASSERT_TRUE(p.tryParse(a.argc(), a.argv()).ok());
+
+    const auto n = p.tryGetInt("n");
+    ASSERT_FALSE(n.ok());
+    EXPECT_EQ(n.error().code, Errc::InvalidConfig);
+    EXPECT_NE(n.error().message.find("--n"), std::string::npos);
+    EXPECT_FALSE(p.tryGetDouble("x").ok());
+    EXPECT_FALSE(p.tryGetBool("b").ok());
+}
+
+TEST(ArgParserTry, NegativeValueForUintIsAValueError)
+{
+    ArgParser p("test");
+    p.addFlag("n", "0", "n");
+    Argv a({"prog", "--n=-3"});
+    ASSERT_TRUE(p.tryParse(a.argc(), a.argv()).ok());
+    EXPECT_FALSE(p.tryGetUint("n").ok());
+    EXPECT_EQ(p.tryGetInt("n").value(), -3);
+}
+
 } // namespace
 } // namespace vcache

@@ -100,5 +100,108 @@ TEST(KeyValueConfigDeathTest, MissingFile)
                 testing::ExitedWithCode(1), "cannot open");
 }
 
+// ---------------------------------------------------------------------
+// Error-as-values: tryParse/tryGet* diagnostics with line numbers.
+// ---------------------------------------------------------------------
+
+Expected<KeyValueConfig>
+tryParseText(const std::string &text, const std::string &name = "")
+{
+    std::istringstream in(text);
+    return KeyValueConfig::tryParse(in, name);
+}
+
+TEST(KeyValueConfigTry, ParseErrorsCarryLineNumbers)
+{
+    const auto c = tryParseText("good = 1\nno equals sign\n");
+    ASSERT_FALSE(c.ok());
+    EXPECT_EQ(c.error().code, Errc::InvalidConfig);
+    EXPECT_NE(c.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(KeyValueConfigTry, DuplicateKeyNamesBothLines)
+{
+    const auto c = tryParseText("a = 1\nb = 2\na = 3\n");
+    ASSERT_FALSE(c.ok());
+    EXPECT_NE(c.error().message.find("line 3"), std::string::npos);
+    EXPECT_NE(c.error().message.find("first defined at line 1"),
+              std::string::npos);
+}
+
+TEST(KeyValueConfigTry, DuplicateDetectionSpansSections)
+{
+    // The same key name in different sections is fine...
+    EXPECT_TRUE(tryParseText("[a]\nk = 1\n[b]\nk = 2\n").ok());
+    // ...the same full key twice is not.
+    EXPECT_FALSE(tryParseText("[a]\nk = 1\n[a]\nk = 2\n").ok());
+}
+
+TEST(KeyValueConfigTry, RejectsGarbageAfterSectionHeader)
+{
+    // Used to be half-accepted: "[sec]extra" silently became section
+    // "sec" with the garbage dropped.
+    const auto c = tryParseText("[sec]extra\nk = 1\n");
+    ASSERT_FALSE(c.ok());
+    EXPECT_NE(c.error().message.find("trailing garbage"),
+              std::string::npos);
+}
+
+TEST(KeyValueConfigTry, RejectsEmptySectionName)
+{
+    const auto c = tryParseText("[]\nk = 1\n");
+    ASSERT_FALSE(c.ok());
+    EXPECT_NE(c.error().message.find("empty section"),
+              std::string::npos);
+}
+
+TEST(KeyValueConfigTry, TypedGetterErrorsNameKeyAndDefinitionLine)
+{
+    const auto c = tryParseText("\n\nn = -3\n", "exp.ini");
+    ASSERT_TRUE(c.ok());
+    const auto n = c.value().tryGetUint("n", 0);
+    ASSERT_FALSE(n.ok());
+    EXPECT_EQ(n.error().code, Errc::InvalidConfig);
+    EXPECT_NE(n.error().message.find("'n'"), std::string::npos);
+    EXPECT_NE(n.error().message.find("line 3"), std::string::npos);
+    EXPECT_NE(n.error().message.find("exp.ini"), std::string::npos);
+
+    EXPECT_EQ(c.value().tryGetUint("absent", 9).valueOr(0), 9u);
+    EXPECT_EQ(c.value().lineOf("n"), 3u);
+    EXPECT_EQ(c.value().lineOf("absent"), 0u);
+}
+
+TEST(KeyValueConfigTry, TryGetDoubleAndBool)
+{
+    const auto c = tryParseText("x = 2.5\nb = yes\nbad = maybe\n");
+    ASSERT_TRUE(c.ok());
+    EXPECT_DOUBLE_EQ(c.value().tryGetDouble("x", 0.0).value(), 2.5);
+    EXPECT_TRUE(c.value().tryGetBool("b", false).value());
+    EXPECT_FALSE(c.value().tryGetBool("bad", false).ok());
+}
+
+TEST(KeyValueConfigTry, RejectUnknownListsUntouchedKeysWithLines)
+{
+    const auto c = tryParseText("used = 1\ntypo = 2\nslip = 3\n");
+    ASSERT_TRUE(c.ok());
+    (void)c.value().tryGetUint("used", 0);
+    const auto verdict = c.value().rejectUnknown();
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_NE(verdict.error().message.find("typo"), std::string::npos);
+    EXPECT_NE(verdict.error().message.find("slip"), std::string::npos);
+    EXPECT_NE(verdict.error().message.find("line 2"),
+              std::string::npos);
+
+    (void)c.value().tryGetUint("typo", 0);
+    (void)c.value().tryGetUint("slip", 0);
+    EXPECT_TRUE(c.value().rejectUnknown().ok());
+}
+
+TEST(KeyValueConfigTry, MissingFileIsIoError)
+{
+    const auto c = KeyValueConfig::tryParseFile("/nonexistent.ini");
+    ASSERT_FALSE(c.ok());
+    EXPECT_EQ(c.error().code, Errc::Io);
+}
+
 } // namespace
 } // namespace vcache

@@ -1,0 +1,101 @@
+/** Tests for the error-as-values plumbing (Expected, Error, VcError). */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/result.hh"
+
+namespace vcache
+{
+namespace
+{
+
+Expected<int>
+parsePositive(int v)
+{
+    if (v <= 0)
+        return makeError(Errc::InvalidConfig, "not positive");
+    return v;
+}
+
+TEST(Expected, HoldsValue)
+{
+    const Expected<int> e = parsePositive(7);
+    ASSERT_TRUE(e.ok());
+    EXPECT_TRUE(static_cast<bool>(e));
+    EXPECT_EQ(e.value(), 7);
+    EXPECT_EQ(e.valueOr(-1), 7);
+}
+
+TEST(Expected, HoldsError)
+{
+    const Expected<int> e = parsePositive(-3);
+    ASSERT_FALSE(e.ok());
+    EXPECT_EQ(e.error().code, Errc::InvalidConfig);
+    EXPECT_EQ(e.error().message, "not positive");
+    EXPECT_EQ(e.valueOr(-1), -1);
+}
+
+TEST(Expected, ValueThrowsVcErrorOnError)
+{
+    const Expected<int> e = parsePositive(0);
+    try {
+        (void)e.value();
+        FAIL() << "value() should have thrown";
+    } catch (const VcError &err) {
+        EXPECT_EQ(err.error().code, Errc::InvalidConfig);
+        // what() carries the described error for generic handlers.
+        EXPECT_NE(std::string(err.what()).find("not positive"),
+                  std::string::npos);
+    }
+}
+
+TEST(Expected, VoidSpecialisation)
+{
+    Expected<void> ok;
+    EXPECT_TRUE(ok.ok());
+    EXPECT_NO_THROW(ok.value());
+
+    Expected<void> bad = makeError(Errc::Io, "cannot open");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_THROW(bad.value(), VcError);
+    EXPECT_EQ(bad.error().code, Errc::Io);
+}
+
+TEST(ErrorStruct, CapturesCallSiteLocation)
+{
+    const Error e = makeError(Errc::MalformedTrace, "bad record");
+    // The file is the *basename* of this test file and the line is
+    // the makeError call above -- close enough to assert on the name.
+    EXPECT_EQ(e.file, "result_test.cc");
+    EXPECT_GT(e.line, 0u);
+}
+
+TEST(ErrorStruct, DescribeIncludesCodeMessageAndNotes)
+{
+    Error e = makeError(Errc::Timeout, "deadline expired");
+    e.note("grid point 42").note("while sweeping");
+    const std::string text = e.describe();
+    EXPECT_NE(text.find("Timeout"), std::string::npos);
+    EXPECT_NE(text.find("deadline expired"), std::string::npos);
+    EXPECT_NE(text.find("result_test.cc"), std::string::npos);
+    EXPECT_NE(text.find("grid point 42"), std::string::npos);
+    EXPECT_NE(text.find("while sweeping"), std::string::npos);
+    // Innermost note first.
+    EXPECT_LT(text.find("grid point 42"), text.find("while sweeping"));
+}
+
+TEST(ErrorStruct, ErrcNamesAreStable)
+{
+    EXPECT_STREQ(errcName(Errc::InvalidConfig), "InvalidConfig");
+    EXPECT_STREQ(errcName(Errc::MalformedTrace), "MalformedTrace");
+    EXPECT_STREQ(errcName(Errc::Io), "Io");
+    EXPECT_STREQ(errcName(Errc::Timeout), "Timeout");
+    EXPECT_STREQ(errcName(Errc::Cancelled), "Cancelled");
+    EXPECT_STREQ(errcName(Errc::InternalInvariant),
+                 "InternalInvariant");
+}
+
+} // namespace
+} // namespace vcache
