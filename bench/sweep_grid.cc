@@ -19,6 +19,7 @@
  */
 
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <vector>
 
@@ -133,7 +134,6 @@ main(int argc, char **argv)
             wl.reuseFactor = static_cast<double>(g.blockingFactor);
 
             const auto p = compareMachines(machine, wl);
-            w.stats.add(p.primeOverDirect());
 
             CsvRow row{"ok",
                        Table::format(std::uint64_t{1} << g.bankBits),
@@ -188,12 +188,27 @@ main(int argc, char **argv)
                    : "sweep incomplete -- CSV withheld");
     }
 
-    if (outcome.completedOk > 0) {
+    // Summarise the model speedup from the final rows, not a
+    // per-attempt accumulator: a point that failed and retried, or
+    // was replayed from the checkpoint on --resume, contributes
+    // exactly once, so the summary matches across retry and
+    // interrupt/resume cycles.
+    RunningStats speedup;
+    for (const auto &row : result.value().rows) {
+        if (row.size() < columns || row[0] != "ok")
+            continue;
+        // Columns 7/8 are cc_direct/cc_prime (see `headers`).
+        const double direct = std::strtod(row[7].c_str(), nullptr);
+        const double prime = std::strtod(row[8].c_str(), nullptr);
+        if (prime > 0.0)
+            speedup.add(direct / prime);
+    }
+    if (speedup.count() > 0) {
         inform("model prime-over-direct speedup across the grid: "
                "mean ",
-               Table::format(outcome.stats.mean()), ", min ",
-               Table::format(outcome.stats.min()), ", max ",
-               Table::format(outcome.stats.max()));
+               Table::format(speedup.mean()), ", min ",
+               Table::format(speedup.min()), ", max ",
+               Table::format(speedup.max()));
     }
 
     // Instrumented postlude: one representative traced point of the

@@ -33,6 +33,71 @@ hexByte(unsigned char c)
     return out;
 }
 
+/**
+ * A process killed mid-write leaves a torn final line (no trailing
+ * newline).  readCheckpoint tolerates that on replay, but appending
+ * after it would concatenate the next record onto the fragment,
+ * turning it into a mid-file line that a *second* resume rejects as
+ * corruption.  Heal the journal before appending by truncating back
+ * to the end of the last complete line.  Returns whether any complete
+ * lines remain.
+ */
+Expected<bool>
+healTornTail(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        // Nothing on disk yet; the append will create the file.
+        return false;
+    }
+    long size = 0;
+    long keep = 0; // bytes up to and including the last '\n'
+    int c;
+    while ((c = std::fgetc(f)) != EOF) {
+        ++size;
+        if (c == '\n')
+            keep = size;
+    }
+    const bool read_err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_err)
+        return makeError(Errc::Io, "cannot read checkpoint '" + path +
+                                       "': " + std::strerror(errno));
+    if (keep == size)
+        return size > 0;
+
+    warn("checkpoint '", path, "': dropping torn final line before "
+         "appending");
+#if defined(VCACHE_HAVE_FSYNC)
+    if (::truncate(path.c_str(), static_cast<off_t>(keep)) != 0)
+        return makeError(Errc::Io, "cannot truncate torn checkpoint '" +
+                                       path +
+                                       "': " + std::strerror(errno));
+#else
+    // Portable fallback: rewrite the intact prefix.
+    std::string prefix(static_cast<std::size_t>(keep), '\0');
+    std::FILE *in = std::fopen(path.c_str(), "rb");
+    if (!in || std::fread(prefix.data(), 1, prefix.size(), in) !=
+                   prefix.size()) {
+        if (in)
+            std::fclose(in);
+        return makeError(Errc::Io, "cannot re-read checkpoint '" +
+                                       path + "'");
+    }
+    std::fclose(in);
+    std::FILE *out = std::fopen(path.c_str(), "wb");
+    if (!out || std::fwrite(prefix.data(), 1, prefix.size(), out) !=
+                    prefix.size()) {
+        if (out)
+            std::fclose(out);
+        return makeError(Errc::Io, "cannot rewrite checkpoint '" +
+                                       path + "'");
+    }
+    std::fclose(out);
+#endif
+    return keep > 0;
+}
+
 } // namespace
 
 std::string
@@ -84,6 +149,15 @@ Expected<std::unique_ptr<CheckpointWriter>>
 CheckpointWriter::open(const std::string &path,
                        const CheckpointHeader &header, bool append)
 {
+    if (append) {
+        auto healed = healTornTail(path);
+        if (!healed.ok())
+            return healed.error();
+        // Healing can leave an empty file (nothing but a torn line);
+        // fall back to writing a fresh header.
+        if (!healed.value())
+            append = false;
+    }
     std::FILE *f = std::fopen(path.c_str(), append ? "ab" : "wb");
     if (!f)
         return makeError(Errc::Io, "cannot open checkpoint '" + path +

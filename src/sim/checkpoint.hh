@@ -18,8 +18,10 @@
  * The header pins the sweep identity; resuming against a journal
  * whose label/points/seed differ is an InvalidConfig error rather
  * than a silently-wrong CSV.  A torn final line (the process died
- * mid-write) is ignored on replay; corruption anywhere else is an
- * error.  The last record for a point wins, so a point that failed in
+ * mid-write) is ignored on replay and truncated away before a resume
+ * appends, so repeated crash/resume cycles never leave mid-file
+ * corruption; corruption anywhere else is an error.  The last record
+ * for a point wins, so a point that failed in
  * one run and succeeded after a resume replays as done.
  */
 
@@ -55,7 +57,8 @@ class CheckpointWriter
     /**
      * Open a journal.  With `append` false the file is truncated and
      * a fresh header written; with true (resume) records append after
-     * the existing content.
+     * the existing content, first truncating away any torn final line
+     * a killed run left behind.
      */
     static Expected<std::unique_ptr<CheckpointWriter>>
     open(const std::string &path, const CheckpointHeader &header,

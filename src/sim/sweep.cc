@@ -51,14 +51,26 @@ constexpr auto kBackoffSlice = std::chrono::milliseconds(25);
  * Interrupt request shared between the signal handler and the sweep.
  * The handler writes nothing but this flag -- no locks, no I/O, no
  * allocation -- which is the whole async-signal-safety contract; the
- * monitor thread polls it on its normal tick.
+ * monitor thread polls it on its normal tick.  A lock-free atomic
+ * (asserted below) is async-signal-safe like sig_atomic_t but also
+ * race-free for the worker threads and requestSweepInterrupt(),
+ * which read and write it off the signal path.
  */
-volatile std::sig_atomic_t g_sweep_interrupt = 0;
+std::atomic<int> g_sweep_interrupt{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler needs a lock-free interrupt flag");
 
 void
 sweepSignalHandler(int)
 {
-    g_sweep_interrupt = 1;
+    g_sweep_interrupt.store(1, std::memory_order_relaxed);
+}
+
+/** Poll the drain flag (signal handler or cross-thread request). */
+bool
+interruptPending()
+{
+    return g_sweep_interrupt.load(std::memory_order_relaxed) != 0;
 }
 
 /** Install SIGINT/SIGTERM drain handlers for one sweep's lifetime. */
@@ -176,19 +188,19 @@ retryBackoffMs(std::uint64_t seed, std::size_t point, unsigned attempt,
 void
 requestSweepInterrupt()
 {
-    g_sweep_interrupt = 1;
+    g_sweep_interrupt.store(1, std::memory_order_relaxed);
 }
 
 bool
 sweepInterruptRequested()
 {
-    return g_sweep_interrupt != 0;
+    return interruptPending();
 }
 
 void
 clearSweepInterrupt()
 {
-    g_sweep_interrupt = 0;
+    g_sweep_interrupt.store(0, std::memory_order_relaxed);
 }
 
 SweepOutcome
@@ -257,6 +269,14 @@ runSweep(std::size_t points,
     /** Evaluate one point with retry/backoff; never throws. */
     auto runPoint = [&](std::size_t i, SweepWorker &w) {
         const auto point_start = std::chrono::steady_clock::now();
+        auto recordFailure = [&](Error e, unsigned attempts) {
+            const double spent =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - point_start)
+                    .count();
+            std::lock_guard<std::mutex> lock(failures_mtx);
+            failures.push_back({i, std::move(e), attempts, spent});
+        };
         for (unsigned attempt = 1;; ++attempt) {
             w.cancel.beginEpoch();
             w.activeSinceMs.store(elapsedMs(),
@@ -279,7 +299,7 @@ runSweep(std::size_t points,
             }
 
             const bool last = attempt >= opts.maxAttempts ||
-                              g_sweep_interrupt != 0;
+                              interruptPending();
             warn(opts.label, ": point ", i, " failed (attempt ",
                  attempt, "/", opts.maxAttempts, "): ",
                  err.describe(), last && attempt < opts.maxAttempts
@@ -287,22 +307,15 @@ runSweep(std::size_t points,
                                        "retrying"
                                      : "");
             if (last) {
-                const double spent =
-                    std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - point_start)
-                        .count();
-                std::lock_guard<std::mutex> lock(failures_mtx);
-                failures.push_back(
-                    {i, std::move(err), attempt, spent});
+                recordFailure(std::move(err), attempt);
                 return;
             }
-            retry_count.fetch_add(1, std::memory_order_relaxed);
 
             // Deterministic backoff, sliced so a drain interrupts it.
             double wait_ms = retryBackoffMs(opts.seed, i, attempt,
                                             opts.backoffBaseMs,
                                             opts.backoffMaxMs);
-            while (wait_ms > 0.0 && g_sweep_interrupt == 0) {
+            while (wait_ms > 0.0 && !interruptPending()) {
                 const auto slice = std::min<double>(
                     wait_ms,
                     static_cast<double>(kBackoffSlice.count()));
@@ -310,6 +323,16 @@ runSweep(std::size_t points,
                     std::chrono::duration<double, std::milli>(slice));
                 wait_ms -= slice;
             }
+            // A drain that arrived mid-backoff must not burn a whole
+            // extra attempt; record the failure and let the worker
+            // exit.
+            if (interruptPending()) {
+                warn(opts.label, ": point ", i, " -- drain requested "
+                     "during backoff, not retrying");
+                recordFailure(std::move(err), attempt);
+                return;
+            }
+            retry_count.fetch_add(1, std::memory_order_relaxed);
         }
     };
 
@@ -372,7 +395,7 @@ runSweep(std::size_t points,
         double next_report = kProgressPeriod;
         while (done.load(std::memory_order_acquire) < points) {
             done_cv.wait_for(lock, std::chrono::milliseconds(100));
-            if (g_sweep_interrupt != 0 && !draining) {
+            if (interruptPending() && !draining) {
                 draining = true;
                 // Stop claims; in-flight points finish (or skip their
                 // remaining retries) and the journal flushes.

@@ -145,6 +145,55 @@ TEST(Checkpoint, ToleratesTornFinalLine)
     EXPECT_TRUE(replay.value().done.count(4));
 }
 
+TEST(Checkpoint, AppendAfterTornTailHealsTheJournal)
+{
+    // Crash -> resume -> crash -> resume: the resume append must not
+    // concatenate its first record onto the previous run's torn final
+    // line, or the *second* resume sees a corrupt mid-file line.
+    TempPath path("ckpt_torn_append.jsonl");
+    {
+        auto writer = CheckpointWriter::open(path.str(), header(), false);
+        ASSERT_TRUE(writer.ok());
+        ASSERT_TRUE(writer.value()->recordDone(1, {"one"}).ok());
+    }
+    {
+        // First crash: SIGKILL mid-write leaves a torn record.
+        std::ofstream out(path.str(), std::ios::app);
+        out << "{\"point\":2,\"status\":\"ok\",\"row\":[\"tw";
+    }
+    auto replay = readCheckpoint(path.str());
+    ASSERT_TRUE(replay.ok()) << replay.error().describe();
+    {
+        // First resume appends the re-run point.
+        auto writer = CheckpointWriter::open(path.str(), header(), true);
+        ASSERT_TRUE(writer.ok()) << writer.error().describe();
+        ASSERT_TRUE(writer.value()->recordDone(2, {"two"}).ok());
+    }
+    {
+        // Second crash.
+        std::ofstream out(path.str(), std::ios::app);
+        out << "{\"point\":3,\"st";
+    }
+    // The second resume must still parse every completed record.
+    replay = readCheckpoint(path.str());
+    ASSERT_TRUE(replay.ok()) << replay.error().describe();
+    EXPECT_EQ(replay.value().done.size(), 2u);
+    EXPECT_EQ(replay.value().done.at(1),
+              (std::vector<std::string>{"one"}));
+    EXPECT_EQ(replay.value().done.at(2),
+              (std::vector<std::string>{"two"}));
+
+    // And a further heal-append-read cycle stays clean.
+    {
+        auto writer = CheckpointWriter::open(path.str(), header(), true);
+        ASSERT_TRUE(writer.ok());
+        ASSERT_TRUE(writer.value()->recordDone(3, {"three"}).ok());
+    }
+    replay = readCheckpoint(path.str());
+    ASSERT_TRUE(replay.ok()) << replay.error().describe();
+    EXPECT_EQ(replay.value().done.size(), 3u);
+}
+
 TEST(Checkpoint, RejectsCorruptionBeforeTheFinalLine)
 {
     TempPath path("ckpt_corrupt.jsonl");
