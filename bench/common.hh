@@ -3,6 +3,18 @@
  * Shared plumbing for the figure-reproduction benches: a banner that
  * states which paper result the binary regenerates, plus the
  * parameter conventions of Section 3.4.
+ *
+ * Throughput convention for the Google-Benchmark micro suite
+ * (bench/micro_sim_throughput.cc): items/s always means *aggregate*
+ * work completed per second of wall-clock time -- elements simulated,
+ * grid points swept, jobs drained -- regardless of how many threads
+ * did the work.  Single-threaded benches get that for free from CPU
+ * time; any bench that hands work to a thread pool MUST also call
+ * ->UseRealTime(), because the default CPU-time denominator only
+ * charges the calling thread and would overstate (or understate,
+ * when the caller blocks) pool throughput.  Under this convention
+ * the Arg(1)-vs-Arg(N) items/s ratio of a pool bench is directly the
+ * parallel speedup on the host.
  */
 
 #ifndef VCACHE_BENCH_COMMON_HH

@@ -128,6 +128,50 @@ BM_StreamingCcSimulator(benchmark::State &state, CacheScheme scheme)
 BENCHMARK_CAPTURE(BM_StreamingCcSimulator, prime, CacheScheme::Prime);
 
 /**
+ * Run batching on its target workload: a streaming constant-stride
+ * kernel re-sweeping its working set.  The scalar/batched pair pins
+ * the speedup of the closed-form fast-forward (the tracked baseline
+ * gates both entries); elements/s is the figure of merit.
+ */
+void
+BM_BatchedCcSimulator(benchmark::State &state, SimEngine engine)
+{
+    constexpr std::uint64_t kLength = 4096;
+    constexpr std::uint64_t kRepeats = 100;
+    ConstantStrideSource source(0, 3, kLength, kRepeats, true);
+    CcSimulator sim(paperMachineM32(), CacheScheme::Prime);
+    sim.setEngine(engine);
+    for (auto _ : state) {
+        sim.reset();
+        source.reset();
+        benchmark::DoNotOptimize(sim.run(source));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * kLength * kRepeats));
+}
+BENCHMARK_CAPTURE(BM_BatchedCcSimulator, scalar, SimEngine::Scalar);
+BENCHMARK_CAPTURE(BM_BatchedCcSimulator, batched, SimEngine::Auto);
+
+void
+BM_BatchedMmSimulator(benchmark::State &state, SimEngine engine)
+{
+    constexpr std::uint64_t kLength = 4096;
+    constexpr std::uint64_t kRepeats = 100;
+    ConstantStrideSource source(0, 3, kLength, kRepeats, true);
+    MmSimulator sim(paperMachineM32());
+    sim.setEngine(engine);
+    for (auto _ : state) {
+        sim.reset();
+        source.reset();
+        benchmark::DoNotOptimize(sim.run(source));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * kLength * kRepeats));
+}
+BENCHMARK_CAPTURE(BM_BatchedMmSimulator, scalar, SimEngine::Scalar);
+BENCHMARK_CAPTURE(BM_BatchedMmSimulator, batched, SimEngine::Auto);
+
+/**
  * Parallel sweep over a small model+sim grid; the benchmark argument
  * is the worker count, so the 1-vs-N ratio is the engine's speedup on
  * this host.
@@ -168,7 +212,12 @@ BM_ParallelSweepModelSim(benchmark::State &state)
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations() * grid.size()));
 }
-BENCHMARK(BM_ParallelSweepModelSim)->Arg(1)->Arg(2)->Arg(4);
+// UseRealTime: the work happens on pool threads, so CPU time of the
+// calling thread would misreport throughput (see the items/s
+// convention in bench/common.hh).  With wall time, items/s is the
+// aggregate grid points per second across all workers, and the
+// Arg(1)-vs-Arg(N) ratio is the parallel speedup.
+BENCHMARK(BM_ParallelSweepModelSim)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 /** Pool overhead: submit/drain many empty jobs. */
 void

@@ -57,7 +57,8 @@ struct SimPoint
 
 SimPoint
 simulatePoint(const MachineParams &machine, std::uint64_t b,
-              double p_ds, std::uint64_t seed, const CancelToken *cancel)
+              double p_ds, std::uint64_t seed, const CancelToken *cancel,
+              SimEngine engine)
 {
     VcmParams p;
     p.blockingFactor = b;
@@ -71,16 +72,17 @@ simulatePoint(const MachineParams &machine, std::uint64_t b,
     SimPoint out{};
     p.maxStride = machine.banks();
     VcmTraceSource mm_source(p, seed);
-    out.mm = simulateMm(machine, mm_source, cancel).cyclesPerResult();
+    out.mm = simulateMm(machine, mm_source, cancel, engine)
+                 .cyclesPerResult();
     p.maxStride = 8192;
     VcmTraceSource cc_source(p, seed);
-    out.direct =
-        simulateCc(machine, CacheScheme::Direct, cc_source, cancel)
-            .cyclesPerResult();
+    out.direct = simulateCc(machine, CacheScheme::Direct, cc_source,
+                            cancel, engine)
+                     .cyclesPerResult();
     cc_source.reset();
-    out.prime =
-        simulateCc(machine, CacheScheme::Prime, cc_source, cancel)
-            .cyclesPerResult();
+    out.prime = simulateCc(machine, CacheScheme::Prime, cc_source,
+                           cancel, engine)
+                    .cyclesPerResult();
     return out;
 }
 
@@ -95,9 +97,17 @@ main(int argc, char **argv)
     addObsFlags(args);
     args.addFlag("sim", "true",
                  "also run the MM/CC simulators at every point");
+    args.addFlag("engine", "auto",
+                 "simulator engine: auto (run-batched fast-forward) "
+                 "or scalar (element-wise reference); the CSV is "
+                 "byte-identical either way");
     args.parse(argc, argv);
     SweepOptions opts = sweepOptionsFromFlags(args, "sweep_grid");
     const bool sim = args.getBool("sim");
+    const auto engine = parseSimEngine(args.getString("engine"));
+    if (!engine)
+        vc_fatal("unknown --engine (expected auto or scalar): " +
+                 args.getString("engine"));
 
     // The engine publishes sweep.points_ok / sweep.points_failed /
     // sweep.point_retries / sweep.interrupted here; the ObsSession
@@ -152,7 +162,8 @@ main(int argc, char **argv)
                     opts.seed + 1000003 * (index + 1);
                 const auto s =
                     simulatePoint(machine, g.blockingFactor,
-                                  wl.pDoubleStream, seed, &w.cancel);
+                                  wl.pDoubleStream, seed, &w.cancel,
+                                  *engine);
                 row.push_back(Table::format(s.mm));
                 row.push_back(Table::format(s.direct));
                 row.push_back(Table::format(s.prime));

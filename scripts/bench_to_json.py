@@ -60,7 +60,10 @@ def main(argv: list[str]) -> None:
         fail(f"no benchmark in {raw_path} reported items_per_second")
 
     def rate_of(name: str):
-        entry = items.get(name)
+        # Pool benches run under ->UseRealTime(), which suffixes the
+        # benchmark name; accept either form so the summary key is
+        # stable across that convention change.
+        entry = items.get(name) or items.get(name + "/real_time")
         return entry["items_per_second"] if entry else None
 
     summary = {
@@ -77,6 +80,17 @@ def main(argv: list[str]) -> None:
             rate_of("BM_FunctionalPrimeCache"),
         "sweep_points_per_s_jobs1":
             rate_of("BM_ParallelSweepModelSim/1"),
+        # Run-batched engine on its streaming constant-stride
+        # workload, next to the forced element-wise reference; CI
+        # gates both rates and reports the batched/scalar ratio.
+        "cc_batched_elements_per_s":
+            rate_of("BM_BatchedCcSimulator/batched"),
+        "cc_batched_scalar_elements_per_s":
+            rate_of("BM_BatchedCcSimulator/scalar"),
+        "mm_batched_elements_per_s":
+            rate_of("BM_BatchedMmSimulator/batched"),
+        "mm_batched_scalar_elements_per_s":
+            rate_of("BM_BatchedMmSimulator/scalar"),
     }
 
     out = {

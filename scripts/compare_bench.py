@@ -3,6 +3,12 @@
 
 Usage:
     compare_bench.py BASELINE_JSON CURRENT_JSON [--tolerance FRAC]
+                     [--allow-build-type-mismatch]
+
+Both files must have been measured under the same
+context.build_type; a Debug-vs-Release comparison is refused unless
+explicitly overridden, since optimizer differences dwarf any real
+regression.
 
 Both files are in the BENCH_sim.json format written by
 bench_to_json.py.  The comparison walks the "summary" rates (elements
@@ -20,7 +26,7 @@ import json
 import sys
 
 
-def load_summary(path: str) -> dict:
+def load_doc(path: str) -> dict:
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -33,7 +39,29 @@ def load_summary(path: str) -> dict:
         print(f"compare_bench: {path} has no summary object",
               file=sys.stderr)
         raise SystemExit(1)
-    return summary
+    return doc
+
+
+def check_build_types(base_doc: dict, curr_doc: dict,
+                      base_path: str, curr_path: str,
+                      allow_mismatch: bool) -> None:
+    """Refuse Debug-vs-Release comparisons: a debug candidate against a
+    release baseline reads as a catastrophic regression (and the other
+    way round silently waves a real one through)."""
+    base_bt = base_doc.get("context", {}).get("build_type")
+    curr_bt = curr_doc.get("context", {}).get("build_type")
+    if base_bt == curr_bt:
+        return
+    msg = (f"compare_bench: build_type mismatch: {base_path} is "
+           f"{base_bt!r} but {curr_path} is {curr_bt!r} -- rates are "
+           f"not comparable across build types")
+    if allow_mismatch:
+        print(msg + " (continuing: --allow-build-type-mismatch)",
+              file=sys.stderr)
+        return
+    print(msg + " (pass --allow-build-type-mismatch to override)",
+          file=sys.stderr)
+    raise SystemExit(1)
 
 
 def main() -> int:
@@ -46,10 +74,20 @@ def main() -> int:
         default=0.05,
         help="allowed fractional slowdown (default 0.05)",
     )
+    parser.add_argument(
+        "--allow-build-type-mismatch",
+        action="store_true",
+        help="warn instead of failing when the two files were "
+             "measured under different context.build_type values",
+    )
     args = parser.parse_args()
 
-    base = load_summary(args.baseline)
-    curr = load_summary(args.current)
+    base_doc = load_doc(args.baseline)
+    curr_doc = load_doc(args.current)
+    check_build_types(base_doc, curr_doc, args.baseline, args.current,
+                      args.allow_build_type_mismatch)
+    base = base_doc["summary"]
+    curr = curr_doc["summary"]
 
     compared = 0
     failures = []

@@ -26,9 +26,11 @@
 #include <cstdint>
 #include <string>
 #include <type_traits>
+#include <vector>
 
 #include "address/fields.hh"
 #include "cache/stats.hh"
+#include "numtheory/gcd.hh"
 #include "util/types.hh"
 
 namespace vcache
@@ -40,6 +42,64 @@ enum class AccessType
     Read,
     Write,
 };
+
+/**
+ * Closed-form outcome of re-probing a whole constant-stride run whose
+ * end state the cache already holds (see probeSteadyRun on the direct
+ * and prime mappings).  `warmLo`/`warmHi` give the half-open interval
+ * of element offsets whose frame still holds exactly that element's
+ * address, so those elements hit and a strip whose head offset lies
+ * in [warmLo, warmHi) starts warm (the Equation-4 start-up credit).
+ */
+struct SteadyRunProbe
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t warmLo = 0;
+    std::uint64_t warmHi = 0;
+};
+
+/**
+ * Period of the frame-index sequence of a stride-`stride` run on a
+ * modulo-`frames` mapping: (base + i*stride) mod frames repeats every
+ * frames / gcd(|stride| mod frames, frames) elements -- the paper's
+ * "number of lines visited" quantity, reused here to bound how much
+ * cache state a run can touch.  stride == 0 gives period 1.
+ */
+inline std::uint64_t
+steadyRunPeriod(std::uint64_t frames, std::int64_t stride)
+{
+    return frames / gcd(floorMod(stride, frames), frames);
+}
+
+/**
+ * Steady-state replay of a constant-stride run on a modulo-`frames`
+ * direct-style mapping, in closed form.
+ *
+ * Precondition: the cache already holds the run's *canonical end
+ * state* -- every touched frame holds the last (highest-index)
+ * element of its residue class, which is what any complete
+ * element-wise pass over the run leaves behind, whatever the prior
+ * contents.  Replaying the run from that state, element i (< length)
+ * hits exactly when its frame still holds element i itself: i must be
+ * in the last period (i >= length - P, nothing overwrote it since)
+ * and in the first (i < P, no earlier element of this pass overwrote
+ * it).  Addresses must be distinct and non-wrapping for that argument
+ * (callers check spansWithoutWrap()); stride == 0 is the one-address
+ * special case where everything hits.
+ */
+inline SteadyRunProbe
+steadyRunProbe(std::uint64_t frames, std::int64_t stride,
+               std::uint64_t length)
+{
+    if (stride == 0)
+        return {length, 0, 0, length};
+    const std::uint64_t period = steadyRunPeriod(frames, stride);
+    const std::uint64_t lo = length > period ? length - period : 0;
+    const std::uint64_t hi = period < length ? period : length;
+    const std::uint64_t hits = hi > lo ? hi - lo : 0;
+    return {hits, length - hits, lo, hi};
+}
 
 /** Result of one cache access. */
 struct AccessOutcome
@@ -128,6 +188,25 @@ class Cache
         }
     }
 
+    /**
+     * Credit the counters of a whole batch of accesses resolved
+     * without touching the tag array -- the run-batched simulator's
+     * extrapolation step, replaying a stats delta it measured (or
+     * derived in closed form) from an element-wise pass that provably
+     * left the cache state unchanged.
+     */
+    void
+    applyStatsDelta(const CacheStats &delta)
+    {
+        stats_.accesses += delta.accesses;
+        stats_.reads += delta.reads;
+        stats_.writes += delta.writes;
+        stats_.hits += delta.hits;
+        stats_.misses += delta.misses;
+        stats_.evictions += delta.evictions;
+        stats_.writebacks += delta.writebacks;
+    }
+
     /** Count a prefetch-fill outcome (write-back traffic only). */
     void
     recordFill(const AccessOutcome &outcome)
@@ -184,6 +263,31 @@ class Cache
 
     /** Number of distinct frameIndex() values (histogram domain). */
     virtual std::uint64_t numSets() const { return numLines(); }
+
+    /**
+     * Serialize, into `out`, everything a constant-stride run `base +
+     * i*stride` (word addresses, i < length) could consult or mutate:
+     * for each element in access order, the frame/set it indexes and
+     * that frame's (valid, line, flags) tuple -- plus, for associative
+     * organizations, the replacement state reduced to within-set
+     * ranks (absolute policy clocks advance monotonically; only the
+     * order ever influences a victim choice).
+     *
+     * Two equal serializations therefore guarantee the cache behaves
+     * identically on any future access sequence confined to the run's
+     * addresses: the contract behind the batched simulator's
+     * snapshot/verify/extrapolate tier (see docs in sim/cc_sim.hh).
+     *
+     * @return false when the organization cannot serialize its run
+     *         state (callers must then fall back to element-wise
+     *         replay); every scheme in this library returns true
+     */
+    virtual bool
+    appendRunState(Addr, std::int64_t, std::uint64_t,
+                   std::vector<std::uint64_t> &) const
+    {
+        return false;
+    }
 
     /** Fraction of lines valid, the paper's "fraction of cache used". */
     double utilization() const;

@@ -26,4 +26,68 @@ DirectMappedCache::validLines() const
     return n;
 }
 
+bool
+DirectMappedCache::verifySteadyRun(Addr base, std::int64_t stride,
+                                   std::uint64_t length) const
+{
+    if (length == 0)
+        return true;
+    // The period/distinctness arguments need one word per line and a
+    // non-wrapping progression.
+    if (layout_.offsetBits() != 0 ||
+        !spansWithoutWrap(base, stride, length))
+        return false;
+    const std::uint64_t period =
+        steadyRunPeriod(frames.size(), stride);
+    const std::uint64_t distinct = period < length ? period : length;
+    for (std::uint64_t r = 0; r < distinct; ++r) {
+        // Last element of residue class r: the line this frame must
+        // hold after any complete pass over the run.
+        const std::uint64_t last =
+            r + (length - 1 - r) / period * period;
+        const Addr addr = static_cast<Addr>(
+            static_cast<std::int64_t>(base) +
+            stride * static_cast<std::int64_t>(last));
+        const Frame &frame = frames[frameOf(addr)];
+        if (!frame.valid || frame.line != addr)
+            return false;
+        // Classes with two or more distinct addresses get their frame
+        // refilled on replay; a flag bit there would mean a writeback
+        // or a flag change, breaking the fixed point.
+        if (stride != 0 && r + period < length && frame.flags != 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+DirectMappedCache::appendRunState(Addr base, std::int64_t stride,
+                                  std::uint64_t length,
+                                  std::vector<std::uint64_t> &out) const
+{
+    if (length == 0)
+        return true;
+    if (layout_.offsetBits() != 0 ||
+        !spansWithoutWrap(base, stride, length))
+        return false;
+    // The frame-index sequence repeats with the gcd period, so the
+    // first min(length, period) elements index every frame the run
+    // can touch.
+    const std::uint64_t period =
+        steadyRunPeriod(frames.size(), stride);
+    const std::uint64_t distinct = period < length ? period : length;
+    for (std::uint64_t r = 0; r < distinct; ++r) {
+        const Addr addr = static_cast<Addr>(
+            static_cast<std::int64_t>(base) +
+            stride * static_cast<std::int64_t>(r));
+        const std::uint64_t f = frameOf(addr);
+        const Frame &frame = frames[f];
+        out.push_back(f);
+        out.push_back(frame.valid);
+        out.push_back(frame.line);
+        out.push_back(frame.flags);
+    }
+    return true;
+}
+
 } // namespace vcache

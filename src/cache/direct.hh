@@ -85,6 +85,30 @@ class DirectMappedCache final : public Cache
         return frameOf(line_addr);
     }
 
+    /** Closed-form steady-state replay of a run (see cache.hh). */
+    SteadyRunProbe
+    probeSteadyRun(std::int64_t stride, std::uint64_t length) const
+    {
+        return steadyRunProbe(frames.size(), stride, length);
+    }
+
+    /**
+     * True when the cache provably holds the run's canonical end
+     * state *and* replaying the run is an exact fixed point: every
+     * touched frame holds the last element of its residue class, and
+     * the frames the replay would refill carry no flag bits (so no
+     * writeback and no flag change can occur).  One O(min(length,
+     * period)) walk over the distinct frames; the batched simulator
+     * calls it once per run identity before trusting
+     * probeSteadyRun().
+     */
+    bool verifySteadyRun(Addr base, std::int64_t stride,
+                         std::uint64_t length) const;
+
+    bool appendRunState(Addr base, std::int64_t stride,
+                        std::uint64_t length,
+                        std::vector<std::uint64_t> &out) const override;
+
   private:
     struct Frame
     {

@@ -35,4 +35,60 @@ PrimeMappedCache::validLines() const
     return n;
 }
 
+bool
+PrimeMappedCache::verifySteadyRun(Addr base, std::int64_t stride,
+                                  std::uint64_t length) const
+{
+    if (length == 0)
+        return true;
+    // Mod-(2^c - 1) periodicity only holds for the true integer
+    // progression: one word per line, no 2^64 wraparound.
+    if (layout_.offsetBits() != 0 ||
+        !spansWithoutWrap(base, stride, length))
+        return false;
+    const std::uint64_t period =
+        steadyRunPeriod(frames.size(), stride);
+    const std::uint64_t distinct = period < length ? period : length;
+    for (std::uint64_t r = 0; r < distinct; ++r) {
+        const std::uint64_t last =
+            r + (length - 1 - r) / period * period;
+        const Addr addr = static_cast<Addr>(
+            static_cast<std::int64_t>(base) +
+            stride * static_cast<std::int64_t>(last));
+        const Frame &frame = frames[frameOf(addr)];
+        if (!frame.valid || frame.line != addr)
+            return false;
+        if (stride != 0 && r + period < length && frame.flags != 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+PrimeMappedCache::appendRunState(Addr base, std::int64_t stride,
+                                 std::uint64_t length,
+                                 std::vector<std::uint64_t> &out) const
+{
+    if (length == 0)
+        return true;
+    if (layout_.offsetBits() != 0 ||
+        !spansWithoutWrap(base, stride, length))
+        return false;
+    const std::uint64_t period =
+        steadyRunPeriod(frames.size(), stride);
+    const std::uint64_t distinct = period < length ? period : length;
+    for (std::uint64_t r = 0; r < distinct; ++r) {
+        const Addr addr = static_cast<Addr>(
+            static_cast<std::int64_t>(base) +
+            stride * static_cast<std::int64_t>(r));
+        const std::uint64_t f = frameOf(addr);
+        const Frame &frame = frames[f];
+        out.push_back(f);
+        out.push_back(frame.valid);
+        out.push_back(frame.line);
+        out.push_back(frame.flags);
+    }
+    return true;
+}
+
 } // namespace vcache

@@ -103,6 +103,22 @@ class PrimeMappedCache final : public Cache
         return frameOf(line_addr);
     }
 
+    /** Closed-form steady-state replay of a run (see cache.hh). */
+    SteadyRunProbe
+    probeSteadyRun(std::int64_t stride, std::uint64_t length) const
+    {
+        return steadyRunProbe(frames.size(), stride, length);
+    }
+
+    /** Canonical-end-state fixed-point check; see the direct-mapped
+     *  twin for the contract. */
+    bool verifySteadyRun(Addr base, std::int64_t stride,
+                         std::uint64_t length) const;
+
+    bool appendRunState(Addr base, std::int64_t stride,
+                        std::uint64_t length,
+                        std::vector<std::uint64_t> &out) const override;
+
   private:
     struct Frame
     {

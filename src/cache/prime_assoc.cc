@@ -139,4 +139,39 @@ PrimeSetAssociativeCache::validLines() const
     return n;
 }
 
+bool
+PrimeSetAssociativeCache::appendRunState(
+    Addr base, std::int64_t stride, std::uint64_t length,
+    std::vector<std::uint64_t> &out) const
+{
+    if (length == 0)
+        return true;
+    // The prime modulus is only periodic over the true integer
+    // progression (one word per line, no 2^64 wrap); otherwise fall
+    // back to serializing every element's set.
+    std::uint64_t distinct = length;
+    if (layout_.offsetBits() == 0 &&
+        spansWithoutWrap(base, stride, length)) {
+        const std::uint64_t period = steadyRunPeriod(sets, stride);
+        if (period < distinct)
+            distinct = period;
+    }
+    for (std::uint64_t r = 0; r < distinct; ++r) {
+        const Addr addr = static_cast<Addr>(
+            static_cast<std::int64_t>(base) +
+            stride * static_cast<std::int64_t>(r));
+        const std::uint64_t set = setOf(layout_.lineAddress(addr));
+        out.push_back(set);
+        const Way *way = &frames[set * ways];
+        for (unsigned w = 0; w < ways; ++w) {
+            out.push_back(way[w].valid);
+            out.push_back(way[w].line);
+            out.push_back(way[w].flags);
+        }
+        appendReplacementRanks(*policy, set, ways, out);
+    }
+    out.push_back(policy->stateToken());
+    return true;
+}
+
 } // namespace vcache

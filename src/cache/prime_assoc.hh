@@ -62,6 +62,10 @@ class PrimeSetAssociativeCache final : public Cache
     unsigned associativity() const { return ways; }
     std::uint64_t numSets() const override { return sets; }
 
+    bool appendRunState(Addr base, std::int64_t stride,
+                        std::uint64_t length,
+                        std::vector<std::uint64_t> &out) const override;
+
   private:
     struct Way
     {

@@ -111,6 +111,7 @@ RandomPolicy::fill(std::uint64_t, unsigned)
 unsigned
 RandomPolicy::victim(std::uint64_t)
 {
+    ++draws;
     return static_cast<unsigned>(rng.uniformInt(0, ways - 1));
 }
 
@@ -118,6 +119,7 @@ void
 RandomPolicy::reset()
 {
     rng.seed(seed);
+    draws = 0;
 }
 
 std::unique_ptr<ReplacementPolicy>

@@ -10,9 +10,11 @@
 #ifndef VCACHE_CACHE_REPLACEMENT_HH
 #define VCACHE_CACHE_REPLACEMENT_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/rng.hh"
@@ -47,6 +49,28 @@ class ReplacementPolicy
 
     /** Policy name for reports. */
     virtual std::string name() const = 0;
+
+    /**
+     * Opaque per-way age/recency value for (set, way).  Only the
+     * *relative order* of the values within one set is meaningful --
+     * victim() decisions compare ways of a set, never absolute
+     * clocks -- so callers snapshotting policy state (the batched
+     * simulator's fixed-point check) must reduce these to within-set
+     * ranks before comparing snapshots taken at different times.
+     * Policies without per-way state (Random) return 0 for every way.
+     */
+    virtual std::uint64_t stateOf(std::uint64_t set,
+                                  unsigned way) const = 0;
+
+    /**
+     * Global state marker covering whatever stateOf()'s within-set
+     * ranks cannot: for Random, the number of RNG draws consumed so
+     * far, so two snapshots only compare equal when no victim was
+     * drawn between them (extrapolating over skipped draws would
+     * desynchronize the RNG stream from an element-wise replay).
+     * Policies fully described by their per-way ranks return 0.
+     */
+    virtual std::uint64_t stateToken() const { return 0; }
 };
 
 /** Least recently used. */
@@ -59,6 +83,12 @@ class LruPolicy : public ReplacementPolicy
     unsigned victim(std::uint64_t set) override;
     void reset() override;
     std::string name() const override { return "LRU"; }
+
+    std::uint64_t
+    stateOf(std::uint64_t set, unsigned way) const override
+    {
+        return lastUse[set * ways + way];
+    }
 
   private:
     unsigned ways = 0;
@@ -76,6 +106,12 @@ class FifoPolicy : public ReplacementPolicy
     unsigned victim(std::uint64_t set) override;
     void reset() override;
     std::string name() const override { return "FIFO"; }
+
+    std::uint64_t
+    stateOf(std::uint64_t set, unsigned way) const override
+    {
+        return fillTime[set * ways + way];
+    }
 
   private:
     unsigned ways = 0;
@@ -96,11 +132,47 @@ class RandomPolicy : public ReplacementPolicy
     void reset() override;
     std::string name() const override { return "Random"; }
 
+    /** Random keeps no per-way state; every way ranks equal. */
+    std::uint64_t
+    stateOf(std::uint64_t, unsigned) const override
+    {
+        return 0;
+    }
+
+    /** RNG draws consumed; see ReplacementPolicy::stateToken(). */
+    std::uint64_t stateToken() const override { return draws; }
+
   private:
     unsigned ways = 0;
     std::uint64_t seed;
     Rng rng;
+    std::uint64_t draws = 0;
 };
+
+/**
+ * Append one set's replacement state to `out`, reduced to within-set
+ * ranks: way w gets the number of ways ordered before it by
+ * (stateOf value, way index).  That pair-order is exactly what
+ * victim() consults (the scan keeps the first minimum, i.e. breaks
+ * ties toward the lower way), so two snapshots with equal ranks
+ * guarantee identical victim choices -- even though the absolute
+ * LRU/FIFO clocks keep growing between passes.
+ */
+inline void
+appendReplacementRanks(const ReplacementPolicy &policy,
+                       std::uint64_t set, unsigned ways,
+                       std::vector<std::uint64_t> &out)
+{
+    std::vector<std::pair<std::uint64_t, unsigned>> order;
+    order.reserve(ways);
+    for (unsigned w = 0; w < ways; ++w)
+        order.emplace_back(policy.stateOf(set, w), w);
+    std::sort(order.begin(), order.end());
+    const std::size_t first = out.size();
+    out.resize(first + ways);
+    for (unsigned rank = 0; rank < ways; ++rank)
+        out[first + order[rank].second] = rank;
+}
 
 /** Replacement policy selector. */
 enum class ReplacementKind

@@ -133,6 +133,40 @@ SetAssociativeCache::validLines() const
     return n;
 }
 
+bool
+SetAssociativeCache::appendRunState(
+    Addr base, std::int64_t stride, std::uint64_t length,
+    std::vector<std::uint64_t> &out) const
+{
+    if (length == 0)
+        return true;
+    // A power-of-two set count survives 2^64 wraparound, so for
+    // one-word lines the gcd period bounds the walk to each touched
+    // set exactly once; other geometries serialize every element.
+    std::uint64_t distinct = length;
+    if (layout_.offsetBits() == 0) {
+        const std::uint64_t period = steadyRunPeriod(sets, stride);
+        if (period < distinct)
+            distinct = period;
+    }
+    for (std::uint64_t r = 0; r < distinct; ++r) {
+        const Addr addr = static_cast<Addr>(
+            static_cast<std::int64_t>(base) +
+            stride * static_cast<std::int64_t>(r));
+        const std::uint64_t set = setOf(layout_.lineAddress(addr));
+        out.push_back(set);
+        const Way *way = &frames[set * ways];
+        for (unsigned w = 0; w < ways; ++w) {
+            out.push_back(way[w].valid);
+            out.push_back(way[w].line);
+            out.push_back(way[w].flags);
+        }
+        appendReplacementRanks(*policy, set, ways, out);
+    }
+    out.push_back(policy->stateToken());
+    return true;
+}
+
 std::unique_ptr<SetAssociativeCache>
 makeFullyAssociative(const AddressLayout &layout,
                      std::unique_ptr<ReplacementPolicy> policy)

@@ -48,6 +48,10 @@ class SetAssociativeCache final : public Cache
     std::uint64_t numSets() const override { return sets; }
     const ReplacementPolicy &replacement() const { return *policy; }
 
+    bool appendRunState(Addr base, std::int64_t stride,
+                        std::uint64_t length,
+                        std::vector<std::uint64_t> &out) const override;
+
   private:
     struct Way
     {

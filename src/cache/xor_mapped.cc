@@ -89,4 +89,28 @@ XorMappedCache::validLines() const
     return n;
 }
 
+bool
+XorMappedCache::appendRunState(Addr base, std::int64_t stride,
+                               std::uint64_t length,
+                               std::vector<std::uint64_t> &out) const
+{
+    // XOR folding is not residue-periodic in the stride, so every
+    // element's frame is serialized.  Only the batched simulator's
+    // verify passes (already O(length)) pay this; extrapolated
+    // passes never call it.
+    for (std::uint64_t i = 0; i < length; ++i) {
+        const Addr addr = static_cast<Addr>(
+            static_cast<std::int64_t>(base) +
+            stride * static_cast<std::int64_t>(i));
+        const std::uint64_t f =
+            hashIndex(layout_.lineAddress(addr));
+        const Frame &frame = frames[f];
+        out.push_back(f);
+        out.push_back(frame.valid);
+        out.push_back(frame.line);
+        out.push_back(frame.flags);
+    }
+    return true;
+}
+
 } // namespace vcache

@@ -47,6 +47,10 @@ class XorMappedCache final : public Cache
     /** The index hash, exposed for tests and benches. */
     std::uint64_t hashIndex(Addr line_addr) const;
 
+    bool appendRunState(Addr base, std::int64_t stride,
+                        std::uint64_t length,
+                        std::vector<std::uint64_t> &out) const override;
+
   private:
     struct Frame
     {

@@ -43,6 +43,22 @@ class PipelinedBus
      */
     Cycles reserveMany(Cycles earliest, std::uint64_t n);
 
+    /**
+     * Record `n` transfers whose grant cycles were derived in closed
+     * form by a batched simulator path: the counters advance as if
+     * reserve() had been called for each, every grant arriving with
+     * the bus already free (zero contention), the last one at
+     * `last_grant`.  No-op when n == 0.
+     */
+    void
+    absorb(std::uint64_t n, Cycles last_grant)
+    {
+        if (n == 0)
+            return;
+        count += n;
+        nextFree = last_grant + 1;
+    }
+
     /** Earliest cycle at which the next transfer could start. */
     Cycles nextFreeAt() const { return nextFree; }
 
@@ -85,6 +101,36 @@ class BusSet
         if constexpr (Observer::kEnabled)
             obs.onBusWait(earliest, grant - earliest);
         return grant;
+    }
+
+    /**
+     * Absorb a whole single-stream run of `n` read reservations whose
+     * grant cycles a batched simulator derived in closed form.
+     *
+     * With one request per (strictly increasing) cycle and two read
+     * buses, no request ever waits and the grants strictly alternate:
+     * the first goes to the bus reserveRead() would pick now (the
+     * earlier nextFree, ties to read bus 0), the rest ping-pong.  The
+     * end state therefore only needs the grant cycles of the last two
+     * requests: the last request's bus frees at last_grant + 1, the
+     * other bus at prev_grant + 1 (unused when n == 1).
+     */
+    void
+    absorbReadRun(std::uint64_t n, Cycles last_grant,
+                  Cycles prev_grant)
+    {
+        if (n == 0)
+            return;
+        PipelinedBus *first = rd1.nextFreeAt() < rd0.nextFreeAt()
+                                  ? &rd1
+                                  : &rd0;
+        PipelinedBus *other = first == &rd0 ? &rd1 : &rd0;
+        // Requests 0, 2, 4, ... ride `first`; the last request
+        // (index n - 1) lands on `first` exactly when n is odd.
+        PipelinedBus *last = (n % 2 == 1) ? first : other;
+        PipelinedBus *prev = last == first ? other : first;
+        prev->absorb(n / 2, prev_grant);
+        last->absorb((n + 1) / 2, last_grant);
     }
 
     /** The single write bus. */

@@ -113,6 +113,21 @@ class InterleavedMemory
         return when;
     }
 
+    /**
+     * Record that a batched simulator path derived, in closed form,
+     * that word_addr's bank last issued at cycle `when`: the bank's
+     * busy horizon advances exactly as the matching issue() call
+     * would have left it.  A state-absorption API, not an access --
+     * deliberately not a fault-injection site (the batched engines
+     * fall back to element-wise replay whenever a fault plan is
+     * armed, so site hit counts stay identical).
+     */
+    void
+    noteRunIssue(Addr word_addr, Cycles when)
+    {
+        busyUntil[bankOf(word_addr)] = when + tm;
+    }
+
     /** Outcome of streaming a whole address sequence. */
     struct StreamResult
     {

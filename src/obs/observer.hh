@@ -27,6 +27,15 @@
  *
  * Observers are plain structs passed by reference -- no virtual
  * dispatch anywhere.  `kEnabled` must be a constexpr static bool.
+ *
+ * Interaction with run batching (sim/engine.hh): an observer with
+ * kEnabled == true forces element-wise replay.  The run-batched
+ * engines fast-forward whole vector ops in closed form, so the
+ * per-element hooks (onHit, onBankIssue, ...) would simply never
+ * fire for a batched op; rather than deliver a misleading partial
+ * event stream, the instrumented run() overloads stay on the scalar
+ * engine unconditionally.  Only NullObserver runs may batch --
+ * which is also why batching cannot perturb traced results.
  */
 
 #ifndef VCACHE_OBS_OBSERVER_HH

@@ -65,7 +65,50 @@ CcSimulator::run(TraceSource &source)
     // every hook vanishes under `if constexpr`, leaving exactly the
     // uninstrumented loops.
     NullObserver obs;
+    // Run batching only engages on the uninstrumented overloads, and
+    // only in the no-prefetch instantiation: prefetch timing depends
+    // on absolute bank/bus state, which extrapolated passes skip.
+    if (engineKind == SimEngine::Auto &&
+        prefetchPolicy == PrefetchPolicy::None && prefetchCount == 0) {
+        Cache *base = vectorCache.get();
+        if (auto *direct = dynamic_cast<DirectMappedCache *>(base))
+            return runBatched(*direct, source, obs);
+        if (auto *prime = dynamic_cast<PrimeMappedCache *>(base))
+            return runBatched(*prime, source, obs);
+        return runBatched(*base, source, obs);
+    }
     return run(source, obs);
+}
+
+bool
+CcSimulator::appendOpState(const VectorOp &op,
+                           std::vector<std::uint64_t> &out) const
+{
+    if (!vectorCache->appendRunState(op.first.base, op.first.stride,
+                                     op.first.length, out))
+        return false;
+    if (op.second) {
+        // The element loop reads the second stream only while the
+        // first still has elements, so its reach truncates there.
+        const std::uint64_t length =
+            std::min(op.second->length, op.first.length);
+        return vectorCache->appendRunState(op.second->base,
+                                           op.second->stride, length,
+                                           out);
+    }
+    return true;
+}
+
+void
+CcSimulator::applyBatch(const BatchMemo &memo, SimResult &result)
+{
+    result.results += memo.delta.results;
+    result.hits += memo.delta.hits;
+    result.misses += memo.delta.misses;
+    result.compulsoryMisses += memo.delta.compulsoryMisses;
+    result.stallCycles += memo.delta.stallCycles;
+    clock += memo.clockDelta;
+    vectorCache->applyStatsDelta(memo.stats);
 }
 
 SimResult

@@ -27,6 +27,32 @@
  * TracingObserver sees every hit, miss, bank conflict, bus wait and
  * prefetch with cycle stamps and set indices.  runVirtual() forces
  * the virtual fallback so tests can pin the fast paths against it.
+ *
+ * Run batching (SimEngine::Auto, the default for uninstrumented
+ * runs): vector workloads repeat the same constant-stride operation
+ * over and over, and after the first pass the cache settles into the
+ * run's canonical end state, making every later pass a replay with
+ * byte-identical deltas.  The batched loop memoizes the last vector
+ * op and fast-forwards repeats through two certificate tiers:
+ *
+ *   - Tier 1 (direct and prime mappings, single stream): the modulo
+ *     mapping makes the frame sequence periodic, so probeSteadyRun()
+ *     gives the pass's hits/misses/warm-strip interval in closed form
+ *     and verifySteadyRun() checks, in O(distinct frames), that the
+ *     cache actually holds the canonical state the formula assumes.
+ *   - Tier 2 (any organization): serialize everything the run can
+ *     consult or mutate (appendRunState()) before and after an
+ *     element-wise pass; equal snapshots plus no compulsory misses
+ *     plus (no misses at all, or blocking-miss mode, which never
+ *     touches buses or banks) prove the pass is a fixed point, so its
+ *     measured deltas replay exactly.
+ *
+ * Extrapolated passes credit result, clock and cache counters in
+ * O(strips) or O(1) and re-reserve the write bus live (its wait
+ * accounting evolves across passes); everything else is provably
+ * unchanged.  Prefetch-enabled runs, instrumented runs and
+ * SimEngine::Scalar always take the element-wise loop; equivalence is
+ * pinned by tests/sim/batched_test.cc.
  */
 
 #ifndef VCACHE_SIM_CC_SIM_HH
@@ -44,6 +70,7 @@
 #include "memory/bus.hh"
 #include "memory/interleaved.hh"
 #include "sim/cancel.hh"
+#include "sim/engine.hh"
 #include "sim/observe.hh"
 #include "sim/result.hh"
 #include "trace/access.hh"
@@ -97,6 +124,16 @@ class CcSimulator
      */
     void setNonBlockingMisses(bool enable) { nonBlocking = enable; }
 
+    /**
+     * Select the execution engine for uninstrumented runs: Auto (the
+     * default) fast-forwards provably-steady repeated vector ops in
+     * closed form; Scalar forces element-wise replay.  Both produce
+     * bit-identical SimResults and cache statistics.  Instrumented
+     * runs always replay element-wise regardless.
+     */
+    void setEngine(SimEngine engine) { engineKind = engine; }
+    SimEngine engine() const { return engineKind; }
+
     /** Run a whole trace from a cold start. */
     SimResult run(const Trace &trace);
 
@@ -141,6 +178,44 @@ class CcSimulator
     const MachineParams &params() const { return machine; }
 
   private:
+    /** How far the per-op fast-forward memo has been proven. */
+    enum class BatchPhase
+    {
+        /** No op memoized yet. */
+        None,
+        /** One full element-wise pass of this op has completed. */
+        Armed,
+        /** A certificate held; the recorded deltas replay exactly. */
+        Verified,
+        /** Certification failed repeatedly; replay element-wise. */
+        Refused,
+    };
+
+    /** Verification attempts before an op is refused for good. */
+    static constexpr unsigned kBatchVerifyAttempts = 3;
+
+    /**
+     * Fast-forward memo for the most recent vector operation: the op
+     * itself (the match key), the certification phase, and -- once
+     * Verified -- the per-pass deltas to replay.  `before`/`after`
+     * are the tier-2 snapshot scratch buffers, kept here so repeated
+     * verification attempts reuse their capacity.
+     */
+    struct BatchMemo
+    {
+        VectorOp op;
+        BatchPhase phase = BatchPhase::None;
+        unsigned attempts = 0;
+        /** Per-pass SimResult increments (totalCycles unused). */
+        SimResult delta;
+        /** Per-pass pipeline-clock advance. */
+        Cycles clockDelta = 0;
+        /** Per-pass cache-counter increments. */
+        CacheStats stats;
+        std::vector<std::uint64_t> before;
+        std::vector<std::uint64_t> after;
+    };
+
     /** Pick the Prefetching instantiation and run (see runImpl). */
     template <typename CacheT, typename Observer>
     SimResult dispatchRun(CacheT &cache, TraceSource &source,
@@ -154,6 +229,45 @@ class CcSimulator
      */
     template <typename CacheT, bool Prefetching, typename Observer>
     SimResult runImpl(CacheT &cache, TraceSource &source, Observer &obs);
+
+    /** One vector op's strip-mined element loop (store excluded). */
+    template <typename CacheT, bool Prefetching, typename Observer>
+    void stripLoop(CacheT &cache, const VectorOp &op, SimResult &result,
+                   Observer &obs);
+
+    /** The run-batched whole-run loop (uninstrumented only). */
+    template <typename CacheT, typename Observer>
+    SimResult runBatched(CacheT &cache, TraceSource &source,
+                         Observer &obs);
+
+    /**
+     * Certify an Armed repeat of `op`, trying tier 1 then tier 2 (see
+     * the file comment).  Tier 1 certifies without executing the op
+     * (the memo turns Verified and the caller applies it); tier 2
+     * executes the op element-wise as its measurement pass, so on
+     * return from tier 2 the op has already run.
+     *
+     * @return true when the op still needs applyBatch()
+     */
+    template <typename CacheT, typename Observer>
+    bool attemptVerify(CacheT &cache, const VectorOp &op,
+                       BatchMemo &memo, SimResult &result,
+                       Observer &obs);
+
+    /**
+     * Tier-1 certificate: closed-form steady-state replay for the
+     * modulo-mapped (direct/prime) schemes, single stream.
+     */
+    template <typename CacheT>
+    bool trySteadyFastForward(CacheT &cache, const VectorOp &op,
+                              BatchMemo &memo);
+
+    /** Serialize all cache state the op's streams can touch. */
+    bool appendOpState(const VectorOp &op,
+                       std::vector<std::uint64_t> &out) const;
+
+    /** Replay a Verified memo's deltas in O(1). */
+    void applyBatch(const BatchMemo &memo, SimResult &result);
 
     /** Access one element, advancing the pipeline clock. */
     template <typename CacheT, bool Prefetching, typename Observer>
@@ -173,6 +287,7 @@ class CcSimulator
     FlatSet<Addr> touchedLines;
     Cycles clock = 0;
     bool nonBlocking = false;
+    SimEngine engineKind = SimEngine::Auto;
     const CancelToken *cancel = nullptr;
 
     // Timed prefetch state.  The prefetched-but-untouched marks live
@@ -313,16 +428,13 @@ CcSimulator::dispatchRun(CacheT &cache, TraceSource &source,
 }
 
 template <typename CacheT, bool Prefetching, typename Observer>
-SimResult
-CcSimulator::runImpl(CacheT &cache, TraceSource &source, Observer &obs)
+void
+CcSimulator::stripLoop(CacheT &cache, const VectorOp &op,
+                       SimResult &result, Observer &obs)
 {
-    SimResult result;
     const AddressLayout &layout = cache.addressLayout();
 
-    if constexpr (Observer::kEnabled)
-        obs.onRunBegin(cache.numSets());
-
-    // The strip start-up only takes two values per run -- cold head,
+    // The strip start-up only takes two values per op -- cold head,
     // or warm head with the memory-latency credit of Equation (4) --
     // so the floating-point math happens once, not once per strip.
     const double base_startup =
@@ -330,6 +442,56 @@ CcSimulator::runImpl(CacheT &cache, TraceSource &source, Observer &obs)
     const Cycles cold_startup = static_cast<Cycles>(base_startup);
     const Cycles warm_startup = static_cast<Cycles>(
         base_startup - static_cast<double>(machine.memoryTime));
+
+    const VectorRef *second = op.second ? &op.second.value() : nullptr;
+    const std::int64_t s1 = op.first.stride;
+    const std::int64_t s2 = second ? second->stride : 0;
+
+    for (std::uint64_t done = 0; done < op.first.length;
+         done += machine.mvl) {
+        // Strips whose head is already cached skip the memory
+        // latency component of the start-up (Equation (4)).
+        Addr a1 = op.first.element(done);
+        const bool warm = containsWord(cache, a1);
+        clock += warm ? warm_startup : cold_startup;
+
+        const std::uint64_t count =
+            std::min<std::uint64_t>(machine.mvl,
+                                    op.first.length - done);
+        if (second) {
+            Addr a2 = second->element(done);
+            for (std::uint64_t i = 0; i < count; ++i) {
+                accessElement<CacheT, Prefetching>(cache, layout, a1,
+                                               result, obs);
+                if (done + i < second->length)
+                    accessElement<CacheT, Prefetching>(cache, layout, a2,
+                                                   result, obs);
+                ++result.results;
+                a1 = static_cast<Addr>(
+                    static_cast<std::int64_t>(a1) + s1);
+                a2 = static_cast<Addr>(
+                    static_cast<std::int64_t>(a2) + s2);
+            }
+        } else {
+            for (std::uint64_t i = 0; i < count; ++i) {
+                accessElement<CacheT, Prefetching>(cache, layout, a1,
+                                               result, obs);
+                ++result.results;
+                a1 = static_cast<Addr>(
+                    static_cast<std::int64_t>(a1) + s1);
+            }
+        }
+    }
+}
+
+template <typename CacheT, bool Prefetching, typename Observer>
+SimResult
+CcSimulator::runImpl(CacheT &cache, TraceSource &source, Observer &obs)
+{
+    SimResult result;
+
+    if constexpr (Observer::kEnabled)
+        obs.onRunBegin(cache.numSets());
 
     VectorOp op;
     while (source.next(op)) {
@@ -340,46 +502,7 @@ CcSimulator::runImpl(CacheT &cache, TraceSource &source, Observer &obs)
             obs.onVectorOpBegin(clock, op);
         streamStride = op.first.stride; // the stride register value
 
-        const VectorRef *second =
-            op.second ? &op.second.value() : nullptr;
-        const std::int64_t s1 = op.first.stride;
-        const std::int64_t s2 = second ? second->stride : 0;
-
-        for (std::uint64_t done = 0; done < op.first.length;
-             done += machine.mvl) {
-            // Strips whose head is already cached skip the memory
-            // latency component of the start-up (Equation (4)).
-            Addr a1 = op.first.element(done);
-            const bool warm = containsWord(cache, a1);
-            clock += warm ? warm_startup : cold_startup;
-
-            const std::uint64_t count =
-                std::min<std::uint64_t>(machine.mvl,
-                                        op.first.length - done);
-            if (second) {
-                Addr a2 = second->element(done);
-                for (std::uint64_t i = 0; i < count; ++i) {
-                    accessElement<CacheT, Prefetching>(cache, layout, a1,
-                                                   result, obs);
-                    if (done + i < second->length)
-                        accessElement<CacheT, Prefetching>(cache, layout, a2,
-                                                       result, obs);
-                    ++result.results;
-                    a1 = static_cast<Addr>(
-                        static_cast<std::int64_t>(a1) + s1);
-                    a2 = static_cast<Addr>(
-                        static_cast<std::int64_t>(a2) + s2);
-                }
-            } else {
-                for (std::uint64_t i = 0; i < count; ++i) {
-                    accessElement<CacheT, Prefetching>(cache, layout, a1,
-                                                   result, obs);
-                    ++result.results;
-                    a1 = static_cast<Addr>(
-                        static_cast<std::int64_t>(a1) + s1);
-                }
-            }
-        }
+        stripLoop<CacheT, Prefetching>(cache, op, result, obs);
 
         if (op.store)
             buses.reserveWrites(clock, op.store->length);
@@ -390,6 +513,166 @@ CcSimulator::runImpl(CacheT &cache, TraceSource &source, Observer &obs)
     result.totalCycles = clock;
     if constexpr (Observer::kEnabled)
         obs.onRunEnd(clock, result);
+    return result;
+}
+
+template <typename CacheT>
+bool
+CcSimulator::trySteadyFastForward(CacheT &cache, const VectorOp &op,
+                                  BatchMemo &memo)
+{
+    const VectorRef &ref = op.first;
+    const SteadyRunProbe probe =
+        cache.probeSteadyRun(ref.stride, ref.length);
+    // A lockup-free cache pipelines non-compulsory misses through bus
+    // and banks, mutating shared state every pass; only the blocking
+    // stall-t_m model leaves them untouched and extrapolates.
+    if (probe.misses != 0 && nonBlocking)
+        return false;
+    if (!cache.verifySteadyRun(ref.base, ref.stride, ref.length))
+        return false;
+
+    const double base_startup =
+        machine.stripOverhead + machine.startupTime();
+    const Cycles cold_startup = static_cast<Cycles>(base_startup);
+    const Cycles warm_startup = static_cast<Cycles>(
+        base_startup - static_cast<double>(machine.memoryTime));
+
+    memo.delta = SimResult{};
+    memo.stats = CacheStats{};
+    memo.clockDelta = 0;
+    for (std::uint64_t done = 0; done < ref.length;
+         done += machine.mvl) {
+        const std::uint64_t count =
+            std::min<std::uint64_t>(machine.mvl, ref.length - done);
+        // Elements inside [warmLo, warmHi) hit; the rest pay the
+        // blocking-miss stall.  The strip head's residency decides
+        // the Equation-4 start-up credit, exactly as containsWord()
+        // would at this point of the replay.
+        const std::uint64_t lo = std::max(done, probe.warmLo);
+        const std::uint64_t hi = std::min(done + count, probe.warmHi);
+        const std::uint64_t strip_hits = hi > lo ? hi - lo : 0;
+        const std::uint64_t strip_misses = count - strip_hits;
+        const bool warm =
+            done >= probe.warmLo && done < probe.warmHi;
+        memo.clockDelta += (warm ? warm_startup : cold_startup) +
+                           count + machine.memoryTime * strip_misses;
+        memo.delta.stallCycles += machine.memoryTime * strip_misses;
+        memo.delta.hits += strip_hits;
+        memo.delta.misses += strip_misses;
+        memo.delta.results += count;
+    }
+    // Every steady-pass miss displaces a valid line (the class's
+    // previous occupant) whose flags verifySteadyRun() proved clear:
+    // evictions match misses, write-backs stay zero.
+    memo.stats.accesses = ref.length;
+    memo.stats.reads = ref.length;
+    memo.stats.hits = probe.hits;
+    memo.stats.misses = probe.misses;
+    memo.stats.evictions = probe.misses;
+    memo.phase = BatchPhase::Verified;
+    return true;
+}
+
+template <typename CacheT, typename Observer>
+bool
+CcSimulator::attemptVerify(CacheT &cache, const VectorOp &op,
+                           BatchMemo &memo, SimResult &result,
+                           Observer &obs)
+{
+    constexpr bool kSteadyMapped =
+        std::is_same_v<CacheT, DirectMappedCache> ||
+        std::is_same_v<CacheT, PrimeMappedCache>;
+    if constexpr (kSteadyMapped) {
+        if (!op.second && trySteadyFastForward(cache, op, memo))
+            return true;
+    }
+
+    // Tier 2: snapshot, element-wise measurement pass, snapshot.
+    memo.before.clear();
+    memo.after.clear();
+    bool state_ok = appendOpState(op, memo.before);
+
+    const SimResult r0 = result;
+    const Cycles c0 = clock;
+    const CacheStats s0 = cache.stats();
+    stripLoop<CacheT, false>(cache, op, result, obs);
+
+    state_ok = state_ok && appendOpState(op, memo.after) &&
+               memo.before == memo.after;
+    const std::uint64_t d_misses = result.misses - r0.misses;
+    const std::uint64_t d_compulsory =
+        result.compulsoryMisses - r0.compulsoryMisses;
+    // Equal snapshots prove the pass was a fixed point of the cache
+    // state; no compulsory misses and (no misses, or blocking-miss
+    // mode) prove it never touched buses, banks or the touched-line
+    // set either.  Then any identical op from here replays these
+    // exact deltas.
+    if (state_ok && d_compulsory == 0 &&
+        (d_misses == 0 || !nonBlocking)) {
+        memo.delta = SimResult{};
+        memo.delta.results = result.results - r0.results;
+        memo.delta.hits = result.hits - r0.hits;
+        memo.delta.misses = d_misses;
+        memo.delta.stallCycles = result.stallCycles - r0.stallCycles;
+        memo.clockDelta = clock - c0;
+        const CacheStats &s1 = cache.stats();
+        memo.stats = CacheStats{};
+        memo.stats.accesses = s1.accesses - s0.accesses;
+        memo.stats.hits = s1.hits - s0.hits;
+        memo.stats.misses = s1.misses - s0.misses;
+        memo.stats.reads = s1.reads - s0.reads;
+        memo.stats.writes = s1.writes - s0.writes;
+        memo.stats.evictions = s1.evictions - s0.evictions;
+        memo.stats.writebacks = s1.writebacks - s0.writebacks;
+        memo.phase = BatchPhase::Verified;
+    } else if (++memo.attempts >= kBatchVerifyAttempts) {
+        memo.phase = BatchPhase::Refused;
+    }
+    return false; // the measurement pass already executed the op
+}
+
+template <typename CacheT, typename Observer>
+SimResult
+CcSimulator::runBatched(CacheT &cache, TraceSource &source,
+                        Observer &obs)
+{
+    static_assert(!Observer::kEnabled,
+                  "batched passes resolve accesses without visiting "
+                  "them; instrumented runs must replay element-wise");
+    SimResult result;
+    BatchMemo memo;
+
+    VectorOp op;
+    while (source.next(op)) {
+        if (cancel && cancel->cancelled())
+            throwCancelled(*cancel);
+        clock += static_cast<Cycles>(machine.blockOverhead);
+        streamStride = op.first.stride; // the stride register value
+
+        const bool repeat =
+            memo.phase != BatchPhase::None && op == memo.op;
+        if (!repeat) {
+            memo.op = op;
+            memo.phase = BatchPhase::Armed;
+            memo.attempts = 0;
+            stripLoop<CacheT, false>(cache, op, result, obs);
+        } else if (memo.phase == BatchPhase::Verified) {
+            applyBatch(memo, result);
+        } else if (memo.phase == BatchPhase::Refused) {
+            stripLoop<CacheT, false>(cache, op, result, obs);
+        } else if (attemptVerify(cache, op, memo, result, obs)) {
+            applyBatch(memo, result);
+        }
+
+        // The write bus is re-reserved live even on extrapolated
+        // passes: its wait accounting depends on absolute time and
+        // evolves across passes, unlike everything the memo records.
+        if (op.store)
+            buses.reserveWrites(clock, op.store->length);
+    }
+
+    result.totalCycles = clock;
     return result;
 }
 

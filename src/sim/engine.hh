@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Execution-engine selector for the trace-driven simulators.
+ *
+ * Auto lets a simulator fast-forward repeated constant-stride vector
+ * operations in closed form (run batching) whenever it can prove the
+ * result is bit-identical to element-wise replay; Scalar forces the
+ * element-wise reference loop unconditionally.  Instrumented runs
+ * (any observer with kEnabled == true) always replay element-wise
+ * regardless of this knob: a batched pass resolves thousands of
+ * accesses without visiting them, so there would be no per-element
+ * events to report.
+ */
+
+#ifndef VCACHE_SIM_ENGINE_HH
+#define VCACHE_SIM_ENGINE_HH
+
+#include <optional>
+#include <string_view>
+
+namespace vcache
+{
+
+/** How a simulator executes vector operations. */
+enum class SimEngine
+{
+    /** Batch provably-steady runs; replay the rest element-wise. */
+    Auto,
+    /** Element-wise replay only (the reference behaviour). */
+    Scalar,
+};
+
+/** Stable lower-case name, for CLI flags and report labels. */
+constexpr std::string_view
+simEngineName(SimEngine engine)
+{
+    return engine == SimEngine::Scalar ? "scalar" : "auto";
+}
+
+/** Parse a CLI spelling; nullopt when unrecognized. */
+inline std::optional<SimEngine>
+parseSimEngine(std::string_view text)
+{
+    if (text == "auto")
+        return SimEngine::Auto;
+    if (text == "scalar")
+        return SimEngine::Scalar;
+    return std::nullopt;
+}
+
+} // namespace vcache
+
+#endif // VCACHE_SIM_ENGINE_HH

@@ -15,6 +15,27 @@
  * with the zero-cost NullObserver, while run(source, obs) with a
  * TracingObserver sees every vector op, bank issue/conflict and bus
  * wait with cycle stamps.
+ *
+ * Run batching (SimEngine::Auto, the default for uninstrumented
+ * runs): for a single constant-stride stream the whole conflict
+ * pattern is linear-congruence structure.  The bank sequence (base +
+ * i*stride) mod M repeats with period Q = M / gcd(|stride| mod M, M),
+ * so within a strip element i issues at the strip start plus
+ * (i mod Q) + floor(i / Q) * t_m when t_m > Q (each bank revisit
+ * waits out the remaining busy time) and plus i otherwise (revisits
+ * come Q >= t_m cycles apart, so no request ever waits) -- giving
+ * per-strip stall floor((count-1)/Q) * (t_m - Q) in closed form.
+ * The batched path computes the whole op in O(1) plus O(Q) exact
+ * end-state absorption (bus counters/frontiers via
+ * BusSet::absorbReadRun, per-bank busy horizons via
+ * InterleavedMemory::noteRunIssue), valid whenever banks are
+ * provably free at every strip start (strip start-up >= t_m - 1) and
+ * the mapping is residue-periodic (LowOrder always; PrimeModulo for
+ * non-wrapping runs).  Everything else -- double streams, skewed or
+ * XOR-hashed mappings, armed fault-injection plans (the batched path
+ * would skip the per-element memory.bank.issue sites), or
+ * SimEngine::Scalar -- replays element-wise.  Equivalence is pinned
+ * by tests/sim/batched_test.cc.
  */
 
 #ifndef VCACHE_SIM_MM_SIM_HH
@@ -26,6 +47,7 @@
 #include "memory/bus.hh"
 #include "memory/interleaved.hh"
 #include "sim/cancel.hh"
+#include "sim/engine.hh"
 #include "sim/result.hh"
 #include "trace/access.hh"
 #include "trace/source.hh"
@@ -56,6 +78,16 @@ class MmSimulator
     template <typename Observer>
     SimResult run(TraceSource &source, Observer &obs);
 
+    /**
+     * Select the execution engine for uninstrumented runs: Auto (the
+     * default) fast-forwards eligible constant-stride ops in closed
+     * form; Scalar forces element-wise replay.  Both produce
+     * bit-identical SimResults and memory/bus state.  Instrumented
+     * runs always replay element-wise regardless.
+     */
+    void setEngine(SimEngine engine) { engineKind = engine; }
+    SimEngine engine() const { return engineKind; }
+
     /** Reset banks/buses between runs. */
     void reset();
 
@@ -74,10 +106,24 @@ class MmSimulator
                     std::uint64_t offset, std::uint64_t count,
                     SimResult &result, Observer &obs);
 
+    /** The run-batched whole-run loop (uninstrumented only). */
+    SimResult runBatched(TraceSource &source);
+
+    /**
+     * Fast-forward one vector op in closed form when its conflict
+     * structure is provable (see the file comment); updates result,
+     * clock, bus and bank state exactly as element-wise issue would.
+     * The op's store, if any, is the caller's job either way.
+     *
+     * @return false when the op must replay element-wise
+     */
+    bool tryFastForwardOp(const VectorOp &op, SimResult &result);
+
     MachineParams machine;
     InterleavedMemory memory;
     BusSet buses;
     Cycles clock = 0;
+    SimEngine engineKind = SimEngine::Auto;
     const CancelToken *cancel = nullptr;
 };
 

@@ -15,10 +15,11 @@ simulateMm(const MachineParams &params, const Trace &trace)
 
 SimResult
 simulateMm(const MachineParams &params, TraceSource &source,
-           const CancelToken *cancel)
+           const CancelToken *cancel, SimEngine engine)
 {
     MmSimulator sim(params);
     sim.setCancelToken(cancel);
+    sim.setEngine(engine);
     return sim.run(source);
 }
 
@@ -32,10 +33,12 @@ simulateCc(const MachineParams &params, CacheScheme scheme,
 
 SimResult
 simulateCc(const MachineParams &params, CacheScheme scheme,
-           TraceSource &source, const CancelToken *cancel)
+           TraceSource &source, const CancelToken *cancel,
+           SimEngine engine)
 {
     CcSimulator sim(params, scheme);
     sim.setCancelToken(cancel);
+    sim.setEngine(engine);
     return sim.run(source);
 }
 

@@ -55,19 +55,23 @@ SimResult simulateMm(const MachineParams &params, const Trace &trace);
  * Simulate a streamed workload on the cacheless MM machine.  A
  * non-null `cancel` token is polled once per vector op; when tripped
  * the run raises VcError(Timeout|Cancelled) -- how sweep deadlines
- * preempt a stuck point.
+ * preempt a stuck point.  `engine` selects run batching (Auto, the
+ * default) or forced element-wise replay; results are bit-identical.
  */
 SimResult simulateMm(const MachineParams &params, TraceSource &source,
-                     const CancelToken *cancel = nullptr);
+                     const CancelToken *cancel = nullptr,
+                     SimEngine engine = SimEngine::Auto);
 
 /** Simulate a trace on the CC machine with the given mapping. */
 SimResult simulateCc(const MachineParams &params, CacheScheme scheme,
                      const Trace &trace);
 
-/** Simulate a streamed workload on the CC machine (cancellable). */
+/** Simulate a streamed workload on the CC machine (cancellable,
+ *  engine-selectable -- see the streamed simulateMm). */
 SimResult simulateCc(const MachineParams &params, CacheScheme scheme,
                      TraceSource &source,
-                     const CancelToken *cancel = nullptr);
+                     const CancelToken *cancel = nullptr,
+                     SimEngine engine = SimEngine::Auto);
 
 /** Instrumented MM run (see the Observer contract in src/obs). */
 template <typename Observer>

@@ -40,6 +40,19 @@ struct VectorRef
     }
 };
 
+inline bool
+operator==(const VectorRef &a, const VectorRef &b)
+{
+    return a.base == b.base && a.stride == b.stride &&
+           a.length == b.length;
+}
+
+inline bool
+operator!=(const VectorRef &a, const VectorRef &b)
+{
+    return !(a == b);
+}
+
 /** One vector operation: up to two loads plus an optional store. */
 struct VectorOp
 {
@@ -49,6 +62,24 @@ struct VectorOp
 
     bool doubleStream() const { return second.has_value(); }
 };
+
+/**
+ * Whole-operation equality -- how the run-batched simulators detect
+ * the repeated-sweep shape (the same op issued back to back) that
+ * they can fast-forward.
+ */
+inline bool
+operator==(const VectorOp &a, const VectorOp &b)
+{
+    return a.first == b.first && a.second == b.second &&
+           a.store == b.store;
+}
+
+inline bool
+operator!=(const VectorOp &a, const VectorOp &b)
+{
+    return !(a == b);
+}
 
 /** A full workload trace. */
 using Trace = std::vector<VectorOp>;

@@ -89,6 +89,53 @@ class VcmTraceSource final : public TraceSource
     Addr blockBase = 0;
 };
 
+/**
+ * The streaming-kernel shape: one constant-stride load (optionally
+ * paired with a store over the same extent) issued `repeats` times --
+ * a blocked kernel re-sweeping its working set.  The repeated-identical
+ * op stream is the best case for the simulators' run-batched engines,
+ * so this source doubles as their benchmark workload; it is also the
+ * cheapest way to build a deterministic constant-stride trace in
+ * tests.
+ */
+class ConstantStrideSource final : public TraceSource
+{
+  public:
+    /**
+     * @param base word address of element 0
+     * @param stride words between consecutive elements
+     * @param length elements per operation
+     * @param repeats how many identical operations to emit
+     * @param with_store also emit a store over the same extent
+     */
+    ConstantStrideSource(Addr base, std::int64_t stride,
+                         std::uint64_t length, std::uint64_t repeats,
+                         bool with_store = false)
+        : op_{VectorRef{base, stride, length}, {}, {}},
+          repeats_(repeats)
+    {
+        if (with_store)
+            op_.store = VectorRef{base, stride, length};
+    }
+
+    bool
+    next(VectorOp &op) override
+    {
+        if (emitted >= repeats_)
+            return false;
+        ++emitted;
+        op = op_;
+        return true;
+    }
+
+    void reset() override { emitted = 0; }
+
+  private:
+    VectorOp op_;
+    std::uint64_t repeats_;
+    std::uint64_t emitted = 0;
+};
+
 /** Streaming equivalent of generateMultistrideTrace(). */
 class MultistrideTraceSource final : public TraceSource
 {

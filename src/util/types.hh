@@ -36,6 +36,28 @@ using Cycles = std::uint64_t;
 /** Number of bytes in one memory word (one double-precision element). */
 inline constexpr unsigned wordBytes = 8;
 
+/**
+ * True when the arithmetic progression base + i*stride (0 <= i <
+ * length) stays inside [0, 2^64) as exact integers -- i.e. the Addr
+ * values of a constant-stride run never wrap.  Wrapping breaks the
+ * residue periodicity that the run-batched simulator paths lean on
+ * (a progression mod 2^64 is only periodic mod S when S divides
+ * 2^64), so those paths refuse runs that fail this check.  The
+ * progression is monotone, so checking the far endpoint suffices.
+ */
+inline bool
+spansWithoutWrap(Addr base, std::int64_t stride, std::uint64_t length)
+{
+    if (length == 0 || stride == 0)
+        return true;
+    const __int128 end =
+        static_cast<__int128>(base) +
+        static_cast<__int128>(stride) *
+            static_cast<__int128>(length - 1);
+    return end >= 0 &&
+           end <= static_cast<__int128>(~std::uint64_t{0});
+}
+
 } // namespace vcache
 
 #endif // VCACHE_UTIL_TYPES_HH

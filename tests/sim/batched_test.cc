@@ -1,0 +1,483 @@
+/**
+ * Differential pins for the run-batched execution engines.
+ *
+ * SimEngine::Auto may fast-forward repeated constant-stride vector
+ * operations in closed form; SimEngine::Scalar is the element-wise
+ * reference.  The contract is bit-identical SimResults and cache
+ * statistics for every cache organization, workload family, prefetch
+ * and miss-model setting -- including cancellation behaviour and, in
+ * -DVCACHE_FAULT_INJECTION=ON builds, fault-site accounting.  These
+ * tests sweep that whole matrix through both engines and compare
+ * field by field.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/defaults.hh"
+#include "sim/cc_sim.hh"
+#include "sim/mm_sim.hh"
+#include "trace/loader.hh"
+#include "trace/multistride.hh"
+#include "trace/source.hh"
+#include "trace/vcm.hh"
+#include "util/faultinject.hh"
+
+namespace vcache
+{
+namespace
+{
+
+void
+expectSameResult(const SimResult &got, const SimResult &want,
+                 const std::string &label)
+{
+    EXPECT_EQ(got.totalCycles, want.totalCycles) << label;
+    EXPECT_EQ(got.stallCycles, want.stallCycles) << label;
+    EXPECT_EQ(got.results, want.results) << label;
+    EXPECT_EQ(got.hits, want.hits) << label;
+    EXPECT_EQ(got.misses, want.misses) << label;
+    EXPECT_EQ(got.compulsoryMisses, want.compulsoryMisses) << label;
+}
+
+void
+expectSameStats(const CacheStats &got, const CacheStats &want,
+                const std::string &label)
+{
+    EXPECT_EQ(got.accesses, want.accesses) << label;
+    EXPECT_EQ(got.reads, want.reads) << label;
+    EXPECT_EQ(got.writes, want.writes) << label;
+    EXPECT_EQ(got.hits, want.hits) << label;
+    EXPECT_EQ(got.misses, want.misses) << label;
+    EXPECT_EQ(got.evictions, want.evictions) << label;
+    EXPECT_EQ(got.writebacks, want.writebacks) << label;
+}
+
+/** All five cache organizations the library ships. */
+std::vector<std::pair<std::string, CacheConfig>>
+allSchemes()
+{
+    std::vector<std::pair<std::string, CacheConfig>> out;
+
+    CacheConfig direct;
+    out.emplace_back("direct", direct);
+
+    CacheConfig prime;
+    prime.organization = Organization::PrimeMapped;
+    out.emplace_back("prime", prime);
+
+    CacheConfig prime_assoc;
+    prime_assoc.organization = Organization::PrimeSetAssociative;
+    prime_assoc.associativity = 2;
+    out.emplace_back("prime-assoc", prime_assoc);
+
+    CacheConfig set_assoc;
+    set_assoc.organization = Organization::SetAssociative;
+    set_assoc.associativity = 4;
+    out.emplace_back("set-assoc", set_assoc);
+
+    CacheConfig xor_mapped;
+    xor_mapped.organization = Organization::XorMapped;
+    out.emplace_back("xor", xor_mapped);
+
+    // Extra stress for the snapshot tier: random replacement (whose
+    // RNG draw counter must veto extrapolation) and multi-word lines
+    // (which the closed-form tier must refuse).
+    CacheConfig random_assoc;
+    random_assoc.organization = Organization::SetAssociative;
+    random_assoc.associativity = 4;
+    random_assoc.replacement = ReplacementKind::Random;
+    out.emplace_back("set-assoc-random", random_assoc);
+
+    CacheConfig wide_lines;
+    wide_lines.offsetBits = 2;
+    out.emplace_back("direct-4word", wide_lines);
+
+    return out;
+}
+
+VcmParams
+vcmParams()
+{
+    VcmParams p;
+    p.blockingFactor = 512;
+    p.reuseFactor = 6;
+    p.blocks = 3;
+    p.maxStride = 4096;
+    return p;
+}
+
+MultistrideParams
+multistrideParams()
+{
+    return MultistrideParams{1024, 12, 0.25, 8192, 0, 3};
+}
+
+/**
+ * A hand-written trace covering the shapes the batched engines
+ * special-case: repeated streaming ops with stores, stride zero,
+ * negative strides, double streams, and engine-unfriendly length
+ * edges (single element, exactly one strip, one strip plus one).
+ */
+const Trace &
+loadedTrace()
+{
+    static const Trace trace = [] {
+        std::istringstream in(R"(# batched-engine differential trace
+L 0 2 300
+S 65536 1 300
+L 0 2 300
+S 65536 1 300
+L 0 2 300
+S 65536 1 300
+L 0 2 300
+S 65536 1 300
+L 100 0 64
+L 100 0 64
+L 100 0 64
+L 9000 -3 500
+L 9000 -3 500
+L 9000 -3 500
+D 0 1 256 131072 4 200
+D 0 1 256 131072 4 200
+L 4096 1 1
+L 4096 1 1
+L 4096 1 1
+L 8192 7 64
+L 8192 7 64
+L 8192 7 65
+L 8192 7 65
+L 16384 8192 128
+L 16384 8192 128
+L 16384 8192 128
+L 16384 8192 128
+)");
+        return loadTrace(in);
+    }();
+    return trace;
+}
+
+struct CcOutcome
+{
+    SimResult result;
+    CacheStats stats;
+    std::uint64_t prefetches;
+};
+
+CcOutcome
+runCc(const CacheConfig &config, TraceSource &source, SimEngine engine,
+      bool prefetch, bool non_blocking)
+{
+    CcSimulator sim(paperMachineM32(), config);
+    if (prefetch)
+        sim.enablePrefetch(PrefetchPolicy::Stride, 2);
+    sim.setNonBlockingMisses(non_blocking);
+    sim.setEngine(engine);
+    source.reset();
+    const SimResult result = sim.run(source);
+    return {result, sim.cache().stats(), sim.prefetchesIssued()};
+}
+
+void
+diffCc(const CacheConfig &config, TraceSource &source,
+       const std::string &label)
+{
+    for (const bool prefetch : {false, true}) {
+        for (const bool non_blocking : {false, true}) {
+            const std::string tag = label +
+                                    (prefetch ? "+prefetch" : "") +
+                                    (non_blocking ? "+nonblock" : "");
+            const CcOutcome scalar = runCc(config, source,
+                                           SimEngine::Scalar, prefetch,
+                                           non_blocking);
+            const CcOutcome batched = runCc(config, source,
+                                            SimEngine::Auto, prefetch,
+                                            non_blocking);
+            expectSameResult(batched.result, scalar.result, tag);
+            expectSameStats(batched.stats, scalar.stats, tag);
+            EXPECT_EQ(batched.prefetches, scalar.prefetches) << tag;
+        }
+    }
+}
+
+TEST(BatchedCcDifferential, VcmTrace)
+{
+    VcmTraceSource source(vcmParams(), 42);
+    for (const auto &[name, config] : allSchemes())
+        diffCc(config, source, "vcm/" + name);
+}
+
+TEST(BatchedCcDifferential, MultistrideTrace)
+{
+    MultistrideTraceSource source(multistrideParams(), 7);
+    for (const auto &[name, config] : allSchemes())
+        diffCc(config, source, "multistride/" + name);
+}
+
+TEST(BatchedCcDifferential, LoadedTrace)
+{
+    TraceVectorSource source(loadedTrace());
+    for (const auto &[name, config] : allSchemes())
+        diffCc(config, source, "loaded/" + name);
+}
+
+TEST(BatchedCcDifferential, ConstantStrideStreams)
+{
+    for (const std::int64_t stride : {1, 3, 33, 8192}) {
+        ConstantStrideSource source(64, stride, 1000, 25, true);
+        for (const auto &[name, config] : allSchemes())
+            diffCc(config, source,
+                   "const-stride-" + std::to_string(stride) + "/" +
+                       name);
+    }
+}
+
+/** Machine variants exercising every MM fast-forward eligibility arm. */
+std::vector<std::pair<std::string, MachineParams>>
+mmMachines()
+{
+    std::vector<std::pair<std::string, MachineParams>> out;
+
+    MachineParams base = paperMachineM32();
+    out.emplace_back("m32-tm16", base);
+
+    MachineParams fast = base;
+    fast.memoryTime = 4;
+    out.emplace_back("m32-tm4", fast);
+
+    MachineParams few_banks = base;
+    few_banks.bankBits = 3;
+    few_banks.memoryTime = 64;
+    out.emplace_back("m8-tm64", few_banks);
+
+    MachineParams prime_banks = base;
+    prime_banks.bankMapping = BankMapping::PrimeModulo;
+    out.emplace_back("prime-banks", prime_banks);
+
+    MachineParams skewed = base;
+    skewed.bankMapping = BankMapping::Skewed;
+    out.emplace_back("skewed", skewed);
+
+    MachineParams xor_banks = base;
+    xor_banks.bankMapping = BankMapping::XorHash;
+    out.emplace_back("xor-banks", xor_banks);
+
+    return out;
+}
+
+Trace
+mmTrace()
+{
+    Trace trace;
+    const auto add = [&](Addr base, std::int64_t stride,
+                         std::uint64_t length, bool store = false) {
+        VectorOp op;
+        op.first = VectorRef{base, stride, length};
+        if (store)
+            op.store = VectorRef{base + 1000000, 1, length};
+        trace.push_back(op);
+    };
+    add(0, 1, 1000, true);
+    add(0, 1, 1000, true);
+    add(64, 32, 200);
+    add(64, 32, 200);
+    add(7, 33, 129);
+    add(512, 0, 100);
+    add(1000000, -5, 300);
+    add(4096, 1, 1);
+    add(4096, 1, 64);
+    add(4096, 1, 65);
+    // A double-stream op after batched ones: its element-wise issue
+    // consumes the bus/bank state the fast-forwards absorbed, so any
+    // absorption error shows up as a timing difference here.
+    VectorOp twin;
+    twin.first = VectorRef{0, 1, 256};
+    twin.second = VectorRef{500000, 4, 200};
+    trace.push_back(twin);
+    add(0, 2, 555);
+    return trace;
+}
+
+TEST(BatchedMmDifferential, MachinesByMapping)
+{
+    const Trace trace = mmTrace();
+    for (const auto &[name, machine] : mmMachines()) {
+        MmSimulator scalar(machine);
+        scalar.setEngine(SimEngine::Scalar);
+        const SimResult want = scalar.run(trace);
+
+        MmSimulator batched(machine);
+        batched.setEngine(SimEngine::Auto);
+        const SimResult got = batched.run(trace);
+        expectSameResult(got, want, name);
+    }
+}
+
+TEST(BatchedMmDifferential, ConstantStrideStream)
+{
+    for (const std::int64_t stride : {1, 2, 32, 1023}) {
+        ConstantStrideSource source(0, stride, 2048, 10, true);
+        for (const auto &[name, machine] : mmMachines()) {
+            source.reset();
+            MmSimulator scalar(machine);
+            scalar.setEngine(SimEngine::Scalar);
+            const SimResult want = scalar.run(source);
+
+            source.reset();
+            MmSimulator batched(machine);
+            batched.setEngine(SimEngine::Auto);
+            const SimResult got = batched.run(source);
+            expectSameResult(got, want,
+                             name + "/stride" +
+                                 std::to_string(stride));
+        }
+    }
+}
+
+/** Trips the cancel token just before the Nth op is produced. */
+class CancellingSource final : public TraceSource
+{
+  public:
+    CancellingSource(TraceSource &inner, CancelToken &token,
+                     std::uint64_t after)
+        : inner(inner), token(token), after(after)
+    {
+    }
+
+    bool
+    next(VectorOp &op) override
+    {
+        if (served == after)
+            token.requestCancel(CancelToken::Reason::Cancelled);
+        ++served;
+        return inner.next(op);
+    }
+
+    void
+    reset() override
+    {
+        served = 0;
+        inner.reset();
+    }
+
+  private:
+    TraceSource &inner;
+    CancelToken &token;
+    std::uint64_t after;
+    std::uint64_t served = 0;
+};
+
+TEST(BatchedCancellation, CcPollsPerOpInBothEngines)
+{
+    // Cancel mid-run, after the batched engine has certified the op
+    // and is extrapolating: the poll must still fire per op.
+    ConstantStrideSource stream(0, 1, 512, 40, false);
+    for (const SimEngine engine :
+         {SimEngine::Scalar, SimEngine::Auto}) {
+        CancelToken token;
+        CancellingSource source(stream, token, 10);
+        source.reset();
+        CcSimulator sim(paperMachineM32(), CacheConfig{});
+        sim.setEngine(engine);
+        sim.setCancelToken(&token);
+        EXPECT_THROW(sim.run(source), VcError)
+            << simEngineName(engine);
+    }
+}
+
+TEST(BatchedCancellation, MmPollsPerOpInBothEngines)
+{
+    ConstantStrideSource stream(0, 1, 512, 40, false);
+    for (const SimEngine engine :
+         {SimEngine::Scalar, SimEngine::Auto}) {
+        CancelToken token;
+        CancellingSource source(stream, token, 10);
+        source.reset();
+        MmSimulator sim(paperMachineM32());
+        sim.setEngine(engine);
+        sim.setCancelToken(&token);
+        EXPECT_THROW(sim.run(source), VcError)
+            << simEngineName(engine);
+    }
+}
+
+/**
+ * Fault-injection interplay (compiled-in sites only): an armed plan
+ * must observe identical site traffic from both engines.  The MM
+ * fast-forward would skip memory.bank.issue sites, so it falls back
+ * to element-wise replay when a plan is live; the CC engine keeps
+ * batching because provably-steady passes never reach those sites in
+ * either engine.
+ */
+class BatchedFaults : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!faults::kEnabled)
+            GTEST_SKIP()
+                << "fault-injection sites not compiled in";
+    }
+
+    void TearDown() override { faults::clearFaults(); }
+
+    void
+    install(const std::string &spec)
+    {
+        const auto plan = faults::parseFaultSpec(spec, 1);
+        ASSERT_TRUE(plan.ok()) << spec;
+        faults::configureFaults(plan.value());
+    }
+};
+
+TEST_F(BatchedFaults, MmArmedPlanFiresIdentically)
+{
+    const Trace trace = mmTrace();
+    std::uint64_t hits[2] = {0, 0};
+    int threw = 0;
+    int i = 0;
+    for (const SimEngine engine :
+         {SimEngine::Scalar, SimEngine::Auto}) {
+        // Reinstall per run: site hit counters reset on install.
+        install("memory.bank.issue=throw@every:1500");
+        MmSimulator sim(paperMachineM32());
+        sim.setEngine(engine);
+        try {
+            sim.run(trace);
+        } catch (const VcError &) {
+            ++threw;
+        }
+        hits[i++] = faults::faultSiteHits("memory.bank.issue");
+    }
+    EXPECT_EQ(threw, 2);
+    EXPECT_EQ(hits[0], hits[1]);
+}
+
+TEST_F(BatchedFaults, CcDormantRuleKeepsBatchingAndCountsMatch)
+{
+    ConstantStrideSource source(0, 1, 1000, 20, true);
+    std::uint64_t hits[2] = {0, 0};
+    SimResult results[2];
+    int i = 0;
+    for (const SimEngine engine :
+         {SimEngine::Scalar, SimEngine::Auto}) {
+        install("memory.bank.issue=throw@every:1000000000");
+        source.reset();
+        CcSimulator sim(paperMachineM32(), CacheConfig{});
+        sim.setEngine(engine);
+        results[i] = sim.run(source);
+        hits[i] = faults::faultSiteHits("memory.bank.issue");
+        ++i;
+    }
+    expectSameResult(results[1], results[0], "cc-armed-plan");
+    EXPECT_EQ(hits[0], hits[1]);
+}
+
+} // namespace
+} // namespace vcache
