@@ -27,6 +27,7 @@
 #include "core/comparison.hh"
 #include "core/defaults.hh"
 #include "sim/runner.hh"
+#include "sim/sampling.hh"
 #include "sim/sweep.hh"
 #include "trace/source.hh"
 #include "trace/vcm.hh"
@@ -53,12 +54,16 @@ struct SimPoint
     double mm;
     double direct;
     double prime;
+    /** CI half-widths; only populated by --engine sampled. */
+    double mmCi;
+    double directCi;
+    double primeCi;
 };
 
 SimPoint
 simulatePoint(const MachineParams &machine, std::uint64_t b,
               double p_ds, std::uint64_t seed, const CancelToken *cancel,
-              SimEngine engine)
+              SimEngine engine, double target_ci)
 {
     VcmParams p;
     p.blockingFactor = b;
@@ -66,10 +71,45 @@ simulatePoint(const MachineParams &machine, std::uint64_t b,
     p.pDoubleStream = p_ds;
     p.blocks = 2;
 
+    SimPoint out{};
+    if (engine == SimEngine::Sampled) {
+        // The sampled estimator needs unit-addressable traces, so
+        // this path materializes them (unlike the exact engines
+        // below).  Sampling runs single-threaded inside the point --
+        // the sweep already fans out across points.
+        SamplingOptions opts;
+        opts.targetRelativeCi = target_ci;
+        opts.seed = seed;
+        opts.cancel = cancel;
+        p.maxStride = machine.banks();
+        const Trace mm_trace = generateVcmTrace(p, seed);
+        const auto mm = sampleMm(machine, mm_trace, opts);
+        if (!mm.ok())
+            throw VcError(mm.error());
+        out.mm = mm.value().cyclesPerElement;
+        out.mmCi = mm.value().ciHalfWidth;
+        p.maxStride = 8192;
+        const Trace cc_trace = generateVcmTrace(p, seed);
+        const auto direct = sampleCc(
+            machine, ccCacheConfig(machine, CacheScheme::Direct),
+            cc_trace, opts);
+        if (!direct.ok())
+            throw VcError(direct.error());
+        out.direct = direct.value().cyclesPerElement;
+        out.directCi = direct.value().ciHalfWidth;
+        const auto prime = sampleCc(
+            machine, ccCacheConfig(machine, CacheScheme::Prime),
+            cc_trace, opts);
+        if (!prime.ok())
+            throw VcError(prime.error());
+        out.prime = prime.value().cyclesPerElement;
+        out.primeCi = prime.value().ciHalfWidth;
+        return out;
+    }
+
     // Stream the workloads straight from the generators' RNG: no
     // point ever materializes its trace (the grid's large-B points
     // would otherwise allocate multi-megabyte vectors per worker).
-    SimPoint out{};
     p.maxStride = machine.banks();
     VcmTraceSource mm_source(p, seed);
     out.mm = simulateMm(machine, mm_source, cancel, engine)
@@ -98,16 +138,22 @@ main(int argc, char **argv)
     args.addFlag("sim", "true",
                  "also run the MM/CC simulators at every point");
     args.addFlag("engine", "auto",
-                 "simulator engine: auto (run-batched fast-forward) "
-                 "or scalar (element-wise reference); the CSV is "
-                 "byte-identical either way");
+                 "simulator engine: auto (run-batched fast-forward), "
+                 "scalar (element-wise reference; the CSV is "
+                 "byte-identical to auto) or sampled (SMARTS-style "
+                 "statistical sampling; adds *_ci half-width columns)");
+    args.addFlag("target-ci", "0.03",
+                 "sampled engine only: target relative 95% CI "
+                 "half-width before sampling stops");
     args.parse(argc, argv);
     SweepOptions opts = sweepOptionsFromFlags(args, "sweep_grid");
     const bool sim = args.getBool("sim");
     const auto engine = parseSimEngine(args.getString("engine"));
     if (!engine)
-        vc_fatal("unknown --engine (expected auto or scalar): " +
-                 args.getString("engine"));
+        vc_fatal("unknown --engine (expected auto, scalar or "
+                 "sampled): " + args.getString("engine"));
+    const bool sampled = *engine == SimEngine::Sampled;
+    const double target_ci = args.getDouble("target-ci");
 
     // The engine publishes sweep.points_ok / sweep.points_failed /
     // sweep.point_retries / sweep.interrupted here; the ObsSession
@@ -127,6 +173,10 @@ main(int argc, char **argv)
     if (sim) {
         headers.insert(headers.end(),
                        {"sim_mm", "sim_direct", "sim_prime"});
+        if (sampled) {
+            headers.insert(headers.end(),
+                           {"mm_ci", "cc_direct_ci", "cc_prime_ci"});
+        }
     }
     const std::size_t columns = headers.size();
     Table csv(headers);
@@ -163,10 +213,15 @@ main(int argc, char **argv)
                 const auto s =
                     simulatePoint(machine, g.blockingFactor,
                                   wl.pDoubleStream, seed, &w.cancel,
-                                  *engine);
+                                  *engine, target_ci);
                 row.push_back(Table::format(s.mm));
                 row.push_back(Table::format(s.direct));
                 row.push_back(Table::format(s.prime));
+                if (sampled) {
+                    row.push_back(Table::format(s.mmCi));
+                    row.push_back(Table::format(s.directCi));
+                    row.push_back(Table::format(s.primeCi));
+                }
             }
             return row;
         },

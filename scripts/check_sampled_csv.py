@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validate a --engine sampled sweep CSV against the exact reference.
+
+Usage:
+    check_sampled_csv.py SAMPLED_CSV EXACT_CSV [--ci-slack MULT]
+                         [--min-coverage FRAC]
+
+Both files come from bench/sweep_grid: SAMPLED_CSV from
+`--engine sampled` (which adds the mm_ci / cc_direct_ci / cc_prime_ci
+half-width columns), EXACT_CSV from `--engine auto` or `scalar`.  Rows
+are matched by grid coordinates (banks, t_m, B) and each sampled
+estimate is compared with the exact simulated value next to its own
+confidence interval:
+
+  * hard gate: |sampled - exact| <= MULT * ci for every comparison
+    (default 4x -- an honest interval essentially never misses by
+    that much, so a violation means the estimator or its CI is wrong);
+  * coverage gate: the fraction of comparisons with
+    |sampled - exact| <= ci must be at least FRAC (default 0.80 --
+    nominal coverage is the CI's confidence level, but the half-width
+    is floored by the non-sampling-bias allowance and many grid traces
+    are short enough to be measured exactly, so observed coverage sits
+    well above this floor).
+
+Sanity checks ride along: every sampled row must carry finite,
+positive estimates and non-negative half-widths, and the two files
+must cover the same grid with status=ok rows.
+"""
+
+import argparse
+import csv
+import math
+import sys
+
+
+def read_rows(path: str) -> tuple[list[str], dict[tuple, dict]]:
+    try:
+        with open(path, newline="", encoding="utf-8") as f:
+            reader = csv.DictReader(f)
+            if reader.fieldnames is None:
+                print(f"check_sampled_csv: {path} is empty",
+                      file=sys.stderr)
+                raise SystemExit(1)
+            rows = {}
+            for row in reader:
+                key = (row.get("banks"), row.get("t_m"), row.get("B"))
+                rows[key] = row
+            return list(reader.fieldnames), rows
+    except OSError as err:
+        print(f"check_sampled_csv: cannot read {path}: {err}",
+              file=sys.stderr)
+        raise SystemExit(1)
+
+
+def value(row: dict, column: str, path: str, key: tuple) -> float:
+    try:
+        v = float(row[column])
+    except (KeyError, TypeError, ValueError):
+        print(f"check_sampled_csv: {path}: row {key} has no numeric "
+              f"'{column}'", file=sys.stderr)
+        raise SystemExit(1)
+    if not math.isfinite(v):
+        print(f"check_sampled_csv: {path}: row {key} column "
+              f"'{column}' is not finite", file=sys.stderr)
+        raise SystemExit(1)
+    return v
+
+
+# (sampled estimate column, its CI column, exact reference column).
+PAIRS = [
+    ("sim_mm", "mm_ci", "sim_mm"),
+    ("sim_direct", "cc_direct_ci", "sim_direct"),
+    ("sim_prime", "cc_prime_ci", "sim_prime"),
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("sampled")
+    parser.add_argument("exact")
+    parser.add_argument(
+        "--ci-slack",
+        type=float,
+        default=4.0,
+        help="hard gate: |sampled - exact| <= this multiple of the "
+             "row's CI half-width (default 4)",
+    )
+    parser.add_argument(
+        "--min-coverage",
+        type=float,
+        default=0.80,
+        help="minimum fraction of comparisons falling inside 1x the "
+             "CI half-width (default 0.80)",
+    )
+    args = parser.parse_args()
+
+    sampled_headers, sampled = read_rows(args.sampled)
+    _, exact = read_rows(args.exact)
+
+    for column in ("mm_ci", "cc_direct_ci", "cc_prime_ci"):
+        if column not in sampled_headers:
+            print(f"check_sampled_csv: {args.sampled} has no "
+                  f"'{column}' column -- was it produced with "
+                  f"--engine sampled?", file=sys.stderr)
+            return 1
+    if sampled.keys() != exact.keys():
+        print(f"check_sampled_csv: {args.sampled} and {args.exact} "
+              f"cover different grids", file=sys.stderr)
+        return 1
+
+    compared = 0
+    covered = 0
+    hard_failures = []
+    for key in sampled:
+        s_row, e_row = sampled[key], exact[key]
+        if s_row.get("status") != "ok" or e_row.get("status") != "ok":
+            print(f"check_sampled_csv: row {key} is not ok in both "
+                  f"files ({s_row.get('status')!r} vs "
+                  f"{e_row.get('status')!r})", file=sys.stderr)
+            return 1
+        for est_col, ci_col, exact_col in PAIRS:
+            est = value(s_row, est_col, args.sampled, key)
+            ci = value(s_row, ci_col, args.sampled, key)
+            ref = value(e_row, exact_col, args.exact, key)
+            if est <= 0.0 or ci < 0.0:
+                print(f"check_sampled_csv: row {key}: {est_col}={est} "
+                      f"{ci_col}={ci} fails the sign sanity check",
+                      file=sys.stderr)
+                return 1
+            delta = abs(est - ref)
+            compared += 1
+            if delta <= ci:
+                covered += 1
+            if delta > args.ci_slack * ci:
+                hard_failures.append(
+                    f"{key} {est_col}: sampled {est:.4g} vs exact "
+                    f"{ref:.4g}, |delta| {delta:.4g} > "
+                    f"{args.ci_slack:g} * ci {ci:.4g}")
+
+    if compared == 0:
+        print("check_sampled_csv: no comparable rows", file=sys.stderr)
+        return 1
+    for failure in hard_failures:
+        print(f"check_sampled_csv: HARD MISS {failure}",
+              file=sys.stderr)
+    coverage = covered / compared
+    print(f"check_sampled_csv: {compared} comparisons, "
+          f"{covered} inside 1x CI ({coverage:.1%}), "
+          f"{len(hard_failures)} beyond {args.ci_slack:g}x CI")
+    if hard_failures:
+        return 1
+    if coverage < args.min_coverage:
+        print(f"check_sampled_csv: CI coverage {coverage:.1%} is "
+              f"below the {args.min_coverage:.0%} floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -109,6 +109,19 @@ class DirectMappedCache final : public Cache
                         std::uint64_t length,
                         std::vector<std::uint64_t> &out) const override;
 
+    void
+    captureState(std::vector<std::uint64_t> &out) const override
+    {
+        detail::appendFrameState(frames, out);
+    }
+
+    bool
+    restoreState(const std::vector<std::uint64_t> &blob) override
+    {
+        return detail::restoreFrameState(frames, blob.data(),
+                                         blob.size());
+    }
+
   private:
     struct Frame
     {

@@ -174,4 +174,25 @@ PrimeSetAssociativeCache::appendRunState(
     return true;
 }
 
+void
+PrimeSetAssociativeCache::captureState(
+    std::vector<std::uint64_t> &out) const
+{
+    detail::appendFrameState(frames, out);
+    policy->captureState(out);
+}
+
+bool
+PrimeSetAssociativeCache::restoreState(
+    const std::vector<std::uint64_t> &blob)
+{
+    const std::size_t fw =
+        detail::frameStateWords(frames, blob.data(), blob.size());
+    if (fw == 0 || blob.size() != fw + policy->stateWords())
+        return false;
+    if (!detail::restoreFrameState(frames, blob.data(), fw))
+        return false;
+    return policy->restoreState(blob.data() + fw, blob.size() - fw);
+}
+
 } // namespace vcache

@@ -47,6 +47,23 @@ LruPolicy::reset()
 }
 
 void
+LruPolicy::captureState(std::vector<std::uint64_t> &out) const
+{
+    out.push_back(clock);
+    out.insert(out.end(), lastUse.begin(), lastUse.end());
+}
+
+bool
+LruPolicy::restoreState(const std::uint64_t *words, std::size_t n)
+{
+    if (n != stateWords())
+        return false;
+    clock = words[0];
+    std::copy(words + 1, words + n, lastUse.begin());
+    return true;
+}
+
+void
 FifoPolicy::configure(std::uint64_t sets, unsigned w)
 {
     ways = w;
@@ -87,6 +104,23 @@ FifoPolicy::reset()
     clock = 0;
 }
 
+void
+FifoPolicy::captureState(std::vector<std::uint64_t> &out) const
+{
+    out.push_back(clock);
+    out.insert(out.end(), fillTime.begin(), fillTime.end());
+}
+
+bool
+FifoPolicy::restoreState(const std::uint64_t *words, std::size_t n)
+{
+    if (n != stateWords())
+        return false;
+    clock = words[0];
+    std::copy(words + 1, words + n, fillTime.begin());
+    return true;
+}
+
 RandomPolicy::RandomPolicy(std::uint64_t seed_value)
     : seed(seed_value), rng(seed_value)
 {
@@ -120,6 +154,23 @@ RandomPolicy::reset()
 {
     rng.seed(seed);
     draws = 0;
+}
+
+void
+RandomPolicy::captureState(std::vector<std::uint64_t> &out) const
+{
+    out.push_back(rng.rawState());
+    out.push_back(draws);
+}
+
+bool
+RandomPolicy::restoreState(const std::uint64_t *words, std::size_t n)
+{
+    if (n != stateWords())
+        return false;
+    rng.setRawState(words[0]);
+    draws = words[1];
+    return true;
 }
 
 std::unique_ptr<ReplacementPolicy>

@@ -71,6 +71,20 @@ class ReplacementPolicy
      * Policies fully described by their per-way ranks return 0.
      */
     virtual std::uint64_t stateToken() const { return 0; }
+
+    /**
+     * Exact snapshot/restore of the policy's full state -- absolute
+     * clocks and, for Random, the RNG stream position -- so a
+     * restored cache replays victim choices bit-for-bit (the sampling
+     * engine's live-points).  Unlike stateOf()'s within-set ranks this
+     * is not canonicalized: it is a resume format, not a comparison
+     * key.  restoreState() consumes exactly stateWords() words and
+     * returns false on a size mismatch.
+     */
+    virtual std::size_t stateWords() const = 0;
+    virtual void captureState(std::vector<std::uint64_t> &out) const = 0;
+    virtual bool restoreState(const std::uint64_t *words,
+                              std::size_t n) = 0;
 };
 
 /** Least recently used. */
@@ -89,6 +103,11 @@ class LruPolicy : public ReplacementPolicy
     {
         return lastUse[set * ways + way];
     }
+
+    std::size_t stateWords() const override { return 1 + lastUse.size(); }
+    void captureState(std::vector<std::uint64_t> &out) const override;
+    bool restoreState(const std::uint64_t *words,
+                      std::size_t n) override;
 
   private:
     unsigned ways = 0;
@@ -112,6 +131,11 @@ class FifoPolicy : public ReplacementPolicy
     {
         return fillTime[set * ways + way];
     }
+
+    std::size_t stateWords() const override { return 1 + fillTime.size(); }
+    void captureState(std::vector<std::uint64_t> &out) const override;
+    bool restoreState(const std::uint64_t *words,
+                      std::size_t n) override;
 
   private:
     unsigned ways = 0;
@@ -141,6 +165,11 @@ class RandomPolicy : public ReplacementPolicy
 
     /** RNG draws consumed; see ReplacementPolicy::stateToken(). */
     std::uint64_t stateToken() const override { return draws; }
+
+    std::size_t stateWords() const override { return 2; }
+    void captureState(std::vector<std::uint64_t> &out) const override;
+    bool restoreState(const std::uint64_t *words,
+                      std::size_t n) override;
 
   private:
     unsigned ways = 0;

@@ -167,6 +167,27 @@ SetAssociativeCache::appendRunState(
     return true;
 }
 
+void
+SetAssociativeCache::captureState(
+    std::vector<std::uint64_t> &out) const
+{
+    detail::appendFrameState(frames, out);
+    policy->captureState(out);
+}
+
+bool
+SetAssociativeCache::restoreState(
+    const std::vector<std::uint64_t> &blob)
+{
+    const std::size_t fw =
+        detail::frameStateWords(frames, blob.data(), blob.size());
+    if (fw == 0 || blob.size() != fw + policy->stateWords())
+        return false;
+    if (!detail::restoreFrameState(frames, blob.data(), fw))
+        return false;
+    return policy->restoreState(blob.data() + fw, blob.size() - fw);
+}
+
 std::unique_ptr<SetAssociativeCache>
 makeFullyAssociative(const AddressLayout &layout,
                      std::unique_ptr<ReplacementPolicy> policy)

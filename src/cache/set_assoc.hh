@@ -52,6 +52,9 @@ class SetAssociativeCache final : public Cache
                         std::uint64_t length,
                         std::vector<std::uint64_t> &out) const override;
 
+    void captureState(std::vector<std::uint64_t> &out) const override;
+    bool restoreState(const std::vector<std::uint64_t> &blob) override;
+
   private:
     struct Way
     {

@@ -68,7 +68,10 @@ CcSimulator::run(TraceSource &source)
     // Run batching only engages on the uninstrumented overloads, and
     // only in the no-prefetch instantiation: prefetch timing depends
     // on absolute bank/bus state, which extrapolated passes skip.
-    if (engineKind == SimEngine::Auto &&
+    // Sampled is driven from sim/sampling.hh, which feeds this
+    // simulator per-unit trace slices; inside a unit it behaves like
+    // Auto.
+    if (engineKind != SimEngine::Scalar &&
         prefetchPolicy == PrefetchPolicy::None && prefetchCount == 0) {
         Cache *base = vectorCache.get();
         if (auto *direct = dynamic_cast<DirectMappedCache *>(base))

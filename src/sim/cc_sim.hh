@@ -174,6 +174,33 @@ class CcSimulator
     /** Reset cache, banks and buses between runs. */
     void reset();
 
+    /**
+     * Restore a Cache::captureState() live-point snapshot into this
+     * simulator's cache (sampling-engine resume; see sim/sampling.hh).
+     * Bank and bus timing state is *not* part of a live-point -- the
+     * caller re-warms it with a detailed-warming prefix.
+     *
+     * @return false on a geometry mismatch (cache unchanged)
+     */
+    bool
+    restoreCacheState(const std::vector<std::uint64_t> &blob)
+    {
+        return vectorCache->restoreState(blob);
+    }
+
+    /**
+     * Pre-populate the first-touch set that classifies compulsory
+     * misses.  A live-point resume starts from a warmed cache, so the
+     * lines the warming pass already brought in must not be counted
+     * compulsory again when the measurement window re-misses them.
+     */
+    void
+    seedTouchedLines(const std::vector<Addr> &lines)
+    {
+        for (Addr line : lines)
+            touchedLines.insert(line);
+    }
+
     const Cache &cache() const { return *vectorCache; }
     const MachineParams &params() const { return machine; }
 

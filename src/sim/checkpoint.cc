@@ -59,10 +59,14 @@ healTornTail(const std::string &path)
             keep = size;
     }
     const bool read_err = std::ferror(f) != 0;
+    // fclose can clobber errno (it flushes and closes the underlying
+    // descriptor), so latch the read failure's code before closing.
+    const int read_errno = errno;
     std::fclose(f);
     if (read_err)
         return makeError(Errc::Io, "cannot read checkpoint '" + path +
-                                       "': " + std::strerror(errno));
+                                       "': " +
+                                       std::strerror(read_errno));
     if (keep == size)
         return size > 0;
 
@@ -477,8 +481,12 @@ readCheckpoint(const std::string &path)
 
         if (!parsed) {
             // A torn final line is the expected signature of a killed
-            // process; anything earlier is real corruption.
-            if (in.peek() == std::ifstream::traits_type::eof()) {
+            // process; anything earlier is real corruption.  getline
+            // sets eofbit only when the line ran out of file before a
+            // terminating '\n', so a complete (newline-terminated)
+            // final record that fails to parse is corruption too --
+            // the writer never emits a record without its newline.
+            if (in.eof()) {
                 warn("checkpoint '", path, "': ignoring torn final "
                      "line ", line_no);
                 break;

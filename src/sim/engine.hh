@@ -28,13 +28,29 @@ enum class SimEngine
     Auto,
     /** Element-wise replay only (the reference behaviour). */
     Scalar,
+    /**
+     * SMARTS-style systematic sampling: simulate detailed timing only
+     * on sampled measurement units, functionally warm the cache
+     * between them, and report cycles-per-element with a confidence
+     * interval.  Handled by sim/sampling.hh, which drives the
+     * simulators (in Auto mode) over per-unit trace slices; the
+     * simulators themselves treat Sampled like Auto.
+     */
+    Sampled,
 };
 
 /** Stable lower-case name, for CLI flags and report labels. */
 constexpr std::string_view
 simEngineName(SimEngine engine)
 {
-    return engine == SimEngine::Scalar ? "scalar" : "auto";
+    switch (engine) {
+      case SimEngine::Scalar:
+        return "scalar";
+      case SimEngine::Sampled:
+        return "sampled";
+      default:
+        return "auto";
+    }
 }
 
 /** Parse a CLI spelling; nullopt when unrecognized. */
@@ -45,6 +61,8 @@ parseSimEngine(std::string_view text)
         return SimEngine::Auto;
     if (text == "scalar")
         return SimEngine::Scalar;
+    if (text == "sampled")
+        return SimEngine::Sampled;
     return std::nullopt;
 }
 

@@ -31,7 +31,9 @@ MmSimulator::run(const Trace &trace)
 SimResult
 MmSimulator::run(TraceSource &source)
 {
-    if (engineKind == SimEngine::Auto)
+    // Sampled is driven from sim/sampling.hh; per-unit slices run
+    // through the batched engine like Auto.
+    if (engineKind != SimEngine::Scalar)
         return runBatched(source);
     // The NullObserver instantiation IS the production fast path.
     NullObserver obs;

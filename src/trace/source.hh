@@ -65,6 +65,57 @@ class TraceVectorSource final : public TraceSource
     std::size_t pos = 0;
 };
 
+/**
+ * Adapter: stream a half-open [begin, end) slice of a materialized
+ * Trace -- the sampling engine's unit-addressable view (detailed
+ * warming prefix and measurement window of one measurement unit).
+ */
+class TraceSliceSource final : public TraceSource
+{
+  public:
+    /**
+     * @param trace the trace to slice (not owned; must outlive this)
+     * @param begin index of the first operation to emit
+     * @param end one past the last operation (clamped to the trace)
+     */
+    TraceSliceSource(const Trace &trace, std::size_t begin,
+                     std::size_t end)
+        : ops(trace), first(begin > trace.size() ? trace.size() : begin),
+          last(end > trace.size() ? trace.size() : end),
+          pos(first)
+    {
+    }
+
+    bool
+    next(VectorOp &op) override
+    {
+        if (pos >= last)
+            return false;
+        op = ops[pos++];
+        return true;
+    }
+
+    void reset() override { pos = first; }
+
+  private:
+    const Trace &ops;
+    std::size_t first;
+    std::size_t last;
+    std::size_t pos;
+};
+
+/** Drain a source into a materialized Trace (source left exhausted). */
+inline Trace
+materializeTrace(TraceSource &source)
+{
+    Trace trace;
+    source.reset();
+    VectorOp op;
+    while (source.next(op))
+        trace.push_back(op);
+    return trace;
+}
+
 /** Streaming equivalent of generateVcmTrace(). */
 class VcmTraceSource final : public TraceSource
 {

@@ -38,6 +38,15 @@ class Rng
     /** Reseed the generator. */
     void seed(std::uint64_t s);
 
+    /**
+     * Raw xorshift state, for exact snapshot/restore of mid-stream
+     * generators (the sampling engine's live-points).  setRawState
+     * applies the same zero-remap as seed(), so a restored generator
+     * continues the captured stream bit-for-bit.
+     */
+    std::uint64_t rawState() const { return state; }
+    void setRawState(std::uint64_t s) { seed(s); }
+
   private:
     std::uint64_t state;
 };

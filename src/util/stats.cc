@@ -109,6 +109,82 @@ Histogram::bucketHi(std::size_t i) const
     return bucketLo(i + 1);
 }
 
+double
+normalQuantile(double p)
+{
+    vc_assert(p > 0.0 && p < 1.0,
+              "normalQuantile needs p in (0, 1), got ", p);
+
+    // Acklam's rational approximation in three regions.
+    static constexpr double a[] = {
+        -3.969683028665376e+01, 2.209460984245205e+02,
+        -2.759285104469687e+02, 1.383577518672690e+02,
+        -3.066479806614716e+01, 2.506628277459239e+00};
+    static constexpr double b[] = {
+        -5.447609879822406e+01, 1.615858368580409e+02,
+        -1.556989798598866e+02, 6.680131188771972e+01,
+        -1.328068155288572e+01};
+    static constexpr double c[] = {
+        -7.784894002430293e-03, -3.223964580411365e-01,
+        -2.400758277161838e+00, -2.549732539343734e+00,
+        4.374664141464968e+00,  2.938163982698783e+00};
+    static constexpr double d[] = {
+        7.784695709041462e-03, 3.224671290700398e-01,
+        2.445134137142996e+00, 3.754408661907416e+00};
+    constexpr double lo = 0.02425;
+
+    if (p < lo) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                 c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > 1.0 - lo) {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                  c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) *
+                r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) *
+                r + 1.0);
+}
+
+double
+studentTQuantile(double p, std::uint64_t df)
+{
+    vc_assert(p > 0.0 && p < 1.0,
+              "studentTQuantile needs p in (0, 1), got ", p);
+    vc_assert(df >= 1, "studentTQuantile needs df >= 1");
+
+    // Closed forms for the two heaviest-tailed cases, where the
+    // normal expansion below is least accurate.
+    if (df == 1)
+        return std::tan(3.14159265358979323846 * (p - 0.5));
+    if (df == 2) {
+        const double a = 2.0 * p - 1.0;
+        return a * std::sqrt(2.0 / (1.0 - a * a));
+    }
+
+    // Cornish-Fisher-style expansion of t around the normal quantile
+    // in powers of 1/df (Abramowitz & Stegun 26.7.5).
+    const double z = normalQuantile(p);
+    const double v = static_cast<double>(df);
+    const double z2 = z * z;
+    const double g1 = z * (z2 + 1.0) / 4.0;
+    const double g2 = z * ((5.0 * z2 + 16.0) * z2 + 3.0) / 96.0;
+    const double g3 =
+        z * (((3.0 * z2 + 19.0) * z2 + 17.0) * z2 - 15.0) / 384.0;
+    const double g4 =
+        z * ((((79.0 * z2 + 776.0) * z2 + 1482.0) * z2 - 1920.0) * z2 -
+             945.0) / 92160.0;
+    return z + g1 / v + g2 / (v * v) + g3 / (v * v * v) +
+           g4 / (v * v * v * v);
+}
+
 std::string
 Histogram::render(std::size_t width) const
 {

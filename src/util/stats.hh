@@ -62,6 +62,23 @@ class RunningStats
 };
 
 /**
+ * Quantile (inverse CDF) of the standard normal distribution.
+ * Acklam's rational approximation; absolute error below 1.2e-9 over
+ * (0, 1).  Requires 0 < p < 1.
+ */
+double normalQuantile(double p);
+
+/**
+ * Quantile of Student's t distribution with `df` degrees of freedom.
+ * Exact for df 1 and 2; for df >= 3 a Cornish-Fisher expansion around
+ * the normal quantile (error well under 1e-2 for the central
+ * quantiles confidence intervals use).  The sampling engine's
+ * mean +- t * s / sqrt(n) intervals come from here.  Requires
+ * 0 < p < 1 and df >= 1.
+ */
+double studentTQuantile(double p, std::uint64_t df);
+
+/**
  * Fixed-width linear histogram over [lo, hi) with out-of-range buckets.
  */
 class Histogram

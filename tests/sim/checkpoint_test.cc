@@ -194,6 +194,63 @@ TEST(Checkpoint, AppendAfterTornTailHealsTheJournal)
     EXPECT_EQ(replay.value().done.size(), 3u);
 }
 
+TEST(Checkpoint, RejectsCompleteButCorruptFinalRecord)
+{
+    // A record that *is* newline-terminated but fails to parse is not
+    // a torn tail -- the writer always emits the newline with the
+    // record -- so it must be rejected, not silently dropped.
+    TempPath path("ckpt_corrupt_final.jsonl");
+    {
+        auto writer = CheckpointWriter::open(path.str(), header(), false);
+        ASSERT_TRUE(writer.ok());
+        ASSERT_TRUE(writer.value()->recordDone(1, {"good"}).ok());
+    }
+    {
+        std::ofstream out(path.str(), std::ios::app);
+        out << "{\"point\":2,\"status\":\"ok\",\"row\":[\"x\"}\n";
+    }
+    const auto replay = readCheckpoint(path.str());
+    ASSERT_FALSE(replay.ok());
+    EXPECT_EQ(replay.error().code, Errc::Io);
+    EXPECT_NE(replay.error().message.find("line 3"), std::string::npos);
+}
+
+TEST(Checkpoint, TornTailAfterBlankLineIsStillTolerated)
+{
+    // The eof()-based torn-tail test must fire on the line that
+    // actually failed to parse, even when earlier blank lines were
+    // skipped.
+    TempPath path("ckpt_torn_blank.jsonl");
+    {
+        auto writer = CheckpointWriter::open(path.str(), header(), false);
+        ASSERT_TRUE(writer.ok());
+        ASSERT_TRUE(writer.value()->recordDone(7, {"whole"}).ok());
+    }
+    {
+        std::ofstream out(path.str(), std::ios::app);
+        out << "\n{\"point\":8,\"status\":\"ok";
+    }
+    const auto replay = readCheckpoint(path.str());
+    ASSERT_TRUE(replay.ok()) << replay.error().describe();
+    EXPECT_EQ(replay.value().done.size(), 1u);
+    EXPECT_TRUE(replay.value().done.count(7));
+}
+
+TEST(Checkpoint, HealReportsTheReadFailuresErrno)
+{
+    // Opening a directory as a checkpoint makes every read fail with
+    // EISDIR; the heal path must report *that* errno, captured before
+    // fclose can clobber it.
+    auto writer =
+        CheckpointWriter::open(::testing::TempDir(), header(), true);
+    ASSERT_FALSE(writer.ok());
+    EXPECT_EQ(writer.error().code, Errc::Io);
+    EXPECT_NE(writer.error().message.find("cannot read checkpoint"),
+              std::string::npos);
+    EXPECT_NE(writer.error().message.find("Is a directory"),
+              std::string::npos);
+}
+
 TEST(Checkpoint, RejectsCorruptionBeforeTheFinalLine)
 {
     TempPath path("ckpt_corrupt.jsonl");

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "util/stats.hh"
 
 namespace vcache
@@ -156,6 +158,39 @@ TEST(Histogram, Placement)
     EXPECT_EQ(h.underflow(), 1u);
     EXPECT_EQ(h.overflow(), 1u);
     EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Quantiles, NormalMatchesTabulatedValues)
+{
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(normalQuantile(0.975), 1.959963985, 1e-6);
+    EXPECT_NEAR(normalQuantile(0.995), 2.575829304, 1e-6);
+    EXPECT_NEAR(normalQuantile(0.025), -normalQuantile(0.975), 1e-9);
+}
+
+TEST(Quantiles, StudentTMatchesTabulatedValues)
+{
+    // Classic two-sided 95% critical values: t_{0.975, df}.
+    EXPECT_NEAR(studentTQuantile(0.975, 1), 12.7062, 1e-3);
+    EXPECT_NEAR(studentTQuantile(0.975, 2), 4.3027, 1e-3);
+    EXPECT_NEAR(studentTQuantile(0.975, 3), 3.1824, 5e-3);
+    EXPECT_NEAR(studentTQuantile(0.975, 10), 2.2281, 5e-3);
+    EXPECT_NEAR(studentTQuantile(0.975, 30), 2.0423, 5e-3);
+    EXPECT_NEAR(studentTQuantile(0.975, 1000), 1.9623, 5e-3);
+}
+
+TEST(Quantiles, StudentTIsSymmetricAndMonotoneInDf)
+{
+    EXPECT_NEAR(studentTQuantile(0.025, 5),
+                -studentTQuantile(0.975, 5), 1e-9);
+    // More degrees of freedom shrink the tail toward the normal.
+    double prev = studentTQuantile(0.975, 1);
+    for (std::uint64_t df : {2u, 3u, 5u, 10u, 100u}) {
+        const double q = studentTQuantile(0.975, df);
+        EXPECT_LT(q, prev) << "df " << df;
+        EXPECT_GT(q, normalQuantile(0.975)) << "df " << df;
+        prev = q;
+    }
 }
 
 TEST(Histogram, RenderMentionsCounts)
