@@ -14,10 +14,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cache/direct.hh"
 #include "cache/prime.hh"
+#include "simd/kernels.hh"
 #include "core/comparison.hh"
 #include "core/defaults.hh"
 #include "sim/cc_sim.hh"
@@ -34,6 +36,19 @@ namespace
 {
 
 using namespace vcache;
+
+/**
+ * Label naming the SIMD backend the scalar-replay gang probes
+ * dispatched to, so tracked baselines record which engine produced a
+ * rate and scripts/compare_bench.py can refuse cross-backend
+ * comparisons.
+ */
+std::string
+simdBackendLabel()
+{
+    return std::string("simd=") +
+           simd::backendName(simd::activeBackend());
+}
 
 const Trace &
 benchTrace()
@@ -135,13 +150,15 @@ BENCHMARK_CAPTURE(BM_StreamingCcSimulator, prime, CacheScheme::Prime);
  * gates both entries); elements/s is the figure of merit.
  */
 void
-BM_BatchedCcSimulator(benchmark::State &state, SimEngine engine)
+BM_BatchedCcSimulator(benchmark::State &state, SimEngine engine,
+                      bool gang)
 {
     constexpr std::uint64_t kLength = 4096;
     constexpr std::uint64_t kRepeats = 100;
     ConstantStrideSource source(0, 3, kLength, kRepeats, true);
     CcSimulator sim(paperMachineM32(), CacheScheme::Prime);
     sim.setEngine(engine);
+    sim.setGangReplay(gang);
     for (auto _ : state) {
         sim.reset();
         source.reset();
@@ -149,18 +166,28 @@ BM_BatchedCcSimulator(benchmark::State &state, SimEngine engine)
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(
         state.iterations() * kLength * kRepeats));
+    state.SetLabel(simdBackendLabel());
 }
-BENCHMARK_CAPTURE(BM_BatchedCcSimulator, scalar, SimEngine::Scalar);
-BENCHMARK_CAPTURE(BM_BatchedCcSimulator, batched, SimEngine::Auto);
+BENCHMARK_CAPTURE(BM_BatchedCcSimulator, scalar, SimEngine::Scalar,
+                  true);
+// Gang replay off: the element-at-a-time loop over the same SoA tag
+// state.  The scalar/scalar_nogang ratio in one run is the SIMD gang
+// speedup on this host, independent of host-to-host rate differences.
+BENCHMARK_CAPTURE(BM_BatchedCcSimulator, scalar_nogang,
+                  SimEngine::Scalar, false);
+BENCHMARK_CAPTURE(BM_BatchedCcSimulator, batched, SimEngine::Auto,
+                  true);
 
 void
-BM_BatchedMmSimulator(benchmark::State &state, SimEngine engine)
+BM_BatchedMmSimulator(benchmark::State &state, SimEngine engine,
+                      bool gang)
 {
     constexpr std::uint64_t kLength = 4096;
     constexpr std::uint64_t kRepeats = 100;
     ConstantStrideSource source(0, 3, kLength, kRepeats, true);
     MmSimulator sim(paperMachineM32());
     sim.setEngine(engine);
+    sim.setGangReplay(gang);
     for (auto _ : state) {
         sim.reset();
         source.reset();
@@ -168,9 +195,14 @@ BM_BatchedMmSimulator(benchmark::State &state, SimEngine engine)
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(
         state.iterations() * kLength * kRepeats));
+    state.SetLabel(simdBackendLabel());
 }
-BENCHMARK_CAPTURE(BM_BatchedMmSimulator, scalar, SimEngine::Scalar);
-BENCHMARK_CAPTURE(BM_BatchedMmSimulator, batched, SimEngine::Auto);
+BENCHMARK_CAPTURE(BM_BatchedMmSimulator, scalar, SimEngine::Scalar,
+                  true);
+BENCHMARK_CAPTURE(BM_BatchedMmSimulator, scalar_nogang,
+                  SimEngine::Scalar, false);
+BENCHMARK_CAPTURE(BM_BatchedMmSimulator, batched, SimEngine::Auto,
+                  true);
 
 /**
  * The sampled engine on its target workload: a long trace on a

@@ -57,6 +57,7 @@ def main(argv: list[str]) -> None:
         fail(f"{raw_path} has no 'benchmarks' array")
 
     items = {}
+    simd_backend = None
     for bench in benchmarks:
         # Aggregate rows (mean/median/stddev) would shadow the plain
         # run; the baseline records the plain per-benchmark rate.
@@ -70,6 +71,19 @@ def main(argv: list[str]) -> None:
             "items_per_second": round(rate, 1),
             "real_time_ns": round(real_time_ns(bench), 1),
         }
+        # SIMD-dispatching benchmarks label themselves "simd=<backend>";
+        # keep it per-benchmark and hoist it into the context so
+        # compare_bench.py can refuse cross-backend comparisons.
+        label = bench.get("label", "")
+        if label.startswith("simd="):
+            backend = label[len("simd="):]
+            items[name]["simd_backend"] = backend
+            if simd_backend is None:
+                simd_backend = backend
+            elif simd_backend != backend:
+                fail(f"benchmarks disagree on the SIMD backend "
+                     f"({simd_backend!r} vs {backend!r}); rerun with "
+                     f"a single VCACHE_SIMD setting")
 
     if not items:
         fail(f"no benchmark in {raw_path} reported items_per_second")
@@ -106,6 +120,13 @@ def main(argv: list[str]) -> None:
             rate_of("BM_BatchedMmSimulator/batched"),
         "mm_batched_scalar_elements_per_s":
             rate_of("BM_BatchedMmSimulator/scalar"),
+        # Gang replay disabled on the same SoA tag state: the
+        # scalar/scalar_nogang ratio is the SIMD gang speedup on this
+        # host; CI gates it (see the perf smoke job).
+        "cc_batched_scalar_nogang_elements_per_s":
+            rate_of("BM_BatchedCcSimulator/scalar_nogang"),
+        "mm_batched_scalar_nogang_elements_per_s":
+            rate_of("BM_BatchedMmSimulator/scalar_nogang"),
         # SMARTS-style sampled engine on long batching-refused traces
         # (skewed bank mapping / XOR cache), next to forced scalar
         # replay of the same trace; CI gates the sampled/scalar ratio.
@@ -128,6 +149,7 @@ def main(argv: list[str]) -> None:
             "num_cpus": context.get("num_cpus"),
             "mhz_per_cpu": context.get("mhz_per_cpu"),
             "build_type": context.get("library_build_type"),
+            "simd_backend": simd_backend,
         },
         "summary": summary,
         "benchmarks": items,

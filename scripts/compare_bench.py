@@ -4,11 +4,14 @@
 Usage:
     compare_bench.py BASELINE_JSON CURRENT_JSON [--tolerance FRAC]
                      [--allow-build-type-mismatch]
+                     [--allow-simd-backend-mismatch]
 
 Both files must have been measured under the same
 context.build_type; a Debug-vs-Release comparison is refused unless
 explicitly overridden, since optimizer differences dwarf any real
-regression.
+regression.  The same rule applies to context.simd_backend: a
+forced-scalar run (VCACHE_SIMD=scalar) against an AVX2 baseline would
+read as a multi-x regression of the gang-probe benchmarks.
 
 Both files are in the BENCH_sim.json format written by
 bench_to_json.py.  The comparison walks the "summary" rates (elements
@@ -64,6 +67,31 @@ def check_build_types(base_doc: dict, curr_doc: dict,
     raise SystemExit(1)
 
 
+def check_simd_backends(base_doc: dict, curr_doc: dict,
+                        base_path: str, curr_path: str,
+                        allow_mismatch: bool) -> None:
+    """Refuse cross-backend comparisons: the gang-probe benchmarks run
+    several times faster under AVX2 than under the portable-scalar
+    kernels, so scalar-vs-avx2 rate deltas measure the dispatcher, not
+    a regression.  Files from before the backend was recorded (no
+    context.simd_backend) compare freely."""
+    base_be = base_doc.get("context", {}).get("simd_backend")
+    curr_be = curr_doc.get("context", {}).get("simd_backend")
+    if base_be is None or curr_be is None or base_be == curr_be:
+        return
+    msg = (f"compare_bench: simd_backend mismatch: {base_path} was "
+           f"measured under {base_be!r} but {curr_path} under "
+           f"{curr_be!r} -- gang-probe rates are not comparable "
+           f"across SIMD backends")
+    if allow_mismatch:
+        print(msg + " (continuing: --allow-simd-backend-mismatch)",
+              file=sys.stderr)
+        return
+    print(msg + " (pass --allow-simd-backend-mismatch to override)",
+          file=sys.stderr)
+    raise SystemExit(1)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -80,12 +108,20 @@ def main() -> int:
         help="warn instead of failing when the two files were "
              "measured under different context.build_type values",
     )
+    parser.add_argument(
+        "--allow-simd-backend-mismatch",
+        action="store_true",
+        help="warn instead of failing when the two files were "
+             "measured under different SIMD backends",
+    )
     args = parser.parse_args()
 
     base_doc = load_doc(args.baseline)
     curr_doc = load_doc(args.current)
     check_build_types(base_doc, curr_doc, args.baseline, args.current,
                       args.allow_build_type_mismatch)
+    check_simd_backends(base_doc, curr_doc, args.baseline,
+                        args.current, args.allow_simd_backend_mismatch)
     base = base_doc["summary"]
     curr = curr_doc["summary"]
 

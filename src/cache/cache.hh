@@ -229,8 +229,76 @@ class Cache
      */
     virtual AccessOutcome lookupAndFill(Addr line_addr) = 0;
 
+    /** True if the line is currently resident (no side effect). */
+    virtual bool containsLine(Addr line_addr) const = 0;
+
     /** True if the word's line is currently resident (no side effect). */
-    virtual bool contains(Addr word_addr) const = 0;
+    bool
+    contains(Addr word_addr) const
+    {
+        return containsLine(layout_.lineAddress(word_addr));
+    }
+
+    /**
+     * Side-effect-free gang residency probe: bit i of the result is
+     * set iff lines[i] is resident, for i < n (n <= simd::kMaxGang).
+     * The base implementation is the scalar loop; the direct-style
+     * mappings override it with the dispatched SIMD gang probe over
+     * their structure-of-arrays tag plane.
+     */
+    virtual std::uint32_t
+    probeHitMask(const Addr *lines, unsigned n) const
+    {
+        std::uint32_t hits = 0;
+        for (unsigned i = 0; i < n; ++i)
+            hits |= static_cast<std::uint32_t>(containsLine(lines[i]))
+                    << i;
+        return hits;
+    }
+
+    /**
+     * probeHitMask() over the constant-stride gang of word addresses
+     * base + i*stride (i < n, n <= simd::kMaxGang; mod-2^64 wrap like
+     * VectorRef::element): bit i set iff that element's line is
+     * resident.  The direct-style overrides run the fused SIMD
+     * stride-probe kernel, which never materialises the line vector.
+     */
+    virtual std::uint32_t
+    probeStrideHitMask(Addr base, std::int64_t stride,
+                       unsigned n) const
+    {
+        std::uint32_t hits = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            const Addr word = static_cast<Addr>(
+                base + static_cast<std::uint64_t>(stride) * i);
+            hits |= static_cast<std::uint32_t>(
+                        containsLine(layout_.lineAddress(word)))
+                    << i;
+        }
+        return hits;
+    }
+
+    /**
+     * True when a read hit leaves the cache (tags, flags, replacement
+     * state) completely unchanged, so a group of accesses that all
+     * hit can be credited in bulk (recordReadHits) without replaying
+     * them.  Direct-style mappings qualify; anything with replacement
+     * state mutated on hit (LRU set-associative organizations) does
+     * not.
+     */
+    virtual bool readHitsAreInert() const { return false; }
+
+    /**
+     * Bulk stats credit for n read hits on an inert cache: exactly n
+     * recordAccess() calls with a hit outcome, folded together.
+     */
+    void
+    recordReadHits(std::uint64_t n)
+    {
+        stats_.accesses += n;
+        stats_.reads += n;
+        stats_.hits += n;
+    }
 
     /** Set flag bits on the resident frame holding `line_addr`; no-op
      *  when the line is not resident. */
@@ -482,9 +550,33 @@ inline bool
 containsWord(const CacheT &cache, Addr word_addr)
 {
     if constexpr (std::is_final_v<CacheT>)
-        return cache.CacheT::contains(word_addr);
+        return cache.CacheT::containsLine(
+            cache.addressLayout().lineAddress(word_addr));
     else
         return cache.contains(word_addr);
+}
+
+/** Statically-bound Cache::probeHitMask (see probeLine). */
+template <typename CacheT>
+inline std::uint32_t
+probeGang(const CacheT &cache, const Addr *lines, unsigned n)
+{
+    if constexpr (std::is_final_v<CacheT>)
+        return cache.CacheT::probeHitMask(lines, n);
+    else
+        return cache.probeHitMask(lines, n);
+}
+
+/** Statically-bound Cache::probeStrideHitMask (see probeLine). */
+template <typename CacheT>
+inline std::uint32_t
+probeStrideGang(const CacheT &cache, Addr base, std::int64_t stride,
+                unsigned n)
+{
+    if constexpr (std::is_final_v<CacheT>)
+        return cache.CacheT::probeStrideHitMask(base, stride, n);
+    else
+        return cache.probeStrideHitMask(base, stride, n);
 }
 
 /** Statically-bound Cache::setLineFlag (see probeLine). */

@@ -5,7 +5,7 @@ namespace vcache
 
 DirectMappedCache::DirectMappedCache(const AddressLayout &layout)
     : Cache(layout, "direct-mapped"),
-      frames(std::uint64_t{1} << layout.indexBits())
+      tags_(std::uint64_t{1} << layout.indexBits())
 {
 }
 
@@ -13,17 +13,7 @@ void
 DirectMappedCache::reset()
 {
     Cache::reset();
-    for (auto &f : frames)
-        f = Frame{};
-}
-
-std::uint64_t
-DirectMappedCache::validLines() const
-{
-    std::uint64_t n = 0;
-    for (const auto &f : frames)
-        n += f.valid;
-    return n;
+    tags_.invalidateAll();
 }
 
 bool
@@ -38,7 +28,7 @@ DirectMappedCache::verifySteadyRun(Addr base, std::int64_t stride,
         !spansWithoutWrap(base, stride, length))
         return false;
     const std::uint64_t period =
-        steadyRunPeriod(frames.size(), stride);
+        steadyRunPeriod(tags_.size(), stride);
     const std::uint64_t distinct = period < length ? period : length;
     for (std::uint64_t r = 0; r < distinct; ++r) {
         // Last element of residue class r: the line this frame must
@@ -48,13 +38,13 @@ DirectMappedCache::verifySteadyRun(Addr base, std::int64_t stride,
         const Addr addr = static_cast<Addr>(
             static_cast<std::int64_t>(base) +
             stride * static_cast<std::int64_t>(last));
-        const Frame &frame = frames[frameOf(addr)];
-        if (!frame.valid || frame.line != addr)
+        const std::uint64_t f = frameOf(addr);
+        if (!tags_.resident(f, addr))
             return false;
         // Classes with two or more distinct addresses get their frame
         // refilled on replay; a flag bit there would mean a writeback
         // or a flag change, breaking the fixed point.
-        if (stride != 0 && r + period < length && frame.flags != 0)
+        if (stride != 0 && r + period < length && tags_.flags(f) != 0)
             return false;
     }
     return true;
@@ -74,18 +64,17 @@ DirectMappedCache::appendRunState(Addr base, std::int64_t stride,
     // first min(length, period) elements index every frame the run
     // can touch.
     const std::uint64_t period =
-        steadyRunPeriod(frames.size(), stride);
+        steadyRunPeriod(tags_.size(), stride);
     const std::uint64_t distinct = period < length ? period : length;
     for (std::uint64_t r = 0; r < distinct; ++r) {
         const Addr addr = static_cast<Addr>(
             static_cast<std::int64_t>(base) +
             stride * static_cast<std::int64_t>(r));
         const std::uint64_t f = frameOf(addr);
-        const Frame &frame = frames[f];
         out.push_back(f);
-        out.push_back(frame.valid);
-        out.push_back(frame.line);
-        out.push_back(frame.flags);
+        out.push_back(tags_.valid(f));
+        out.push_back(tags_.lineOrZero(f));
+        out.push_back(tags_.flags(f));
     }
     return true;
 }

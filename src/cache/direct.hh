@@ -4,7 +4,8 @@
  *
  * The class is `final` and defines its probe inline so the templated
  * simulator hot loops bind it statically (no virtual dispatch per
- * element).
+ * element).  Tag state lives in a structure-of-arrays TagArray, and
+ * probeHitMask() runs the dispatched SIMD gang probe over it.
  */
 
 #ifndef VCACHE_CACHE_DIRECT_HH
@@ -13,6 +14,8 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "cache/tag_array.hh"
+#include "simd/kernels.hh"
 
 namespace vcache
 {
@@ -27,57 +30,89 @@ class DirectMappedCache final : public Cache
     AccessOutcome
     lookupAndFill(Addr line_addr) override
     {
-        Frame &frame = frames[frameOf(line_addr)];
-        if (frame.valid && frame.line == line_addr)
+        const std::uint64_t f = frameOf(line_addr);
+        if (tags_.resident(f, line_addr))
             return {true, false, 0, 0};
 
-        AccessOutcome outcome{false, frame.valid, frame.line,
-                              frame.flags};
-        frame.valid = true;
-        frame.line = line_addr;
-        frame.flags = 0;
+        AccessOutcome outcome{false, tags_.valid(f),
+                              tags_.lineOrZero(f), tags_.flags(f)};
+        tags_.place(f, line_addr);
         return outcome;
     }
 
     bool
-    contains(Addr word_addr) const override
+    containsLine(Addr line_addr) const override
     {
-        const Addr line = layout_.lineAddress(word_addr);
-        const Frame &frame = frames[frameOf(line)];
-        return frame.valid && frame.line == line;
+        return tags_.resident(frameOf(line_addr), line_addr);
     }
+
+    std::uint32_t
+    probeHitMask(const Addr *lines, unsigned n) const override
+    {
+        if (tags_.sentinelResident()) {
+            std::uint32_t hits = 0;
+            for (unsigned i = 0; i < n; ++i)
+                hits |= static_cast<std::uint32_t>(
+                            tags_.resident(frameOf(lines[i]), lines[i]))
+                        << i;
+            return hits;
+        }
+        const simd::Kernels &k = simd::kernels();
+        std::uint64_t frames[simd::kMaxGang];
+        k.maskFrames(lines, n, tags_.size() - 1, frames);
+        return k.gangProbe(tags_.tagPlane(), frames, lines, n,
+                           TagArray::kEmptyTag);
+    }
+
+    std::uint32_t
+    probeStrideHitMask(Addr base, std::int64_t stride,
+                       unsigned n) const override
+    {
+        if (tags_.sentinelResident())
+            return Cache::probeStrideHitMask(base, stride, n);
+        return simd::kernels().strideProbe(
+            tags_.tagPlane(), base, stride, n, layout_.offsetBits(),
+            simd::IndexMap::Mask, layout_.indexBits(),
+            TagArray::kEmptyTag);
+    }
+
+    bool readHitsAreInert() const override { return true; }
 
     void
     setLineFlag(Addr line_addr, std::uint8_t flag) override
     {
-        Frame &frame = frames[frameOf(line_addr)];
-        if (frame.valid && frame.line == line_addr)
-            frame.flags |= flag;
+        const std::uint64_t f = frameOf(line_addr);
+        if (tags_.resident(f, line_addr))
+            tags_.orFlags(f, flag);
     }
 
     bool
     testLineFlag(Addr line_addr, std::uint8_t flag) const override
     {
-        const Frame &frame = frames[frameOf(line_addr)];
-        return frame.valid && frame.line == line_addr &&
-               (frame.flags & flag) == flag;
+        const std::uint64_t f = frameOf(line_addr);
+        return tags_.resident(f, line_addr) &&
+               (tags_.flags(f) & flag) == flag;
     }
 
     bool
     clearLineFlag(Addr line_addr, std::uint8_t flag) override
     {
-        Frame &frame = frames[frameOf(line_addr)];
-        if (frame.valid && frame.line == line_addr &&
-            (frame.flags & flag)) {
-            frame.flags &= static_cast<std::uint8_t>(~flag);
+        const std::uint64_t f = frameOf(line_addr);
+        if (tags_.resident(f, line_addr) && (tags_.flags(f) & flag)) {
+            tags_.clearFlags(f, flag);
             return true;
         }
         return false;
     }
 
     void reset() override;
-    std::uint64_t numLines() const override { return frames.size(); }
-    std::uint64_t validLines() const override;
+    std::uint64_t numLines() const override { return tags_.size(); }
+
+    std::uint64_t
+    validLines() const override
+    {
+        return tags_.validCount();
+    }
 
     std::uint64_t
     frameIndex(Addr line_addr) const override
@@ -89,7 +124,7 @@ class DirectMappedCache final : public Cache
     SteadyRunProbe
     probeSteadyRun(std::int64_t stride, std::uint64_t length) const
     {
-        return steadyRunProbe(frames.size(), stride, length);
+        return steadyRunProbe(tags_.size(), stride, length);
     }
 
     /**
@@ -112,31 +147,23 @@ class DirectMappedCache final : public Cache
     void
     captureState(std::vector<std::uint64_t> &out) const override
     {
-        detail::appendFrameState(frames, out);
+        tags_.appendState(out);
     }
 
     bool
     restoreState(const std::vector<std::uint64_t> &blob) override
     {
-        return detail::restoreFrameState(frames, blob.data(),
-                                         blob.size());
+        return tags_.restoreState(blob.data(), blob.size());
     }
 
   private:
-    struct Frame
-    {
-        bool valid = false;
-        Addr line = 0;
-        std::uint8_t flags = 0;
-    };
-
     std::uint64_t
     frameOf(Addr line_addr) const
     {
-        return line_addr & (frames.size() - 1);
+        return line_addr & (tags_.size() - 1);
     }
 
-    std::vector<Frame> frames;
+    TagArray tags_;
 };
 
 } // namespace vcache

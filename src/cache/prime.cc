@@ -8,7 +8,7 @@ namespace vcache
 PrimeMappedCache::PrimeMappedCache(const AddressLayout &layout,
                                    bool require_prime)
     : Cache(layout, "prime-mapped"),
-      frames(mersenne(layout.indexBits()))
+      tags_(mersenne(layout.indexBits()))
 {
     if (require_prime) {
         vc_assert(isMersenneExponent(layout.indexBits()),
@@ -22,17 +22,7 @@ void
 PrimeMappedCache::reset()
 {
     Cache::reset();
-    for (auto &f : frames)
-        f = Frame{};
-}
-
-std::uint64_t
-PrimeMappedCache::validLines() const
-{
-    std::uint64_t n = 0;
-    for (const auto &f : frames)
-        n += f.valid;
-    return n;
+    tags_.invalidateAll();
 }
 
 bool
@@ -47,7 +37,7 @@ PrimeMappedCache::verifySteadyRun(Addr base, std::int64_t stride,
         !spansWithoutWrap(base, stride, length))
         return false;
     const std::uint64_t period =
-        steadyRunPeriod(frames.size(), stride);
+        steadyRunPeriod(tags_.size(), stride);
     const std::uint64_t distinct = period < length ? period : length;
     for (std::uint64_t r = 0; r < distinct; ++r) {
         const std::uint64_t last =
@@ -55,10 +45,10 @@ PrimeMappedCache::verifySteadyRun(Addr base, std::int64_t stride,
         const Addr addr = static_cast<Addr>(
             static_cast<std::int64_t>(base) +
             stride * static_cast<std::int64_t>(last));
-        const Frame &frame = frames[frameOf(addr)];
-        if (!frame.valid || frame.line != addr)
+        const std::uint64_t f = frameOf(addr);
+        if (!tags_.resident(f, addr))
             return false;
-        if (stride != 0 && r + period < length && frame.flags != 0)
+        if (stride != 0 && r + period < length && tags_.flags(f) != 0)
             return false;
     }
     return true;
@@ -75,18 +65,17 @@ PrimeMappedCache::appendRunState(Addr base, std::int64_t stride,
         !spansWithoutWrap(base, stride, length))
         return false;
     const std::uint64_t period =
-        steadyRunPeriod(frames.size(), stride);
+        steadyRunPeriod(tags_.size(), stride);
     const std::uint64_t distinct = period < length ? period : length;
     for (std::uint64_t r = 0; r < distinct; ++r) {
         const Addr addr = static_cast<Addr>(
             static_cast<std::int64_t>(base) +
             stride * static_cast<std::int64_t>(r));
         const std::uint64_t f = frameOf(addr);
-        const Frame &frame = frames[f];
         out.push_back(f);
-        out.push_back(frame.valid);
-        out.push_back(frame.line);
-        out.push_back(frame.flags);
+        out.push_back(tags_.valid(f));
+        out.push_back(tags_.lineOrZero(f));
+        out.push_back(tags_.flags(f));
     }
     return true;
 }

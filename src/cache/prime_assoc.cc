@@ -88,9 +88,9 @@ PrimeSetAssociativeCache::findWay(Addr line_addr) const
 }
 
 bool
-PrimeSetAssociativeCache::contains(Addr word_addr) const
+PrimeSetAssociativeCache::containsLine(Addr line_addr) const
 {
-    return findWay(layout_.lineAddress(word_addr)) != nullptr;
+    return findWay(line_addr) != nullptr;
 }
 
 void

@@ -44,7 +44,7 @@ class PrimeSetAssociativeCache final : public Cache
                              bool require_prime = true);
 
     AccessOutcome lookupAndFill(Addr line_addr) override;
-    bool contains(Addr word_addr) const override;
+    bool containsLine(Addr line_addr) const override;
     void setLineFlag(Addr line_addr, std::uint8_t flag) override;
     bool testLineFlag(Addr line_addr,
                       std::uint8_t flag) const override;

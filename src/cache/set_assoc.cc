@@ -84,9 +84,9 @@ SetAssociativeCache::findWay(Addr line_addr) const
 }
 
 bool
-SetAssociativeCache::contains(Addr word_addr) const
+SetAssociativeCache::containsLine(Addr line_addr) const
 {
-    return findWay(layout_.lineAddress(word_addr)) != nullptr;
+    return findWay(line_addr) != nullptr;
 }
 
 void

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Structure-of-arrays tag state for the direct-style mappings.
+ *
+ * The AoS `struct Frame { bool valid; Addr line; uint8_t flags; }`
+ * vector cost 24 bytes per frame and made a gang probe gather three
+ * fields per element.  Here the same state is split into two planes:
+ *
+ *   tags_[f]  -- the resident line address, or kEmptyTag (all-ones)
+ *                when frame f is invalid;
+ *   meta_[f]  -- bit 7 (kValidBit) the valid bit, low bits the
+ *                Cache::k*Flag metadata.
+ *
+ * The sentinel makes residency a single comparison on the tag plane:
+ * `tags_[f] == line` proves a hit for every line except the sentinel
+ * value itself, so the SIMD gang probe (simd::Kernels::gangProbe)
+ * gathers one 64-bit word per element instead of a whole frame
+ * struct.  The one ambiguous case -- a genuinely resident line equal
+ * to ~0, reachable because VectorRef element arithmetic wraps mod
+ * 2^64 -- is tracked by a resident-sentinel count; while it is
+ * nonzero, gang users must take the scalar path (sentinelResident()).
+ * The scalar probe is exact always: resident() checks the valid bit
+ * whenever the probed line is the sentinel.
+ *
+ * Serialization is byte-identical to the detail::appendFrameState
+ * blob the AoS layout produced (invalid frames normalise their line
+ * word to 0, as a default-constructed Frame held line = 0), so PR 5/6
+ * checkpoints and run-state certificates survive the layout change
+ * unchanged.
+ */
+
+#ifndef VCACHE_CACHE_TAG_ARRAY_HH
+#define VCACHE_CACHE_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace vcache
+{
+
+class TagArray
+{
+  public:
+    /** Tag value held by invalid frames. */
+    static constexpr std::uint64_t kEmptyTag = ~std::uint64_t{0};
+    /** Valid bit in the metadata plane (above every Cache::k*Flag). */
+    static constexpr std::uint8_t kValidBit = 0x80;
+    /** Metadata bits that are frame flags. */
+    static constexpr std::uint8_t kFlagMask = 0x7f;
+
+    explicit TagArray(std::uint64_t frames)
+        : tags_(frames, kEmptyTag), meta_(frames, 0)
+    {
+    }
+
+    std::uint64_t size() const { return tags_.size(); }
+
+    /** Exact scalar residency test for frame f against `line`. */
+    bool
+    resident(std::uint64_t f, Addr line) const
+    {
+        // For any line but the sentinel, the tag compare alone
+        // decides; the second clause only materialises when probing
+        // for line ~0, where a valid-bit check disambiguates.
+        return tags_[f] == line &&
+               (line != kEmptyTag || (meta_[f] & kValidBit) != 0);
+    }
+
+    bool valid(std::uint64_t f) const
+    {
+        return (meta_[f] & kValidBit) != 0;
+    }
+
+    /** Resident line of a valid frame (sentinel when invalid). */
+    Addr line(std::uint64_t f) const { return tags_[f]; }
+
+    /**
+     * Resident line, with invalid frames reading as 0 -- the value
+     * the AoS layout's default-constructed frames reported, kept for
+     * AccessOutcome::evictedLine and blob parity.
+     */
+    Addr
+    lineOrZero(std::uint64_t f) const
+    {
+        return valid(f) ? tags_[f] : 0;
+    }
+
+    std::uint8_t flags(std::uint64_t f) const
+    {
+        return meta_[f] & kFlagMask;
+    }
+
+    void orFlags(std::uint64_t f, std::uint8_t flag)
+    {
+        meta_[f] |= static_cast<std::uint8_t>(flag & kFlagMask);
+    }
+
+    void
+    clearFlags(std::uint64_t f, std::uint8_t flag)
+    {
+        meta_[f] &= static_cast<std::uint8_t>(~(flag & kFlagMask));
+    }
+
+    /** Fill frame f with `line`, clearing its flags. */
+    void
+    place(std::uint64_t f, Addr line)
+    {
+        if (valid(f)) {
+            if (tags_[f] == kEmptyTag)
+                --sentinel_resident_;
+        } else {
+            ++valid_count_;
+        }
+        if (line == kEmptyTag)
+            ++sentinel_resident_;
+        tags_[f] = line;
+        meta_[f] = kValidBit;
+    }
+
+    void
+    invalidateAll()
+    {
+        tags_.assign(tags_.size(), kEmptyTag);
+        meta_.assign(meta_.size(), 0);
+        valid_count_ = 0;
+        sentinel_resident_ = 0;
+    }
+
+    std::uint64_t validCount() const { return valid_count_; }
+
+    /**
+     * True while any frame holds a *real* resident line equal to the
+     * sentinel, making the tag-compare-only gang probe ambiguous;
+     * gang users must fall back to scalar until it clears.
+     */
+    bool sentinelResident() const { return sentinel_resident_ != 0; }
+
+    /** The contiguous tag plane, for simd::Kernels::gangProbe. */
+    const std::uint64_t *tagPlane() const { return tags_.data(); }
+
+    // captureState/restoreState plumbing, byte-identical to
+    // detail::appendFrameState on the old AoS frame vector.
+    void appendState(std::vector<std::uint64_t> &out) const;
+    std::size_t stateWords(const std::uint64_t *words,
+                           std::size_t n) const;
+    bool restoreState(const std::uint64_t *words, std::size_t n);
+
+  private:
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint8_t> meta_;
+    std::uint64_t valid_count_ = 0;
+    std::uint64_t sentinel_resident_ = 0;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_CACHE_TAG_ARRAY_HH

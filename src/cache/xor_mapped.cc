@@ -1,11 +1,13 @@
 #include "cache/xor_mapped.hh"
 
+#include "simd/kernels.hh"
+
 namespace vcache
 {
 
 XorMappedCache::XorMappedCache(const AddressLayout &layout)
     : Cache(layout, "xor-mapped"),
-      frames(std::uint64_t{1} << layout.indexBits())
+      tags_(std::uint64_t{1} << layout.indexBits())
 {
 }
 
@@ -13,7 +15,7 @@ std::uint64_t
 XorMappedCache::hashIndex(Addr line_addr) const
 {
     const unsigned c = layout_.indexBits();
-    const std::uint64_t mask = frames.size() - 1;
+    const std::uint64_t mask = tags_.size() - 1;
     std::uint64_t h = 0;
     while (line_addr != 0) {
         h ^= line_addr & mask;
@@ -25,48 +27,74 @@ XorMappedCache::hashIndex(Addr line_addr) const
 AccessOutcome
 XorMappedCache::lookupAndFill(Addr line_addr)
 {
-    Frame &frame = frames[hashIndex(line_addr)];
-    if (frame.valid && frame.line == line_addr)
+    const std::uint64_t f = hashIndex(line_addr);
+    if (tags_.resident(f, line_addr))
         return {true, false, 0, 0};
 
-    AccessOutcome outcome{false, frame.valid, frame.line, frame.flags};
-    frame.valid = true;
-    frame.line = line_addr;
-    frame.flags = 0;
+    AccessOutcome outcome{false, tags_.valid(f), tags_.lineOrZero(f),
+                          tags_.flags(f)};
+    tags_.place(f, line_addr);
     return outcome;
 }
 
 bool
-XorMappedCache::contains(Addr word_addr) const
+XorMappedCache::containsLine(Addr line_addr) const
 {
-    const Addr line = layout_.lineAddress(word_addr);
-    const Frame &frame = frames[hashIndex(line)];
-    return frame.valid && frame.line == line;
+    return tags_.resident(hashIndex(line_addr), line_addr);
+}
+
+std::uint32_t
+XorMappedCache::probeHitMask(const Addr *lines, unsigned n) const
+{
+    if (tags_.sentinelResident()) {
+        std::uint32_t hits = 0;
+        for (unsigned i = 0; i < n; ++i)
+            hits |= static_cast<std::uint32_t>(
+                        tags_.resident(hashIndex(lines[i]), lines[i]))
+                    << i;
+        return hits;
+    }
+    const simd::Kernels &k = simd::kernels();
+    std::uint64_t frames[simd::kMaxGang];
+    k.xorFoldN(lines, n, layout_.indexBits(), frames);
+    return k.gangProbe(tags_.tagPlane(), frames, lines, n,
+                       TagArray::kEmptyTag);
+}
+
+std::uint32_t
+XorMappedCache::probeStrideHitMask(Addr base, std::int64_t stride,
+                                   unsigned n) const
+{
+    if (tags_.sentinelResident())
+        return Cache::probeStrideHitMask(base, stride, n);
+    return simd::kernels().strideProbe(
+        tags_.tagPlane(), base, stride, n, layout_.offsetBits(),
+        simd::IndexMap::XorFold, layout_.indexBits(),
+        TagArray::kEmptyTag);
 }
 
 void
 XorMappedCache::setLineFlag(Addr line_addr, std::uint8_t flag)
 {
-    Frame &frame = frames[hashIndex(line_addr)];
-    if (frame.valid && frame.line == line_addr)
-        frame.flags |= flag;
+    const std::uint64_t f = hashIndex(line_addr);
+    if (tags_.resident(f, line_addr))
+        tags_.orFlags(f, flag);
 }
 
 bool
 XorMappedCache::testLineFlag(Addr line_addr, std::uint8_t flag) const
 {
-    const Frame &frame = frames[hashIndex(line_addr)];
-    return frame.valid && frame.line == line_addr &&
-           (frame.flags & flag) == flag;
+    const std::uint64_t f = hashIndex(line_addr);
+    return tags_.resident(f, line_addr) &&
+           (tags_.flags(f) & flag) == flag;
 }
 
 bool
 XorMappedCache::clearLineFlag(Addr line_addr, std::uint8_t flag)
 {
-    Frame &frame = frames[hashIndex(line_addr)];
-    if (frame.valid && frame.line == line_addr &&
-        (frame.flags & flag)) {
-        frame.flags &= static_cast<std::uint8_t>(~flag);
+    const std::uint64_t f = hashIndex(line_addr);
+    if (tags_.resident(f, line_addr) && (tags_.flags(f) & flag)) {
+        tags_.clearFlags(f, flag);
         return true;
     }
     return false;
@@ -76,17 +104,7 @@ void
 XorMappedCache::reset()
 {
     Cache::reset();
-    for (auto &f : frames)
-        f = Frame{};
-}
-
-std::uint64_t
-XorMappedCache::validLines() const
-{
-    std::uint64_t n = 0;
-    for (const auto &f : frames)
-        n += f.valid;
-    return n;
+    tags_.invalidateAll();
 }
 
 bool
@@ -104,11 +122,10 @@ XorMappedCache::appendRunState(Addr base, std::int64_t stride,
             stride * static_cast<std::int64_t>(i));
         const std::uint64_t f =
             hashIndex(layout_.lineAddress(addr));
-        const Frame &frame = frames[f];
         out.push_back(f);
-        out.push_back(frame.valid);
-        out.push_back(frame.line);
-        out.push_back(frame.flags);
+        out.push_back(tags_.valid(f));
+        out.push_back(tags_.lineOrZero(f));
+        out.push_back(tags_.flags(f));
     }
     return true;
 }

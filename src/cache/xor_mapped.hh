@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "cache/tag_array.hh"
 
 namespace vcache
 {
@@ -29,14 +30,24 @@ class XorMappedCache final : public Cache
     explicit XorMappedCache(const AddressLayout &layout);
 
     AccessOutcome lookupAndFill(Addr line_addr) override;
-    bool contains(Addr word_addr) const override;
+    bool containsLine(Addr line_addr) const override;
+    std::uint32_t probeHitMask(const Addr *lines,
+                               unsigned n) const override;
+    std::uint32_t probeStrideHitMask(Addr base, std::int64_t stride,
+                                     unsigned n) const override;
+    bool readHitsAreInert() const override { return true; }
     void setLineFlag(Addr line_addr, std::uint8_t flag) override;
     bool testLineFlag(Addr line_addr,
                       std::uint8_t flag) const override;
     bool clearLineFlag(Addr line_addr, std::uint8_t flag) override;
     void reset() override;
-    std::uint64_t numLines() const override { return frames.size(); }
-    std::uint64_t validLines() const override;
+    std::uint64_t numLines() const override { return tags_.size(); }
+
+    std::uint64_t
+    validLines() const override
+    {
+        return tags_.validCount();
+    }
 
     std::uint64_t
     frameIndex(Addr line_addr) const override
@@ -54,25 +65,17 @@ class XorMappedCache final : public Cache
     void
     captureState(std::vector<std::uint64_t> &out) const override
     {
-        detail::appendFrameState(frames, out);
+        tags_.appendState(out);
     }
 
     bool
     restoreState(const std::vector<std::uint64_t> &blob) override
     {
-        return detail::restoreFrameState(frames, blob.data(),
-                                         blob.size());
+        return tags_.restoreState(blob.data(), blob.size());
     }
 
   private:
-    struct Frame
-    {
-        bool valid = false;
-        Addr line = 0;
-        std::uint8_t flags = 0;
-    };
-
-    std::vector<Frame> frames;
+    TagArray tags_;
 };
 
 } // namespace vcache

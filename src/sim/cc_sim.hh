@@ -73,6 +73,7 @@
 #include "sim/engine.hh"
 #include "sim/observe.hh"
 #include "sim/result.hh"
+#include "simd/kernels.hh"
 #include "trace/access.hh"
 #include "trace/source.hh"
 #include "util/flat_hash.hh"
@@ -306,6 +307,24 @@ class CcSimulator
     void issuePrefetches(CacheT &cache, const AddressLayout &layout,
                          Addr addr, Observer &obs);
 
+  public:
+    /**
+     * Gang-probe replay (default on; VCACHE_GANG=off reverts):
+     * uninstrumented, prefetch-free strips over a cache whose read
+     * hits are inert probe a whole gang of upcoming lines through
+     * the dispatched SIMD kernels, bulk-credit all-hit gangs, and
+     * drop to the element-at-a-time loop on any miss mask.  Results
+     * are bit-identical either way (the probe is side-effect-free);
+     * tests/sim pins it.
+     */
+    void setGangReplay(bool on) { gangReplay = on; }
+    bool gangReplayEnabled() const { return gangReplay; }
+
+  private:
+    /** Elements probed per gang (split across both streams when
+     *  double-stream; simd::kMaxGang bounds the total). */
+    static constexpr unsigned kGang = 32;
+
     MachineParams machine;
     std::unique_ptr<Cache> vectorCache;
     InterleavedMemory memory;
@@ -314,6 +333,7 @@ class CcSimulator
     FlatSet<Addr> touchedLines;
     Cycles clock = 0;
     bool nonBlocking = false;
+    bool gangReplay = simd::gangReplayDefault();
     SimEngine engineKind = SimEngine::Auto;
     const CancelToken *cancel = nullptr;
 
@@ -485,6 +505,72 @@ CcSimulator::stripLoop(CacheT &cache, const VectorOp &op,
         const std::uint64_t count =
             std::min<std::uint64_t>(machine.mvl,
                                     op.first.length - done);
+
+        // Gang-probe replay: probe a vector of upcoming lines in one
+        // SIMD pass and bulk-credit gangs that hit throughout.  The
+        // probe is side-effect-free and hits are inert on these
+        // mappings, so an all-hit gang of k read accesses is exactly
+        // k scalar hit iterations (clock += k, hits += k, the same
+        // recordAccess totals); any miss bit drops the whole gang to
+        // the element loop, which replays it in true issue order from
+        // unchanged cache state.  Instrumented and prefetching runs
+        // keep the scalar loop: their per-element hooks observe every
+        // access.
+        if constexpr (!Prefetching && !Observer::kEnabled) {
+            if (gangReplay && cache.readHitsAreInert()) {
+                // Double-stream gangs interleave two streams into one
+                // mask, so halve the stream-1 gang to keep the total
+                // inside one mask.
+                const unsigned max_g = second ? kGang / 2 : kGang;
+                for (std::uint64_t i = 0; i < count;) {
+                    const unsigned g = static_cast<unsigned>(
+                        std::min<std::uint64_t>(max_g, count - i));
+                    std::uint32_t hits =
+                        probeStrideGang(cache, a1, s1, g);
+                    unsigned g2 = 0;
+                    Addr a2 = 0;
+                    if (second) {
+                        const std::uint64_t left =
+                            second->length > done + i
+                                ? second->length - (done + i)
+                                : 0;
+                        g2 = static_cast<unsigned>(
+                            std::min<std::uint64_t>(g, left));
+                        a2 = second->element(done + i);
+                        hits |= probeStrideGang(cache, a2, s2, g2)
+                                << g;
+                    }
+                    const unsigned total = g + g2;
+                    if (hits == simd::fullMask(total)) {
+                        cache.recordReadHits(total);
+                        result.hits += total;
+                        result.results += g;
+                        clock += total;
+                        i += g;
+                        a1 = static_cast<Addr>(
+                            static_cast<std::int64_t>(a1) + s1 * g);
+                        continue;
+                    }
+                    // Scalar replay of this gang, exactly the
+                    // element-at-a-time interleaving.
+                    for (unsigned j = 0; j < g; ++j) {
+                        accessElement<CacheT, Prefetching>(
+                            cache, layout, a1, result, obs);
+                        if (second && done + i < second->length)
+                            accessElement<CacheT, Prefetching>(
+                                cache, layout, a2, result, obs);
+                        ++result.results;
+                        ++i;
+                        a1 = static_cast<Addr>(
+                            static_cast<std::int64_t>(a1) + s1);
+                        a2 = static_cast<Addr>(
+                            static_cast<std::int64_t>(a2) + s2);
+                    }
+                }
+                continue;
+            }
+        }
+
         if (second) {
             Addr a2 = second->element(done);
             for (std::uint64_t i = 0; i < count; ++i) {

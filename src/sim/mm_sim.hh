@@ -92,6 +92,17 @@ class MmSimulator
     void reset();
 
     /**
+     * Gang address generation (default on; VCACHE_GANG=off reverts):
+     * uninstrumented strips precompute each gang's element addresses
+     * and bank indices through the dispatched SIMD kernels, then
+     * drive the (inherently serial) per-element bank/bus issue from
+     * the precomputed arrays.  Timing, bank state and fault-injection
+     * site counts are identical either way.
+     */
+    void setGangReplay(bool on) { gangReplay = on; }
+    bool gangReplayEnabled() const { return gangReplay; }
+
+    /**
      * Cooperative cancellation: polled once per vector operation; a
      * tripped token raises VcError(Timeout|Cancelled) out of run().
      */
@@ -100,11 +111,19 @@ class MmSimulator
     const MachineParams &params() const { return machine; }
 
   private:
+    /** Bank-issue addresses precomputed per gang (see setGangReplay). */
+    static constexpr unsigned kGang = 16;
+
     /** Issue one strip of up to MVL elements from one or two streams. */
     template <typename Observer>
     void issueStrip(const VectorRef &first, const VectorRef *second,
                     std::uint64_t offset, std::uint64_t count,
                     SimResult &result, Observer &obs);
+
+    /** The gang-precomputed issueStrip (uninstrumented only). */
+    void issueStripGang(const VectorRef &first,
+                        const VectorRef *second, std::uint64_t offset,
+                        std::uint64_t count, SimResult &result);
 
     /** The run-batched whole-run loop (uninstrumented only). */
     SimResult runBatched(TraceSource &source);
@@ -123,9 +142,60 @@ class MmSimulator
     InterleavedMemory memory;
     BusSet buses;
     Cycles clock = 0;
+    bool gangReplay = simd::gangReplayDefault();
     SimEngine engineKind = SimEngine::Auto;
     const CancelToken *cancel = nullptr;
 };
+
+inline void
+MmSimulator::issueStripGang(const VectorRef &first,
+                            const VectorRef *second,
+                            std::uint64_t offset, std::uint64_t count,
+                            SimResult &result)
+{
+    const simd::Kernels &k = simd::kernels();
+    std::uint64_t banks1[kGang];
+    std::uint64_t banks2[kGang];
+    std::uint64_t addrs[kGang];
+
+    for (std::uint64_t i = 0; i < count;) {
+        const unsigned g = static_cast<unsigned>(
+            std::min<std::uint64_t>(kGang, count - i));
+        // Address generation and bank mapping for the whole gang in
+        // one SIMD pass each; the serial part below only walks
+        // per-bank busy horizons and the bus rotors.
+        k.strideLines(first.element(offset + i), first.stride, g, 0,
+                      addrs);
+        memory.bankOfN(addrs, g, banks1);
+        unsigned g2 = 0;
+        if (second && offset + i < second->length) {
+            const std::uint64_t left = second->length - (offset + i);
+            g2 = static_cast<unsigned>(
+                std::min<std::uint64_t>(g, left));
+            k.strideLines(second->element(offset + i), second->stride,
+                          g2, 0, addrs);
+            memory.bankOfN(addrs, g2, banks2);
+        }
+
+        for (unsigned j = 0; j < g; ++j) {
+            Cycles ready = clock;
+            {
+                const Cycles bus = buses.reserveRead(ready);
+                const Cycles when = memory.issueAtBank(banks1[j], bus);
+                ready = std::max(ready, when);
+            }
+            if (j < g2) {
+                const Cycles bus = buses.reserveRead(clock);
+                const Cycles when = memory.issueAtBank(banks2[j], bus);
+                ready = std::max(ready, when);
+            }
+            result.stallCycles += ready - clock;
+            clock = ready + 1; // in-order pipeline: next issue slot
+            ++result.results;
+        }
+        i += g;
+    }
+}
 
 template <typename Observer>
 void
@@ -133,6 +203,13 @@ MmSimulator::issueStrip(const VectorRef &first, const VectorRef *second,
                         std::uint64_t offset, std::uint64_t count,
                         SimResult &result, Observer &obs)
 {
+    if constexpr (!Observer::kEnabled) {
+        if (gangReplay) {
+            issueStripGang(first, second, offset, count, result);
+            return;
+        }
+    }
+
     for (std::uint64_t i = 0; i < count; ++i) {
         Cycles ready = clock;
 

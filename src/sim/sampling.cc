@@ -10,6 +10,7 @@
 #include "sim/cc_sim.hh"
 #include "sim/checkpoint.hh"
 #include "sim/mm_sim.hh"
+#include "simd/kernels.hh"
 #include "trace/source.hh"
 #include "util/flat_hash.hh"
 #include "util/logging.hh"
@@ -220,7 +221,8 @@ appendOpState(const Cache &cache, const VectorOp &op,
  * @return misses this op caused
  */
 std::uint64_t
-walkOp(Cache &cache, const VectorOp &op, FlatSet<Addr> &touched)
+walkOp(Cache &cache, const VectorOp &op, FlatSet<Addr> &touched,
+       bool gang_warm)
 {
     const AddressLayout &layout = cache.addressLayout();
     const VectorRef *second = op.second ? &op.second.value() : nullptr;
@@ -233,6 +235,41 @@ walkOp(Cache &cache, const VectorOp &op, FlatSet<Addr> &touched)
             ++misses;
         }
     };
+
+    // Gang warming: on mappings whose read hits are inert, a gang
+    // whose probeHitMask() is all-ones needs no fills, no touched
+    // inserts and no miss counts -- skip it wholesale and only
+    // element-walk gangs containing at least one miss.  This is the
+    // sampling engine's dominant cost when live-points land in
+    // already-warmed windows.
+    if (gang_warm && cache.readHitsAreInert()) {
+        constexpr unsigned kGang = 16;
+        for (std::uint64_t i = 0; i < op.first.length;) {
+            const unsigned g = static_cast<unsigned>(
+                std::min<std::uint64_t>(kGang, op.first.length - i));
+            std::uint32_t hits = cache.probeStrideHitMask(
+                op.first.element(i), op.first.stride, g);
+            unsigned g2 = 0;
+            if (second && i < second->length) {
+                g2 = static_cast<unsigned>(std::min<std::uint64_t>(
+                    g, second->length - i));
+                hits |= cache.probeStrideHitMask(
+                            second->element(i), second->stride, g2)
+                        << g;
+            }
+            const unsigned total = g + g2;
+            if (hits == simd::fullMask(total)) {
+                i += g;
+                continue;
+            }
+            for (unsigned j = 0; j < g; ++j, ++i) {
+                touch(op.first.element(i));
+                if (second && i < second->length)
+                    touch(second->element(i));
+            }
+        }
+        return misses;
+    }
 
     for (std::uint64_t i = 0; i < op.first.length; ++i) {
         touch(op.first.element(i));
@@ -627,7 +664,7 @@ sampleCc(const MachineParams &machine, const CacheConfig &cache_config,
                         state_ok = appendOpState(*cache, op, before);
                     }
                     const std::uint64_t misses =
-                        walkOp(*cache, op, touched);
+                        walkOp(*cache, op, touched, opts.gangWarm);
                     walked += op.first.length;
                     if (!memo_valid || !(op == memo_op)) {
                         memo_op = op;

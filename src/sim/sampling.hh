@@ -60,6 +60,7 @@
 #include "cache/factory.hh"
 #include "obs/registry.hh"
 #include "sim/cancel.hh"
+#include "simd/kernels.hh"
 #include "sim/result.hh"
 #include "trace/access.hh"
 #include "util/result.hh"
@@ -103,6 +104,14 @@ struct SamplingOptions
 
     /** CcSimulator::setNonBlockingMisses for the measured units. */
     bool nonBlocking = false;
+
+    /**
+     * Gang-probe the warming walk on mappings whose read hits are
+     * inert (see simd::Kernels::strideProbe), skipping all-hit gangs
+     * wholesale.  Defaults to the VCACHE_GANG setting; the
+     * differential tests pin both values to identical estimates.
+     */
+    bool gangWarm = simd::gangReplayDefault();
 
     /**
      * When non-empty, serialize every captured live-point into this

@@ -1,0 +1,30 @@
+/**
+ * The NEON backend (AArch64).  NEON is architecturally mandatory on
+ * AArch64, so no per-file ISA flags or runtime feature probe are
+ * needed: the width-2 generic kernels lower straight to 128-bit
+ * vector code under the baseline target.  On every other
+ * architecture this backend reports unavailable.
+ */
+
+#include "simd/kernels.hh"
+
+#if defined(__aarch64__)
+#include "simd/kernels_generic.hh"
+#endif
+
+namespace vcache::simd
+{
+
+const Kernels *
+neonKernels()
+{
+#if defined(__aarch64__)
+    static constexpr Kernels k =
+        generic::makeKernels<2>(Backend::Neon, "neon");
+    return &k;
+#else
+    return nullptr;
+#endif
+}
+
+} // namespace vcache::simd

@@ -1,0 +1,21 @@
+/**
+ * The portable backend: the width-4 generic kernels compiled with the
+ * build's baseline flags.  Always available, always the differential
+ * reference the wider backends are pinned against; also the forced
+ * fallback of the VCACHE_SIMD=scalar CI job.
+ */
+
+#include "simd/kernels_generic.hh"
+
+namespace vcache::simd
+{
+
+const Kernels &
+scalarKernels()
+{
+    static constexpr Kernels k =
+        generic::makeKernels<4>(Backend::Scalar, "scalar");
+    return k;
+}
+
+} // namespace vcache::simd

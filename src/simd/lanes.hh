@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Width-agnostic vector abstraction: a fixed pack of W unsigned
+ * 64-bit lanes with elementwise operators.
+ *
+ * Lanes<W> is deliberately plain C++ -- a `std::uint64_t v[W]` with
+ * loops -- so that every backend can share one kernel implementation
+ * (src/simd/kernels_generic.hh) and differ only in how the compiler
+ * lowers it: the portable backend compiles it with the build's
+ * baseline flags, the NEON backend relies on AArch64's mandatory
+ * vector unit, and the AVX2 backend replaces the hot kernels with
+ * intrinsics where the generic form cannot reach the hardware (the
+ * gathered tag probe).  Loop bodies avoid early exits and lane-
+ * dependent control flow so auto-vectorizers can keep the pack in one
+ * register.
+ *
+ * Only the operations the kernels need are provided; this is not a
+ * general SIMD library.
+ */
+
+#ifndef VCACHE_SIMD_LANES_HH
+#define VCACHE_SIMD_LANES_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace vcache::simd
+{
+
+template <unsigned W>
+struct Lanes
+{
+    static_assert(W >= 1 && W <= 16, "unreasonable lane count");
+
+    std::uint64_t v[W];
+
+    static Lanes
+    broadcast(std::uint64_t x)
+    {
+        Lanes r;
+        for (unsigned i = 0; i < W; ++i)
+            r.v[i] = x;
+        return r;
+    }
+
+    static Lanes
+    load(const std::uint64_t *p)
+    {
+        Lanes r;
+        for (unsigned i = 0; i < W; ++i)
+            r.v[i] = p[i];
+        return r;
+    }
+
+    /** {0, 1, ..., W-1} -- the per-lane element offsets. */
+    static Lanes
+    iota()
+    {
+        Lanes r;
+        for (unsigned i = 0; i < W; ++i)
+            r.v[i] = i;
+        return r;
+    }
+
+    void
+    store(std::uint64_t *p) const
+    {
+        for (unsigned i = 0; i < W; ++i)
+            p[i] = v[i];
+    }
+
+    friend Lanes
+    operator+(Lanes a, Lanes b)
+    {
+        Lanes r;
+        for (unsigned i = 0; i < W; ++i)
+            r.v[i] = a.v[i] + b.v[i];
+        return r;
+    }
+
+    friend Lanes
+    operator*(Lanes a, Lanes b)
+    {
+        Lanes r;
+        for (unsigned i = 0; i < W; ++i)
+            r.v[i] = a.v[i] * b.v[i];
+        return r;
+    }
+
+    friend Lanes
+    operator&(Lanes a, Lanes b)
+    {
+        Lanes r;
+        for (unsigned i = 0; i < W; ++i)
+            r.v[i] = a.v[i] & b.v[i];
+        return r;
+    }
+
+    friend Lanes
+    operator^(Lanes a, Lanes b)
+    {
+        Lanes r;
+        for (unsigned i = 0; i < W; ++i)
+            r.v[i] = a.v[i] ^ b.v[i];
+        return r;
+    }
+
+    friend Lanes
+    operator>>(Lanes a, unsigned s)
+    {
+        Lanes r;
+        for (unsigned i = 0; i < W; ++i)
+            r.v[i] = a.v[i] >> s;
+        return r;
+    }
+
+    /** OR of all lanes: the branch-free "any lane nonzero?" probe. */
+    std::uint64_t
+    reduceOr() const
+    {
+        std::uint64_t r = 0;
+        for (unsigned i = 0; i < W; ++i)
+            r |= v[i];
+        return r;
+    }
+
+    /** Per-lane x == m ? 0 : x (the Mersenne negative-zero fix-up). */
+    Lanes
+    zeroWhereEqual(std::uint64_t m) const
+    {
+        Lanes r;
+        for (unsigned i = 0; i < W; ++i)
+            r.v[i] = v[i] == m ? 0 : v[i];
+        return r;
+    }
+
+    /** Bit i of the result is set iff lane i equals lane i of b. */
+    std::uint32_t
+    eqMask(Lanes b) const
+    {
+        std::uint32_t m = 0;
+        for (unsigned i = 0; i < W; ++i)
+            m |= static_cast<std::uint32_t>(v[i] == b.v[i]) << i;
+        return m;
+    }
+
+    /** Gather: lane i = base[index lane i]. */
+    static Lanes
+    gather(const std::uint64_t *base, Lanes idx)
+    {
+        Lanes r;
+        for (unsigned i = 0; i < W; ++i)
+            r.v[i] = base[idx.v[i]];
+        return r;
+    }
+};
+
+} // namespace vcache::simd
+
+#endif // VCACHE_SIMD_LANES_HH

@@ -15,6 +15,14 @@
  * churn and load-factor math stays exact.  Iteration order is
  * unspecified (as with the std containers); both containers are
  * differentially tested against their std counterparts.
+ *
+ * UB audit (SIMD hot-path review): the probe loop is a plain linear
+ * scan -- no group metadata, no match masks, and therefore no
+ * __builtin_ctz/countr_zero whose zero-input case would be undefined.
+ * The only subtle arithmetic is the wraparound probe-distance
+ * comparison in erase() (`(j - home) & mask` on unsigned size_t,
+ * well-defined mod-2^N); the wraparound-chain regression tests in
+ * tests/util/flat_hash_test.cc pin it.
  */
 
 #ifndef VCACHE_UTIL_FLAT_HASH_HH

@@ -1,0 +1,368 @@
+/**
+ * Gang-replay differential matrix: SimResults and cache statistics
+ * must be bit-identical with the SIMD gang-probe replay on and off.
+ *
+ * Gang-off recovers the pre-gang element-at-a-time loops exactly (the
+ * VCACHE_GANG=off escape hatch), so equality here proves the gang
+ * path -- all-hit fast-forwarding in CcSimulator::stripLoop, the
+ * MmSimulator gang bank-issue, and the sampling walkOp gang warming
+ * -- never changes what is simulated, across every cache
+ * organization, workload family (including double streams), prefetch
+ * and non-blocking setting, bank mapping, and with observers
+ * attached.  Runs under every backend the CI matrix forces via
+ * VCACHE_SIMD, so the scalar and AVX2 gangs are both pinned.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/defaults.hh"
+#include "obs/observer.hh"
+#include "obs/tracing_observer.hh"
+#include "sim/cc_sim.hh"
+#include "sim/mm_sim.hh"
+#include "sim/sampling.hh"
+#include "trace/loader.hh"
+#include "trace/multistride.hh"
+#include "trace/source.hh"
+#include "trace/vcm.hh"
+
+namespace vcache
+{
+namespace
+{
+
+void
+expectSameResult(const SimResult &got, const SimResult &want,
+                 const std::string &label)
+{
+    EXPECT_EQ(got.totalCycles, want.totalCycles) << label;
+    EXPECT_EQ(got.stallCycles, want.stallCycles) << label;
+    EXPECT_EQ(got.results, want.results) << label;
+    EXPECT_EQ(got.hits, want.hits) << label;
+    EXPECT_EQ(got.misses, want.misses) << label;
+    EXPECT_EQ(got.compulsoryMisses, want.compulsoryMisses) << label;
+}
+
+void
+expectSameStats(const CacheStats &got, const CacheStats &want,
+                const std::string &label)
+{
+    EXPECT_EQ(got.accesses, want.accesses) << label;
+    EXPECT_EQ(got.reads, want.reads) << label;
+    EXPECT_EQ(got.writes, want.writes) << label;
+    EXPECT_EQ(got.hits, want.hits) << label;
+    EXPECT_EQ(got.misses, want.misses) << label;
+    EXPECT_EQ(got.evictions, want.evictions) << label;
+    EXPECT_EQ(got.writebacks, want.writebacks) << label;
+}
+
+std::uint64_t
+counterOf(const TracingObserver &obs, const std::string &name)
+{
+    const Counter *c = obs.registry().findCounter(name);
+    EXPECT_NE(c, nullptr) << name;
+    return c ? c->value : 0;
+}
+
+/** The same seven organizations the batched suite pins. */
+std::vector<std::pair<std::string, CacheConfig>>
+allSchemes()
+{
+    std::vector<std::pair<std::string, CacheConfig>> out;
+
+    CacheConfig direct;
+    out.emplace_back("direct", direct);
+
+    CacheConfig prime;
+    prime.organization = Organization::PrimeMapped;
+    out.emplace_back("prime", prime);
+
+    CacheConfig prime_assoc;
+    prime_assoc.organization = Organization::PrimeSetAssociative;
+    prime_assoc.associativity = 2;
+    out.emplace_back("prime-assoc", prime_assoc);
+
+    CacheConfig set_assoc;
+    set_assoc.organization = Organization::SetAssociative;
+    set_assoc.associativity = 4;
+    out.emplace_back("set-assoc", set_assoc);
+
+    CacheConfig xor_mapped;
+    xor_mapped.organization = Organization::XorMapped;
+    out.emplace_back("xor", xor_mapped);
+
+    CacheConfig random_assoc;
+    random_assoc.organization = Organization::SetAssociative;
+    random_assoc.associativity = 4;
+    random_assoc.replacement = ReplacementKind::Random;
+    out.emplace_back("set-assoc-random", random_assoc);
+
+    CacheConfig wide_lines;
+    wide_lines.offsetBits = 2;
+    out.emplace_back("direct-4word", wide_lines);
+
+    return out;
+}
+
+/**
+ * Double-stream, stride-0, negative-stride and gang-boundary shapes
+ * (lengths around the 32-element CC gang and 16-element MM gang).
+ */
+const Trace &
+gangEdgeTrace()
+{
+    static const Trace trace = [] {
+        std::istringstream in(R"(# gang-replay differential trace
+L 0 3 300
+L 0 3 300
+S 65536 1 300
+L 0 3 300
+D 0 1 256 131072 4 200
+D 0 1 300 131072 4 120
+L 100 0 64
+L 9000 -3 500
+L 4096 1 1
+L 8192 7 31
+L 8192 7 32
+L 8192 7 33
+L 8192 7 65
+L 16384 8192 128
+)");
+        return loadTrace(in);
+    }();
+    return trace;
+}
+
+struct CcOutcome
+{
+    SimResult result;
+    CacheStats stats;
+    std::uint64_t prefetches;
+};
+
+CcOutcome
+runCc(const CacheConfig &config, TraceSource &source, bool gang,
+      bool prefetch, bool non_blocking)
+{
+    CcSimulator sim(paperMachineM32(), config);
+    if (prefetch)
+        sim.enablePrefetch(PrefetchPolicy::Stride, 2);
+    sim.setNonBlockingMisses(non_blocking);
+    sim.setEngine(SimEngine::Scalar);
+    sim.setGangReplay(gang);
+    source.reset();
+    const SimResult result = sim.run(source);
+    return {result, sim.cache().stats(), sim.prefetchesIssued()};
+}
+
+void
+diffCc(const CacheConfig &config, TraceSource &source,
+       const std::string &label)
+{
+    for (const bool prefetch : {false, true}) {
+        for (const bool non_blocking : {false, true}) {
+            const std::string tag = label +
+                                    (prefetch ? "+prefetch" : "") +
+                                    (non_blocking ? "+nonblock" : "");
+            const CcOutcome off =
+                runCc(config, source, false, prefetch, non_blocking);
+            const CcOutcome on =
+                runCc(config, source, true, prefetch, non_blocking);
+            expectSameResult(on.result, off.result, tag);
+            expectSameStats(on.stats, off.stats, tag);
+            EXPECT_EQ(on.prefetches, off.prefetches) << tag;
+        }
+    }
+}
+
+TEST(GangReplayCc, VcmTrace)
+{
+    VcmParams p;
+    p.blockingFactor = 512;
+    p.reuseFactor = 6;
+    p.blocks = 3;
+    p.maxStride = 4096;
+    VcmTraceSource source(p, 42);
+    for (const auto &[name, config] : allSchemes())
+        diffCc(config, source, "vcm/" + name);
+}
+
+TEST(GangReplayCc, MultistrideTrace)
+{
+    MultistrideTraceSource source(
+        MultistrideParams{1024, 12, 0.25, 8192, 0, 3}, 7);
+    for (const auto &[name, config] : allSchemes())
+        diffCc(config, source, "multistride/" + name);
+}
+
+TEST(GangReplayCc, GangEdgeTrace)
+{
+    TraceVectorSource source(gangEdgeTrace());
+    for (const auto &[name, config] : allSchemes())
+        diffCc(config, source, "edges/" + name);
+}
+
+TEST(GangReplayCc, ConstantStrideStreams)
+{
+    for (const std::int64_t stride : {1, 3, 33, 8192}) {
+        ConstantStrideSource source(64, stride, 1000, 25, true);
+        for (const auto &[name, config] : allSchemes())
+            diffCc(config, source,
+                   "const-stride-" + std::to_string(stride) + "/" +
+                       name);
+    }
+}
+
+/**
+ * Observers compile the gang path out (the hook sees every element),
+ * so an instrumented gang-on run must equal the plain gang-off run
+ * and the observer's counters must still reconcile.
+ */
+TEST(GangReplayCc, ObserversOnMatchesGangOff)
+{
+    TraceVectorSource source(gangEdgeTrace());
+    for (const auto &[name, config] : allSchemes()) {
+        const CcOutcome off = runCc(config, source, false, false,
+                                    false);
+
+        CcSimulator sim(paperMachineM32(), config);
+        sim.setEngine(SimEngine::Scalar);
+        sim.setGangReplay(true);
+        TracingObserver traced("cc");
+        source.reset();
+        const SimResult got = sim.run(source, traced);
+        expectSameResult(got, off.result, "observed/" + name);
+        expectSameStats(sim.cache().stats(), off.stats,
+                        "observed/" + name);
+        EXPECT_EQ(counterOf(traced, "hits"), got.hits) << name;
+    }
+}
+
+/** Machine variants covering every bank mapping the MM gang issues. */
+std::vector<std::pair<std::string, MachineParams>>
+mmMachines()
+{
+    std::vector<std::pair<std::string, MachineParams>> out;
+
+    MachineParams base = paperMachineM32();
+    out.emplace_back("m32-tm16", base);
+
+    MachineParams fast = base;
+    fast.memoryTime = 4;
+    out.emplace_back("m32-tm4", fast);
+
+    MachineParams few_banks = base;
+    few_banks.bankBits = 3;
+    few_banks.memoryTime = 64;
+    out.emplace_back("m8-tm64", few_banks);
+
+    MachineParams prime_banks = base;
+    prime_banks.bankMapping = BankMapping::PrimeModulo;
+    out.emplace_back("prime-banks", prime_banks);
+
+    MachineParams skewed = base;
+    skewed.bankMapping = BankMapping::Skewed;
+    out.emplace_back("skewed-banks", skewed);
+
+    MachineParams xor_banks = base;
+    xor_banks.bankMapping = BankMapping::XorHash;
+    out.emplace_back("xor-banks", xor_banks);
+
+    return out;
+}
+
+void
+diffMm(const MachineParams &machine, TraceSource &source,
+       const std::string &label)
+{
+    MmSimulator off(machine);
+    off.setEngine(SimEngine::Scalar);
+    off.setGangReplay(false);
+    source.reset();
+    const SimResult want = off.run(source);
+
+    MmSimulator on(machine);
+    on.setEngine(SimEngine::Scalar);
+    on.setGangReplay(true);
+    source.reset();
+    expectSameResult(on.run(source), want, label);
+}
+
+TEST(GangReplayMm, AllMappingsAndTraces)
+{
+    for (const auto &[mname, machine] : mmMachines()) {
+        TraceVectorSource edges(gangEdgeTrace());
+        diffMm(machine, edges, "edges/" + mname);
+
+        MultistrideTraceSource multi(
+            MultistrideParams{1024, 12, 0.25, 8192, 0, 3}, 7);
+        diffMm(machine, multi, "multistride/" + mname);
+    }
+}
+
+/**
+ * Sampling's walkOp gang warming: estimates must be bit-identical
+ * with gangWarm on and off (on mappings with inert read hits the
+ * all-hit skip changes no state; elsewhere the flag is a no-op).
+ */
+TEST(GangReplaySampling, EstimatesUnchanged)
+{
+    const Trace trace = [] {
+        ConstantStrideSource source(0, 3, 2048, 200, true);
+        return materializeTrace(source);
+    }();
+
+    SamplingOptions on;
+    on.seed = 5;
+    on.gangWarm = true;
+    SamplingOptions off = on;
+    off.gangWarm = false;
+
+    CacheConfig xor_mapped;
+    xor_mapped.organization = Organization::XorMapped;
+    const auto cc_on =
+        sampleCc(paperMachineM32(), xor_mapped, trace, on);
+    const auto cc_off =
+        sampleCc(paperMachineM32(), xor_mapped, trace, off);
+    ASSERT_TRUE(cc_on.ok());
+    ASSERT_TRUE(cc_off.ok());
+    EXPECT_EQ(cc_on.value().cyclesPerElement,
+              cc_off.value().cyclesPerElement);
+    EXPECT_EQ(cc_on.value().unitsMeasured,
+              cc_off.value().unitsMeasured);
+    EXPECT_EQ(cc_on.value().elementsMeasured,
+              cc_off.value().elementsMeasured);
+    expectSameResult(cc_on.value().detailedTotals,
+                     cc_off.value().detailedTotals, "sampled-cc");
+
+    // Direct-mapped: the inert-hit gang path engages for CC warming.
+    CacheConfig direct;
+    const auto d_on = sampleCc(paperMachineM32(), direct, trace, on);
+    const auto d_off = sampleCc(paperMachineM32(), direct, trace, off);
+    ASSERT_TRUE(d_on.ok());
+    ASSERT_TRUE(d_off.ok());
+    EXPECT_EQ(d_on.value().cyclesPerElement,
+              d_off.value().cyclesPerElement);
+    expectSameResult(d_on.value().detailedTotals,
+                     d_off.value().detailedTotals, "sampled-cc-direct");
+
+    MachineParams skewed = paperMachineM32();
+    skewed.bankMapping = BankMapping::Skewed;
+    const auto mm_on = sampleMm(skewed, trace, on);
+    const auto mm_off = sampleMm(skewed, trace, off);
+    ASSERT_TRUE(mm_on.ok());
+    ASSERT_TRUE(mm_off.ok());
+    EXPECT_EQ(mm_on.value().cyclesPerElement,
+              mm_off.value().cyclesPerElement);
+    expectSameResult(mm_on.value().detailedTotals,
+                     mm_off.value().detailedTotals, "sampled-mm");
+}
+
+} // namespace
+} // namespace vcache

@@ -103,6 +103,74 @@ TEST(FlatMap, EraseBackwardShiftUnderFullCollision)
     EXPECT_EQ(*map.find(3), 33u);
 }
 
+/** Identity hash: key == bucket, so tests can place chains exactly. */
+struct IdentityHash
+{
+    std::size_t
+    operator()(std::uint64_t x) const
+    {
+        return static_cast<std::size_t>(x);
+    }
+};
+
+/**
+ * UB-audit regression (hot-path vectorization review): the erase
+ * backward shift compares probe distances with wraparound arithmetic
+ * (`(j - home) & mask`).  Pin the case where the probe chain crosses
+ * the table-end boundary -- home slots near capacity-1, displaced
+ * entries at indices 0 and 1 -- and erase from every position in the
+ * wrapped chain.  The probe loop itself is a linear scan with no
+ * match masks, so there is no __builtin_ctz-on-zero to misfire; this
+ * pins the one place the index arithmetic wraps.
+ */
+TEST(FlatMap, EraseBackwardShiftAcrossWraparound)
+{
+    // Table stays at kMinCapacity = 16 below 14 entries; keys 15, 31
+    // and 47 all land on bucket 15 (key & 15), so with 14 occupying
+    // slot 14 the chain wraps into slots 0 and 1.
+    for (std::uint64_t victim : {14ull, 15ull, 31ull, 47ull}) {
+        FlatMap<std::uint64_t, std::uint64_t, IdentityHash> map;
+        const std::uint64_t keys[] = {14, 15, 31, 47};
+        for (const std::uint64_t k : keys)
+            map.insertOrAssign(k, k + 1000);
+        EXPECT_TRUE(map.erase(victim));
+        EXPECT_FALSE(map.erase(victim));
+        for (const std::uint64_t k : keys) {
+            if (k == victim) {
+                EXPECT_EQ(map.find(k), nullptr) << k;
+            } else {
+                ASSERT_NE(map.find(k), nullptr)
+                    << "lost key " << k << " erasing " << victim;
+                EXPECT_EQ(*map.find(k), k + 1000);
+            }
+        }
+        // The survivors' chain still accepts reinsertion and lookup
+        // across the boundary.
+        EXPECT_TRUE(map.insertOrAssign(victim, 7));
+        EXPECT_EQ(*map.find(victim), 7u);
+    }
+}
+
+/**
+ * An entry whose home slot follows the gap around the wrap boundary
+ * must NOT be shifted back (its probe distance does not reach the
+ * gap); erasing slot 15 with an independent chain at 0 must leave
+ * that chain alone.
+ */
+TEST(FlatMap, EraseAtBoundaryLeavesIndependentChain)
+{
+    FlatMap<std::uint64_t, std::uint64_t, IdentityHash> map;
+    map.insertOrAssign(15, 150);
+    map.insertOrAssign(0, 100);
+    map.insertOrAssign(16, 200); // 16 & 15 == 0: same home as key 0
+    EXPECT_TRUE(map.erase(15));
+    ASSERT_NE(map.find(0), nullptr);
+    EXPECT_EQ(*map.find(0), 100u);
+    ASSERT_NE(map.find(16), nullptr);
+    EXPECT_EQ(*map.find(16), 200u);
+    EXPECT_EQ(map.find(15), nullptr);
+}
+
 /**
  * The satellite differential test: random interleavings of
  * insert/erase/find/clear against the std containers, with a key
