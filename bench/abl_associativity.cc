@@ -39,6 +39,7 @@ main(int argc, char **argv)
     ArgParser args("Associativity ablation: miss ratio and conflict "
                    "share by cache organisation.");
     addSweepFlags(args);
+    addObsFlags(args);
     args.parse(argc, argv);
     const SweepOptions opts =
         sweepOptionsFromFlags(args, "abl_associativity");
@@ -158,5 +159,8 @@ main(int argc, char **argv)
         table.print(std::cout);
         std::cout << "\n";
     }
+
+    ObsSession session(obsOptionsFromFlags(args));
+    observeSchemes(session, paperMachineM32(), multistride);
     return 0;
 }

@@ -24,9 +24,14 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vcache;
+
+    ArgParser args("Line-size ablation: miss ratio and traffic vs "
+                   "line size at fixed capacity.");
+    addObsFlags(args);
+    args.parse(argc, argv);
 
     banner("Line-size ablation (Section 2.2)",
            "miss ratio and memory traffic vs line size, fixed 8K-word "
@@ -102,5 +107,8 @@ main()
                  "(1-word lines) qualifies at\nthis capacity, which "
                  "is itself a finding: prime-mapped caches pin the\n"
                  "line-count choice to Mersenne primes.\n";
+
+    ObsSession session(obsOptionsFromFlags(args));
+    observeSchemes(session, paperMachineM32(), workloads[1].trace);
     return 0;
 }

@@ -19,12 +19,18 @@
 #include "sim/cc_sim.hh"
 #include "trace/fft.hh"
 #include "trace/multistride.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vcache;
+
+    ArgParser args("Blocking-miss assumption ablation: blocking vs "
+                   "lockup-free miss timing.");
+    addObsFlags(args);
+    args.parse(argc, argv);
 
     MachineParams machine = paperMachineM32();
     machine.memoryTime = 32;
@@ -73,5 +79,8 @@ main()
                  "there are fewer of them, and the extra direct-"
                  "mapped misses still burn\nbank bandwidth (they "
                  "revisit few banks, by the same gcd arithmetic).\n";
+
+    ObsSession session(obsOptionsFromFlags(args));
+    observeSchemes(session, machine, multistride);
     return 0;
 }

@@ -34,6 +34,7 @@
 #include "sim/runner.hh"
 #include "trace/fft.hh"
 #include "trace/multistride.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 
 namespace
@@ -60,9 +61,14 @@ const Config kConfigs[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vcache;
+
+    ArgParser args("Prefetching ablation: direct-mapped + prefetch "
+                   "vs bare prime-mapped.");
+    addObsFlags(args);
+    args.parse(argc, argv);
 
     MachineParams machine = paperMachineM32();
     banner("Prefetching ablation (introduction / Section 2.2)",
@@ -145,5 +151,8 @@ main()
         timed.print(std::cout);
         std::cout << "\n";
     }
+
+    ObsSession session(obsOptionsFromFlags(args));
+    observeSchemes(session, machine, multistride);
     return 0;
 }

@@ -51,7 +51,7 @@ banner(const std::string &figure, const std::string &claim,
  */
 inline void
 observeSchemes(ObsSession &session, const MachineParams &machine,
-               const Trace &trace)
+               const Trace &trace, bool forensics = false)
 {
     if (!session.enabled())
         return;
@@ -59,6 +59,14 @@ observeSchemes(ObsSession &session, const MachineParams &machine,
     simulateCc(machine, CacheScheme::Direct, trace, direct);
     auto &prime = session.observer("cc_prime");
     simulateCc(machine, CacheScheme::Prime, trace, prime);
+    if (forensics || !session.options().heatmapOut.empty()) {
+        // Forensics lanes rerun each scheme under the 3C classifier:
+        // miss-class attribution and the heatmap come from these.
+        auto &fDirect = session.classifier("cc_direct");
+        simulateCc(machine, CacheScheme::Direct, trace, fDirect);
+        auto &fPrime = session.classifier("cc_prime");
+        simulateCc(machine, CacheScheme::Prime, trace, fPrime);
+    }
     session.finish();
 }
 

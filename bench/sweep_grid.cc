@@ -26,6 +26,8 @@
 #include "common.hh"
 #include "core/comparison.hh"
 #include "core/defaults.hh"
+#include "obs/forensics.hh"
+#include "sim/cc_sim.hh"
 #include "sim/runner.hh"
 #include "sim/sampling.hh"
 #include "sim/sweep.hh"
@@ -59,6 +61,56 @@ struct SimPoint
     double directCi;
     double primeCi;
 };
+
+/** 3C/reuse forensics of one grid point (--forensics columns). */
+struct ForensicsPoint
+{
+    MissBreakdown direct;
+    MissBreakdown prime;
+    std::uint64_t reuseP50;
+    std::uint64_t reuseP99;
+};
+
+/**
+ * Rerun one point's CC workload under the 3C classifier on both
+ * mapping schemes.  Always element-wise scalar (enabled observers
+ * force it), so this is the slow lane the --forensics flag gates.
+ */
+ForensicsPoint
+classifyPoint(const MachineParams &machine, std::uint64_t b,
+              double p_ds, std::uint64_t seed)
+{
+    VcmParams p;
+    p.blockingFactor = b;
+    p.reuseFactor = 8;
+    p.pDoubleStream = p_ds;
+    p.blocks = 2;
+    p.maxStride = 8192;
+
+    ForensicsConfig config;
+    config.reuseProfile = true;
+
+    ForensicsPoint out{};
+    {
+        ClassifyingObserver obs("cc_direct", config);
+        VcmTraceSource source(p, seed);
+        CcSimulator sim(machine, CacheScheme::Direct);
+        sim.run(source, obs);
+        out.direct = obs.breakdown();
+        // Reuse distances are a property of the access stream, not
+        // the mapping: one scheme's profile serves the point.
+        out.reuseP50 = obs.reuse().percentile(0.50);
+        out.reuseP99 = obs.reuse().percentile(0.99);
+    }
+    {
+        ClassifyingObserver obs("cc_prime", config);
+        VcmTraceSource source(p, seed);
+        CcSimulator sim(machine, CacheScheme::Prime);
+        sim.run(source, obs);
+        out.prime = obs.breakdown();
+    }
+    return out;
+}
 
 SimPoint
 simulatePoint(const MachineParams &machine, std::uint64_t b,
@@ -145,6 +197,13 @@ main(int argc, char **argv)
     args.addFlag("target-ci", "0.03",
                  "sampled engine only: target relative 95% CI "
                  "half-width before sampling stops");
+    args.addFlag("forensics", "false",
+                 "classify every point's misses (3C, per scheme) and "
+                 "profile reuse distances; adds direct_*/prime_* and "
+                 "reuse_p50/p99 columns (element-wise replay: slow)");
+    args.addFlag("max-points", "0",
+                 "evaluate only the first N grid points (0 = all); "
+                 "keeps --forensics CI runs small");
     args.parse(argc, argv);
     SweepOptions opts = sweepOptionsFromFlags(args, "sweep_grid");
     const bool sim = args.getBool("sim");
@@ -154,6 +213,8 @@ main(int argc, char **argv)
                  "sampled): " + args.getString("engine"));
     const bool sampled = *engine == SimEngine::Sampled;
     const double target_ci = args.getDouble("target-ci");
+    const bool forensics = args.getBool("forensics");
+    const std::uint64_t max_points = args.getUint("max-points");
 
     // The engine publishes sweep.points_ok / sweep.points_failed /
     // sweep.point_retries / sweep.interrupted here; the ObsSession
@@ -166,6 +227,8 @@ main(int argc, char **argv)
         for (std::uint64_t tm = 4; tm <= 64; tm += 4)
             for (std::uint64_t b = 256; b <= 8192; b *= 2)
                 grid.push_back({bank_bits, tm, b});
+    if (max_points != 0 && grid.size() > max_points)
+        grid.resize(max_points);
 
     std::vector<std::string> headers{"status", "banks",     "t_m",
                                      "B",      "R",         "p_ds",
@@ -176,6 +239,14 @@ main(int argc, char **argv)
         if (sampled) {
             headers.insert(headers.end(),
                            {"mm_ci", "cc_direct_ci", "cc_prime_ci"});
+        }
+        if (forensics) {
+            headers.insert(
+                headers.end(),
+                {"direct_compulsory", "direct_capacity",
+                 "direct_conflict", "prime_compulsory",
+                 "prime_capacity", "prime_conflict", "reuse_p50",
+                 "reuse_p99"});
         }
     }
     const std::size_t columns = headers.size();
@@ -221,6 +292,19 @@ main(int argc, char **argv)
                     row.push_back(Table::format(s.mmCi));
                     row.push_back(Table::format(s.directCi));
                     row.push_back(Table::format(s.primeCi));
+                }
+                if (forensics) {
+                    const auto f =
+                        classifyPoint(machine, g.blockingFactor,
+                                      wl.pDoubleStream, seed);
+                    row.push_back(Table::format(f.direct.compulsory));
+                    row.push_back(Table::format(f.direct.capacity));
+                    row.push_back(Table::format(f.direct.conflict));
+                    row.push_back(Table::format(f.prime.compulsory));
+                    row.push_back(Table::format(f.prime.capacity));
+                    row.push_back(Table::format(f.prime.conflict));
+                    row.push_back(Table::format(f.reuseP50));
+                    row.push_back(Table::format(f.reuseP99));
                 }
             }
             return row;
@@ -289,7 +373,7 @@ main(int argc, char **argv)
         p.blocks = 2;
         p.maxStride = 8192;
         observeSchemes(session, paperMachineM64(),
-                       generateVcmTrace(p, opts.seed));
+                       generateVcmTrace(p, opts.seed), forensics);
     }
     return outcome.interrupted ? 130 : 0;
 }

@@ -33,6 +33,10 @@ main(int argc, char **argv)
     args.addFlag("config", "",
                  "INI experiment file ([machine]/[cache] sections, "
                  "see core/configio.hh); flags override it");
+    args.addFlag("classify", "false",
+                 "run the timed pass under the 3C classifier per "
+                 "scheme and print compulsory/capacity/conflict "
+                 "attribution with reuse-distance percentiles");
     addObsFlags(args);
     args.parse(argc, argv);
 
@@ -107,6 +111,8 @@ main(int argc, char **argv)
     // TracingObserver per scheme; the printed table itself stays on
     // the zero-cost NullObserver path.
     ObsSession session(obsOptionsFromFlags(args));
+    const bool classify = args.getBool("classify");
+    StatDump forensics;
     for (const auto scheme :
          {CacheScheme::Direct, CacheScheme::Prime}) {
         const char *name = scheme == CacheScheme::Prime ? "CC prime"
@@ -120,8 +126,22 @@ main(int argc, char **argv)
                                              : "cc_direct");
             simulateCc(machine, scheme, trace, obs);
         }
+        if (classify) {
+            // Timed-pass forensics: unlike the functional classifier
+            // above, this attributes the misses the CC machine
+            // actually takes, per (stride, operand) stream.
+            ClassifyingObserver obs(scheme == CacheScheme::Prime
+                                        ? "cc_prime"
+                                        : "cc_direct");
+            simulateCc(machine, scheme, trace, obs);
+            obs.dumpTo(forensics);
+        }
     }
     timing.print(std::cout);
+    if (classify) {
+        std::cout << "\ntimed-pass 3C attribution:\n";
+        forensics.print(std::cout);
+    }
     session.finish();
     return 0;
 }

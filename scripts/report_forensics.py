@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Render a forensics run (3C attribution + set-pressure heatmap).
+
+Usage:
+    report_forensics.py [--stats stats.json] [--heatmap heat.csv]
+                        [--width N] [--top N]
+
+Consumes the artefacts an instrumented driver writes:
+
+  --stats    the flat JSON from --stats-out; renders, per forensics
+             lane, the compulsory/capacity/conflict breakdown, the
+             hottest (stride, operand) streams, the reuse-distance
+             percentiles, and the miss-ratio-vs-capacity curve the
+             reuse CDF implies (each capacity row is the miss ratio of
+             a fully-associative LRU cache of that many lines).
+  --heatmap  the CSV from --heatmap-out (observer,window,set,accesses,
+             misses,conflict_misses); renders an ASCII set x window
+             pressure map, sets binned to terminal width.
+
+Stdlib only; at least one input is required.
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+SHADES = " .:-=+*#%@"
+
+
+def shade(value: float, peak: float) -> str:
+    if peak <= 0 or value <= 0:
+        return SHADES[0]
+    idx = int(value / peak * (len(SHADES) - 1) + 0.5)
+    return SHADES[min(idx, len(SHADES) - 1)]
+
+
+def bar(fraction: float, width: int = 40) -> str:
+    n = int(fraction * width + 0.5)
+    return "#" * n + "." * (width - n)
+
+
+def lanes_of(stats: dict) -> list:
+    names = set()
+    for key in stats:
+        head, dot, _ = key.partition(".forensics.")
+        if dot:
+            names.add(head)
+    return sorted(names)
+
+
+def render_stats(stats: dict, top: int) -> None:
+    for lane in lanes_of(stats):
+        p = f"{lane}.forensics."
+        compulsory = stats.get(p + "misses_compulsory", 0)
+        capacity = stats.get(p + "misses_capacity", 0)
+        conflict = stats.get(p + "misses_conflict", 0)
+        accesses = stats.get(p + "accesses", 0)
+        total = compulsory + capacity + conflict
+
+        print(f"\n== {lane} ==")
+        print(f"accesses {accesses}, misses {total} "
+              f"({100.0 * total / accesses:.2f}%)" if accesses
+              else f"accesses 0")
+        for kind, n in (("compulsory", compulsory),
+                        ("capacity", capacity),
+                        ("conflict", conflict)):
+            frac = n / total if total else 0.0
+            print(f"  {kind:<10} {n:>12}  {100.0 * frac:6.2f}%  "
+                  f"|{bar(frac, 30)}|")
+
+        # Hottest streams by conflict misses.
+        streams = {}
+        sp = p + "streams."
+        for key, value in stats.items():
+            if key.startswith(sp):
+                name, _, field = key[len(sp):].partition(".")
+                streams.setdefault(name, {})[field] = value
+        ranked = sorted(
+            streams.items(),
+            key=lambda kv: kv[1].get("conflict", 0),
+            reverse=True)[:top]
+        if ranked and ranked[0][1].get("conflict", 0):
+            print(f"  top streams by conflict misses:")
+            for name, f in ranked:
+                if not f.get("conflict", 0):
+                    break
+                stride, _, op = name.lstrip("s").partition("_op")
+                print(f"    stride {stride:>6} operand {op}: "
+                      f"{f.get('conflict', 0):>8} conflict / "
+                      f"{f.get('accesses', 0):>8} accesses")
+
+        p50 = stats.get(p + "reuse.p50")
+        p99 = stats.get(p + "reuse.p99")
+        if p50 is not None:
+            print(f"  reuse distance: p50 >= {p50}, p99 >= {p99}")
+
+        # Miss-ratio-vs-capacity curve (exact at powers of two).
+        curve = []
+        cp = p + "reuse.fa_miss_ratio.cap_"
+        for key, value in stats.items():
+            if key.startswith(cp):
+                curve.append((int(key[len(cp):]), value))
+        if curve:
+            print("  fully-associative miss ratio vs capacity "
+                  "(lines):")
+            for cap, ratio in sorted(curve):
+                print(f"    {cap:>8} |{bar(ratio)}| {ratio:.4f}")
+
+
+def render_heatmap(path: str, width: int) -> None:
+    cells = {}
+    num_sets = 0
+    with open(path, newline="", encoding="utf-8") as f:
+        reader = csv.DictReader(f)
+        for row in reader:
+            lane = row["observer"]
+            window = int(row["window"])
+            the_set = int(row["set"])
+            num_sets = max(num_sets, the_set + 1)
+            grid = cells.setdefault(lane, {})
+            grid[(window, the_set)] = (
+                grid.get((window, the_set), (0, 0, 0))[0]
+                + int(row["accesses"]),
+                int(row["misses"]),
+                int(row["conflict_misses"]),
+            )
+
+    for lane, grid in sorted(cells.items()):
+        windows = sorted({w for w, _ in grid})
+        cols = min(width, max(num_sets, 1))
+        per_col = max(1, (num_sets + cols - 1) // cols)
+        print(f"\n== {lane} set-pressure heatmap ==")
+        print(f"rows: {len(windows)} windows; cols: {cols} bins of "
+              f"{per_col} set(s); shading: conflict misses")
+        binned = {}
+        peak = 0
+        for (w, s), (_, _, conflicts) in grid.items():
+            key = (w, s // per_col)
+            binned[key] = binned.get(key, 0) + conflicts
+            peak = max(peak, binned[key])
+        for w in windows:
+            row = "".join(
+                shade(binned.get((w, c), 0), peak)
+                for c in range(cols))
+            print(f"  w{w:<5}|{row}|")
+        if peak == 0:
+            print("  (no conflict misses recorded)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--stats", help="flat JSON from --stats-out")
+    parser.add_argument("--heatmap", help="CSV from --heatmap-out")
+    parser.add_argument(
+        "--width", type=int, default=64,
+        help="heatmap columns (default 64)")
+    parser.add_argument(
+        "--top", type=int, default=5,
+        help="streams to list per lane (default 5)")
+    args = parser.parse_args()
+
+    if not args.stats and not args.heatmap:
+        parser.error("give at least one of --stats / --heatmap")
+
+    if args.stats:
+        try:
+            with open(args.stats, encoding="utf-8") as f:
+                stats = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"report_forensics: cannot read {args.stats}: "
+                  f"{err}", file=sys.stderr)
+            return 1
+        if not lanes_of(stats):
+            print(f"report_forensics: {args.stats} has no "
+                  f"*.forensics.* keys (was the run classified?)",
+                  file=sys.stderr)
+            return 1
+        render_stats(stats, args.top)
+
+    if args.heatmap:
+        try:
+            render_heatmap(args.heatmap, args.width)
+        except (OSError, KeyError, ValueError) as err:
+            print(f"report_forensics: cannot read {args.heatmap}: "
+                  f"{err}", file=sys.stderr)
+            return 1
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,10 @@ Checks, beyond "json.load succeeds":
   - begin/end duration events balance per (pid, tid) lane and never
     close an unopened slice;
   - counter events carry a numeric value in "args";
-  - metadata thread_name events carry args.name.
+  - metadata thread_name events carry args.name;
+  - forensics "conflict_evict" instants carry numeric evictor/victim/
+    set args (the evictor line -> victim line attribution);
+  - every name passed via --require-event appears at least once.
 
 Exits 0 and prints a one-line summary on success; prints every
 violation (capped) and exits 1 otherwise.  The simulators' writer caps
@@ -40,6 +43,14 @@ def main() -> int:
         type=int,
         default=1,
         help="fail if fewer than this many events (default 1)",
+    )
+    parser.add_argument(
+        "--require-event",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless an event with this name appears "
+             "(repeatable; e.g. conflict_evict for forensics runs)",
     )
     args = parser.parse_args()
 
@@ -69,6 +80,14 @@ def main() -> int:
     open_slices: dict[tuple, int] = {}
     phases: dict[str, int] = {}
     lanes: dict[tuple, str] = {}
+    names: dict[str, int] = {}
+
+    # Instant-event payload contracts, by event name.
+    INSTANT_NUMERIC_ARGS = {
+        "conflict_evict": ("evictor", "victim", "set"),
+        "conflict_miss": ("set", "line", "stall"),
+        "prefetch_issue": ("line",),
+    }
 
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
@@ -88,6 +107,21 @@ def main() -> int:
             report(i, f"negative timestamp {ts}")
         if ph != "E" and not isinstance(ev.get("name"), str):
             report(i, "missing name")
+        name = ev.get("name")
+        if isinstance(name, str):
+            names[name] = names.get(name, 0) + 1
+
+        if ph in ("i", "I") and name in INSTANT_NUMERIC_ARGS:
+            payload = ev.get("args")
+            if not isinstance(payload, dict):
+                report(i, f"{name} instant without args")
+            else:
+                for key in INSTANT_NUMERIC_ARGS[name]:
+                    if not isinstance(payload.get(key), (int, float)):
+                        report(
+                            i,
+                            f"{name} instant missing numeric "
+                            f"{key!r}")
 
         lane = (ev.get("pid"), ev.get("tid"))
         if ph == "B":
@@ -118,6 +152,10 @@ def main() -> int:
     if len(events) < args.min_events:
         errors.append(
             f"only {len(events)} events (< {args.min_events})")
+
+    for required in args.require_event:
+        if names.get(required, 0) == 0:
+            errors.append(f"required event {required!r} never appears")
 
     if errors:
         for e in errors:

@@ -5,38 +5,86 @@
 namespace vcache
 {
 
-MissClassifier::MissClassifier(Cache &cache)
-    : target(cache), shadow(cache.numLines())
+ShadowLru::ShadowLru(std::uint64_t capacity_lines)
 {
+    setCapacity(capacity_lines);
 }
 
-MissClassifier::ShadowLru::ShadowLru(std::uint64_t capacity_lines)
-    : capacity(capacity_lines)
+void
+ShadowLru::setCapacity(std::uint64_t capacity_lines)
 {
-    vc_assert(capacity >= 1, "shadow LRU needs capacity");
+    vc_assert(capacity_lines >= 1, "shadow LRU needs capacity");
+    capacityLines = capacity_lines;
+    clear();
+}
+
+void
+ShadowLru::unlink(std::uint32_t slot)
+{
+    Node &n = nodes[slot];
+    if (n.prev != kNil)
+        nodes[n.prev].next = n.next;
+    else
+        head = n.next;
+    if (n.next != kNil)
+        nodes[n.next].prev = n.prev;
+    else
+        tail = n.prev;
+}
+
+void
+ShadowLru::pushFront(std::uint32_t slot)
+{
+    Node &n = nodes[slot];
+    n.prev = kNil;
+    n.next = head;
+    if (head != kNil)
+        nodes[head].prev = slot;
+    head = slot;
+    if (tail == kNil)
+        tail = slot;
 }
 
 bool
-MissClassifier::ShadowLru::access(Addr line_addr)
+ShadowLru::access(Addr line_addr)
 {
-    if (auto *it = where.find(line_addr)) {
-        order.splice(order.begin(), order, *it);
+    if (std::uint32_t *slot = where.find(line_addr)) {
+        if (*slot != head) {
+            const std::uint32_t s = *slot;
+            unlink(s);
+            pushFront(s);
+        }
         return true;
     }
-    if (order.size() >= capacity) {
-        where.erase(order.back());
-        order.pop_back();
+    std::uint32_t slot;
+    if (where.size() >= capacityLines) {
+        // Evict the least recent resident and reuse its node for the
+        // incoming line: the slab stays exactly capacity-sized.
+        slot = tail;
+        unlink(slot);
+        where.erase(nodes[slot].line);
+        nodes[slot].line = line_addr;
+    } else {
+        slot = static_cast<std::uint32_t>(nodes.size());
+        nodes.push_back(Node{line_addr, kNil, kNil});
     }
-    order.push_front(line_addr);
-    where[line_addr] = order.begin();
+    pushFront(slot);
+    where.insertOrAssign(line_addr, slot);
     return false;
 }
 
 void
-MissClassifier::ShadowLru::clear()
+ShadowLru::clear()
 {
-    order.clear();
+    nodes.clear();
     where.clear();
+    head = kNil;
+    tail = kNil;
+}
+
+MissClassifier::MissClassifier(Cache &cache)
+    : target(cache), shadow(cache.numLines())
+{
 }
 
 AccessOutcome

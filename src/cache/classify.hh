@@ -12,13 +12,17 @@
  *     (miss there too => capacity; hit there => conflict),
  *
  * so benches can report exactly which class the prime mapping removes.
+ *
+ * The same machinery backs the timed side: obs/forensics.hh runs a
+ * ShadowLru beside the CC simulator through the Observer hooks and
+ * attributes every cycle-level miss the same way.
  */
 
 #ifndef VCACHE_CACHE_CLASSIFY_HH
 #define VCACHE_CACHE_CLASSIFY_HH
 
 #include <cstdint>
-#include <list>
+#include <vector>
 
 #include "cache/cache.hh"
 #include "util/flat_hash.hh"
@@ -40,6 +44,63 @@ struct MissBreakdown
     }
 };
 
+/**
+ * Shadow fully-associative LRU over line addresses: the 3C reference
+ * cache.  A hit here on a real-cache miss convicts the mapping
+ * (conflict); a joint miss indicts the capacity.
+ *
+ * O(1) per access: residents live in a slab of intrusively linked
+ * nodes (no per-access allocation -- the slab never shrinks and an
+ * eviction's node is reused for the incoming line in place) indexed
+ * by an open-addressing FlatMap from line address to slot.
+ */
+class ShadowLru
+{
+  public:
+    /** An empty shadow; setCapacity() before the first access. */
+    ShadowLru() = default;
+
+    explicit ShadowLru(std::uint64_t capacity_lines);
+
+    /** Resize the shadow (clears it). */
+    void setCapacity(std::uint64_t capacity_lines);
+
+    std::uint64_t capacity() const { return capacityLines; }
+
+    /** Resident line count. */
+    std::uint64_t size() const { return where.size(); }
+
+    /** Touch a line; returns true if it was resident. */
+    bool access(Addr line_addr);
+
+    /** Forget every resident line (capacity survives). */
+    void clear();
+
+  private:
+    /** One resident line in the recency list. */
+    struct Node
+    {
+        Addr line;
+        std::uint32_t prev;
+        std::uint32_t next;
+    };
+
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    /** Unlink `slot` from the recency list (it must be linked). */
+    void unlink(std::uint32_t slot);
+
+    /** Link `slot` in as most recent. */
+    void pushFront(std::uint32_t slot);
+
+    std::uint64_t capacityLines = 0;
+    /** Node slab; one slot per resident line, reused on eviction. */
+    std::vector<Node> nodes;
+    FlatMap<Addr, std::uint32_t> where;
+    std::uint32_t head = kNil; // most recent
+    std::uint32_t tail = kNil; // least recent
+};
+
 /** Classifying front end over any Cache. */
 class MissClassifier
 {
@@ -58,22 +119,6 @@ class MissClassifier
     void reset();
 
   private:
-    /** Shadow fully-associative LRU over line addresses. */
-    class ShadowLru
-    {
-      public:
-        explicit ShadowLru(std::uint64_t capacity_lines);
-
-        /** Touch a line; returns true if it was resident. */
-        bool access(Addr line_addr);
-        void clear();
-
-      private:
-        std::uint64_t capacity;
-        std::list<Addr> order; // most recent at front
-        FlatMap<Addr, std::list<Addr>::iterator> where;
-    };
-
     Cache &target;
     ShadowLru shadow;
     FlatSet<Addr> seen;

@@ -70,6 +70,7 @@
 #include "sim/sweep.hh"
 
 // Observability: observer policies, counters, traces, interval stats.
+#include "obs/forensics.hh"
 #include "obs/histogram.hh"
 #include "obs/instrument.hh"
 #include "obs/interval.hh"

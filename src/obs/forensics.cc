@@ -1,0 +1,424 @@
+#include "obs/forensics.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/statdump.hh"
+
+namespace vcache
+{
+
+// ---------------------------------------------------------------------
+// ReuseDistanceProfiler
+// ---------------------------------------------------------------------
+
+std::uint64_t
+ReuseDistanceProfiler::marksThrough(std::uint64_t slot) const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = slot + 1; i != 0; i -= i & (~i + 1))
+        sum += tree[i - 1];
+    return sum;
+}
+
+void
+ReuseDistanceProfiler::adjust(std::uint64_t slot, bool add)
+{
+    const std::uint64_t n = tree.size();
+    for (std::uint64_t i = slot + 1; i <= n; i += i & (~i + 1)) {
+        if (add)
+            ++tree[i - 1];
+        else
+            --tree[i - 1];
+    }
+}
+
+void
+ReuseDistanceProfiler::compact()
+{
+    // Renumber the live marks 0..marks-1 in slot order; every
+    // pairwise order is preserved, so no distance changes.
+    std::vector<std::pair<std::uint64_t, Addr>> live;
+    live.reserve(lastSlot.size());
+    lastSlot.forEach([&live](const Addr &line, const std::uint64_t &s) {
+        live.emplace_back(s, line);
+    });
+    std::sort(live.begin(), live.end());
+
+    tree.assign(live.size() * 2 + 64, 0);
+    nextSlot = 0;
+    for (const auto &[oldSlot, line] : live) {
+        (void)oldSlot;
+        lastSlot.insertOrAssign(line, nextSlot);
+        adjust(nextSlot, true);
+        ++nextSlot;
+    }
+}
+
+void
+ReuseDistanceProfiler::access(Addr line)
+{
+    if (const std::uint64_t *prev = lastSlot.find(line)) {
+        // Marks strictly after the previous slot are exactly the
+        // distinct lines touched since: the stack distance.
+        const std::uint64_t prevSlot = *prev;
+        distances.add(marks - marksThrough(prevSlot));
+        adjust(prevSlot, false);
+        --marks;
+        // Drop the stale entry *before* any compaction below: the
+        // rebuild derives the marks from this map.
+        lastSlot.erase(line);
+    } else {
+        ++cold;
+    }
+
+    // Out of slots: renumber the live marks into a tree sized for
+    // 2x headroom.  A plain resize would be wrong -- a new Fenwick
+    // node must carry the sum of the whole range it covers.
+    if (nextSlot >= tree.size())
+        compact();
+    adjust(nextSlot, true);
+    ++marks;
+    lastSlot.insertOrAssign(line, nextSlot);
+    ++nextSlot;
+}
+
+std::uint64_t
+ReuseDistanceProfiler::percentile(double p) const
+{
+    const std::uint64_t total = distances.samples();
+    if (total == 0)
+        return 0;
+    const double target = p * static_cast<double>(total);
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+        running += distances.bucket(i);
+        if (static_cast<double>(running) >= target)
+            return i == 0 ? 0 : (std::uint64_t{1} << (i - 1));
+    }
+    return distances.max();
+}
+
+double
+ReuseDistanceProfiler::missRatioAtCapacity(
+    std::uint64_t capacity_lines) const
+{
+    const std::uint64_t total = accesses();
+    if (total == 0)
+        return 0.0;
+    if (capacity_lines == 0)
+        return 1.0;
+    std::uint64_t missed = cold;
+    for (std::size_t i = Log2Histogram::bucketOf(capacity_lines);
+         i < Log2Histogram::kBuckets; ++i)
+        missed += distances.bucket(i);
+    return static_cast<double>(missed) / static_cast<double>(total);
+}
+
+void
+ReuseDistanceProfiler::clear()
+{
+    lastSlot.clear();
+    tree.clear();
+    nextSlot = 0;
+    marks = 0;
+    cold = 0;
+    distances.clear();
+}
+
+// ---------------------------------------------------------------------
+// SetHeatmap
+// ---------------------------------------------------------------------
+
+SetHeatmap::SetHeatmap(Cycles window_cycles)
+    : periodCycles(window_cycles)
+{
+}
+
+void
+SetHeatmap::begin(std::uint64_t sets)
+{
+    live.assign(sets, Cell{});
+    touched.clear();
+    closed.clear();
+    curWindow = 0;
+}
+
+void
+SetHeatmap::closeWindow()
+{
+    for (const std::uint64_t set : touched) {
+        const Cell &c = live[set];
+        closed.push_back(
+            HeatCell{curWindow, set, c.accesses, c.misses, c.conflicts});
+        live[set] = Cell{};
+    }
+    touched.clear();
+}
+
+void
+SetHeatmap::record(Cycles cycle, std::uint64_t set, bool miss,
+                   bool conflict)
+{
+    if (!enabled() || set >= live.size())
+        return;
+    const std::uint64_t window = cycle / periodCycles;
+    if (window != curWindow) {
+        closeWindow();
+        curWindow = window;
+    }
+    Cell &c = live[set];
+    if (c.accesses == 0 && c.misses == 0)
+        touched.push_back(set);
+    ++c.accesses;
+    if (miss)
+        ++c.misses;
+    if (conflict)
+        ++c.conflicts;
+}
+
+void
+SetHeatmap::finish(Cycles)
+{
+    if (enabled())
+        closeWindow();
+}
+
+void
+SetHeatmap::writeCsv(std::ostream &os, const std::string &label) const
+{
+    for (const HeatCell &c : closed)
+        os << label << ',' << c.window << ',' << c.set << ','
+           << c.accesses << ',' << c.misses << ',' << c.conflicts
+           << '\n';
+}
+
+// ---------------------------------------------------------------------
+// ClassifyingObserver
+// ---------------------------------------------------------------------
+
+ClassifyingObserver::ClassifyingObserver(std::string name,
+                                         ForensicsConfig cfg,
+                                         TraceEventWriter *writer,
+                                         std::uint32_t tid)
+    : label(std::move(name)), config(cfg), events(writer), lane(tid),
+      vectorOps(instruments.counter("vector_ops",
+                                    "vector instructions executed")),
+      accesses(instruments.counter("accesses", "demand accesses")),
+      hits(instruments.counter("hits", "demand hits")),
+      compulsoryMisses(instruments.counter(
+          "misses_compulsory", "first-touch misses (3C)")),
+      capacityMisses(instruments.counter(
+          "misses_capacity",
+          "misses the same-capacity fully-associative shadow LRU "
+          "would also take")),
+      conflictMisses(instruments.counter(
+          "misses_conflict",
+          "misses the shadow LRU would have hit: mapping-induced")),
+      conflictEvictions(instruments.counter(
+          "conflict_evictions",
+          "valid lines displaced by conflict-classified misses")),
+      reuseCold(instruments.counter(
+          "reuse_cold", "accesses with infinite reuse distance")),
+      opConflictHisto(instruments.histogram(
+          "op_conflict_misses",
+          "distribution of conflict misses per vector op")),
+      heat(cfg.heatmapInterval)
+{
+    if (events)
+        events->threadName(lane, label + ".forensics");
+}
+
+void
+ClassifyingObserver::onRunBegin(std::uint64_t sets, std::uint64_t lines)
+{
+    // The run starts on a cold cache; the forensics state must too.
+    shadow.setCapacity(lines == 0 ? 1 : lines);
+    seen.clear();
+    reuseProf.clear();
+    heat.begin(sets);
+    curStream[0] = kNoStream;
+    curStream[1] = kNoStream;
+    lastMissWasConflict = false;
+}
+
+std::uint32_t
+ClassifyingObserver::streamSlot(std::int64_t stride, StreamOperand op)
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(stride) << 1) |
+        static_cast<std::uint64_t>(op);
+    if (const std::uint32_t *slot = streamIndex.find(key))
+        return *slot;
+    const auto slot = static_cast<std::uint32_t>(streamStats.size());
+    streamStats.push_back(StreamRecord{stride, op, 0, MissBreakdown{}});
+    streamIndex.insertOrAssign(key, slot);
+    return slot;
+}
+
+void
+ClassifyingObserver::onVectorOpBegin(Cycles cycle, const VectorOp &op)
+{
+    ++vectorOps;
+    opConflicts = 0;
+    curStream[0] = streamSlot(op.first.stride, StreamOperand::First);
+    curStream[1] = op.second
+                       ? streamSlot(op.second->stride,
+                                    StreamOperand::Second)
+                       : kNoStream;
+    if (events) {
+        std::ostringstream args;
+        args << "\"stride\":" << op.first.stride
+             << ",\"length\":" << op.first.length;
+        if (op.second)
+            args << ",\"stride2\":" << op.second->stride;
+        events->beginDuration("vop", "vector_op", cycle, lane,
+                              args.str());
+        opOpen = true;
+    }
+}
+
+void
+ClassifyingObserver::onVectorOpEnd(Cycles cycle)
+{
+    opConflictHisto.add(opConflicts);
+    if (events && opOpen) {
+        events->endDuration(cycle, lane);
+        opOpen = false;
+    }
+}
+
+bool
+ClassifyingObserver::classify(Addr line, bool miss,
+                              StreamOperand operand)
+{
+    ++accesses;
+    const bool first_touch = seen.insert(line);
+    const bool in_shadow = shadow.access(line);
+    if (config.reuseProfile)
+        reuseProf.access(line);
+
+    const std::uint32_t slot =
+        curStream[static_cast<std::size_t>(operand)];
+    if (slot != kNoStream)
+        ++streamStats[slot].accesses;
+
+    if (!miss)
+        return false;
+
+    if (first_touch) {
+        ++compulsoryMisses;
+        ++byClass.compulsory;
+        if (slot != kNoStream)
+            ++streamStats[slot].misses.compulsory;
+        return false;
+    }
+    if (in_shadow) {
+        ++conflictMisses;
+        ++byClass.conflict;
+        ++opConflicts;
+        if (slot != kNoStream)
+            ++streamStats[slot].misses.conflict;
+        return true;
+    }
+    ++capacityMisses;
+    ++byClass.capacity;
+    if (slot != kNoStream)
+        ++streamStats[slot].misses.capacity;
+    return false;
+}
+
+void
+ClassifyingObserver::onHit(Cycles cycle, Addr line, std::uint64_t set,
+                           StreamOperand operand)
+{
+    ++hits;
+    classify(line, false, operand);
+    heat.record(cycle, set, false, false);
+}
+
+void
+ClassifyingObserver::onMiss(Cycles cycle, Addr line, std::uint64_t set,
+                            MissKind, Cycles, StreamOperand operand)
+{
+    lastMissWasConflict = classify(line, true, operand);
+    heat.record(cycle, set, true, lastMissWasConflict);
+}
+
+void
+ClassifyingObserver::onEviction(Cycles cycle, Addr evictor, Addr victim,
+                                std::uint64_t set)
+{
+    if (!lastMissWasConflict)
+        return;
+    ++conflictEvictions;
+    if (events && config.conflictEvents) {
+        std::ostringstream args;
+        args << "\"evictor\":" << evictor << ",\"victim\":" << victim
+             << ",\"set\":" << set;
+        events->instant("forensics", "conflict_evict", cycle, lane,
+                        args.str());
+    }
+}
+
+void
+ClassifyingObserver::onRunEnd(Cycles cycle, const SimResult &)
+{
+    heat.finish(cycle);
+    reuseCold += reuseProf.coldAccesses();
+    if (events && opOpen) {
+        events->endDuration(cycle, lane);
+        opOpen = false;
+    }
+}
+
+void
+ClassifyingObserver::dumpTo(StatDump &dump) const
+{
+    StatDump::Group top(dump, label);
+    StatDump::Group forensics(dump, "forensics");
+    instruments.dumpTo(dump);
+
+    {
+        StatDump::Group g(dump, "streams");
+        for (const StreamRecord &s : streamStats) {
+            std::ostringstream name;
+            name << "s" << s.stride << "_op"
+                 << static_cast<int>(s.operand);
+            StatDump::Group sg(dump, name.str());
+            dump.scalar("accesses", s.accesses, "stream accesses");
+            dump.scalar("compulsory", s.misses.compulsory, "");
+            dump.scalar("capacity", s.misses.capacity, "");
+            dump.scalar("conflict", s.misses.conflict, "");
+        }
+    }
+
+    if (config.reuseProfile) {
+        StatDump::Group g(dump, "reuse");
+        dump.scalar("p50", reuseProf.percentile(0.50),
+                    "median stack distance (bucket lower bound)");
+        dump.scalar("p99", reuseProf.percentile(0.99),
+                    "99th-percentile stack distance");
+        reuseProf.histogram().dumpTo(dump);
+        // The CDF read the other way: what a fully-associative LRU
+        // cache of each power-of-two capacity would miss.
+        StatDump::Group mr(dump, "fa_miss_ratio");
+        const std::size_t used = reuseProf.histogram().usedBuckets();
+        for (std::size_t i = 0; i < used; ++i) {
+            const std::uint64_t cap = std::uint64_t{1} << i;
+            dump.scalar("cap_" + std::to_string(cap),
+                        reuseProf.missRatioAtCapacity(cap), "");
+        }
+    }
+
+    if (heat.enabled()) {
+        StatDump::Group g(dump, "heatmap");
+        dump.scalar("window_cycles", heat.period(),
+                    "heatmap window width");
+        dump.scalar("cells",
+                    static_cast<std::uint64_t>(heat.cells().size()),
+                    "non-empty (window, set) cells");
+    }
+}
+
+} // namespace vcache

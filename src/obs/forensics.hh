@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Miss forensics: cycle-level 3C attribution, exact reuse distances
+ * and set-pressure heatmaps, all riding the Observer hooks.
+ *
+ * cache/classify.hh answers "which class was that miss?" for the
+ * functional pass; this file answers it *inside the timed run*, per
+ * vector op and per operand stream, where the paper's argument
+ * actually lives: a direct-mapped cache drowning in conflict misses
+ * that the prime mapping removes.  Three instruments cooperate:
+ *
+ *  - ClassifyingObserver runs the seen-set + shadow fully-associative
+ *    LRU (the intrusive ShadowLru) beside the simulated cache and
+ *    splits every demand miss into compulsory / capacity / conflict,
+ *    attributed to the (stride, operand) stream that issued it.
+ *  - ReuseDistanceProfiler computes the exact LRU stack distance of
+ *    every access with a Fenwick tree over time slots; its
+ *    Log2Histogram CDF doubles as the fully-associative
+ *    miss-ratio-vs-capacity curve (exact at power-of-two capacities),
+ *    the Gysi-style upper bound a sweep can overlay.
+ *  - SetHeatmap accumulates per-set x interval-window access/miss
+ *    counts, exported as CSV (--heatmap-out) and rendered by
+ *    scripts/report_forensics.py.
+ *
+ * Like every enabled observer, attaching one forces element-wise
+ * scalar replay -- run batching and gang probes stand down so each
+ * access really reaches the hooks (see obs/observer.hh).
+ */
+
+#ifndef VCACHE_OBS_FORENSICS_HH
+#define VCACHE_OBS_FORENSICS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cache/classify.hh"
+#include "obs/observer.hh"
+#include "obs/registry.hh"
+#include "obs/trace_events.hh"
+
+namespace vcache
+{
+
+class StatDump;
+
+/**
+ * Exact LRU stack distances in O(log n) per access.
+ *
+ * Classic Bennett/Kruskal marking: each line's most recent access
+ * occupies one time slot, marked in a Fenwick tree; the stack
+ * distance of a reaccess is the number of marks after the line's
+ * previous slot, i.e. the count of *distinct* lines touched since.
+ * Slots are compacted once they outnumber live marks 2:1, bounding
+ * memory by the number of distinct lines rather than trace length.
+ *
+ * Distances are exclusive: an immediate reaccess has distance 0, so
+ * a fully-associative LRU cache of C lines misses iff distance >= C.
+ */
+class ReuseDistanceProfiler
+{
+  public:
+    /** Record one line access. */
+    void access(Addr line);
+
+    /** First-touch accesses (infinite reuse distance). */
+    std::uint64_t coldAccesses() const { return cold; }
+
+    /** Finite-distance samples, log2-bucketed. */
+    const Log2Histogram &histogram() const { return distances; }
+
+    /** Total accesses recorded (cold + finite). */
+    std::uint64_t
+    accesses() const
+    {
+        return cold + distances.samples();
+    }
+
+    /**
+     * Smallest power-of-two-bucket lower bound at or above the p-th
+     * percentile of finite distances (p in [0, 1]); 0 when empty.
+     */
+    std::uint64_t percentile(double p) const;
+
+    /**
+     * Miss ratio of a fully-associative LRU cache of the given
+     * capacity on this access stream: cold misses plus all reuses at
+     * distance >= capacity.  Exact when capacity is a power of two
+     * (bucket boundaries align); 0 capacity returns 1.0.
+     */
+    double missRatioAtCapacity(std::uint64_t capacity_lines) const;
+
+    void clear();
+
+  private:
+    /** Prefix count of marks in slots [0, slot]. */
+    std::uint64_t marksThrough(std::uint64_t slot) const;
+
+    /** Adjust the mark count of one slot by +/-1. */
+    void adjust(std::uint64_t slot, bool add);
+
+    /** Renumber live slots 0..marks-1 and rebuild the tree. */
+    void compact();
+
+    FlatMap<Addr, std::uint64_t> lastSlot;
+    /** 1-based Fenwick tree over time slots. */
+    std::vector<std::uint64_t> tree;
+    std::uint64_t nextSlot = 0;
+    std::uint64_t marks = 0;
+    std::uint64_t cold = 0;
+    Log2Histogram distances;
+};
+
+/** One cell of the per-set x per-window pressure map. */
+struct HeatCell
+{
+    std::uint64_t window;
+    std::uint64_t set;
+    std::uint64_t accesses;
+    std::uint64_t misses;
+    std::uint64_t conflicts;
+};
+
+/**
+ * Per-set x interval-window access/miss/conflict accumulator.  The
+ * live window is dense (O(sets)); closed windows keep only their
+ * touched cells, so quiet sets and quiet windows cost nothing.
+ */
+class SetHeatmap
+{
+  public:
+    /** @param window_cycles window width; 0 disables recording */
+    explicit SetHeatmap(Cycles window_cycles = 0);
+
+    /** Start a run over `sets` sets (clears closed cells). */
+    void begin(std::uint64_t sets);
+
+    /** Record one access in the window holding `cycle`. */
+    void record(Cycles cycle, std::uint64_t set, bool miss,
+                bool conflict);
+
+    /** Close the window holding the final cycle. */
+    void finish(Cycles cycle);
+
+    bool enabled() const { return periodCycles != 0; }
+    Cycles period() const { return periodCycles; }
+
+    /** Closed cells, in (window, set-touch-order) order. */
+    const std::vector<HeatCell> &cells() const { return closed; }
+
+    /**
+     * Append cells as CSV rows "<label>,window,set,accesses,misses,
+     * conflict_misses" (no header).
+     */
+    void writeCsv(std::ostream &os, const std::string &label) const;
+
+  private:
+    void closeWindow();
+
+    struct Cell
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t conflicts = 0;
+    };
+
+    Cycles periodCycles;
+    std::uint64_t curWindow = 0;
+    std::vector<Cell> live;
+    /** Set indices touched in the live window, in first-touch order. */
+    std::vector<std::uint64_t> touched;
+    std::vector<HeatCell> closed;
+};
+
+/** Knobs for a ClassifyingObserver. */
+struct ForensicsConfig
+{
+    /** Heatmap window width in cycles; 0 disables the heatmap. */
+    Cycles heatmapInterval = 0;
+    /** Track exact reuse distances (the costliest instrument). */
+    bool reuseProfile = true;
+    /** Emit a Perfetto instant per conflict-classified eviction. */
+    bool conflictEvents = true;
+};
+
+/**
+ * The forensics Observer: 3C-classifies every demand miss of a timed
+ * run, attributes it to its (stride, operand) stream, profiles reuse
+ * distances and feeds the set-pressure heatmap.
+ *
+ * Satisfies the full hook contract of obs/observer.hh; bank, bus and
+ * prefetch hooks are no-ops (the TracingObserver owns those).
+ */
+class ClassifyingObserver
+{
+  public:
+    static constexpr bool kEnabled = true;
+
+    /** Per-(stride, operand) miss attribution. */
+    struct StreamRecord
+    {
+        std::int64_t stride;
+        StreamOperand operand;
+        std::uint64_t accesses = 0;
+        MissBreakdown misses;
+    };
+
+    /**
+     * @param name stats group / trace lane label ("cc_prime", ...)
+     * @param config instrument selection knobs
+     * @param writer optional shared trace sink (not owned)
+     * @param tid trace lane for this observer's events
+     */
+    explicit ClassifyingObserver(std::string name,
+                                 ForensicsConfig config = {},
+                                 TraceEventWriter *writer = nullptr,
+                                 std::uint32_t tid = 0);
+
+    // ---- hook interface (see obs/observer.hh for the contract) ----
+    void onRunBegin(std::uint64_t sets, std::uint64_t lines);
+    void onVectorOpBegin(Cycles cycle, const VectorOp &op);
+    void onVectorOpEnd(Cycles cycle);
+    void onHit(Cycles cycle, Addr line, std::uint64_t set,
+               StreamOperand operand = StreamOperand::First);
+    void onMiss(Cycles cycle, Addr line, std::uint64_t set,
+                MissKind kind, Cycles stall,
+                StreamOperand operand = StreamOperand::First);
+    void onEviction(Cycles cycle, Addr evictor, Addr victim,
+                    std::uint64_t set);
+    void onBankIssue(Cycles, std::uint64_t, Cycles) {}
+    void onBusWait(Cycles, Cycles) {}
+    void onPrefetchIssue(Cycles, Addr) {}
+    void onPrefetchHit(Cycles, Addr, Cycles) {}
+    void onRunEnd(Cycles cycle, const SimResult &result);
+
+    // ---- results ----
+    const std::string &name() const { return label; }
+    const ObsRegistry &registry() const { return instruments; }
+
+    /** Whole-run 3C totals. */
+    const MissBreakdown &breakdown() const { return byClass; }
+
+    const ReuseDistanceProfiler &reuse() const { return reuseProf; }
+    const SetHeatmap &heatmap() const { return heat; }
+
+    /** Streams seen, in first-appearance order. */
+    const std::vector<StreamRecord> &streams() const
+    {
+        return streamStats;
+    }
+
+    /**
+     * Append counters, stream attribution, the reuse histogram with
+     * its miss-ratio-vs-capacity curve, and heatmap summary scalars
+     * to a StatDump under a "<name>.forensics" group.
+     */
+    void dumpTo(StatDump &dump) const;
+
+  private:
+    /** Shared hit/miss bookkeeping; returns conflict classification. */
+    bool classify(Addr line, bool miss, StreamOperand operand);
+
+    /** Find-or-create the stream record for (stride, operand). */
+    std::uint32_t streamSlot(std::int64_t stride, StreamOperand op);
+
+    std::string label;
+    ForensicsConfig config;
+    TraceEventWriter *events;
+    std::uint32_t lane;
+
+    ObsRegistry instruments;
+    Counter &vectorOps;
+    Counter &accesses;
+    Counter &hits;
+    Counter &compulsoryMisses;
+    Counter &capacityMisses;
+    Counter &conflictMisses;
+    Counter &conflictEvictions;
+    Counter &reuseCold;
+    /** Conflict misses per vector op (attribution at op granularity). */
+    Log2Histogram &opConflictHisto;
+
+    ShadowLru shadow;
+    FlatSet<Addr> seen;
+    ReuseDistanceProfiler reuseProf;
+    SetHeatmap heat;
+    MissBreakdown byClass;
+
+    static constexpr std::uint32_t kNoStream = 0xffffffffu;
+    FlatMap<std::uint64_t, std::uint32_t> streamIndex;
+    std::vector<StreamRecord> streamStats;
+    /** Live op's stream slots, indexed by StreamOperand. */
+    std::uint32_t curStream[2] = {kNoStream, kNoStream};
+    std::uint64_t opConflicts = 0;
+    /** Did the latest onMiss classify as conflict?  Consumed by the
+     *  onEviction that immediately follows it. */
+    bool lastMissWasConflict = false;
+    bool opOpen = false;
+};
+
+} // namespace vcache
+
+#endif // VCACHE_OBS_FORENSICS_HH

@@ -33,6 +33,9 @@ addObsFlags(ArgParser &args)
     args.addFlag("trace-out", "",
                  "write a Chrome/Perfetto trace-event JSON timeline "
                  "to this file; \"-\" = stdout");
+    args.addFlag("heatmap-out", "",
+                 "write the forensics per-set x window heatmap as CSV "
+                 "to this file; \"-\" = stdout (forensics lanes only)");
     args.addFlag("stats-interval", "0",
                  "interval-stats window in cycles; 0 disables "
                  "windowed sampling");
@@ -44,6 +47,7 @@ obsOptionsFromFlags(const ArgParser &args)
     ObsOptions opts;
     opts.statsOut = args.getString("stats-out");
     opts.traceOut = args.getString("trace-out");
+    opts.heatmapOut = args.getString("heatmap-out");
     opts.statsInterval = args.getUint("stats-interval");
     return opts;
 }
@@ -97,6 +101,21 @@ ObsSession::observer(const std::string &name)
     return *observers.back();
 }
 
+ClassifyingObserver &
+ObsSession::classifier(const std::string &name)
+{
+    ForensicsConfig config;
+    // The heatmap wants a window even when interval stats are off.
+    if (!opts.heatmapOut.empty())
+        config.heatmapInterval =
+            opts.statsInterval != 0 ? opts.statsInterval : 4096;
+    classifiers.push_back(std::make_unique<ClassifyingObserver>(
+        name, config, events.get(),
+        static_cast<std::uint32_t>(observers.size() +
+                                   classifiers.size())));
+    return *classifiers.back();
+}
+
 void
 ObsSession::addRegistry(const ObsRegistry *registry)
 {
@@ -111,13 +130,33 @@ ObsSession::finish()
         return;
     finished = true;
     if (!opts.statsOut.empty() &&
-        (!observers.empty() || !extraRegistries.empty())) {
+        (!observers.empty() || !classifiers.empty() ||
+         !extraRegistries.empty())) {
         StatDump dump;
         for (const auto &obs : observers)
             obs->dumpTo(dump);
+        for (const auto &cls : classifiers)
+            cls->dumpTo(dump);
         for (const ObsRegistry *reg : extraRegistries)
             reg->dumpTo(dump);
         writeStats(dump, opts.statsOut);
+    }
+    if (!opts.heatmapOut.empty() && !classifiers.empty()) {
+        const auto write = [this](std::ostream &os) {
+            os << "observer,window,set,accesses,misses,"
+                  "conflict_misses\n";
+            for (const auto &cls : classifiers)
+                cls->heatmap().writeCsv(os, cls->name());
+        };
+        if (opts.heatmapOut == "-") {
+            write(std::cout);
+        } else {
+            std::ofstream out(opts.heatmapOut);
+            if (!out)
+                vc_fatal("cannot open --heatmap-out destination '",
+                         opts.heatmapOut, "'");
+            write(out);
+        }
     }
     if (events)
         events->finish();

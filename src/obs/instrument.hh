@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/forensics.hh"
 #include "obs/tracing_observer.hh"
 #include "util/cli.hh"
 #include "util/types.hh"
@@ -44,6 +45,8 @@ struct ObsOptions
     std::string statsOut;
     /** Trace-event JSON destination: "" = off, "-" = stdout. */
     std::string traceOut;
+    /** Set-pressure heatmap CSV destination: "" = off, "-" = stdout. */
+    std::string heatmapOut;
     /** Interval-stats window in cycles; 0 disables windows. */
     Cycles statsInterval = 0;
 
@@ -51,7 +54,8 @@ struct ObsOptions
     bool
     enabled() const
     {
-        return !statsOut.empty() || !traceOut.empty();
+        return !statsOut.empty() || !traceOut.empty() ||
+               !heatmapOut.empty();
     }
 };
 
@@ -87,12 +91,22 @@ class ObsSession
     /** True when the session will write something. */
     bool enabled() const { return opts.enabled(); }
 
+    /** The options the session was opened with. */
+    const ObsOptions &options() const { return opts; }
+
     /**
      * Create a new observer lane.  The name labels both the stats
      * group and the trace lane; lanes get consecutive trace tids in
      * creation order.  The reference stays valid for the session.
      */
     TracingObserver &observer(const std::string &name);
+
+    /**
+     * Create a forensics lane (3C attribution, reuse profile, and --
+     * when --heatmap-out is set -- the set-pressure heatmap).  Shares
+     * the trace-lane tid space with observer() lanes.
+     */
+    ClassifyingObserver &classifier(const std::string &name);
 
     /** The shared trace writer, or nullptr when --trace-out is off. */
     TraceEventWriter *writer() { return events.get(); }
@@ -123,6 +137,7 @@ class ObsSession
     std::unique_ptr<std::ofstream> traceFile;
     std::unique_ptr<TraceEventWriter> events;
     std::vector<std::unique_ptr<TracingObserver>> observers;
+    std::vector<std::unique_ptr<ClassifyingObserver>> classifiers;
     /** Borrowed registries to append to the stats dump. */
     std::vector<const ObsRegistry *> extraRegistries;
     bool finished = false;

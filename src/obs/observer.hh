@@ -14,11 +14,14 @@
  * Hook contract (all no-ops here; real observers override what they
  * need by providing the same signatures):
  *
- *   onRunBegin(sets)                   once per run; histogram domain
+ *   onRunBegin(sets, lines)            once per run; cache geometry
  *   onVectorOpBegin(cycle, op)         one vector instruction starts
  *   onVectorOpEnd(cycle)               ... and retires
- *   onHit(cycle, line, set)            demand hit
- *   onMiss(cycle, line, set, kind, stall)  demand miss + exposed stall
+ *   onHit(cycle, line, set, operand)   demand hit
+ *   onMiss(cycle, line, set, kind, stall, operand)
+ *                                      demand miss + exposed stall
+ *   onEviction(cycle, evictor, victim, set)
+ *                                      a miss displaced a valid line
  *   onBankIssue(cycle, bank, waited)   memory bank request (+conflict)
  *   onBusWait(cycle, waited)           read-bus arbitration wait
  *   onPrefetchIssue(cycle, line)       timed prefetch launched
@@ -59,12 +62,19 @@ struct NullObserver
 {
     static constexpr bool kEnabled = false;
 
-    void onRunBegin(std::uint64_t /*sets*/) {}
+    void onRunBegin(std::uint64_t /*sets*/, std::uint64_t /*lines*/) {}
     void onVectorOpBegin(Cycles, const VectorOp &) {}
     void onVectorOpEnd(Cycles) {}
-    void onHit(Cycles, Addr /*line*/, std::uint64_t /*set*/) {}
+    void onHit(Cycles, Addr /*line*/, std::uint64_t /*set*/,
+               StreamOperand)
+    {
+    }
     void onMiss(Cycles, Addr /*line*/, std::uint64_t /*set*/, MissKind,
-                Cycles /*stall*/)
+                Cycles /*stall*/, StreamOperand)
+    {
+    }
+    void onEviction(Cycles, Addr /*evictor*/, Addr /*victim*/,
+                    std::uint64_t /*set*/)
     {
     }
     void onBankIssue(Cycles, std::uint64_t /*bank*/, Cycles /*waited*/) {}

@@ -51,7 +51,7 @@ TracingObserver::TracingObserver(std::string name, TracingConfig cfg,
 }
 
 void
-TracingObserver::onRunBegin(std::uint64_t sets)
+TracingObserver::onRunBegin(std::uint64_t sets, std::uint64_t)
 {
     setAccessCount.assign(sets, 0);
     setMissCount.assign(sets, 0);
@@ -87,7 +87,8 @@ TracingObserver::onVectorOpEnd(Cycles cycle)
 }
 
 void
-TracingObserver::onHit(Cycles cycle, Addr, std::uint64_t set)
+TracingObserver::onHit(Cycles cycle, Addr, std::uint64_t set,
+                       StreamOperand)
 {
     ++hits;
     if (set < setAccessCount.size())
@@ -97,7 +98,7 @@ TracingObserver::onHit(Cycles cycle, Addr, std::uint64_t set)
 
 void
 TracingObserver::onMiss(Cycles cycle, Addr line, std::uint64_t set,
-                        MissKind kind, Cycles stall)
+                        MissKind kind, Cycles stall, StreamOperand)
 {
     switch (kind) {
       case MissKind::Compulsory:

@@ -59,12 +59,17 @@ class TracingObserver
                              std::uint32_t tid = 0);
 
     // ---- hook interface (see obs/observer.hh for the contract) ----
-    void onRunBegin(std::uint64_t sets);
+    void onRunBegin(std::uint64_t sets, std::uint64_t lines);
     void onVectorOpBegin(Cycles cycle, const VectorOp &op);
     void onVectorOpEnd(Cycles cycle);
-    void onHit(Cycles cycle, Addr line, std::uint64_t set);
+    void onHit(Cycles cycle, Addr line, std::uint64_t set,
+               StreamOperand operand = StreamOperand::First);
     void onMiss(Cycles cycle, Addr line, std::uint64_t set,
-                MissKind kind, Cycles stall);
+                MissKind kind, Cycles stall,
+                StreamOperand operand = StreamOperand::First);
+    /** Evictions are forensics territory; kept as a no-op here so the
+     *  pinned golden stats stay byte-identical. */
+    void onEviction(Cycles, Addr, Addr, std::uint64_t) {}
     void onBankIssue(Cycles cycle, std::uint64_t bank, Cycles waited);
     void onBusWait(Cycles cycle, Cycles waited);
     void onPrefetchIssue(Cycles cycle, Addr line);

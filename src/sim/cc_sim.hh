@@ -300,7 +300,8 @@ class CcSimulator
     /** Access one element, advancing the pipeline clock. */
     template <typename CacheT, bool Prefetching, typename Observer>
     void accessElement(CacheT &cache, const AddressLayout &layout,
-                       Addr addr, SimResult &result, Observer &obs);
+                       Addr addr, SimResult &result, Observer &obs,
+                       StreamOperand operand = StreamOperand::First);
 
     /** Launch the prefetches triggered at `addr` (timed). */
     template <typename CacheT, typename Observer>
@@ -386,7 +387,8 @@ CcSimulator::issuePrefetches(CacheT &cache, const AddressLayout &layout,
 template <typename CacheT, bool Prefetching, typename Observer>
 VCACHE_ALWAYS_INLINE void
 CcSimulator::accessElement(CacheT &cache, const AddressLayout &layout,
-                           Addr addr, SimResult &result, Observer &obs)
+                           Addr addr, SimResult &result, Observer &obs,
+                           StreamOperand operand)
 {
     const Addr line = layout.lineAddress(addr);
     const AccessOutcome outcome = probeLine(cache, line);
@@ -396,7 +398,7 @@ CcSimulator::accessElement(CacheT &cache, const AddressLayout &layout,
         ++result.hits;
         clock += 1;
         if constexpr (Observer::kEnabled)
-            obs.onHit(clock, line, frameIndexOf(cache, line));
+            obs.onHit(clock, line, frameIndexOf(cache, line), operand);
         if constexpr (Prefetching) {
             // A hit on a line still in flight waits for whatever part
             // of the flight the vector pipeline cannot absorb.  The
@@ -443,16 +445,21 @@ CcSimulator::accessElement(CacheT &cache, const AddressLayout &layout,
             obs.onMiss(clock, line, frameIndexOf(cache, line),
                        first_touch ? MissKind::Compulsory
                                    : MissKind::NonBlocking,
-                       when - clock);
+                       when - clock, operand);
         result.stallCycles += when - clock;
         clock = when + 1;
     } else {
         // Interference/capacity miss: full memory round trip exposed.
         if constexpr (Observer::kEnabled)
             obs.onMiss(clock, line, frameIndexOf(cache, line),
-                       MissKind::Blocking, machine.memoryTime);
+                       MissKind::Blocking, machine.memoryTime, operand);
         result.stallCycles += machine.memoryTime;
         clock += 1 + machine.memoryTime;
+    }
+    if constexpr (Observer::kEnabled) {
+        if (outcome.evicted)
+            obs.onEviction(clock, line, outcome.evictedLine,
+                           frameIndexOf(cache, line));
     }
     if constexpr (Prefetching) {
         if (prefetchPolicy != PrefetchPolicy::None)
@@ -555,10 +562,12 @@ CcSimulator::stripLoop(CacheT &cache, const VectorOp &op,
                     // element-at-a-time interleaving.
                     for (unsigned j = 0; j < g; ++j) {
                         accessElement<CacheT, Prefetching>(
-                            cache, layout, a1, result, obs);
+                            cache, layout, a1, result, obs,
+                            StreamOperand::First);
                         if (second && done + i < second->length)
                             accessElement<CacheT, Prefetching>(
-                                cache, layout, a2, result, obs);
+                                cache, layout, a2, result, obs,
+                                StreamOperand::Second);
                         ++result.results;
                         ++i;
                         a1 = static_cast<Addr>(
@@ -575,10 +584,12 @@ CcSimulator::stripLoop(CacheT &cache, const VectorOp &op,
             Addr a2 = second->element(done);
             for (std::uint64_t i = 0; i < count; ++i) {
                 accessElement<CacheT, Prefetching>(cache, layout, a1,
-                                               result, obs);
+                                               result, obs,
+                                               StreamOperand::First);
                 if (done + i < second->length)
                     accessElement<CacheT, Prefetching>(cache, layout, a2,
-                                                   result, obs);
+                                                   result, obs,
+                                                   StreamOperand::Second);
                 ++result.results;
                 a1 = static_cast<Addr>(
                     static_cast<std::int64_t>(a1) + s1);
@@ -604,7 +615,7 @@ CcSimulator::runImpl(CacheT &cache, TraceSource &source, Observer &obs)
     SimResult result;
 
     if constexpr (Observer::kEnabled)
-        obs.onRunBegin(cache.numSets());
+        obs.onRunBegin(cache.numSets(), cache.numLines());
 
     VectorOp op;
     while (source.next(op)) {

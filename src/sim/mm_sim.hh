@@ -243,7 +243,7 @@ MmSimulator::run(TraceSource &source, Observer &obs)
 
     // The MM machine has no cache: observers see a zero-set domain.
     if constexpr (Observer::kEnabled)
-        obs.onRunBegin(0);
+        obs.onRunBegin(0, 0);
 
     VectorOp op;
     while (source.next(op)) {

@@ -25,6 +25,16 @@ enum class MissKind
     NonBlocking,
 };
 
+/**
+ * Which operand stream of a vector op an access belongs to.  Double
+ * streams carry two strides; forensics attributes misses per stream.
+ */
+enum class StreamOperand
+{
+    First,
+    Second,
+};
+
 } // namespace vcache
 
 #endif // VCACHE_SIM_OBSERVE_HH

@@ -1,0 +1,293 @@
+/**
+ * Tests for the miss-forensics layer: the 3C ClassifyingObserver,
+ * the exact reuse-distance profiler and the set-pressure heatmap.
+ *
+ * The golden claims are the paper's: on power-of-two strides the
+ * prime mapping's conflict class is empty while the direct mapping
+ * drowns in it, and a fully-associative cache reports zero conflicts
+ * by construction (its shadow is itself).
+ */
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/factory.hh"
+#include "core/defaults.hh"
+#include "obs/forensics.hh"
+#include "sim/runner.hh"
+#include "trace/vcm.hh"
+
+namespace vcache
+{
+namespace
+{
+
+/** The power-of-two-stride workload of the golden claims. */
+Trace
+powerOfTwoTrace()
+{
+    VcmParams p;
+    p.blockingFactor = 2048;
+    p.reuseFactor = 4;
+    p.pDoubleStream = 0.0;
+    p.blocks = 2;
+    p.maxStride = 8192;
+    p.fixedStride1 = 1024; // gcd(1024, 8191) == 1; gcd(1024, 8192) big
+    return generateVcmTrace(p, 7);
+}
+
+TEST(Forensics, PrimeRemovesConflictsOnPowerOfTwoStrides)
+{
+    const Trace trace = powerOfTwoTrace();
+    const MachineParams machine = paperMachineM64();
+
+    ClassifyingObserver direct("cc_direct");
+    simulateCc(machine, CacheScheme::Direct, trace, direct);
+    ClassifyingObserver prime("cc_prime");
+    simulateCc(machine, CacheScheme::Prime, trace, prime);
+
+    // The prime mapping spreads stride 1024 across all 8191 frames:
+    // no line of a block ever collides with another live one.
+    EXPECT_EQ(prime.breakdown().conflict, 0u);
+
+    // The direct mapping folds stride 1024 onto 8 frames: every
+    // reuse pass thrashes, and conflicts dominate its misses.
+    const MissBreakdown &d = direct.breakdown();
+    EXPECT_GT(d.conflict, 0u);
+    EXPECT_GT(d.conflict, d.compulsory);
+    EXPECT_GT(d.conflict, d.capacity);
+    EXPECT_GT(2 * d.conflict, d.total());
+}
+
+TEST(Forensics, FullyAssociativeHasZeroConflictByConstruction)
+{
+    const Trace trace = powerOfTwoTrace();
+    MachineParams machine = paperMachineM64();
+    CacheConfig config;
+    config.organization = Organization::FullyAssociative;
+    config.indexBits = machine.cacheIndexBits;
+
+    ClassifyingObserver obs("cc_full");
+    simulateCc(machine, config, trace, obs);
+
+    // The shadow LRU *is* a fully-associative LRU of equal capacity:
+    // whatever it holds, the cache holds, so no miss can be a
+    // conflict.
+    EXPECT_GT(obs.breakdown().total(), 0u);
+    EXPECT_EQ(obs.breakdown().conflict, 0u);
+}
+
+TEST(Forensics, BreakdownTotalsMatchSimulatedMisses)
+{
+    const Trace trace = powerOfTwoTrace();
+    const MachineParams machine = paperMachineM64();
+
+    ClassifyingObserver obs("cc_direct");
+    const SimResult r =
+        simulateCc(machine, CacheScheme::Direct, trace, obs);
+
+    EXPECT_EQ(obs.breakdown().total(), r.misses);
+    const Counter *acc = obs.registry().findCounter("accesses");
+    ASSERT_NE(acc, nullptr);
+    EXPECT_EQ(acc->value, r.hits + r.misses);
+}
+
+TEST(Forensics, AttachingClassifierDoesNotPerturbTiming)
+{
+    const Trace trace = powerOfTwoTrace();
+    const MachineParams machine = paperMachineM64();
+
+    const SimResult plain =
+        simulateCc(machine, CacheScheme::Prime, trace);
+    ClassifyingObserver obs("cc_prime");
+    const SimResult observed =
+        simulateCc(machine, CacheScheme::Prime, trace, obs);
+
+    EXPECT_EQ(plain.totalCycles, observed.totalCycles);
+    EXPECT_EQ(plain.hits, observed.hits);
+    EXPECT_EQ(plain.misses, observed.misses);
+    EXPECT_EQ(plain.stallCycles, observed.stallCycles);
+}
+
+TEST(Forensics, StreamAttributionCoversAllMisses)
+{
+    VcmParams p;
+    p.blockingFactor = 1024;
+    p.reuseFactor = 4;
+    p.pDoubleStream = 0.5; // exercise the second operand
+    p.blocks = 2;
+    p.maxStride = 8192;
+    const Trace trace = generateVcmTrace(p, 11);
+
+    ClassifyingObserver obs("cc_direct");
+    simulateCc(paperMachineM64(), CacheScheme::Direct, trace, obs);
+
+    std::uint64_t attributed = 0, accesses = 0;
+    bool sawSecond = false;
+    for (const auto &s : obs.streams()) {
+        attributed += s.misses.total();
+        accesses += s.accesses;
+        if (s.operand == StreamOperand::Second)
+            sawSecond = true;
+    }
+    EXPECT_EQ(attributed, obs.breakdown().total());
+    const Counter *acc = obs.registry().findCounter("accesses");
+    ASSERT_NE(acc, nullptr);
+    EXPECT_EQ(accesses, acc->value);
+    EXPECT_TRUE(sawSecond);
+}
+
+TEST(Forensics, ConflictEvictionInstantsReachTheTrace)
+{
+    const Trace trace = powerOfTwoTrace();
+    std::ostringstream out;
+    {
+        TraceEventWriter writer(out);
+        ClassifyingObserver obs("cc_direct", ForensicsConfig{},
+                                &writer, 0);
+        simulateCc(paperMachineM64(), CacheScheme::Direct, trace, obs);
+        writer.finish();
+    }
+    const std::string json = out.str();
+    EXPECT_NE(json.find("conflict_evict"), std::string::npos);
+    EXPECT_NE(json.find("\"evictor\""), std::string::npos);
+    EXPECT_NE(json.find("\"victim\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// ReuseDistanceProfiler
+// ---------------------------------------------------------------------
+
+TEST(ReuseDistance, KnownSequence)
+{
+    ReuseDistanceProfiler prof;
+    prof.access(1); // cold
+    prof.access(2); // cold
+    prof.access(1); // one distinct line (2) since: distance 1
+    prof.access(1); // immediate reuse: distance 0
+    prof.access(2); // distance 1
+    EXPECT_EQ(prof.coldAccesses(), 2u);
+    EXPECT_EQ(prof.histogram().samples(), 3u);
+    EXPECT_EQ(prof.histogram().bucket(0), 1u); // the distance-0 reuse
+    EXPECT_EQ(prof.histogram().bucket(1), 2u); // the distance-1 reuses
+}
+
+TEST(ReuseDistance, SweepMissRatioCurve)
+{
+    // Two passes over 8 lines: 8 cold accesses, then 8 reuses at
+    // stack distance 7.
+    ReuseDistanceProfiler prof;
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr a = 0; a < 8; ++a)
+            prof.access(a);
+    EXPECT_EQ(prof.coldAccesses(), 8u);
+    EXPECT_EQ(prof.histogram().samples(), 8u);
+    EXPECT_EQ(prof.histogram().max(), 7u);
+    // Capacity 8 holds the whole sweep: only cold misses remain.
+    EXPECT_DOUBLE_EQ(prof.missRatioAtCapacity(8), 0.5);
+    // Capacity 4 < distance 7: every reuse misses too.
+    EXPECT_DOUBLE_EQ(prof.missRatioAtCapacity(4), 1.0);
+    EXPECT_DOUBLE_EQ(prof.missRatioAtCapacity(0), 1.0);
+}
+
+TEST(ReuseDistance, MatchesNaiveStackDistance)
+{
+    // Randomized cross-check against an O(n^2) reference, with
+    // enough distinct lines and reaccess churn to trigger both tree
+    // growth and slot compaction.
+    std::mt19937_64 rng(321);
+    std::uniform_int_distribution<Addr> pick(0, 255);
+
+    ReuseDistanceProfiler prof;
+    std::vector<Addr> stack; // most recent first
+    Log2Histogram expected;
+    std::uint64_t expectedCold = 0;
+
+    for (int i = 0; i < 5000; ++i) {
+        const Addr line = pick(rng);
+        const auto it = std::find(stack.begin(), stack.end(), line);
+        if (it == stack.end()) {
+            ++expectedCold;
+        } else {
+            expected.add(
+                static_cast<std::uint64_t>(it - stack.begin()));
+            stack.erase(it);
+        }
+        stack.insert(stack.begin(), line);
+        prof.access(line);
+    }
+
+    EXPECT_EQ(prof.coldAccesses(), expectedCold);
+    ASSERT_EQ(prof.histogram().samples(), expected.samples());
+    for (std::size_t b = 0; b < Log2Histogram::kBuckets; ++b)
+        EXPECT_EQ(prof.histogram().bucket(b), expected.bucket(b))
+            << "bucket " << b;
+}
+
+TEST(ReuseDistance, PercentilesAtBucketResolution)
+{
+    ReuseDistanceProfiler prof;
+    // 100 reuses at distance 0 and 1 reuse at distance ~64.
+    for (int i = 0; i < 100; ++i) {
+        prof.access(1);
+    }
+    for (Addr a = 10; a < 74; ++a)
+        prof.access(a);
+    prof.access(1);
+    EXPECT_EQ(prof.percentile(0.50), 0u);
+    EXPECT_EQ(prof.percentile(1.0), 64u);
+}
+
+// ---------------------------------------------------------------------
+// SetHeatmap
+// ---------------------------------------------------------------------
+
+TEST(SetHeatmap, AccumulatesPerWindowCells)
+{
+    SetHeatmap heat(100);
+    heat.begin(8);
+    heat.record(10, 3, false, false);
+    heat.record(20, 3, true, true);
+    heat.record(150, 5, true, false);
+    heat.finish(200);
+
+    ASSERT_EQ(heat.cells().size(), 2u);
+    const HeatCell &first = heat.cells()[0];
+    EXPECT_EQ(first.window, 0u);
+    EXPECT_EQ(first.set, 3u);
+    EXPECT_EQ(first.accesses, 2u);
+    EXPECT_EQ(first.misses, 1u);
+    EXPECT_EQ(first.conflicts, 1u);
+    const HeatCell &second = heat.cells()[1];
+    EXPECT_EQ(second.window, 1u);
+    EXPECT_EQ(second.set, 5u);
+    EXPECT_EQ(second.accesses, 1u);
+}
+
+TEST(SetHeatmap, DisabledRecordsNothing)
+{
+    SetHeatmap heat;
+    heat.begin(8);
+    heat.record(10, 3, true, true);
+    heat.finish(20);
+    EXPECT_TRUE(heat.cells().empty());
+    EXPECT_FALSE(heat.enabled());
+}
+
+TEST(SetHeatmap, CsvRowsCarryTheLabel)
+{
+    SetHeatmap heat(50);
+    heat.begin(4);
+    heat.record(0, 1, true, false);
+    heat.finish(10);
+    std::ostringstream os;
+    heat.writeCsv(os, "cc_direct");
+    EXPECT_EQ(os.str(), "cc_direct,0,1,1,1,0\n");
+}
+
+} // namespace
+} // namespace vcache

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/report_forensics.py.
+
+Run directly or via ctest (registered in tests/CMakeLists.txt).  The
+regression of record: the heatmap CSV's set column must be binned, not
+truncated, so conflict mass in high-numbered sets still shades the
+rendered map.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, os.pardir,
+    "scripts", "report_forensics.py")
+
+
+def forensics_stats(lane="cc_direct"):
+    p = f"{lane}.forensics."
+    return {
+        p + "accesses": 1000,
+        p + "misses_compulsory": 60,
+        p + "misses_capacity": 10,
+        p + "misses_conflict": 30,
+        p + "streams.s1024_op0.accesses": 500,
+        p + "streams.s1024_op0.conflict": 30,
+        p + "streams.s1_op1.accesses": 500,
+        p + "streams.s1_op1.conflict": 0,
+        p + "reuse.p50": 16,
+        p + "reuse.p99": 512,
+        p + "reuse.fa_miss_ratio.cap_8": 1.0,
+        p + "reuse.fa_miss_ratio.cap_1024": 0.25,
+    }
+
+
+def run_report(*argv):
+    return subprocess.run(
+        [sys.executable, SCRIPT, *argv],
+        capture_output=True, text=True)
+
+
+class ReportForensicsTest(unittest.TestCase):
+    def test_stats_summary_renders_3c_and_curve(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "stats.json")
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump(forensics_stats(), f)
+            proc = run_report("--stats", path)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("cc_direct", proc.stdout)
+        self.assertIn("compulsory", proc.stdout)
+        self.assertIn("conflict", proc.stdout)
+        self.assertIn("stride   1024", proc.stdout)
+        self.assertIn("p50 >= 16", proc.stdout)
+        self.assertIn("0.2500", proc.stdout)
+
+    def test_stats_without_forensics_keys_fails(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "stats.json")
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump({"cc_direct.hits": 5}, f)
+            proc = run_report("--stats", path)
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("forensics", proc.stderr)
+
+    def test_heatmap_bins_high_sets_into_view(self):
+        rows = ["observer,window,set,accesses,misses,conflict_misses",
+                "cc_direct,0,0,10,1,0",
+                # All conflict mass in the last of 8192 sets: must
+                # still produce a shaded cell after binning to 8 cols.
+                "cc_direct,0,8191,10,10,10"]
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "heat.csv")
+            with open(path, "w", encoding="utf-8") as f:
+                f.write("\n".join(rows) + "\n")
+            proc = run_report("--heatmap", path, "--width", "8")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("set-pressure heatmap", proc.stdout)
+        row = next(line for line in proc.stdout.splitlines()
+                   if line.strip().startswith("w0"))
+        self.assertIn("@", row)
+
+    def test_requires_an_input(self):
+        proc = run_report()
+        self.assertNotEqual(proc.returncode, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

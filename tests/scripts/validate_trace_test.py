@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/validate_trace.py.
+
+Run directly or via ctest (registered in tests/CMakeLists.txt).  The
+regressions of record: a forensics conflict_evict instant missing its
+numeric victim must fail validation, and --require-event must reject a
+trace in which the named event never fired (the CI forensics run
+relies on both).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, os.pardir,
+    "scripts", "validate_trace.py")
+
+
+def meta(pid, tid, name):
+    return {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+            "args": {"name": name}}
+
+
+def instant(name, args, ts=10, pid=1, tid=0):
+    return {"ph": "i", "s": "t", "ts": ts, "pid": pid, "tid": tid,
+            "name": name, "cat": "forensics", "args": args}
+
+
+def good_events():
+    return [
+        meta(1, 0, "cc_direct.forensics"),
+        {"ph": "B", "ts": 0, "pid": 1, "tid": 0, "name": "vec_op"},
+        instant("conflict_evict",
+                {"evictor": 4096, "victim": 2048, "set": 5}),
+        {"ph": "E", "ts": 20, "pid": 1, "tid": 0},
+        {"ph": "C", "ts": 20, "pid": 1, "tid": 0, "name": "misses",
+         "args": {"misses": 3}},
+    ]
+
+
+def run_validator(events, *extra_args):
+    with tempfile.TemporaryDirectory() as d:
+        path = os.path.join(d, "trace.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump({"traceEvents": events}, f)
+        return subprocess.run(
+            [sys.executable, SCRIPT, path, *extra_args],
+            capture_output=True, text=True)
+
+
+class ValidateTraceTest(unittest.TestCase):
+    def test_valid_forensics_trace_passes(self):
+        proc = run_validator(good_events(),
+                             "--require-event", "conflict_evict")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("OK", proc.stdout)
+
+    def test_conflict_evict_missing_victim_fails(self):
+        events = good_events()
+        events[2] = instant("conflict_evict",
+                            {"evictor": 4096, "set": 5})
+        proc = run_validator(events)
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("victim", proc.stderr)
+
+    def test_conflict_evict_non_numeric_arg_fails(self):
+        events = good_events()
+        events[2] = instant(
+            "conflict_evict",
+            {"evictor": 4096, "victim": "0x800", "set": 5})
+        proc = run_validator(events)
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("victim", proc.stderr)
+
+    def test_require_event_rejects_absent_name(self):
+        events = [e for e in good_events()
+                  if e.get("name") != "conflict_evict"]
+        proc = run_validator(events,
+                             "--require-event", "conflict_evict")
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("conflict_evict", proc.stderr)
+
+    def test_unbalanced_slice_still_fails(self):
+        events = good_events()[:-2]  # drop the "E" and the counter
+        proc = run_validator(events)
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("never closed", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
