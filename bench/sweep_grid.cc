@@ -24,12 +24,10 @@
 #include <vector>
 
 #include "common.hh"
-#include "core/comparison.hh"
 #include "core/defaults.hh"
 #include "obs/forensics.hh"
 #include "sim/cc_sim.hh"
-#include "sim/runner.hh"
-#include "sim/sampling.hh"
+#include "sim/evaluate.hh"
 #include "sim/sweep.hh"
 #include "trace/source.hh"
 #include "trace/vcm.hh"
@@ -48,18 +46,6 @@ struct GridPoint
     unsigned bankBits;
     std::uint64_t memoryTime;
     std::uint64_t blockingFactor;
-};
-
-/** Simulated cycles/result for the three machines at one point. */
-struct SimPoint
-{
-    double mm;
-    double direct;
-    double prime;
-    /** CI half-widths; only populated by --engine sampled. */
-    double mmCi;
-    double directCi;
-    double primeCi;
 };
 
 /** 3C/reuse forensics of one grid point (--forensics columns). */
@@ -109,72 +95,6 @@ classifyPoint(const MachineParams &machine, std::uint64_t b,
         sim.run(source, obs);
         out.prime = obs.breakdown();
     }
-    return out;
-}
-
-SimPoint
-simulatePoint(const MachineParams &machine, std::uint64_t b,
-              double p_ds, std::uint64_t seed, const CancelToken *cancel,
-              SimEngine engine, double target_ci)
-{
-    VcmParams p;
-    p.blockingFactor = b;
-    p.reuseFactor = 8;
-    p.pDoubleStream = p_ds;
-    p.blocks = 2;
-
-    SimPoint out{};
-    if (engine == SimEngine::Sampled) {
-        // The sampled estimator needs unit-addressable traces, so
-        // this path materializes them (unlike the exact engines
-        // below).  Sampling runs single-threaded inside the point --
-        // the sweep already fans out across points.
-        SamplingOptions opts;
-        opts.targetRelativeCi = target_ci;
-        opts.seed = seed;
-        opts.cancel = cancel;
-        p.maxStride = machine.banks();
-        const Trace mm_trace = generateVcmTrace(p, seed);
-        const auto mm = sampleMm(machine, mm_trace, opts);
-        if (!mm.ok())
-            throw VcError(mm.error());
-        out.mm = mm.value().cyclesPerElement;
-        out.mmCi = mm.value().ciHalfWidth;
-        p.maxStride = 8192;
-        const Trace cc_trace = generateVcmTrace(p, seed);
-        const auto direct = sampleCc(
-            machine, ccCacheConfig(machine, CacheScheme::Direct),
-            cc_trace, opts);
-        if (!direct.ok())
-            throw VcError(direct.error());
-        out.direct = direct.value().cyclesPerElement;
-        out.directCi = direct.value().ciHalfWidth;
-        const auto prime = sampleCc(
-            machine, ccCacheConfig(machine, CacheScheme::Prime),
-            cc_trace, opts);
-        if (!prime.ok())
-            throw VcError(prime.error());
-        out.prime = prime.value().cyclesPerElement;
-        out.primeCi = prime.value().ciHalfWidth;
-        return out;
-    }
-
-    // Stream the workloads straight from the generators' RNG: no
-    // point ever materializes its trace (the grid's large-B points
-    // would otherwise allocate multi-megabyte vectors per worker).
-    p.maxStride = machine.banks();
-    VcmTraceSource mm_source(p, seed);
-    out.mm = simulateMm(machine, mm_source, cancel, engine)
-                 .cyclesPerResult();
-    p.maxStride = 8192;
-    VcmTraceSource cc_source(p, seed);
-    out.direct = simulateCc(machine, CacheScheme::Direct, cc_source,
-                            cancel, engine)
-                     .cyclesPerResult();
-    cc_source.reset();
-    out.prime = simulateCc(machine, CacheScheme::Prime, cc_source,
-                           cancel, engine)
-                    .cyclesPerResult();
     return out;
 }
 
@@ -256,38 +176,36 @@ main(int argc, char **argv)
         grid.size(),
         [&](std::size_t index, SweepWorker &w) {
             const GridPoint &g = grid[index];
-            MachineParams machine = paperMachineM64();
-            machine.bankBits = g.bankBits;
-            machine.memoryTime = g.memoryTime;
+            EvalRequest req;
+            req.bankBits = g.bankBits;
+            req.memoryTime = g.memoryTime;
+            req.blockingFactor = g.blockingFactor;
+            req.pDoubleStream = paperWorkload().pDoubleStream;
+            req.sim = sim;
+            req.engine = *engine;
+            req.targetCi = target_ci;
+            // Per-point seed: a function of --seed and the grid
+            // position only, so the draw never depends on which
+            // worker ran the point.
+            req.seed = opts.seed + 1000003 * (index + 1);
 
-            WorkloadParams wl = paperWorkload();
-            wl.blockingFactor = static_cast<double>(g.blockingFactor);
-            wl.reuseFactor = static_cast<double>(g.blockingFactor);
-
-            const auto p = compareMachines(machine, wl);
+            // .value() rethrows evaluation errors as VcError, which
+            // the sweep boundary turns into retries / a failed row.
+            const EvalResult s = evaluatePoint(req, &w.cancel).value();
 
             CsvRow row{"ok",
                        Table::format(std::uint64_t{1} << g.bankBits),
                        Table::format(g.memoryTime),
                        Table::format(g.blockingFactor),
                        Table::format(g.blockingFactor),
-                       Table::format(wl.pDoubleStream),
-                       Table::format(p.mm),
-                       Table::format(p.direct),
-                       Table::format(p.prime)};
+                       Table::format(req.pDoubleStream),
+                       Table::format(s.modelMm),
+                       Table::format(s.modelDirect),
+                       Table::format(s.modelPrime)};
             if (sim) {
-                // Per-point seed: a function of --seed and the grid
-                // position only, so the draw never depends on which
-                // worker ran the point.
-                const std::uint64_t seed =
-                    opts.seed + 1000003 * (index + 1);
-                const auto s =
-                    simulatePoint(machine, g.blockingFactor,
-                                  wl.pDoubleStream, seed, &w.cancel,
-                                  *engine, target_ci);
-                row.push_back(Table::format(s.mm));
-                row.push_back(Table::format(s.direct));
-                row.push_back(Table::format(s.prime));
+                row.push_back(Table::format(s.simMm));
+                row.push_back(Table::format(s.simDirect));
+                row.push_back(Table::format(s.simPrime));
                 if (sampled) {
                     row.push_back(Table::format(s.mmCi));
                     row.push_back(Table::format(s.directCi));
@@ -295,8 +213,9 @@ main(int argc, char **argv)
                 }
                 if (forensics) {
                     const auto f =
-                        classifyPoint(machine, g.blockingFactor,
-                                      wl.pDoubleStream, seed);
+                        classifyPoint(evalMachine(req),
+                                      g.blockingFactor,
+                                      req.pDoubleStream, req.seed);
                     row.push_back(Table::format(f.direct.compulsory));
                     row.push_back(Table::format(f.direct.capacity));
                     row.push_back(Table::format(f.direct.conflict));

@@ -5,6 +5,11 @@ Usage:
     compare_bench.py BASELINE_JSON CURRENT_JSON [--tolerance FRAC]
                      [--allow-build-type-mismatch]
                      [--allow-simd-backend-mismatch]
+                     [--summary-out FILE]
+
+--summary-out writes the full verdict as JSON (per-rate ratios and
+status, overall pass/fail) for machine consumers: CI publishes it as
+an artifact and annotates the run from it instead of scraping stdout.
 
 Both files must have been measured under the same
 context.build_type; a Debug-vs-Release comparison is refused unless
@@ -114,6 +119,11 @@ def main() -> int:
         help="warn instead of failing when the two files were "
              "measured under different SIMD backends",
     )
+    parser.add_argument(
+        "--summary-out",
+        metavar="FILE",
+        help="write the comparison verdict as JSON here",
+    )
     args = parser.parse_args()
 
     base_doc = load_doc(args.baseline)
@@ -127,6 +137,7 @@ def main() -> int:
 
     compared = 0
     failures = []
+    rates = {}
     for key in sorted(base):
         b, c = base.get(key), curr.get(key)
         if not isinstance(b, (int, float)) or not isinstance(
@@ -138,8 +149,39 @@ def main() -> int:
         if ratio < 1.0 - args.tolerance:
             marker = "REGRESSION"
             failures.append(key)
+        rates[key] = {
+            "baseline": b,
+            "current": c,
+            "ratio": ratio,
+            "status": marker,
+        }
         print(f"compare_bench: {key}: baseline {b:.4g} "
               f"current {c:.4g} ({ratio - 1.0:+.1%}) {marker}")
+
+    passed = compared > 0 and not failures
+    if args.summary_out:
+        summary = {
+            "baseline": args.baseline,
+            "current": args.current,
+            "tolerance": args.tolerance,
+            "build_type":
+                curr_doc.get("context", {}).get("build_type"),
+            "simd_backend":
+                curr_doc.get("context", {}).get("simd_backend"),
+            "compared": compared,
+            "regressed": failures,
+            "passed": passed,
+            "rates": rates,
+        }
+        try:
+            with open(args.summary_out, "w",
+                      encoding="utf-8") as out:
+                json.dump(summary, out, indent=1, sort_keys=True)
+                out.write("\n")
+        except OSError as err:
+            print(f"compare_bench: cannot write "
+                  f"{args.summary_out}: {err}", file=sys.stderr)
+            return 1
 
     if compared == 0:
         print("compare_bench: no comparable summary rates",

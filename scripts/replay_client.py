@@ -1,0 +1,355 @@
+#!/usr/bin/env python3
+"""Load-test and correctness client for the vcache evaluation server.
+
+Stdlib only.  Opens N connections, drives a deterministic request mix
+through each with bounded pipelining, and reports throughput plus
+latency percentiles.  Responses carrying a memo key are collected into
+a key -> result-bytes map which can be captured to a file and compared
+after a server restart: a healed journal must re-serve byte-identical
+results.
+
+Examples:
+
+  # discover the port from the server banner, then load-test
+  replay_client.py --port 38231 --connections 8 --requests 20000
+
+  # capture results, kill/restart the server, verify identical bytes
+  replay_client.py --port P --capture /tmp/before.json
+  replay_client.py --port P --compare /tmp/before.json
+
+Exit status: 0 on success; 1 on protocol violations, unexpected error
+responses, a failed --compare, or throughput below --min-rps.
+"""
+
+import argparse
+import json
+import random
+import socket
+import sys
+import threading
+import time
+
+
+def build_mix(profile, count, seed):
+    """Deterministic request list: (line, kind) pairs.
+
+    kind is one of "eval" (expects ok or Overloaded), "malformed"
+    (expects an error response) -- the receiver checks accordingly.
+    """
+    rng = random.Random(seed)
+    # A small grid so repeats hit the memo: realistic for a sweep
+    # front-end and the worst case for the coalescing/LRU paths.
+    grid = [
+        {"m": m, "tm": tm, "B": B, "sim": False}
+        for m in (5, 6)
+        for tm in (4, 8, 16, 32, 64)
+        for B in (256, 1024, 4096)
+    ]
+    requests = []
+    for i in range(count):
+        roll = rng.random()
+        if profile == "mixed" and roll < 0.05:
+            bad = rng.choice(
+                [
+                    "this is not json",
+                    '{"op":"warp"}',
+                    '{"op":"eval","B":"huge"}',
+                    '{"op":"eval","typo_key":1}',
+                    '{"op":"eval","m":99}',
+                    "{",
+                ]
+            )
+            requests.append((bad, "malformed"))
+            continue
+        point = dict(rng.choice(grid))
+        point["op"] = "eval"
+        point["id"] = f"r{i}"
+        if profile == "sim" or (profile == "mixed" and roll > 0.98):
+            # A light full-simulation point (tens of ms, not seconds).
+            point["sim"] = True
+            point["B"] = 256
+            point["seed"] = rng.randrange(1, 4)
+        requests.append((json.dumps(point), "eval"))
+    return requests
+
+
+class Worker(threading.Thread):
+    """One connection driving its share of the mix with pipelining."""
+
+    def __init__(self, host, port, requests, window, timeout):
+        super().__init__()
+        self.host, self.port = host, port
+        self.requests = requests
+        self.window = window
+        self.timeout = timeout
+        self.latencies = []  # seconds, completed eval requests
+        self.counts = {
+            "ok": 0,
+            "cached": 0,
+            "coalesced": 0,
+            "overloaded": 0,
+            "rejected": 0,  # expected errors from malformed lines
+            "unexpected": 0,
+        }
+        self.results = {}  # memo key -> result bytes
+        self.error = None
+
+    def run(self):
+        try:
+            self._drive()
+        except Exception as exc:  # noqa: BLE001 - reported by main
+            self.error = f"{type(exc).__name__}: {exc}"
+
+    def _drive(self):
+        # Responses interleave: eval answers come from the worker
+        # pool, malformed rejections synchronously from the reader
+        # thread.  Eval requests are therefore matched by echoed id;
+        # id-less error responses (unparseable lines carry no id)
+        # are matched FIFO against the malformed lines sent, which
+        # the reader thread does answer in order.
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        reader = sock.makefile("rb")
+        pending = {}  # eval id -> send time
+        malformed_fifo = []  # send times of malformed lines
+        outstanding = 0
+        for line, kind in self.requests:
+            sock.sendall(line.encode() + b"\n")
+            if kind == "malformed":
+                malformed_fifo.append(time.monotonic())
+            else:
+                pending[json.loads(line)["id"]] = time.monotonic()
+            outstanding += 1
+            if outstanding >= self.window:
+                self._collect(reader, pending, malformed_fifo, 1)
+                outstanding -= 1
+        self._collect(reader, pending, malformed_fifo, outstanding)
+        sock.close()
+
+    def _collect(self, reader, pending, malformed_fifo, count):
+        for _ in range(count):
+            raw = reader.readline()
+            if not raw:
+                raise RuntimeError("server closed the connection")
+            self._classify(
+                raw.decode().strip(), pending, malformed_fifo
+            )
+
+    def _classify(self, line, pending, malformed_fifo):
+        try:
+            resp = json.loads(line)
+        except json.JSONDecodeError:
+            self.counts["unexpected"] += 1
+            return
+        if "id" in resp and resp["id"] in pending:
+            self.latencies.append(
+                time.monotonic() - pending.pop(resp["id"])
+            )
+            if resp.get("ok") is True:
+                self.counts["ok"] += 1
+                if resp.get("cached"):
+                    self.counts["cached"] += 1
+                if resp.get("coalesced"):
+                    self.counts["coalesced"] += 1
+                if "key" in resp:
+                    # Raw result fragment, for byte comparison.
+                    frag = line[line.index('"result":') :]
+                    self.results[resp["key"]] = frag
+            elif resp.get("error") == "Overloaded":
+                self.counts["overloaded"] += 1
+            else:
+                self.counts["unexpected"] += 1
+            return
+        # Malformed lines must be *answered* with an error -- the
+        # connection surviving to deliver it is the contract.
+        if resp.get("ok") is False and malformed_fifo:
+            self.latencies.append(
+                time.monotonic() - malformed_fifo.pop(0)
+            )
+            self.counts["rejected"] += 1
+        else:
+            self.counts["unexpected"] += 1
+
+
+def rpc(host, port, obj, timeout):
+    """One out-of-band request on a fresh connection."""
+    with socket.create_connection((host, port), timeout=timeout) as s:
+        s.sendall(json.dumps(obj).encode() + b"\n")
+        return json.loads(s.makefile("rb").readline().decode())
+
+
+def percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * len(sorted_values))
+    )
+    return sorted_values[index]
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--connections", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=10000)
+    parser.add_argument(
+        "--profile",
+        choices=("model", "mixed", "sim"),
+        default="mixed",
+        help="model: cheap analytic points only; mixed: adds "
+        "malformed lines and occasional simulations; sim: "
+        "simulation-heavy",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=16,
+        help="max in-flight requests per connection",
+    )
+    parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument(
+        "--min-rps",
+        type=float,
+        default=0.0,
+        help="fail if aggregate throughput is below this",
+    )
+    parser.add_argument(
+        "--capture",
+        metavar="FILE",
+        help="write the key -> result-bytes map as JSON",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="FILE",
+        help="fail on any key whose result bytes differ from FILE",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the server's counter snapshot afterwards",
+    )
+    parser.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the server to drain afterwards",
+    )
+    args = parser.parse_args()
+
+    mix = build_mix(args.profile, args.requests, args.seed)
+    shard = max(1, len(mix) // args.connections)
+    workers = [
+        Worker(
+            args.host,
+            args.port,
+            mix[i * shard : (i + 1) * shard]
+            if i < args.connections - 1
+            else mix[i * shard :],
+            args.window,
+            args.timeout,
+        )
+        for i in range(args.connections)
+    ]
+
+    started = time.monotonic()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    elapsed = time.monotonic() - started
+
+    failures = []
+    counts = {}
+    latencies = []
+    results = {}
+    for worker in workers:
+        if worker.error:
+            failures.append(f"worker failed: {worker.error}")
+        for name, value in worker.counts.items():
+            counts[name] = counts.get(name, 0) + value
+        latencies.extend(worker.latencies)
+        results.update(worker.results)
+
+    # cached/coalesced are sub-classifications of ok, not new
+    # responses.
+    total = sum(
+        counts.get(k, 0)
+        for k in ("ok", "overloaded", "rejected", "unexpected")
+    )
+    rps = total / elapsed if elapsed > 0 else 0.0
+    latencies.sort()
+    print(
+        f"{total} responses over {len(workers)} connections "
+        f"in {elapsed:.2f}s = {rps:.0f} req/s"
+    )
+    print(
+        "latency ms: "
+        f"p50={percentile(latencies, 0.50) * 1e3:.2f} "
+        f"p90={percentile(latencies, 0.90) * 1e3:.2f} "
+        f"p99={percentile(latencies, 0.99) * 1e3:.2f} "
+        f"max={(latencies[-1] if latencies else 0) * 1e3:.2f}"
+    )
+    print(
+        "outcomes: "
+        + " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    )
+
+    if counts.get("unexpected", 0):
+        failures.append(
+            f"{counts['unexpected']} unexpected responses"
+        )
+    if args.min_rps and rps < args.min_rps:
+        failures.append(
+            f"throughput {rps:.0f} req/s below --min-rps "
+            f"{args.min_rps:.0f}"
+        )
+
+    if args.capture:
+        with open(args.capture, "w") as out:
+            json.dump(results, out, indent=1, sort_keys=True)
+        print(f"captured {len(results)} results to {args.capture}")
+    if args.compare:
+        with open(args.compare) as src:
+            expected = json.load(src)
+        shared = set(expected) & set(results)
+        mismatched = [
+            key for key in shared if expected[key] != results[key]
+        ]
+        if mismatched:
+            failures.append(
+                f"{len(mismatched)} of {len(shared)} shared keys "
+                f"changed bytes (e.g. {mismatched[0]})"
+            )
+        else:
+            print(
+                f"compare: {len(shared)} shared keys byte-identical"
+            )
+        if not shared:
+            failures.append("compare: no shared keys to check")
+
+    if args.stats:
+        stats = rpc(
+            args.host, args.port, {"op": "stats"}, args.timeout
+        )
+        for name, value in sorted(
+            stats.get("counters", {}).items()
+        ):
+            print(f"  {name} = {value}")
+    if args.shutdown:
+        ack = rpc(
+            args.host, args.port, {"op": "shutdown"}, args.timeout
+        )
+        print(f"shutdown: {ack}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,315 @@
+#include "serve/memo.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "util/buildinfo.hh"
+#include "util/faultinject.hh"
+#include "util/logging.hh"
+
+namespace vcache::serve
+{
+
+namespace
+{
+
+/** Per-shard LRU capacity for a global budget. */
+std::size_t
+shardCapacity(std::size_t maxEntries, std::size_t shards)
+{
+    if (maxEntries == 0)
+        return 0; // unbounded
+    const std::size_t per = maxEntries / shards;
+    return per > 0 ? per : 1;
+}
+
+} // namespace
+
+MemoStore::MemoStore(const MemoOptions &options)
+    : opts(options),
+      identity(options.label.empty()
+                   ? "memo:" + buildResultIdentity()
+                   : options.label),
+      shards(options.shards > 0 ? options.shards : 1)
+{
+}
+
+MemoStore::~MemoStore()
+{
+    (void)flush();
+}
+
+Expected<std::unique_ptr<MemoStore>>
+MemoStore::open(const MemoOptions &options)
+{
+    std::unique_ptr<MemoStore> store(new MemoStore(options));
+    if (!options.journalPath.empty()) {
+        auto opened = store->openJournal();
+        if (!opened.ok())
+            return opened.error();
+    }
+    return store;
+}
+
+MemoStore::Shard &
+MemoStore::shardFor(std::uint64_t key)
+{
+    // High bits: the low bits already picked FNV's avalanche, and
+    // this keeps shard choice independent of any map implementation.
+    return shards[(key >> 48) % shards.size()];
+}
+
+Expected<void>
+MemoStore::openJournal()
+{
+    bool append = false;
+    if (std::ifstream(opts.journalPath).good()) {
+        auto replay = readCheckpoint(opts.journalPath);
+        if (!replay.ok()) {
+            // The journal is a cache, not ground truth: anything the
+            // resume-grade reader cannot salvage is discarded rather
+            // than refusing to serve.
+            warn("memo journal '", opts.journalPath,
+                 "': unreadable (", replay.error().message,
+                 "); starting cold");
+            counters.journalInvalidated += 1;
+        } else if (replay.value().header.label != identity) {
+            warn("memo journal '", opts.journalPath,
+                 "': written by '", replay.value().header.label,
+                 "', this build is '", identity,
+                 "'; results may differ -- starting cold");
+            counters.journalInvalidated += 1;
+        } else {
+            const std::size_t cap =
+                shardCapacity(opts.maxEntries, shards.size());
+            counters.journalDropped += replay.value().duplicates;
+            journalRecords = replay.value().duplicates;
+            for (auto &[key, row] : replay.value().done) {
+                ++journalRecords;
+                if (row.size() != 2) {
+                    counters.journalDropped += 1;
+                    continue;
+                }
+                Shard &shard = shardFor(key);
+                if (cap != 0 && shard.lru.size() >= cap) {
+                    counters.journalDropped += 1;
+                    continue;
+                }
+                shard.lru.push_front(Entry{key, std::move(row[0]),
+                                           std::move(row[1])});
+                shard.byKey[key] = shard.lru.begin();
+                entries.fetch_add(1, std::memory_order_relaxed);
+                counters.journalLoaded += 1;
+            }
+            append = true;
+        }
+    }
+
+    const CheckpointHeader header{identity, 0, 0};
+    auto writer =
+        CheckpointWriter::open(opts.journalPath, header, append);
+    if (!writer.ok())
+        return writer.error();
+    journal = std::move(writer.value());
+    if (!append)
+        journalRecords = 0;
+    return {};
+}
+
+std::optional<std::string>
+MemoStore::lookup(std::uint64_t key, const std::string &canonical)
+{
+    Shard &shard = shardFor(key);
+    std::optional<std::string> payload;
+    bool collision = false;
+    {
+        std::lock_guard<std::mutex> lock(shard.mtx);
+        const auto it = shard.byKey.find(key);
+        if (it != shard.byKey.end()) {
+            if (it->second->canonical == canonical) {
+                shard.lru.splice(shard.lru.begin(), shard.lru,
+                                 it->second);
+                payload = it->second->payload;
+            } else {
+                collision = true;
+            }
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(stats_mtx);
+        if (payload)
+            counters.hits += 1;
+        else
+            counters.misses += 1;
+        if (collision)
+            counters.collisions += 1;
+    }
+    return payload;
+}
+
+void
+MemoStore::insert(std::uint64_t key, const std::string &canonical,
+                  const std::string &payload)
+{
+    Shard &shard = shardFor(key);
+    const std::size_t cap =
+        shardCapacity(opts.maxEntries, shards.size());
+    bool inserted = false;
+    bool evicted = false;
+    bool collision = false;
+    {
+        std::lock_guard<std::mutex> lock(shard.mtx);
+        const auto it = shard.byKey.find(key);
+        if (it != shard.byKey.end()) {
+            if (it->second->canonical == canonical) {
+                // Coalescing makes duplicate computes rare but not
+                // impossible; refresh recency and move on.
+                shard.lru.splice(shard.lru.begin(), shard.lru,
+                                 it->second);
+            } else {
+                // A genuine 64-bit collision: keep the incumbent --
+                // serving either entry under the other's key would
+                // be wrong, and the loser simply stays uncached.
+                collision = true;
+            }
+        } else {
+            if (cap != 0 && shard.lru.size() >= cap) {
+                shard.byKey.erase(shard.lru.back().key);
+                shard.lru.pop_back();
+                entries.fetch_sub(1, std::memory_order_relaxed);
+                evicted = true;
+            }
+            shard.lru.push_front(Entry{key, canonical, payload});
+            shard.byKey[key] = shard.lru.begin();
+            entries.fetch_add(1, std::memory_order_relaxed);
+            inserted = true;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(stats_mtx);
+        if (inserted)
+            counters.inserts += 1;
+        if (evicted)
+            counters.evictions += 1;
+        if (collision)
+            counters.collisions += 1;
+    }
+    if (inserted && journal)
+        journalAppend(Entry{key, canonical, payload});
+}
+
+void
+MemoStore::journalAppend(const Entry &entry)
+{
+    std::lock_guard<std::mutex> lock(journal_mtx);
+    if (journalDegraded)
+        return;
+    Expected<void> wrote = {};
+    try {
+        VCACHE_FAULT_POINT("serve.journal.append");
+        wrote = journal->recordDone(
+            entry.key, {entry.canonical, entry.payload});
+    } catch (const VcError &e) {
+        wrote = e.error();
+    }
+    if (!wrote.ok()) {
+        // Persistence is best-effort: losing the journal degrades a
+        // future restart to a cold cache, never a failed request.
+        warn("memo journal '", opts.journalPath, "': append failed (",
+             wrote.error().message,
+             "); continuing without persistence");
+        journalDegraded = true;
+        return;
+    }
+    ++journalRecords;
+    maybeCompact();
+}
+
+void
+MemoStore::maybeCompact()
+{
+    // Caller holds journal_mtx.
+    const std::size_t live =
+        entries.load(std::memory_order_relaxed);
+    if (opts.compactionSlack == 0 || journalRecords <= live ||
+        journalRecords < opts.compactionSlack * (live > 0 ? live : 1))
+        return;
+
+    // Snapshot every shard (one lock at a time; inserts racing the
+    // snapshot just land in the next compaction) and rewrite the
+    // journal atomically: tmp file, fsync, rename over.
+    const std::string tmp = opts.journalPath + ".compact";
+    const CheckpointHeader header{identity, 0, 0};
+    auto writer = CheckpointWriter::open(tmp, header, false);
+    if (!writer.ok()) {
+        warn("memo journal '", opts.journalPath,
+             "': compaction failed to open '", tmp, "'");
+        return;
+    }
+    std::uint64_t written = 0;
+    for (Shard &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard.mtx);
+        for (const Entry &entry : shard.lru) {
+            auto rec = writer.value()->recordDone(
+                entry.key, {entry.canonical, entry.payload});
+            if (!rec.ok()) {
+                warn("memo journal compaction write failed: ",
+                     rec.error().message);
+                std::remove(tmp.c_str());
+                return;
+            }
+            ++written;
+        }
+    }
+    if (!writer.value()->flush().ok()) {
+        std::remove(tmp.c_str());
+        return;
+    }
+    writer.value().reset(); // close before the rename
+    journal.reset();
+    if (std::rename(tmp.c_str(), opts.journalPath.c_str()) != 0) {
+        warn("memo journal '", opts.journalPath,
+             "': compaction rename failed");
+        std::remove(tmp.c_str());
+    }
+    auto reopened =
+        CheckpointWriter::open(opts.journalPath, header, true);
+    if (!reopened.ok()) {
+        warn("memo journal '", opts.journalPath,
+             "': reopen after compaction failed; continuing without "
+             "persistence");
+        journalDegraded = true;
+        return;
+    }
+    journal = std::move(reopened.value());
+    journalRecords = written;
+    {
+        std::lock_guard<std::mutex> lock(stats_mtx);
+        counters.compactions += 1;
+    }
+}
+
+Expected<void>
+MemoStore::flush()
+{
+    std::lock_guard<std::mutex> lock(journal_mtx);
+    if (!journal || journalDegraded)
+        return {};
+    return journal->flush();
+}
+
+MemoStats
+MemoStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mtx);
+    return counters;
+}
+
+std::size_t
+MemoStore::size() const
+{
+    return entries.load(std::memory_order_relaxed);
+}
+
+} // namespace vcache::serve

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Content-addressed memo store for evaluated points.
+ *
+ * Keys are the FNV-1a hash of a request's canonical form
+ * (sim/evaluate.hh); values are the pre-rendered "result" JSON
+ * fragment, so a hit returns bytes identical to the original
+ * computation.  The store is an in-memory sharded LRU in front of the
+ * sweep's append-only checkpoint journal (sim/checkpoint.hh): every
+ * insert appends one record, startup replays the journal (healing a
+ * torn tail from a kill -9 exactly like --resume does), and the
+ * journal is compacted in place once dead records outnumber live
+ * entries.
+ *
+ * Two robustness details:
+ *
+ *  - The journal header's label carries the build's result identity
+ *    (git hash + build type).  A journal written by a different build
+ *    is discarded on startup rather than replayed: a code change may
+ *    legitimately change results, and serving stale bytes as "hits"
+ *    would hide it.
+ *
+ *  - Entries store the full canonical string, not just its hash, and
+ *    every lookup compares it.  A 64-bit FNV collision is a
+ *    birthday-paradox event (~billions of distinct points), but if
+ *    one ever occurs the store counts it and refuses to serve the
+ *    wrong entry instead of silently doing so.
+ */
+
+#ifndef VCACHE_SERVE_MEMO_HH
+#define VCACHE_SERVE_MEMO_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/checkpoint.hh"
+#include "util/result.hh"
+
+namespace vcache::serve
+{
+
+/** Memo-store tuning. */
+struct MemoOptions
+{
+    /** Journal path; empty = in-memory only (no persistence). */
+    std::string journalPath;
+    /** LRU capacity across all shards (0 = unbounded). */
+    std::size_t maxEntries = 65536;
+    /** Shard count (power of two); bounds lock contention. */
+    std::size_t shards = 16;
+    /**
+     * Compact once journal records exceed this multiple of the live
+     * entry count (and some records are actually dead).
+     */
+    std::size_t compactionSlack = 4;
+    /**
+     * Journal identity label; a persisted journal whose label
+     * differs is discarded on open.  Defaults (empty) to
+     * "memo:" + buildResultIdentity().
+     */
+    std::string label;
+};
+
+/** Monotonic counters exported through the server's stats. */
+struct MemoStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t collisions = 0;
+    /** Entries replayed from the journal at open. */
+    std::uint64_t journalLoaded = 0;
+    /** Journal records dropped at open (duplicates, over-capacity). */
+    std::uint64_t journalDropped = 0;
+    /** Journals discarded because their label mismatched. */
+    std::uint64_t journalInvalidated = 0;
+    std::uint64_t compactions = 0;
+};
+
+/** Sharded, journal-backed, collision-checked LRU memo. */
+class MemoStore
+{
+  public:
+    /**
+     * Open the store, replaying (or discarding) any existing journal.
+     * Irrecoverable journal I/O errors fail the open; a torn tail or
+     * a stale label do not.
+     */
+    static Expected<std::unique_ptr<MemoStore>>
+    open(const MemoOptions &options);
+
+    ~MemoStore();
+
+    MemoStore(const MemoStore &) = delete;
+    MemoStore &operator=(const MemoStore &) = delete;
+
+    /**
+     * Look up a key, verifying the canonical form.  A hash match with
+     * a different canonical string counts a collision and misses.
+     */
+    std::optional<std::string> lookup(std::uint64_t key,
+                                      const std::string &canonical);
+
+    /**
+     * Insert (or refresh) an entry and append it to the journal.
+     * Journal append failures degrade to in-memory-only operation
+     * (counted, warned once) rather than failing the request.
+     */
+    void insert(std::uint64_t key, const std::string &canonical,
+                const std::string &payload);
+
+    /** Flush the journal to disk (graceful-drain path). */
+    Expected<void> flush();
+
+    /** Counter snapshot (consistent per counter, not across them). */
+    MemoStats stats() const;
+
+    /** Live entries across all shards. */
+    std::size_t size() const;
+
+    /** The label this store stamps into its journal. */
+    const std::string &label() const { return identity; }
+
+  private:
+    explicit MemoStore(const MemoOptions &options);
+
+    struct Entry
+    {
+        std::uint64_t key;
+        std::string canonical;
+        std::string payload;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mtx;
+        /** Front = most recently used. */
+        std::list<Entry> lru;
+        std::unordered_map<std::uint64_t, std::list<Entry>::iterator>
+            byKey;
+    };
+
+    Shard &shardFor(std::uint64_t key);
+    Expected<void> openJournal();
+    void journalAppend(const Entry &entry);
+    void maybeCompact();
+
+    MemoOptions opts;
+    std::string identity;
+    std::vector<Shard> shards;
+    std::atomic<std::size_t> entries{0};
+
+    /** Journal state, all under journal_mtx. */
+    std::mutex journal_mtx;
+    std::unique_ptr<CheckpointWriter> journal;
+    /** Records in the journal file (live + superseded). */
+    std::uint64_t journalRecords = 0;
+    bool journalDegraded = false;
+
+    mutable std::mutex stats_mtx;
+    MemoStats counters;
+};
+
+} // namespace vcache::serve
+
+#endif // VCACHE_SERVE_MEMO_HH

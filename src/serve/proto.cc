@@ -1,0 +1,544 @@
+#include "serve/proto.hh"
+
+#include <charconv>
+#include <cstdio>
+
+#include "sim/checkpoint.hh"
+#include "util/buildinfo.hh"
+
+namespace vcache::serve
+{
+
+namespace
+{
+
+/** One parsed JSON scalar. */
+struct Value
+{
+    enum class Kind
+    {
+        String,
+        Number,
+        Bool,
+        Null,
+    };
+    Kind kind = Kind::Null;
+    /** Decoded text (String) or the raw numeric token (Number). */
+    std::string text;
+    bool boolean = false;
+};
+
+Error
+malformed(const std::string &what)
+{
+    return makeError(Errc::InvalidConfig,
+                     "malformed request: " + what);
+}
+
+/**
+ * Scanner for one flat JSON object.  Deliberately minimal: the
+ * protocol never nests, so arrays and sub-objects are malformed
+ * input, and numbers keep their raw token so 64-bit seeds survive
+ * without a round-trip through double.
+ */
+class ObjectScanner
+{
+  public:
+    explicit ObjectScanner(const std::string &line) : s(line) {}
+
+    Expected<std::map<std::string, Value>>
+    parse()
+    {
+        std::map<std::string, Value> out;
+        skipWs();
+        if (!consume('{'))
+            return malformed("expected '{'");
+        skipWs();
+        if (consume('}'))
+            return finish(out);
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!string(key))
+                return malformed("expected a string key");
+            skipWs();
+            if (!consume(':'))
+                return malformed("expected ':' after key \"" + key +
+                                 "\"");
+            skipWs();
+            Value v;
+            if (!value(v))
+                return malformed("bad value for key \"" + key + "\"");
+            out[key] = std::move(v); // duplicate keys: last one wins
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return finish(out);
+            return malformed("expected ',' or '}'");
+        }
+    }
+
+  private:
+    Expected<std::map<std::string, Value>>
+    finish(std::map<std::string, Value> &out)
+    {
+        skipWs();
+        if (pos != s.size())
+            return malformed("trailing bytes after the object");
+        return std::move(out);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t i = 0;
+        while (word[i] != '\0') {
+            if (pos + i >= s.size() || s[pos + i] != word[i])
+                return false;
+            ++i;
+        }
+        pos += i;
+        return true;
+    }
+
+    /** JSON string with escapes; \uXXXX outside surrogates only. */
+    bool
+    string(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos < s.size()) {
+            const char c = s[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control characters are invalid
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= s.size())
+                return false;
+            const char e = s[pos++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out.push_back(e);
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'u': {
+                unsigned cp = 0;
+                if (pos + 4 > s.size())
+                    return false;
+                const auto res = std::from_chars(
+                    s.data() + pos, s.data() + pos + 4, cp, 16);
+                if (res.ec != std::errc() ||
+                    res.ptr != s.data() + pos + 4)
+                    return false;
+                pos += 4;
+                if (cp >= 0xd800 && cp <= 0xdfff)
+                    return false; // no surrogate pairs
+                // UTF-8 encode (cp <= 0xffff here).
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xc0 | (cp >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3f)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xe0 | (cp >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((cp >> 6) & 0x3f)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3f)));
+                }
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        return false; // ran out of line inside the string
+    }
+
+    bool
+    number(Value &v)
+    {
+        const std::size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        bool digits = false;
+        while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+            ++pos;
+            digits = true;
+        }
+        if (pos < s.size() && s[pos] == '.') {
+            ++pos;
+            while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9')
+                ++pos;
+        }
+        if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+            ++pos;
+            if (pos < s.size() && (s[pos] == '+' || s[pos] == '-'))
+                ++pos;
+            while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9')
+                ++pos;
+        }
+        if (!digits)
+            return false;
+        v.kind = Value::Kind::Number;
+        v.text = s.substr(start, pos - start);
+        return true;
+    }
+
+    bool
+    value(Value &v)
+    {
+        if (pos >= s.size())
+            return false;
+        const char c = s[pos];
+        if (c == '"') {
+            v.kind = Value::Kind::String;
+            return string(v.text);
+        }
+        if (c == 't') {
+            v.kind = Value::Kind::Bool;
+            v.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            v.kind = Value::Kind::Bool;
+            v.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            v.kind = Value::Kind::Null;
+            return literal("null");
+        }
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return number(v);
+        return false; // arrays / objects never appear in requests
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+Expected<std::uint64_t>
+asUint(const std::string &key, const Value &v)
+{
+    if (v.kind != Value::Kind::Number || v.text.empty() ||
+        v.text[0] == '-')
+        return malformed("\"" + key +
+                         "\" must be a non-negative integer");
+    std::uint64_t out = 0;
+    const char *last = v.text.data() + v.text.size();
+    const auto res = std::from_chars(v.text.data(), last, out);
+    if (res.ec != std::errc() || res.ptr != last)
+        return malformed("\"" + key +
+                         "\" must be a non-negative integer");
+    return out;
+}
+
+Expected<double>
+asDouble(const std::string &key, const Value &v)
+{
+    if (v.kind != Value::Kind::Number)
+        return malformed("\"" + key + "\" must be a number");
+    double out = 0.0;
+    const char *last = v.text.data() + v.text.size();
+    const auto res = std::from_chars(v.text.data(), last, out);
+    if (res.ec != std::errc() || res.ptr != last)
+        return malformed("\"" + key + "\" must be a number");
+    return out;
+}
+
+Expected<bool>
+asBool(const std::string &key, const Value &v)
+{
+    if (v.kind != Value::Kind::Bool)
+        return malformed("\"" + key + "\" must be true or false");
+    return v.boolean;
+}
+
+Expected<std::string>
+asString(const std::string &key, const Value &v)
+{
+    if (v.kind != Value::Kind::String)
+        return malformed("\"" + key + "\" must be a string");
+    return v.text;
+}
+
+} // namespace
+
+Expected<Request>
+parseRequest(const std::string &line)
+{
+    auto fields = ObjectScanner(line).parse();
+    if (!fields.ok())
+        return fields.error();
+
+    Request req;
+    auto &map = fields.value();
+
+    const auto op = map.find("op");
+    if (op == map.end())
+        return malformed("missing \"op\"");
+    auto op_name = asString("op", op->second);
+    if (!op_name.ok())
+        return op_name.error();
+    map.erase(op);
+
+    if (const auto id = map.find("id"); id != map.end()) {
+        auto text = asString("id", id->second);
+        if (!text.ok())
+            return text.error();
+        req.id = std::move(text.value());
+        map.erase(id);
+    }
+
+    if (op_name.value() == "hello") {
+        req.verb = Verb::Hello;
+    } else if (op_name.value() == "stats") {
+        req.verb = Verb::Stats;
+    } else if (op_name.value() == "shutdown") {
+        req.verb = Verb::Shutdown;
+    } else if (op_name.value() == "eval") {
+        req.verb = Verb::Eval;
+        for (auto &[key, value] : map) {
+            if (key == "m") {
+                auto v = asUint(key, value);
+                if (!v.ok())
+                    return v.error();
+                if (v.value() > 64)
+                    return malformed("\"m\" is implausibly large");
+                req.eval.bankBits =
+                    static_cast<unsigned>(v.value());
+            } else if (key == "tm") {
+                auto v = asUint(key, value);
+                if (!v.ok())
+                    return v.error();
+                req.eval.memoryTime = v.value();
+            } else if (key == "B") {
+                auto v = asUint(key, value);
+                if (!v.ok())
+                    return v.error();
+                req.eval.blockingFactor = v.value();
+            } else if (key == "pds") {
+                auto v = asDouble(key, value);
+                if (!v.ok())
+                    return v.error();
+                req.eval.pDoubleStream = v.value();
+            } else if (key == "seed") {
+                auto v = asUint(key, value);
+                if (!v.ok())
+                    return v.error();
+                req.eval.seed = v.value();
+            } else if (key == "sim") {
+                auto v = asBool(key, value);
+                if (!v.ok())
+                    return v.error();
+                req.eval.sim = v.value();
+            } else if (key == "engine") {
+                auto v = asString(key, value);
+                if (!v.ok())
+                    return v.error();
+                const auto engine = parseSimEngine(v.value());
+                if (!engine)
+                    return malformed(
+                        "\"engine\" must be auto, scalar or "
+                        "sampled");
+                req.eval.engine = *engine;
+            } else if (key == "ci") {
+                auto v = asDouble(key, value);
+                if (!v.ok())
+                    return v.error();
+                req.eval.targetCi = v.value();
+            } else if (key == "deadline_ms") {
+                auto v = asUint(key, value);
+                if (!v.ok())
+                    return v.error();
+                req.deadlineMs = v.value();
+            } else {
+                return malformed("unknown key \"" + key + "\"");
+            }
+        }
+        return req;
+    } else {
+        return malformed("unknown op \"" + op_name.value() + "\"");
+    }
+
+    // Non-eval verbs accept no further keys.
+    if (!map.empty())
+        return malformed("unknown key \"" + map.begin()->first +
+                         "\" for op \"" + op_name.value() + "\"");
+    return req;
+}
+
+std::string
+formatKey(std::uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+std::string
+renderResultPayload(const EvalRequest &req, const EvalResult &result)
+{
+    std::string out = "{\"model\":{\"mm\":";
+    out += canonicalDouble(result.modelMm);
+    out += ",\"direct\":" + canonicalDouble(result.modelDirect);
+    out += ",\"prime\":" + canonicalDouble(result.modelPrime);
+    out += "}";
+    if (req.sim) {
+        out += ",\"sim\":{\"mm\":" + canonicalDouble(result.simMm);
+        out += ",\"direct\":" + canonicalDouble(result.simDirect);
+        out += ",\"prime\":" + canonicalDouble(result.simPrime);
+        out += "}";
+        if (req.engine == SimEngine::Sampled) {
+            out += ",\"ci\":{\"mm\":" + canonicalDouble(result.mmCi);
+            out += ",\"direct\":" + canonicalDouble(result.directCi);
+            out += ",\"prime\":" + canonicalDouble(result.primeCi);
+            out += "}";
+        } else {
+            // Full counters only exist for the exact engines.
+            auto machine = [](const SimResult &r, bool cache) {
+                std::string m =
+                    "{\"cycles\":" + std::to_string(r.totalCycles);
+                m += ",\"stalls\":" + std::to_string(r.stallCycles);
+                m += ",\"results\":" + std::to_string(r.results);
+                if (cache) {
+                    m += ",\"hits\":" + std::to_string(r.hits);
+                    m += ",\"misses\":" + std::to_string(r.misses);
+                }
+                return m + "}";
+            };
+            out += ",\"counters\":{\"mm\":" +
+                   machine(result.mm, false);
+            out += ",\"direct\":" + machine(result.direct, true);
+            out += ",\"prime\":" + machine(result.prime, true);
+            out += "}";
+        }
+    }
+    return out + "}";
+}
+
+namespace
+{
+
+/** Shared "ok/id" response prefix. */
+std::string
+envelope(bool ok, const std::string &id)
+{
+    std::string out = ok ? "{\"ok\":true" : "{\"ok\":false";
+    if (!id.empty())
+        out += ",\"id\":\"" + jsonEscape(id) + "\"";
+    return out;
+}
+
+} // namespace
+
+std::string
+renderEvalOk(const std::string &id, std::uint64_t key,
+             const std::string &payload, bool cached, bool coalesced)
+{
+    std::string out = envelope(true, id);
+    out += cached ? ",\"cached\":true" : ",\"cached\":false";
+    out += coalesced ? ",\"coalesced\":true" : ",\"coalesced\":false";
+    out += ",\"key\":\"" + formatKey(key) + "\"";
+    out += ",\"result\":" + payload;
+    return out + "}";
+}
+
+std::string
+renderError(const std::string &id, const Error &err)
+{
+    std::string out = envelope(false, id);
+    out += ",\"error\":\"";
+    out += errcName(err.code);
+    out += "\",\"message\":\"" + jsonEscape(err.message) + "\"";
+    return out + "}";
+}
+
+std::string
+renderOverloaded(const std::string &id, std::uint64_t retryAfterMs)
+{
+    std::string out = envelope(false, id);
+    out += ",\"error\":\"Overloaded\",\"message\":\"admission queue "
+           "is full; retry later\",\"retry_after_ms\":";
+    out += std::to_string(retryAfterMs);
+    return out + "}";
+}
+
+std::string
+renderHello()
+{
+    std::string out = "{\"ok\":true,\"op\":\"hello\",\"proto\":";
+    out += std::to_string(kProtoVersion);
+    out += ",\"build\":\"" + jsonEscape(buildInfoString()) + "\"";
+    out += ",\"identity\":\"" + jsonEscape(buildResultIdentity()) +
+           "\"";
+    return out + "}";
+}
+
+std::string
+renderStats(const std::map<std::string, std::uint64_t> &counters)
+{
+    std::string out = "{\"ok\":true,\"op\":\"stats\",\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : counters) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(name) +
+               "\":" + std::to_string(value);
+    }
+    return out + "}}";
+}
+
+std::string
+renderShutdownAck()
+{
+    return "{\"ok\":true,\"op\":\"shutdown\",\"draining\":true}";
+}
+
+} // namespace vcache::serve

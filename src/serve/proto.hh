@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Wire protocol of the evaluation server: one JSON object per line in
+ * each direction, no external dependencies.
+ *
+ * Requests ({"op":...}):
+ *
+ *   {"op":"hello"}
+ *   {"op":"eval","id":"r1","m":6,"tm":16,"B":1024,"pds":0.2,
+ *    "seed":1,"sim":true,"engine":"auto","ci":0.03,
+ *    "deadline_ms":500}
+ *   {"op":"stats"}
+ *   {"op":"shutdown"}
+ *
+ * Every eval field is optional and defaults to the paper point (see
+ * sim/evaluate.hh); "id" is echoed verbatim in the response so a
+ * pipelining client can match answers to questions.  Unknown keys are
+ * malformed-request errors, the same contract as the CLI's unknown
+ * flags: a typo must never silently change an experiment.
+ *
+ * Responses:
+ *
+ *   {"ok":true,"op":"hello","proto":1,"build":"...","identity":"..."}
+ *   {"ok":true,"id":"r1","cached":false,"coalesced":false,
+ *    "key":"679ca003c2a5ecdb","result":{...}}
+ *   {"ok":false,"id":"r1","error":"InvalidConfig","message":"..."}
+ *   {"ok":false,"error":"Overloaded","message":"...",
+ *    "retry_after_ms":50}
+ *
+ * The "result" fragment is rendered exactly once per distinct point
+ * and stored verbatim in the memo, so a cache hit is byte-identical
+ * to the original computation by construction.
+ */
+
+#ifndef VCACHE_SERVE_PROTO_HH
+#define VCACHE_SERVE_PROTO_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/evaluate.hh"
+#include "util/result.hh"
+
+namespace vcache::serve
+{
+
+/** Protocol revision spoken by this server. */
+inline constexpr unsigned kProtoVersion = 1;
+
+/** What one request line asks for. */
+enum class Verb
+{
+    Hello,
+    Eval,
+    Stats,
+    Shutdown,
+};
+
+/** One parsed request line. */
+struct Request
+{
+    Verb verb = Verb::Eval;
+    /** Client correlation id, echoed verbatim; empty when absent. */
+    std::string id;
+    /** Point to evaluate (Verb::Eval only). */
+    EvalRequest eval;
+    /** Per-request deadline in ms; 0 = use the server default. */
+    std::uint64_t deadlineMs = 0;
+};
+
+/**
+ * Parse one request line.  Every failure is a structured
+ * Errc::InvalidConfig naming what was wrong -- a malformed line must
+ * produce an error *response*, never take the server down.
+ */
+Expected<Request> parseRequest(const std::string &line);
+
+/** 16-digit lower-case hex form of a memo key. */
+std::string formatKey(std::uint64_t key);
+
+/**
+ * Render the memoized "result" JSON fragment for one evaluated
+ * point.  Deterministic: doubles in shortest round-trip form, field
+ * order fixed.
+ */
+std::string renderResultPayload(const EvalRequest &req,
+                                const EvalResult &result);
+
+/** Successful eval response around a (possibly memoized) payload. */
+std::string renderEvalOk(const std::string &id, std::uint64_t key,
+                         const std::string &payload, bool cached,
+                         bool coalesced);
+
+/** Error response; `error` is the Errc name of err.code. */
+std::string renderError(const std::string &id, const Error &err);
+
+/** Load-shed response with a client back-off hint. */
+std::string renderOverloaded(const std::string &id,
+                             std::uint64_t retryAfterMs);
+
+/** Handshake response carrying the build identity. */
+std::string renderHello();
+
+/** Stats response from a name -> value snapshot. */
+std::string
+renderStats(const std::map<std::string, std::uint64_t> &counters);
+
+/** Acknowledgement of an admin shutdown request. */
+std::string renderShutdownAck();
+
+} // namespace vcache::serve
+
+#endif // VCACHE_SERVE_PROTO_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Resident evaluation server: sweep points as a service.
+ *
+ * A plain TCP server speaking the newline-delimited JSON protocol of
+ * serve/proto.hh.  One accept thread hands each connection to a
+ * reader thread; eval requests pass through a bounded admission
+ * queue into a worker pool that shares the sweep CLI's evaluation
+ * kernel (sim/evaluate.hh), fronted by the content-addressed memo
+ * store (serve/memo.hh).
+ *
+ * Robustness contract (the reason this file exists):
+ *
+ *  - Malformed requests, invalid configs and tripped fault sites
+ *    produce error *responses*; nothing a client sends terminates
+ *    the process.
+ *  - The admission queue is bounded; past capacity the server sheds
+ *    load with an "Overloaded" response carrying a retry hint
+ *    instead of queueing unboundedly.
+ *  - Per-request deadlines ride the sweep's epoch-tagged CancelToken:
+ *    a watchdog cancels only the epoch it measured, so a deadline
+ *    that races a completing point can never kill the next one.
+ *  - In-flight identical requests coalesce: N clients asking for the
+ *    same key while it computes cost one evaluation.
+ *  - SIGTERM/SIGINT (or an admin "shutdown" request) drain
+ *    gracefully: stop accepting, finish in-flight work, flush the
+ *    memo journal, then exit.
+ *
+ * Fault-injection sites (VCACHE_FAULT_INJECTION builds):
+ * serve.accept, serve.queue, serve.evaluate, serve.journal.append.
+ */
+
+#ifndef VCACHE_SERVE_SERVER_HH
+#define VCACHE_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "serve/memo.hh"
+#include "util/result.hh"
+
+namespace vcache
+{
+class ObsRegistry;
+}
+
+namespace vcache::serve
+{
+
+/** Server tuning; defaults suit a local replay client. */
+struct ServerOptions
+{
+    /** Bind address. */
+    std::string host = "127.0.0.1";
+    /** Bind port; 0 picks an ephemeral port (see EvalServer::port). */
+    std::uint16_t port = 0;
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned threads = 0;
+    /** Admission-queue capacity; past it the server sheds load. */
+    std::size_t queueDepth = 256;
+    /** Deadline applied when a request carries none; 0 = none. */
+    std::uint64_t defaultDeadlineMs = 0;
+    /** Back-off hint sent with "Overloaded" responses. */
+    std::uint64_t retryAfterMs = 50;
+    /** Honour {"op":"shutdown"} from clients (tests, local use). */
+    bool allowRemoteShutdown = true;
+    /** Install SIGINT/SIGTERM handlers that drain gracefully. */
+    bool handleSignals = false;
+    /** Memo-store configuration (journal path, capacity, ...). */
+    MemoOptions memo;
+};
+
+/** The resident evaluation server. */
+class EvalServer
+{
+  public:
+    /**
+     * Bind, listen and start the thread pool.  Returns a running
+     * server or a structured error (address in use, bad host, memo
+     * journal unusable, ...).
+     */
+    static Expected<std::unique_ptr<EvalServer>>
+    start(const ServerOptions &options);
+
+    /** Blocks until fully drained (and drains if still running). */
+    ~EvalServer();
+
+    EvalServer(const EvalServer &) = delete;
+    EvalServer &operator=(const EvalServer &) = delete;
+
+    /** Port actually bound (resolves port = 0). */
+    std::uint16_t port() const;
+
+    /** Begin a graceful drain; returns immediately. */
+    void requestShutdown();
+
+    /** Block until the drain completes. */
+    void wait();
+
+    /** True once a drain has been requested. */
+    bool draining() const;
+
+    /**
+     * Counter snapshot: serve.* plus the memo store's memo.*.  Also
+     * the payload of the "stats" protocol verb.
+     */
+    std::map<std::string, std::uint64_t> statsSnapshot() const;
+
+    /** Publish the snapshot into an ObsRegistry (--stats-out lane). */
+    void publishStats(ObsRegistry &registry) const;
+
+    /** The memo store (test introspection). */
+    const MemoStore &memo() const;
+
+  private:
+    class Impl;
+    explicit EvalServer(std::unique_ptr<Impl> impl);
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace vcache::serve
+
+#endif // VCACHE_SERVE_SERVER_HH

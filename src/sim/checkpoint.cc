@@ -453,6 +453,9 @@ readCheckpoint(const std::string &path)
                                  scan.stringArray(row) &&
                                  scan.literal("}") && scan.atEnd();
                         if (parsed) {
+                            if (replay.done.count(point) ||
+                                replay.failed.count(point))
+                                ++replay.duplicates;
                             replay.done[point] = std::move(row);
                             replay.failed.erase(point);
                         }
@@ -471,6 +474,9 @@ readCheckpoint(const std::string &path)
                                  scan.quotedString(text) &&
                                  scan.literal("}") && scan.atEnd();
                         if (parsed) {
+                            if (replay.done.count(point) ||
+                                replay.failed.count(point))
+                                ++replay.duplicates;
                             replay.failed.insert(point);
                             replay.done.erase(point);
                         }

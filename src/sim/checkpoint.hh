@@ -102,6 +102,16 @@ struct CheckpointReplay
     std::map<std::uint64_t, std::vector<std::string>> done;
     /** Points whose last record is "failed" (they re-run on resume). */
     std::set<std::uint64_t> failed;
+    /**
+     * Records that re-journalled an already-seen point (later record
+     * wins).  A handful is normal -- a point that failed and then
+     * succeeded after a resume, or a crash between journal append and
+     * the dedup of a re-run -- but a large count means the journal
+     * and the sweep disagree about identity, so the sweep surfaces it
+     * as a checkpoint.duplicates counter instead of absorbing it
+     * silently.
+     */
+    std::uint64_t duplicates = 0;
 };
 
 /** Parse a journal; torn final lines are tolerated (see file doc). */

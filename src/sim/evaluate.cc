@@ -1,0 +1,241 @@
+#include "sim/evaluate.hh"
+
+#include <charconv>
+
+#include "analytic/model.hh"
+#include "sim/cc_sim.hh"
+#include "sim/runner.hh"
+#include "sim/sampling.hh"
+#include "trace/source.hh"
+#include "trace/vcm.hh"
+
+namespace vcache
+{
+
+namespace
+{
+
+// Bounds that keep a single point's cost finite without cutting into
+// anything the paper sweeps: the figures stop at M = 64 banks,
+// t_m = 64 and B = 8K, all far inside these.
+constexpr unsigned kMaxBankBits = 12;
+constexpr std::uint64_t kMaxMemoryTime = 4096;
+constexpr std::uint64_t kMaxBlockingFactor = std::uint64_t{1} << 20;
+
+/** VCM workload of one grid point (matches the historical sweep). */
+VcmParams
+vcmPoint(const EvalRequest &req)
+{
+    VcmParams p;
+    p.blockingFactor = req.blockingFactor;
+    p.reuseFactor = 8;
+    p.pDoubleStream = req.pDoubleStream;
+    p.blocks = 2;
+    return p;
+}
+
+/** Sampled-engine path: materialized traces, CI-targeted estimates. */
+Expected<void>
+runSampled(const EvalRequest &req, const MachineParams &machine,
+           const CancelToken *cancel, EvalResult &out)
+{
+    SamplingOptions opts;
+    opts.targetRelativeCi = req.targetCi;
+    opts.seed = req.seed;
+    opts.cancel = cancel;
+
+    VcmParams p = vcmPoint(req);
+    p.maxStride = machine.banks();
+    const Trace mm_trace = generateVcmTrace(p, req.seed);
+    const auto mm = sampleMm(machine, mm_trace, opts);
+    if (!mm.ok())
+        return mm.error();
+    out.simMm = mm.value().cyclesPerElement;
+    out.mmCi = mm.value().ciHalfWidth;
+
+    p.maxStride = 8192;
+    const Trace cc_trace = generateVcmTrace(p, req.seed);
+    const auto direct = sampleCc(
+        machine, ccCacheConfig(machine, CacheScheme::Direct), cc_trace,
+        opts);
+    if (!direct.ok())
+        return direct.error();
+    out.simDirect = direct.value().cyclesPerElement;
+    out.directCi = direct.value().ciHalfWidth;
+
+    const auto prime = sampleCc(
+        machine, ccCacheConfig(machine, CacheScheme::Prime), cc_trace,
+        opts);
+    if (!prime.ok())
+        return prime.error();
+    out.simPrime = prime.value().cyclesPerElement;
+    out.primeCi = prime.value().ciHalfWidth;
+    return {};
+}
+
+/** Exact engines: stream the traces, keep the full counters. */
+Expected<void>
+runExact(const EvalRequest &req, const MachineParams &machine,
+         const CancelToken *cancel, EvalResult &out)
+{
+    // Stream the workloads straight from the generators' RNG: no
+    // point ever materializes its trace (large-B points would
+    // otherwise allocate multi-megabyte vectors per evaluation).
+    try {
+        VcmParams p = vcmPoint(req);
+        p.maxStride = machine.banks();
+        VcmTraceSource mm_source(p, req.seed);
+        out.mm = simulateMm(machine, mm_source, cancel, req.engine);
+        p.maxStride = 8192;
+        VcmTraceSource cc_source(p, req.seed);
+        out.direct = simulateCc(machine, CacheScheme::Direct,
+                                cc_source, cancel, req.engine);
+        cc_source.reset();
+        out.prime = simulateCc(machine, CacheScheme::Prime, cc_source,
+                               cancel, req.engine);
+    } catch (const VcError &e) {
+        return Expected<void>(e.error());
+    }
+    out.simMm = out.mm.cyclesPerResult();
+    out.simDirect = out.direct.cyclesPerResult();
+    out.simPrime = out.prime.cyclesPerResult();
+    return {};
+}
+
+} // namespace
+
+std::string
+canonicalDouble(double v)
+{
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    return std::string(buf, res.ptr);
+}
+
+Expected<void>
+validateEvalRequest(const EvalRequest &req)
+{
+    auto reject = [](std::string message) {
+        return Expected<void>(
+            makeError(Errc::InvalidConfig, std::move(message)));
+    };
+    if (req.bankBits < 1 || req.bankBits > kMaxBankBits)
+        return reject("bank_bits " + std::to_string(req.bankBits) +
+                      " outside [1, " + std::to_string(kMaxBankBits) +
+                      "]");
+    if (req.memoryTime < 1 || req.memoryTime > kMaxMemoryTime)
+        return reject("t_m " + std::to_string(req.memoryTime) +
+                      " outside [1, " + std::to_string(kMaxMemoryTime) +
+                      "]");
+    if (req.blockingFactor < 1 ||
+        req.blockingFactor > kMaxBlockingFactor)
+        return reject("B " + std::to_string(req.blockingFactor) +
+                      " outside [1, " +
+                      std::to_string(kMaxBlockingFactor) + "]");
+    if (!(req.pDoubleStream >= 0.0) || !(req.pDoubleStream <= 1.0))
+        return reject("p_ds " + canonicalDouble(req.pDoubleStream) +
+                      " outside [0, 1]");
+    if (req.engine == SimEngine::Sampled &&
+        (!(req.targetCi > 0.0) || !(req.targetCi < 1.0)))
+        return reject("target_ci " + canonicalDouble(req.targetCi) +
+                      " outside (0, 1)");
+    return {};
+}
+
+MachineParams
+evalMachine(const EvalRequest &req)
+{
+    MachineParams machine;
+    machine.mvl = 64;
+    machine.cacheIndexBits = 13; // 8K-word cache
+    machine.bankBits = req.bankBits;
+    machine.memoryTime = req.memoryTime;
+    return machine;
+}
+
+WorkloadParams
+evalWorkload(const EvalRequest &req)
+{
+    WorkloadParams workload;
+    workload.blockingFactor = static_cast<double>(req.blockingFactor);
+    workload.reuseFactor = static_cast<double>(req.blockingFactor);
+    workload.pDoubleStream = req.pDoubleStream;
+    workload.pStride1First = 0.25;
+    workload.pStride1Second = 0.25;
+    workload.totalData = 65536.0;
+    return workload;
+}
+
+std::string
+canonicalEvalRequest(const EvalRequest &req)
+{
+    std::string out = "vc-eval/1";
+    out += " m=" + std::to_string(req.bankBits);
+    out += " tm=" + std::to_string(req.memoryTime);
+    out += " B=" + std::to_string(req.blockingFactor);
+    out += " pds=" + canonicalDouble(req.pDoubleStream);
+    if (!req.sim) {
+        // The analytic model reads no randomness: model-only requests
+        // with different seeds share one cache entry.
+        out += " engine=none";
+        return out;
+    }
+    out += " seed=" + std::to_string(req.seed);
+    if (req.engine == SimEngine::Sampled) {
+        // Only the sampled engine reads targetCi, so only its key
+        // carries it; Auto and Scalar are pinned bit-identical and
+        // share one cache entry.
+        out += " engine=sampled ci=" + canonicalDouble(req.targetCi);
+    } else {
+        out += " engine=exact";
+    }
+    return out;
+}
+
+std::uint64_t
+fnv1a64(std::string_view text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+evalRequestKey(const EvalRequest &req)
+{
+    return fnv1a64(canonicalEvalRequest(req));
+}
+
+Expected<EvalResult>
+evaluatePoint(const EvalRequest &req, const CancelToken *cancel)
+{
+    if (auto valid = validateEvalRequest(req); !valid.ok())
+        return valid.error();
+
+    const MachineParams machine = evalMachine(req);
+    const WorkloadParams workload = evalWorkload(req);
+
+    EvalResult out;
+    out.modelMm = evaluate(MachineKind::MemoryOnly, machine, workload)
+                      .cyclesPerResult;
+    out.modelDirect =
+        evaluate(MachineKind::DirectCache, machine, workload)
+            .cyclesPerResult;
+    out.modelPrime =
+        evaluate(MachineKind::PrimeCache, machine, workload)
+            .cyclesPerResult;
+    if (!req.sim)
+        return out;
+
+    const auto ran = req.engine == SimEngine::Sampled
+                         ? runSampled(req, machine, cancel, out)
+                         : runExact(req, machine, cancel, out);
+    if (!ran.ok())
+        return ran.error();
+    return out;
+}
+
+} // namespace vcache

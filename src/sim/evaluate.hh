@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Pure single-point evaluation: one (config, workload, seed) tuple in,
+ * one model + simulator measurement out.
+ *
+ * This is the shared kernel behind bench/sweep_grid and the serving
+ * layer (src/serve): both hand their points to evaluatePoint() so a
+ * row computed by the CLI and a response computed by the server are
+ * byte-identical by construction.  The request carries everything
+ * that can change the answer -- machine knobs, workload knobs, seed,
+ * engine -- and canonicalEvalRequest() renders it into a canonical
+ * string whose FNV-1a hash keys the content-addressed memo store.
+ *
+ * Layering: this lives in vcache_sim and deliberately re-derives the
+ * paper defaults instead of calling core/defaults (vcache_core links
+ * vcache_sim; using it here would cycle).  EvaluateDefaults tests pin
+ * the two sets of defaults against each other.
+ */
+
+#ifndef VCACHE_SIM_EVALUATE_HH
+#define VCACHE_SIM_EVALUATE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "analytic/machine.hh"
+#include "sim/cancel.hh"
+#include "sim/engine.hh"
+#include "sim/result.hh"
+#include "util/result.hh"
+
+namespace vcache
+{
+
+/** One point of the evaluated surface, with paper defaults. */
+struct EvalRequest
+{
+    /** log2 of the number of memory banks (paper M64 default). */
+    unsigned bankBits = 6;
+    /** Bank busy time t_m, in cycles. */
+    std::uint64_t memoryTime = 16;
+    /** Blocking factor B; the model workload uses R = B. */
+    std::uint64_t blockingFactor = 1024;
+    /** Probability of a double-stream operation, P_ds. */
+    double pDoubleStream = 0.2;
+    /** Trace RNG seed. */
+    std::uint64_t seed = 1;
+    /** Also run the trace-driven simulators (model-only if false). */
+    bool sim = true;
+    /** Simulator execution engine. */
+    SimEngine engine = SimEngine::Auto;
+    /** Sampled engine only: target relative 95% CI half-width. */
+    double targetCi = 0.03;
+};
+
+/** Model + simulator measurements at one point. */
+struct EvalResult
+{
+    /** Analytic cycles/result for the three paper machines. */
+    double modelMm = 0.0;
+    double modelDirect = 0.0;
+    double modelPrime = 0.0;
+
+    /** Simulated cycles/result (all engines; 0 when !sim). */
+    double simMm = 0.0;
+    double simDirect = 0.0;
+    double simPrime = 0.0;
+
+    /** Full simulator counters (exact engines only). */
+    SimResult mm;
+    SimResult direct;
+    SimResult prime;
+
+    /** 95% CI half-widths (sampled engine only). */
+    double mmCi = 0.0;
+    double directCi = 0.0;
+    double primeCi = 0.0;
+};
+
+/**
+ * Reject requests whose evaluation would be meaningless or unbounded:
+ * probabilities outside [0, 1], zero-sized workloads, machines larger
+ * than any the model targets.  Every failure is Errc::InvalidConfig
+ * with a message naming the field, so a serving layer can echo it to
+ * the client verbatim.
+ */
+Expected<void> validateEvalRequest(const EvalRequest &req);
+
+/** Machine implied by the request: paper defaults plus its knobs. */
+MachineParams evalMachine(const EvalRequest &req);
+
+/** Model workload implied by the request (R = B, paper defaults). */
+WorkloadParams evalWorkload(const EvalRequest &req);
+
+/**
+ * Canonical one-line rendering of a request, the unit of content
+ * addressing.  Two requests share a canonical form iff evaluatePoint
+ * is pinned to return bit-identical results for them; in particular
+ * Auto and Scalar both canonicalize to "exact" (their equivalence is
+ * differentially tested), and targetCi appears only for the sampled
+ * engine, which is the only one that reads it.  Doubles render in
+ * shortest round-trip form, so distinct values never collide.
+ */
+std::string canonicalEvalRequest(const EvalRequest &req);
+
+/** FNV-1a 64-bit hash (memo keys; collision-checked by the store). */
+std::uint64_t fnv1a64(std::string_view text);
+
+/**
+ * Shortest round-trip decimal rendering of a double.  Canonical forms
+ * and served payloads both use it so equal values always render to
+ * equal bytes and distinct values never collide (unlike the CSV's
+ * fixed 3-decimal Table::format).
+ */
+std::string canonicalDouble(double v);
+
+/** Hash of the canonical form: the memo-store key of the request. */
+std::uint64_t evalRequestKey(const EvalRequest &req);
+
+/**
+ * Evaluate one point: analytic model always, simulators per
+ * req.engine.  Pure apart from the cost: no global state, no output;
+ * equal requests yield bit-identical results.  Invalid requests,
+ * cancellation/deadline (via `cancel`) and sampling failures come
+ * back as errors, never as process exits.
+ */
+Expected<EvalResult> evaluatePoint(const EvalRequest &req,
+                                   const CancelToken *cancel = nullptr);
+
+} // namespace vcache
+
+#endif // VCACHE_SIM_EVALUATE_HH

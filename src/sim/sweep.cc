@@ -580,6 +580,19 @@ runCsvSweep(std::size_t points,
                     checkResumeCompatible(replay.value(), header);
                 if (!compat.ok())
                     return compat.error();
+                if (opts.registry) {
+                    opts.registry->counter(
+                        "checkpoint.duplicates",
+                        "journal records that re-wrote an "
+                        "already-seen point (last record won)") +=
+                        replay.value().duplicates;
+                }
+                if (replay.value().duplicates) {
+                    warn(opts.label, ": checkpoint replayed ",
+                         replay.value().duplicates,
+                         " duplicate point record(s); kept the "
+                         "latest of each");
+                }
                 for (const auto &[pt, row] : replay.value().done) {
                     if (pt >= points)
                         return makeError(

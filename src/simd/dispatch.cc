@@ -19,11 +19,27 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/buildinfo.hh"
+
 namespace vcache::simd
 {
 
 namespace
 {
+
+/**
+ * Tell util/buildinfo how to name the active backend.  util sits
+ * below simd and cannot call the dispatcher directly; registering a
+ * lazy provider here (any binary that links the dispatcher pulls this
+ * TU, running the registration before main) keeps the dependency
+ * one-way while --version and the serve handshake still report the
+ * backend the process actually dispatches to.
+ */
+[[maybe_unused]] const bool g_build_info_registered = [] {
+    setBuildInfoSimdProvider(
+        +[]() { return backendName(activeBackend()); });
+    return true;
+}();
 
 bool
 hostRunsAvx2()

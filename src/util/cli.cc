@@ -6,6 +6,7 @@
 #include <sstream>
 #include <system_error>
 
+#include "util/buildinfo.hh"
 #include "util/logging.hh"
 
 namespace vcache
@@ -32,6 +33,13 @@ ArgParser::tryParse(int argc, char **argv)
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             std::cout << usage();
+            std::exit(0);
+        }
+        if (arg == "--version") {
+            // Build identity (git hash, build type, SIMD backend):
+            // the line that tells a bug report -- or the memo store --
+            // which binary produced a result.
+            std::cout << buildInfoString() << "\n";
             std::exit(0);
         }
         if (arg.rfind("--", 0) != 0)
@@ -196,7 +204,9 @@ std::string
 ArgParser::usage() const
 {
     std::ostringstream os;
-    os << description << "\n\nusage: " << program << " [flags]\n\n";
+    os << description << "\n\nusage: " << program << " [flags]\n"
+       << "(--version prints the build identity: git hash, build "
+          "type, SIMD backend)\n\n";
     for (const auto &name : order) {
         const auto &f = flags.at(name);
         os << "  --" << name << " (default: " << f.def << ")\n      "

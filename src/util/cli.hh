@@ -2,8 +2,9 @@
  * @file
  * Minimal command-line flag parser for examples and benches.
  *
- * Supports "--name=value" and "--name value" forms plus "--help".
- * Unknown flags are fatal so typos cannot silently change experiments.
+ * Supports "--name=value" and "--name value" forms plus "--help" and
+ * "--version" (the build identity from util/buildinfo.hh).  Unknown
+ * flags are fatal so typos cannot silently change experiments.
  */
 
 #ifndef VCACHE_UTIL_CLI_HH

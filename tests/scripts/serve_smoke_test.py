@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""End-to-end crash-recovery smoke test for the evaluation server.
+
+Drives the real vcache_serve binary through the full robustness
+story: mixed valid/malformed load, kill -9 mid-operation, restart on
+the same journal, and byte-identical answers afterwards.
+
+Usage: serve_smoke_test.py /path/to/vcache_serve /path/to/replay_client.py
+"""
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+BANNER = re.compile(r"listening on 127\.0\.0\.1:(\d+)")
+
+
+def start_server(binary, journal, log_path):
+    log = open(log_path, "w")
+    proc = subprocess.Popen(
+        [
+            binary,
+            "--port",
+            "0",
+            "--memo-journal",
+            journal,
+            "--queue-depth",
+            "512",
+        ],
+        stdout=log,
+        stderr=subprocess.STDOUT,
+    )
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"server exited early: see {log_path}"
+            )
+        with open(log_path) as contents:
+            match = BANNER.search(contents.read())
+        if match:
+            return proc, int(match.group(1))
+        time.sleep(0.05)
+    raise RuntimeError(f"server never printed its port: {log_path}")
+
+
+def run_client(client, port, extra):
+    cmd = [
+        sys.executable,
+        client,
+        "--port",
+        str(port),
+        "--connections",
+        "4",
+        "--requests",
+        "1000",
+        "--profile",
+        "mixed",
+    ] + extra
+    result = subprocess.run(cmd, capture_output=True, text=True)
+    sys.stdout.write(result.stdout)
+    sys.stderr.write(result.stderr)
+    if result.returncode != 0:
+        raise RuntimeError(f"replay client failed: {cmd}")
+    return result.stdout
+
+
+def rpc(port, obj):
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+        s.sendall(json.dumps(obj).encode() + b"\n")
+        return json.loads(s.makefile("rb").readline().decode())
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary, client = sys.argv[1], sys.argv[2]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = os.path.join(tmp, "memo.vcj")
+        capture = os.path.join(tmp, "before.json")
+
+        # Phase 1: mixed load (valid, malformed, duplicates) against a
+        # fresh server; capture result bytes.  The client exits
+        # non-zero on any protocol violation, so malformed lines
+        # killing a connection (or the process) fails here.
+        proc, port = start_server(
+            binary, journal, os.path.join(tmp, "serve1.log")
+        )
+        run_client(client, port, ["--capture", capture])
+        stats = rpc(port, {"op": "stats"})["counters"]
+        if stats["serve.malformed"] == 0:
+            raise RuntimeError(
+                "mixed profile sent no malformed lines?"
+            )
+        if proc.poll() is not None:
+            raise RuntimeError("server died under mixed load")
+
+        # Phase 2: kill -9, no drain, no flush.  The journal keeps
+        # whatever had been appended; a torn tail is expected.
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait()
+
+        # Phase 3: restart on the same journal; answers must be
+        # byte-identical to phase 1 for every key both runs saw.
+        proc, port = start_server(
+            binary, journal, os.path.join(tmp, "serve2.log")
+        )
+        run_client(client, port, ["--compare", capture])
+        stats = rpc(port, {"op": "stats"})["counters"]
+        if stats["memo.journal_loaded"] == 0:
+            raise RuntimeError(
+                "restart loaded nothing from the journal"
+            )
+
+        # Phase 4: graceful remote shutdown must drain cleanly.
+        ack = rpc(port, {"op": "shutdown"})
+        if ack.get("draining") is not True:
+            raise RuntimeError(f"unexpected shutdown ack: {ack}")
+        if proc.wait(timeout=30) != 0:
+            raise RuntimeError("server exited non-zero on drain")
+
+    print("serve smoke: mixed load, kill -9, heal, drain -- all ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Wire-protocol unit tests: every malformed line must become a
+ * structured error, every renderer must emit deterministic bytes.
+ */
+
+#include "serve/proto.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/evaluate.hh"
+#include "util/buildinfo.hh"
+
+using namespace vcache;
+using namespace vcache::serve;
+
+namespace
+{
+
+Request
+mustParse(const std::string &line)
+{
+    auto parsed = parseRequest(line);
+    EXPECT_TRUE(parsed.ok()) << line << " -> "
+                             << (parsed.ok()
+                                     ? ""
+                                     : parsed.error().message);
+    return parsed.ok() ? parsed.value() : Request{};
+}
+
+std::string
+mustFail(const std::string &line)
+{
+    auto parsed = parseRequest(line);
+    EXPECT_FALSE(parsed.ok()) << line << " unexpectedly parsed";
+    if (parsed.ok())
+        return "";
+    EXPECT_EQ(parsed.error().code, Errc::InvalidConfig);
+    return parsed.error().message;
+}
+
+} // namespace
+
+TEST(ProtoParse, EvalWithNoFieldsIsThePaperPoint)
+{
+    const Request req = mustParse(R"({"op":"eval"})");
+    EXPECT_EQ(req.verb, Verb::Eval);
+    EXPECT_EQ(canonicalEvalRequest(req.eval),
+              canonicalEvalRequest(EvalRequest{}));
+    EXPECT_TRUE(req.id.empty());
+    EXPECT_EQ(req.deadlineMs, 0u);
+}
+
+TEST(ProtoParse, EvalWithEveryField)
+{
+    const Request req = mustParse(
+        R"({"op":"eval","id":"r-1","m":5,"tm":32,"B":512,)"
+        R"("pds":0.25,"seed":42,"sim":true,"engine":"sampled",)"
+        R"("ci":0.05,"deadline_ms":750})");
+    EXPECT_EQ(req.id, "r-1");
+    EXPECT_EQ(req.eval.bankBits, 5u);
+    EXPECT_EQ(req.eval.memoryTime, 32u);
+    EXPECT_EQ(req.eval.blockingFactor, 512u);
+    EXPECT_DOUBLE_EQ(req.eval.pDoubleStream, 0.25);
+    EXPECT_EQ(req.eval.seed, 42u);
+    EXPECT_TRUE(req.eval.sim);
+    EXPECT_EQ(req.eval.engine, SimEngine::Sampled);
+    EXPECT_DOUBLE_EQ(req.eval.targetCi, 0.05);
+    EXPECT_EQ(req.deadlineMs, 750u);
+}
+
+TEST(ProtoParse, NonEvalVerbs)
+{
+    EXPECT_EQ(mustParse(R"({"op":"hello"})").verb, Verb::Hello);
+    EXPECT_EQ(mustParse(R"({"op":"stats"})").verb, Verb::Stats);
+    EXPECT_EQ(mustParse(R"({"op":"shutdown"})").verb,
+              Verb::Shutdown);
+}
+
+TEST(ProtoParse, FullRangeSeedSurvives)
+{
+    const Request req = mustParse(
+        R"({"op":"eval","seed":18446744073709551615})");
+    EXPECT_EQ(req.eval.seed, 18446744073709551615ull);
+}
+
+TEST(ProtoParse, DuplicateKeyLastWins)
+{
+    const Request req =
+        mustParse(R"({"op":"eval","B":256,"B":512})");
+    EXPECT_EQ(req.eval.blockingFactor, 512u);
+}
+
+TEST(ProtoParse, EscapedStringsDecode)
+{
+    const Request req =
+        mustParse(R"({"op":"eval","id":"a\"b\\cA"})");
+    EXPECT_EQ(req.id, "a\"b\\cA");
+}
+
+TEST(ProtoParse, MalformedLinesAreStructuredErrors)
+{
+    // None of these may parse; all must name the problem.
+    mustFail("");
+    mustFail("not json");
+    mustFail("[1,2,3]");
+    mustFail("{");
+    mustFail(R"({"op":"eval"} trailing)");
+    mustFail(R"({"op":"warp"})");
+    mustFail(R"({"no_op_key":1})");
+    mustFail(R"({"op":"eval","B":"big"})");
+    mustFail(R"({"op":"eval","engine":"warp"})");
+    mustFail(R"({"op":"eval","id":7})");
+    // Unknown keys are rejected like unknown CLI flags: a typo must
+    // never silently change an experiment.
+    EXPECT_NE(mustFail(R"({"op":"eval","banks":64})").find("banks"),
+              std::string::npos);
+    // Non-eval verbs take no parameters at all.
+    mustFail(R"({"op":"hello","m":6})");
+}
+
+TEST(ProtoParse, ImplausibleBankBitsRejected)
+{
+    mustFail(R"({"op":"eval","m":99})");
+}
+
+TEST(ProtoRender, FormatKeyIsZeroPaddedHex)
+{
+    EXPECT_EQ(formatKey(0), "0000000000000000");
+    EXPECT_EQ(formatKey(0x1a2b), "0000000000001a2b");
+    EXPECT_EQ(formatKey(0xffffffffffffffffull),
+              "ffffffffffffffff");
+}
+
+TEST(ProtoRender, EvalOkEnvelope)
+{
+    EXPECT_EQ(renderEvalOk("r1", 0x2a, "{\"model\":{}}", true,
+                           false),
+              R"({"ok":true,"id":"r1","cached":true,)"
+              R"("coalesced":false,"key":"000000000000002a",)"
+              R"("result":{"model":{}}})");
+}
+
+TEST(ProtoRender, ErrorEscapesAndNamesTheCode)
+{
+    const std::string line = renderError(
+        "x", makeError(Errc::Timeout, "a \"quoted\" deadline"));
+    EXPECT_NE(line.find("\"error\":\"Timeout\""),
+              std::string::npos);
+    EXPECT_NE(line.find("a \\\"quoted\\\" deadline"),
+              std::string::npos);
+    EXPECT_NE(line.find("\"ok\":false"), std::string::npos);
+}
+
+TEST(ProtoRender, OverloadedCarriesRetryHint)
+{
+    const std::string line = renderOverloaded("r9", 125);
+    EXPECT_NE(line.find("\"error\":\"Overloaded\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"retry_after_ms\":125"),
+              std::string::npos);
+    EXPECT_NE(line.find("\"id\":\"r9\""), std::string::npos);
+}
+
+TEST(ProtoRender, HelloCarriesBuildIdentity)
+{
+    const std::string line = renderHello();
+    EXPECT_NE(line.find("\"proto\":1"), std::string::npos);
+    EXPECT_NE(line.find(buildResultIdentity()), std::string::npos);
+}
+
+TEST(ProtoRender, StatsAreSortedByName)
+{
+    const std::string line =
+        renderStats({{"b.two", 2}, {"a.one", 1}});
+    const auto a = line.find("\"a.one\":1");
+    const auto b = line.find("\"b.two\":2");
+    ASSERT_NE(a, std::string::npos);
+    ASSERT_NE(b, std::string::npos);
+    EXPECT_LT(a, b);
+}
+
+TEST(ProtoRender, ModelOnlyPayloadHasNoSimFragment)
+{
+    EvalRequest req;
+    req.sim = false;
+    EvalResult result{};
+    result.modelMm = 1.5;
+    result.modelDirect = 2.5;
+    result.modelPrime = 0.125;
+    EXPECT_EQ(renderResultPayload(req, result),
+              R"({"model":{"mm":1.5,"direct":2.5,)"
+              R"("prime":0.125}})");
+}
+
+TEST(ProtoRender, ExactPayloadCarriesCounters)
+{
+    EvalRequest req; // sim=true, exact engine
+    const auto evaluated = evaluatePoint(req);
+    ASSERT_TRUE(evaluated.ok());
+    const std::string payload =
+        renderResultPayload(req, evaluated.value());
+    EXPECT_NE(payload.find("\"sim\":{"), std::string::npos);
+    EXPECT_NE(payload.find("\"counters\":{"), std::string::npos);
+    EXPECT_NE(payload.find("\"hits\":"), std::string::npos);
+    EXPECT_EQ(payload.find("\"ci\":{"), std::string::npos);
+    // Determinism: rendering twice is byte-identical.
+    EXPECT_EQ(payload,
+              renderResultPayload(req, evaluated.value()));
+}
+
+TEST(ProtoRender, SampledPayloadCarriesCiNotCounters)
+{
+    EvalRequest req;
+    req.engine = SimEngine::Sampled;
+    req.targetCi = 0.2; // loose: keep the test fast
+    const auto evaluated = evaluatePoint(req);
+    ASSERT_TRUE(evaluated.ok());
+    const std::string payload =
+        renderResultPayload(req, evaluated.value());
+    EXPECT_NE(payload.find("\"ci\":{"), std::string::npos);
+    EXPECT_EQ(payload.find("\"counters\":{"), std::string::npos);
+}

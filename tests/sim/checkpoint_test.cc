@@ -108,6 +108,58 @@ TEST(Checkpoint, LastRecordForAPointWins)
               (std::vector<std::string>{"fine"}));
 }
 
+TEST(Checkpoint, CountsDuplicatePointRecords)
+{
+    TempPath path("ckpt_dups.jsonl");
+    {
+        auto writer = CheckpointWriter::open(path.str(), header(), false);
+        ASSERT_TRUE(writer.ok());
+        ASSERT_TRUE(writer.value()->recordDone(1, {"a"}).ok());
+        ASSERT_TRUE(writer.value()->recordDone(2, {"b"}).ok());
+        // Every re-journalled point counts, whatever the transition:
+        // ok -> ok (a crash between append and dedup), failed -> ok
+        // (retry succeeded after a resume) and ok -> failed.
+        ASSERT_TRUE(writer.value()->recordDone(1, {"a2"}).ok());
+        ASSERT_TRUE(writer.value()
+                        ->recordFailed(
+                            3, makeError(Errc::Io, "flaky"), 1)
+                        .ok());
+        ASSERT_TRUE(writer.value()->recordDone(3, {"c"}).ok());
+        ASSERT_TRUE(writer.value()
+                        ->recordFailed(
+                            2, makeError(Errc::Timeout, "slow"), 2)
+                        .ok());
+    }
+    const auto replay = readCheckpoint(path.str());
+    ASSERT_TRUE(replay.ok()) << replay.error().describe();
+    EXPECT_EQ(replay.value().duplicates, 3u);
+    // Last-write-wins is unchanged by the counting.
+    EXPECT_EQ(replay.value().done.at(1),
+              (std::vector<std::string>{"a2"}));
+    EXPECT_EQ(replay.value().done.at(3),
+              (std::vector<std::string>{"c"}));
+    EXPECT_EQ(replay.value().failed,
+              (std::set<std::uint64_t>{2}));
+}
+
+TEST(Checkpoint, NoDuplicatesInACleanJournal)
+{
+    TempPath path("ckpt_nodups.jsonl");
+    {
+        auto writer = CheckpointWriter::open(path.str(), header(), false);
+        ASSERT_TRUE(writer.ok());
+        ASSERT_TRUE(writer.value()->recordDone(0, {"a"}).ok());
+        ASSERT_TRUE(writer.value()->recordDone(1, {"b"}).ok());
+        ASSERT_TRUE(writer.value()
+                        ->recordFailed(
+                            2, makeError(Errc::Io, "x"), 1)
+                        .ok());
+    }
+    const auto replay = readCheckpoint(path.str());
+    ASSERT_TRUE(replay.ok());
+    EXPECT_EQ(replay.value().duplicates, 0u);
+}
+
 TEST(Checkpoint, AppendModePreservesExistingRecords)
 {
     TempPath path("ckpt_append.jsonl");

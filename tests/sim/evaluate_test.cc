@@ -1,0 +1,262 @@
+/**
+ * Tests for the pure point-evaluation API shared by bench/sweep_grid
+ * and the serving layer: default pinning against core/defaults,
+ * canonical-form/key semantics, validation, engine equivalence and
+ * cancellation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/comparison.hh"
+#include "core/defaults.hh"
+#include "sim/evaluate.hh"
+
+namespace vcache
+{
+namespace
+{
+
+TEST(EvaluateDefaults, MachineMatchesPaperM64)
+{
+    // evaluate.cc re-derives the paper machine instead of linking
+    // core/defaults (layering); this pin breaks if they ever diverge.
+    const MachineParams a = evalMachine(EvalRequest{});
+    const MachineParams b = paperMachineM64();
+    EXPECT_EQ(a.mvl, b.mvl);
+    EXPECT_EQ(a.bankBits, b.bankBits);
+    EXPECT_EQ(a.memoryTime, b.memoryTime);
+    EXPECT_EQ(a.cacheIndexBits, b.cacheIndexBits);
+    EXPECT_EQ(a.bankMapping, b.bankMapping);
+    EXPECT_DOUBLE_EQ(a.startupBase, b.startupBase);
+    EXPECT_DOUBLE_EQ(a.blockOverhead, b.blockOverhead);
+    EXPECT_DOUBLE_EQ(a.stripOverhead, b.stripOverhead);
+}
+
+TEST(EvaluateDefaults, WorkloadMatchesPaperWorkload)
+{
+    const WorkloadParams a = evalWorkload(EvalRequest{});
+    const WorkloadParams b = paperWorkload();
+    EXPECT_DOUBLE_EQ(a.blockingFactor, b.blockingFactor);
+    EXPECT_DOUBLE_EQ(a.reuseFactor, b.reuseFactor);
+    EXPECT_DOUBLE_EQ(a.pDoubleStream, b.pDoubleStream);
+    EXPECT_DOUBLE_EQ(a.pStride1First, b.pStride1First);
+    EXPECT_DOUBLE_EQ(a.pStride1Second, b.pStride1Second);
+    EXPECT_DOUBLE_EQ(a.totalData, b.totalData);
+}
+
+TEST(EvaluateModel, MatchesCompareMachines)
+{
+    EvalRequest req;
+    req.bankBits = 5;
+    req.memoryTime = 32;
+    req.blockingFactor = 2048;
+    req.sim = false;
+    const auto result = evaluatePoint(req);
+    ASSERT_TRUE(result.ok());
+
+    MachineParams machine = paperMachineM64();
+    machine.bankBits = 5;
+    machine.memoryTime = 32;
+    WorkloadParams wl = paperWorkload();
+    wl.blockingFactor = 2048.0;
+    wl.reuseFactor = 2048.0;
+    const ThreeWayPoint p = compareMachines(machine, wl);
+    EXPECT_EQ(result.value().modelMm, p.mm);
+    EXPECT_EQ(result.value().modelDirect, p.direct);
+    EXPECT_EQ(result.value().modelPrime, p.prime);
+
+    // Model-only requests leave the simulator fields untouched.
+    EXPECT_EQ(result.value().simMm, 0.0);
+    EXPECT_EQ(result.value().mm.results, 0u);
+}
+
+TEST(EvaluateSim, AutoAndScalarAreBitIdentical)
+{
+    EvalRequest req;
+    req.blockingFactor = 512;
+    req.seed = 42;
+    req.engine = SimEngine::Auto;
+    const auto fast = evaluatePoint(req);
+    req.engine = SimEngine::Scalar;
+    const auto slow = evaluatePoint(req);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    EXPECT_EQ(fast.value().simMm, slow.value().simMm);
+    EXPECT_EQ(fast.value().simDirect, slow.value().simDirect);
+    EXPECT_EQ(fast.value().simPrime, slow.value().simPrime);
+    EXPECT_EQ(fast.value().mm.totalCycles,
+              slow.value().mm.totalCycles);
+    EXPECT_EQ(fast.value().direct.misses, slow.value().direct.misses);
+    EXPECT_EQ(fast.value().prime.misses, slow.value().prime.misses);
+}
+
+TEST(EvaluateSim, EqualRequestsYieldBitIdenticalResults)
+{
+    EvalRequest req;
+    req.blockingFactor = 512;
+    req.seed = 7;
+    const auto a = evaluatePoint(req);
+    const auto b = evaluatePoint(req);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().simMm, b.value().simMm);
+    EXPECT_EQ(a.value().simDirect, b.value().simDirect);
+    EXPECT_EQ(a.value().simPrime, b.value().simPrime);
+    EXPECT_EQ(a.value().modelMm, b.value().modelMm);
+}
+
+TEST(EvaluateSim, SampledReportsConfidenceIntervals)
+{
+    EvalRequest req;
+    req.blockingFactor = 512;
+    req.engine = SimEngine::Sampled;
+    req.targetCi = 0.05;
+    const auto result = evaluatePoint(req);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result.value().simMm, 0.0);
+    EXPECT_GT(result.value().mmCi, 0.0);
+    EXPECT_GT(result.value().directCi, 0.0);
+    EXPECT_GT(result.value().primeCi, 0.0);
+}
+
+TEST(EvaluateValidate, RejectsOutOfRangeFields)
+{
+    auto expectInvalid = [](EvalRequest req, const char *field) {
+        const auto v = validateEvalRequest(req);
+        ASSERT_FALSE(v.ok()) << field;
+        EXPECT_EQ(v.error().code, Errc::InvalidConfig) << field;
+        EXPECT_NE(v.error().message.find(field), std::string::npos)
+            << v.error().message;
+        // evaluatePoint must agree with the standalone validator.
+        EXPECT_FALSE(evaluatePoint(req).ok()) << field;
+    };
+    EvalRequest req;
+    req.bankBits = 0;
+    expectInvalid(req, "bank_bits");
+    req = {};
+    req.bankBits = 13;
+    expectInvalid(req, "bank_bits");
+    req = {};
+    req.memoryTime = 0;
+    expectInvalid(req, "t_m");
+    req = {};
+    req.blockingFactor = 0;
+    expectInvalid(req, "B");
+    req = {};
+    req.blockingFactor = std::uint64_t{1} << 21;
+    expectInvalid(req, "B");
+    req = {};
+    req.pDoubleStream = -0.1;
+    expectInvalid(req, "p_ds");
+    req = {};
+    req.pDoubleStream = 1.5;
+    expectInvalid(req, "p_ds");
+    req = {};
+    req.engine = SimEngine::Sampled;
+    req.targetCi = 0.0;
+    expectInvalid(req, "target_ci");
+}
+
+TEST(EvaluateValidate, TargetCiOnlyCheckedForSampled)
+{
+    EvalRequest req;
+    req.targetCi = 0.0; // ignored by the exact engines
+    EXPECT_TRUE(validateEvalRequest(req).ok());
+}
+
+TEST(EvaluateCanonical, ExactEnginesShareOneKey)
+{
+    EvalRequest req;
+    req.engine = SimEngine::Auto;
+    const std::string auto_form = canonicalEvalRequest(req);
+    req.engine = SimEngine::Scalar;
+    EXPECT_EQ(canonicalEvalRequest(req), auto_form);
+    EXPECT_NE(auto_form.find("engine=exact"), std::string::npos);
+
+    req.engine = SimEngine::Sampled;
+    EXPECT_NE(canonicalEvalRequest(req), auto_form);
+    EXPECT_NE(canonicalEvalRequest(req).find("ci="),
+              std::string::npos);
+}
+
+TEST(EvaluateCanonical, EveryFieldChangesTheKey)
+{
+    const std::uint64_t base = evalRequestKey(EvalRequest{});
+    EvalRequest req;
+    req.bankBits = 5;
+    EXPECT_NE(evalRequestKey(req), base);
+    req = {};
+    req.memoryTime = 8;
+    EXPECT_NE(evalRequestKey(req), base);
+    req = {};
+    req.blockingFactor = 2048;
+    EXPECT_NE(evalRequestKey(req), base);
+    req = {};
+    req.pDoubleStream = 0.25;
+    EXPECT_NE(evalRequestKey(req), base);
+    req = {};
+    req.seed = 2;
+    EXPECT_NE(evalRequestKey(req), base);
+    req = {};
+    req.sim = false;
+    EXPECT_NE(evalRequestKey(req), base);
+}
+
+TEST(EvaluateCanonical, ModelOnlyKeyIgnoresSeedAndEngine)
+{
+    EvalRequest req;
+    req.sim = false;
+    req.seed = 1;
+    const std::uint64_t key = evalRequestKey(req);
+    req.seed = 999;
+    EXPECT_EQ(evalRequestKey(req), key);
+    req.engine = SimEngine::Sampled;
+    EXPECT_EQ(evalRequestKey(req), key);
+}
+
+TEST(EvaluateCanonical, NearbyDoublesDoNotCollide)
+{
+    // The canonical form must render doubles round-trip, not at CSV
+    // precision: these two differ only past the third decimal.
+    EvalRequest a;
+    a.pDoubleStream = 0.2;
+    EvalRequest b;
+    b.pDoubleStream = 0.2000001;
+    EXPECT_NE(canonicalEvalRequest(a), canonicalEvalRequest(b));
+}
+
+TEST(EvaluateCanonical, Fnv1a64MatchesReferenceVectors)
+{
+    // Published FNV-1a test vectors.
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(EvaluateCancel, PreCancelledTokenStopsEvaluation)
+{
+    CancelToken cancel;
+    cancel.requestCancel(CancelToken::Reason::Timeout);
+    EvalRequest req;
+    req.blockingFactor = 8192;
+    const auto result = evaluatePoint(req, &cancel);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, Errc::Timeout);
+}
+
+TEST(EvaluateCancel, SampledHonoursCancellation)
+{
+    CancelToken cancel;
+    cancel.requestCancel(CancelToken::Reason::Cancelled);
+    EvalRequest req;
+    req.engine = SimEngine::Sampled;
+    const auto result = evaluatePoint(req, &cancel);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, Errc::Cancelled);
+}
+
+} // namespace
+} // namespace vcache

@@ -4,8 +4,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -14,6 +16,7 @@
 
 #include "core/comparison.hh"
 #include "core/defaults.hh"
+#include "obs/registry.hh"
 #include "sim/sweep.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
@@ -462,6 +465,35 @@ TEST(SweepRobustness, InterruptDrainsInFlightAndReportsRemaining)
               64u);
 }
 
+TEST(SweepRobustness, SigtermDrainsGracefully)
+{
+    // The real delivery path, not just the flag: with handleSignals
+    // on, a raised SIGTERM must land in the sweep's own handler,
+    // drain in-flight points and report the rest as remaining --
+    // never kill the process.
+    InterruptGuard guard;
+    std::atomic<std::size_t> evaluated{0};
+    SweepOptions opts = robust(2, 1);
+    opts.handleSignals = true;
+    const auto outcome = runSweep(
+        64,
+        [&](std::size_t, SweepWorker &) {
+            if (evaluated.fetch_add(1, std::memory_order_relaxed) ==
+                8)
+                std::raise(SIGTERM);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(8));
+        },
+        opts);
+
+    EXPECT_TRUE(outcome.interrupted);
+    EXPECT_GT(outcome.remaining, 0u);
+    EXPECT_GT(outcome.completedOk, 0u);
+    EXPECT_EQ(outcome.completedOk + outcome.failures.size() +
+                  outcome.remaining,
+              64u);
+}
+
 TEST(SweepRobustness, InterruptSkipsFurtherRetries)
 {
     InterruptGuard guard;
@@ -646,6 +678,44 @@ TEST(CsvSweep, ResumeOfCompleteJournalSkipsEverything)
     EXPECT_EQ(second.value().skipped, 12u);
     EXPECT_EQ(evaluations.load(), 0u);
     EXPECT_EQ(second.value().rows, first.value().rows);
+}
+
+TEST(CsvSweep, ResumeReportsJournalledDuplicates)
+{
+    // A crash between the journal append and the checkpoint dedup can
+    // leave the same point recorded twice; resume must keep the last
+    // record and surface the count instead of absorbing it silently.
+    TempJournal journal("csv_dup_counter.jsonl");
+    SweepOptions opts = quiet(2);
+    opts.checkpointPath = journal.str();
+
+    const auto first = runCsvSweep(
+        4, [](std::size_t i, SweepWorker &) { return gridRow(i); },
+        failedRow, opts);
+    ASSERT_TRUE(first.ok());
+
+    // Re-journal two points by hand, as a crashed writer would have.
+    {
+        std::ofstream out(journal.str(), std::ios::app);
+        out << "{\"point\":1,\"status\":\"ok\",\"row\":[\"1\","
+               "\"1\"]}\n"
+            << "{\"point\":2,\"status\":\"ok\",\"row\":[\"2\","
+               "\"4\"]}\n";
+    }
+
+    ObsRegistry registry;
+    opts.resume = true;
+    opts.registry = &registry;
+    const auto second = runCsvSweep(
+        4, [](std::size_t i, SweepWorker &) { return gridRow(i); },
+        failedRow, opts);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.value().skipped, 4u);
+    EXPECT_EQ(second.value().rows, first.value().rows);
+
+    const Counter *dups = registry.findCounter("checkpoint.duplicates");
+    ASSERT_NE(dups, nullptr);
+    EXPECT_EQ(dups->value, 2u);
 }
 
 TEST(CsvSweep, FailedPointsRerunOnResume)

@@ -6,6 +6,8 @@
 #include <limits>
 #include <vector>
 
+#include "simd/kernels.hh"
+#include "util/buildinfo.hh"
 #include "util/cli.hh"
 
 namespace vcache
@@ -267,6 +269,55 @@ TEST(ArgParserTry, NegativeValueForUintIsAValueError)
     ASSERT_TRUE(p.tryParse(a.argc(), a.argv()).ok());
     EXPECT_FALSE(p.tryGetUint("n").ok());
     EXPECT_EQ(p.tryGetInt("n").value(), -3);
+}
+
+TEST(BuildInfo, IdentityFieldsAreNonEmpty)
+{
+    EXPECT_STRNE(buildGitHash(), "");
+    EXPECT_STRNE(buildTypeName(), "");
+    const std::string info = buildInfoString();
+    EXPECT_NE(info.find("vcache "), std::string::npos);
+    EXPECT_NE(info.find(buildGitHash()), std::string::npos);
+    EXPECT_NE(info.find(buildTypeName()), std::string::npos);
+    EXPECT_NE(info.find("simd="), std::string::npos);
+}
+
+TEST(BuildInfo, ResultIdentityExcludesSimdBackend)
+{
+    // The memo-store label must not depend on the dispatched backend
+    // (results are pinned bit-identical across backends), only on
+    // what can change them: the code and the build type.
+    const std::string id = buildResultIdentity();
+    EXPECT_EQ(id, std::string(buildGitHash()) + ":" + buildTypeName());
+    EXPECT_EQ(id.find("simd"), std::string::npos);
+}
+
+TEST(BuildInfo, SimdProviderIsRegisteredByDispatcher)
+{
+    // Referencing the dispatcher (as every simulator-carrying tool
+    // does) pulls its TU into the binary, whose static init registers
+    // the provider; the reported backend must then be the dispatched
+    // one, never the "unknown" fallback.
+    EXPECT_STREQ(buildInfoSimdBackend(),
+                 simd::backendName(simd::activeBackend()));
+    const std::string backend = buildInfoSimdBackend();
+    EXPECT_TRUE(backend == "scalar" || backend == "avx2" ||
+                backend == "neon")
+        << backend;
+}
+
+TEST(ArgParserDeathTest, VersionPrintsBuildInfoAndExits)
+{
+    ArgParser p("test");
+    Argv a({"prog", "--version"});
+    EXPECT_EXIT(p.parse(a.argc(), a.argv()),
+                testing::ExitedWithCode(0), "");
+}
+
+TEST(ArgParser, UsageMentionsVersion)
+{
+    ArgParser p("test");
+    EXPECT_NE(p.usage().find("--version"), std::string::npos);
 }
 
 } // namespace

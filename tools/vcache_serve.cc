@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Sweep-as-a-service entry point: bind the resident evaluation
+ * server, print where it listens, drain gracefully on SIGINT/SIGTERM
+ * (or a client "shutdown" request) and report final counters.
+ *
+ * The one-line "listening on HOST:PORT" banner is a stable interface:
+ * scripts/replay_client.py and the CI smoke job parse it to discover
+ * an ephemeral port.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "serve/server.hh"
+#include "util/buildinfo.hh"
+#include "util/cli.hh"
+#include "util/faultinject.hh"
+#include "util/logging.hh"
+
+using namespace vcache;
+using namespace vcache::serve;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("Resident evaluation server: answers "
+                   "(config, workload, seed) sweep points over "
+                   "newline-delimited JSON on TCP, with a "
+                   "journal-backed content-addressed memo in front "
+                   "of the sweep kernel.");
+    args.addFlag("host", "127.0.0.1", "bind address");
+    args.addFlag("port", "0", "bind port (0 = ephemeral; the bound "
+                              "port is printed on startup)");
+    args.addFlag("threads", "0",
+                 "evaluation worker threads (0 = hardware "
+                 "concurrency)");
+    args.addFlag("queue-depth", "256",
+                 "admission-queue capacity; past it requests are "
+                 "shed with an Overloaded response");
+    args.addFlag("deadline-ms", "0",
+                 "default per-request deadline applied when a "
+                 "request carries none (0 = none)");
+    args.addFlag("retry-after-ms", "50",
+                 "back-off hint attached to Overloaded responses");
+    args.addFlag("memo-journal", "",
+                 "memo journal path; persists results across "
+                 "restarts (empty = in-memory only)");
+    args.addFlag("memo-entries", "65536",
+                 "memo LRU capacity in entries (0 = unbounded)");
+    args.addFlag("remote-shutdown", "true",
+                 "honour {\"op\":\"shutdown\"} from clients");
+    args.addFlag("stats-out", "",
+                 "write the final counter snapshot as JSON here on "
+                 "drain");
+    args.addFlag("faults", "",
+                 "fault-injection plan (site=action@trigger,...); "
+                 "sites: serve.accept, serve.queue, serve.evaluate, "
+                 "serve.journal.append and every site below them");
+    args.addFlag("fault-seed", "1",
+                 "seed for probabilistic fault triggers");
+    args.parse(argc, argv);
+
+    const std::string fault_spec = args.getString("faults");
+    if (!fault_spec.empty()) {
+        auto plan = faults::parseFaultSpec(
+            fault_spec, args.getUint("fault-seed"));
+        if (!plan.ok())
+            vc_fatal("--faults: " + plan.error().message);
+        faults::configureFaults(plan.value());
+        if (!faults::kEnabled)
+            warn("--faults: fault-injection sites are compiled out; "
+                 "plan installed but inert "
+                 "(build with -DVCACHE_FAULT_INJECTION=ON)");
+    }
+
+    ServerOptions options;
+    options.host = args.getString("host");
+    options.port = static_cast<std::uint16_t>(args.getUint("port"));
+    options.threads =
+        static_cast<unsigned>(args.getUint("threads"));
+    options.queueDepth = args.getUint("queue-depth");
+    options.defaultDeadlineMs = args.getUint("deadline-ms");
+    options.retryAfterMs = args.getUint("retry-after-ms");
+    options.allowRemoteShutdown = args.getBool("remote-shutdown");
+    options.handleSignals = true;
+    options.memo.journalPath = args.getString("memo-journal");
+    options.memo.maxEntries = args.getUint("memo-entries");
+
+    auto server = EvalServer::start(options);
+    if (!server.ok())
+        vc_fatal("serve: " + server.error().message);
+
+    std::cout << buildInfoString() << "\n"
+              << "memo: "
+              << (options.memo.journalPath.empty()
+                      ? std::string("in-memory only")
+                      : "journal " + options.memo.journalPath)
+              << " (identity " << server.value()->memo().label()
+              << ")\n"
+              << "listening on " << options.host << ":"
+              << server.value()->port() << std::endl;
+
+    server.value()->wait();
+
+    const auto stats = server.value()->statsSnapshot();
+    std::cout << "drained; final counters:\n";
+    for (const auto &[name, value] : stats)
+        std::cout << "  " << name << " = " << value << "\n";
+
+    const std::string stats_out = args.getString("stats-out");
+    if (!stats_out.empty()) {
+        std::ofstream out(stats_out);
+        out << "{\n";
+        bool first = true;
+        for (const auto &[name, value] : stats) {
+            out << (first ? "" : ",\n") << "  \"" << name
+                << "\": " << value;
+            first = false;
+        }
+        out << "\n}\n";
+        if (!out.good())
+            warn("--stats-out: failed writing '", stats_out, "'");
+    }
+    return 0;
+}
