@@ -23,6 +23,7 @@
 #include "core/comparison.hh"
 #include "core/defaults.hh"
 #include "sim/cc_sim.hh"
+#include "sim/evaluate.hh"
 #include "sim/mm_sim.hh"
 #include "sim/runner.hh"
 #include "sim/sampling.hh"
@@ -272,6 +273,47 @@ BM_SampledCcSimulator(benchmark::State &state, bool sampled)
 }
 BENCHMARK_CAPTURE(BM_SampledCcSimulator, scalar, false);
 BENCHMARK_CAPTURE(BM_SampledCcSimulator, sampled, true);
+
+/**
+ * Shared-trace multi-point evaluation on its target workload: one
+ * workload key, many cache configs (a t_m column of the paper's
+ * grid).  The batched/pointwise pair pins the speedup of the shared
+ * arena + gang timing lanes over N independent evaluatePoint calls;
+ * points/s is the figure of merit and the tracked baseline gates the
+ * ratio.
+ */
+std::vector<EvalRequest>
+batchEvalGrid()
+{
+    std::vector<EvalRequest> reqs;
+    for (std::uint64_t tm = 4; tm <= 64; tm += 4) {
+        EvalRequest req;
+        req.memoryTime = tm;
+        req.blockingFactor = 1024;
+        req.seed = 11;
+        reqs.push_back(req);
+    }
+    return reqs;
+}
+
+void
+BM_BatchEval(benchmark::State &state, bool batched)
+{
+    const std::vector<EvalRequest> reqs = batchEvalGrid();
+    for (auto _ : state) {
+        if (batched) {
+            benchmark::DoNotOptimize(evaluateBatch(reqs));
+        } else {
+            for (const auto &req : reqs)
+                benchmark::DoNotOptimize(evaluatePoint(req));
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * reqs.size()));
+    state.SetLabel(simdBackendLabel());
+}
+BENCHMARK_CAPTURE(BM_BatchEval, pointwise, false);
+BENCHMARK_CAPTURE(BM_BatchEval, batched, true);
 
 /**
  * Parallel sweep over a small model+sim grid; the benchmark argument

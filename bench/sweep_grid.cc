@@ -21,6 +21,10 @@
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "common.hh"
@@ -124,6 +128,11 @@ main(int argc, char **argv)
     args.addFlag("max-points", "0",
                  "evaluate only the first N grid points (0 = all); "
                  "keeps --forensics CI runs small");
+    args.addFlag("shared-seed", "false",
+                 "draw every grid point's trace from --seed directly "
+                 "instead of folding in the grid index, so points "
+                 "differing only in t_m share a workload and batch "
+                 "into one trace pass (--batch)");
     args.parse(argc, argv);
     SweepOptions opts = sweepOptionsFromFlags(args, "sweep_grid");
     const bool sim = args.getBool("sim");
@@ -135,6 +144,7 @@ main(int argc, char **argv)
     const double target_ci = args.getDouble("target-ci");
     const bool forensics = args.getBool("forensics");
     const std::uint64_t max_points = args.getUint("max-points");
+    const bool shared_seed = args.getBool("shared-seed");
 
     // The engine publishes sweep.points_ok / sweep.points_failed /
     // sweep.point_retries / sweep.interrupted here; the ObsSession
@@ -172,61 +182,106 @@ main(int argc, char **argv)
     const std::size_t columns = headers.size();
     Table csv(headers);
 
-    const auto result = runCsvSweep(
+    auto reqFor = [&](std::size_t index) {
+        const GridPoint &g = grid[index];
+        EvalRequest req;
+        req.bankBits = g.bankBits;
+        req.memoryTime = g.memoryTime;
+        req.blockingFactor = g.blockingFactor;
+        req.pDoubleStream = paperWorkload().pDoubleStream;
+        req.sim = sim;
+        req.engine = *engine;
+        req.targetCi = target_ci;
+        // Per-point seed: a function of --seed and the grid position
+        // only, so the draw never depends on which worker ran the
+        // point.  --shared-seed drops the index fold so points that
+        // differ only in t_m share a workload (and can batch).
+        req.seed = shared_seed ? opts.seed
+                               : opts.seed + 1000003 * (index + 1);
+        return req;
+    };
+
+    // Rendered from the EvalResult alone, so a batched and a solo
+    // evaluation of the same point produce the same bytes.
+    auto rowFor = [&](std::size_t index, const EvalRequest &req,
+                      const EvalResult &s) {
+        const GridPoint &g = grid[index];
+        CsvRow row{"ok",
+                   Table::format(std::uint64_t{1} << g.bankBits),
+                   Table::format(g.memoryTime),
+                   Table::format(g.blockingFactor),
+                   Table::format(g.blockingFactor),
+                   Table::format(req.pDoubleStream),
+                   Table::format(s.modelMm),
+                   Table::format(s.modelDirect),
+                   Table::format(s.modelPrime)};
+        if (sim) {
+            row.push_back(Table::format(s.simMm));
+            row.push_back(Table::format(s.simDirect));
+            row.push_back(Table::format(s.simPrime));
+            if (sampled) {
+                row.push_back(Table::format(s.mmCi));
+                row.push_back(Table::format(s.directCi));
+                row.push_back(Table::format(s.primeCi));
+            }
+            if (forensics) {
+                const auto f = classifyPoint(evalMachine(req),
+                                             g.blockingFactor,
+                                             req.pDoubleStream,
+                                             req.seed);
+                row.push_back(Table::format(f.direct.compulsory));
+                row.push_back(Table::format(f.direct.capacity));
+                row.push_back(Table::format(f.direct.conflict));
+                row.push_back(Table::format(f.prime.compulsory));
+                row.push_back(Table::format(f.prime.capacity));
+                row.push_back(Table::format(f.prime.conflict));
+                row.push_back(Table::format(f.reuseP50));
+                row.push_back(Table::format(f.reuseP99));
+            }
+        }
+        return row;
+    };
+
+    // Shared-workload groups: points whose requests replay the same
+    // op stream batch into one trace pass.  The map is keyed by the
+    // workload identity, so with per-index seeds every group is a
+    // singleton and the sweep engine takes the solo path throughout.
+    SweepGroups groups;
+    {
+        std::map<std::string, std::size_t> group_of;
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            const std::string key = workloadKey(reqFor(i));
+            const auto [it, fresh] =
+                group_of.try_emplace(key, groups.size());
+            if (fresh)
+                groups.emplace_back();
+            groups[it->second].push_back(i);
+        }
+    }
+
+    const auto result = runCsvSweepBatched(
         grid.size(),
         [&](std::size_t index, SweepWorker &w) {
-            const GridPoint &g = grid[index];
-            EvalRequest req;
-            req.bankBits = g.bankBits;
-            req.memoryTime = g.memoryTime;
-            req.blockingFactor = g.blockingFactor;
-            req.pDoubleStream = paperWorkload().pDoubleStream;
-            req.sim = sim;
-            req.engine = *engine;
-            req.targetCi = target_ci;
-            // Per-point seed: a function of --seed and the grid
-            // position only, so the draw never depends on which
-            // worker ran the point.
-            req.seed = opts.seed + 1000003 * (index + 1);
-
+            const EvalRequest req = reqFor(index);
             // .value() rethrows evaluation errors as VcError, which
             // the sweep boundary turns into retries / a failed row.
             const EvalResult s = evaluatePoint(req, &w.cancel).value();
-
-            CsvRow row{"ok",
-                       Table::format(std::uint64_t{1} << g.bankBits),
-                       Table::format(g.memoryTime),
-                       Table::format(g.blockingFactor),
-                       Table::format(g.blockingFactor),
-                       Table::format(req.pDoubleStream),
-                       Table::format(s.modelMm),
-                       Table::format(s.modelDirect),
-                       Table::format(s.modelPrime)};
-            if (sim) {
-                row.push_back(Table::format(s.simMm));
-                row.push_back(Table::format(s.simDirect));
-                row.push_back(Table::format(s.simPrime));
-                if (sampled) {
-                    row.push_back(Table::format(s.mmCi));
-                    row.push_back(Table::format(s.directCi));
-                    row.push_back(Table::format(s.primeCi));
-                }
-                if (forensics) {
-                    const auto f =
-                        classifyPoint(evalMachine(req),
-                                      g.blockingFactor,
-                                      req.pDoubleStream, req.seed);
-                    row.push_back(Table::format(f.direct.compulsory));
-                    row.push_back(Table::format(f.direct.capacity));
-                    row.push_back(Table::format(f.direct.conflict));
-                    row.push_back(Table::format(f.prime.compulsory));
-                    row.push_back(Table::format(f.prime.capacity));
-                    row.push_back(Table::format(f.prime.conflict));
-                    row.push_back(Table::format(f.reuseP50));
-                    row.push_back(Table::format(f.reuseP99));
-                }
+            return rowFor(index, req, s);
+        },
+        [&](std::span<const std::size_t> indices, SweepWorker &w) {
+            std::vector<EvalRequest> reqs;
+            reqs.reserve(indices.size());
+            for (const std::size_t index : indices)
+                reqs.push_back(reqFor(index));
+            const auto evaluated =
+                evaluateBatch(reqs, {}, &w.cancel);
+            std::vector<std::optional<CsvRow>> rows(indices.size());
+            for (std::size_t k = 0; k < indices.size(); ++k) {
+                if (evaluated[k].ok())
+                    rows[k] = rowFor(indices[k], reqs[k],
+                                     evaluated[k].value());
             }
-            return row;
+            return rows;
         },
         [&](const PointFailure &f) {
             // Keep the CSV rectangular: the grid coordinates are
@@ -241,7 +296,7 @@ main(int argc, char **argv)
             row.resize(columns, "nan");
             return row;
         },
-        opts);
+        groups, opts);
     if (!result.ok())
         vc_fatal(result.error().describe());
 

@@ -127,6 +127,12 @@ def main(argv: list[str]) -> None:
             rate_of("BM_BatchedCcSimulator/scalar_nogang"),
         "mm_batched_scalar_nogang_elements_per_s":
             rate_of("BM_BatchedMmSimulator/scalar_nogang"),
+        # Shared-trace multi-point evaluation (one workload key, a
+        # t_m column of cache configs) next to a loop of independent
+        # evaluatePoint calls; CI gates the batch/pointwise ratio.
+        "batch_eval_points_per_s": rate_of("BM_BatchEval/batched"),
+        "pointwise_eval_points_per_s":
+            rate_of("BM_BatchEval/pointwise"),
         # SMARTS-style sampled engine on long batching-refused traces
         # (skewed bank mapping / XOR cache), next to forced scalar
         # replay of the same trace; CI gates the sampled/scalar ratio.

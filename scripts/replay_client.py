@@ -73,6 +73,36 @@ def build_mix(profile, count, seed):
     return requests
 
 
+def build_burst_mix(count, burst, seed):
+    """Bursts of `burst` distinct sim points sharing a workload key.
+
+    Within one burst only the cache-size multiplier tm varies: the
+    trace parameters (m, B, pds, seed) are identical, so a batching
+    server can drain a whole burst into a single shared-trace
+    evaluation.  Successive bursts rotate the seed so neither the
+    memo nor in-flight coalescing can short-circuit them.
+    """
+    requests = []
+    i = 0
+    burst_no = 0
+    while i < count:
+        burst_seed = seed + burst_no
+        for j in range(min(burst, count - i)):
+            point = {
+                "op": "eval",
+                "id": f"r{i}",
+                "m": 6,
+                "tm": j + 1,
+                "B": 256,
+                "sim": True,
+                "seed": burst_seed,
+            }
+            requests.append((json.dumps(point), "eval"))
+            i += 1
+        burst_no += 1
+    return requests
+
+
 class Worker(threading.Thread):
     """One connection driving its share of the mix with pipelining."""
 
@@ -214,6 +244,16 @@ def main():
     )
     parser.add_argument("--timeout", type=float, default=60.0)
     parser.add_argument(
+        "--burst-compatible",
+        type=int,
+        default=0,
+        metavar="N",
+        help="replace the profile mix with bursts of N distinct "
+        "simulation points sharing one workload key (same m/B/pds/"
+        "seed, varying tm), pipelined so the server queue "
+        "accumulates batchable requests; implies --window >= N",
+    )
+    parser.add_argument(
         "--min-rps",
         type=float,
         default=0.0,
@@ -241,7 +281,13 @@ def main():
     )
     args = parser.parse_args()
 
-    mix = build_mix(args.profile, args.requests, args.seed)
+    if args.burst_compatible > 0:
+        mix = build_burst_mix(
+            args.requests, args.burst_compatible, args.seed
+        )
+        args.window = max(args.window, args.burst_compatible)
+    else:
+        mix = build_mix(args.profile, args.requests, args.seed)
     shard = max(1, len(mix) // args.connections)
     workers = [
         Worker(

@@ -338,6 +338,8 @@ parseRequest(const std::string &line)
         req.verb = Verb::Hello;
     } else if (op_name.value() == "stats") {
         req.verb = Verb::Stats;
+    } else if (op_name.value() == "metrics") {
+        req.verb = Verb::Metrics;
     } else if (op_name.value() == "shutdown") {
         req.verb = Verb::Shutdown;
     } else if (op_name.value() == "eval") {
@@ -533,6 +535,30 @@ renderStats(const std::map<std::string, std::uint64_t> &counters)
                "\":" + std::to_string(value);
     }
     return out + "}}";
+}
+
+std::string
+renderPrometheusText(
+    const std::map<std::string, std::uint64_t> &counters)
+{
+    std::string out;
+    for (const auto &[name, value] : counters) {
+        std::string metric = "vcache_";
+        for (const char c : name)
+            metric.push_back(c == '.' ? '_' : c);
+        out += "# TYPE " + metric + " counter\n";
+        out += metric + " " + std::to_string(value) + "\n";
+    }
+    return out;
+}
+
+std::string
+renderMetrics(const std::map<std::string, std::uint64_t> &counters)
+{
+    std::string out = "{\"ok\":true,\"op\":\"metrics\","
+                      "\"format\":\"prometheus\",\"text\":\"";
+    out += jsonEscape(renderPrometheusText(counters));
+    return out + "\"}";
 }
 
 std::string

@@ -10,6 +10,7 @@
  *    "seed":1,"sim":true,"engine":"auto","ci":0.03,
  *    "deadline_ms":500}
  *   {"op":"stats"}
+ *   {"op":"metrics"}
  *   {"op":"shutdown"}
  *
  * Every eval field is optional and defaults to the paper point (see
@@ -54,6 +55,7 @@ enum class Verb
     Hello,
     Eval,
     Stats,
+    Metrics,
     Shutdown,
 };
 
@@ -105,6 +107,25 @@ std::string renderHello();
 /** Stats response from a name -> value snapshot. */
 std::string
 renderStats(const std::map<std::string, std::uint64_t> &counters);
+
+/**
+ * Prometheus text exposition (version 0.0.4) of a counter snapshot:
+ * one "# TYPE <name> counter" line and one sample per counter, names
+ * prefixed "vcache_" with '.' replaced by '_' (Prometheus metric
+ * names reject dots).  The trailing newline the format requires is
+ * included.
+ */
+std::string renderPrometheusText(
+    const std::map<std::string, std::uint64_t> &counters);
+
+/**
+ * "metrics" response: the Prometheus text carried in a JSON envelope
+ * ({"ok":true,"op":"metrics","format":"prometheus","text":"..."}),
+ * so the wire stays one JSON object per line.  Scrapers unwrap the
+ * "text" field; tools/vcache_serve --metrics-out writes it raw.
+ */
+std::string renderMetrics(
+    const std::map<std::string, std::uint64_t> &counters);
 
 /** Acknowledgement of an admin shutdown request. */
 std::string renderShutdownAck();

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/histogram.hh"
 #include "obs/registry.hh"
 #include "serve/proto.hh"
 #include "sim/cancel.hh"
@@ -37,14 +38,18 @@ constexpr std::size_t kMaxLineBytes = 1 << 20;
 /**
  * SIGINT/SIGTERM latch for the graceful drain.  The handler only
  * sets the flag (async-signal-safe); a monitor thread turns it into
- * requestShutdown().
+ * requestShutdown().  A lock-free atomic rather than volatile
+ * sig_atomic_t because the reader is a *different thread*, not the
+ * interrupted one — volatile alone is a cross-thread data race.
  */
-volatile std::sig_atomic_t g_serve_signal = 0;
+std::atomic<int> g_serve_signal{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free flag");
 
 void
 serveSignalHandler(int)
 {
-    g_serve_signal = 1;
+    g_serve_signal.store(1, std::memory_order_relaxed);
 }
 
 /** One client connection; writers serialize on write_mtx. */
@@ -65,22 +70,38 @@ struct Job
     ConnPtr conn;
     std::string id;
     EvalRequest eval;
+    /**
+     * Workload identity (sim/evaluate.hh workloadKey), computed once
+     * at admission: a worker wakeup drains only same-key neighbours
+     * into its batch, because only they share a trace pass.
+     */
+    std::string wkey;
     bool hasDeadline = false;
     Clock::time_point deadline{};
 };
 
 /**
- * Per-worker cancellation state, scanned by the deadline watchdog.
+ * Per-request cancellation state, scanned by the deadline watchdog.
  * Epoch-tagged exactly like the sweep's: the watchdog cancels only
  * the epoch it snapshotted, so a deadline firing as a point
  * completes can never leak into the worker's next point.
  */
-struct WorkerSlot
+struct WorkerEntry
 {
     CancelToken token;
     /** Deadline as ns since the clock epoch; 0 = none armed. */
     std::atomic<std::int64_t> deadlineNs{0};
     std::atomic<std::uint64_t> snapshot{0};
+};
+
+/**
+ * One worker's cancellation entries: entry k guards the k-th request
+ * of the batch the worker is evaluating (a solo request uses entry
+ * 0), so each request in a batch keeps its own deadline.
+ */
+struct WorkerSlot
+{
+    std::vector<WorkerEntry> entries;
 };
 
 std::int64_t
@@ -129,6 +150,11 @@ class EvalServer::Impl
                 ? opts.threads
                 : std::max(1u, std::thread::hardware_concurrency());
         slots = std::make_unique<WorkerSlot[]>(workers);
+        const std::size_t batch_max = std::max<std::size_t>(
+            1, opts.batchMax);
+        for (unsigned i = 0; i < workers; ++i)
+            slots[i].entries =
+                std::vector<WorkerEntry>(batch_max);
         worker_threads.reserve(workers);
         for (unsigned i = 0; i < workers; ++i)
             worker_threads.emplace_back(
@@ -189,6 +215,12 @@ class EvalServer::Impl
         out["serve.connections"] = connections.load();
         out["serve.accept_faults"] = accept_faults.load();
         out["serve.queue_peak"] = queue_peak.load();
+        out["serve.batched"] = batched.load();
+        out["serve.batches"] = batches.load();
+        {
+            std::lock_guard<std::mutex> lock(batch_hist_mtx);
+            out["serve.batch_size_max"] = batch_hist.max();
+        }
         {
             std::lock_guard<std::mutex> lock(queue_mtx);
             out["serve.queue_depth"] = queue.size();
@@ -208,6 +240,17 @@ class EvalServer::Impl
     }
 
     const MemoStore &memo() const { return *memo_store; }
+
+    void
+    publishBatchHistogram(ObsRegistry &registry) const
+    {
+        std::lock_guard<std::mutex> lock(batch_hist_mtx);
+        registry
+            .histogram("serve.batch_size",
+                       "requests per multi-request batched "
+                       "evaluation")
+            .merge(batch_hist);
+    }
 
   private:
     // -----------------------------------------------------------------
@@ -390,6 +433,9 @@ class EvalServer::Impl
           case Verb::Stats:
             writeLine(conn, renderStats(statsSnapshot()));
             return;
+          case Verb::Metrics:
+            writeLine(conn, renderMetrics(statsSnapshot()));
+            return;
           case Verb::Shutdown:
             if (!opts.allowRemoteShutdown) {
                 writeLine(conn,
@@ -423,6 +469,7 @@ class EvalServer::Impl
         job.conn = conn;
         job.id = std::move(req.id);
         job.eval = req.eval;
+        job.wkey = workloadKey(req.eval);
         const std::uint64_t deadline_ms =
             req.deadlineMs > 0 ? req.deadlineMs
                                : opts.defaultDeadlineMs;
@@ -440,6 +487,16 @@ class EvalServer::Impl
                 queue.size() < opts.queueDepth) {
                 queue.push_back(std::move(job));
                 admitted = true;
+                // Monotone-max update.  The CAS loop is the standard
+                // fetch-max: a failed compare_exchange_weak reloads
+                // `peak`, and the loop exits as soon as another
+                // admitter has published an equal-or-higher peak, so
+                // the counter can only grow and never regresses
+                // under concurrent admits.  Admission itself holds
+                // queue_mtx, but statsSnapshot reads queue_peak
+                // without it -- the atomic is for that reader, and
+                // the loop stays correct even if admission ever
+                // stops serializing.
                 const std::uint64_t depth = queue.size();
                 std::uint64_t peak = queue_peak.load();
                 while (depth > peak &&
@@ -448,7 +505,7 @@ class EvalServer::Impl
                 }
             }
         } catch (const VcError &) {
-            // An injected queue fault shes this request, nothing
+            // An injected queue fault sheds this request, nothing
             // else.
             admitted = false;
         }
@@ -478,7 +535,7 @@ class EvalServer::Impl
     workerLoop(WorkerSlot &slot)
     {
         for (;;) {
-            Job job;
+            std::vector<Job> jobs;
             {
                 std::unique_lock<std::mutex> lock(queue_mtx);
                 queue_cv.wait(lock, [this] {
@@ -486,107 +543,192 @@ class EvalServer::Impl
                 });
                 if (queue.empty())
                     return; // draining and nothing left: exit
-                job = std::move(queue.front());
+                jobs.push_back(std::move(queue.front()));
                 queue.pop_front();
+                // Drain queued neighbours with the same workload key
+                // into this wakeup: they share one trace pass.  The
+                // scan keeps relative queue order for both the taken
+                // and the left-behind jobs, so no request is
+                // reordered past a compatible one.
+                const std::size_t batch_max = slot.entries.size();
+                for (auto it = queue.begin();
+                     it != queue.end() &&
+                     jobs.size() < batch_max;) {
+                    if (it->wkey == jobs.front().wkey) {
+                        jobs.push_back(std::move(*it));
+                        it = queue.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
             }
-            process(std::move(job), slot);
+            process(std::move(jobs), slot);
         }
     }
 
     void
-    process(Job job, WorkerSlot &slot)
+    process(std::vector<Job> jobs, WorkerSlot &slot)
     {
-        if (job.hasDeadline && Clock::now() >= job.deadline) {
-            deadline_exceeded.fetch_add(1);
-            eval_error.fetch_add(1);
-            writeLine(job.conn,
-                      renderError(job.id,
-                                  makeError(Errc::Timeout,
-                                            "deadline expired while "
-                                            "queued")));
-            return;
-        }
-
-        const std::string canonical = canonicalEvalRequest(job.eval);
-        const std::uint64_t key = fnv1a64(canonical);
-
-        if (auto hit = memo_store->lookup(key, canonical)) {
-            eval_ok.fetch_add(1);
-            writeLine(job.conn, renderEvalOk(job.id, key, *hit,
-                                             /*cached=*/true,
-                                             /*coalesced=*/false));
-            return;
-        }
-
-        {
-            // Coalesce with an identical in-flight computation: the
-            // first requester computes, the rest wait for its bytes.
-            std::lock_guard<std::mutex> lock(inflight_mtx);
-            const auto it = inflight.find(key);
-            if (it != inflight.end()) {
-                it->second.push_back(std::move(job));
-                return;
+        // Per-request admission-era treatment, exactly as a solo
+        // wakeup would apply it: queued-deadline expiry, memo hits
+        // and in-flight coalescing each retire a request before it
+        // costs any evaluation.  Survivors carry their memo key.
+        std::vector<Job> live;
+        std::vector<std::uint64_t> keys;
+        live.reserve(jobs.size());
+        keys.reserve(jobs.size());
+        for (Job &job : jobs) {
+            if (job.hasDeadline && Clock::now() >= job.deadline) {
+                deadline_exceeded.fetch_add(1);
+                eval_error.fetch_add(1);
+                writeLine(job.conn,
+                          renderError(job.id,
+                                      makeError(
+                                          Errc::Timeout,
+                                          "deadline expired while "
+                                          "queued")));
+                continue;
             }
-            inflight.emplace(key, std::vector<Job>{});
+
+            const std::string canonical =
+                canonicalEvalRequest(job.eval);
+            const std::uint64_t key = fnv1a64(canonical);
+
+            if (auto hit = memo_store->lookup(key, canonical)) {
+                eval_ok.fetch_add(1);
+                writeLine(job.conn,
+                          renderEvalOk(job.id, key, *hit,
+                                       /*cached=*/true,
+                                       /*coalesced=*/false));
+                continue;
+            }
+
+            {
+                // Coalesce with an identical in-flight computation:
+                // the first requester computes, the rest wait for
+                // its bytes.  Two identical requests in this very
+                // batch coalesce the same way -- the first one
+                // registers, the second parks behind it.
+                std::lock_guard<std::mutex> lock(inflight_mtx);
+                const auto it = inflight.find(key);
+                if (it != inflight.end()) {
+                    it->second.push_back(std::move(job));
+                    continue;
+                }
+                inflight.emplace(key, std::vector<Job>{});
+            }
+            live.push_back(std::move(job));
+            keys.push_back(key);
+        }
+        if (live.empty())
+            return;
+
+        if (live.size() > 1) {
+            batched.fetch_add(live.size());
+            batches.fetch_add(1);
+            std::lock_guard<std::mutex> lock(batch_hist_mtx);
+            batch_hist.add(live.size());
         }
 
-        // Arm the deadline watchdog for this evaluation only.
-        slot.token.beginEpoch();
-        slot.snapshot.store(slot.token.snapshot(),
-                            std::memory_order_release);
-        slot.deadlineNs.store(job.hasDeadline ? toNs(job.deadline)
-                                              : 0,
-                              std::memory_order_release);
-
-        Expected<EvalResult> result = [&]() -> Expected<EvalResult> {
+        // The serve.evaluate fault site fires once per request,
+        // before the batch runs, so an armed plan's hit counts stay
+        // per-request; a tripped site costs that request alone.
+        std::vector<Expected<EvalResult>> results;
+        results.reserve(live.size());
+        std::vector<const EvalRequest *> surviving;
+        std::vector<const CancelToken *> cancels;
+        std::vector<std::size_t> survivor_of;
+        for (std::size_t k = 0; k < live.size(); ++k) {
+            results.emplace_back(
+                makeError(Errc::InternalInvariant,
+                          "request never evaluated"));
             try {
                 VCACHE_FAULT_POINT("serve.evaluate");
-                return evaluatePoint(job.eval, &slot.token);
             } catch (const VcError &e) {
-                return e.error();
-            } catch (const std::exception &e) {
-                return makeError(Errc::InternalInvariant,
-                                 std::string("evaluator: ") +
-                                     e.what());
+                results[k] = e.error();
+                continue;
             }
-        }();
-        slot.deadlineNs.store(0, std::memory_order_release);
-
-        std::string payload;
-        if (result.ok()) {
-            payload = renderResultPayload(job.eval, result.value());
-            memo_store->insert(key, canonical, payload);
+            // Arm this request's own deadline watchdog entry.
+            WorkerEntry &entry = slot.entries[k];
+            entry.token.beginEpoch();
+            entry.snapshot.store(entry.token.snapshot(),
+                                 std::memory_order_release);
+            entry.deadlineNs.store(
+                live[k].hasDeadline ? toNs(live[k].deadline) : 0,
+                std::memory_order_release);
+            surviving.push_back(&live[k].eval);
+            cancels.push_back(&entry.token);
+            survivor_of.push_back(k);
         }
 
-        std::vector<Job> waiters;
-        {
-            std::lock_guard<std::mutex> lock(inflight_mtx);
-            const auto it = inflight.find(key);
-            if (it != inflight.end()) {
-                waiters = std::move(it->second);
-                inflight.erase(it);
+        if (!surviving.empty()) {
+            std::vector<EvalRequest> reqs;
+            reqs.reserve(surviving.size());
+            for (const EvalRequest *req : surviving)
+                reqs.push_back(*req);
+            auto evaluated = [&] {
+                try {
+                    return evaluateBatch(reqs, cancels);
+                } catch (const std::exception &e) {
+                    const Error err = makeError(
+                        Errc::InternalInvariant,
+                        std::string("evaluator: ") + e.what());
+                    return std::vector<Expected<EvalResult>>(
+                        reqs.size(), Expected<EvalResult>(err));
+                }
+            }();
+            for (std::size_t n = 0; n < survivor_of.size(); ++n) {
+                slot.entries[survivor_of[n]].deadlineNs.store(
+                    0, std::memory_order_release);
+                if (n < evaluated.size())
+                    results[survivor_of[n]] =
+                        std::move(evaluated[n]);
             }
         }
 
-        auto respond = [&](const Job &j, bool was_coalesced) {
+        for (std::size_t k = 0; k < live.size(); ++k) {
+            const Job &job = live[k];
+            const std::uint64_t key = keys[k];
+            const Expected<EvalResult> &result = results[k];
+
+            std::string payload;
             if (result.ok()) {
-                eval_ok.fetch_add(1);
-                writeLine(j.conn,
-                          renderEvalOk(j.id, key, payload,
-                                       /*cached=*/false,
-                                       was_coalesced));
-            } else {
-                if (result.error().code == Errc::Timeout)
-                    deadline_exceeded.fetch_add(1);
-                eval_error.fetch_add(1);
-                writeLine(j.conn,
-                          renderError(j.id, result.error()));
+                payload =
+                    renderResultPayload(job.eval, result.value());
+                memo_store->insert(key, canonicalEvalRequest(job.eval),
+                                   payload);
             }
-        };
-        respond(job, false);
-        for (const Job &waiter : waiters) {
-            coalesced.fetch_add(1);
-            respond(waiter, true);
+
+            std::vector<Job> waiters;
+            {
+                std::lock_guard<std::mutex> lock(inflight_mtx);
+                const auto it = inflight.find(key);
+                if (it != inflight.end()) {
+                    waiters = std::move(it->second);
+                    inflight.erase(it);
+                }
+            }
+
+            auto respond = [&](const Job &j, bool was_coalesced) {
+                if (result.ok()) {
+                    eval_ok.fetch_add(1);
+                    writeLine(j.conn,
+                              renderEvalOk(j.id, key, payload,
+                                           /*cached=*/false,
+                                           was_coalesced));
+                } else {
+                    if (result.error().code == Errc::Timeout)
+                        deadline_exceeded.fetch_add(1);
+                    eval_error.fetch_add(1);
+                    writeLine(j.conn,
+                              renderError(j.id, result.error()));
+                }
+            };
+            respond(job, false);
+            for (const Job &waiter : waiters) {
+                coalesced.fetch_add(1);
+                respond(waiter, true);
+            }
         }
     }
 
@@ -598,17 +740,18 @@ class EvalServer::Impl
                 std::chrono::milliseconds(5));
             const std::int64_t now = toNs(Clock::now());
             for (unsigned i = 0; i < workers; ++i) {
-                WorkerSlot &slot = slots[i];
-                const std::int64_t dl =
-                    slot.deadlineNs.load(std::memory_order_acquire);
-                if (dl != 0 && now >= dl) {
-                    // Epoch-checked: if the worker finished and
-                    // moved on between our load and this call, the
-                    // stale snapshot makes it a no-op.
-                    slot.token.requestCancelIf(
-                        slot.snapshot.load(
-                            std::memory_order_acquire),
-                        CancelToken::Reason::Timeout);
+                for (WorkerEntry &entry : slots[i].entries) {
+                    const std::int64_t dl = entry.deadlineNs.load(
+                        std::memory_order_acquire);
+                    if (dl != 0 && now >= dl) {
+                        // Epoch-checked: if the worker finished and
+                        // moved on between our load and this call,
+                        // the stale snapshot makes it a no-op.
+                        entry.token.requestCancelIf(
+                            entry.snapshot.load(
+                                std::memory_order_acquire),
+                            CancelToken::Reason::Timeout);
+                    }
                 }
             }
         }
@@ -634,7 +777,7 @@ class EvalServer::Impl
                 if (done || drain)
                     return;
             }
-            if (g_serve_signal) {
+            if (g_serve_signal.load(std::memory_order_relaxed)) {
                 inform("serve: signal received; draining");
                 requestShutdown();
                 return;
@@ -734,6 +877,13 @@ class EvalServer::Impl
     std::atomic<std::uint64_t> connections{0};
     std::atomic<std::uint64_t> accept_faults{0};
     std::atomic<std::uint64_t> queue_peak{0};
+    /** Requests evaluated as part of a multi-request batch. */
+    std::atomic<std::uint64_t> batched{0};
+    /** Multi-request evaluateBatch calls issued. */
+    std::atomic<std::uint64_t> batches{0};
+    /** Batch-size distribution (multi-request drains only). */
+    mutable std::mutex batch_hist_mtx;
+    Log2Histogram batch_hist;
 };
 
 EvalServer::EvalServer(std::unique_ptr<Impl> impl)
@@ -790,6 +940,7 @@ EvalServer::publishStats(ObsRegistry &registry) const
     for (const auto &[name, value] : impl->statsSnapshot())
         registry.counter(name, "serve counter (see serve/server.hh)") +=
             value;
+    impl->publishBatchHistogram(registry);
 }
 
 const MemoStore &

@@ -22,6 +22,10 @@
  *    that races a completing point can never kill the next one.
  *  - In-flight identical requests coalesce: N clients asking for the
  *    same key while it computes cost one evaluation.
+ *  - Distinct queued requests that share a workload key drain into
+ *    one batched evaluation (sim/evaluate.hh evaluateBatch): one
+ *    trace pass feeds up to batchMax configs, with responses
+ *    byte-identical to solo evaluation.
  *  - SIGTERM/SIGINT (or an admin "shutdown" request) drain
  *    gracefully: stop accepting, finish in-flight work, flush the
  *    memo journal, then exit.
@@ -60,6 +64,14 @@ struct ServerOptions
     unsigned threads = 0;
     /** Admission-queue capacity; past it the server sheds load. */
     std::size_t queueDepth = 256;
+    /**
+     * Most queued requests one worker wakeup drains into a single
+     * evaluateBatch() call.  Only requests with the same workload key
+     * (sim/evaluate.hh workloadKey) batch together -- they share one
+     * trace pass -- and every request keeps its own deadline, fault
+     * point and memo/coalescing treatment.  1 disables batching.
+     */
+    std::size_t batchMax = 8;
     /** Deadline applied when a request carries none; 0 = none. */
     std::uint64_t defaultDeadlineMs = 0;
     /** Back-off hint sent with "Overloaded" responses. */

@@ -1,13 +1,16 @@
 #include "sim/evaluate.hh"
 
 #include <charconv>
+#include <map>
 
 #include "analytic/model.hh"
 #include "sim/cc_sim.hh"
+#include "sim/gang.hh"
 #include "sim/runner.hh"
 #include "sim/sampling.hh"
 #include "trace/source.hh"
 #include "trace/vcm.hh"
+#include "util/faultinject.hh"
 
 namespace vcache
 {
@@ -37,6 +40,7 @@ vcmPoint(const EvalRequest &req)
 /** Sampled-engine path: materialized traces, CI-targeted estimates. */
 Expected<void>
 runSampled(const EvalRequest &req, const MachineParams &machine,
+           const Trace &mm_trace, const Trace &cc_trace,
            const CancelToken *cancel, EvalResult &out)
 {
     SamplingOptions opts;
@@ -44,17 +48,12 @@ runSampled(const EvalRequest &req, const MachineParams &machine,
     opts.seed = req.seed;
     opts.cancel = cancel;
 
-    VcmParams p = vcmPoint(req);
-    p.maxStride = machine.banks();
-    const Trace mm_trace = generateVcmTrace(p, req.seed);
     const auto mm = sampleMm(machine, mm_trace, opts);
     if (!mm.ok())
         return mm.error();
     out.simMm = mm.value().cyclesPerElement;
     out.mmCi = mm.value().ciHalfWidth;
 
-    p.maxStride = 8192;
-    const Trace cc_trace = generateVcmTrace(p, req.seed);
     const auto direct = sampleCc(
         machine, ccCacheConfig(machine, CacheScheme::Direct), cc_trace,
         opts);
@@ -78,9 +77,11 @@ Expected<void>
 runExact(const EvalRequest &req, const MachineParams &machine,
          const CancelToken *cancel, EvalResult &out)
 {
-    // Stream the workloads straight from the generators' RNG: no
-    // point ever materializes its trace (large-B points would
-    // otherwise allocate multi-megabyte vectors per evaluation).
+    // Stream the workloads straight from the generators' RNG: a solo
+    // point never materializes its trace.  Batches *do* materialize
+    // (once per workload, into a TraceArena); generateVcmTrace()
+    // drains this same source, so the two forms replay identical op
+    // streams by construction.
     try {
         VcmParams p = vcmPoint(req);
         p.maxStride = machine.banks();
@@ -100,6 +101,46 @@ runExact(const EvalRequest &req, const MachineParams &machine,
     out.simDirect = out.direct.cyclesPerResult();
     out.simPrime = out.prime.cyclesPerResult();
     return {};
+}
+
+/** runExact over a materialized arena: same sims, same order. */
+Expected<void>
+runExactArena(const EvalRequest &req, const MachineParams &machine,
+              const TraceArena &arena, const CancelToken *cancel,
+              EvalResult &out)
+{
+    try {
+        TraceVectorSource mm_source(arena.mm);
+        out.mm = simulateMm(machine, mm_source, cancel, req.engine);
+        TraceVectorSource cc_source(arena.cc);
+        out.direct = simulateCc(machine, CacheScheme::Direct,
+                                cc_source, cancel, req.engine);
+        cc_source.reset();
+        out.prime = simulateCc(machine, CacheScheme::Prime, cc_source,
+                               cancel, req.engine);
+    } catch (const VcError &e) {
+        return Expected<void>(e.error());
+    }
+    out.simMm = out.mm.cyclesPerResult();
+    out.simDirect = out.direct.cyclesPerResult();
+    out.simPrime = out.prime.cyclesPerResult();
+    return {};
+}
+
+/** The analytic third of a result (always computed, sim or not). */
+void
+fillModels(const EvalRequest &req, const MachineParams &machine,
+           EvalResult &out)
+{
+    const WorkloadParams workload = evalWorkload(req);
+    out.modelMm = evaluate(MachineKind::MemoryOnly, machine, workload)
+                      .cyclesPerResult;
+    out.modelDirect =
+        evaluate(MachineKind::DirectCache, machine, workload)
+            .cyclesPerResult;
+    out.modelPrime =
+        evaluate(MachineKind::PrimeCache, machine, workload)
+            .cyclesPerResult;
 }
 
 } // namespace
@@ -216,25 +257,194 @@ evaluatePoint(const EvalRequest &req, const CancelToken *cancel)
         return valid.error();
 
     const MachineParams machine = evalMachine(req);
-    const WorkloadParams workload = evalWorkload(req);
-
     EvalResult out;
-    out.modelMm = evaluate(MachineKind::MemoryOnly, machine, workload)
-                      .cyclesPerResult;
-    out.modelDirect =
-        evaluate(MachineKind::DirectCache, machine, workload)
-            .cyclesPerResult;
-    out.modelPrime =
-        evaluate(MachineKind::PrimeCache, machine, workload)
-            .cyclesPerResult;
+    fillModels(req, machine, out);
     if (!req.sim)
         return out;
 
-    const auto ran = req.engine == SimEngine::Sampled
-                         ? runSampled(req, machine, cancel, out)
-                         : runExact(req, machine, cancel, out);
+    if (req.engine == SimEngine::Sampled) {
+        // The sampled engine needs materialized traces anyway; build
+        // this point's private arena.
+        const TraceArena arena = buildTraceArena(req);
+        if (auto ran = runSampled(req, machine, arena.mm, arena.cc,
+                                  cancel, out);
+            !ran.ok())
+            return ran.error();
+        return out;
+    }
+    if (auto ran = runExact(req, machine, cancel, out); !ran.ok())
+        return ran.error();
+    return out;
+}
+
+std::string
+workloadKey(const EvalRequest &req)
+{
+    if (!req.sim)
+        return "vc-wl/1 model";
+    std::string out = "vc-wl/1 vcm";
+    out += " m=" + std::to_string(req.bankBits);
+    out += " B=" + std::to_string(req.blockingFactor);
+    out += " pds=" + canonicalDouble(req.pDoubleStream);
+    out += " seed=" + std::to_string(req.seed);
+    return out;
+}
+
+TraceArena
+buildTraceArena(const EvalRequest &req)
+{
+    const MachineParams machine = evalMachine(req);
+    VcmParams p = vcmPoint(req);
+    TraceArena arena;
+    p.maxStride = machine.banks();
+    arena.mm = generateVcmTrace(p, req.seed);
+    p.maxStride = 8192;
+    arena.cc = generateVcmTrace(p, req.seed);
+    return arena;
+}
+
+Expected<EvalResult>
+evaluatePoint(const EvalRequest &req, const TraceArena &arena,
+              const CancelToken *cancel)
+{
+    if (auto valid = validateEvalRequest(req); !valid.ok())
+        return valid.error();
+
+    const MachineParams machine = evalMachine(req);
+    EvalResult out;
+    fillModels(req, machine, out);
+    if (!req.sim)
+        return out;
+
+    const auto ran =
+        req.engine == SimEngine::Sampled
+            ? runSampled(req, machine, arena.mm, arena.cc, cancel,
+                         out)
+            : runExactArena(req, machine, arena, cancel, out);
     if (!ran.ok())
         return ran.error();
+    return out;
+}
+
+std::vector<Expected<EvalResult>>
+evaluateBatch(std::span<const EvalRequest> reqs,
+              std::span<const CancelToken *const> cancels,
+              const CancelToken *cancel)
+{
+    std::vector<Expected<EvalResult>> out;
+    out.reserve(reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i)
+        out.emplace_back(makeError(Errc::InternalInvariant,
+                                   "batch slot never evaluated"));
+
+    auto tokenOf = [&](std::size_t i) {
+        const CancelToken *own =
+            cancels.empty() ? nullptr : cancels[i];
+        return own ? own : cancel;
+    };
+
+    // Group valid requests by workload key, input order preserved
+    // within each group (results land by index, so group order never
+    // shows in the output).
+    std::map<std::string, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (auto valid = validateEvalRequest(reqs[i]); !valid.ok()) {
+            out[i] = valid.error();
+            continue;
+        }
+        groups[workloadKey(reqs[i])].push_back(i);
+    }
+
+    for (const auto &[key, members] : groups) {
+        const EvalRequest &first = reqs[members.front()];
+        if (!first.sim) {
+            // Model-only: no trace, nothing to share.
+            for (const std::size_t i : members)
+                out[i] = evaluatePoint(reqs[i], tokenOf(i));
+            continue;
+        }
+
+        const TraceArena arena = buildTraceArena(first);
+
+        // The sampled engine drives its own unit scheduler; it shares
+        // the arena but not the gang pass.
+        std::vector<std::size_t> exact;
+        exact.reserve(members.size());
+        for (const std::size_t i : members) {
+            if (reqs[i].engine == SimEngine::Sampled)
+                out[i] = evaluatePoint(reqs[i], arena, tokenOf(i));
+            else
+                exact.push_back(i);
+        }
+
+        // An armed fault plan needs every memory.bank.issue hit
+        // attributable to one request: gang lanes interleave their
+        // issues inside one pass, so fall back to per-point order
+        // (the batched MM engine's own rule).
+        const bool faulted = faults::kEnabled && faults::activeCheap();
+        if (exact.size() < 2 || faulted) {
+            for (const std::size_t i : exact)
+                out[i] = evaluatePoint(reqs[i], arena, tokenOf(i));
+            continue;
+        }
+
+        // Gang path: models and the MM machine per request (t_m is
+        // woven through every MM bank horizon), then one shared
+        // functional pass per CC scheme.
+        std::vector<EvalResult> partial(exact.size());
+        std::vector<bool> failed(exact.size(), false);
+        std::vector<GangLane> lanes;
+        std::vector<std::size_t> laneIdx;
+        lanes.reserve(exact.size());
+        laneIdx.reserve(exact.size());
+        for (std::size_t k = 0; k < exact.size(); ++k) {
+            const std::size_t i = exact[k];
+            const MachineParams machine = evalMachine(reqs[i]);
+            fillModels(reqs[i], machine, partial[k]);
+            try {
+                TraceVectorSource mm_source(arena.mm);
+                partial[k].mm = simulateMm(machine, mm_source,
+                                           tokenOf(i),
+                                           reqs[i].engine);
+                partial[k].simMm = partial[k].mm.cyclesPerResult();
+            } catch (const VcError &e) {
+                out[i] = e.error();
+                failed[k] = true;
+                continue;
+            }
+            lanes.push_back(GangLane{reqs[i].memoryTime, tokenOf(i)});
+            laneIdx.push_back(k);
+        }
+
+        if (lanes.empty())
+            continue;
+        const MachineParams base = evalMachine(first);
+        TraceVectorSource cc_source(arena.cc);
+        const auto direct = simulateCcGang(base, CacheScheme::Direct,
+                                           cc_source, lanes);
+        cc_source.reset();
+        const auto prime = simulateCcGang(base, CacheScheme::Prime,
+                                          cc_source, lanes);
+
+        for (std::size_t n = 0; n < lanes.size(); ++n) {
+            const std::size_t k = laneIdx[n];
+            const std::size_t i = exact[k];
+            if (!direct[n].ok()) {
+                out[i] = direct[n].error();
+                continue;
+            }
+            if (!prime[n].ok()) {
+                out[i] = prime[n].error();
+                continue;
+            }
+            EvalResult r = partial[k];
+            r.direct = direct[n].value();
+            r.prime = prime[n].value();
+            r.simDirect = r.direct.cyclesPerResult();
+            r.simPrime = r.prime.cyclesPerResult();
+            out[i] = r;
+        }
+    }
     return out;
 }
 

@@ -21,13 +21,16 @@
 #define VCACHE_SIM_EVALUATE_HH
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "analytic/machine.hh"
 #include "sim/cancel.hh"
 #include "sim/engine.hh"
 #include "sim/result.hh"
+#include "trace/access.hh"
 #include "util/result.hh"
 
 namespace vcache
@@ -127,6 +130,67 @@ std::uint64_t evalRequestKey(const EvalRequest &req);
  */
 Expected<EvalResult> evaluatePoint(const EvalRequest &req,
                                    const CancelToken *cancel = nullptr);
+
+/**
+ * Workload identity of a request: every field that shapes the op
+ * stream the simulators replay -- trace kind, VCM tuple, seed, and
+ * the bank count (the MM workload's max stride is the bank count, so
+ * m is part of the *workload*, not just the machine).  t_m, engine
+ * and targetCi are deliberately absent: requests differing only in
+ * those replay the same ops, which is what batched evaluation
+ * amortizes.  Model-only requests read no trace and all share one
+ * key.
+ */
+std::string workloadKey(const EvalRequest &req);
+
+/**
+ * The materialized op streams of one workload key, built once and
+ * shared read-only by every request in a batch.  generateVcmTrace()
+ * drains the same VcmTraceSource the streaming path replays, so
+ * arena-fed evaluation is bit-identical to streamed evaluation by
+ * construction.
+ */
+struct TraceArena
+{
+    /** MM-machine workload (maxStride = banks). */
+    Trace mm;
+    /** CC-machine workload (maxStride = 8192). */
+    Trace cc;
+};
+
+/** Materialize the arena for a validated sim request's workload. */
+TraceArena buildTraceArena(const EvalRequest &req);
+
+/**
+ * evaluatePoint() against a pre-built arena.  `arena` must be
+ * buildTraceArena(req) of the same workload key; results are
+ * bit-identical to the streaming overload.
+ */
+Expected<EvalResult> evaluatePoint(const EvalRequest &req,
+                                   const TraceArena &arena,
+                                   const CancelToken *cancel = nullptr);
+
+/**
+ * Evaluate many points, materializing each distinct workload once and
+ * fanning the shared op stream out to every config that wants it: the
+ * CC simulations of an exact-engine group run as one gang pass
+ * (sim/gang.hh) instead of once per request.  Results come back in
+ * input order and are pinned bit-identical to per-point
+ * evaluatePoint() -- tests/sim/gang_test.cc holds the line.
+ *
+ * Per-request isolation: an invalid request, a tripped per-request
+ * token or a per-request failure yields an error at that index only.
+ * `cancels` is either empty or one (possibly null) token per request;
+ * `cancel` is a batch-wide fallback for requests without their own.
+ * When a fault-injection plan is armed the group falls back to
+ * per-point evaluation over the shared arena so every
+ * memory.bank.issue site hit stays attributable to one request (the
+ * same rule the batched MM engine applies).
+ */
+std::vector<Expected<EvalResult>>
+evaluateBatch(std::span<const EvalRequest> reqs,
+              std::span<const CancelToken *const> cancels = {},
+              const CancelToken *cancel = nullptr);
 
 } // namespace vcache
 

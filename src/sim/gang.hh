@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared-trace gang simulation: one functional pass over a workload
+ * feeds many CC-machine timing lanes at once.
+ *
+ * Every figure in the paper sweeps many cache organizations over the
+ * *same* workload, and for lanes that differ only in the memory time
+ * t_m the expensive half of a CC run is completely shared: with
+ * prefetching off, no observer attached and blocking misses (the
+ * paper's model), the cache never reads the clock, so the functional
+ * stream -- probe outcomes, evictions, the compulsory first-touch
+ * set, LRU/recency updates -- is identical for every t_m.  What
+ * differs per lane is pure timing arithmetic:
+ *
+ *   - hit:              clock += 1
+ *   - blocking miss:    clock += 1 + t_m, stall += t_m
+ *   - strip start-up:   clock += T_start(t_m) (warm strips credit t_m
+ *                       back, Equation (4))
+ *   - compulsory miss:  a bus grant + bank issue against the lane's
+ *                       own clock (the only place absolute time
+ *                       enters)
+ *   - store drain:      a write-bus reservation at the lane's clock
+ *
+ * The gang runner walks the op stream once, probing one shared cache,
+ * and accumulates the shared events (ops, strips, hits, blocking
+ * misses) as plain counts.  Lane clocks only materialize at the rare
+ * clock-coupled events -- compulsory misses and stores -- where the
+ * pending counts are flushed into every lane and each lane's own
+ * BusSet / InterleavedMemory replica is driven exactly as the
+ * element-wise simulator would drive it.  Each lane's SimResult is
+ * therefore bit-identical to a solo CcSimulator run of that t_m
+ * (Auto, Scalar and the gang all pin to the same element-wise
+ * semantics; tests/sim/gang_test.cc holds the line), at roughly the
+ * cost of one run instead of N.
+ *
+ * Restrictions (callers fall back to per-lane simulation otherwise):
+ * no prefetching, no observer, blocking misses only -- exactly the
+ * configuration evaluatePoint() uses.  The runner is also not a
+ * fault-injection boundary: lane bank issues interleave inside one
+ * pass, so armed fault plans must use per-point evaluation to keep
+ * site hit sequences attributable (the same rule the batched MM
+ * engine applies; see sim/evaluate.cc).
+ */
+
+#ifndef VCACHE_SIM_GANG_HH
+#define VCACHE_SIM_GANG_HH
+
+#include <span>
+#include <vector>
+
+#include "analytic/machine.hh"
+#include "cache/factory.hh"
+#include "sim/cancel.hh"
+#include "sim/result.hh"
+#include "trace/source.hh"
+#include "util/result.hh"
+
+namespace vcache
+{
+
+/** One timing lane of a shared-trace gang run. */
+struct GangLane
+{
+    /** Bank busy / memory access time t_m for this lane. */
+    std::uint64_t memoryTime = 16;
+    /**
+     * Optional per-lane cancellation, polled once per vector op like
+     * the solo simulator's token.  A tripped lane comes back as
+     * Errc::Timeout/Cancelled without disturbing the other lanes.
+     */
+    const CancelToken *cancel = nullptr;
+};
+
+/**
+ * Run `source` once against a single cache of `config` geometry and
+ * return, for each lane, the SimResult a solo CcSimulator with
+ * machine {base with memoryTime = lane.memoryTime} would produce on
+ * the same op stream.  `base.memoryTime` itself is ignored.  An empty
+ * lane list returns an empty vector without touching the source.
+ */
+std::vector<Expected<SimResult>>
+simulateCcGang(const MachineParams &base, const CacheConfig &config,
+               TraceSource &source, std::span<const GangLane> lanes);
+
+/** Scheme convenience: the paper's direct or prime cache. */
+std::vector<Expected<SimResult>>
+simulateCcGang(const MachineParams &base, CacheScheme scheme,
+               TraceSource &source, std::span<const GangLane> lanes);
+
+} // namespace vcache
+
+#endif // VCACHE_SIM_GANG_HH

@@ -203,13 +203,27 @@ clearSweepInterrupt()
     g_sweep_interrupt.store(0, std::memory_order_relaxed);
 }
 
+namespace
+{
+
+using BatchEval = std::function<std::vector<bool>(
+    std::span<const std::size_t>, SweepWorker &)>;
+
+/**
+ * Shared engine behind runSweep and runSweepBatched.  `groups` is
+ * null for the classic per-point sweep; otherwise it partitions
+ * [0, points) and workers claim whole groups, attempting multi-point
+ * ones through `batchEval` first.
+ */
 SweepOutcome
-runSweep(std::size_t points,
-         const std::function<void(std::size_t, SweepWorker &)> &eval,
-         const SweepOptions &opts)
+runSweepImpl(std::size_t points, const SweepGroups *groups,
+             const std::function<void(std::size_t, SweepWorker &)> &eval,
+             const BatchEval &batchEval, const SweepOptions &opts)
 {
     vc_assert(eval, "sweep needs a point evaluator");
     vc_assert(opts.maxAttempts > 0, "sweep needs at least one attempt");
+    if (groups && (!opts.batch || !batchEval))
+        groups = nullptr;
 
     unsigned jobs = opts.jobs ? opts.jobs : ThreadPool::defaultWorkers();
     if (points > 0 && jobs > points)
@@ -228,13 +242,17 @@ runSweep(std::size_t points,
         workers[w].id = w;
 
     // Dynamic point distribution: each runner pulls the next unclaimed
-    // index, so slow points do not stall a statically partitioned
-    // neighbour.  Result placement stays deterministic because the
-    // caller indexes by grid position.
+    // unit (a point, or a whole group when batching), so slow points
+    // do not stall a statically partitioned neighbour.  Result
+    // placement stays deterministic because the caller indexes by
+    // grid position.
+    const std::size_t units = groups ? groups->size() : points;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::atomic<std::size_t> ok_count{0};
     std::atomic<std::uint64_t> retry_count{0};
+    std::atomic<std::uint64_t> batched_points{0};
+    std::atomic<std::uint64_t> batched_groups{0};
     std::mutex done_mtx;
     std::condition_variable done_cv;
 
@@ -336,20 +354,69 @@ runSweep(std::size_t points,
         }
     };
 
+    /** Bump the per-worker and global completion counts for a point. */
+    auto completePoint = [&](SweepWorker &w) {
+        w.pointsDone.fetch_add(1, std::memory_order_relaxed);
+        if (done.fetch_add(1, std::memory_order_release) + 1 ==
+            points) {
+            std::lock_guard<std::mutex> lock(done_mtx);
+            done_cv.notify_all();
+        }
+    };
+
+    /**
+     * One shared attempt for a whole group; members it completes are
+     * done, the rest take the solo path (runPoint) with the full
+     * retry budget, so a failing batch costs one extra attempt and
+     * nothing else.
+     */
+    auto runGroup = [&](const std::vector<std::size_t> &members,
+                        SweepWorker &w) {
+        std::vector<bool> ok_flags;
+        if (members.size() > 1 && !interruptPending()) {
+            batched_groups.fetch_add(1, std::memory_order_relaxed);
+            w.cancel.beginEpoch();
+            w.activePoints.store(members.size(),
+                                 std::memory_order_release);
+            w.activeSinceMs.store(elapsedMs(),
+                                  std::memory_order_release);
+            try {
+                ok_flags = batchEval(members, w);
+            } catch (...) {
+                const Error err = errorFromCurrentException();
+                warn(opts.label, ": batched attempt over ",
+                     members.size(), " points failed (",
+                     err.describe(), "); falling back per point");
+                ok_flags.clear();
+            }
+            w.activeSinceMs.store(-1, std::memory_order_release);
+            w.activePoints.store(1, std::memory_order_release);
+        }
+        for (std::size_t k = 0; k < members.size(); ++k) {
+            if (k < ok_flags.size() && ok_flags[k]) {
+                ok_count.fetch_add(1, std::memory_order_relaxed);
+                batched_points.fetch_add(1,
+                                         std::memory_order_relaxed);
+            } else {
+                runPoint(members[k], w);
+            }
+            completePoint(w);
+        }
+    };
+
     auto runner = [&](unsigned worker) {
         for (;;) {
-            const std::size_t i =
+            const std::size_t u =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= points)
+            if (u >= units)
                 return;
-            runPoint(i, workers[worker]);
-            workers[worker].pointsDone.fetch_add(
-                1, std::memory_order_relaxed);
-            if (done.fetch_add(1, std::memory_order_release) + 1 ==
-                points) {
-                std::lock_guard<std::mutex> lock(done_mtx);
-                done_cv.notify_all();
+            SweepWorker &w = workers[worker];
+            if (!groups) {
+                runPoint(u, w);
+                completePoint(w);
+                continue;
             }
+            runGroup((*groups)[u], w);
         }
     };
 
@@ -375,7 +442,15 @@ runSweep(std::size_t points,
                         const std::int64_t since =
                             w.activeSinceMs.load(
                                 std::memory_order_acquire);
-                        if (since < 0 || now_ms - since < timeout_ms)
+                        // A batched attempt covers activePoints
+                        // points, so it gets that many single-point
+                        // deadlines before the watchdog fires.
+                        const auto budget =
+                            timeout_ms *
+                            static_cast<std::int64_t>(
+                                w.activePoints.load(
+                                    std::memory_order_acquire));
+                        if (since < 0 || now_ms - since < budget)
                             continue;
                         const std::uint64_t snap = w.cancel.snapshot();
                         if (w.activeSinceMs.load(
@@ -399,7 +474,7 @@ runSweep(std::size_t points,
                 draining = true;
                 // Stop claims; in-flight points finish (or skip their
                 // remaining retries) and the journal flushes.
-                next.store(points, std::memory_order_relaxed);
+                next.store(units, std::memory_order_relaxed);
                 if (opts.progress)
                     inform(opts.label,
                            ": interrupt -- draining in-flight "
@@ -428,7 +503,7 @@ runSweep(std::size_t points,
                 }
                 if (++heals_without_progress > kMaxBarrenHeals) {
                     draining = true;
-                    next.store(points, std::memory_order_relaxed);
+                    next.store(units, std::memory_order_relaxed);
                     warn(opts.label,
                          ": workers keep dying before claiming "
                          "points; giving up on the remaining grid");
@@ -486,6 +561,10 @@ runSweep(std::size_t points,
 
     outcome.completedOk = ok_count.load(std::memory_order_relaxed);
     outcome.retries = retry_count.load(std::memory_order_relaxed);
+    outcome.batchedPoints =
+        batched_points.load(std::memory_order_relaxed);
+    outcome.batchedGroups =
+        batched_groups.load(std::memory_order_relaxed);
     outcome.failures = std::move(failures);
     std::sort(outcome.failures.begin(), outcome.failures.end(),
               [](const PointFailure &a, const PointFailure &b) {
@@ -510,6 +589,14 @@ runSweep(std::size_t points,
             "sweep.interrupted",
             "sweeps ended early by SIGINT/SIGTERM drain") +=
             outcome.interrupted ? 1 : 0;
+        opts.registry->counter(
+            "sweep.batch_points",
+            "grid points completed by a batched group attempt") +=
+            outcome.batchedPoints;
+        opts.registry->counter(
+            "sweep.batch_groups",
+            "shared-workload groups given a batched attempt") +=
+            outcome.batchedGroups;
     }
 
     if (opts.progress) {
@@ -550,11 +637,53 @@ runSweep(std::size_t points,
     return outcome;
 }
 
+} // namespace
+
+SweepOutcome
+runSweep(std::size_t points,
+         const std::function<void(std::size_t, SweepWorker &)> &eval,
+         const SweepOptions &opts)
+{
+    return runSweepImpl(points, nullptr, eval, {}, opts);
+}
+
+SweepOutcome
+runSweepBatched(
+    std::size_t points, const SweepGroups &groups,
+    const std::function<void(std::size_t, SweepWorker &)> &eval,
+    const std::function<std::vector<bool>(std::span<const std::size_t>,
+                                          SweepWorker &)> &batchEval,
+    const SweepOptions &opts)
+{
+    // A grouping that drops or repeats a point would silently corrupt
+    // result placement; fail loudly instead.
+    std::vector<char> seen(points, 0);
+    std::size_t covered = 0;
+    for (const auto &members : groups) {
+        for (const std::size_t i : members) {
+            vc_assert(i < points, "sweep group index out of range");
+            vc_assert(!seen[i], "sweep group repeats a point");
+            seen[i] = 1;
+            ++covered;
+        }
+    }
+    vc_assert(covered == points,
+              "sweep groups must cover every point");
+    return runSweepImpl(points, &groups, eval, batchEval, opts);
+}
+
+namespace
+{
+
+/** Shared body of runCsvSweep and runCsvSweepBatched. */
 Expected<CsvSweepResult>
-runCsvSweep(std::size_t points,
-            const std::function<CsvRow(std::size_t, SweepWorker &)> &eval,
-            const std::function<CsvRow(const PointFailure &)> &errorRow,
-            const SweepOptions &opts)
+runCsvSweepImpl(
+    std::size_t points,
+    const std::function<CsvRow(std::size_t, SweepWorker &)> &eval,
+    const std::function<std::vector<std::optional<CsvRow>>(
+        std::span<const std::size_t>, SweepWorker &)> &batchRows,
+    const std::function<CsvRow(const PointFailure &)> &errorRow,
+    const SweepGroups *groups, const SweepOptions &opts)
 {
     vc_assert(eval, "csv sweep needs a point evaluator");
     vc_assert(errorRow, "csv sweep needs an error-row renderer");
@@ -629,21 +758,62 @@ runCsvSweep(std::size_t points,
     }
 
     CheckpointWriter *journal = writer.get();
-    result.outcome = runSweep(
-        todo.size(),
-        [&](std::size_t j, SweepWorker &w) {
-            const std::size_t i = todo[j];
-            CsvRow row = eval(i, w);
-            if (journal) {
-                auto rec = journal->recordDone(i, row);
-                if (!rec.ok())
-                    warn(opts.label, ": ",
-                         rec.error().describe());
+    auto journalRow = [&](std::size_t i, CsvRow row) {
+        if (journal) {
+            auto rec = journal->recordDone(i, row);
+            if (!rec.ok())
+                warn(opts.label, ": ", rec.error().describe());
+        }
+        // Distinct grid indices -> distinct rows; no lock needed.
+        result.rows[i] = std::move(row);
+    };
+    auto evalTodo = [&](std::size_t j, SweepWorker &w) {
+        const std::size_t i = todo[j];
+        journalRow(i, eval(i, w));
+    };
+
+    if (groups && batchRows) {
+        // The caller grouped grid indices; the sweep runs over todo
+        // positions, so remap (dropping resume-journalled members).
+        std::vector<std::size_t> pos(points, points);
+        for (std::size_t j = 0; j < todo.size(); ++j)
+            pos[todo[j]] = j;
+        SweepGroups todo_groups;
+        todo_groups.reserve(groups->size());
+        for (const auto &members : *groups) {
+            std::vector<std::size_t> alive;
+            alive.reserve(members.size());
+            for (const std::size_t i : members) {
+                vc_assert(i < points,
+                          "sweep group index out of range");
+                if (pos[i] < points)
+                    alive.push_back(pos[i]);
             }
-            // Distinct grid indices -> distinct rows; no lock needed.
-            result.rows[i] = std::move(row);
-        },
-        opts);
+            if (!alive.empty())
+                todo_groups.push_back(std::move(alive));
+        }
+        result.outcome = runSweepBatched(
+            todo.size(), todo_groups, evalTodo,
+            [&](std::span<const std::size_t> js, SweepWorker &w) {
+                std::vector<std::size_t> idx;
+                idx.reserve(js.size());
+                for (const std::size_t j : js)
+                    idx.push_back(todo[j]);
+                auto rows = batchRows(idx, w);
+                std::vector<bool> ok(js.size(), false);
+                for (std::size_t k = 0;
+                     k < js.size() && k < rows.size(); ++k) {
+                    if (!rows[k])
+                        continue;
+                    journalRow(idx[k], std::move(*rows[k]));
+                    ok[k] = true;
+                }
+                return ok;
+            },
+            opts);
+    } else {
+        result.outcome = runSweep(todo.size(), evalTodo, opts);
+    }
 
     // runSweep numbered failures by todo position; translate back to
     // grid indices (monotone, so the sort order survives).
@@ -663,6 +833,30 @@ runCsvSweep(std::size_t points,
             warn(opts.label, ": ", flushed.error().describe());
     }
     return result;
+}
+
+} // namespace
+
+Expected<CsvSweepResult>
+runCsvSweep(std::size_t points,
+            const std::function<CsvRow(std::size_t, SweepWorker &)> &eval,
+            const std::function<CsvRow(const PointFailure &)> &errorRow,
+            const SweepOptions &opts)
+{
+    return runCsvSweepImpl(points, eval, {}, errorRow, nullptr, opts);
+}
+
+Expected<CsvSweepResult>
+runCsvSweepBatched(
+    std::size_t points,
+    const std::function<CsvRow(std::size_t, SweepWorker &)> &eval,
+    const std::function<std::vector<std::optional<CsvRow>>(
+        std::span<const std::size_t>, SweepWorker &)> &batchRows,
+    const std::function<CsvRow(const PointFailure &)> &errorRow,
+    const SweepGroups &groups, const SweepOptions &opts)
+{
+    return runCsvSweepImpl(points, eval, batchRows, errorRow, &groups,
+                           opts);
 }
 
 void
@@ -692,6 +886,10 @@ addSweepFlags(ArgParser &args)
                  "for --resume");
     args.addFlag("resume", "false",
                  "replay --checkpoint and skip completed points");
+    args.addFlag("batch", "true",
+                 "evaluate shared-workload point groups as one "
+                 "batched pass (false = per point; the CSV is "
+                 "byte-identical either way)");
     args.addFlag("faults", "",
                  "fault-injection plan 'site=action@trigger[;...]' "
                  "(see docs/ROBUSTNESS.md); needs a "
@@ -742,6 +940,7 @@ sweepOptionsFromFlags(const ArgParser &args, const std::string &label)
 
     opts.checkpointPath = args.getString("checkpoint");
     opts.resume = args.getBool("resume");
+    opts.batch = args.getBool("batch");
     if (opts.resume && opts.checkpointPath.empty())
         vc_fatal("--resume requires --checkpoint");
 

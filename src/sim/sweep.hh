@@ -49,7 +49,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <ostream>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -92,6 +94,15 @@ struct SweepWorker
      * began, or -1 when idle; published for the watchdog.
      */
     std::atomic<std::int64_t> activeSinceMs{-1};
+    /**
+     * Points covered by the current evaluation: 1 for a solo point, a
+     * group's size during a batched attempt.  The watchdog scales the
+     * per-point deadline by it, so a batch gets the same total budget
+     * its members would have had individually; any member the batch
+     * leaves unfinished falls back to a solo run under the single-
+     * point deadline.
+     */
+    std::atomic<std::uint64_t> activePoints{1};
 };
 
 /** Knobs shared by every sweep-driven bench. */
@@ -141,6 +152,13 @@ struct SweepOptions
     std::string checkpointPath;
     /** Replay checkpointPath and skip completed points. */
     bool resume = false;
+    /**
+     * Attempt shared-workload groups as one batched evaluation before
+     * falling back per point (runSweepBatched callers only; the
+     * per-point engine ignores it).  Off forces the solo path, which
+     * CI diffs against the batched one byte for byte.
+     */
+    bool batch = true;
 };
 
 /** One permanently failed grid point, after all retries. */
@@ -174,6 +192,10 @@ struct SweepOutcome
     std::vector<PointFailure> failures;
     /** Extra attempts spent retrying points (resolved or not). */
     std::uint64_t retries = 0;
+    /** Points completed by a batched group attempt (runSweepBatched). */
+    std::uint64_t batchedPoints = 0;
+    /** Multi-point groups that got a batched attempt. */
+    std::uint64_t batchedGroups = 0;
     /** True when a SIGINT/SIGTERM drain ended the sweep early. */
     bool interrupted = false;
     /** Points never claimed because of the drain. */
@@ -220,6 +242,35 @@ SweepOutcome
 runSweep(std::size_t points,
          const std::function<void(std::size_t, SweepWorker &)> &eval,
          const SweepOptions &opts = {});
+
+/**
+ * A partition of the grid into shared-workload groups: every index in
+ * [0, points) appears in exactly one group.  Group order and member
+ * order never affect output (results land by index), only scheduling.
+ */
+using SweepGroups = std::vector<std::vector<std::size_t>>;
+
+/**
+ * runSweep with batched group attempts: workers claim whole groups;
+ * a multi-point group first runs through `batchEval`, which returns
+ * one success flag per member (in member order -- a short vector or a
+ * throw fails the remainder).  Members the batch did not complete
+ * fall back to the per-point evaluator with the full retry/backoff/
+ * timeout budget, so batching can only add one cheap shared attempt,
+ * never weaken per-point isolation.  Failed batches are not retried
+ * as batches.  With opts.batch false (or a null batchEval) every
+ * group member takes the solo path, in group order.
+ *
+ * The batch attempt runs under the worker's epoch-tagged token like
+ * any point; the watchdog scales the per-point deadline by the group
+ * size (see SweepWorker::activePoints).
+ */
+SweepOutcome runSweepBatched(
+    std::size_t points, const SweepGroups &groups,
+    const std::function<void(std::size_t, SweepWorker &)> &eval,
+    const std::function<std::vector<bool>(std::span<const std::size_t>,
+                                          SweepWorker &)> &batchEval,
+    const SweepOptions &opts = {});
 
 /**
  * Grid convenience wrapper: results[i] = eval(grid[i], worker), with
@@ -279,6 +330,24 @@ Expected<CsvSweepResult> runCsvSweep(
     const std::function<CsvRow(std::size_t, SweepWorker &)> &eval,
     const std::function<CsvRow(const PointFailure &)> &errorRow,
     const SweepOptions &opts);
+
+/**
+ * runCsvSweep over runSweepBatched: `groups` partitions the grid in
+ * *grid-index* space (resume-skipped points are filtered out
+ * internally), and `batchRows` returns one row per group member --
+ * nullopt for members the batch could not complete, which fall back
+ * to the per-point evaluator.  Batched rows journal to the checkpoint
+ * exactly like solo rows, and because both evaluators must render
+ * identical rows for identical results, the CSV is byte-identical to
+ * an unbatched run (opts.batch = false) -- CI diffs the two.
+ */
+Expected<CsvSweepResult> runCsvSweepBatched(
+    std::size_t points,
+    const std::function<CsvRow(std::size_t, SweepWorker &)> &eval,
+    const std::function<std::vector<std::optional<CsvRow>>(
+        std::span<const std::size_t>, SweepWorker &)> &batchRows,
+    const std::function<CsvRow(const PointFailure &)> &errorRow,
+    const SweepGroups &groups, const SweepOptions &opts);
 
 /**
  * Register the shared sweep flags: --jobs/--seed/--progress/

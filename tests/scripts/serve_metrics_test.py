@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Prometheus exposition round-trip test for the evaluation server.
+
+Drives the real vcache_serve binary: evaluates a few points, fetches
+the "metrics" verb, parses every line of the embedded Prometheus text
+and cross-checks the values against the "stats" verb, then drains and
+verifies the --metrics-out file is the same parseable exposition.
+
+Usage: serve_metrics_test.py /path/to/vcache_serve
+"""
+
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+BANNER = re.compile(r"listening on 127\.0\.0\.1:(\d+)")
+SAMPLE = re.compile(r"^(vcache_[a-z0-9_]+) (\d+)$")
+TYPE_LINE = re.compile(r"^# TYPE (vcache_[a-z0-9_]+) counter$")
+
+
+def start_server(binary, metrics_out, log_path):
+    log = open(log_path, "w")
+    proc = subprocess.Popen(
+        [binary, "--port", "0", "--metrics-out", metrics_out],
+        stdout=log,
+        stderr=subprocess.STDOUT,
+    )
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(f"server exited early: see {log_path}")
+        with open(log_path) as contents:
+            match = BANNER.search(contents.read())
+        if match:
+            return proc, int(match.group(1))
+        time.sleep(0.05)
+    raise RuntimeError(f"server never printed its port: {log_path}")
+
+
+def rpc(port, obj):
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+        s.sendall(json.dumps(obj).encode() + b"\n")
+        return json.loads(s.makefile("rb").readline().decode())
+
+
+def parse_exposition(text):
+    """Parse Prometheus 0.0.4 counter text into {metric: value}.
+
+    Strict by design: every line must be either a well-formed # TYPE
+    comment or a sample for the metric the comment announced.
+    """
+    if not text.endswith("\n"):
+        raise AssertionError("exposition must end with a newline")
+    values = {}
+    announced = None
+    for line in text.splitlines():
+        typed = TYPE_LINE.match(line)
+        if typed:
+            announced = typed.group(1)
+            continue
+        sample = SAMPLE.match(line)
+        if not sample:
+            raise AssertionError(f"unparseable line: {line!r}")
+        if sample.group(1) != announced:
+            raise AssertionError(
+                f"sample {sample.group(1)} does not follow its "
+                f"# TYPE line ({announced})"
+            )
+        values[sample.group(1)] = int(sample.group(2))
+        announced = None
+    return values
+
+
+def prometheus_name(counter):
+    return "vcache_" + counter.replace(".", "_")
+
+
+def main():
+    binary = sys.argv[1]
+    workdir = tempfile.mkdtemp(prefix="vcache_metrics_")
+    metrics_out = os.path.join(workdir, "final.prom")
+    proc, port = start_server(
+        binary, metrics_out, os.path.join(workdir, "server.log")
+    )
+
+    for tm in (8, 16, 24):
+        resp = rpc(port, {"op": "eval", "tm": tm, "sim": False})
+        assert resp.get("ok") is True, resp
+
+    envelope = rpc(port, {"op": "metrics"})
+    assert envelope.get("ok") is True, envelope
+    assert envelope.get("format") == "prometheus", envelope
+    live = parse_exposition(envelope["text"])
+
+    stats = rpc(port, {"op": "stats"})["counters"]
+    assert set(live) == {prometheus_name(c) for c in stats}, (
+        "metric set diverges from the stats verb"
+    )
+    # The stats RPC itself is one more connection/request, so those
+    # two counters legitimately move between the snapshots.
+    volatile = {"serve.connections", "serve.requests"}
+    for counter, value in stats.items():
+        if counter in volatile:
+            continue
+        name = prometheus_name(counter)
+        assert live[name] == value, (
+            f"{name}: metrics={live[name]} stats={value}"
+        )
+    assert live["vcache_serve_eval_ok"] == 3, live
+
+    rpc(port, {"op": "shutdown"})
+    proc.wait(timeout=30)
+
+    with open(metrics_out) as f:
+        final = parse_exposition(f.read())
+    assert set(final) == set(live), "--metrics-out metric set differs"
+    assert final["vcache_serve_eval_ok"] == 3, final
+
+    print(f"OK: {len(live)} metrics round-tripped; "
+          f"--metrics-out parsed with {len(final)} metrics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,6 +73,7 @@ TEST(ProtoParse, NonEvalVerbs)
 {
     EXPECT_EQ(mustParse(R"({"op":"hello"})").verb, Verb::Hello);
     EXPECT_EQ(mustParse(R"({"op":"stats"})").verb, Verb::Stats);
+    EXPECT_EQ(mustParse(R"({"op":"metrics"})").verb, Verb::Metrics);
     EXPECT_EQ(mustParse(R"({"op":"shutdown"})").verb,
               Verb::Shutdown);
 }
@@ -178,6 +179,29 @@ TEST(ProtoRender, StatsAreSortedByName)
     ASSERT_NE(a, std::string::npos);
     ASSERT_NE(b, std::string::npos);
     EXPECT_LT(a, b);
+}
+
+TEST(ProtoRender, PrometheusTextMapsNamesAndValues)
+{
+    const std::string text = renderPrometheusText(
+        {{"serve.eval_ok", 7}, {"memo.hits", 3}});
+    EXPECT_EQ(text,
+              "# TYPE vcache_memo_hits counter\n"
+              "vcache_memo_hits 3\n"
+              "# TYPE vcache_serve_eval_ok counter\n"
+              "vcache_serve_eval_ok 7\n");
+}
+
+TEST(ProtoRender, MetricsEnvelopeEscapesTheText)
+{
+    const std::string line = renderMetrics({{"serve.requests", 1}});
+    EXPECT_EQ(line.find("{\"ok\":true,\"op\":\"metrics\","
+                        "\"format\":\"prometheus\",\"text\":\""),
+              0u);
+    // Newlines cross the wire escaped; the payload stays one line.
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_NE(line.find("vcache_serve_requests 1\\n"),
+              std::string::npos);
 }
 
 TEST(ProtoRender, ModelOnlyPayloadHasNoSimFragment)

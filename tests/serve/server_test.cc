@@ -18,8 +18,10 @@
 
 #include <chrono>
 #include <csignal>
+#include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "obs/registry.hh"
 
@@ -398,6 +400,118 @@ TEST(Server, StatsPublishIntoARegistry)
         client.roundTrip("{\"op\":\"stats\"}");
     EXPECT_TRUE(contains(stats, "\"serve.eval_ok\":2"));
     EXPECT_TRUE(contains(stats, "\"memo.hits\":1"));
+}
+
+TEST(Server, MetricsVerbCarriesPrometheusText)
+{
+    auto server = mustStart(ServerOptions{});
+    ASSERT_TRUE(server);
+    TestClient client(server->port());
+    ASSERT_TRUE(client.ok());
+    client.roundTrip(modelReq("a", 16));
+
+    const std::string line =
+        client.roundTrip("{\"op\":\"metrics\"}");
+    EXPECT_TRUE(contains(line, "\"ok\":true")) << line;
+    EXPECT_TRUE(contains(line, "\"format\":\"prometheus\""));
+    EXPECT_TRUE(
+        contains(line, "# TYPE vcache_serve_eval_ok counter"));
+    EXPECT_TRUE(contains(line, "vcache_serve_eval_ok 1\\n"));
+    EXPECT_TRUE(
+        contains(line, "# TYPE vcache_memo_inserts counter"));
+}
+
+TEST(Server, CompatibleQueuedRequestsBatchWithIdenticalBytes)
+{
+    // Four distinct sim points sharing one workload key, admitted
+    // while the single worker chews on a blocker: one wakeup must
+    // drain them into a single batched evaluation, with responses
+    // byte-identical to a batching-disabled server.
+    const auto compatReq = [](std::size_t i) {
+        return "{\"op\":\"eval\",\"id\":\"b" + std::to_string(i) +
+               "\",\"B\":256,\"tm\":" + std::to_string(4 * (i + 1)) +
+               ",\"seed\":7}";
+    };
+
+    std::vector<std::string> batched(4);
+    {
+        ServerOptions options;
+        options.threads = 1;
+        options.batchMax = 4;
+        auto server = mustStart(options);
+        ASSERT_TRUE(server);
+        TestClient client(server->port());
+        ASSERT_TRUE(client.ok());
+        client.send(slowReq("blk", 77));
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        for (std::size_t i = 0; i < 4; ++i)
+            client.send(compatReq(i));
+
+        ASSERT_TRUE(contains(client.readLine(120000), "\"blk\""));
+        for (std::size_t i = 0; i < 4; ++i) {
+            batched[i] = client.readLine();
+            ASSERT_TRUE(contains(batched[i], "\"ok\":true"))
+                << batched[i];
+            EXPECT_TRUE(contains(batched[i],
+                                 "\"b" + std::to_string(i) + "\""));
+        }
+        const auto stats = server->statsSnapshot();
+        EXPECT_EQ(stats.at("serve.batched"), 4u);
+        EXPECT_EQ(stats.at("serve.batches"), 1u);
+        EXPECT_EQ(stats.at("serve.batch_size_max"), 4u);
+    }
+
+    ServerOptions solo;
+    solo.threads = 1;
+    solo.batchMax = 1; // batching disabled
+    auto server = mustStart(solo);
+    ASSERT_TRUE(server);
+    TestClient client(server->port());
+    ASSERT_TRUE(client.ok());
+    for (std::size_t i = 0; i < 4; ++i) {
+        const std::string alone = client.roundTrip(compatReq(i));
+        ASSERT_TRUE(contains(alone, "\"ok\":true")) << alone;
+        EXPECT_EQ(resultOf(batched[i]), resultOf(alone)) << i;
+    }
+    EXPECT_EQ(server->statsSnapshot().at("serve.batches"), 0u);
+}
+
+TEST(Server, QueuePeakTracksConcurrentAdmits)
+{
+    // Regression for the queue_peak CAS loop: eight reader threads
+    // admit concurrently while the lone worker is busy, so the peak
+    // must reach the full backlog -- a torn read-modify-write would
+    // under-report it.
+    ServerOptions options;
+    options.threads = 1;
+    auto server = mustStart(options);
+    ASSERT_TRUE(server);
+
+    TestClient blocker(server->port());
+    ASSERT_TRUE(blocker.ok());
+    blocker.send(slowReq("blk", 78));
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+    constexpr std::size_t kClients = 8;
+    std::vector<std::unique_ptr<TestClient>> clients;
+    for (std::size_t i = 0; i < kClients; ++i) {
+        clients.push_back(
+            std::make_unique<TestClient>(server->port()));
+        ASSERT_TRUE(clients.back()->ok());
+    }
+    std::vector<std::thread> senders;
+    for (std::size_t i = 0; i < kClients; ++i)
+        senders.emplace_back([&, i] {
+            clients[i]->send(modelReq("c" + std::to_string(i), 4 + i));
+        });
+    for (auto &t : senders)
+        t.join();
+
+    ASSERT_TRUE(contains(blocker.readLine(120000), "\"ok\":true"));
+    for (auto &client : clients)
+        EXPECT_TRUE(contains(client->readLine(120000), "\"ok\":true"));
+    EXPECT_GE(server->statsSnapshot().at("serve.queue_peak"),
+              kClients);
 }
 
 TEST(Server, MemoJournalSurvivesRestart)

@@ -751,5 +751,215 @@ TEST(CsvSweep, FailedPointsRerunOnResume)
     EXPECT_EQ(second.value().rows[5], gridRow(5));
 }
 
+// ---------------------------------------------------------------------
+// Batched group attempts: shared-workload groups, fallback, identity.
+// ---------------------------------------------------------------------
+
+/** Pair every even index with its successor; odds-at-end singleton. */
+SweepGroups
+pairGroups(std::size_t points)
+{
+    SweepGroups groups;
+    for (std::size_t i = 0; i < points; i += 2) {
+        std::vector<std::size_t> g{i};
+        if (i + 1 < points)
+            g.push_back(i + 1);
+        groups.push_back(std::move(g));
+    }
+    return groups;
+}
+
+TEST(SweepBatched, GroupsCompleteEveryPointExactlyOnce)
+{
+    constexpr std::size_t kPoints = 21;
+    std::vector<std::atomic<int>> visits(kPoints);
+    const auto outcome = runSweepBatched(
+        kPoints, pairGroups(kPoints),
+        [&](std::size_t i, SweepWorker &) {
+            visits[i].fetch_add(1, std::memory_order_relaxed);
+        },
+        [&](std::span<const std::size_t> group, SweepWorker &) {
+            std::vector<bool> done;
+            for (std::size_t i : group) {
+                visits[i].fetch_add(1, std::memory_order_relaxed);
+                done.push_back(true);
+            }
+            return done;
+        },
+        quiet(4));
+
+    EXPECT_EQ(outcome.completedOk, kPoints);
+    EXPECT_TRUE(outcome.failures.empty());
+    for (std::size_t i = 0; i < kPoints; ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    // Ten pairs batch; the trailing singleton takes the solo path.
+    EXPECT_EQ(outcome.batchedGroups, 10u);
+    EXPECT_EQ(outcome.batchedPoints, 20u);
+}
+
+TEST(SweepBatched, FailedBatchFallsBackToSoloWithFullRetries)
+{
+    constexpr std::size_t kPoints = 8;
+    std::vector<std::atomic<int>> soloRuns(kPoints);
+    const auto outcome = runSweepBatched(
+        kPoints, pairGroups(kPoints),
+        [&](std::size_t i, SweepWorker &) {
+            soloRuns[i].fetch_add(1, std::memory_order_relaxed);
+        },
+        [](std::span<const std::size_t> group, SweepWorker &) {
+            // Complete only the first member of each pair; a short
+            // vector fails the remainder back to the solo path.
+            return std::vector<bool>{!group.empty()};
+        },
+        quiet(2));
+
+    EXPECT_EQ(outcome.completedOk, kPoints);
+    EXPECT_TRUE(outcome.failures.empty());
+    for (std::size_t i = 0; i < kPoints; ++i)
+        EXPECT_EQ(soloRuns[i].load(), i % 2 == 0 ? 0 : 1) << i;
+    EXPECT_EQ(outcome.batchedPoints, 4u);
+}
+
+TEST(SweepBatched, ThrowingBatchDoesNotConsumeSoloAttempts)
+{
+    std::atomic<int> soloRuns{0};
+    SweepOptions opts = robust(1, 2);
+    const auto outcome = runSweepBatched(
+        2, {{0, 1}},
+        [&](std::size_t, SweepWorker &) {
+            soloRuns.fetch_add(1, std::memory_order_relaxed);
+            throw VcError(makeError(Errc::Io, "down"));
+        },
+        [](std::span<const std::size_t>,
+           SweepWorker &) -> std::vector<bool> {
+            throw VcError(makeError(Errc::Io, "batch down"));
+        },
+        opts);
+
+    // Every member still got its full maxAttempts solo budget.
+    EXPECT_EQ(soloRuns.load(), 4);
+    EXPECT_EQ(outcome.failures.size(), 2u);
+    EXPECT_EQ(outcome.batchedPoints, 0u);
+}
+
+TEST(SweepBatched, DisabledBatchingNeverCallsBatchEval)
+{
+    std::atomic<int> batchCalls{0};
+    SweepOptions opts = quiet(2);
+    opts.batch = false;
+    const auto outcome = runSweepBatched(
+        6, pairGroups(6), [](std::size_t, SweepWorker &) {},
+        [&](std::span<const std::size_t> group, SweepWorker &) {
+            batchCalls.fetch_add(1, std::memory_order_relaxed);
+            return std::vector<bool>(group.size(), true);
+        },
+        opts);
+    EXPECT_EQ(outcome.completedOk, 6u);
+    EXPECT_EQ(batchCalls.load(), 0);
+    EXPECT_EQ(outcome.batchedPoints, 0u);
+}
+
+TEST(SweepBatched, PublishesBatchCounters)
+{
+    ObsRegistry registry;
+    SweepOptions opts = quiet(2);
+    opts.registry = &registry;
+    runSweepBatched(
+        4, pairGroups(4), [](std::size_t, SweepWorker &) {},
+        [](std::span<const std::size_t> group, SweepWorker &) {
+            return std::vector<bool>(group.size(), true);
+        },
+        opts);
+    const Counter *points = registry.findCounter("sweep.batch_points");
+    ASSERT_NE(points, nullptr);
+    EXPECT_EQ(points->value, 4u);
+    const Counter *groups = registry.findCounter("sweep.batch_groups");
+    ASSERT_NE(groups, nullptr);
+    EXPECT_EQ(groups->value, 2u);
+}
+
+/** Batched row renderer agreeing with gridRow, optionally partial. */
+std::vector<std::optional<CsvRow>>
+batchGridRows(std::span<const std::size_t> group, SweepWorker &)
+{
+    std::vector<std::optional<CsvRow>> rows;
+    for (std::size_t i : group)
+        rows.emplace_back(gridRow(i));
+    return rows;
+}
+
+TEST(CsvSweepBatched, RowsByteIdenticalToUnbatchedRun)
+{
+    constexpr std::size_t kPoints = 24;
+    const SweepGroups groups = pairGroups(kPoints);
+    const auto solo_eval = [](std::size_t i, SweepWorker &) {
+        return gridRow(i);
+    };
+
+    SweepOptions batched = quiet(4);
+    const auto with = runCsvSweepBatched(
+        kPoints, solo_eval, batchGridRows, failedRow, groups, batched);
+    ASSERT_TRUE(with.ok());
+    EXPECT_GT(with.value().outcome.batchedPoints, 0u);
+
+    SweepOptions unbatched = quiet(1);
+    unbatched.batch = false;
+    const auto without = runCsvSweepBatched(
+        kPoints, solo_eval, batchGridRows, failedRow, groups,
+        unbatched);
+    ASSERT_TRUE(without.ok());
+    EXPECT_EQ(without.value().outcome.batchedPoints, 0u);
+
+    EXPECT_EQ(with.value().rows, without.value().rows);
+}
+
+TEST(CsvSweepBatched, NulloptMembersFallBackToSoloRows)
+{
+    const auto result = runCsvSweepBatched(
+        6, [](std::size_t i, SweepWorker &) { return gridRow(i); },
+        [](std::span<const std::size_t> group, SweepWorker &) {
+            // Batch completes nothing; every row must still appear.
+            return std::vector<std::optional<CsvRow>>(group.size());
+        },
+        failedRow, pairGroups(6), quiet(2));
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().complete());
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(result.value().rows[i], gridRow(i));
+    EXPECT_EQ(result.value().outcome.batchedPoints, 0u);
+}
+
+TEST(CsvSweepBatched, ResumeSkipsJournalledPointsInsideGroups)
+{
+    TempJournal journal("csv_batch_resume.jsonl");
+    SweepOptions opts = quiet(2);
+    opts.checkpointPath = journal.str();
+
+    const auto first = runCsvSweepBatched(
+        10, [](std::size_t i, SweepWorker &) { return gridRow(i); },
+        batchGridRows, failedRow, pairGroups(10), opts);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(first.value().complete());
+
+    std::atomic<int> evaluations{0};
+    opts.resume = true;
+    const auto second = runCsvSweepBatched(
+        10,
+        [&](std::size_t i, SweepWorker &) {
+            evaluations.fetch_add(1, std::memory_order_relaxed);
+            return gridRow(i);
+        },
+        [&](std::span<const std::size_t> group, SweepWorker &w) {
+            evaluations.fetch_add(static_cast<int>(group.size()),
+                                  std::memory_order_relaxed);
+            return batchGridRows(group, w);
+        },
+        failedRow, pairGroups(10), opts);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(evaluations.load(), 0);
+    EXPECT_EQ(second.value().skipped, 10u);
+    EXPECT_EQ(second.value().rows, first.value().rows);
+}
+
 } // namespace
 } // namespace vcache

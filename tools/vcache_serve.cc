@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "serve/proto.hh"
 #include "serve/server.hh"
 #include "util/buildinfo.hh"
 #include "util/cli.hh"
@@ -39,6 +40,10 @@ main(int argc, char **argv)
     args.addFlag("queue-depth", "256",
                  "admission-queue capacity; past it requests are "
                  "shed with an Overloaded response");
+    args.addFlag("batch-max", "8",
+                 "most same-workload queued requests one worker "
+                 "wakeup evaluates as a single batched trace pass "
+                 "(1 = no batching)");
     args.addFlag("deadline-ms", "0",
                  "default per-request deadline applied when a "
                  "request carries none (0 = none)");
@@ -54,6 +59,9 @@ main(int argc, char **argv)
     args.addFlag("stats-out", "",
                  "write the final counter snapshot as JSON here on "
                  "drain");
+    args.addFlag("metrics-out", "",
+                 "write the final counter snapshot in Prometheus "
+                 "text exposition format here on drain");
     args.addFlag("faults", "",
                  "fault-injection plan (site=action@trigger,...); "
                  "sites: serve.accept, serve.queue, serve.evaluate, "
@@ -81,6 +89,7 @@ main(int argc, char **argv)
     options.threads =
         static_cast<unsigned>(args.getUint("threads"));
     options.queueDepth = args.getUint("queue-depth");
+    options.batchMax = args.getUint("batch-max");
     options.defaultDeadlineMs = args.getUint("deadline-ms");
     options.retryAfterMs = args.getUint("retry-after-ms");
     options.allowRemoteShutdown = args.getBool("remote-shutdown");
@@ -122,6 +131,14 @@ main(int argc, char **argv)
         out << "\n}\n";
         if (!out.good())
             warn("--stats-out: failed writing '", stats_out, "'");
+    }
+
+    const std::string metrics_out = args.getString("metrics-out");
+    if (!metrics_out.empty()) {
+        std::ofstream out(metrics_out);
+        out << renderPrometheusText(stats);
+        if (!out.good())
+            warn("--metrics-out: failed writing '", metrics_out, "'");
     }
     return 0;
 }
